@@ -1,0 +1,39 @@
+//! Micro-benchmarks of the gpusim kernels (host execution cost of the
+//! simulation itself) and of the host-side layout translation whose cost
+//! the paper reports as minor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfmm_core::distrib::{randomize_densities, uniform_cube};
+use pfmm_gpusim::kernels::uli;
+use pfmm_gpusim::GpuLayout;
+use pfmm_mpisim::run;
+use pfmm_tree::{build_lists, build_let, points_to_octree};
+use std::hint::black_box;
+
+fn bench_gpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpusim");
+    g.sample_size(10);
+
+    let mut pts = uniform_cube(20_000, 5, 0);
+    randomize_densities(&mut pts, 1, 6);
+    let (l, lists) = run(1, |comm| {
+        let t = points_to_octree(comm, pts.clone(), 100);
+        let l = build_let(comm, &t);
+        let lists = build_lists(&l);
+        (l, lists)
+    })
+    .pop()
+    .expect("one rank");
+
+    g.bench_function("layout_translation_20k", |b| {
+        b.iter(|| black_box(GpuLayout::build(&l, &lists, 64)))
+    });
+
+    let lay = GpuLayout::build(&l, &lists, 64);
+    g.bench_function("uli_kernel_20k_q100", |b| b.iter(|| black_box(uli(&lay))));
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_gpu);
+criterion_main!(benches);

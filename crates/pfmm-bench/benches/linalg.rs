@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the dense-algebra substrate: the matvec sizes of
+//! the KIFMM translations and the setup-time SVD/pseudo-inverse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfmm_linalg::{pinv, Matrix, Svd};
+use std::hint::black_box;
+
+fn test_matrix(n: usize, m: usize) -> Matrix {
+    Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5 + if i == j { 2.0 } else { 0.0 })
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+
+    // Matvec at the surface sizes: order 4 → 56, order 6 → 152 (×3 for
+    // Stokes).
+    for n in [56usize, 152, 456] {
+        let m = test_matrix(n, n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut y = vec![0.0; n];
+        g.bench_function(format!("matvec_{n}"), |b| {
+            b.iter(|| {
+                m.matvec_acc_scaled(black_box(&x), black_box(&mut y), 1.0);
+            })
+        });
+    }
+
+    g.bench_function("matmul_152", |b| {
+        let a = test_matrix(152, 152);
+        let m = test_matrix(152, 152);
+        b.iter(|| black_box(a.matmul(&m)))
+    });
+
+    // Setup-time operators (amortized over the run, but worth tracking).
+    g.sample_size(10);
+    for n in [56usize, 152] {
+        let m = test_matrix(n, n);
+        g.bench_function(format!("jacobi_svd_{n}"), |b| b.iter(|| black_box(Svd::new(&m))));
+        g.bench_function(format!("pinv_{n}"), |b| b.iter(|| black_box(pinv(&m, 1e-12))));
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Micro-benchmark of the central FMM design choice: one V-list
+//! interaction via the dense operator vs the FFT diagonalization
+//! (per-application cost; the harness binary `ablation_m2l` measures the
+//! whole phase).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfmm_core::m2l_fft::FftM2l;
+use pfmm_core::ops::Ops;
+use pfmm_kernels::Laplace;
+use std::hint::black_box;
+
+fn bench_m2l(c: &mut Criterion) {
+    let mut g = c.benchmark_group("m2l");
+
+    for order in [4usize, 6] {
+        let ops = Ops::new(Arc::new(Laplace), order, 1e-12);
+        let eng = FftM2l::new(Arc::new(Laplace), order);
+        let nd = ops.density_len();
+        let u: Vec<f64> = (0..nd).map(|i| (i as f64 * 0.13).sin()).collect();
+        let offset = [2i8, -1, 3];
+        let level = 4u32;
+
+        // Dense: one matvec per interaction.
+        let (m, s) = ops.m2l(level, offset);
+        let mut dcheck = vec![0.0; ops.check_len()];
+        g.bench_function(format!("dense_apply_order{order}"), |b| {
+            b.iter(|| m.matvec_acc_scaled(black_box(&u), black_box(&mut dcheck), s))
+        });
+
+        // FFT: the Hadamard accumulate per interaction (source transform
+        // and target inverse amortize over the whole V-list).
+        let uhat = eng.source_spectrum(&u);
+        let (khat, scale) = eng.kernel_spectrum(level, offset);
+        let mut acc = eng.new_accumulator();
+        g.bench_function(format!("fft_hadamard_order{order}"), |b| {
+            b.iter(|| {
+                eng.accumulate(black_box(&mut acc), black_box(&khat), black_box(&uhat), scale)
+            })
+        });
+
+        // The amortized ends of the FFT path.
+        g.bench_function(format!("fft_source_transform_order{order}"), |b| {
+            b.iter(|| black_box(eng.source_spectrum(black_box(&u))))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_m2l);
+criterion_main!(benches);

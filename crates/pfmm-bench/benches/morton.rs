@@ -1,0 +1,95 @@
+//! Micro-benchmarks of the Morton-key substrate: the tree construction's
+//! inner loops (encode, hierarchy queries, region completion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pfmm_morton::{complete_octree, cover_interval, MortonKey, MAX_DEPTH, RANK_SPAN};
+use std::hint::black_box;
+
+fn bench_morton(c: &mut Criterion) {
+    let mut g = c.benchmark_group("morton");
+
+    let pts: Vec<[f64; 3]> = (0..1024)
+        .map(|i| {
+            let f = i as f64 / 1024.0;
+            [f, (f * 3.7) % 1.0, (f * 9.1) % 1.0]
+        })
+        .collect();
+
+    g.bench_function("finest_from_point_x1024", |b| {
+        b.iter(|| {
+            for p in &pts {
+                black_box(MortonKey::finest_from_point(black_box(p)));
+            }
+        })
+    });
+
+    let keys: Vec<MortonKey> = pts.iter().map(|p| MortonKey::from_point(p, 12)).collect();
+
+    g.bench_function("rank_x1024", |b| {
+        b.iter(|| {
+            for k in &keys {
+                black_box(black_box(k).rank());
+            }
+        })
+    });
+
+    g.bench_function("colleagues_x1024", |b| {
+        b.iter(|| {
+            for k in &keys {
+                black_box(black_box(k).colleagues());
+            }
+        })
+    });
+
+    g.bench_function("adjacency_x1024", |b| {
+        let other = MortonKey::from_point(&[0.5, 0.5, 0.5], 8);
+        b.iter(|| {
+            for k in &keys {
+                black_box(black_box(k).is_adjacent(&other));
+            }
+        })
+    });
+
+    g.bench_function("cover_interval_mid", |b| {
+        b.iter(|| black_box(cover_interval(black_box(12345), black_box(RANK_SPAN / 3))))
+    });
+
+    g.bench_function("complete_octree_64_seeds", |b| {
+        let seeds: Vec<MortonKey> = (0..64)
+            .map(|i| {
+                let f = i as f64 / 64.0;
+                MortonKey::from_point(&[f, (f * 5.3) % 1.0, (f * 2.9) % 1.0], 8)
+            })
+            .collect();
+        b.iter_batched(|| seeds.clone(), |s| black_box(complete_octree(s)), BatchSize::SmallInput)
+    });
+
+    g.bench_function("sort_keys_8192", |b| {
+        let mut many: Vec<MortonKey> = Vec::new();
+        for l in [6u32, 9, 12] {
+            many.extend(pts.iter().map(|p| MortonKey::from_point(p, l)));
+        }
+        while many.len() < 8192 {
+            let extended: Vec<MortonKey> = many
+                .iter()
+                .filter(|k| k.level() < MAX_DEPTH)
+                .map(|k| k.child(3))
+                .collect();
+            many.extend(extended);
+        }
+        many.truncate(8192);
+        b.iter_batched(
+            || many.clone(),
+            |mut v| {
+                v.sort_unstable();
+                black_box(v)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_morton);
+criterion_main!(benches);

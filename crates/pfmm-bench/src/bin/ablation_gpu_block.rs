@@ -1,0 +1,58 @@
+//! Ablation — GPU thread-block size vs padding waste.
+//!
+//! Algorithm 4 pads every box to the thread-block size `b`, trading
+//! wasted lanes for perfectly coalesced tiles. The paper fixes `b`
+//! implicitly; this harness sweeps it and shows the trade directly: at a
+//! given `q`, larger blocks inflate the padded pair count (wasted flops)
+//! while improving the transaction shape — and the optimum moves with
+//! the leaf occupancy, which is why `q` and `b` must be tuned together
+//! (the autotuning remark of §V).
+
+use pfmm_bench::Table;
+use pfmm_core::distrib::{randomize_densities, uniform_cube};
+use pfmm_gpusim::kernels::uli;
+use pfmm_gpusim::{DeviceSpec, GpuLayout};
+use pfmm_mpisim::run;
+use pfmm_tree::{build_lists, build_let, points_to_octree};
+
+fn main() {
+    let n = 60_000;
+    println!("Ablation: U-list thread-block size (uniform, N = {n})\n");
+    let dev = DeviceSpec::tesla_s1070();
+    let mut pts = uniform_cube(n, 17, 0);
+    randomize_densities(&mut pts, 1, 18);
+
+    for q in [60usize, 250] {
+        let (l, lists) = run(1, |c| {
+            let t = points_to_octree(c, pts.clone(), q);
+            let l = build_let(c, &t);
+            let lists = build_lists(&l);
+            (l, lists)
+        })
+        .pop()
+        .expect("one rank");
+
+        let mut t = Table::new(&[
+            "b",
+            "padded pts",
+            "pad factor",
+            "Gflop (padded)",
+            "modeled ULI (s)",
+        ]);
+        for b in [32usize, 64, 128, 256] {
+            let lay = GpuLayout::build(&l, &lists, b);
+            let (_, stats) = uli(&lay);
+            t.row(vec![
+                b.to_string(),
+                lay.src.len().to_string(),
+                format!("{:.2}", lay.src.len() as f64 / n as f64),
+                format!("{:.2}", stats.tally.flops as f64 / 1e9),
+                format!("{:.4}", dev.kernel_time(&stats)),
+            ]);
+        }
+        println!("q = {q}:\n{}", t.render());
+    }
+    println!("expected: the padding factor (and with it the padded flop count)");
+    println!("grows with b/q; the modeled time optimum sits where padding waste");
+    println!("balances occupancy and coalescing.");
+}

@@ -1,0 +1,114 @@
+//! Figure 6 — GPU weak scaling.
+//!
+//! Paper: 1M uniform points per GPU, Laplace, 1–256 GPUs on Lincoln; the
+//! GPU/CPU configuration maintains ≈25× over CPU-only throughout, with
+//! 1.8–3 s per evaluation (256M points in 2.3 s ≈ 8 TFlop/s); GPU runs
+//! use deeper boxes (q ≈ 400) than CPU runs (q ≈ 100), each tuned for
+//! its architecture.
+//!
+//! Here: the GPU side comes from *real distributed* gpusim runs (62.5k
+//! points/rank, q = 400, one simulated device per rank, real LET exchange
+//! and hypercube reduce-and-scatter) at p = 1…8, extrapolated to 256 with
+//! the calibrated comm model; the CPU-only side from the real CPU FMM's
+//! *exact* flop counters (q = 100) converted at a 2009 CPU rate. That
+//! rate dominates the speedup number, so two assumptions are shown: the
+//! paper's §VI 0.5 Gflop/s (Kraken Stokes sustained) and a 2 Gflop/s
+//! SSE-tuned Laplace estimate for Lincoln's Harpertowns — the paper's
+//! ≈25× sits at the latter. The *shape* (flat speedup out to 256 GPUs)
+//! is rate-independent.
+
+use std::sync::Arc;
+
+use pfmm_bench::{run_case, Distribution, Table};
+use pfmm_core::distrib::{randomize_densities, uniform_cube};
+use pfmm_core::FmmConfig;
+use pfmm_gpusim::{run_gpu_fmm_distributed, DeviceSpec};
+use pfmm_kernels::Laplace;
+use pfmm_perfmodel::{FmmModel, MachineParams, Sample};
+
+fn main() {
+    // 62.5k/rank keeps every weak-scaling step away from the q=400 leaf
+    // split threshold (N/512 ≈ 400 at N ≈ 205k): crossing it mid-series
+    // mixes leaf levels and adds host-side W/X work that the paper's
+    // pure-uniform runs do not have.
+    let per_rank = 62_500;
+    let order = 4;
+    let q_gpu = 400; // paper: ~400 points/box for GPU runs
+    let q_cpu = 100; // paper: ~100 points/box for CPU runs
+    println!("Figure 6 reproduction: GPU weak scaling, Laplace, {per_rank} pts/rank\n");
+
+    // GPU side: real distributed gpusim runs at the GPU-tuned q.
+    let dev = DeviceSpec::tesla_s1070();
+    let mut per_rank_gpu = std::collections::BTreeMap::new();
+    for p in [1usize, 2, 4, 8] {
+        let mut pts = uniform_cube(per_rank * p, 5, 0);
+        randomize_densities(&mut pts, 1, 6);
+        let reports = run_gpu_fmm_distributed(p, pts, q_gpu, order, &dev, false);
+        let max_gpu = reports.iter().map(|r| r.total_gpu()).fold(0.0f64, f64::max);
+        per_rank_gpu.insert(p, max_gpu);
+        println!(
+            "measured p={p}: max per-rank device time {:.3}s (reduce-scatter wall {:.4}s)",
+            max_gpu,
+            reports.iter().map(|r| r.comm_wall_secs).fold(0.0f64, f64::max),
+        );
+    }
+    let gpu_time_at = |p: usize| -> f64 {
+        // Use the measured value where available, else the largest
+        // measured (weak scaling: per-rank device work is flat).
+        *per_rank_gpu
+            .range(..=p)
+            .next_back()
+            .map(|(_, v)| v)
+            .expect("p >= 1")
+    };
+
+    // CPU side: exact flop counters of the real CPU FMM at the CPU-tuned q.
+    let cfg = FmmConfig { order, q: q_cpu, ..Default::default() };
+    let cpu_run = run_case(Arc::new(Laplace), cfg, Distribution::Uniform, per_rank, 1, 5);
+    let cpu_flops = cpu_run.profiles[0].total_flops() as f64;
+    let cpu_rates = [("0.5 GF/s", 0.5e9), ("2 GF/s", 2.0e9)];
+    println!(
+        "CPU-only flops/rank {:.2e} -> {:.1}s @0.5GF/s, {:.1}s @2GF/s",
+        cpu_flops,
+        cpu_flops / cpu_rates[0].1,
+        cpu_flops / cpu_rates[1].1,
+    );
+
+    // Communication calibration from real distributed CPU runs.
+    let mut samples: Vec<Sample> = Vec::new();
+    for p in [2usize, 4, 8] {
+        let s = run_case(Arc::new(Laplace), cfg, Distribution::Uniform, per_rank * p, p, 11);
+        samples.push(s.to_sample());
+    }
+    let model = FmmModel::fit(MachineParams::lincoln(), &samples);
+
+    let mut t = Table::new(&[
+        "GPUs",
+        "N",
+        "CPU-only@0.5 (s)",
+        "CPU-only@2 (s)",
+        "GPU/CPU (s)",
+        "speedup@0.5",
+        "speedup@2",
+    ]);
+    for p in [1usize, 4, 16, 64, 256] {
+        let n = (per_rank * p) as f64;
+        let comm = model.predict(n, p as f64).comm;
+        let t_cpu_a = cpu_flops / cpu_rates[0].1 + comm;
+        let t_cpu_b = cpu_flops / cpu_rates[1].1 + comm;
+        let t_gpu = gpu_time_at(p) + comm;
+        t.row(vec![
+            p.to_string(),
+            format!("{:.1e}", n),
+            format!("{:.2}", t_cpu_a),
+            format!("{:.2}", t_cpu_b),
+            format!("{:.2}", t_gpu),
+            format!("{:.1}x", t_cpu_a / t_gpu),
+            format!("{:.1}x", t_cpu_b / t_gpu),
+        ]);
+    }
+    println!("\n{}", t.render());
+    println!("paper reference: >25x speedup maintained through 256 GPUs; 1.8-3s per");
+    println!("GPU evaluation; 256M points in 2.3s. The speedup columns should stay");
+    println!("roughly flat with p (communication is shared by both configurations).");
+}

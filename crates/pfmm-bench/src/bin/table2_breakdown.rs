@@ -1,0 +1,91 @@
+//! Table II — per-phase Max/Avg time and flops.
+//!
+//! Paper: 65,536 Kraken ranks, nonuniform distribution, 150k points/rank
+//! (30 billion Stokes unknowns), tree spanning levels 2–27; per-phase
+//! maximum and average wall-clock and flops; setup 27 s of which 15 s is
+//! the sort.
+//!
+//! Here: the same table at harness scale (16 ranks, nonuniform Stokes),
+//! flops exact, times modeled at 2009 rates; plus the model-extrapolated
+//! evaluation time at the paper's full scale.
+
+use std::sync::Arc;
+
+use pfmm_bench::{modeled_rank_secs, run_case, Distribution, Table};
+use pfmm_core::{FmmConfig, Phase};
+use pfmm_kernels::Stokes;
+use pfmm_perfmodel::{FmmModel, MachineParams};
+
+fn main() {
+    let p = 16;
+    let per_rank = 5_000;
+    let cfg = FmmConfig { order: 4, q: 100, ..Default::default() };
+    println!(
+        "Table II reproduction: nonuniform, Stokes, p = {p}, {per_rank} pts/rank\n"
+    );
+    let s = run_case(Arc::new(Stokes::default()), cfg, Distribution::Ellipsoid, per_rank * p, p, 7);
+
+    let modeled: Vec<[f64; 7]> = s
+        .profiles
+        .iter()
+        .zip(&s.comm_reduce)
+        .map(|(pr, cr)| modeled_rank_secs(pr, cr, p))
+        .collect();
+
+    let mut t = Table::new(&["Event", "Max. Time", "Avg. Time", "Max. Flops", "Avg. Flops"]);
+    let totals: Vec<f64> = modeled.iter().map(|m| m.iter().sum()).collect();
+    let tot_flops: Vec<u64> = s.profiles.iter().map(|pr| pr.total_flops()).collect();
+    t.row(vec![
+        "Total eval".into(),
+        format!("{:.2e}", totals.iter().copied().fold(0.0, f64::max)),
+        format!("{:.2e}", totals.iter().sum::<f64>() / p as f64),
+        format!("{:.2e}", *tot_flops.iter().max().expect("ranks") as f64),
+        format!("{:.2e}", tot_flops.iter().sum::<u64>() as f64 / p as f64),
+    ]);
+    for ph in Phase::ALL {
+        let secs: Vec<f64> = modeled.iter().map(|m| m[ph as usize]).collect();
+        let flops: Vec<u64> = s.profiles.iter().map(|pr| pr.flops(ph)).collect();
+        t.row(vec![
+            ph.label().into(),
+            format!("{:.2e}", secs.iter().copied().fold(0.0, f64::max)),
+            format!("{:.2e}", secs.iter().sum::<f64>() / p as f64),
+            format!("{:.2e}", *flops.iter().max().expect("ranks") as f64),
+            format!("{:.2e}", flops.iter().sum::<u64>() as f64 / p as f64),
+        ]);
+    }
+    // Comp = everything but Comm.
+    let comp: Vec<f64> = modeled
+        .iter()
+        .map(|m| m.iter().sum::<f64>() - m[Phase::Comm as usize])
+        .collect();
+    t.row(vec![
+        "Comp".into(),
+        format!("{:.2e}", comp.iter().copied().fold(0.0, f64::max)),
+        format!("{:.2e}", comp.iter().sum::<f64>() / p as f64),
+        format!("{:.2e}", *tot_flops.iter().max().expect("ranks") as f64),
+        format!("{:.2e}", tot_flops.iter().sum::<u64>() as f64 / p as f64),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "tree: {} global leaves, levels {}..{} (paper: levels 2..27)",
+        s.info.global_leaves, s.info.min_leaf_level, s.info.max_leaf_level
+    );
+    println!(
+        "setup: max {:.2e}s of which sort {:.2e}s (paper: 27s, 15s in sort)\n",
+        s.max_setup(),
+        s.max_sort()
+    );
+
+    // Extrapolation to the paper's operating point.
+    let model = FmmModel::fit(MachineParams::kraken(), &[s.to_sample()]);
+    let pr = model.predict(150_000.0 * 65536.0, 65536.0);
+    println!(
+        "model at the paper's point (150k pts/rank x 65536 ranks):\n  setup {:.1}s (sort {:.1}s)  evaluation {:.1}s  comm {:.1}s",
+        pr.setup(),
+        pr.sort,
+        pr.evaluation(),
+        pr.comm
+    );
+    println!("paper reference: total eval max 1.37e+02s avg 1.20e+02s; comm 8.83e+00s;");
+    println!("U/V lists each ~40% of compute flops, W/X ~10% each.");
+}

@@ -1,0 +1,391 @@
+//! `pfmm` — command-line driver for the FMM library.
+//!
+//! Subcommands:
+//!
+//! - `run` — evaluate an N-body sum and report per-phase profile, tree
+//!   shape, and (optionally) the sampled error vs the direct sum;
+//! - `tune` — sweep points-per-box candidates and report the optimum;
+//! - `gpu` — run the §IV GPU pipeline on the simulated device and report
+//!   modeled per-phase times and speedup.
+//!
+//! Run `pfmm help` for the options of each.
+
+mod args;
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use args::Args;
+use pfmm_core::distrib::{ellipsoid_1_1_4, plummer, randomize_densities, uniform_cube};
+use pfmm_core::driver::gather_potentials;
+use pfmm_core::profile::{Phase, ProfileSummary};
+use pfmm_core::tune::tune_sweep;
+use pfmm_core::verify::sampled_rel_error;
+use pfmm_core::{Fmm, FmmConfig, M2lMode, Reduction, SortKind};
+use pfmm_gpusim::{run_gpu_fmm, run_gpu_fmm_wx, DeviceSpec, GpuPhase};
+use pfmm_kernels::{Kernel, Laplace, LaplaceDipole, Stokes, Yukawa};
+use pfmm_tree::PointRec;
+
+const HELP: &str = "\
+pfmm — parallel kernel-independent fast multipole method
+
+USAGE: pfmm <run|tune|gpu|solve|help> [--key value]...
+
+common options:
+  --n <int>            points (default 20000)
+  --dist <uniform|ellipsoid|plummer>  particle distribution (default uniform)
+  --kernel <laplace|stokes|yukawa|dipole>  (default laplace; run/tune only)
+  --order <int>        surface order: accuracy (default 6)
+  --q <int>            max points per leaf (default 100)
+  --seed <int>         RNG seed (default 1)
+
+run options:
+  --ranks <int>        simulated MPI ranks (default 1)
+  --threads <int>      intra-rank threads for the parallel phases (default 1)
+  --m2l <fft|dense>    V-list mode (default fft)
+  --sort <sample|bitonic>      parallel sort backend (default sample)
+  --reduction <auto|hypercube|naive>  up-density reduction (default auto)
+  --balance <true|false>       work-weighted repartition (default true)
+  --check <int>        verify every k-th point against the direct sum
+                       (0 = skip; default 0)
+
+tune options:
+  --candidates <q1,q2,...>     candidate q values (default 32,64,128,256,512)
+  --sample <int>       subsample size for probing (default n/4)
+
+gpu options:
+  --gpu-q <int>        points per box on the device (default 400)
+  --wx-on-gpu <true|false>     run W/X on the device too (default false)
+
+solve options (second-kind system (I + c·K)σ = b, GMRES over one plan):
+  --ranks <int>        simulated MPI ranks (default 2)
+  --scale <float>      the coupling c (default 1/n)
+  --tol <float>        GMRES relative tolerance (default 1e-10)
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        print!("{HELP}");
+        return ExitCode::SUCCESS;
+    }
+    match dispatch(argv.into_iter()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\nrun `pfmm help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const KNOWN_FLAGS: &[&str] = &[
+    "n", "dist", "kernel", "order", "q", "seed", "ranks", "threads", "m2l", "sort",
+    "reduction", "balance", "check", "candidates", "sample", "gpu-q", "wx-on-gpu",
+    "scale", "tol",
+];
+
+fn dispatch(argv: impl Iterator<Item = String>) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    if let Some(unknown) = args.keys().find(|k| !KNOWN_FLAGS.contains(k)) {
+        return Err(format!("unknown option --{unknown}"));
+    }
+    match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "tune" => cmd_tune(&args),
+        "gpu" => cmd_gpu(&args),
+        "solve" => cmd_solve(&args),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn kernel_of(args: &Args) -> Result<Arc<dyn Kernel>, String> {
+    Ok(match args.get("kernel").unwrap_or("laplace") {
+        "laplace" => Arc::new(Laplace),
+        "stokes" => Arc::new(Stokes::default()),
+        "yukawa" => Arc::new(Yukawa::default()),
+        "dipole" => Arc::new(LaplaceDipole),
+        other => return Err(format!("unknown kernel '{other}'")),
+    })
+}
+
+fn points_of(args: &Args, kdim: usize) -> Result<Vec<PointRec>, String> {
+    let n: usize = args.get_or("n", 20_000)?;
+    let seed: u64 = args.get_or("seed", 1)?;
+    let mut pts = match args.get("dist").unwrap_or("uniform") {
+        "uniform" => uniform_cube(n, seed, 0),
+        "ellipsoid" => ellipsoid_1_1_4(n, seed, 0),
+        "plummer" => plummer(n, seed, 0),
+        other => return Err(format!("unknown distribution '{other}'")),
+    };
+    randomize_densities(&mut pts, kdim, seed ^ 0x5a5a);
+    Ok(pts)
+}
+
+fn config_of(args: &Args) -> Result<FmmConfig, String> {
+    Ok(FmmConfig {
+        order: args.get_or("order", 6)?,
+        q: args.get_or("q", 100)?,
+        m2l: match args.get("m2l").unwrap_or("fft") {
+            "fft" => M2lMode::Fft,
+            "dense" => M2lMode::Dense,
+            other => return Err(format!("unknown m2l mode '{other}'")),
+        },
+        balance: args.get_or("balance", true)?,
+        reduction: match args.get("reduction").unwrap_or("auto") {
+            "auto" => Reduction::Auto,
+            "hypercube" => Reduction::Hypercube,
+            "naive" => Reduction::Naive,
+            other => return Err(format!("unknown reduction '{other}'")),
+        },
+        threads: args.get_or("threads", 1)?,
+        sort: match args.get("sort").unwrap_or("sample") {
+            "sample" => SortKind::Sample,
+            "bitonic" => SortKind::Bitonic,
+            other => return Err(format!("unknown sort backend '{other}'")),
+        },
+        ..Default::default()
+    })
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let kernel = kernel_of(args)?;
+    let cfg = config_of(args)?;
+    let ranks: usize = args.get_or("ranks", 1)?;
+    let check: usize = args.get_or("check", 0)?;
+    let kd = kernel.source_dim();
+    let td = kernel.target_dim();
+    let pts = points_of(args, kd)?;
+    println!(
+        "run: {} points, kernel {}, order {}, q {}, p {}, threads {}",
+        pts.len(),
+        kernel.name(),
+        cfg.order,
+        cfg.q,
+        ranks,
+        cfg.threads
+    );
+
+    let fmm = Fmm::new(kernel.clone(), cfg);
+    let out = pfmm_mpisim::run(ranks, |c| {
+        let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(ranks).copied().collect();
+        let res = fmm.evaluate(c, mine);
+        (res.profile.clone(), res.info, gather_potentials(c, &res, td))
+    });
+
+    let profiles: Vec<_> = out.iter().map(|(p, _, _)| p.clone()).collect();
+    let info = out[0].1;
+    println!(
+        "tree: {} leaves, levels {}..{}",
+        info.global_leaves, info.min_leaf_level, info.max_leaf_level
+    );
+    println!("{}", ProfileSummary::from_ranks(&profiles).render());
+    let total_flops: u64 = profiles.iter().map(|p| p.total_flops()).sum();
+    println!("total flops: {:.3e}", total_flops as f64);
+
+    if check > 0 {
+        let err = sampled_rel_error(kernel.as_ref(), &pts, &out[0].2, check);
+        println!("sampled relative l2 error vs direct sum (stride {check}): {err:.3e}");
+    }
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), String> {
+    let kernel = kernel_of(args)?;
+    let cfg = config_of(args)?;
+    let pts = points_of(args, kernel.source_dim())?;
+    let candidates: Vec<usize> = args
+        .get("candidates")
+        .unwrap_or("32,64,128,256,512")
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad candidate '{s}'")))
+        .collect::<Result<_, _>>()?;
+    let sample: usize = args.get_or("sample", pts.len() / 4)?;
+    println!(
+        "tune: {} candidates on a {}-point subsample ({} total)",
+        candidates.len(),
+        sample.min(pts.len()),
+        pts.len()
+    );
+    let sweep = tune_sweep(
+        |q| Fmm::new(kernel.clone(), FmmConfig { q, ..cfg }),
+        &pts,
+        &candidates,
+        sample,
+    );
+    println!("{:>8} {:>12} {:>14}", "q", "wall (s)", "modeled (s)");
+    for t in &sweep {
+        println!("{:>8} {:>12.4} {:>14.4}", t.q, t.wall_secs, t.modeled_secs);
+    }
+    let best = sweep
+        .iter()
+        .min_by(|a, b| a.wall_secs.partial_cmp(&b.wall_secs).expect("finite"))
+        .expect("candidates nonempty");
+    println!("best (measured): q = {}", best.q);
+    Ok(())
+}
+
+fn cmd_gpu(args: &Args) -> Result<(), String> {
+    let order: usize = args.get_or("order", 4)?;
+    let q: usize = args.get_or("gpu-q", 400)?;
+    let wx: bool = args.get_or("wx-on-gpu", false)?;
+    let pts = points_of(args, 1)?;
+    let dev = DeviceSpec::tesla_s1070();
+    println!(
+        "gpu: {} points on {} (order {order}, q {q}, W/X on GPU: {wx})",
+        pts.len(),
+        dev.name
+    );
+    let rep = if wx {
+        run_gpu_fmm_wx(pts, q, order, &dev, true)
+    } else {
+        run_gpu_fmm(pts, q, order, &dev, true)
+    };
+    println!("{:<14} {:>12} {:>12}", "phase", "GPU/CPU (s)", "CPU-only (s)");
+    for (i, ph) in GpuPhase::ALL.iter().enumerate() {
+        println!("{:<14} {:>12.4} {:>12.4}", ph.label(), rep.gpu_secs[i], rep.cpu2009_secs[i]);
+    }
+    println!("{:<14} {:>12.4}", "PCIe transfer", rep.transfer_secs);
+    println!("{:<14} {:>12.4} {:>12.4}", "total", rep.total_gpu(), rep.total_cpu2009());
+    println!("layout translation (host): {:.4}s", rep.translate_secs);
+    println!("modeled speedup: {:.1}x", rep.speedup());
+    println!("f32 pipeline error vs f64: {:.2e}", rep.rel_err_vs_f64);
+    let _ = Phase::ALL; // re-exported set used by `run`
+    Ok(())
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    use pfmm_core::solve::solve_second_kind;
+    let kernel = kernel_of(args)?;
+    if kernel.source_dim() != kernel.target_dim() {
+        return Err("solve needs a square kernel (laplace/stokes/yukawa)".into());
+    }
+    let cfg = config_of(args)?;
+    let ranks: usize = args.get_or("ranks", 2)?;
+    let pts = points_of(args, kernel.source_dim())?;
+    let n = pts.len();
+    let scale: f64 = args.get_or("scale", 1.0 / n as f64)?;
+    let tol: f64 = args.get_or("tol", 1e-10)?;
+    println!(
+        "solve: (I + {scale:.2e}·K)σ = b, kernel {}, {} points, p {ranks}",
+        kernel.name(),
+        n
+    );
+    let kd = kernel.source_dim();
+    let fmm = Fmm::new(kernel, cfg);
+    let outs = pfmm_mpisim::run(ranks, |c| {
+        let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(ranks).copied().collect();
+        let mut plan = fmm.plan(c, mine);
+        let b: Vec<f64> = plan
+            .owned_gids()
+            .iter()
+            .flat_map(|g| (0..kd).map(move |d| 1.0 + ((*g as f64 + d as f64) * 0.013).sin()))
+            .collect();
+        match solve_second_kind(&fmm, c, &mut plan, &b, scale, tol, 200) {
+            Ok((_, rep)) => (true, rep.matvecs, rep.final_residual()),
+            Err(rep) => (false, rep.matvecs, rep.final_residual()),
+        }
+    });
+    let (ok, matvecs, res) = outs[0];
+    if ok {
+        println!("converged in {matvecs} FMM applications, residual {res:.2e}");
+        Ok(())
+    } else {
+        Err(format!("GMRES stalled after {matvecs} applications at residual {res:.2e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn kernel_selection() {
+        assert_eq!(kernel_of(&args(&["run"])).expect("default").name(), "laplace");
+        assert_eq!(
+            kernel_of(&args(&["run", "--kernel", "yukawa"])).expect("yukawa").name(),
+            "yukawa"
+        );
+        assert!(kernel_of(&args(&["run", "--kernel", "nope"])).is_err());
+    }
+
+    #[test]
+    fn config_round_trips() {
+        let cfg = config_of(&args(&[
+            "run", "--order", "4", "--q", "33", "--m2l", "dense", "--sort", "bitonic",
+            "--reduction", "naive", "--threads", "3", "--balance", "false",
+        ]))
+        .expect("valid");
+        assert_eq!(cfg.order, 4);
+        assert_eq!(cfg.q, 33);
+        assert_eq!(cfg.m2l, M2lMode::Dense);
+        assert_eq!(cfg.sort, SortKind::Bitonic);
+        assert_eq!(cfg.reduction, Reduction::Naive);
+        assert_eq!(cfg.threads, 3);
+        assert!(!cfg.balance);
+    }
+
+    #[test]
+    fn run_command_end_to_end() {
+        // Small end-to-end exercise through the real dispatcher.
+        dispatch(
+            ["run", "--n", "1500", "--order", "4", "--q", "40", "--ranks", "2", "--check", "97"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .expect("run succeeds");
+    }
+
+    #[test]
+    fn bad_distribution_is_an_error() {
+        assert!(dispatch(["run", "--dist", "torus"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn solve_command_end_to_end() {
+        dispatch(
+            ["solve", "--n", "1200", "--order", "4", "--q", "40", "--ranks", "2"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .expect("solve succeeds");
+    }
+
+    #[test]
+    fn plummer_distribution_accepted() {
+        dispatch(
+            ["run", "--n", "900", "--dist", "plummer", "--order", "4", "--q", "30"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .expect("plummer run succeeds");
+    }
+
+    #[test]
+    fn gpu_command_end_to_end() {
+        dispatch(
+            ["gpu", "--n", "1500", "--order", "4", "--gpu-q", "150", "--wx-on-gpu", "true"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .expect("gpu succeeds");
+    }
+
+    #[test]
+    fn tune_command_end_to_end() {
+        dispatch(
+            ["tune", "--n", "1500", "--order", "4", "--candidates", "20,200", "--sample", "700"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .expect("tune succeeds");
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(dispatch(["run", "--frobnicate", "1"].iter().map(|s| s.to_string())).is_err());
+    }
+}

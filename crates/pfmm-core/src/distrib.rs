@@ -1,0 +1,166 @@
+//! The paper's two particle distributions (§V): uniform random sampling
+//! of the unit cube, and points on the surface of a 1:1:4 ellipsoid
+//! ("uniform distribution of angle spacing in spherical coordinates"),
+//! which produces the highly adaptive trees of the nonuniform
+//! experiments.
+
+use pfmm_tree::PointRec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform random points in the unit cube, unit scalar density.
+pub fn uniform_cube(n: usize, seed: u64, gid_base: u64) -> Vec<PointRec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            PointRec::scalar(
+                [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+                1.0,
+                gid_base + i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Points on a 1:1:4 ellipsoid surface with uniform angular spacing —
+/// the paper's nonuniform distribution. The ellipsoid is inscribed in the
+/// unit cube (semi-axes 0.12 : 0.12 : 0.48 around the center), so points
+/// cluster heavily at the poles and the octree becomes deep and
+/// unbalanced.
+pub fn ellipsoid_1_1_4(n: usize, seed: u64, gid_base: u64) -> Vec<PointRec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let theta: f64 = rng.random::<f64>() * std::f64::consts::PI;
+            let phi: f64 = rng.random::<f64>() * 2.0 * std::f64::consts::PI;
+            let x = 0.5 + 0.12 * theta.sin() * phi.cos();
+            let y = 0.5 + 0.12 * theta.sin() * phi.sin();
+            let z = 0.5 + 0.48 * theta.cos();
+            PointRec::scalar(
+                [x.clamp(0.0, 0.999_999), y.clamp(0.0, 0.999_999), z.clamp(0.0, 0.999_999)],
+                1.0,
+                gid_base + i as u64,
+            )
+        })
+        .collect()
+}
+
+/// A Plummer-model cluster (the standard astrophysical N-body density,
+/// `ρ(r) ∝ (1 + r²/a²)^{-5/2}`), scaled and clipped into the unit cube —
+/// a third adaptivity profile between the paper's two: radially
+/// concentrated like the ellipsoid poles but volumetric like the cube.
+pub fn plummer(n: usize, seed: u64, gid_base: u64) -> Vec<PointRec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = 0.05; // core radius in cube units
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0u64;
+    while out.len() < n {
+        // Inverse-CDF sample of the Plummer radius.
+        let m: f64 = rng.random::<f64>() * 0.999 + 1e-9;
+        let r = a / (m.powf(-2.0 / 3.0) - 1.0).sqrt();
+        let cos_t: f64 = rng.random::<f64>() * 2.0 - 1.0;
+        let sin_t = (1.0 - cos_t * cos_t).sqrt();
+        let phi: f64 = rng.random::<f64>() * 2.0 * std::f64::consts::PI;
+        let p = [
+            0.5 + r * sin_t * phi.cos(),
+            0.5 + r * sin_t * phi.sin(),
+            0.5 + r * cos_t,
+        ];
+        // The Plummer profile has unbounded support; clip the rare far
+        // tail to keep everything in the cube.
+        if p.iter().all(|c| (0.0..1.0).contains(c)) {
+            out.push(PointRec::scalar(p, 1.0, gid_base + i));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Attach random densities in `[-1, 1)` (per used component) to existing
+/// points — evaluation inputs with sign changes exercise cancellation.
+pub fn randomize_densities(pts: &mut [PointRec], kdim: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for p in pts {
+        for d in 0..3 {
+            p.den[d] = if d < kdim { rng.random::<f64>() * 2.0 - 1.0 } else { 0.0 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_cube() {
+        let pts = uniform_cube(1000, 1, 0);
+        assert_eq!(pts.len(), 1000);
+        for p in &pts {
+            for d in 0..3 {
+                assert!(p.pos[d] >= 0.0 && p.pos[d] < 1.0);
+            }
+        }
+        // gids unique and sequential.
+        assert_eq!(pts[999].gid, 999);
+    }
+
+    #[test]
+    fn ellipsoid_on_surface() {
+        let pts = ellipsoid_1_1_4(1000, 2, 0);
+        for p in &pts {
+            let dx = (p.pos[0] - 0.5) / 0.12;
+            let dy = (p.pos[1] - 0.5) / 0.12;
+            let dz = (p.pos[2] - 0.5) / 0.48;
+            let r = dx * dx + dy * dy + dz * dz;
+            assert!((r - 1.0).abs() < 1e-9, "on the ellipsoid surface");
+        }
+    }
+
+    #[test]
+    fn ellipsoid_is_nonuniform() {
+        // Pole clustering: the top and bottom z-slabs hold far more
+        // points than a uniform surface density would give them.
+        let pts = ellipsoid_1_1_4(4000, 3, 0);
+        let near_poles = pts
+            .iter()
+            .filter(|p| (p.pos[2] - 0.5).abs() > 0.45)
+            .count();
+        assert!(near_poles > 400, "angular spacing piles points at the poles: {near_poles}");
+    }
+
+    #[test]
+    fn densities_randomized_only_in_kdim() {
+        let mut pts = uniform_cube(10, 4, 0);
+        randomize_densities(&mut pts, 1, 9);
+        for p in &pts {
+            assert!(p.den[0] != 1.0);
+            assert_eq!(p.den[1], 0.0);
+            assert_eq!(p.den[2], 0.0);
+        }
+    }
+
+    #[test]
+    fn plummer_is_centrally_concentrated() {
+        let pts = plummer(4000, 11, 0);
+        assert_eq!(pts.len(), 4000);
+        let r2 = |p: &crate::distrib::PointRec| {
+            (p.pos[0] - 0.5).powi(2) + (p.pos[1] - 0.5).powi(2) + (p.pos[2] - 0.5).powi(2)
+        };
+        let inside_core = pts.iter().filter(|p| r2(p) < 0.05f64.powi(2)).count();
+        // Half the mass lies within ~1.3 core radii for a Plummer model.
+        assert!(inside_core > 800, "core concentration: {inside_core}");
+        for p in &pts {
+            for c in p.pos {
+                assert!((0.0..1.0).contains(&c));
+            }
+        }
+        // gids sequential despite rejection sampling.
+        assert_eq!(pts.last().expect("nonempty").gid, 3999);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(uniform_cube(5, 7, 0), uniform_cube(5, 7, 0));
+        assert_ne!(uniform_cube(5, 7, 0), uniform_cube(5, 8, 0));
+    }
+}

@@ -1,0 +1,465 @@
+//! The evaluation phases of Algorithm 1, shared by [`Fmm::evaluate`] and
+//! the reusable [`crate::plan::FmmPlan`].
+//!
+//! [`EvalData`] caches the per-leaf point geometry and level buckets of a
+//! LET; [`run_phases`] executes S2U, U2U, the reduce-and-scatter, V, X,
+//! D2D + D2T, W and the direct U-list against it, accumulating per-phase
+//! times and flops. The densities live in `EvalData` and can be replaced
+//! between runs without rebuilding anything else.
+//!
+//! With `FmmConfig::threads > 1` the per-octant phases (S2U, V, X, D2T,
+//! W, U — the set §IV of the paper identifies as parallel) fan out over a
+//! host thread pool via [`crate::par`]. The U2U/D2D traversals default to
+//! the paper's sequential form; `FmmConfig::traversal_threads > 1` enables
+//! the level-synchronous parallel variant the paper lists as unexploited
+//! future work ("the U2U and D2D steps can be also executed in
+//! parallel").
+
+use std::sync::Arc;
+
+use pfmm_fft::Complex;
+use pfmm_kernels::{direct_eval, Point3};
+use pfmm_mpisim::{Comm, CommStats};
+use pfmm_morton::MortonKey;
+use pfmm_tree::{Let, Lists};
+
+use crate::driver::{Fmm, M2lMode, Reduction};
+use crate::par::{par_map, par_windows};
+use crate::profile::{Phase, Profile};
+use crate::reduce::{reduce_scatter_hypercube, reduce_scatter_naive};
+
+/// Per-LET evaluation workspace: leaf geometry, packed densities, and the
+/// level ordering of the up/down traversals.
+pub struct EvalData {
+    /// Positions per octant (nonempty only for point-carrying leaves).
+    pub leaf_pos: Vec<Vec<Point3>>,
+    /// Packed densities per octant, `source_dim` per point.
+    pub leaf_den: Vec<Vec<f64>>,
+    /// Local octant indices grouped by level.
+    pub by_level: Vec<Vec<u32>>,
+    /// Deepest level present in the LET.
+    pub max_level: u32,
+}
+
+impl EvalData {
+    /// Extract the evaluation workspace from a LET; densities are taken
+    /// from the point records (replace them later via `leaf_den`).
+    pub fn new(l: &Let, sd: usize) -> EvalData {
+        let noct = l.len();
+        let mut leaf_pos: Vec<Vec<Point3>> = vec![Vec::new(); noct];
+        let mut leaf_den: Vec<Vec<f64>> = vec![Vec::new(); noct];
+        for i in 0..noct {
+            let pts = l.points_of(i);
+            if pts.is_empty() {
+                continue;
+            }
+            leaf_pos[i] = pts.iter().map(|p| p.pos).collect();
+            let mut den = Vec::with_capacity(pts.len() * sd);
+            for p in pts {
+                den.extend_from_slice(&p.den[..sd]);
+            }
+            leaf_den[i] = den;
+        }
+        let max_level = l.octs.iter().map(|o| o.level()).max().unwrap_or(0);
+        let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize + 1];
+        for i in 0..noct {
+            if l.local[i] {
+                by_level[l.octs[i].level() as usize].push(i as u32);
+            }
+        }
+        EvalData { leaf_pos, leaf_den, by_level, max_level }
+    }
+}
+
+/// Offset of the target `beta` relative to the source `alpha` in units of
+/// the octant side — the argument convention of `Ops::m2l` and
+/// `FftM2l::kernel_spectrum` (both build the operator with the source
+/// centered at the origin and the target displaced by `offset · 2r`).
+fn offset_of(alpha: &MortonKey, beta: &MortonKey) -> [i8; 3] {
+    debug_assert_eq!(alpha.level(), beta.level());
+    let cu = beta.cell_units() as i64;
+    let a = alpha.anchor();
+    let b = beta.anchor();
+    [
+        ((b[0] as i64 - a[0] as i64) / cu) as i8,
+        ((b[1] as i64 - a[1] as i64) / cu) as i8,
+        ((b[2] as i64 - a[2] as i64) / cu) as i8,
+    ]
+}
+
+/// Execute the FMM evaluation phases. Returns the potentials packed
+/// `target_dim` per point, aligned with `l`'s point storage, plus the
+/// Comm-phase traffic delta.
+pub fn run_phases(
+    fmm: &Fmm,
+    c: &Comm,
+    l: &Let,
+    lists: &Lists,
+    data: &EvalData,
+    prof: &mut Profile,
+) -> (Vec<f64>, CommStats) {
+    let kernel = fmm.kernel();
+    let ops = fmm.ops();
+    let fft = fmm.fft();
+    let cfg = fmm.config();
+    let threads = cfg.threads.max(1);
+    let sd = kernel.source_dim();
+    let td = kernel.target_dim();
+    let noct = l.len();
+    let ulen = ops.density_len();
+    let clen = ops.check_len();
+    let leaf_pos = &data.leaf_pos;
+    let leaf_den = &data.leaf_den;
+    let by_level = &data.by_level;
+    let max_level = data.max_level;
+    let flops_pair = kernel.flops_per_pair();
+
+    let mut u = vec![0.0f64; noct * ulen];
+    let mut has_up = vec![false; noct];
+
+    // (1) S2U and (2) U2U — the upward pass. S2U is per-leaf parallel.
+    prof.timed(Phase::Upward, |prof| {
+        let flops = par_windows(threads, noct, &mut u, &|i| i * ulen, |range, window, base| {
+            let mut fl = 0u64;
+            let mut ucheck = vec![0.0f64; clen];
+            for i in range {
+                if !l.owned[i] || leaf_pos[i].is_empty() {
+                    continue;
+                }
+                let key = l.octs[i];
+                let uc = ops.up_check_surface(&key.center(), key.radius());
+                ucheck.fill(0.0);
+                direct_eval(kernel, &uc, &leaf_pos[i], &leaf_den[i], &mut ucheck);
+                let (m, s) = ops.uc2e(key.level());
+                m.matvec_acc_scaled(&ucheck, &mut window[i * ulen - base..(i + 1) * ulen - base], s);
+                fl += leaf_pos[i].len() as u64 * uc.len() as u64 * flops_pair
+                    + 2 * (ulen * clen) as u64;
+            }
+            fl
+        });
+        prof.add_flops(Phase::Upward, flops);
+        for i in 0..noct {
+            has_up[i] = l.owned[i] && !leaf_pos[i].is_empty();
+        }
+        // U2U, level-synchronous. The paper keeps this sequential ("the
+        // U2U and D2D steps can be also executed in parallel using Euler
+        // tours ... our current implementation does not support such
+        // parallelism"); with `traversal_threads > 1` we implement that
+        // future work level by level: child contributions are computed in
+        // parallel into a disjoint staging buffer, then scatter-added to
+        // the parents (the cheap, conflict-carrying part) sequentially.
+        let tt = cfg.traversal_threads.max(1);
+        for level in (1..=max_level).rev() {
+            let active: Vec<usize> = by_level[level as usize]
+                .iter()
+                .map(|&iu| iu as usize)
+                .filter(|&i| has_up[i])
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let u_ro = &u;
+            let contribs: Vec<(usize, Vec<f64>)> = crate::par::par_map(tt, &active, |i| {
+                let key = l.octs[i];
+                let parent = key.parent().expect("level >= 1");
+                let pi = l.find(&parent).expect("parent of a local octant is local");
+                let (m, s) = ops.u2u(level, key.child_index());
+                let mut contrib = vec![0.0f64; ulen];
+                m.matvec_acc_scaled(&u_ro[i * ulen..(i + 1) * ulen], &mut contrib, s);
+                (pi, contrib)
+            });
+            for (pi, contrib) in contribs {
+                for (a, b) in u[pi * ulen..(pi + 1) * ulen].iter_mut().zip(&contrib) {
+                    *a += b;
+                }
+                has_up[pi] = true;
+                prof.add_flops(Phase::Upward, 2 * (ulen * ulen) as u64);
+            }
+        }
+    });
+
+    // Reduce-and-scatter of shared upward densities (Algorithm 3).
+    let comm_before = c.stats();
+    prof.timed(Phase::Comm, |_| {
+        if c.size() > 1 {
+            let hypercube = match cfg.reduction {
+                Reduction::Auto => c.size().is_power_of_two(),
+                Reduction::Hypercube => true,
+                Reduction::Naive => false,
+            };
+            if hypercube {
+                reduce_scatter_hypercube(c, l, ulen, &mut u);
+            } else {
+                reduce_scatter_naive(c, l, ulen, &mut u);
+            }
+        }
+    });
+    let comm_after = c.stats();
+    let comm_reduce = CommStats {
+        sent_msgs: comm_after.sent_msgs - comm_before.sent_msgs,
+        sent_bytes: comm_after.sent_bytes - comm_before.sent_bytes,
+        recv_msgs: comm_after.recv_msgs - comm_before.recv_msgs,
+        recv_bytes: comm_after.recv_bytes - comm_before.recv_bytes,
+    };
+    // Ghost densities may have arrived: refresh occupancy.
+    for i in 0..noct {
+        if !has_up[i] {
+            has_up[i] = u[i * ulen..(i + 1) * ulen].iter().any(|&v| v != 0.0);
+        }
+    }
+    let u = &u; // read-only from here on
+    let has_up = &has_up;
+
+    let mut dcheck = vec![0.0f64; noct * clen];
+
+    // (3a) V-list, parallel over target octants.
+    prof.timed(Phase::VList, |prof| match cfg.m2l {
+        M2lMode::Dense => {
+            let flops =
+                par_windows(threads, noct, &mut dcheck, &|i| i * clen, |range, window, base| {
+                    let mut fl = 0u64;
+                    for bi in range {
+                        if !l.local[bi] {
+                            continue;
+                        }
+                        let beta = l.octs[bi];
+                        for &ai in lists.v.row(bi) {
+                            let ai = ai as usize;
+                            if !has_up[ai] {
+                                continue;
+                            }
+                            let alpha = l.octs[ai];
+                            let (m, s) = ops.m2l(beta.level(), offset_of(&alpha, &beta));
+                            m.matvec_acc_scaled(
+                                &u[ai * ulen..(ai + 1) * ulen],
+                                &mut window[bi * clen - base..(bi + 1) * clen - base],
+                                s,
+                            );
+                            fl += 2 * (clen * ulen) as u64;
+                        }
+                    }
+                    fl
+                });
+            prof.add_flops(Phase::VList, flops);
+        }
+        M2lMode::Fft => {
+            let g = fft.grid_len();
+            // Pass 1: forward-transform every V-list source once, in
+            // parallel.
+            let mut needed = vec![false; noct];
+            for bi in 0..noct {
+                if !l.local[bi] {
+                    continue;
+                }
+                for &ai in lists.v.row(bi) {
+                    if has_up[ai as usize] {
+                        needed[ai as usize] = true;
+                    }
+                }
+            }
+            let sources: Vec<usize> = (0..noct).filter(|&i| needed[i]).collect();
+            let spectra = par_map(threads, &sources, |ai| {
+                Arc::new(fft.source_spectrum(&u[ai * ulen..(ai + 1) * ulen]))
+            });
+            let mut uhat: Vec<Option<Arc<Vec<Complex>>>> = vec![None; noct];
+            for (ai, spec) in sources.iter().zip(spectra) {
+                uhat[*ai] = Some(spec);
+            }
+            prof.add_flops(
+                Phase::VList,
+                (sources.len() * 5 * g * (g.ilog2() as usize) * sd) as u64,
+            );
+            // Pass 2: accumulate and inverse-transform per target.
+            let uhat = &uhat;
+            let flops =
+                par_windows(threads, noct, &mut dcheck, &|i| i * clen, |range, window, base| {
+                    let mut fl = 0u64;
+                    for bi in range {
+                        if !l.local[bi] || lists.v.row(bi).is_empty() {
+                            continue;
+                        }
+                        let beta = l.octs[bi];
+                        let mut acc = fft.new_accumulator();
+                        let mut any = false;
+                        for &ai in lists.v.row(bi) {
+                            let ai = ai as usize;
+                            if !has_up[ai] {
+                                continue;
+                            }
+                            let alpha = l.octs[ai];
+                            let (khat, s) =
+                                fft.kernel_spectrum(beta.level(), offset_of(&alpha, &beta));
+                            let src = uhat[ai].as_ref().expect("transformed in pass 1");
+                            fft.accumulate(&mut acc, &khat, src, s);
+                            fl += (8 * g * sd * td) as u64;
+                            any = true;
+                        }
+                        if any {
+                            fft.finish(acc, &mut window[bi * clen - base..(bi + 1) * clen - base]);
+                            fl += (5 * g * (g.ilog2() as usize) * td) as u64;
+                        }
+                    }
+                    fl
+                });
+            prof.add_flops(Phase::VList, flops);
+        }
+    });
+
+    // (3b) X-list: sources of big adjacent leaves onto our downward check
+    // surfaces; parallel over target octants.
+    prof.timed(Phase::XList, |prof| {
+        let flops =
+            par_windows(threads, noct, &mut dcheck, &|i| i * clen, |range, window, base| {
+                let mut fl = 0u64;
+                for bi in range {
+                    if !l.local[bi] || lists.x.row(bi).is_empty() {
+                        continue;
+                    }
+                    let key = l.octs[bi];
+                    let dc = ops.down_check_surface(&key.center(), key.radius());
+                    for &ai in lists.x.row(bi) {
+                        let ai = ai as usize;
+                        if leaf_pos[ai].is_empty() {
+                            continue;
+                        }
+                        direct_eval(
+                            kernel,
+                            &dc,
+                            &leaf_pos[ai],
+                            &leaf_den[ai],
+                            &mut window[bi * clen - base..(bi + 1) * clen - base],
+                        );
+                        fl += leaf_pos[ai].len() as u64 * dc.len() as u64 * flops_pair;
+                    }
+                }
+                fl
+            });
+        prof.add_flops(Phase::XList, flops);
+    });
+    let dcheck = &dcheck;
+
+    // (4) D2D + (5b) D2T — the downward pass. D2D stays sequential
+    // (§IV); D2T is per-leaf parallel.
+    let mut f = vec![0.0f64; l.pts.len() * td];
+    let pt_base = &|i: usize| l.pt_off[i.min(noct)] * td;
+    let mut d = vec![0.0f64; noct * ulen];
+    prof.timed(Phase::Downward, |prof| {
+        // D2D, level-synchronous (see the U2U comment: the paper's
+        // sequential traversal, parallelized per level as its stated
+        // future work when `traversal_threads > 1`). At each level the
+        // parents are final, so every child's update is independent.
+        let tt = cfg.traversal_threads.max(1);
+        for level in 0..=max_level {
+            let active: Vec<usize> =
+                by_level[level as usize].iter().map(|&iu| iu as usize).collect();
+            if active.is_empty() {
+                continue;
+            }
+            let d_ro = &d;
+            let updates: Vec<(usize, Vec<f64>)> = crate::par::par_map(tt, &active, |i| {
+                let key = l.octs[i];
+                let (dc2e, s) = ops.dc2e(level);
+                let mut di = vec![0.0f64; ulen];
+                dc2e.matvec_acc_scaled(&dcheck[i * clen..(i + 1) * clen], &mut di, s);
+                if level > 0 {
+                    let parent = key.parent().expect("level >= 1");
+                    if let Some(pi) = l.find(&parent) {
+                        let (m, s) = ops.d2d(level, key.child_index());
+                        m.matvec_acc_scaled(&d_ro[pi * ulen..(pi + 1) * ulen], &mut di, s);
+                    }
+                }
+                (i, di)
+            });
+            for (i, di) in updates {
+                d[i * ulen..(i + 1) * ulen].copy_from_slice(&di);
+                prof.add_flops(Phase::Downward, 2 * (ulen * clen) as u64 + 2 * (ulen * ulen) as u64);
+            }
+        }
+        // D2T: downward equivalent densities to owned targets.
+        let d = &d;
+        let flops = par_windows(threads, noct, &mut f, pt_base, |range, window, base| {
+            let mut fl = 0u64;
+            for i in range {
+                if !l.owned[i] || leaf_pos[i].is_empty() {
+                    continue;
+                }
+                let key = l.octs[i];
+                let de = ops.down_equiv_surface(&key.center(), key.radius());
+                let (off, n) = (l.pt_off[i], leaf_pos[i].len());
+                direct_eval(
+                    kernel,
+                    &leaf_pos[i],
+                    &de,
+                    &d[i * ulen..(i + 1) * ulen],
+                    &mut window[off * td - base..(off + n) * td - base],
+                );
+                fl += n as u64 * de.len() as u64 * flops_pair;
+            }
+            fl
+        });
+        prof.add_flops(Phase::Downward, flops);
+    });
+
+    // (5a) W-list: multipoles of small far leaves directly to targets;
+    // parallel over target leaves.
+    prof.timed(Phase::WList, |prof| {
+        let flops = par_windows(threads, noct, &mut f, pt_base, |range, window, base| {
+            let mut fl = 0u64;
+            for bi in range {
+                if !l.owned[bi] || lists.w.row(bi).is_empty() || leaf_pos[bi].is_empty() {
+                    continue;
+                }
+                let (off, n) = (l.pt_off[bi], leaf_pos[bi].len());
+                for &ai in lists.w.row(bi) {
+                    let ai = ai as usize;
+                    if !has_up[ai] {
+                        continue;
+                    }
+                    let alpha = l.octs[ai];
+                    let ue = ops.up_equiv_surface(&alpha.center(), alpha.radius());
+                    direct_eval(
+                        kernel,
+                        &leaf_pos[bi],
+                        &ue,
+                        &u[ai * ulen..(ai + 1) * ulen],
+                        &mut window[off * td - base..(off + n) * td - base],
+                    );
+                    fl += n as u64 * ue.len() as u64 * flops_pair;
+                }
+            }
+            fl
+        });
+        prof.add_flops(Phase::WList, flops);
+    });
+
+    // Direct interactions (U-list); parallel over target leaves.
+    prof.timed(Phase::UList, |prof| {
+        let flops = par_windows(threads, noct, &mut f, pt_base, |range, window, base| {
+            let mut fl = 0u64;
+            for bi in range {
+                if !l.owned[bi] || leaf_pos[bi].is_empty() {
+                    continue;
+                }
+                let (off, n) = (l.pt_off[bi], leaf_pos[bi].len());
+                for &ai in lists.u.row(bi) {
+                    let ai = ai as usize;
+                    if leaf_pos[ai].is_empty() {
+                        continue;
+                    }
+                    direct_eval(
+                        kernel,
+                        &leaf_pos[bi],
+                        &leaf_pos[ai],
+                        &leaf_den[ai],
+                        &mut window[off * td - base..(off + n) * td - base],
+                    );
+                    fl += (n * leaf_pos[ai].len()) as u64 * flops_pair;
+                }
+            }
+            fl
+        });
+        prof.add_flops(Phase::UList, flops);
+    });
+
+    (f, comm_reduce)
+}

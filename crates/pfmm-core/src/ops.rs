@@ -1,0 +1,499 @@
+//! The translation-operator cache.
+//!
+//! All KIFMM translations are dense matrices built from kernel
+//! evaluations between equivalent and check surfaces:
+//!
+//! - `UC2E` — upward check potential → upward equivalent density (the
+//!   regularized pseudo-inverse solve of Ying et al. §3)
+//! - `U2U(i)` — child-i equivalent density → parent equivalent density
+//! - `DC2E` — downward check potential → downward equivalent density
+//! - `D2D(i)` — parent downward density → child-i downward density
+//! - `M2L(o)` — source equivalent density → target downward *check*
+//!   potential, for each of the ≤316 V-list offsets `o`
+//!
+//! Operators depend only on the tree level (translation invariance), and
+//! for homogeneous kernels (`K(ax, ay) = a^h K(x, y)`; Laplace and Stokes
+//! have `h = −1`) they are computed once at a reference level and
+//! *rescaled* per level — the cache returns `(matrix, scale)` pairs so the
+//! caller can fold the scale into the accumulate.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pfmm_kernels::{assemble, Kernel, Point3};
+use pfmm_linalg::{pinv, Matrix};
+
+use crate::surface::{surface_points, surface_size, RAD_INNER, RAD_OUTER};
+
+/// Half-width of a level-`l` octant of the unit cube.
+#[inline]
+pub fn level_radius(level: u32) -> f64 {
+    0.5 / (1u64 << level) as f64
+}
+
+/// Center offset of child `i` relative to its parent's center, in units
+/// of the child half-width.
+#[inline]
+fn child_offset(i: usize) -> [f64; 3] {
+    [
+        if i & 4 != 0 { 1.0 } else { -1.0 },
+        if i & 2 != 0 { 1.0 } else { -1.0 },
+        if i & 1 != 0 { 1.0 } else { -1.0 },
+    ]
+}
+
+/// A cached translation operator and the per-level scale to apply with it.
+pub type ScaledOp = (Arc<Matrix>, f64);
+
+/// Cache keyed by (level, V-list offset).
+type OffsetCache<T> = Mutex<HashMap<(u32, [i8; 3]), Arc<T>>>;
+
+/// The operator cache for one kernel and surface order.
+pub struct Ops {
+    kernel: Arc<dyn Kernel>,
+    order: usize,
+    rel_tol: f64,
+    homogeneity: Option<f64>,
+    uc2e: Mutex<HashMap<u32, Arc<Matrix>>>,
+    dc2e: Mutex<HashMap<u32, Arc<Matrix>>>,
+    u2u: Mutex<HashMap<(u32, usize), Arc<Matrix>>>,
+    d2d: Mutex<HashMap<(u32, usize), Arc<Matrix>>>,
+    m2l: OffsetCache<Matrix>,
+}
+
+impl Ops {
+    /// Create a cache for `kernel` at surface order `order`, truncating
+    /// pseudo-inverse singular values below `rel_tol` (relative).
+    pub fn new(kernel: Arc<dyn Kernel>, order: usize, rel_tol: f64) -> Ops {
+        assert!(order >= 2, "surface order must be at least 2");
+        let homogeneity = kernel.homogeneity();
+        Ops {
+            kernel,
+            order,
+            rel_tol,
+            homogeneity,
+            uc2e: Mutex::new(HashMap::new()),
+            dc2e: Mutex::new(HashMap::new()),
+            u2u: Mutex::new(HashMap::new()),
+            d2d: Mutex::new(HashMap::new()),
+            m2l: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The kernel this cache serves.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// Surface order.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Points on each surface.
+    pub fn n_surf(&self) -> usize {
+        surface_size(self.order)
+    }
+
+    /// Length of an upward/downward equivalent density vector.
+    pub fn density_len(&self) -> usize {
+        self.n_surf() * self.kernel.source_dim()
+    }
+
+    /// Length of a check potential vector.
+    pub fn check_len(&self) -> usize {
+        self.n_surf() * self.kernel.target_dim()
+    }
+
+    /// Upward equivalent surface of an octant (`center`, half-width `r`).
+    pub fn up_equiv_surface(&self, center: &Point3, r: f64) -> Vec<Point3> {
+        surface_points(self.order, center, r, RAD_INNER)
+    }
+
+    /// Upward check surface.
+    pub fn up_check_surface(&self, center: &Point3, r: f64) -> Vec<Point3> {
+        surface_points(self.order, center, r, RAD_OUTER)
+    }
+
+    /// Downward check surface.
+    pub fn down_check_surface(&self, center: &Point3, r: f64) -> Vec<Point3> {
+        surface_points(self.order, center, r, RAD_INNER)
+    }
+
+    /// Downward equivalent surface.
+    pub fn down_equiv_surface(&self, center: &Point3, r: f64) -> Vec<Point3> {
+        surface_points(self.order, center, r, RAD_OUTER)
+    }
+
+    /// The level at which an operator is actually computed, and the
+    /// homogeneous rescale factor for use at `level`.
+    fn base_level_scale(&self, level: u32, pinv_side: bool) -> (u32, f64) {
+        match self.homogeneity {
+            Some(h) => {
+                // Computed at level 0; K scales by (r_l / r_0)^h, its
+                // pseudo-inverse by the reciprocal power.
+                let ratio = level_radius(level) / level_radius(0);
+                let e = if pinv_side { -h } else { h };
+                (0, ratio.powf(e))
+            }
+            None => (level, 1.0),
+        }
+    }
+
+    /// Upward check-to-equivalent solve operator at `level`.
+    pub fn uc2e(&self, level: u32) -> ScaledOp {
+        let (base, scale) = self.base_level_scale(level, true);
+        let mut cache = self.uc2e.lock();
+        let m = cache
+            .entry(base)
+            .or_insert_with(|| {
+                let r = level_radius(base);
+                let c = [0.0, 0.0, 0.0];
+                let k = assemble(
+                    self.kernel.as_ref(),
+                    &self.up_check_surface(&c, r),
+                    &self.up_equiv_surface(&c, r),
+                );
+                Arc::new(pinv(&k, self.rel_tol))
+            })
+            .clone();
+        (m, scale)
+    }
+
+    /// Downward check-to-equivalent solve operator at `level`.
+    pub fn dc2e(&self, level: u32) -> ScaledOp {
+        let (base, scale) = self.base_level_scale(level, true);
+        let mut cache = self.dc2e.lock();
+        let m = cache
+            .entry(base)
+            .or_insert_with(|| {
+                let r = level_radius(base);
+                let c = [0.0, 0.0, 0.0];
+                let k = assemble(
+                    self.kernel.as_ref(),
+                    &self.down_check_surface(&c, r),
+                    &self.down_equiv_surface(&c, r),
+                );
+                Arc::new(pinv(&k, self.rel_tol))
+            })
+            .clone();
+        (m, scale)
+    }
+
+    /// Child-to-parent multipole translation; `child_level >= 1`,
+    /// `child_index` in 0..8. Maps the child's equivalent density directly
+    /// to a parent equivalent-density contribution (UC2E folded in), so it
+    /// is scale-invariant for homogeneous kernels.
+    pub fn u2u(&self, child_level: u32, child_index: usize) -> ScaledOp {
+        assert!(child_level >= 1 && child_index < 8);
+        let base = if self.homogeneity.is_some() { 1 } else { child_level };
+        let mut cache = self.u2u.lock();
+        let m = cache
+            .entry((base, child_index))
+            .or_insert_with(|| {
+                let rc = level_radius(base);
+                let rp = 2.0 * rc;
+                let off = child_offset(child_index);
+                let cc = [off[0] * rc, off[1] * rc, off[2] * rc];
+                let k = assemble(
+                    self.kernel.as_ref(),
+                    &self.up_check_surface(&[0.0; 3], rp),
+                    &self.up_equiv_surface(&cc, rc),
+                );
+                let (uc2e_par, s) = self.uc2e(base - 1);
+                debug_assert_eq!(s, 1.0, "base-level uc2e is unscaled at level 0");
+                let mut folded = uc2e_par.matmul(&k);
+                folded.scale(s);
+                Arc::new(folded)
+            })
+            .clone();
+        (m, 1.0)
+    }
+
+    /// Parent-to-child local translation (DC2E folded in); scale-invariant
+    /// for homogeneous kernels.
+    pub fn d2d(&self, child_level: u32, child_index: usize) -> ScaledOp {
+        assert!(child_level >= 1 && child_index < 8);
+        let base = if self.homogeneity.is_some() { 1 } else { child_level };
+        let mut cache = self.d2d.lock();
+        let m = cache
+            .entry((base, child_index))
+            .or_insert_with(|| {
+                let rc = level_radius(base);
+                let rp = 2.0 * rc;
+                let off = child_offset(child_index);
+                let cc = [off[0] * rc, off[1] * rc, off[2] * rc];
+                let k = assemble(
+                    self.kernel.as_ref(),
+                    &self.down_check_surface(&cc, rc),
+                    &self.down_equiv_surface(&[0.0; 3], rp),
+                );
+                let (dc2e_child, s) = self.dc2e(base);
+                let mut folded = dc2e_child.matmul(&k);
+                folded.scale(s);
+                Arc::new(folded)
+            })
+            .clone();
+        (m, 1.0)
+    }
+
+    /// Dense M2L: source upward-equivalent density → target downward
+    /// *check* potential, for a V-list offset (in units of the octant
+    /// side, each component in −3..=3, ∞-norm ≥ 2).
+    pub fn m2l(&self, level: u32, offset: [i8; 3]) -> ScaledOp {
+        debug_assert!(offset.iter().any(|o| o.abs() >= 2), "V-list offsets are non-adjacent");
+        let (base, scale) = self.base_level_scale(level, false);
+        let mut cache = self.m2l.lock();
+        let m = cache
+            .entry((base, offset))
+            .or_insert_with(|| {
+                let r = level_radius(base);
+                let tc = [
+                    offset[0] as f64 * 2.0 * r,
+                    offset[1] as f64 * 2.0 * r,
+                    offset[2] as f64 * 2.0 * r,
+                ];
+                Arc::new(assemble(
+                    self.kernel.as_ref(),
+                    &self.down_check_surface(&tc, r),
+                    &self.up_equiv_surface(&[0.0; 3], r),
+                ))
+            })
+            .clone();
+        (m, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfmm_kernels::{direct_eval, Laplace, Stokes};
+
+    /// Laplace that pretends to be non-homogeneous, to exercise the
+    /// per-level cache path against the scaled path.
+    #[derive(Clone, Copy)]
+    struct LaplaceNoHom;
+    impl Kernel for LaplaceNoHom {
+        fn source_dim(&self) -> usize {
+            1
+        }
+        fn target_dim(&self) -> usize {
+            1
+        }
+        fn eval_block(&self, x: &Point3, y: &Point3, block: &mut [f64]) {
+            Laplace.eval_block(x, y, block)
+        }
+        fn homogeneity(&self) -> Option<f64> {
+            None
+        }
+        fn flops_per_pair(&self) -> u64 {
+            20
+        }
+        fn name(&self) -> &'static str {
+            "laplace-nohom"
+        }
+    }
+
+    fn ops(order: usize) -> Ops {
+        Ops::new(Arc::new(Laplace), order, 1e-12)
+    }
+
+    /// Far-field accuracy of the S2U compression: the equivalent density
+    /// built from the check-surface potential must reproduce the true
+    /// potential far away.
+    #[test]
+    fn equivalent_density_reproduces_far_field() {
+        let o = ops(6);
+        let level = 3u32;
+        let r = level_radius(level);
+        let c = [0.3125, 0.4375, 0.5625]; // a level-3 octant center
+        // A few sources inside the octant.
+        let srcs = vec![
+            [c[0] - 0.5 * r, c[1] + 0.3 * r, c[2]],
+            [c[0] + 0.4 * r, c[1] - 0.2 * r, c[2] + 0.6 * r],
+            [c[0], c[1], c[2] - 0.7 * r],
+        ];
+        let dens = vec![1.0, -2.0, 0.5];
+
+        // ucheck = K(uc, src) s ; u = UC2E ucheck.
+        let uc = o.up_check_surface(&c, r);
+        let kcs = assemble(&Laplace, &uc, &srcs);
+        let ucheck = kcs.matvec(&dens);
+        let (uc2e, s) = o.uc2e(level);
+        let mut u = uc2e.matvec(&ucheck);
+        for v in &mut u {
+            *v *= s;
+        }
+
+        // Evaluate at a distant point via the equivalent surface vs direct.
+        let far = [c[0] + 20.0 * r, c[1] - 15.0 * r, c[2] + 10.0 * r];
+        let ue = o.up_equiv_surface(&c, r);
+        let mut via_equiv = vec![0.0];
+        direct_eval(&Laplace, &[far], &ue, &u, &mut via_equiv);
+        let mut direct = vec![0.0];
+        direct_eval(&Laplace, &[far], &srcs, &dens, &mut direct);
+        let rel = (via_equiv[0] - direct[0]).abs() / direct[0].abs();
+        assert!(rel < 1e-6, "far-field relative error {rel}");
+    }
+
+    #[test]
+    fn u2u_preserves_far_field() {
+        let o = ops(6);
+        let child_level = 2u32;
+        let rc = level_radius(child_level);
+        let rp = 2.0 * rc;
+        // Parent centered at a valid level-1 position.
+        let pc = [0.25, 0.25, 0.75];
+        let idx = 5usize; // child (+x, -y, +z)
+        let off = child_offset(idx);
+        let cc = [pc[0] + off[0] * rc, pc[1] + off[1] * rc, pc[2] + off[2] * rc];
+
+        // Source inside the child.
+        let srcs = vec![[cc[0] + 0.2 * rc, cc[1], cc[2] - 0.3 * rc]];
+        let dens = vec![1.0];
+
+        // Child equivalent density.
+        let kcs = assemble(&Laplace, &o.up_check_surface(&cc, rc), &srcs);
+        let (uc2e_c, sc) = o.uc2e(child_level);
+        let mut u_child = uc2e_c.matvec(&kcs.matvec(&dens));
+        for v in &mut u_child {
+            *v *= sc;
+        }
+
+        // Parent equivalent density via U2U.
+        let (m, s) = o.u2u(child_level, idx);
+        let mut u_par = m.matvec(&u_child);
+        for v in &mut u_par {
+            *v *= s;
+        }
+
+        let far = [pc[0] + 18.0 * rp, pc[1] + 9.0 * rp, pc[2] - 11.0 * rp];
+        let mut via = vec![0.0];
+        direct_eval(&Laplace, &[far], &o.up_equiv_surface(&pc, rp), &u_par, &mut via);
+        let mut want = vec![0.0];
+        direct_eval(&Laplace, &[far], &srcs, &dens, &mut want);
+        let rel = (via[0] - want[0]).abs() / want[0].abs();
+        assert!(rel < 1e-6, "U2U far-field relative error {rel}");
+    }
+
+    /// The M2L + DC2E + D2T chain must reproduce the potential of a far
+    /// octant's equivalent density inside the target octant.
+    #[test]
+    fn m2l_chain_accuracy() {
+        let o = ops(6);
+        let level = 3u32;
+        let r = level_radius(level);
+        let sc = [0.0625, 0.0625, 0.0625];
+        let offset = [3i8, 0, -2];
+        let tc = [
+            sc[0] + offset[0] as f64 * 2.0 * r,
+            sc[1] + offset[1] as f64 * 2.0 * r,
+            sc[2] + offset[2] as f64 * 2.0 * r,
+        ];
+
+        // A made-up but smooth source equivalent density.
+        let n = o.density_len();
+        let u: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.1).sin()).collect();
+
+        // dcheck = M2L u ; d = DC2E dcheck.
+        let (m, ms) = o.m2l(level, offset);
+        let mut dcheck = m.matvec(&u);
+        for v in &mut dcheck {
+            *v *= ms;
+        }
+        let (dc2e, ds) = o.dc2e(level);
+        let mut d = dc2e.matvec(&dcheck);
+        for v in &mut d {
+            *v *= ds;
+        }
+
+        // Inside the target, the downward density must reproduce the
+        // source equivalent field.
+        let probe = [tc[0] + 0.4 * r, tc[1] - 0.3 * r, tc[2] + 0.2 * r];
+        let mut via = vec![0.0];
+        direct_eval(&Laplace, &[probe], &o.down_equiv_surface(&tc, r), &d, &mut via);
+        let mut want = vec![0.0];
+        direct_eval(&Laplace, &[probe], &o.up_equiv_surface(&sc, r), &u, &mut want);
+        let rel = (via[0] - want[0]).abs() / want[0].abs().max(1e-30);
+        assert!(rel < 1e-5, "M2L chain relative error {rel}");
+    }
+
+    /// The D2D chain: a parent's downward density must reproduce the
+    /// same interior field after translation to a child.
+    #[test]
+    fn d2d_preserves_interior_field() {
+        let o = ops(6);
+        let parent_level = 2u32;
+        let rp = level_radius(parent_level);
+        let pc = [0.375, 0.625, 0.125]; // a level-2 octant center
+        // A synthetic but smooth parent downward density.
+        let nd = o.density_len();
+        let d_par: Vec<f64> = (0..nd).map(|i| (i as f64 * 0.17).cos()).collect();
+
+        let idx = 6usize; // child (+x, +y, -z)
+        let off = child_offset(idx);
+        let rc = rp / 2.0;
+        let cc = [pc[0] + off[0] * rc, pc[1] + off[1] * rc, pc[2] + off[2] * rc];
+
+        let (m, s) = o.d2d(parent_level + 1, idx);
+        let mut d_child = vec![0.0; nd];
+        m.matvec_acc_scaled(&d_par, &mut d_child, s);
+
+        // Probe inside the child: both representations must agree.
+        let probe = [cc[0] - 0.3 * rc, cc[1] + 0.1 * rc, cc[2] + 0.45 * rc];
+        let mut via_child = vec![0.0];
+        direct_eval(&Laplace, &[probe], &o.down_equiv_surface(&cc, rc), &d_child, &mut via_child);
+        let mut via_parent = vec![0.0];
+        direct_eval(&Laplace, &[probe], &o.down_equiv_surface(&pc, rp), &d_par, &mut via_parent);
+        let rel = (via_child[0] - via_parent[0]).abs() / via_parent[0].abs().max(1e-30);
+        assert!(rel < 1e-6, "D2D interior-field relative error {rel}");
+    }
+
+    /// Homogeneous rescaling must agree with direct per-level computation.
+    #[test]
+    fn homogeneous_scaling_matches_per_level() {
+        let hom = Ops::new(Arc::new(Laplace), 4, 1e-12);
+        let noh = Ops::new(Arc::new(LaplaceNoHom), 4, 1e-12);
+        for level in [1u32, 2, 5] {
+            let (mh, sh) = hom.m2l(level, [2, -2, 1]);
+            let (mn, sn) = noh.m2l(level, [2, -2, 1]);
+            assert_eq!(sn, 1.0);
+            for i in 0..mh.rows() {
+                for j in 0..mh.cols() {
+                    let a = mh[(i, j)] * sh;
+                    let b = mn[(i, j)];
+                    assert!((a - b).abs() < 1e-12 * b.abs().max(1.0), "level {level}");
+                }
+            }
+            let (uh, ush) = hom.uc2e(level);
+            let (un, usn) = noh.uc2e(level);
+            assert_eq!(usn, 1.0);
+            let scale_err = (0..uh.rows())
+                .flat_map(|i| (0..uh.cols()).map(move |j| (i, j)))
+                .map(|(i, j)| (uh[(i, j)] * ush - un[(i, j)]).abs())
+                .fold(0.0f64, f64::max);
+            assert!(scale_err < 1e-7 * un.max_abs(), "uc2e level {level}: {scale_err}");
+        }
+    }
+
+    #[test]
+    fn stokes_operator_shapes() {
+        let o = Ops::new(Arc::new(Stokes::default()), 4, 1e-10);
+        let n = surface_size(4);
+        assert_eq!(o.density_len(), 3 * n);
+        let (uc2e, _) = o.uc2e(2);
+        assert_eq!(uc2e.rows(), 3 * n);
+        assert_eq!(uc2e.cols(), 3 * n);
+        let (m, _) = o.m2l(2, [0, 2, 0]);
+        assert_eq!(m.rows(), 3 * n);
+        assert_eq!(m.cols(), 3 * n);
+    }
+
+    #[test]
+    fn level_radius_halves() {
+        assert_eq!(level_radius(0), 0.5);
+        assert_eq!(level_radius(1), 0.25);
+        assert_eq!(level_radius(10), 0.5 / 1024.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Intra-rank shared-memory parallelism for the evaluation phases.
+//!
+//! The paper notes (§IV) that "the S2U, D2T, ULI, WLI, VLI, XLI steps can
+//! be implemented in parallel" — each visits target octants independently
+//! and writes disjoint per-octant output — while U2U and D2D would need
+//! Euler-tour techniques it does not use. This module parallelizes
+//! exactly that set on a host thread pool: octants are split into
+//! contiguous index ranges, and each worker receives the matching
+//! disjoint window of the output array, so the parallelism is safe by
+//! construction (no atomics, no locks on the data path).
+
+/// Process octants `0..noct` in parallel: the index space is split into
+/// up to `threads` contiguous ranges, and each worker gets the matching
+/// window of `out` (`offset_of(i)` maps octant `i` to its element offset;
+/// it must be monotone with `offset_of(noct) == out.len()`).
+///
+/// `work(range, window, base)` processes octants `range` writing into
+/// `window`, whose element 0 corresponds to global offset `base`
+/// (= `offset_of(range.start)`); it returns the flops it performed.
+/// Returns the summed flops.
+///
+/// With `threads <= 1` the work runs inline on the caller's thread.
+pub fn par_windows<F>(
+    threads: usize,
+    noct: usize,
+    out: &mut [f64],
+    offset_of: &(dyn Fn(usize) -> usize + Sync),
+    work: F,
+) -> u64
+where
+    F: Fn(std::ops::Range<usize>, &mut [f64], usize) -> u64 + Sync,
+{
+    debug_assert_eq!(offset_of(noct), out.len(), "offset map covers the output");
+    if threads <= 1 || noct < 2 {
+        return work(0..noct, out, 0);
+    }
+    // Contiguous octant ranges of roughly equal length. (Work per octant
+    // varies; the paper's per-leaf imbalance is handled by the MPI-level
+    // balancer, and phase work correlates well enough with octant count
+    // for an intra-rank split.)
+    let t = threads.min(noct);
+    let mut cuts = Vec::with_capacity(t + 1);
+    for k in 0..=t {
+        cuts.push(k * noct / t);
+    }
+
+    let mut tasks: Vec<(std::ops::Range<usize>, &mut [f64], usize)> = Vec::with_capacity(t);
+    let mut rest = out;
+    let mut consumed = 0usize;
+    for k in 0..t {
+        let (lo, hi) = (cuts[k], cuts[k + 1]);
+        let base = offset_of(lo);
+        let end = offset_of(hi);
+        debug_assert_eq!(base, consumed);
+        let (window, tail) = rest.split_at_mut(end - base);
+        rest = tail;
+        consumed = end;
+        tasks.push((lo..hi, window, base));
+    }
+    debug_assert!(rest.is_empty());
+
+    let work = &work;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = tasks
+            .into_iter()
+            .map(|(range, window, base)| scope.spawn(move |_| work(range, window, base)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .sum()
+    })
+    .expect("par_windows scope")
+}
+
+/// Parallel map over an index list, each element producing a value; the
+/// results come back in input order. Used for the V-list source spectra
+/// (each source octant transformed once, independently).
+pub fn par_map<T, F>(threads: usize, items: &[usize], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(|&i| f(i)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let f = &f;
+    let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
+    let results = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(items.len()))
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move |_| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if k >= items.len() {
+                            break;
+                        }
+                        mine.push((k, f(items[k])));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("par_map scope");
+    for (k, v) in results {
+        slots[k] = Some(v);
+    }
+    slots.into_iter().map(|o| o.expect("every item mapped")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_cover_and_write_disjointly() {
+        let noct = 17;
+        let stride = 3;
+        let mut out = vec![0.0f64; noct * stride];
+        let flops = par_windows(4, noct, &mut out, &|i| i * stride, |range, window, base| {
+            let mut n = 0;
+            for i in range {
+                let w = &mut window[i * stride - base..(i + 1) * stride - base];
+                for (j, v) in w.iter_mut().enumerate() {
+                    *v = (i * 10 + j) as f64;
+                }
+                n += 1;
+            }
+            n
+        });
+        assert_eq!(flops, 17);
+        for i in 0..noct {
+            for j in 0..stride {
+                assert_eq!(out[i * stride + j], (i * 10 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let noct = 23;
+        let run = |threads| {
+            let mut out = vec![0.0f64; noct * 2];
+            par_windows(threads, noct, &mut out, &|i| i * 2, |range, window, base| {
+                for i in range {
+                    window[i * 2 - base] = (i * i) as f64;
+                    window[i * 2 + 1 - base] = -(i as f64);
+                }
+                0
+            });
+            out
+        };
+        assert_eq!(run(1), run(5));
+    }
+
+    #[test]
+    fn irregular_offsets() {
+        // Variable-size per-octant windows (like per-leaf point counts).
+        let sizes = [3usize, 0, 5, 1, 0, 2];
+        let offs: Vec<usize> = sizes
+            .iter()
+            .scan(0, |acc, s| {
+                let o = *acc;
+                *acc += s;
+                Some(o)
+            })
+            .chain(std::iter::once(sizes.iter().sum()))
+            .collect();
+        let total: usize = sizes.iter().sum();
+        let mut out = vec![0.0f64; total];
+        par_windows(3, sizes.len(), &mut out, &|i| offs[i], |range, window, base| {
+            for i in range.clone() {
+                for k in offs[i]..offs[i + 1] {
+                    window[k - base] = i as f64;
+                }
+            }
+            0
+        });
+        let mut want = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            want.extend(std::iter::repeat_n(i as f64, *s));
+        }
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn par_map_ordered() {
+        let items: Vec<usize> = (0..50).map(|i| i * 2).collect();
+        let got = par_map(4, &items, |i| i + 1);
+        let want: Vec<usize> = items.iter().map(|i| i + 1).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,331 @@
+//! Reusable evaluation plans: build the tree, LET and lists once, then
+//! evaluate repeatedly with new densities.
+//!
+//! This is how FMMs are actually consumed by applications — as the
+//! matrix-vector product inside an iterative solver (the paper's target
+//! application is Stokes flow, where each solver iteration re-evaluates
+//! the same geometry with updated force densities). A [`FmmPlan`] caches
+//! everything that depends only on the point positions; [`Fmm::apply`]
+//! refreshes the ghost copies of the densities with a deterministic
+//! point-to-point exchange (both sides derive the same schedule from the
+//! region fence — no negotiation round) and reruns the evaluation phases.
+
+use std::time::Instant;
+
+use pfmm_mpisim::Comm;
+use pfmm_tree::{
+    build_lists, build_let, lists::leaf_weights, octree_from_sorted, repartition_by_weight,
+    user_ranks, Let, Lists, PointRec,
+};
+
+use crate::driver::Fmm;
+use crate::exec::{run_phases, EvalData};
+use crate::profile::Profile;
+
+/// A frozen FMM setup for one point geometry.
+pub struct FmmPlan {
+    l: Let,
+    lists: Lists,
+    data: EvalData,
+    /// Per destination rank: owned point-carrying leaf indices whose
+    /// densities that rank needs (Morton order).
+    send_plan: Vec<(usize, Vec<usize>)>,
+    /// Per source rank: ghost point-carrying leaf indices this rank will
+    /// receive (Morton order, mirror of the sender's list).
+    recv_plan: Vec<(usize, Vec<usize>)>,
+    /// Gids of the points this rank owns, in storage order.
+    owned_gids: Vec<u64>,
+    /// Density components per point.
+    sd: usize,
+    /// Potential components per point.
+    td: usize,
+}
+
+impl FmmPlan {
+    /// Gids of the owned points; [`Fmm::apply`] expects densities in this
+    /// order (packed `source_dim` per point).
+    pub fn owned_gids(&self) -> &[u64] {
+        &self.owned_gids
+    }
+
+    /// Number of points this rank owns.
+    pub fn num_owned(&self) -> usize {
+        self.owned_gids.len()
+    }
+
+    /// Octants in this rank's LET.
+    pub fn num_octants(&self) -> usize {
+        self.l.len()
+    }
+}
+
+const TAG_DEN: u32 = 0x20;
+
+impl Fmm {
+    /// Build a reusable plan: sort, tree, LET, lists, load balancing —
+    /// everything except the density-dependent evaluation.
+    pub fn plan(&self, c: &Comm, points: Vec<PointRec>) -> FmmPlan {
+        let sd = self.kernel().source_dim();
+        let td = self.kernel().target_dim();
+        let (sorted, region) = crate::driver::sort_points(self, c, points);
+        let mut tree = octree_from_sorted(c, sorted, region, self.config().q);
+        let mut l = build_let(c, &tree);
+        let mut lists = build_lists(&l);
+        if self.config().balance && c.size() > 1 {
+            let w = leaf_weights(&l, &lists);
+            tree = repartition_by_weight(c, tree, &w);
+            l = build_let(c, &tree);
+            lists = build_lists(&l);
+        }
+        drop(tree);
+        let data = EvalData::new(&l, sd);
+
+        // Deterministic ghost-density exchange schedule. Sender side: my
+        // owned point-carrying leaves, routed by the same user test as
+        // the LET exchange. Receiver side: my point-carrying ghost
+        // leaves, grouped by owner. Both sides enumerate octants in
+        // Morton order against the same region fence, so the k-th record
+        // sent matches the k-th expected.
+        let p = c.size();
+        let my = c.rank();
+        let mut send_plan: Vec<Vec<usize>> = vec![Vec::new(); p];
+        let mut recv_plan: Vec<Vec<usize>> = vec![Vec::new(); p];
+        let mut users = Vec::new();
+        let owner_of = |rk: u128| l.region[1..p].partition_point(|&s| s <= rk);
+        for i in 0..l.len() {
+            if !l.is_leaf[i] || l.points_of(i).is_empty() {
+                continue;
+            }
+            if l.owned[i] {
+                user_ranks(&l.octs[i], &l.region, &mut users);
+                for &k in &users {
+                    if k != my {
+                        send_plan[k].push(i);
+                    }
+                }
+            } else {
+                recv_plan[owner_of(l.octs[i].rank())].push(i);
+            }
+        }
+
+        let mut owned_gids = Vec::new();
+        for i in 0..l.len() {
+            if l.owned[i] {
+                owned_gids.extend(l.points_of(i).iter().map(|pt| pt.gid));
+            }
+        }
+
+        FmmPlan {
+            l,
+            lists,
+            data,
+            send_plan: send_plan.into_iter().enumerate().filter(|(_, v)| !v.is_empty()).collect(),
+            recv_plan: recv_plan.into_iter().enumerate().filter(|(_, v)| !v.is_empty()).collect(),
+            owned_gids,
+            sd,
+            td,
+        }
+    }
+
+    /// Re-evaluate a plan with new densities (packed `source_dim` per
+    /// owned point, aligned with [`FmmPlan::owned_gids`]). Returns the
+    /// potentials in the same order plus the evaluation profile.
+    ///
+    /// # Panics
+    /// Panics if `densities.len() != plan.num_owned() * source_dim`.
+    pub fn apply(&self, c: &Comm, plan: &mut FmmPlan, densities: &[f64]) -> (Vec<f64>, Profile) {
+        let sd = plan.sd;
+        let td = plan.td;
+        assert_eq!(
+            densities.len(),
+            plan.num_owned() * sd,
+            "densities must align with owned_gids"
+        );
+        // Scatter the new densities into the owned leaves.
+        let mut cursor = 0usize;
+        for i in 0..plan.l.len() {
+            if !plan.l.owned[i] {
+                continue;
+            }
+            let npts = plan.data.leaf_pos[i].len();
+            plan.data.leaf_den[i].clear();
+            plan.data.leaf_den[i]
+                .extend_from_slice(&densities[cursor * sd..(cursor + npts) * sd]);
+            cursor += npts;
+        }
+
+        // Refresh ghost copies (U- and X-list sources on other ranks).
+        for (dest, leaves) in &plan.send_plan {
+            let mut buf = Vec::new();
+            for &i in leaves {
+                buf.extend_from_slice(&plan.data.leaf_den[i]);
+            }
+            c.send_vec(*dest, TAG_DEN, buf);
+        }
+        for (src, leaves) in &plan.recv_plan {
+            let buf = c.recv::<f64>(*src, TAG_DEN);
+            let mut off = 0usize;
+            for &i in leaves {
+                let n = plan.data.leaf_pos[i].len() * sd;
+                plan.data.leaf_den[i].clear();
+                plan.data.leaf_den[i].extend_from_slice(&buf[off..off + n]);
+                off += n;
+            }
+            debug_assert_eq!(off, buf.len(), "ghost density schedule agreed");
+        }
+
+        // Run the evaluation phases and collect the owned potentials.
+        let mut prof = Profile::default();
+        let t0 = Instant::now();
+        let (f, _) = run_phases(self, c, &plan.l, &plan.lists, &plan.data, &mut prof);
+        prof.total_secs = t0.elapsed().as_secs_f64();
+        let mut pot = Vec::with_capacity(plan.num_owned() * td);
+        for i in 0..plan.l.len() {
+            if !plan.l.owned[i] {
+                continue;
+            }
+            let off = plan.l.pt_off[i];
+            let n = plan.data.leaf_pos[i].len();
+            pot.extend_from_slice(&f[off * td..(off + n) * td]);
+        }
+        (pot, prof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distrib::{randomize_densities, uniform_cube};
+    use crate::driver::{gather_potentials, FmmConfig};
+    use pfmm_kernels::Laplace;
+    use pfmm_mpisim::run;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn fmm() -> Fmm {
+        Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 30, ..Default::default() })
+    }
+
+    /// plan+apply with the original densities must reproduce evaluate().
+    #[test]
+    fn apply_matches_evaluate() {
+        for p in [1usize, 2, 4] {
+            let mut pts = uniform_cube(1200, 401, 0);
+            randomize_densities(&mut pts, 1, 3);
+            let f = fmm();
+            let via_eval: HashMap<u64, f64> = run(p, |c| {
+                let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(p).copied().collect();
+                let res = f.evaluate(c, mine);
+                gather_potentials(c, &res, 1)
+            })
+            .pop()
+            .expect("rank 0")
+            .into_iter()
+            .map(|(g, v)| (g, v[0]))
+            .collect();
+
+            let via_plan: HashMap<u64, f64> = run(p, |c| {
+                let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(p).copied().collect();
+                let mut plan = f.plan(c, mine);
+                let den: Vec<f64> = plan
+                    .owned_gids()
+                    .iter()
+                    .map(|g| pts[*g as usize].den[0])
+                    .collect();
+                let (pot, _) = f.apply(c, &mut plan, &den);
+                let pairs: Vec<(u64, f64)> = plan
+                    .owned_gids()
+                    .iter()
+                    .zip(&pot)
+                    .map(|(g, v)| (*g, *v))
+                    .collect();
+                pfmm_mpisim::collectives::allgatherv(c, &pairs)
+            })
+            .pop()
+            .expect("rank 0")
+            .into_iter()
+            .collect();
+
+            assert_eq!(via_eval.len(), via_plan.len());
+            for (gid, want) in &via_eval {
+                let got = via_plan[gid];
+                assert!(
+                    (got - want).abs() < 1e-11 * want.abs().max(1.0),
+                    "p={p} gid={gid}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    /// Re-applying with new densities must match a fresh evaluation with
+    /// those densities — the ghost refresh really works.
+    #[test]
+    fn apply_with_new_densities() {
+        let p = 4;
+        let mut pts = uniform_cube(1500, 409, 0);
+        randomize_densities(&mut pts, 1, 5);
+        let mut pts2 = pts.clone();
+        randomize_densities(&mut pts2, 1, 99);
+        let f = fmm();
+
+        let fresh: HashMap<u64, f64> = run(p, |c| {
+            let mine: Vec<_> = pts2.iter().skip(c.rank()).step_by(p).copied().collect();
+            let res = f.evaluate(c, mine);
+            gather_potentials(c, &res, 1)
+        })
+        .pop()
+        .expect("rank 0")
+        .into_iter()
+        .map(|(g, v)| (g, v[0]))
+        .collect();
+
+        let planned: HashMap<u64, f64> = run(p, |c| {
+            // Plan with the OLD densities, apply with the NEW ones.
+            let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(p).copied().collect();
+            let mut plan = f.plan(c, mine);
+            let den: Vec<f64> = plan
+                .owned_gids()
+                .iter()
+                .map(|g| pts2[*g as usize].den[0])
+                .collect();
+            let (pot, _) = f.apply(c, &mut plan, &den);
+            let pairs: Vec<(u64, f64)> =
+                plan.owned_gids().iter().zip(&pot).map(|(g, v)| (*g, *v)).collect();
+            pfmm_mpisim::collectives::allgatherv(c, &pairs)
+        })
+        .pop()
+        .expect("rank 0")
+        .into_iter()
+        .collect();
+
+        for (gid, want) in &fresh {
+            let got = planned[gid];
+            assert!(
+                (got - want).abs() < 1e-11 * want.abs().max(1.0),
+                "gid={gid}: {got} vs {want}"
+            );
+        }
+    }
+
+    /// Repeated applies are deterministic and independent.
+    #[test]
+    fn apply_is_repeatable_and_linear() {
+        let mut pts = uniform_cube(800, 419, 0);
+        randomize_densities(&mut pts, 1, 7);
+        let f = fmm();
+        run(2, |c| {
+            let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(2).copied().collect();
+            let mut plan = f.plan(c, mine);
+            let den: Vec<f64> =
+                plan.owned_gids().iter().map(|g| pts[*g as usize].den[0]).collect();
+            let (a, _) = f.apply(c, &mut plan, &den);
+            let doubled: Vec<f64> = den.iter().map(|v| 2.0 * v).collect();
+            let (b, _) = f.apply(c, &mut plan, &doubled);
+            let (a2, _) = f.apply(c, &mut plan, &den);
+            for ((x, y), z) in a.iter().zip(&b).zip(&a2) {
+                assert!((2.0 * x - y).abs() < 1e-10 * y.abs().max(1.0), "linear");
+                assert_eq!(x, z, "deterministic rerun");
+            }
+        });
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-phase wall-clock and flop accounting, mirroring the rows of the
+//! paper's Table II.
+
+use std::time::Instant;
+
+/// The instrumented phases of one FMM evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// S2U + U2U (the paper's "Upward").
+    Upward,
+    /// Up-density reduce-and-scatter + ghost density exchange.
+    Comm,
+    /// Direct near-field interactions.
+    UList,
+    /// Multipole-to-local translations.
+    VList,
+    /// Multipole-to-target contributions.
+    WList,
+    /// Source-to-local contributions.
+    XList,
+    /// D2D + D2T (the paper's "Downward").
+    Downward,
+}
+
+impl Phase {
+    /// All phases, in the paper's reporting order.
+    pub const ALL: [Phase; 7] = [
+        Phase::Upward,
+        Phase::Comm,
+        Phase::UList,
+        Phase::VList,
+        Phase::WList,
+        Phase::XList,
+        Phase::Downward,
+    ];
+
+    /// Row label as printed in Table II.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Upward => "Upward",
+            Phase::Comm => "Comm.",
+            Phase::UList => "U-list",
+            Phase::VList => "V-list",
+            Phase::WList => "W-list",
+            Phase::XList => "X-list",
+            Phase::Downward => "Downward",
+        }
+    }
+}
+
+/// Accumulated seconds and flops per phase for one rank's evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    secs: [f64; 7],
+    flops: [u64; 7],
+    /// Wall-clock seconds of the whole evaluation.
+    pub total_secs: f64,
+    /// Wall-clock seconds of the setup (tree + LET + lists + balance).
+    pub setup_secs: f64,
+    /// Seconds of setup spent in the point sort.
+    pub sort_secs: f64,
+}
+
+impl Profile {
+    /// Time a closure and charge it to `phase`.
+    pub fn timed<T>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> T) -> T {
+        let t0 = Instant::now();
+        let out = f(self);
+        self.secs[phase as usize] += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Charge flops to a phase.
+    #[inline]
+    pub fn add_flops(&mut self, phase: Phase, flops: u64) {
+        self.flops[phase as usize] += flops;
+    }
+
+    /// Seconds charged to a phase.
+    pub fn secs(&self, phase: Phase) -> f64 {
+        self.secs[phase as usize]
+    }
+
+    /// Flops charged to a phase.
+    pub fn flops(&self, phase: Phase) -> u64 {
+        self.flops[phase as usize]
+    }
+
+    /// Total flops across phases.
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().sum()
+    }
+
+    /// Compute-only seconds (everything but Comm) — the paper's "Comp".
+    pub fn comp_secs(&self) -> f64 {
+        Phase::ALL
+            .iter()
+            .filter(|p| !matches!(p, Phase::Comm))
+            .map(|p| self.secs(*p))
+            .sum()
+    }
+}
+
+/// Max/avg summary of many ranks' profiles — the two columns of Table II.
+pub struct ProfileSummary {
+    /// (max over ranks, avg over ranks) seconds per phase.
+    pub secs: Vec<(Phase, f64, f64)>,
+    /// (max, avg) flops per phase.
+    pub flops: Vec<(Phase, u64, u64)>,
+    /// (max, avg) total evaluation seconds.
+    pub total: (f64, f64),
+    /// (max, avg) total flops.
+    pub total_flops: (u64, u64),
+}
+
+impl ProfileSummary {
+    /// Summarize per-rank profiles.
+    pub fn from_ranks(profiles: &[Profile]) -> ProfileSummary {
+        let n = profiles.len().max(1) as f64;
+        let mut secs = Vec::new();
+        let mut flops = Vec::new();
+        for ph in Phase::ALL {
+            let s_max = profiles.iter().map(|p| p.secs(ph)).fold(0.0, f64::max);
+            let s_avg = profiles.iter().map(|p| p.secs(ph)).sum::<f64>() / n;
+            secs.push((ph, s_max, s_avg));
+            let f_max = profiles.iter().map(|p| p.flops(ph)).max().unwrap_or(0);
+            let f_avg = (profiles.iter().map(|p| p.flops(ph)).sum::<u64>() as f64 / n) as u64;
+            flops.push((ph, f_max, f_avg));
+        }
+        let total = (
+            profiles.iter().map(|p| p.total_secs).fold(0.0, f64::max),
+            profiles.iter().map(|p| p.total_secs).sum::<f64>() / n,
+        );
+        let total_flops = (
+            profiles.iter().map(|p| p.total_flops()).max().unwrap_or(0),
+            (profiles.iter().map(|p| p.total_flops()).sum::<u64>() as f64 / n) as u64,
+        );
+        ProfileSummary { secs, flops, total, total_flops }
+    }
+
+    /// Render in the layout of the paper's Table II.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<12} {:>10} {:>10} {:>12} {:>12}\n",
+            "Event", "Max. Time", "Avg. Time", "Max. Flops", "Avg. Flops"
+        ));
+        s.push_str(&format!(
+            "{:<12} {:>10.2e} {:>10.2e} {:>12.2e} {:>12.2e}\n",
+            "Total eval", self.total.0, self.total.1, self.total_flops.0 as f64, self.total_flops.1 as f64
+        ));
+        for ((ph, smax, savg), (_, fmax, favg)) in self.secs.iter().zip(&self.flops) {
+            s.push_str(&format!(
+                "{:<12} {:>10.2e} {:>10.2e} {:>12.2e} {:>12.2e}\n",
+                ph.label(),
+                smax,
+                savg,
+                *fmax as f64,
+                *favg as f64
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_accumulates() {
+        let mut p = Profile::default();
+        p.timed(Phase::UList, |_| std::thread::sleep(std::time::Duration::from_millis(5)));
+        assert!(p.secs(Phase::UList) >= 0.004);
+        assert_eq!(p.secs(Phase::VList), 0.0);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let mut p = Profile::default();
+        p.add_flops(Phase::VList, 100);
+        p.add_flops(Phase::VList, 50);
+        p.add_flops(Phase::UList, 7);
+        assert_eq!(p.flops(Phase::VList), 150);
+        assert_eq!(p.total_flops(), 157);
+    }
+
+    #[test]
+    fn summary_max_avg() {
+        let mut a = Profile::default();
+        a.add_flops(Phase::UList, 100);
+        a.total_secs = 2.0;
+        let mut b = Profile::default();
+        b.add_flops(Phase::UList, 300);
+        b.total_secs = 4.0;
+        let s = ProfileSummary::from_ranks(&[a, b]);
+        assert_eq!(s.total, (4.0, 3.0));
+        let (_, fmax, favg) = s.flops[Phase::UList as usize];
+        let _ = favg;
+        assert_eq!(fmax, 300);
+        let rendered = s.render();
+        assert!(rendered.contains("U-list"));
+        assert!(rendered.contains("Total eval"));
+    }
+}

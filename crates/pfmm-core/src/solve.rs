@@ -1,0 +1,288 @@
+//! Krylov solvers over matrix-free operators — the consumption pattern of
+//! the paper's target application (§V: "the Stokes kernel ... is related
+//! to our target applications (fluid mechanics)", where the FMM is the
+//! matvec of a boundary-integral solve).
+//!
+//! [`gmres`] is a full-orthogonalization GMRES with a closure matvec;
+//! [`solve_second_kind`] packages the common case `(I + c·K)σ = b` with
+//! `K` an FMM plan, re-applying one plan per iteration.
+
+use pfmm_mpisim::Comm;
+
+use crate::driver::Fmm;
+use crate::plan::FmmPlan;
+
+/// Convergence report of a solve.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Relative residual after each iteration.
+    pub residuals: Vec<f64>,
+    /// Matrix-vector products consumed.
+    pub matvecs: usize,
+}
+
+impl SolveReport {
+    /// Final relative residual.
+    pub fn final_residual(&self) -> f64 {
+        self.residuals.last().copied().unwrap_or(f64::INFINITY)
+    }
+}
+
+/// Full-orthogonalization GMRES for a matrix-free operator.
+///
+/// Minimizes `‖b − A x‖` over the Krylov space built from `matvec`;
+/// suited to the well-conditioned second-kind systems FMMs appear in
+/// (iteration counts stay small, so full orthogonalization and the dense
+/// least-squares solve are cheap relative to one FMM application).
+///
+/// # Errors
+/// Returns the report with the residual history if `max_it` iterations do
+/// not reach `tol`.
+pub fn gmres(
+    matvec: impl FnMut(&[f64]) -> Vec<f64>,
+    b: &[f64],
+    tol: f64,
+    max_it: usize,
+) -> Result<(Vec<f64>, SolveReport), SolveReport> {
+    gmres_with_dot(matvec, |x, y| x.iter().zip(y).map(|(a, b)| a * b).sum(), b, tol, max_it)
+}
+
+/// [`gmres`] with a caller-supplied inner product — the hook that makes
+/// the iteration *distributed*: each rank holds its chunk of every vector
+/// and `dot` must return the **global** inner product (local partial plus
+/// an all-reduce), identically on every rank.
+///
+/// # Errors
+/// Returns the report with the residual history if `max_it` iterations do
+/// not reach `tol`.
+pub fn gmres_with_dot(
+    mut matvec: impl FnMut(&[f64]) -> Vec<f64>,
+    mut dot: impl FnMut(&[f64], &[f64]) -> f64,
+    b: &[f64],
+    tol: f64,
+    max_it: usize,
+) -> Result<(Vec<f64>, SolveReport), SolveReport> {
+    let n = b.len();
+    let mut norm = |v: &[f64]| dot(v, v).sqrt();
+    let beta = norm(b);
+    if beta == 0.0 {
+        return Ok((vec![0.0; n], SolveReport { residuals: vec![0.0], matvecs: 0 }));
+    }
+    let mut basis: Vec<Vec<f64>> = vec![b.iter().map(|x| x / beta).collect()];
+    let mut h: Vec<Vec<f64>> = Vec::new(); // columns of the Hessenberg
+    let mut residuals = Vec::new();
+    for j in 0..max_it {
+        // Arnoldi step with modified Gram–Schmidt.
+        let mut w = matvec(&basis[j]);
+        let mut hj = vec![0.0; j + 2];
+        for (i, v) in basis.iter().enumerate() {
+            let d = dot(&w, v);
+            hj[i] = d;
+            for (wk, vk) in w.iter_mut().zip(v) {
+                *wk -= d * vk;
+            }
+        }
+        hj[j + 1] = dot(&w, &w).sqrt();
+        let happy = hj[j + 1] < 1e-14 * beta.max(1.0);
+        h.push(hj);
+
+        // Solve the small least-squares min ‖β e₁ − H y‖ via normal
+        // equations (H is (m+1)×m with m = iterations so far — tiny).
+        let m = h.len();
+        let y = solve_hessenberg_ls(&h, beta);
+
+        // Residual from the Hessenberg relation (the Hessenberg is
+        // replicated on every rank, so this is a local computation).
+        let mut r = vec![0.0; m + 1];
+        r[0] = beta;
+        for (jc, yj) in y.iter().enumerate() {
+            for (i, hv) in h[jc].iter().enumerate() {
+                r[i] -= hv * yj;
+            }
+        }
+        let res = r.iter().map(|x| x * x).sum::<f64>().sqrt() / beta;
+        residuals.push(res);
+
+        if res < tol || happy {
+            let mut x = vec![0.0; n];
+            for (jc, yj) in y.iter().enumerate() {
+                for (xi, vi) in x.iter_mut().zip(&basis[jc]) {
+                    *xi += yj * vi;
+                }
+            }
+            let report = SolveReport { residuals, matvecs: m };
+            return Ok((x, report));
+        }
+        let hl = h[j][j + 1];
+        basis.push(w.iter().map(|x| x / hl).collect());
+    }
+    Err(SolveReport { residuals, matvecs: max_it })
+}
+
+/// Least squares `min ‖β e₁ − H y‖` for the (m+1)×m Hessenberg stored as
+/// columns, via the m×m normal equations and Gaussian elimination with
+/// partial pivoting.
+fn solve_hessenberg_ls(h: &[Vec<f64>], beta: f64) -> Vec<f64> {
+    let m = h.len();
+    let rows = m + 1;
+    let entry = |col: usize, row: usize| if row < h[col].len() { h[col][row] } else { 0.0 };
+    let mut a = vec![vec![0.0f64; m]; m];
+    let mut y = vec![0.0f64; m];
+    for i in 0..m {
+        for (j, aij) in a[i].iter_mut().enumerate() {
+            *aij = (0..rows).map(|r| entry(i, r) * entry(j, r)).sum();
+        }
+        y[i] = entry(i, 0) * beta;
+    }
+    for col in 0..m {
+        let piv = (col..m)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("nonempty");
+        a.swap(col, piv);
+        y.swap(col, piv);
+        let d = a[col][col];
+        for r in col + 1..m {
+            let f = a[r][col] / d;
+            let (top, bottom) = a.split_at_mut(r);
+            for (cc, bv) in bottom[0].iter_mut().enumerate().skip(col) {
+                *bv -= f * top[col][cc];
+            }
+            y[r] -= f * y[col];
+        }
+    }
+    for col in (0..m).rev() {
+        for r in col + 1..m {
+            y[col] -= a[col][r] * y[r];
+        }
+        y[col] /= a[col][col];
+    }
+    y
+}
+
+/// Solve the second-kind system `(I + c·K) σ = b`, with `K` the N-body
+/// operator of an FMM plan (densities and potentials in the plan's owned
+/// order). One plan build, one FMM application per GMRES iteration.
+///
+/// # Errors
+/// Returns the report when GMRES does not converge.
+///
+/// # Panics
+/// Panics if `b.len()` disagrees with the plan's owned points (times the
+/// kernel dimension).
+pub fn solve_second_kind(
+    fmm: &Fmm,
+    c: &Comm,
+    plan: &mut FmmPlan,
+    b: &[f64],
+    scale: f64,
+    tol: f64,
+    max_it: usize,
+) -> Result<(Vec<f64>, SolveReport), SolveReport> {
+    gmres_with_dot(
+        |sigma| {
+            let (k_sigma, _) = fmm.apply(c, plan, sigma);
+            sigma.iter().zip(&k_sigma).map(|(s, k)| s + scale * k).collect()
+        },
+        |x, y| {
+            // Global inner product: local partial + all-reduce, so every
+            // rank sees the same Krylov coefficients.
+            let local: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+            pfmm_mpisim::collectives::allreduce_one(c, local, |a, b| a + b)
+        },
+        b,
+        tol,
+        max_it,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distrib::uniform_cube;
+    use crate::driver::FmmConfig;
+    use pfmm_kernels::Laplace;
+    use pfmm_mpisim::run;
+    use std::sync::Arc;
+
+    /// Dense reference matvec for testing GMRES itself.
+    fn dense_matvec(a: &[Vec<f64>]) -> impl FnMut(&[f64]) -> Vec<f64> + '_ {
+        move |x: &[f64]| a.iter().map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum()).collect()
+    }
+
+    #[test]
+    fn gmres_solves_small_dense_system() {
+        let a = vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ];
+        let x_true = [1.0, -2.0, 0.5];
+        let b: Vec<f64> = a.iter().map(|r| r.iter().zip(&x_true).map(|(p, q)| p * q).sum()).collect();
+        let (x, rep) = gmres(dense_matvec(&a), &b, 1e-12, 10).expect("converges");
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        assert!(rep.matvecs <= 3, "exact in at most n steps: {}", rep.matvecs);
+    }
+
+    #[test]
+    fn gmres_identity_is_one_step() {
+        let n = 7;
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let (x, rep) = gmres(|v| v.to_vec(), &b, 1e-12, 3).expect("converges");
+        assert_eq!(rep.matvecs, 1);
+        for (a, c) in x.iter().zip(&b) {
+            assert!((a - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gmres_reports_non_convergence() {
+        // A rotation-like matrix makes GMRES need the full space; cap
+        // iterations below that.
+        let a = vec![
+            vec![0.0, -1.0, 0.0],
+            vec![1.0, 0.0, -1.0],
+            vec![0.0, 1.0, 0.0],
+        ];
+        let b = vec![1.0, 0.0, 0.0];
+        let err = gmres(dense_matvec(&a), &b, 1e-14, 1).expect_err("too few iterations");
+        assert_eq!(err.matvecs, 1);
+        assert!(err.final_residual() > 1e-14);
+    }
+
+    #[test]
+    fn gmres_zero_rhs_is_zero() {
+        let (x, rep) = gmres(|v| v.to_vec(), &[0.0; 4], 1e-12, 3).expect("trivial");
+        assert_eq!(x, vec![0.0; 4]);
+        assert_eq!(rep.matvecs, 0);
+    }
+
+    #[test]
+    fn second_kind_solve_with_fmm_plan() {
+        let n = 2000;
+        let pts = uniform_cube(n, 91, 0);
+        let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 50, ..Default::default() });
+        let (res, verify) = run(2, |c| {
+            let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(2).copied().collect();
+            let mut plan = fmm.plan(c, mine);
+            let b: Vec<f64> =
+                plan.owned_gids().iter().map(|g| 1.0 + (*g as f64 * 0.02).cos()).collect();
+            let scale = 1.0 / n as f64;
+            let (sigma, rep) =
+                solve_second_kind(&fmm, c, &mut plan, &b, scale, 1e-9, 40).expect("converges");
+            // Verify the residual independently.
+            let (k_sigma, _) = fmm.apply(c, &mut plan, &sigma);
+            let ax: Vec<f64> =
+                sigma.iter().zip(&k_sigma).map(|(s, k)| s + scale * k).collect();
+            let num: f64 =
+                ax.iter().zip(&b).map(|(a, bb)| (a - bb) * (a - bb)).sum::<f64>().sqrt();
+            let den: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+            (rep.final_residual(), num / den)
+        })
+        .pop()
+        .expect("rank 0");
+        assert!(res < 1e-9, "reported residual {res}");
+        assert!(verify < 1e-8, "true residual {verify}");
+    }
+}

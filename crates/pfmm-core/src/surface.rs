@@ -1,0 +1,114 @@
+//! Equivalent / check surface point generation.
+//!
+//! A surface of *order* `p` places points on the boundary nodes of a
+//! `p×p×p` lattice spanning a cube — `p³ − (p−2)³ = 6p² − 12p + 8` points.
+//! The four KIFMM surfaces of an octant with center `c` and half-width
+//! `r` are scaled copies of it:
+//!
+//! | surface          | scale  |
+//! |------------------|--------|
+//! | upward equivalent | 1.05  |
+//! | upward check      | 2.95  |
+//! | downward check    | 1.05  |
+//! | downward equivalent | 2.95 |
+//!
+//! (the classic KIFMM radii: the equivalent surface hugs the octant, the
+//! check surface sits just inside the closest possible evaluation point
+//! three halos away).
+
+use pfmm_kernels::Point3;
+
+/// Scale of the upward-equivalent / downward-check surfaces.
+pub const RAD_INNER: f64 = 1.05;
+/// Scale of the upward-check / downward-equivalent surfaces.
+pub const RAD_OUTER: f64 = 2.95;
+
+/// Number of surface points of order `p`.
+pub fn surface_size(p: usize) -> usize {
+    debug_assert!(p >= 2);
+    6 * p * p - 12 * p + 8
+}
+
+/// Multi-indices (i, j, k) of the boundary nodes of a `p³` lattice, in
+/// lexicographic order. Shared by the dense operators and the FFT grid
+/// embedding (which must agree on the ordering).
+pub fn surface_grid_indices(p: usize) -> Vec<[usize; 3]> {
+    let mut out = Vec::with_capacity(surface_size(p));
+    for i in 0..p {
+        for j in 0..p {
+            for k in 0..p {
+                if i == 0 || i == p - 1 || j == 0 || j == p - 1 || k == 0 || k == p - 1 {
+                    out.push([i, j, k]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Surface points of order `p` for an octant with center `c` and
+/// half-width `r`, scaled by `scale`.
+pub fn surface_points(p: usize, c: &Point3, r: f64, scale: f64) -> Vec<Point3> {
+    let h = scale * r;
+    surface_grid_indices(p)
+        .into_iter()
+        .map(|[i, j, k]| {
+            let f = |t: usize| 2.0 * t as f64 / (p - 1) as f64 - 1.0;
+            [c[0] + h * f(i), c[1] + h * f(j), c[2] + h * f(k)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(surface_size(2), 8);
+        assert_eq!(surface_size(4), 56);
+        assert_eq!(surface_size(6), 152);
+        for p in 2..8 {
+            assert_eq!(surface_grid_indices(p).len(), surface_size(p));
+        }
+    }
+
+    #[test]
+    fn points_lie_on_cube_surface() {
+        let c = [0.5, 0.5, 0.5];
+        let r = 0.25;
+        let s = 1.05;
+        for pt in surface_points(4, &c, r, s) {
+            let d = (0..3)
+                .map(|i| (pt[i] - c[i]).abs())
+                .fold(0.0f64, f64::max);
+            assert!((d - s * r).abs() < 1e-12, "max-norm distance is the radius");
+        }
+    }
+
+    #[test]
+    fn surface_symmetric_about_center() {
+        let c = [0.3, 0.6, 0.2];
+        let pts = surface_points(3, &c, 0.1, 2.95);
+        let mean: [f64; 3] = (0..3)
+            .map(|d| pts.iter().map(|p| p[d]).sum::<f64>() / pts.len() as f64)
+            .collect::<Vec<_>>()
+            .try_into()
+            .expect("three components");
+        for d in 0..3 {
+            assert!((mean[d] - c[d]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn indices_cover_all_faces() {
+        let idx = surface_grid_indices(4);
+        for face in 0..3 {
+            assert!(idx.iter().any(|m| m[face] == 0));
+            assert!(idx.iter().any(|m| m[face] == 3));
+        }
+        // No interior nodes.
+        assert!(!idx.contains(&[1, 1, 1]));
+        assert!(!idx.contains(&[2, 2, 1]));
+    }
+}

@@ -1,0 +1,140 @@
+//! Points-per-box autotuning.
+//!
+//! The paper's Table III experiment "resembles the tuning phase and can
+//! be part of an autotuning algorithm": the optimal `q` balances the
+//! direct U-list work (grows with `q`) against the translation work
+//! (shrinks with `q`), and the optimum depends on the kernel, the
+//! surface order, and the architecture. [`autotune_q`] runs the real
+//! pipeline on a subsample and picks the `q` minimizing measured
+//! evaluation time; [`autotune_q_modeled`] minimizes modeled 2009-rate
+//! time from the flop counters instead (deterministic, host-independent —
+//! what a batch scheduler would use).
+
+use pfmm_mpisim::run;
+use pfmm_tree::PointRec;
+
+use crate::driver::{Fmm, FmmConfig};
+use crate::profile::Phase;
+
+/// Result of one tuning probe.
+#[derive(Copy, Clone, Debug)]
+pub struct TunePoint {
+    /// Candidate points-per-box.
+    pub q: usize,
+    /// Measured evaluation seconds on the subsample.
+    pub wall_secs: f64,
+    /// Modeled 2009-rate seconds from the flop counters.
+    pub modeled_secs: f64,
+}
+
+/// Probe every candidate `q` on (a subsample of) the points and return
+/// the per-candidate costs. `sample` bounds the subsample size; the
+/// subsample keeps the distribution's shape by striding.
+pub fn tune_sweep(
+    fmm_for: impl Fn(usize) -> Fmm,
+    points: &[PointRec],
+    candidates: &[usize],
+    sample: usize,
+) -> Vec<TunePoint> {
+    let stride = (points.len() / sample.max(1)).max(1);
+    let sub: Vec<PointRec> = points.iter().step_by(stride).copied().collect();
+    candidates
+        .iter()
+        .map(|&q| {
+            let fmm = fmm_for(q);
+            let prof = run(1, |c| fmm.evaluate(c, sub.clone()).profile.clone())
+                .pop()
+                .expect("one rank");
+            let modeled = Phase::ALL
+                .iter()
+                .map(|&ph| prof.flops(ph) as f64 / 0.5e9)
+                .sum();
+            TunePoint { q, wall_secs: prof.total_secs, modeled_secs: modeled }
+        })
+        .collect()
+}
+
+/// Pick the `q` minimizing measured evaluation time on a subsample.
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn autotune_q(cfg: FmmConfig, kernel: std::sync::Arc<dyn pfmm_kernels::Kernel>, points: &[PointRec], candidates: &[usize], sample: usize) -> usize {
+    assert!(!candidates.is_empty());
+    let sweep = tune_sweep(
+        |q| Fmm::new(kernel.clone(), FmmConfig { q, ..cfg }),
+        points,
+        candidates,
+        sample,
+    );
+    sweep
+        .iter()
+        .min_by(|a, b| a.wall_secs.partial_cmp(&b.wall_secs).expect("finite times"))
+        .expect("nonempty")
+        .q
+}
+
+/// Pick the `q` minimizing *modeled* evaluation time (deterministic).
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn autotune_q_modeled(cfg: FmmConfig, kernel: std::sync::Arc<dyn pfmm_kernels::Kernel>, points: &[PointRec], candidates: &[usize], sample: usize) -> usize {
+    assert!(!candidates.is_empty());
+    let sweep = tune_sweep(
+        |q| Fmm::new(kernel.clone(), FmmConfig { q, ..cfg }),
+        points,
+        candidates,
+        sample,
+    );
+    sweep
+        .iter()
+        .min_by(|a, b| a.modeled_secs.partial_cmp(&b.modeled_secs).expect("finite times"))
+        .expect("nonempty")
+        .q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distrib::{randomize_densities, uniform_cube};
+    use pfmm_kernels::Laplace;
+    use std::sync::Arc;
+
+    #[test]
+    fn sweep_probes_every_candidate() {
+        let mut pts = uniform_cube(3000, 41, 0);
+        randomize_densities(&mut pts, 1, 2);
+        let cfg = FmmConfig { order: 4, ..Default::default() };
+        let sweep = tune_sweep(
+            |q| Fmm::new(Arc::new(Laplace), FmmConfig { q, ..cfg }),
+            &pts,
+            &[10, 60, 400],
+            1500,
+        );
+        assert_eq!(sweep.len(), 3);
+        for t in &sweep {
+            assert!(t.wall_secs > 0.0 && t.modeled_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn modeled_tuner_avoids_extremes() {
+        // On a uniform cloud, a tiny q (all translation) and a huge q
+        // (all direct) both lose to a middle q — the Table III shape.
+        let mut pts = uniform_cube(6000, 43, 0);
+        randomize_densities(&mut pts, 1, 3);
+        let cfg = FmmConfig { order: 4, ..Default::default() };
+        let sweep = tune_sweep(
+            |q| Fmm::new(Arc::new(Laplace), FmmConfig { q, ..cfg }),
+            &pts,
+            &[2, 50, 6000],
+            6000,
+        );
+        let best = sweep
+            .iter()
+            .min_by(|a, b| a.modeled_secs.partial_cmp(&b.modeled_secs).expect("finite"))
+            .expect("nonempty");
+        assert_eq!(best.q, 50, "{sweep:?}");
+        let chosen = autotune_q_modeled(cfg, Arc::new(Laplace), &pts, &[2, 50, 6000], 6000);
+        assert_eq!(chosen, 50);
+    }
+}

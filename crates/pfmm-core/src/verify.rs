@@ -1,0 +1,112 @@
+//! Verification against the exact direct sum.
+//!
+//! An FMM without an error check is a random-number generator; this
+//! module provides the standard sampled verification used by the
+//! examples, tests, and harnesses: evaluate the O(N²) sum exactly at a
+//! strided subsample of targets and compare.
+
+use std::collections::HashMap;
+
+use pfmm_kernels::{direct_eval, Kernel, Point3};
+use pfmm_tree::PointRec;
+
+/// Relative ℓ² error of FMM potentials against the exact direct sum, on
+/// every `stride`-th point (`stride = 1` checks everything).
+///
+/// `results` holds `(gid, potential)` pairs (as returned by
+/// `gather_potentials`); `points` is the full input cloud the potentials
+/// were computed from. Sampled targets still interact with *all* points,
+/// so the check costs `O(N²/stride)`.
+///
+/// # Panics
+/// Panics if a sampled gid is missing from `results`, if `stride` is
+/// zero, or if the potential packing disagrees with the kernel's
+/// `target_dim`.
+pub fn sampled_rel_error(
+    kernel: &dyn Kernel,
+    points: &[PointRec],
+    results: &[(u64, Vec<f64>)],
+    stride: usize,
+) -> f64 {
+    assert!(stride > 0, "stride must be positive");
+    let sd = kernel.source_dim();
+    let td = kernel.target_dim();
+    let pos: Vec<Point3> = points.iter().map(|p| p.pos).collect();
+    let mut den = Vec::with_capacity(points.len() * sd);
+    for p in points {
+        den.extend_from_slice(&p.den[..sd]);
+    }
+    let by_gid: HashMap<u64, &Vec<f64>> = results.iter().map(|(g, v)| (*g, v)).collect();
+
+    let mut num = 0.0f64;
+    let mut dnm = 0.0f64;
+    for p in points.iter().step_by(stride) {
+        let mut exact = vec![0.0f64; td];
+        direct_eval(kernel, &[p.pos], &pos, &den, &mut exact);
+        let got = by_gid
+            .get(&p.gid)
+            .unwrap_or_else(|| panic!("no potential returned for gid {}", p.gid));
+        assert_eq!(got.len(), td, "potential packing");
+        for t in 0..td {
+            num += (got[t] - exact[t]).powi(2);
+            dnm += exact[t] * exact[t];
+        }
+    }
+    if dnm == 0.0 {
+        return if num == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (num / dnm).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distrib::{randomize_densities, uniform_cube};
+    use crate::driver::{gather_potentials, Fmm, FmmConfig};
+    use pfmm_kernels::Laplace;
+    use pfmm_mpisim::run;
+    use std::sync::Arc;
+
+    fn results_for(pts: &[PointRec], order: usize) -> Vec<(u64, Vec<f64>)> {
+        let fmm =
+            Fmm::new(Arc::new(Laplace), FmmConfig { order, q: 40, ..Default::default() });
+        run(1, |c| {
+            let res = fmm.evaluate(c, pts.to_vec());
+            gather_potentials(c, &res, 1)
+        })
+        .pop()
+        .expect("one rank")
+    }
+
+    #[test]
+    fn fmm_verifies_small() {
+        let mut pts = uniform_cube(600, 71, 0);
+        randomize_densities(&mut pts, 1, 3);
+        let res = results_for(&pts, 6);
+        let err = sampled_rel_error(&Laplace, &pts, &res, 7);
+        assert!(err < 1e-4, "{err}");
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut pts = uniform_cube(400, 73, 0);
+        randomize_densities(&mut pts, 1, 5);
+        let mut res = results_for(&pts, 4);
+        // Corrupt one potential; the strided check must notice when it
+        // samples that gid.
+        res[0].1[0] += 100.0;
+        let err = sampled_rel_error(&Laplace, &pts, &res, 1);
+        assert!(err > 1.0, "corruption visible: {err}");
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let mut pts = uniform_cube(500, 79, 0);
+        randomize_densities(&mut pts, 1, 7);
+        let res = results_for(&pts, 4);
+        let full = sampled_rel_error(&Laplace, &pts, &res, 1);
+        let sub = sampled_rel_error(&Laplace, &pts, &res, 13);
+        // Both estimates sit at the same truncation scale.
+        assert!(sub < 10.0 * full.max(1e-12) && full < 1e-3, "{full} vs {sub}");
+    }
+}

@@ -1,0 +1,263 @@
+//! 1-D FFT: iterative radix-2 with a Bluestein fallback for arbitrary
+//! lengths. Plans cache twiddle factors so repeated transforms of the same
+//! size (the per-octant M2L grids) pay setup once.
+
+use crate::complex::Complex;
+
+/// A cached transform plan for a fixed length.
+///
+/// ```
+/// use pfmm_fft::{Complex, FftPlan};
+///
+/// let plan = FftPlan::new(12); // non-power-of-two: Bluestein path
+/// let x: Vec<Complex> = (0..12).map(|i| Complex::real(i as f64)).collect();
+/// let mut y = x.clone();
+/// plan.forward(&mut y);
+/// plan.inverse(&mut y);
+/// for (a, b) in x.iter().zip(&y) {
+///     assert!((*a - *b).abs() < 1e-10);
+/// }
+/// ```
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+enum PlanKind {
+    /// Power-of-two length: iterative Cooley–Tukey with cached twiddles.
+    Radix2 { twiddles: Vec<Complex> },
+    /// Arbitrary length via Bluestein's chirp-z: two radix-2 transforms of
+    /// padded length `m`.
+    Bluestein {
+        m: usize,
+        chirp: Vec<Complex>,
+        /// Forward transform of the zero-padded conjugate chirp.
+        bhat: Vec<Complex>,
+        inner: Box<FftPlan>,
+    },
+}
+
+impl FftPlan {
+    /// Plan a transform of length `n` (`n >= 1`).
+    pub fn new(n: usize) -> FftPlan {
+        assert!(n >= 1, "FFT length must be positive");
+        if n.is_power_of_two() {
+            // Twiddles for all stages: w_m^k for m = 2,4,...,n.
+            let mut twiddles = Vec::with_capacity(n.max(1));
+            let mut m = 2;
+            while m <= n {
+                for k in 0..m / 2 {
+                    twiddles
+                        .push(Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / m as f64));
+                }
+                m <<= 1;
+            }
+            FftPlan { n, kind: PlanKind::Radix2 { twiddles } }
+        } else {
+            let m = (2 * n - 1).next_power_of_two();
+            let mut chirp = Vec::with_capacity(n);
+            for k in 0..n {
+                // w_k = e^{-iπ k² / n}; k² mod 2n keeps the argument small.
+                let kk = (k * k) % (2 * n);
+                chirp.push(Complex::cis(-std::f64::consts::PI * kk as f64 / n as f64));
+            }
+            let inner = Box::new(FftPlan::new(m));
+            let mut b = vec![Complex::ZERO; m];
+            b[0] = chirp[0].conj();
+            for k in 1..n {
+                b[k] = chirp[k].conj();
+                b[m - k] = chirp[k].conj();
+            }
+            inner.forward(&mut b);
+            FftPlan { n, kind: PlanKind::Bluestein { m, chirp, bhat: b, inner } }
+        }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the plan length is zero (never: lengths are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward DFT: `X[k] = Σ_j x[j] e^{-2πi jk/n}`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "plan/buffer length mismatch");
+        match &self.kind {
+            PlanKind::Radix2 { twiddles } => radix2(data, twiddles),
+            PlanKind::Bluestein { m, chirp, bhat, inner } => {
+                let n = self.n;
+                let mut a = vec![Complex::ZERO; *m];
+                for k in 0..n {
+                    a[k] = data[k] * chirp[k];
+                }
+                inner.forward(&mut a);
+                for (x, b) in a.iter_mut().zip(bhat) {
+                    *x *= *b;
+                }
+                inner.inverse(&mut a);
+                for k in 0..n {
+                    data[k] = a[k] * chirp[k];
+                }
+            }
+        }
+    }
+
+    /// In-place inverse DFT (normalized by `1/n`).
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "plan/buffer length mismatch");
+        for v in data.iter_mut() {
+            *v = v.conj();
+        }
+        self.forward(data);
+        let inv = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.conj().scale(inv);
+        }
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey, decimation in time.
+fn radix2(data: &mut [Complex], twiddles: &[Complex]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages; twiddles for stage of width m start at offset m/2-1.
+    let mut m = 2;
+    let mut toff = 0;
+    while m <= n {
+        let half = m / 2;
+        let stage = &twiddles[toff..toff + half];
+        let mut start = 0;
+        while start < n {
+            for k in 0..half {
+                let w = stage[k];
+                let u = data[start + k];
+                let t = data[start + k + half] * w;
+                data[start + k] = u + t;
+                data[start + k + half] = u - t;
+            }
+            start += m;
+        }
+        toff += half;
+        m <<= 1;
+    }
+}
+
+/// Reference DFT used by tests (O(n²)).
+#[doc(hidden)]
+pub fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex> {
+        // Small deterministic LCG; avoids pulling rand into this substrate.
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                Complex::new(a, b)
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let x = rand_signal(n, n as u64);
+            let mut y = x.clone();
+            FftPlan::new(n).forward(&mut y);
+            assert_close(&y, &naive_dft(&x), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary() {
+        for n in [3usize, 5, 6, 7, 12, 15, 31] {
+            let x = rand_signal(n, 100 + n as u64);
+            let mut y = x.clone();
+            FftPlan::new(n).forward(&mut y);
+            assert_close(&y, &naive_dft(&x), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [8usize, 10, 27, 32] {
+            let plan = FftPlan::new(n);
+            let x = rand_signal(n, 7 * n as u64);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            assert_close(&y, &x, 1e-10);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 16;
+        let mut x = vec![Complex::ZERO; n];
+        x[0] = Complex::ONE;
+        FftPlan::new(n).forward(&mut x);
+        for v in x {
+            assert!((v - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 32;
+        let x = rand_signal(n, 5);
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut y = x;
+        FftPlan::new(n).forward(&mut y);
+        let freq_energy: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fast Fourier transforms for the FFT-diagonalized V-list translation.
+//!
+//! The KIFMM's V-list (M2L) operator is a convolution on the regular grid
+//! carrying the equivalent densities; diagonalizing it requires a 3-D FFT
+//! (paper §IV: "It is based on a Fast Fourier Transform-based
+//! diagonalization of the T operator"). No external FFT crate is used —
+//! this substrate implements an iterative radix-2 transform with a
+//! Bluestein fallback for arbitrary lengths, plus the 3-D tensor transform
+//! built from 1-D passes.
+
+pub mod complex;
+pub mod fft1d;
+pub mod fft3d;
+
+pub use complex::Complex;
+pub use fft1d::FftPlan;
+pub use fft3d::Fft3;

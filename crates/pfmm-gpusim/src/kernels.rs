@@ -1,0 +1,609 @@
+//! The GPU FMM kernels of §IV, single precision, with per-block traffic
+//! tallies.
+//!
+//! These follow the paper's CUDA structure kernel by kernel:
+//!
+//! - [`uli`] — Algorithm 4: one thread block per tile of `b` target
+//!   points; source boxes stream through shared memory in `b`-point
+//!   tiles; self-interactions are suppressed with the IEEE
+//!   `max(NaN, x) = x` trick instead of a branch.
+//! - [`s2u`] — source-to-multipole: check-surface coordinates are
+//!   regenerated from the octant center/level "using information that is
+//!   permanently resident in the shared memory", so the only global
+//!   traffic is the box's points and the (launch-wide) UC2E matrix.
+//! - [`d2t`] — local-to-target: symmetric to `s2u`.
+//! - [`vli_hadamard`] — the diagonal (frequency-space) V-list translation:
+//!   one complex multiply-add per grid cell per interaction, the
+//!   bandwidth-bound phase ("the least efficient in the GPU as the ratio
+//!   between computation and memory fetches is small").
+//! - [`wli`] / [`xli`] — the W/X lists, which the paper left on the CPU
+//!   ("our ongoing work includes transferring the W,X-lists on the GPU");
+//!   implemented here as the stated future work and selectable in the
+//!   pipeline via `GpuOptions::wx_on_gpu`.
+//!
+//! The GPU path is Laplace-specific, like the paper's ("For the GPU
+//! results, we used the Laplacian kernel").
+
+use crate::device::{launch_blocks_map, KernelStats};
+use crate::layout::GpuLayout;
+
+const INV_4PI_F32: f32 = 1.0 / (4.0 * std::f32::consts::PI);
+
+/// One pairwise Laplace interaction with the NaN-max self-suppression
+/// (Algorithm 4 step 8 + the IEEE trick of §IV).
+#[inline]
+fn interact(t: [f32; 3], s: [f32; 4]) -> f32 {
+    let dx = t[0] - s[0];
+    let dy = t[1] - s[1];
+    let dz = t[2] - s[2];
+    let r2 = dx * dx + dy * dy + dz * dz;
+    let inv = 1.0f32 / r2.sqrt(); // +inf at zero distance
+    // Intentional self-subtraction: inf - inf = NaN, max(NaN, 0) = 0.
+    #[allow(clippy::eq_op)]
+    let inv = (inv + (inv - inv)).max(0.0);
+    s[3] * inv
+}
+
+/// Algorithm 4: the direct U-list sum. Returns potentials aligned with
+/// the layout's padded target array.
+pub fn uli(lay: &GpuLayout) -> (Vec<f32>, KernelStats) {
+    let b = lay.block;
+    // One block per b-wide tile of each target box.
+    let mut blocks: Vec<(usize, usize)> = Vec::new();
+    for tb in 0..lay.num_tgt_boxes() {
+        let start = lay.tgt_off[tb] as usize;
+        let end = if tb + 1 < lay.num_tgt_boxes() {
+            lay.tgt_off[tb + 1] as usize
+        } else {
+            lay.tgt.len()
+        };
+        for tile in (start..end).step_by(b) {
+            blocks.push((tb, tile));
+        }
+    }
+
+    let (tiles, stats) = launch_blocks_map(blocks.len(), |blk, tally| {
+        let (tb, t0) = blocks[blk];
+        let tgt = &lay.tgt[t0..t0 + b];
+        tally.gmem_coalesced += (b * 12) as u64; // target loads
+        let mut acc = vec![0.0f32; b];
+        let row = &lay.ulist[lay.ulist_off[tb] as usize..lay.ulist_off[tb + 1] as usize];
+        for &sb in row {
+            let r = lay.src_range(sb as usize);
+            for tile_s in r.clone().step_by(b) {
+                // Cooperative shared-memory load of one source tile.
+                let srcs = &lay.src[tile_s..tile_s + b];
+                tally.gmem_coalesced += (b * 16) as u64;
+                tally.smem_accesses += (b + b * b) as u64;
+                for (i, &t) in tgt.iter().enumerate() {
+                    let mut a = 0.0f32;
+                    for &s in srcs {
+                        a += interact(t, s);
+                    }
+                    acc[i] += a;
+                }
+                tally.flops += (20 * b * b) as u64;
+            }
+        }
+        for a in &mut acc {
+            *a *= INV_4PI_F32;
+        }
+        tally.gmem_coalesced += (b * 4) as u64; // potential store
+        (t0, acc)
+    });
+
+    let mut out = vec![0.0f32; lay.tgt.len()];
+    for (t0, acc) in tiles {
+        out[t0..t0 + lay.block].copy_from_slice(&acc);
+    }
+    (out, stats)
+}
+
+/// A leaf box descriptor for the surface kernels.
+#[derive(Copy, Clone, Debug)]
+pub struct SurfBox {
+    /// Octant center.
+    pub center: [f32; 3],
+    /// Octant half-width.
+    pub radius: f32,
+    /// Offset into the padded point array.
+    pub pt_off: u32,
+    /// Padded point count (multiple of the block size).
+    pub pt_len: u32,
+    /// Homogeneous per-level operator scale.
+    pub scale: f32,
+}
+
+/// Source-to-multipole: for every box, evaluate the upward check
+/// potential from its points at surface coordinates regenerated
+/// in-register, then apply the (launch-constant) UC2E matrix.
+///
+/// `check_rel` is the check-surface template (unit radius), `uc2e` the
+/// `n×n` row-major conversion matrix; returns `n` upward-equivalent
+/// densities per box.
+pub fn s2u(
+    boxes: &[SurfBox],
+    src: &[[f32; 4]],
+    check_rel: &[[f32; 3]],
+    uc2e: &[f32],
+) -> (Vec<f32>, KernelStats) {
+    let n = check_rel.len();
+    debug_assert_eq!(uc2e.len(), n * n);
+    let (per_box, mut stats) = launch_blocks_map(boxes.len(), |blk, tally| {
+        let bx = boxes[blk];
+        let pts = &src[bx.pt_off as usize..(bx.pt_off + bx.pt_len) as usize];
+        tally.gmem_coalesced += (pts.len() * 16) as u64 + 16; // points + box record
+        // Check potential; surface points generated from (center, radius).
+        let mut ucheck = vec![0.0f32; n];
+        for (t, rel) in ucheck.iter_mut().zip(check_rel) {
+            let x = [
+                bx.center[0] + bx.radius * rel[0],
+                bx.center[1] + bx.radius * rel[1],
+                bx.center[2] + bx.radius * rel[2],
+            ];
+            let mut a = 0.0f32;
+            for &s in pts {
+                a += interact(x, s);
+            }
+            *t = a * INV_4PI_F32;
+        }
+        tally.flops += (20 * pts.len() * n) as u64;
+        // u = scale * UC2E * ucheck.
+        let mut u = vec![0.0f32; n];
+        for (i, ui) in u.iter_mut().enumerate() {
+            let row = &uc2e[i * n..(i + 1) * n];
+            let mut a = 0.0f32;
+            for (m, c) in row.iter().zip(&ucheck) {
+                a += m * c;
+            }
+            *ui = bx.scale * a;
+        }
+        tally.flops += (2 * n * n) as u64;
+        tally.smem_accesses += (2 * n * n) as u64;
+        tally.gmem_coalesced += (n * 4) as u64; // store u
+        u
+    });
+    // The UC2E matrix crosses global memory once per launch (constant
+    // cache afterwards).
+    stats.tally.gmem_coalesced += (n * n * 4) as u64;
+    (per_box.concat(), stats)
+}
+
+/// Local-to-target: evaluate each box's downward equivalent density (on
+/// surface coordinates regenerated in-register) at the box's own targets.
+///
+/// `equiv_rel` is the downward-equivalent surface template (unit radius);
+/// `d` holds `n` densities per box; returns potentials aligned with the
+/// padded target array section of each box.
+pub fn d2t(
+    boxes: &[SurfBox],
+    tgt: &[[f32; 3]],
+    equiv_rel: &[[f32; 3]],
+    d: &[f32],
+) -> (Vec<f32>, KernelStats) {
+    let n = equiv_rel.len();
+    let (per_box, stats) = launch_blocks_map(boxes.len(), |blk, tally| {
+        let bx = boxes[blk];
+        let targets = &tgt[bx.pt_off as usize..(bx.pt_off + bx.pt_len) as usize];
+        let dens = &d[blk * n..(blk + 1) * n];
+        tally.gmem_coalesced += (targets.len() * 12 + n * 4) as u64 + 16;
+        let mut out = vec![0.0f32; targets.len()];
+        for (o, &t) in out.iter_mut().zip(targets) {
+            let mut a = 0.0f32;
+            for (rel, &q) in equiv_rel.iter().zip(dens) {
+                let s = [
+                    bx.center[0] + bx.radius * rel[0],
+                    bx.center[1] + bx.radius * rel[1],
+                    bx.center[2] + bx.radius * rel[2],
+                    q,
+                ];
+                a += interact(t, s);
+            }
+            *o = a * INV_4PI_F32;
+        }
+        tally.flops += (20 * targets.len() * n) as u64;
+        tally.gmem_coalesced += (targets.len() * 4) as u64;
+        out
+    });
+    (per_box.concat(), stats)
+}
+
+/// W-list on the GPU — the paper's stated *ongoing work* ("transferring
+/// the W,X-lists on the GPU"), implemented here as the natural extension
+/// of [`d2t`]: for each target box, stream the upward-equivalent
+/// densities of its W-list octants (surface coordinates regenerated
+/// in-register from each source box descriptor) and accumulate at the
+/// box's targets.
+///
+/// `wlist` is a CSR over target boxes of indices into `src_boxes`/`u`
+/// (one `n`-density block per W source, `equiv_rel` the upward-equivalent
+/// template).
+pub fn wli(
+    tgt_boxes: &[SurfBox],
+    tgt: &[[f32; 3]],
+    wlist_off: &[u32],
+    wlist: &[u32],
+    src_boxes: &[SurfBox],
+    equiv_rel: &[[f32; 3]],
+    u: &[f32],
+) -> (Vec<f32>, KernelStats) {
+    let n = equiv_rel.len();
+    let (per_box, stats) = launch_blocks_map(tgt_boxes.len(), |blk, tally| {
+        let bx = tgt_boxes[blk];
+        let targets = &tgt[bx.pt_off as usize..(bx.pt_off + bx.pt_len) as usize];
+        let mut out = vec![0.0f32; targets.len()];
+        tally.gmem_coalesced += (targets.len() * 12) as u64 + 16;
+        for &w in &wlist[wlist_off[blk] as usize..wlist_off[blk + 1] as usize] {
+            let sb = src_boxes[w as usize];
+            let dens = &u[w as usize * n..(w as usize + 1) * n];
+            tally.gmem_coalesced += (n * 4) as u64 + 16; // densities + box record
+            for (o, &t) in out.iter_mut().zip(targets) {
+                let mut a = 0.0f32;
+                for (rel, &q) in equiv_rel.iter().zip(dens) {
+                    let s = [
+                        sb.center[0] + sb.radius * rel[0],
+                        sb.center[1] + sb.radius * rel[1],
+                        sb.center[2] + sb.radius * rel[2],
+                        q,
+                    ];
+                    a += interact(t, s);
+                }
+                *o += a;
+            }
+            tally.flops += (20 * targets.len() * n) as u64;
+        }
+        for o in &mut out {
+            *o *= INV_4PI_F32;
+        }
+        tally.gmem_coalesced += (targets.len() * 4) as u64;
+        out
+    });
+    (per_box.concat(), stats)
+}
+
+/// X-list on the GPU — the dual of [`wli`]: for each target octant,
+/// stream the *source points* of its X-list leaves and accumulate the
+/// potential at the target's downward-check surface coordinates
+/// (regenerated in-register).
+///
+/// `xlist` is a CSR over target octant descriptors of source-box ids in
+/// the padded point layout; returns `n` check values per target.
+pub fn xli(
+    tgt_boxes: &[SurfBox],
+    xlist_off: &[u32],
+    xlist: &[u32],
+    src: &[[f32; 4]],
+    src_off: &(dyn Fn(usize) -> std::ops::Range<usize> + Sync),
+    check_rel: &[[f32; 3]],
+) -> (Vec<f32>, KernelStats) {
+    let n = check_rel.len();
+    let (per_box, stats) = launch_blocks_map(tgt_boxes.len(), |blk, tally| {
+        let bx = tgt_boxes[blk];
+        let mut out = vec![0.0f32; n];
+        tally.gmem_coalesced += 16;
+        for &sbid in &xlist[xlist_off[blk] as usize..xlist_off[blk + 1] as usize] {
+            let pts = &src[src_off(sbid as usize)];
+            tally.gmem_coalesced += (pts.len() * 16) as u64;
+            tally.smem_accesses += (pts.len() + pts.len() * n) as u64;
+            for (o, rel) in out.iter_mut().zip(check_rel) {
+                let x = [
+                    bx.center[0] + bx.radius * rel[0],
+                    bx.center[1] + bx.radius * rel[1],
+                    bx.center[2] + bx.radius * rel[2],
+                ];
+                let mut a = 0.0f32;
+                for &s in pts {
+                    a += interact(x, s);
+                }
+                *o += a;
+            }
+            tally.flops += (20 * pts.len() * n) as u64;
+        }
+        for o in &mut out {
+            *o *= INV_4PI_F32;
+        }
+        tally.gmem_coalesced += (n * 4) as u64;
+        out
+    });
+    (per_box.concat(), stats)
+}
+
+/// The frequency-space V-list translation: for each target octant,
+/// `acc += scale · k̂ ⊙ û` over its interaction pairs. Spectra are
+/// interleaved `[re, im]` pairs of length `2g`; returns one accumulator
+/// grid per target.
+pub fn vli_hadamard(
+    g: usize,
+    pairs_off: &[u32],
+    pair_khat: &[u32],
+    pair_uhat: &[u32],
+    pair_scale: &[f32],
+    khats: &[f32],
+    uhats: &[f32],
+) -> (Vec<f32>, KernelStats) {
+    let ntgt = pairs_off.len() - 1;
+    let (per_tgt, stats) = launch_blocks_map(ntgt, |tb, tally| {
+        let mut acc = vec![0.0f32; 2 * g];
+        for p in pairs_off[tb] as usize..pairs_off[tb + 1] as usize {
+            let kh = &khats[pair_khat[p] as usize * 2 * g..(pair_khat[p] as usize + 1) * 2 * g];
+            let uh = &uhats[pair_uhat[p] as usize * 2 * g..(pair_uhat[p] as usize + 1) * 2 * g];
+            let s = pair_scale[p];
+            tally.gmem_coalesced += (2 * 2 * g * 4) as u64; // two spectra
+            for i in 0..g {
+                let (kr, ki) = (kh[2 * i], kh[2 * i + 1]);
+                let (ur, ui) = (uh[2 * i], uh[2 * i + 1]);
+                acc[2 * i] += s * (kr * ur - ki * ui);
+                acc[2 * i + 1] += s * (kr * ui + ki * ur);
+            }
+            tally.flops += (10 * g) as u64;
+        }
+        tally.gmem_coalesced += (2 * g * 4) as u64; // accumulator store
+        acc
+    });
+    (per_tgt.concat(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfmm_kernels::direct_eval_f32;
+    use pfmm_mpisim::run;
+    use pfmm_tree::{build_lists, build_let, points_to_octree, PointRec};
+
+    fn layout_of(n: usize, q: usize, block: usize) -> (GpuLayout, Vec<PointRec>) {
+        let pts: Vec<PointRec> = (0..n)
+            .map(|i| {
+                let f = (i as f64 * 0.618_033_98) % 1.0;
+                let g = (i as f64 * 0.324_717_96) % 1.0;
+                let h = (i as f64 * 0.122_561_87) % 1.0;
+                PointRec::scalar([f, g, h], (i % 5) as f64 - 2.0, i as u64)
+            })
+            .collect();
+        let lay = run(1, |c| {
+            let t = points_to_octree(c, pts.clone(), q);
+            let l = build_let(c, &t);
+            let lists = build_lists(&l);
+            GpuLayout::build(&l, &lists, block)
+        })
+        .pop()
+        .expect("one rank");
+        (lay, pts)
+    }
+
+    #[test]
+    fn interact_skips_self_without_branch() {
+        let p = [0.25f32, 0.5, 0.75];
+        assert_eq!(interact(p, [p[0], p[1], p[2], 9.0]), 0.0);
+        let v = interact(p, [p[0] + 0.5, p[1], p[2], 2.0]);
+        assert!((v - 4.0).abs() < 1e-6);
+    }
+
+    /// The GPU U-list sum for a one-leaf tree (everything direct) must
+    /// match the reference f32 direct sum exactly.
+    #[test]
+    fn uli_matches_direct_on_single_leaf() {
+        let (lay, pts) = layout_of(50, 64, 32);
+        assert_eq!(lay.num_tgt_boxes(), 1);
+        let (out, stats) = uli(&lay);
+        let t32: Vec<[f32; 3]> = pts.iter().map(|p| p.pos.map(|v| v as f32)).collect();
+        let s32: Vec<[f32; 3]> = t32.clone();
+        let d32: Vec<f32> = pts.iter().map(|p| p.den[0] as f32).collect();
+        let want = direct_eval_f32(&t32, &s32, &d32);
+        // Padded targets follow the real ones; compare real lanes against
+        // the layout's own point order.
+        let l_pts: Vec<(usize, f32)> = (0..lay.tgt_cnt[0] as usize)
+            .map(|j| (j, out[lay.tgt_off[0] as usize + j]))
+            .collect();
+        for (j, got) in l_pts {
+            // The layout's target order equals the Morton-sorted order;
+            // identify via position.
+            let pos = lay.tgt[lay.tgt_off[0] as usize + j];
+            let gi = t32
+                .iter()
+                .position(|p| (p[0] - pos[0]).abs() < 1e-7 && (p[1] - pos[1]).abs() < 1e-7)
+                .expect("target found");
+            assert!(
+                (got - want[gi]).abs() < 1e-3 * want[gi].abs().max(1.0),
+                "{got} vs {}",
+                want[gi]
+            );
+        }
+        assert!(stats.tally.flops > 0);
+        assert!(stats.tally.gmem_coalesced > 0);
+    }
+
+    /// On a refined tree, U-list potentials must match a brute-force
+    /// near-field evaluation over the same boxes.
+    #[test]
+    fn uli_matches_per_box_reference() {
+        let (lay, _) = layout_of(400, 20, 64);
+        assert!(lay.num_tgt_boxes() > 1);
+        let (out, _) = uli(&lay);
+        for tb in 0..lay.num_tgt_boxes() {
+            let row = &lay.ulist[lay.ulist_off[tb] as usize..lay.ulist_off[tb + 1] as usize];
+            for j in 0..lay.tgt_cnt[tb] as usize {
+                let t = lay.tgt[lay.tgt_off[tb] as usize + j];
+                let mut want = 0.0f32;
+                for &sb in row {
+                    for s in &lay.src[lay.src_range(sb as usize)] {
+                        want += interact(t, *s);
+                    }
+                }
+                want *= INV_4PI_F32;
+                let got = out[lay.tgt_off[tb] as usize + j];
+                assert!((got - want).abs() < 1e-4 * want.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn uli_is_compute_bound() {
+        let (lay, _) = layout_of(2000, 100, 64);
+        let (_, stats) = uli(&lay);
+        let intensity = stats.tally.flops as f64 / stats.tally.gmem_coalesced as f64;
+        // The paper's design point: O(b²) flops per O(b) loads.
+        assert!(intensity > 10.0, "arithmetic intensity {intensity}");
+    }
+
+    /// The S2U kernel must agree with the f64 operator path: check
+    /// potential from the box's points, then the UC2E solve.
+    #[test]
+    fn s2u_matches_f64_operators() {
+        use pfmm_core::ops::Ops;
+        use pfmm_kernels::{direct_eval, Laplace};
+        use std::sync::Arc;
+
+        let order = 4;
+        let ops = Ops::new(Arc::new(Laplace), order, 1e-12);
+        let n = ops.n_surf();
+        let check_rel: Vec<[f32; 3]> = pfmm_core::surface::surface_points(
+            order,
+            &[0.0; 3],
+            1.0,
+            pfmm_core::surface::RAD_OUTER,
+        )
+        .iter()
+        .map(|p| p.map(|v| v as f32))
+        .collect();
+        let (uc2e0, _) = ops.uc2e(0);
+        let uc2e32: Vec<f32> = uc2e0.as_slice().iter().map(|&v| v as f32).collect();
+
+        // One box at level 2 with 5 points (padded to 32).
+        let center = [0.375f64, 0.625, 0.125];
+        let radius = 0.125f64;
+        let pts64: Vec<[f64; 3]> = (0..5)
+            .map(|i| {
+                let t = i as f64 / 5.0;
+                [
+                    center[0] + radius * (0.8 * t - 0.4),
+                    center[1] + radius * (0.6 - t),
+                    center[2] + radius * (t * t - 0.5),
+                ]
+            })
+            .collect();
+        let den64: Vec<f64> = (0..5).map(|i| 1.0 - 0.4 * i as f64).collect();
+        let mut src: Vec<[f32; 4]> = pts64
+            .iter()
+            .zip(&den64)
+            .map(|(p, d)| [p[0] as f32, p[1] as f32, p[2] as f32, *d as f32])
+            .collect();
+        src.resize(32, [-1.0e9, -1.0e9, -1.0e9, 0.0]);
+        let boxes = [SurfBox {
+            center: center.map(|v| v as f32),
+            radius: radius as f32,
+            pt_off: 0,
+            pt_len: 32,
+            scale: (radius / 0.5) as f32,
+        }];
+        let (u32s, stats) = s2u(&boxes, &src, &check_rel, &uc2e32);
+        assert_eq!(u32s.len(), n);
+        assert!(stats.tally.flops > 0);
+
+        // f64 reference.
+        let uc = ops.up_check_surface(&center, radius);
+        let mut ucheck = vec![0.0f64; n];
+        direct_eval(&Laplace, &uc, &pts64, &den64, &mut ucheck);
+        let (m, sc) = ops.uc2e(2);
+        let mut want = vec![0.0f64; n];
+        m.matvec_acc_scaled(&ucheck, &mut want, sc);
+
+        // The UC2E solve is deliberately ill-conditioned (that is the
+        // KIFMM compression); f32 matrix entries leave ~1e-3 relative
+        // noise on the equivalent densities. What matters (and what the
+        // pipeline test checks) is the ~1e-4 error of the resulting far
+        // field; here we guard structure: same scale, same direction.
+        let scale = want.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        for (g, w) in u32s.iter().zip(&want) {
+            assert!(
+                (*g as f64 - w).abs() < 5e-2 * scale.max(1e-30),
+                "{g} vs {w}"
+            );
+        }
+        let dot: f64 = u32s.iter().zip(&want).map(|(g, w)| *g as f64 * w).sum();
+        let ng: f64 = u32s.iter().map(|g| (*g as f64).powi(2)).sum::<f64>().sqrt();
+        let nw: f64 = want.iter().map(|w| w * w).sum::<f64>().sqrt();
+        assert!(dot / (ng * nw) > 0.999, "densities aligned: cos = {}", dot / (ng * nw));
+    }
+
+    /// The D2T kernel must agree with direct f64 evaluation from the
+    /// downward-equivalent surface.
+    #[test]
+    fn d2t_matches_f64_reference() {
+        use pfmm_core::ops::Ops;
+        use pfmm_kernels::{direct_eval, Laplace};
+        use std::sync::Arc;
+
+        let order = 4;
+        let ops = Ops::new(Arc::new(Laplace), order, 1e-12);
+        let n = ops.n_surf();
+        let equiv_rel: Vec<[f32; 3]> = pfmm_core::surface::surface_points(
+            order,
+            &[0.0; 3],
+            1.0,
+            pfmm_core::surface::RAD_OUTER,
+        )
+        .iter()
+        .map(|p| p.map(|v| v as f32))
+        .collect();
+
+        let center = [0.25f64, 0.25, 0.75];
+        let radius = 0.25f64;
+        let tgts64: Vec<[f64; 3]> = (0..3)
+            .map(|i| {
+                let t = i as f64 / 3.0;
+                [center[0] + radius * (t - 0.5), center[1], center[2] + radius * 0.3]
+            })
+            .collect();
+        let mut tgt: Vec<[f32; 3]> =
+            tgts64.iter().map(|p| [p[0] as f32, p[1] as f32, p[2] as f32]).collect();
+        tgt.resize(32, [2.0e9; 3]);
+        let d64: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.21).sin()).collect();
+        let d32: Vec<f32> = d64.iter().map(|&v| v as f32).collect();
+        let boxes = [SurfBox {
+            center: center.map(|v| v as f32),
+            radius: radius as f32,
+            pt_off: 0,
+            pt_len: 32,
+            scale: 1.0,
+        }];
+        let (out, _) = d2t(&boxes, &tgt, &equiv_rel, &d32);
+
+        let de = ops.down_equiv_surface(&center, radius);
+        let mut want = vec![0.0f64; 3];
+        direct_eval(&Laplace, &tgts64, &de, &d64, &mut want);
+        let scale = want.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        for (g, w) in out.iter().take(3).zip(&want) {
+            assert!((*g as f64 - w).abs() < 1e-4 * scale.max(1e-30), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn vli_hadamard_matches_scalar_reference() {
+        let g = 16;
+        // Two targets, three spectra.
+        let khats: Vec<f32> = (0..2 * 2 * g).map(|i| (i as f32 * 0.1).sin()).collect();
+        let uhats: Vec<f32> = (0..3 * 2 * g).map(|i| (i as f32 * 0.07).cos()).collect();
+        let pairs_off = [0u32, 2, 3];
+        let pair_khat = [0u32, 1, 0];
+        let pair_uhat = [0u32, 2, 1];
+        let pair_scale = [1.0f32, 0.5, 2.0];
+        let (out, stats) =
+            vli_hadamard(g, &pairs_off, &pair_khat, &pair_uhat, &pair_scale, &khats, &uhats);
+        assert_eq!(out.len(), 2 * 2 * g);
+        // Check one element of target 0 by hand.
+        let i = 5;
+        let want_re = {
+            let mut a = 0.0f32;
+            for p in 0..2 {
+                let kh = &khats[pair_khat[p] as usize * 2 * g..];
+                let uh = &uhats[pair_uhat[p] as usize * 2 * g..];
+                a += pair_scale[p] * (kh[2 * i] * uh[2 * i] - kh[2 * i + 1] * uh[2 * i + 1]);
+            }
+            a
+        };
+        assert!((out[2 * i] - want_re).abs() < 1e-5);
+        // Bandwidth-bound by construction: ~0.6 flops per byte.
+        let intensity = stats.tally.flops as f64 / stats.tally.gmem_coalesced as f64;
+        assert!(intensity < 2.0, "hadamard intensity {intensity}");
+    }
+}

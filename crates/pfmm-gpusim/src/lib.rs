@@ -1,0 +1,29 @@
+//! A CUDA-like streaming executor with a memory-transaction cost model —
+//! the reproduction's stand-in for the paper's NVIDIA Tesla S1070 GPUs
+//! (§IV).
+//!
+//! Kernels here *really compute* (single precision, like the paper's GPU
+//! path) using the same block/thread/shared-memory structure as the CUDA
+//! originals, on a host thread pool. Every block records a [`Tally`] of
+//! global-memory transactions (coalesced vs. uncoalesced), shared-memory
+//! traffic, and flops; the [`DeviceSpec`] cost model converts the tallies
+//! into modeled GPU seconds with S1070-era throughput numbers. Because
+//! the paper's GPU findings are statements about arithmetic intensity per
+//! FMM phase (U-list compute-bound, V-list Hadamard bandwidth-bound,
+//! S2U/D2T regenerate geometry in-register), the model preserves exactly
+//! the ratios that give the paper's Table III and Figure 6 their shape.
+//!
+//! The crate also implements the paper's host-side *data-structure
+//! translation* (pointer-based LET → padded flat arrays) whose cost the
+//! paper reports as minor — [`layout`] measures it for real.
+
+pub mod device;
+pub mod fmm;
+pub mod kernels;
+pub mod layout;
+pub mod tune;
+
+pub use device::{DeviceSpec, KernelStats, Tally};
+pub use fmm::{run_gpu_fmm, run_gpu_fmm_distributed, run_gpu_fmm_wx, GpuFmmReport, GpuPhase};
+pub use layout::GpuLayout;
+pub use tune::{autotune_q_gpu, gpu_tune_sweep};

@@ -1,0 +1,116 @@
+//! Direct O(N²) summation — the exact baseline every FMM result is
+//! verified against, and the computation the GPU U-list kernel performs
+//! per octant pair.
+
+use crate::kernel::Kernel;
+use crate::Point3;
+
+/// Evaluate `f_i += Σ_j K(x_i, y_j) s_j` exactly.
+///
+/// `densities` is packed `source_dim` per source point; `out` is packed
+/// `target_dim` per target point and is accumulated into.
+///
+/// # Panics
+/// Panics on packed-length mismatches.
+pub fn direct_eval(
+    kernel: &dyn Kernel,
+    targets: &[Point3],
+    sources: &[Point3],
+    densities: &[f64],
+    out: &mut [f64],
+) {
+    let sd = kernel.source_dim();
+    let td = kernel.target_dim();
+    assert_eq!(densities.len(), sources.len() * sd, "density packing");
+    assert_eq!(out.len(), targets.len() * td, "output packing");
+    for (i, x) in targets.iter().enumerate() {
+        kernel.eval_target(x, sources, densities, &mut out[i * td..(i + 1) * td]);
+    }
+}
+
+/// Single-precision direct Laplace sum with the paper's `max(NaN, x)`
+/// self-interaction trick (Algorithm 4, step 8 semantics).
+///
+/// In IEEE arithmetic `max(NaN, 0.0) = 0.0`, so a zero-distance pair
+/// contributes nothing without a branch — exactly how the CUDA kernel
+/// avoids the conditional. This is the reference the `pfmm-gpusim` U-list
+/// kernel is tested against.
+pub fn direct_eval_f32(targets: &[[f32; 3]], sources: &[[f32; 3]], densities: &[f32]) -> Vec<f32> {
+    assert_eq!(sources.len(), densities.len());
+    let c = 1.0f32 / (4.0 * std::f32::consts::PI);
+    targets
+        .iter()
+        .map(|x| {
+            let mut acc = 0.0f32;
+            for (y, s) in sources.iter().zip(densities) {
+                let dx = x[0] - y[0];
+                let dy = x[1] - y[1];
+                let dz = x[2] - y[2];
+                let r2 = dx * dx + dy * dy + dz * dz;
+                let inv = 1.0f32 / r2.sqrt(); // +∞ when r2 == 0
+                // Intentional self-subtraction: ∞ − ∞ = NaN, and
+                // max(NaN, 0) = 0 suppresses the self term branch-free.
+                #[allow(clippy::eq_op)]
+                let inv = (inv + (inv - inv)).max(0.0);
+                acc += s * inv;
+            }
+            acc * c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplace::Laplace;
+    use crate::stokes::Stokes;
+
+    #[test]
+    fn two_body_laplace() {
+        let t = vec![[0.0, 0.0, 0.0]];
+        let s = vec![[1.0, 0.0, 0.0]];
+        let mut out = vec![0.0];
+        direct_eval(&Laplace, &t, &s, &[4.0 * std::f64::consts::PI], &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn stokes_packing() {
+        let t = vec![[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]];
+        let s = vec![[1.0, 1.0, 1.0]];
+        let mut out = vec![0.0; 6];
+        direct_eval(&Stokes::default(), &t, &s, &[1.0, 2.0, 3.0], &mut out);
+        assert!(out.iter().all(|v| v.is_finite() && *v != 0.0));
+    }
+
+    #[test]
+    fn f32_matches_f64_away_from_singularity() {
+        let t64: Vec<Point3> = vec![[0.1, 0.2, 0.3], [0.9, 0.8, 0.7]];
+        let s64: Vec<Point3> = vec![[0.5, 0.5, 0.5], [0.25, 0.75, 0.5]];
+        let d = [1.5, -0.5];
+        let mut want = vec![0.0; 2];
+        direct_eval(&Laplace, &t64, &s64, &d, &mut want);
+        let t32: Vec<[f32; 3]> = t64.iter().map(|p| p.map(|v| v as f32)).collect();
+        let s32: Vec<[f32; 3]> = s64.iter().map(|p| p.map(|v| v as f32)).collect();
+        let got = direct_eval_f32(&t32, &s32, &[1.5, -0.5]);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g as f64 - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn f32_nan_max_trick_skips_self() {
+        let p = [[0.5f32, 0.5, 0.5]];
+        let got = direct_eval_f32(&p, &p, &[7.0]);
+        assert_eq!(got[0], 0.0, "self-interaction suppressed without branching");
+    }
+
+    #[test]
+    fn f32_self_plus_other() {
+        let t = [[0.5f32, 0.5, 0.5]];
+        let s = [[0.5f32, 0.5, 0.5], [1.0, 0.5, 0.5]];
+        let got = direct_eval_f32(&t, &s, &[9.0, 2.0]);
+        let want = 2.0 / 0.5 / (4.0 * std::f32::consts::PI);
+        assert!((got[0] - want).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,126 @@
+//! The kernel-independence boundary: everything the FMM knows about the
+//! physics is this trait.
+
+use crate::Point3;
+use pfmm_linalg::Matrix;
+
+/// A two-body interaction kernel `K(x, y)`.
+///
+/// A kernel maps a density with [`Kernel::source_dim`] components at a
+/// source point `y` to a potential with [`Kernel::target_dim`] components
+/// at a target point `x`. The self-interaction (`x == y`, where the kernels
+/// here are singular) must evaluate to a zero block, matching the paper's
+/// GPU `max(NaN, x)` convention.
+///
+/// ```
+/// use pfmm_kernels::{Kernel, Laplace};
+///
+/// let mut block = [0.0];
+/// Laplace.eval_block(&[0.0; 3], &[1.0, 0.0, 0.0], &mut block);
+/// assert!((block[0] - 1.0 / (4.0 * std::f64::consts::PI)).abs() < 1e-15);
+/// assert_eq!(Laplace.homogeneity(), Some(-1.0));
+/// ```
+pub trait Kernel: Send + Sync {
+    /// Density components per source point (Laplace: 1, Stokes: 3).
+    fn source_dim(&self) -> usize;
+
+    /// Potential components per target point (Laplace: 1, Stokes: 3).
+    fn target_dim(&self) -> usize;
+
+    /// Write the `target_dim × source_dim` interaction block `K(x, y)`
+    /// into `block`, row-major.
+    ///
+    /// # Panics
+    /// Implementations may assume `block.len() == target_dim*source_dim`.
+    fn eval_block(&self, x: &Point3, y: &Point3, block: &mut [f64]);
+
+    /// Homogeneity degree `h` with `K(ax, ay) = a^h K(x, y)`, or `None`
+    /// for non-homogeneous kernels. Laplace and Stokes single layers have
+    /// `h = -1`; the FMM uses this to cache translation operators once and
+    /// rescale per level.
+    fn homogeneity(&self) -> Option<f64>;
+
+    /// Floating-point operations per source/target pair, used for the
+    /// paper's flop accounting (Table II, Fig. 5).
+    fn flops_per_pair(&self) -> u64;
+
+    /// Short display name.
+    fn name(&self) -> &'static str;
+
+    /// Accumulate the potential at one target due to many sources:
+    /// `out += Σ_j K(x, y_j) s_j` with `s` packed `source_dim` per point.
+    ///
+    /// The default loops over [`Kernel::eval_block`]; kernels override it
+    /// with fused implementations (the hot path of the U-list).
+    fn eval_target(&self, x: &Point3, sources: &[Point3], densities: &[f64], out: &mut [f64]) {
+        let sd = self.source_dim();
+        let td = self.target_dim();
+        debug_assert_eq!(densities.len(), sources.len() * sd);
+        debug_assert_eq!(out.len(), td);
+        let mut block = vec![0.0; td * sd];
+        for (j, y) in sources.iter().enumerate() {
+            self.eval_block(x, y, &mut block);
+            let s = &densities[j * sd..(j + 1) * sd];
+            for t in 0..td {
+                let row = &block[t * sd..(t + 1) * sd];
+                let mut acc = 0.0;
+                for (a, b) in row.iter().zip(s) {
+                    acc += a * b;
+                }
+                out[t] += acc;
+            }
+        }
+    }
+}
+
+/// Assemble the dense interaction matrix between target and source point
+/// sets: `(targets.len() * target_dim) × (sources.len() * source_dim)`.
+///
+/// This is how every KIFMM translation operator is built (kernel
+/// evaluations between check and equivalent surfaces).
+pub fn assemble(kernel: &dyn Kernel, targets: &[Point3], sources: &[Point3]) -> Matrix {
+    let td = kernel.target_dim();
+    let sd = kernel.source_dim();
+    let mut m = Matrix::zeros(targets.len() * td, sources.len() * sd);
+    let mut block = vec![0.0; td * sd];
+    for (i, x) in targets.iter().enumerate() {
+        for (j, y) in sources.iter().enumerate() {
+            kernel.eval_block(x, y, &mut block);
+            for t in 0..td {
+                for s in 0..sd {
+                    m[(i * td + t, j * sd + s)] = block[t * sd + s];
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplace::Laplace;
+
+    #[test]
+    fn assemble_shape() {
+        let k = Laplace;
+        let t = vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]];
+        let s = vec![[0.5, 0.5, 0.5]; 3];
+        let m = assemble(&k, &t, &s);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn default_eval_target_matches_assemble() {
+        let k = Laplace;
+        let x = [0.1, 0.2, 0.3];
+        let srcs = vec![[0.9, 0.8, 0.7], [0.4, 0.5, 0.6]];
+        let dens = vec![2.0, -1.0];
+        let mut out = vec![0.0];
+        k.eval_target(&x, &srcs, &dens, &mut out);
+        let m = assemble(&k, &[x], &srcs);
+        let want = m.matvec(&dens);
+        assert!((out[0] - want[0]).abs() < 1e-14);
+    }
+}

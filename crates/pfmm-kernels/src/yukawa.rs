@@ -1,0 +1,140 @@
+//! Yukawa (screened Coulomb / modified Laplace) kernel:
+//! `K(x, y) = e^{−λ|x−y|} / (4π |x−y|)`.
+//!
+//! The classic *non-oscillatory* kernel beyond Laplace — the family the
+//! kernel-independent FMM targets (paper §I: "particularly effective for
+//! non-oscillatory kernels"). It is **not homogeneous** (the screening
+//! length λ⁻¹ sets a scale), so it exercises the per-level
+//! translation-operator path that homogeneous kernels bypass via
+//! rescaling.
+
+use crate::kernel::Kernel;
+use crate::Point3;
+
+const INV_4PI: f64 = 1.0 / (4.0 * std::f64::consts::PI);
+
+/// The free-space Green's function of `(−Δ + λ²)u = f`.
+#[derive(Copy, Clone, Debug)]
+pub struct Yukawa {
+    /// Screening parameter λ (inverse decay length).
+    pub lambda: f64,
+}
+
+impl Default for Yukawa {
+    fn default() -> Self {
+        Yukawa { lambda: 1.0 }
+    }
+}
+
+impl Kernel for Yukawa {
+    fn source_dim(&self) -> usize {
+        1
+    }
+
+    fn target_dim(&self) -> usize {
+        1
+    }
+
+    #[inline]
+    fn eval_block(&self, x: &Point3, y: &Point3, block: &mut [f64]) {
+        let dx = x[0] - y[0];
+        let dy = x[1] - y[1];
+        let dz = x[2] - y[2];
+        let r2 = dx * dx + dy * dy + dz * dz;
+        block[0] = if r2 == 0.0 {
+            0.0
+        } else {
+            let r = r2.sqrt();
+            INV_4PI * (-self.lambda * r).exp() / r
+        };
+    }
+
+    fn homogeneity(&self) -> Option<f64> {
+        None
+    }
+
+    fn flops_per_pair(&self) -> u64 {
+        // Laplace's ~20 plus an exponential (~10 on 2009 hardware).
+        30
+    }
+
+    fn name(&self) -> &'static str {
+        "yukawa"
+    }
+
+    fn eval_target(&self, x: &Point3, sources: &[Point3], densities: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(densities.len(), sources.len());
+        let mut acc = 0.0;
+        for (y, s) in sources.iter().zip(densities) {
+            let dx = x[0] - y[0];
+            let dy = x[1] - y[1];
+            let dz = x[2] - y[2];
+            let r2 = dx * dx + dy * dy + dz * dz;
+            if r2 > 0.0 {
+                let r = r2.sqrt();
+                acc += s * (-self.lambda * r).exp() / r;
+            }
+        }
+        out[0] += acc * INV_4PI;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(k: &Yukawa, x: &Point3, y: &Point3) -> f64 {
+        let mut b = [0.0];
+        k.eval_block(x, y, &mut b);
+        b[0]
+    }
+
+    #[test]
+    fn reduces_to_laplace_at_zero_screening() {
+        let y = Yukawa { lambda: 0.0 };
+        let v = eval(&y, &[0.0; 3], &[0.5, 0.0, 0.0]);
+        assert!((v - INV_4PI / 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn screening_decays_faster_than_laplace() {
+        let y = Yukawa { lambda: 4.0 };
+        let near = eval(&y, &[0.0; 3], &[0.1, 0.0, 0.0]);
+        let far = eval(&y, &[0.0; 3], &[1.0, 0.0, 0.0]);
+        // Laplace ratio would be 10; screening multiplies by e^{-0.36·10}.
+        let ratio = near / far;
+        assert!(ratio > 10.0 * (4.0f64 * 0.9).exp() * 0.99, "ratio {ratio}");
+    }
+
+    #[test]
+    fn self_interaction_zero() {
+        let y = Yukawa::default();
+        let p = [0.3, 0.7, 0.2];
+        assert_eq!(eval(&y, &p, &p), 0.0);
+    }
+
+    #[test]
+    fn not_homogeneous() {
+        let y = Yukawa { lambda: 2.0 };
+        assert_eq!(y.homogeneity(), None);
+        // And indeed K(2x, 2y) != K(x,y)/2 for λ > 0.
+        let a = eval(&y, &[0.0; 3], &[0.25, 0.0, 0.0]);
+        let b = eval(&y, &[0.0; 3], &[0.5, 0.0, 0.0]);
+        assert!((a / 2.0 - b).abs() > 1e-6);
+    }
+
+    #[test]
+    fn fused_eval_matches_block_path() {
+        let y = Yukawa { lambda: 1.5 };
+        let x = [0.2, 0.4, 0.6];
+        let srcs = vec![[0.9, 0.1, 0.3], [0.5, 0.5, 0.5], x];
+        let dens = vec![1.0, -2.0, 5.0];
+        let mut fused = [0.0];
+        y.eval_target(&x, &srcs, &dens, &mut fused);
+        let mut want = 0.0;
+        for (s, d) in srcs.iter().zip(&dens) {
+            want += eval(&y, &x, s) * d;
+        }
+        assert!((fused[0] - want).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,14 @@
+//! Small dense linear algebra for the kernel-independent FMM.
+//!
+//! The KIFMM translation operators are dense matrices of dimension a few
+//! hundred (kernel evaluations between equivalent and check surfaces); the
+//! check→equivalent conversions require a *regularized pseudo-inverse*
+//! (Ying et al. 2004, §3). This crate provides exactly that substrate:
+//! row-major matrices, matvec/matmul, a one-sided Jacobi SVD, and
+//! truncated-SVD pseudo-inversion.
+
+pub mod matrix;
+pub mod svd;
+
+pub use matrix::Matrix;
+pub use svd::{pinv, Svd};

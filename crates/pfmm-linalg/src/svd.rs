@@ -1,0 +1,245 @@
+//! One-sided Jacobi SVD and truncated-SVD pseudo-inverse.
+//!
+//! The check→equivalent density solves of the KIFMM are ill-conditioned by
+//! construction (that is what makes the equivalent representation compress
+//! the far field), so a plain solve is unusable; the reference
+//! implementation regularizes with a truncated SVD. Matrices are at most a
+//! few hundred per side, where one-sided Jacobi is simple, accurate, and
+//! fast enough (it is applied once per level during setup, then cached).
+
+use crate::matrix::Matrix;
+
+/// A thin singular value decomposition `A = U * diag(s) * Vᵀ`.
+///
+/// `u` is `m×r`, `vt` is `r×n`, `s` has length `r = min(m, n)`, sorted
+/// descending.
+pub struct Svd {
+    /// Left singular vectors (columns), `m×r`.
+    pub u: Matrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors (rows), `r×n`.
+    pub vt: Matrix,
+}
+
+impl Svd {
+    /// Compute the thin SVD of `a` by one-sided Jacobi.
+    pub fn new(a: &Matrix) -> Svd {
+        if a.rows() >= a.cols() {
+            svd_tall(a)
+        } else {
+            // SVD(Aᵀ) = (V, s, Uᵀ); swap factors back.
+            let t = svd_tall(&a.transpose());
+            Svd { u: t.vt.transpose(), s: t.s, vt: t.u.transpose() }
+        }
+    }
+
+    /// Reconstruct `U * diag(s) * Vᵀ` (used by tests).
+    pub fn reconstruct(&self) -> Matrix {
+        let r = self.s.len();
+        let mut us = self.u.clone();
+        for i in 0..us.rows() {
+            for j in 0..r {
+                us[(i, j)] *= self.s[j];
+            }
+        }
+        us.matmul(&self.vt)
+    }
+}
+
+/// One-sided Jacobi on a tall (or square) matrix: rotate column pairs of a
+/// working copy `w = A·V` until all pairs are numerically orthogonal.
+fn svd_tall(a: &Matrix) -> Svd {
+    let m = a.rows();
+    let n = a.cols();
+    debug_assert!(m >= n);
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let eps = 1e-15;
+
+    // Column-pair sweeps; n is a few hundred at most, convergence is
+    // quadratic once rotations get small. 60 sweeps is far beyond need and
+    // guards against pathological stalls.
+    for _ in 0..60 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Gram entries for the (p, q) column pair.
+                let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    app += wp * wp;
+                    aqq += wq * wq;
+                    apq += wp * wq;
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(f64::MIN_POSITIVE));
+                // Jacobi rotation zeroing the (p, q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = w[(i, p)];
+                    let wq = w[(i, q)];
+                    w[(i, p)] = c * wp - s * wq;
+                    w[(i, q)] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < 1e-14 {
+            break;
+        }
+    }
+
+    // Singular values are the column norms of w; normalize into U.
+    let mut s: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| w[(i, j)] * w[(i, j)]).sum::<f64>().sqrt())
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| s[b].partial_cmp(&s[a]).expect("singular values are finite"));
+
+    let mut u = Matrix::zeros(m, n);
+    let mut vt = Matrix::zeros(n, n);
+    let mut s_sorted = vec![0.0; n];
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let sv = s[old_j];
+        s_sorted[new_j] = sv;
+        let inv = if sv > 0.0 { 1.0 / sv } else { 0.0 };
+        for i in 0..m {
+            u[(i, new_j)] = w[(i, old_j)] * inv;
+        }
+        for i in 0..n {
+            vt[(new_j, i)] = v[(i, old_j)];
+        }
+    }
+    s.clear();
+    Svd { u, s: s_sorted, vt }
+}
+
+/// Truncated-SVD pseudo-inverse: singular values below
+/// `rel_tol * s_max` are dropped.
+///
+/// This is the regularization the KIFMM uses for its UC2E/DC2E operators;
+/// `rel_tol` around `1e-12` keeps full numerical rank, larger values trade
+/// accuracy for stability.
+///
+/// ```
+/// use pfmm_linalg::{pinv, Matrix};
+///
+/// let a = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 4.0]);
+/// let p = pinv(&a, 1e-12);
+/// assert!((p[(0, 0)] - 0.5).abs() < 1e-12);
+/// assert!((p[(1, 1)] - 0.25).abs() < 1e-12);
+/// ```
+pub fn pinv(a: &Matrix, rel_tol: f64) -> Matrix {
+    let svd = Svd::new(a);
+    let smax = svd.s.first().copied().unwrap_or(0.0);
+    let cut = smax * rel_tol;
+    let r = svd.s.len();
+    // pinv = V * diag(1/s) * Uᵀ, assembled as (diag-scaled Vᵀ)ᵀ * Uᵀ.
+    let v = svd.vt.transpose();
+    let mut vs = v.clone();
+    for j in 0..r {
+        let inv = if svd.s[j] > cut && svd.s[j] > 0.0 { 1.0 / svd.s[j] } else { 0.0 };
+        for i in 0..vs.rows() {
+            vs[(i, j)] *= inv;
+        }
+    }
+    vs.matmul(&svd.u.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() < tol,
+                    "entry ({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_random_tall() {
+        let a = Matrix::from_fn(7, 4, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let svd = Svd::new(&a);
+        assert_close(&svd.reconstruct(), &a, 1e-10);
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1], "singular values sorted descending");
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_wide() {
+        let a = Matrix::from_fn(3, 6, |i, j| (i as f64 + 1.0) * (j as f64 - 2.5));
+        let svd = Svd::new(&a);
+        assert_close(&svd.reconstruct(), &a, 1e-10);
+    }
+
+    #[test]
+    fn svd_of_identity() {
+        let svd = Svd::new(&Matrix::identity(5));
+        for s in &svd.s {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_values_of_diagonal() {
+        let mut a = Matrix::zeros(4, 4);
+        for (i, v) in [3.0, 1.0, 4.0, 2.0].iter().enumerate() {
+            a[(i, i)] = *v;
+        }
+        let svd = Svd::new(&a);
+        let want = [4.0, 3.0, 2.0, 1.0];
+        for (got, want) in svd.s.iter().zip(want) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let a = Matrix::from_vec(2, 2, vec![4.0, 7.0, 2.0, 6.0]);
+        let p = pinv(&a, 1e-13);
+        assert_close(&a.matmul(&p), &Matrix::identity(2), 1e-10);
+        assert_close(&p.matmul(&a), &Matrix::identity(2), 1e-10);
+    }
+
+    #[test]
+    fn pinv_moore_penrose_conditions() {
+        // Rank-deficient: two identical columns.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let p = pinv(&a, 1e-10);
+        // A P A = A and P A P = P.
+        assert_close(&a.matmul(&p).matmul(&a), &a, 1e-9);
+        assert_close(&p.matmul(&a).matmul(&p), &p, 1e-9);
+    }
+
+    #[test]
+    fn pinv_least_squares_solution() {
+        // Overdetermined consistent system.
+        let a = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let x_true = [2.0, -1.0];
+        let b = a.matvec(&x_true);
+        let x = pinv(&a, 1e-13).matvec(&b);
+        assert!((x[0] - 2.0).abs() < 1e-10 && (x[1] + 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the dense-algebra substrate.
+
+use proptest::prelude::*;
+
+use pfmm_linalg::{pinv, Matrix, Svd};
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-5.0f64..5.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() <= tol)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// SVD reconstructs the input for arbitrary shapes.
+    #[test]
+    fn svd_reconstructs(m in arb_matrix(10)) {
+        let svd = Svd::new(&m);
+        let scale = m.max_abs().max(1.0);
+        prop_assert!(close(&svd.reconstruct(), &m, 1e-9 * scale));
+        // Singular values are nonnegative and sorted.
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1] && w[1] >= 0.0);
+        }
+    }
+
+    /// The left singular vectors are orthonormal columns (UᵀU = I) up to
+    /// the numerical rank.
+    #[test]
+    fn svd_u_orthonormal(m in arb_matrix(8)) {
+        let svd = Svd::new(&m);
+        let utu = svd.u.transpose().matmul(&svd.u);
+        let smax = svd.s.first().copied().unwrap_or(0.0);
+        for i in 0..utu.rows() {
+            // Columns with negligible singular values may be zero.
+            if svd.s[i] < 1e-10 * smax.max(1.0) {
+                continue;
+            }
+            for j in 0..utu.cols() {
+                if svd.s[j] < 1e-10 * smax.max(1.0) {
+                    continue;
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((utu[(i, j)] - want).abs() < 1e-8, "({i},{j})");
+            }
+        }
+    }
+
+    /// Moore–Penrose identities: A P A = A and P A P = P.
+    #[test]
+    fn pinv_moore_penrose(m in arb_matrix(8)) {
+        let p = pinv(&m, 1e-11);
+        let apa = m.matmul(&p).matmul(&m);
+        let scale = m.max_abs().max(1.0);
+        prop_assert!(close(&apa, &m, 1e-7 * scale));
+        let pap = p.matmul(&m).matmul(&p);
+        let pscale = p.max_abs().max(1.0);
+        prop_assert!(close(&pap, &p, 1e-7 * pscale));
+    }
+
+    /// Matvec distributes over addition and scaling.
+    #[test]
+    fn matvec_linear(m in arb_matrix(9), s in -2.0f64..2.0) {
+        let n = m.cols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.77).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).cos()).collect();
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(a, b)| s * a + b).collect();
+        let lhs = m.matvec(&combo);
+        let mx = m.matvec(&x);
+        let my = m.matvec(&y);
+        for ((l, a), b) in lhs.iter().zip(&mx).zip(&my) {
+            prop_assert!((l - (s * a + b)).abs() < 1e-9 * l.abs().max(1.0));
+        }
+    }
+
+    /// (AB)x == A(Bx).
+    #[test]
+    fn matmul_associates_with_matvec(a in arb_matrix(7), bseed in 0u64..100) {
+        let inner = a.cols();
+        let b = Matrix::from_fn(inner, 5, |i, j| ((i * 7 + j + bseed as usize) % 11) as f64 - 5.0);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let lhs = a.matmul(&b).matvec(&x);
+        let rhs = a.matvec(&b.matvec(&x));
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-9 * r.abs().max(1.0));
+        }
+    }
+}

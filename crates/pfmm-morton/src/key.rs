@@ -1,0 +1,536 @@
+//! The `MortonKey` octant identifier and its geometric algebra.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Maximum refinement depth supported by the key encoding.
+///
+/// The paper's most adaptive tree spans levels 2–27; depth 30 gives
+/// headroom while keeping the interleaved rank within 90 bits of a `u128`.
+pub const MAX_DEPTH: u32 = 30;
+
+/// A point in the unit cube.
+pub type Point3 = [f64; 3];
+
+/// Lookup table spreading one byte `b` so that bit `i` of `b` lands on bit
+/// `3*i` of the result (two zero bits between consecutive payload bits).
+const SPREAD3: [u32; 256] = build_spread3();
+
+const fn build_spread3() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut v = 0u32;
+        let mut i = 0;
+        while i < 8 {
+            if b & (1 << i) != 0 {
+                v |= 1 << (3 * i);
+            }
+            i += 1;
+        }
+        t[b] = v;
+        b += 1;
+    }
+    t
+}
+
+/// Spread the low `MAX_DEPTH` bits of `x` so that bit `i` lands on bit `3*i`.
+#[inline]
+fn spread3(x: u32) -> u128 {
+    (SPREAD3[(x & 0xff) as usize] as u128)
+        | ((SPREAD3[((x >> 8) & 0xff) as usize] as u128) << 24)
+        | ((SPREAD3[((x >> 16) & 0xff) as usize] as u128) << 48)
+        | ((SPREAD3[((x >> 24) & 0xff) as usize] as u128) << 72)
+}
+
+/// Inverse of [`spread3`]: collect every third bit starting at bit 0.
+#[inline]
+fn compact3(code: u128) -> u32 {
+    let mut x = 0u32;
+    let mut i = 0;
+    while i < MAX_DEPTH {
+        if code & (1u128 << (3 * i)) != 0 {
+            x |= 1 << i;
+        }
+        i += 1;
+    }
+    x
+}
+
+/// An octant of the unit cube, identified by its anchor (lower corner) on
+/// the finest grid and its refinement level.
+///
+/// Keys order by the paper's Morton ordering: ranks compare first, and on a
+/// tie (an octant and its first descendant share an anchor) the coarser
+/// octant comes first, so ancestors precede descendants.
+///
+/// ```
+/// use pfmm_morton::MortonKey;
+///
+/// let k = MortonKey::from_point(&[0.3, 0.7, 0.1], 4);
+/// let parent = k.parent().unwrap();
+/// assert!(parent.is_ancestor_of(&k));
+/// assert!(parent < k); // ancestors precede descendants
+/// assert_eq!(parent.child(k.child_index()), k);
+/// assert_eq!(k.colleagues().len() + 1, 27); // interior octant
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct MortonKey {
+    x: u32,
+    y: u32,
+    z: u32,
+    level: u32,
+}
+
+impl fmt::Debug for MortonKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oct(l{} @ {},{},{})", self.level, self.x, self.y, self.z)
+    }
+}
+
+impl PartialOrd for MortonKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MortonKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank()
+            .cmp(&other.rank())
+            .then_with(|| self.level.cmp(&other.level))
+    }
+}
+
+impl MortonKey {
+    /// The root octant: the whole unit cube.
+    pub const fn root() -> Self {
+        MortonKey { x: 0, y: 0, z: 0, level: 0 }
+    }
+
+    /// Build a key from an anchor on the finest grid and a level.
+    ///
+    /// # Panics
+    /// Panics if the level exceeds [`MAX_DEPTH`], a coordinate lies outside
+    /// the grid, or the anchor is not aligned to the level's cell size.
+    pub fn new(anchor: [u32; 3], level: u32) -> Self {
+        assert!(level <= MAX_DEPTH, "level {level} > MAX_DEPTH");
+        let side = 1u32 << MAX_DEPTH;
+        let cell = 1u32 << (MAX_DEPTH - level);
+        for &c in &anchor {
+            assert!(c < side, "anchor coordinate {c} outside grid");
+            assert!(c % cell == 0, "anchor {c} unaligned for level {level}");
+        }
+        MortonKey { x: anchor[0], y: anchor[1], z: anchor[2], level }
+    }
+
+    /// The key of the level-`level` octant containing `p`.
+    ///
+    /// Coordinates are clamped into `[0, 1)`, so points exactly on the far
+    /// boundary fall into the last cell.
+    pub fn from_point(p: &Point3, level: u32) -> Self {
+        assert!(level <= MAX_DEPTH);
+        let side = (1u64 << MAX_DEPTH) as f64;
+        let mask = !((1u32 << (MAX_DEPTH - level)) - 1);
+        let mut a = [0u32; 3];
+        for d in 0..3 {
+            let c = (p[d] * side).floor();
+            let c = c.clamp(0.0, side - 1.0) as u32;
+            a[d] = c & mask;
+        }
+        MortonKey { x: a[0], y: a[1], z: a[2], level }
+    }
+
+    /// The finest-level key containing `p` (used as a point's sort id).
+    #[inline]
+    pub fn finest_from_point(p: &Point3) -> Self {
+        Self::from_point(p, MAX_DEPTH)
+    }
+
+    /// Anchor coordinates on the finest grid.
+    #[inline]
+    pub fn anchor(&self) -> [u32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Refinement level (0 = root).
+    #[inline]
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Octant edge length in finest-grid units.
+    #[inline]
+    pub fn cell_units(&self) -> u32 {
+        1 << (MAX_DEPTH - self.level)
+    }
+
+    /// Octant edge length in the unit cube.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        1.0 / (1u64 << self.level) as f64
+    }
+
+    /// Half the edge length (the octant "radius" used for FMM surfaces).
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        0.5 * self.side()
+    }
+
+    /// Lower corner in the unit cube.
+    pub fn corner(&self) -> Point3 {
+        let s = 1.0 / (1u64 << MAX_DEPTH) as f64;
+        [self.x as f64 * s, self.y as f64 * s, self.z as f64 * s]
+    }
+
+    /// Center point in the unit cube.
+    pub fn center(&self) -> Point3 {
+        let c = self.corner();
+        let r = self.radius();
+        [c[0] + r, c[1] + r, c[2] + r]
+    }
+
+    /// Interleaved anchor: the rank of this octant's first finest-level
+    /// descendant. See the crate docs for the rank-interval view.
+    #[inline]
+    pub fn rank(&self) -> u128 {
+        (spread3(self.x) << 2) | (spread3(self.y) << 1) | spread3(self.z)
+    }
+
+    /// Number of finest-level cells this octant covers.
+    #[inline]
+    pub fn rank_extent(&self) -> u128 {
+        1u128 << (3 * (MAX_DEPTH - self.level))
+    }
+
+    /// Last rank covered by this octant (inclusive).
+    #[inline]
+    pub fn rank_end(&self) -> u128 {
+        self.rank() + (self.rank_extent() - 1)
+    }
+
+    /// Rebuild an octant from a rank and level.
+    ///
+    /// # Panics
+    /// Panics if `rank` is not aligned to the octant size of `level`.
+    pub fn from_rank(rank: u128, level: u32) -> Self {
+        assert!(level <= MAX_DEPTH);
+        assert!(
+            rank.is_multiple_of(1u128 << (3 * (MAX_DEPTH - level))),
+            "rank {rank} unaligned for level {level}"
+        );
+        MortonKey {
+            x: compact3(rank >> 2),
+            y: compact3(rank >> 1),
+            z: compact3(rank),
+            level,
+        }
+    }
+
+    /// Parent octant, or `None` for the root.
+    pub fn parent(&self) -> Option<Self> {
+        if self.level == 0 {
+            return None;
+        }
+        let level = self.level - 1;
+        let mask = !((1u32 << (MAX_DEPTH - level)) - 1);
+        Some(MortonKey {
+            x: self.x & mask,
+            y: self.y & mask,
+            z: self.z & mask,
+            level,
+        })
+    }
+
+    /// Index (0–7) of this octant among its parent's children.
+    pub fn child_index(&self) -> usize {
+        assert!(self.level > 0, "root has no child index");
+        let bit = MAX_DEPTH - self.level;
+        ((((self.x >> bit) & 1) << 2) | (((self.y >> bit) & 1) << 1) | ((self.z >> bit) & 1))
+            as usize
+    }
+
+    /// The child with the given index (0–7, Morton order).
+    pub fn child(&self, index: usize) -> Self {
+        assert!(index < 8);
+        assert!(self.level < MAX_DEPTH, "cannot refine below MAX_DEPTH");
+        let level = self.level + 1;
+        let h = 1u32 << (MAX_DEPTH - level);
+        MortonKey {
+            x: self.x + if index & 4 != 0 { h } else { 0 },
+            y: self.y + if index & 2 != 0 { h } else { 0 },
+            z: self.z + if index & 1 != 0 { h } else { 0 },
+            level,
+        }
+    }
+
+    /// All eight children, in Morton order.
+    pub fn children(&self) -> [Self; 8] {
+        std::array::from_fn(|i| self.child(i))
+    }
+
+    /// Ancestors from the parent up to the root (exclusive of `self`).
+    pub fn ancestors(&self) -> Vec<Self> {
+        let mut out = Vec::with_capacity(self.level as usize);
+        let mut k = *self;
+        while let Some(p) = k.parent() {
+            out.push(p);
+            k = p;
+        }
+        out
+    }
+
+    /// The ancestor of `self` at the given (coarser or equal) level.
+    pub fn ancestor_at_level(&self, level: u32) -> Self {
+        assert!(level <= self.level);
+        let mask = if level == 0 { 0 } else { !((1u32 << (MAX_DEPTH - level)) - 1) };
+        MortonKey {
+            x: self.x & mask,
+            y: self.y & mask,
+            z: self.z & mask,
+            level,
+        }
+    }
+
+    /// True if `self` is a strict ancestor of `other`.
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &Self) -> bool {
+        self.level < other.level && *self == other.ancestor_at_level(self.level)
+    }
+
+    /// True if `self` is an ancestor of `other` or equal to it.
+    #[inline]
+    pub fn contains(&self, other: &Self) -> bool {
+        self.level <= other.level && *self == other.ancestor_at_level(self.level)
+    }
+
+    /// True if the point lies inside this octant (clamped as in
+    /// [`MortonKey::from_point`]).
+    pub fn contains_point(&self, p: &Point3) -> bool {
+        self.contains(&Self::finest_from_point(p))
+    }
+
+    /// Nearest common ancestor of two octants.
+    pub fn nearest_common_ancestor(&self, other: &Self) -> Self {
+        let mut l = self.level.min(other.level);
+        loop {
+            let a = self.ancestor_at_level(l);
+            let b = other.ancestor_at_level(l);
+            if a == b {
+                return a;
+            }
+            l -= 1;
+        }
+    }
+
+    /// Same-level neighbor displaced by `(dx, dy, dz)` octant widths, or
+    /// `None` if that would leave the unit cube.
+    pub fn neighbor(&self, dx: i32, dy: i32, dz: i32) -> Option<Self> {
+        let side = 1i64 << MAX_DEPTH;
+        let step = self.cell_units() as i64;
+        let nx = self.x as i64 + dx as i64 * step;
+        let ny = self.y as i64 + dy as i64 * step;
+        let nz = self.z as i64 + dz as i64 * step;
+        if nx < 0 || ny < 0 || nz < 0 || nx >= side || ny >= side || nz >= side {
+            return None;
+        }
+        Some(MortonKey {
+            x: nx as u32,
+            y: ny as u32,
+            z: nz as u32,
+            level: self.level,
+        })
+    }
+
+    /// Colleagues: same-level octants adjacent to `self` (Table I, C(β)).
+    /// At most 26; fewer at the domain boundary. Excludes `self`.
+    pub fn colleagues(&self) -> Vec<Self> {
+        let mut out = Vec::with_capacity(26);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    if dx == 0 && dy == 0 && dz == 0 {
+                        continue;
+                    }
+                    if let Some(n) = self.neighbor(dx, dy, dz) {
+                        out.push(n);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Colleagues including `self` (the paper writes C(β) ∪ {β} in places).
+    pub fn colleagues_and_self(&self) -> Vec<Self> {
+        let mut v = self.colleagues();
+        v.push(*self);
+        v
+    }
+
+    /// Integer bounding box `[lo, hi]` (closed) in finest-grid units.
+    #[inline]
+    fn bbox(&self) -> ([u32; 3], [u32; 3]) {
+        let s = self.cell_units();
+        ([self.x, self.y, self.z], [self.x + s, self.y + s, self.z + s])
+    }
+
+    /// True if the closures of the two octants intersect (they share at
+    /// least a vertex, or one contains the other).
+    pub fn touches(&self, other: &Self) -> bool {
+        let (alo, ahi) = self.bbox();
+        let (blo, bhi) = other.bbox();
+        (0..3).all(|d| alo[d] <= bhi[d] && blo[d] <= ahi[d])
+    }
+
+    /// Adjacency in the paper's sense: the octants share a vertex, edge, or
+    /// face but have disjoint interiors. An octant is *not* adjacent to
+    /// itself or to its ancestors/descendants.
+    pub fn is_adjacent(&self, other: &Self) -> bool {
+        let (alo, ahi) = self.bbox();
+        let (blo, bhi) = other.bbox();
+        let closures_touch = (0..3).all(|d| alo[d] <= bhi[d] && blo[d] <= ahi[d]);
+        let interiors_meet = (0..3).all(|d| alo[d] < bhi[d] && blo[d] < ahi[d]);
+        closures_touch && !interiors_meet
+    }
+
+    /// Deepest first descendant: the finest-level octant at this octant's
+    /// anchor.
+    pub fn deepest_first_descendant(&self) -> Self {
+        MortonKey { x: self.x, y: self.y, z: self.z, level: MAX_DEPTH }
+    }
+
+    /// Deepest last descendant: the finest-level octant at the far corner.
+    pub fn deepest_last_descendant(&self) -> Self {
+        let off = self.cell_units() - 1;
+        MortonKey {
+            x: self.x + off,
+            y: self.y + off,
+            z: self.z + off,
+            level: MAX_DEPTH,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_covers_everything() {
+        let r = MortonKey::root();
+        assert_eq!(r.rank(), 0);
+        assert_eq!(r.rank_end(), (1u128 << (3 * MAX_DEPTH)) - 1);
+        assert_eq!(r.side(), 1.0);
+    }
+
+    #[test]
+    fn spread_compact_roundtrip() {
+        for x in [0u32, 1, 2, 255, 1 << 20, (1 << MAX_DEPTH) - 1, 0x2aaa_aaaa & ((1 << MAX_DEPTH) - 1)] {
+            assert_eq!(compact3(spread3(x)), x, "x={x}");
+        }
+    }
+
+    #[test]
+    fn rank_roundtrip() {
+        let k = MortonKey::from_point(&[0.3, 0.7, 0.9], 9);
+        assert_eq!(MortonKey::from_rank(k.rank(), k.level()), k);
+    }
+
+    #[test]
+    fn children_partition_parent_ranks() {
+        let k = MortonKey::from_point(&[0.26, 0.51, 0.77], 5);
+        let ch = k.children();
+        assert_eq!(ch[0].rank(), k.rank());
+        for w in ch.windows(2) {
+            assert_eq!(w[0].rank_end() + 1, w[1].rank());
+        }
+        assert_eq!(ch[7].rank_end(), k.rank_end());
+    }
+
+    #[test]
+    fn parent_child_roundtrip() {
+        let k = MortonKey::from_point(&[0.1, 0.2, 0.3], 7);
+        for i in 0..8 {
+            let c = k.child(i);
+            assert_eq!(c.parent().unwrap(), k);
+            assert_eq!(c.child_index(), i);
+        }
+    }
+
+    #[test]
+    fn ancestors_ordering() {
+        let k = MortonKey::from_point(&[0.9, 0.1, 0.5], 6);
+        for a in k.ancestors() {
+            assert!(a.is_ancestor_of(&k));
+            assert!(a < k, "ancestor precedes descendant in Morton order");
+            assert!(a.contains(&k));
+        }
+        assert!(!k.is_ancestor_of(&k));
+        assert!(k.contains(&k));
+    }
+
+    #[test]
+    fn nca_of_siblings_is_parent() {
+        let k = MortonKey::from_point(&[0.4, 0.4, 0.4], 4);
+        let a = k.child(0);
+        let b = k.child(7);
+        assert_eq!(a.nearest_common_ancestor(&b), k);
+        assert_eq!(a.nearest_common_ancestor(&a), a);
+    }
+
+    #[test]
+    fn colleague_counts() {
+        // An interior octant has 26 colleagues; a corner octant has 7.
+        let interior = MortonKey::from_point(&[0.5, 0.5, 0.5], 3);
+        assert_eq!(interior.colleagues().len(), 26);
+        let corner = MortonKey::from_point(&[0.0, 0.0, 0.0], 3);
+        assert_eq!(corner.colleagues().len(), 7);
+    }
+
+    #[test]
+    fn adjacency_basics() {
+        let k = MortonKey::from_point(&[0.5, 0.5, 0.5], 3);
+        for c in k.colleagues() {
+            assert!(k.is_adjacent(&c));
+            assert!(c.is_adjacent(&k));
+        }
+        assert!(!k.is_adjacent(&k));
+        let parent = k.parent().unwrap();
+        assert!(!k.is_adjacent(&parent));
+        // A fine octant touching a coarse one across a face is adjacent.
+        let fine = k.neighbor(-1, 0, 0).unwrap().child(4).child(4);
+        assert!(fine.is_adjacent(&k));
+    }
+
+    #[test]
+    fn far_octants_not_adjacent() {
+        let a = MortonKey::from_point(&[0.1, 0.1, 0.1], 4);
+        let b = MortonKey::from_point(&[0.9, 0.9, 0.9], 4);
+        assert!(!a.is_adjacent(&b));
+        assert!(!a.touches(&b));
+    }
+
+    #[test]
+    fn dfd_dld_bound_rank_interval() {
+        let k = MortonKey::from_point(&[0.33, 0.66, 0.12], 5);
+        assert_eq!(k.deepest_first_descendant().rank(), k.rank());
+        assert_eq!(k.deepest_last_descendant().rank(), k.rank_end());
+    }
+
+    #[test]
+    fn boundary_point_clamped() {
+        let k = MortonKey::from_point(&[1.0, 1.0, 1.0], 2);
+        assert_eq!(k.anchor(), [3 << (MAX_DEPTH - 2); 3]);
+    }
+
+    #[test]
+    fn ordering_is_rank_then_level() {
+        let k = MortonKey::from_point(&[0.2, 0.8, 0.4], 6);
+        let c = k.child(0);
+        assert!(k < c);
+        let c7 = k.child(7);
+        assert!(c < c7);
+    }
+}

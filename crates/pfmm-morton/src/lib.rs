@@ -1,0 +1,27 @@
+//! Morton (Z-order) octant keys and linear-octree primitives.
+//!
+//! This crate is the geometric substrate of the FMM reproduction: octant
+//! keys with parent/child/ancestor algebra, colleague and adjacency queries
+//! (Table I of the paper), and the linear-octree completion algorithms of
+//! Sundar, Sampath & Biros (SIAM J. Sci. Comput. 30(5), 2008) that the
+//! paper's `Points2Octree` tree construction builds on.
+//!
+//! # Representation
+//!
+//! An octant is identified by the integer coordinates of its lower corner
+//! (the *anchor*) on the finest admissible grid (`2^MAX_DEPTH` cells per
+//! side of the unit cube) plus its refinement level. The *rank* of an
+//! octant is the 3-way bit interleave of its anchor, a `u128` with
+//! `3 * MAX_DEPTH = 90` significant bits. An octant of level `l` covers the
+//! contiguous rank interval `[rank, rank + 8^(MAX_DEPTH - l) - 1]`; nested
+//! octants have nested, aligned intervals. All completion and partitioning
+//! algorithms in this crate operate on those intervals.
+
+pub mod key;
+pub mod region;
+
+pub use key::{MortonKey, Point3, MAX_DEPTH};
+pub use region::{
+    complete_octree, complete_region, cover_interval, is_complete_linear, linearize,
+    linearize_keep_finest, RANK_SPAN,
+};

@@ -1,0 +1,228 @@
+//! Linear-octree completion algorithms in rank space.
+//!
+//! A *linear octree* is a Morton-sorted list of non-overlapping octants. A
+//! *complete* linear octree covers the whole unit cube. Because an octant
+//! of level `l` covers the aligned rank interval
+//! `[rank, rank + 8^(MAX_DEPTH-l) - 1]`, completion reduces to covering a
+//! rank interval greedily with the largest aligned octants that fit — a
+//! rank-space reformulation of Algorithms 3 and 4 of Sundar et al. 2008.
+
+use crate::key::{MortonKey, MAX_DEPTH};
+
+/// Total number of finest-level cells (one past the largest rank).
+pub const RANK_SPAN: u128 = 1u128 << (3 * MAX_DEPTH);
+
+/// Remove duplicates and overlaps from a list of octants.
+///
+/// The result is Morton-sorted and no octant is an ancestor of another;
+/// when an octant and its ancestor both appear, the ancestor is kept (it
+/// covers the descendant). Matches DENDRO's `linearise` used before
+/// completion.
+pub fn linearize(mut keys: Vec<MortonKey>) -> Vec<MortonKey> {
+    keys.sort_unstable();
+    keys.dedup();
+    let mut out: Vec<MortonKey> = Vec::with_capacity(keys.len());
+    for k in keys {
+        if let Some(last) = out.last() {
+            if last.contains(&k) {
+                continue;
+            }
+        }
+        out.push(k);
+    }
+    out
+}
+
+/// Like [`linearize`], but with the opposite overlap resolution: when an
+/// octant and its ancestor both appear, the *descendants* win and the
+/// ancestor is dropped. This is the resolution 2:1 balancing needs
+/// (refinements must never be swallowed by a coarser cell).
+pub fn linearize_keep_finest(mut keys: Vec<MortonKey>) -> Vec<MortonKey> {
+    keys.sort_unstable();
+    keys.dedup();
+    // Ancestors immediately precede their first present descendant in
+    // Morton order, so one forward scan removes every proper ancestor.
+    let mut out: Vec<MortonKey> = Vec::with_capacity(keys.len());
+    for k in keys {
+        while let Some(last) = out.last() {
+            if last.is_ancestor_of(&k) {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push(k);
+    }
+    out
+}
+
+/// Cover the closed rank interval `[start, end]` with the minimal list of
+/// aligned octants, coarsest-possible first at each step.
+///
+/// # Panics
+/// Panics if `start > end` or `end` exceeds the rank span.
+pub fn cover_interval(start: u128, end: u128) -> Vec<MortonKey> {
+    assert!(start <= end, "empty interval");
+    assert!(end < RANK_SPAN, "interval outside the unit cube");
+    let mut out = Vec::new();
+    let mut cur = start;
+    while cur <= end {
+        let remaining = end - cur + 1;
+        // Largest octant aligned at `cur`: limited by both the alignment of
+        // `cur` (trailing zero triples) and the remaining interval length.
+        let align_levels = if cur == 0 {
+            MAX_DEPTH
+        } else {
+            (cur.trailing_zeros() / 3).min(MAX_DEPTH)
+        };
+        let mut k = align_levels;
+        while (1u128 << (3 * k)) > remaining {
+            k -= 1;
+        }
+        let level = MAX_DEPTH - k;
+        out.push(MortonKey::from_rank(cur, level));
+        cur += 1u128 << (3 * k);
+    }
+    out
+}
+
+/// Minimal complete linear octree strictly between octants `a` and `b`
+/// (Sundar et al., Algorithm 3): covers the ranks after `a`'s interval and
+/// before `b`'s, excluding both.
+///
+/// Returns an empty list when the two intervals are contiguous.
+///
+/// # Panics
+/// Panics if `b`'s interval does not lie strictly after `a`'s (overlapping
+/// or out-of-order input).
+pub fn complete_region(a: &MortonKey, b: &MortonKey) -> Vec<MortonKey> {
+    let start = a
+        .rank_end()
+        .checked_add(1)
+        .expect("a is the last octant; nothing after it");
+    assert!(
+        start <= b.rank(),
+        "complete_region requires disjoint, ordered octants (got {a:?}, {b:?})"
+    );
+    if start == b.rank() {
+        return Vec::new();
+    }
+    cover_interval(start, b.rank() - 1)
+}
+
+/// Complete a partial list of octants into a complete linear octree of the
+/// unit cube (Sundar et al., Algorithm 4).
+///
+/// The input may contain duplicates and overlaps (it is linearized first).
+/// The given octants all appear in the output, with gaps filled by the
+/// coarsest octants that fit. An empty input yields the root.
+pub fn complete_octree(seeds: Vec<MortonKey>) -> Vec<MortonKey> {
+    let seeds = linearize(seeds);
+    if seeds.is_empty() {
+        return vec![MortonKey::root()];
+    }
+    let mut out = Vec::with_capacity(seeds.len() * 2);
+    let first = seeds[0];
+    if first.rank() > 0 {
+        out.extend(cover_interval(0, first.rank() - 1));
+    }
+    for w in seeds.windows(2) {
+        out.push(w[0]);
+        out.extend(complete_region(&w[0], &w[1]));
+    }
+    let last = *seeds.last().expect("nonempty");
+    out.push(last);
+    if last.rank_end() + 1 < RANK_SPAN {
+        out.extend(cover_interval(last.rank_end() + 1, RANK_SPAN - 1));
+    }
+    out
+}
+
+/// Verify that `keys` is a complete linear octree: Morton-sorted,
+/// non-overlapping, and covering the whole cube. Used by tests and debug
+/// assertions in the tree-construction pipeline.
+pub fn is_complete_linear(keys: &[MortonKey]) -> bool {
+    if keys.is_empty() {
+        return false;
+    }
+    if keys[0].rank() != 0 {
+        return false;
+    }
+    for w in keys.windows(2) {
+        if w[0].rank_end() + 1 != w[1].rank() {
+            return false;
+        }
+    }
+    keys.last().expect("nonempty").rank_end() == RANK_SPAN - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Point3;
+
+    #[test]
+    fn cover_whole_cube_is_root() {
+        let v = cover_interval(0, RANK_SPAN - 1);
+        assert_eq!(v, vec![MortonKey::root()]);
+    }
+
+    #[test]
+    fn cover_single_cell() {
+        let k = MortonKey::from_point(&[0.123, 0.456, 0.789], MAX_DEPTH);
+        let v = cover_interval(k.rank(), k.rank());
+        assert_eq!(v, vec![k]);
+    }
+
+    #[test]
+    fn linearize_keeps_ancestor() {
+        let k = MortonKey::from_point(&[0.3, 0.3, 0.3], 4);
+        let v = linearize(vec![k.child(3), k, k.child(0), k]);
+        assert_eq!(v, vec![k]);
+    }
+
+    #[test]
+    fn complete_region_between_siblings_is_empty() {
+        let k = MortonKey::from_point(&[0.6, 0.2, 0.2], 3);
+        assert!(complete_region(&k.child(0), &k.child(1)).is_empty());
+    }
+
+    #[test]
+    fn complete_region_between_first_and_last_child() {
+        let k = MortonKey::from_point(&[0.6, 0.2, 0.2], 3);
+        let mid = complete_region(&k.child(0), &k.child(7));
+        assert_eq!(mid.len(), 6);
+        let mut all = vec![k.child(0)];
+        all.extend(mid);
+        all.push(k.child(7));
+        for w in all.windows(2) {
+            assert_eq!(w[0].rank_end() + 1, w[1].rank());
+        }
+    }
+
+    #[test]
+    fn complete_octree_empty_input() {
+        assert_eq!(complete_octree(vec![]), vec![MortonKey::root()]);
+    }
+
+    #[test]
+    fn complete_octree_is_complete_and_contains_seeds() {
+        let pts: [Point3; 4] = [
+            [0.01, 0.02, 0.03],
+            [0.99, 0.98, 0.97],
+            [0.5, 0.5, 0.5],
+            [0.25, 0.75, 0.1],
+        ];
+        let seeds: Vec<_> = pts.iter().map(|p| MortonKey::from_point(p, 6)).collect();
+        let tree = complete_octree(seeds.clone());
+        assert!(is_complete_linear(&tree));
+        for s in linearize(seeds) {
+            assert!(tree.contains(&s));
+        }
+    }
+
+    #[test]
+    fn complete_octree_of_root_is_root() {
+        assert_eq!(complete_octree(vec![MortonKey::root()]), vec![MortonKey::root()]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the Morton/linear-octree algebra.
+
+use proptest::prelude::*;
+
+use pfmm_morton::{
+    complete_octree, complete_region, cover_interval, is_complete_linear, linearize, MortonKey,
+    MAX_DEPTH, RANK_SPAN,
+};
+
+fn arb_key(max_level: u32) -> impl Strategy<Value = MortonKey> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0u32..=max_level)
+        .prop_map(|(x, y, z, l)| MortonKey::from_point(&[x, y, z], l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// cover_interval tiles exactly the requested rank interval, in order,
+    /// with aligned octants.
+    #[test]
+    fn cover_interval_tiles_exactly(a in 0u128..1u128 << 60, len in 1u128..1u128 << 50) {
+        let b = (a + len - 1).min(RANK_SPAN - 1);
+        let cov = cover_interval(a, b);
+        prop_assert_eq!(cov[0].rank(), a);
+        prop_assert_eq!(cov.last().expect("nonempty").rank_end(), b);
+        for w in cov.windows(2) {
+            prop_assert_eq!(w[0].rank_end() + 1, w[1].rank());
+        }
+    }
+
+    /// Region completion between two disjoint octants tiles the gap.
+    #[test]
+    fn complete_region_fills_gap(a in arb_key(10), b in arb_key(10)) {
+        let (lo, hi) = if a.rank_end() < b.rank() {
+            (a, b)
+        } else if b.rank_end() < a.rank() {
+            (b, a)
+        } else {
+            return Ok(()); // overlapping: precondition not met
+        };
+        let mid = complete_region(&lo, &hi);
+        let mut all = vec![lo];
+        all.extend(mid);
+        all.push(hi);
+        for w in all.windows(2) {
+            prop_assert_eq!(w[0].rank_end() + 1, w[1].rank());
+        }
+    }
+
+    /// Linearize is idempotent, sorted, and overlap-free.
+    #[test]
+    fn linearize_idempotent(keys in prop::collection::vec(arb_key(8), 0..64)) {
+        let lin = linearize(keys);
+        for w in lin.windows(2) {
+            prop_assert!(w[0] < w[1]);
+            prop_assert!(!w[0].contains(&w[1]));
+        }
+        let again = linearize(lin.clone());
+        prop_assert_eq!(lin, again);
+    }
+
+    /// complete_octree always yields a complete linear octree containing
+    /// the linearized seeds.
+    #[test]
+    fn complete_octree_complete(keys in prop::collection::vec(arb_key(7), 0..48)) {
+        let tree = complete_octree(keys.clone());
+        prop_assert!(is_complete_linear(&tree));
+        for s in linearize(keys) {
+            prop_assert!(tree.binary_search(&s).is_ok());
+        }
+    }
+
+    /// Rank intervals and containment agree: a contains b iff b's interval
+    /// nests in a's and a is no deeper.
+    #[test]
+    fn containment_matches_intervals(a in arb_key(12), b in arb_key(12)) {
+        let by_interval = a.level() <= b.level()
+            && a.rank() <= b.rank()
+            && b.rank_end() <= a.rank_end();
+        prop_assert_eq!(a.contains(&b), by_interval);
+    }
+
+    /// Adjacency is symmetric and disjoint from containment.
+    #[test]
+    fn adjacency_symmetric(a in arb_key(9), b in arb_key(9)) {
+        prop_assert_eq!(a.is_adjacent(&b), b.is_adjacent(&a));
+        if a.contains(&b) || b.contains(&a) {
+            prop_assert!(!a.is_adjacent(&b));
+        }
+    }
+
+    /// from_rank inverts (rank, level) for any valid key.
+    #[test]
+    fn rank_roundtrip(k in arb_key(MAX_DEPTH)) {
+        prop_assert_eq!(MortonKey::from_rank(k.rank(), k.level()), k);
+    }
+}

@@ -1,0 +1,309 @@
+//! Ranks, tagged point-to-point messaging, and the SPMD launcher.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Types that can travel between ranks.
+///
+/// `Copy + Send` mirrors MPI's plain-old-data buffers: messages are slices
+/// of `Wire` elements, and byte accounting is `len * size_of::<T>()`.
+pub trait Wire: Copy + Send + 'static {}
+impl<T: Copy + Send + 'static> Wire for T {}
+
+struct Envelope {
+    src: usize,
+    tag: u32,
+    /// The payload is a `Vec<T>` boxed as `Any`; element size is recorded
+    /// for the byte counters at the receiving side.
+    payload: Box<dyn Any + Send>,
+    bytes: usize,
+}
+
+/// Per-rank communication counters.
+///
+/// `bytes` counts payload bytes only (as a real MPI byte count would,
+/// modulo headers); collectives count the point-to-point traffic they are
+/// built from.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages sent by this rank.
+    pub sent_msgs: u64,
+    /// Payload bytes sent by this rank.
+    pub sent_bytes: u64,
+    /// Messages received by this rank.
+    pub recv_msgs: u64,
+    /// Payload bytes received by this rank.
+    pub recv_bytes: u64,
+}
+
+/// A rank's endpoint in the simulated communicator.
+///
+/// One `Comm` lives on each rank thread; it is not `Sync` (like an MPI
+/// communicator, it is used from its own rank only).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    peers: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Messages that arrived before a matching `recv` was posted.
+    pending: RefCell<VecDeque<Envelope>>,
+    sent_msgs: Cell<u64>,
+    sent_bytes: Cell<u64>,
+    recv_msgs: Cell<u64>,
+    recv_bytes: Cell<u64>,
+}
+
+impl Comm {
+    /// This rank's id (0-based).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Snapshot of this rank's traffic counters.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            sent_msgs: self.sent_msgs.get(),
+            sent_bytes: self.sent_bytes.get(),
+            recv_msgs: self.recv_msgs.get(),
+            recv_bytes: self.recv_bytes.get(),
+        }
+    }
+
+    /// Send a slice of `T` to `dest` with a tag. Buffered: never blocks.
+    ///
+    /// Self-sends are allowed (the message loops through this rank's own
+    /// inbox), matching MPI's buffered-send semantics.
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range.
+    pub fn send<T: Wire>(&self, dest: usize, tag: u32, data: &[T]) {
+        assert!(dest < self.size, "rank {dest} out of range");
+        let bytes = std::mem::size_of_val(data);
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            payload: Box::new(data.to_vec()),
+            bytes,
+        };
+        self.sent_msgs.set(self.sent_msgs.get() + 1);
+        self.sent_bytes.set(self.sent_bytes.get() + bytes as u64);
+        self.peers[dest]
+            .send(env)
+            .expect("peer rank hung up before communicator teardown");
+    }
+
+    /// Send an owned vector (avoids the copy of [`Comm::send`]).
+    pub fn send_vec<T: Wire>(&self, dest: usize, tag: u32, data: Vec<T>) {
+        assert!(dest < self.size, "rank {dest} out of range");
+        let bytes = std::mem::size_of_val(data.as_slice());
+        let env = Envelope { src: self.rank, tag, payload: Box::new(data), bytes };
+        self.sent_msgs.set(self.sent_msgs.get() + 1);
+        self.sent_bytes.set(self.sent_bytes.get() + bytes as u64);
+        self.peers[dest]
+            .send(env)
+            .expect("peer rank hung up before communicator teardown");
+    }
+
+    /// Blocking receive of a `Vec<T>` from `src` with the given tag.
+    ///
+    /// Messages from the same source with the same tag are delivered in
+    /// send order (MPI's non-overtaking rule). Out-of-order arrivals from
+    /// other sources/tags are parked until their own `recv` is posted.
+    ///
+    /// # Panics
+    /// Panics if the matching message has a different element type than
+    /// `T` (a programming error a real MPI would surface as corruption).
+    pub fn recv<T: Wire>(&self, src: usize, tag: u32) -> Vec<T> {
+        let env = self.take_matching(src, tag);
+        self.recv_msgs.set(self.recv_msgs.get() + 1);
+        self.recv_bytes.set(self.recv_bytes.get() + env.bytes as u64);
+        *env
+            .payload
+            .downcast::<Vec<T>>()
+            .unwrap_or_else(|_| panic!("type mismatch on recv from {src} tag {tag}"))
+    }
+
+    fn take_matching(&self, src: usize, tag: u32) -> Envelope {
+        let mut pending = self.pending.borrow_mut();
+        if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+            return pending.remove(pos).expect("position just found");
+        }
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .expect("all peers dropped while a recv was outstanding");
+            if env.src == src && env.tag == tag {
+                return env;
+            }
+            pending.push_back(env);
+        }
+    }
+
+    /// Paired exchange with a partner rank (both sides call this).
+    pub fn sendrecv<T: Wire>(&self, partner: usize, tag: u32, data: &[T]) -> Vec<T> {
+        self.send(partner, tag, data);
+        self.recv(partner, tag)
+    }
+}
+
+/// Run an SPMD program on `p` ranks (one OS thread each) and collect the
+/// per-rank return values in rank order.
+///
+/// ```
+/// let totals = pfmm_mpisim::run(4, |c| {
+///     // Everyone tells everyone their rank; each rank sums.
+///     pfmm_mpisim::collectives::allgather_one(c, c.rank() as u64)
+///         .into_iter()
+///         .sum::<u64>()
+/// });
+/// assert_eq!(totals, vec![6, 6, 6, 6]);
+/// ```
+///
+/// # Panics
+/// Propagates a panic from any rank thread.
+pub fn run<T, F>(p: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Comm) -> T + Sync,
+{
+    assert!(p >= 1, "need at least one rank");
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let senders = Arc::new(senders);
+    let f = &f;
+    let mut comms: Vec<Comm> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, inbox)| Comm {
+            rank,
+            size: p,
+            peers: senders.as_ref().clone(),
+            inbox,
+            pending: RefCell::new(VecDeque::new()),
+            sent_msgs: Cell::new(0),
+            sent_bytes: Cell::new(0),
+            recv_msgs: Cell::new(0),
+            recv_bytes: Cell::new(0),
+        })
+        .collect();
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .drain(..)
+            .map(|comm| scope.spawn(move |_| f(&comm)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    })
+    .expect("mpisim scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = run(1, |c| c.rank() + c.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let p = 5;
+        let out = run(p, |c| {
+            let next = (c.rank() + 1) % p;
+            let prev = (c.rank() + p - 1) % p;
+            c.send(next, 7, &[c.rank() as u64]);
+            c.recv::<u64>(prev, 7)[0]
+        });
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(*v as usize, (r + p - 1) % p);
+        }
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 1, &[10u32]);
+                c.send(1, 2, &[20u32]);
+                0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = c.recv::<u32>(0, 2)[0];
+                let a = c.recv::<u32>(0, 1)[0];
+                (a + b) as usize
+            }
+        });
+        assert_eq!(out[1], 30);
+    }
+
+    #[test]
+    fn fifo_per_source_and_tag() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..100u32 {
+                    c.send(1, 3, &[i]);
+                }
+                vec![]
+            } else {
+                (0..100).map(|_| c.recv::<u32>(0, 3)[0]).collect()
+            }
+        });
+        assert_eq!(out[1], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn self_send() {
+        let out = run(1, |c| {
+            c.send(0, 9, &[42u8, 43]);
+            c.recv::<u8>(0, 9)
+        });
+        assert_eq!(out[0], vec![42, 43]);
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let out = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 0, &[0u64; 10]);
+            } else {
+                let _ = c.recv::<u64>(0, 0);
+            }
+            c.stats()
+        });
+        assert_eq!(out[0].sent_bytes, 80);
+        assert_eq!(out[0].sent_msgs, 1);
+        assert_eq!(out[1].recv_bytes, 80);
+        assert_eq!(out[1].recv_msgs, 1);
+    }
+
+    #[test]
+    fn sendrecv_swaps() {
+        let out = run(2, |c| {
+            let partner = 1 - c.rank();
+            c.sendrecv(partner, 5, &[c.rank() as u32 * 100])[0]
+        });
+        assert_eq!(out, vec![100, 0]);
+    }
+}

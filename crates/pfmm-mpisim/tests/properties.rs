@@ -1,0 +1,106 @@
+//! Property-based tests of the message-passing runtime and collectives.
+
+use proptest::prelude::*;
+
+use pfmm_mpisim::collectives::{allgatherv, allreduce, alltoallv, bcast, exscan_sum_u64};
+use pfmm_mpisim::run;
+
+proptest! {
+    // Each case spawns rank threads; keep the case count modest.
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// alltoallv is a transpose: received[src][..] == what src sent to us.
+    #[test]
+    fn alltoallv_transposes(p in 1usize..6, seed in 0u64..1000) {
+        let outs = run(p, |c| {
+            let outgoing: Vec<Vec<u64>> = (0..p)
+                .map(|dest| {
+                    let len = ((seed as usize + c.rank() * 3 + dest) % 5) + 1;
+                    (0..len).map(|i| (c.rank() * 1000 + dest * 100 + i) as u64).collect()
+                })
+                .collect();
+            (outgoing.clone(), alltoallv(c, outgoing))
+        });
+        for (rank, (_, received)) in outs.iter().enumerate() {
+            for (src, buf) in received.iter().enumerate() {
+                prop_assert_eq!(buf, &outs[src].0[rank]);
+            }
+        }
+    }
+
+    /// allreduce(sum) equals the local fold of everyone's values, on
+    /// every rank.
+    #[test]
+    fn allreduce_equals_fold(p in 1usize..7, vals in prop::collection::vec(-100i64..100, 6)) {
+        let outs = run(p, |c| allreduce(c, vec![vals[c.rank() % vals.len()]], |a, b| a + b));
+        let want: i64 = (0..p).map(|r| vals[r % vals.len()]).sum();
+        for o in outs {
+            prop_assert_eq!(o, vec![want]);
+        }
+    }
+
+    /// allgatherv concatenates in rank order, preserving every element.
+    #[test]
+    fn allgatherv_concatenates(p in 1usize..6, base in 0u32..100) {
+        let outs = run(p, |c| {
+            let mine: Vec<u32> = (0..c.rank() + 1).map(|i| base + (c.rank() * 10 + i) as u32).collect();
+            allgatherv(c, &mine)
+        });
+        let mut want = Vec::new();
+        for r in 0..p {
+            want.extend((0..r + 1).map(|i| base + (r * 10 + i) as u32));
+        }
+        for o in outs {
+            prop_assert_eq!(&o, &want);
+        }
+    }
+
+    /// Exclusive scan is the prefix of the reduction.
+    #[test]
+    fn exscan_prefix(p in 1usize..8, v in 1u64..50) {
+        let outs = run(p, |c| exscan_sum_u64(c, v + c.rank() as u64));
+        for (r, o) in outs.iter().enumerate() {
+            let want: u64 = (0..r).map(|k| v + k as u64).sum();
+            prop_assert_eq!(*o, want);
+        }
+    }
+
+    /// Broadcast delivers rank 0's payload everywhere, any size.
+    #[test]
+    fn bcast_delivers(p in 1usize..9, data in prop::collection::vec(-1.0f64..1.0, 0..20)) {
+        let outs = run(p, |c| {
+            let mine = if c.rank() == 0 { data.clone() } else { Vec::new() };
+            bcast(c, mine)
+        });
+        for o in outs {
+            prop_assert_eq!(&o, &data);
+        }
+    }
+
+    /// Point-to-point FIFO ordering per (source, tag) holds under
+    /// interleaved tags.
+    #[test]
+    fn p2p_fifo_per_tag(n_msgs in 1usize..30) {
+        let outs = run(2, |c| {
+            if c.rank() == 0 {
+                for i in 0..n_msgs {
+                    c.send(1, (i % 3) as u32, &[i as u64]);
+                }
+                Vec::new()
+            } else {
+                // Drain per tag: each tag's stream must be increasing.
+                let mut got: Vec<Vec<u64>> = vec![Vec::new(); 3];
+                for tag in 0..3u32 {
+                    let count = (n_msgs + 2 - tag as usize) / 3;
+                    for _ in 0..count {
+                        got[tag as usize].extend(c.recv::<u64>(0, tag));
+                    }
+                }
+                got.into_iter().flatten().collect()
+            }
+        });
+        let mut seen = outs[1].clone();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n_msgs as u64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,147 @@
+//! 2:1 balancing of linear octrees — the headline algorithm of the
+//! DENDRO substrate the paper builds on (Sundar, Sampath & Biros 2008).
+//!
+//! The KIFMM itself does not require balance (its U/V/W/X lists are
+//! defined for arbitrary adaptivity, and the paper's 25-level trees are
+//! unbalanced), but the finite-element and multigrid consumers of the
+//! same octree infrastructure do, and bounded neighbor-level difference
+//! also caps the U/W/X list sizes. The implementation here is the
+//! sequential ripple algorithm: repeatedly split any leaf more than one
+//! level coarser than an adjacent leaf, then re-complete.
+
+use std::collections::BTreeSet;
+
+use pfmm_morton::{complete_octree, linearize, linearize_keep_finest, MortonKey};
+
+/// Enforce the 2:1 condition on a set of octants: in the returned
+/// complete linear octree, adjacent leaves differ by at most one level.
+///
+/// The input may be partial (it is linearized and completed first); all
+/// input octants survive or are replaced by their own descendants, never
+/// coarsened — so point-to-leaf assignments remain valid after
+/// re-bucketing by containment.
+pub fn balance_2to1(seeds: Vec<MortonKey>) -> Vec<MortonKey> {
+    // Work on the key set; the ripple adds the colleagues-of-parent
+    // ancestors that force coarse neighbors to refine.
+    let mut set: BTreeSet<MortonKey> = linearize(seeds).into_iter().collect();
+
+    // For every octant, insert all colleagues of all its ancestors: after
+    // completion, any leaf covering one of those colleague cells is at
+    // most one level coarser than the octant's parent — the classical
+    // balance-by-insertion argument.
+    let mut queue: Vec<MortonKey> = set.iter().copied().collect();
+    while let Some(k) = queue.pop() {
+        let Some(parent) = k.parent() else { continue };
+        for c in parent.colleagues() {
+            if set.insert(c) {
+                queue.push(c);
+            }
+        }
+    }
+
+    // Finest-wins overlap resolution: an inserted coarse colleague must
+    // never swallow an existing refinement.
+    let fine = linearize_keep_finest(set.into_iter().collect());
+    let balanced = complete_octree(fine);
+    debug_assert!(is_balanced_2to1(&balanced));
+    balanced
+}
+
+/// Check the 2:1 condition: every pair of adjacent leaves differs by at
+/// most one level. Quadratic; intended for tests and debug assertions.
+pub fn is_balanced_2to1(leaves: &[MortonKey]) -> bool {
+    for (i, a) in leaves.iter().enumerate() {
+        for b in leaves.iter().skip(i + 1) {
+            if a.is_adjacent(b) && a.level().abs_diff(b.level()) > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfmm_morton::is_complete_linear;
+
+    fn deep_seed_tree() -> Vec<MortonKey> {
+        // A deep octant hugging the cube center from below: completion
+        // alone leaves it corner-adjacent to the coarse level-1 octants
+        // across the center — the textbook unbalanced case. (A deep
+        // octant in a cube *corner* would not do: greedy completion
+        // produces the graded sibling cascade there already.)
+        let mut k = MortonKey::root().child(0);
+        for _ in 0..5 {
+            k = k.child(7);
+        }
+        vec![k]
+    }
+
+    #[test]
+    fn deep_corner_gets_graded_neighbors() {
+        let seeds = deep_seed_tree();
+        let before = complete_octree(seeds.clone());
+        assert!(!is_balanced_2to1(&before), "raw completion is unbalanced");
+        let after = balance_2to1(seeds);
+        assert!(is_complete_linear(&after));
+        assert!(is_balanced_2to1(&after));
+        assert!(after.len() > before.len(), "balance refines");
+    }
+
+    #[test]
+    fn already_balanced_tree_unchanged_in_shape() {
+        // A uniform level-2 tree is balanced; balancing must keep it.
+        let mut seeds = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                seeds.push(MortonKey::root().child(i).child(j));
+            }
+        }
+        let out = balance_2to1(seeds.clone());
+        assert_eq!(out, complete_octree(seeds));
+    }
+
+    #[test]
+    fn input_octants_never_coarsened() {
+        let seeds = deep_seed_tree();
+        let out = balance_2to1(seeds.clone());
+        for s in &seeds {
+            // s itself (or a refinement of it) is present; no ancestor of
+            // s is a leaf.
+            assert!(
+                out.binary_search(s).is_ok()
+                    || out.iter().any(|o| s.is_ancestor_of(o)),
+                "seed preserved or refined"
+            );
+            assert!(
+                !out.iter().any(|o| o.is_ancestor_of(s)),
+                "seed never swallowed by a coarser leaf"
+            );
+        }
+    }
+
+    #[test]
+    fn balancing_is_idempotent() {
+        let seeds = deep_seed_tree();
+        let once = balance_2to1(seeds);
+        let twice = balance_2to1(once.clone());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn random_adaptive_tree_balances() {
+        // Pseudo-random deep refinements in several corners.
+        let mut seeds = Vec::new();
+        let mut k = MortonKey::root();
+        for (step, child) in [0usize, 7, 3, 5, 1, 6, 2].iter().enumerate() {
+            k = k.child(*child);
+            if step % 2 == 0 {
+                seeds.push(k);
+            }
+        }
+        let out = balance_2to1(seeds);
+        assert!(is_complete_linear(&out));
+        assert!(is_balanced_2to1(&out));
+    }
+}

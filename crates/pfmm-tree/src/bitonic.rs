@@ -1,0 +1,197 @@
+//! Distributed bitonic sort — the second half of the paper's parallel
+//! sort ("combination of sample sort and bitonic sort" [Grama et al.]).
+//!
+//! Classic hypercube compare-split: every rank keeps a sorted block; for
+//! `d = log₂p` stages of `1..=stage` rounds, partners exchange blocks,
+//! merge, and keep the lower or upper half according to the stage's
+//! direction bit. Blocks must be equal-sized for the network to sort, so
+//! ranks pad to the global maximum with sentinel keys and strip them at
+//! the end (the returned chunk sizes may therefore differ from the
+//! inputs; the total is conserved).
+//!
+//! Sample sort (`sort::sample_sort_points`) is the default backend — its
+//! single all-to-all wins at scale — but bitonic needs no splitter
+//! quality guarantees, which is why the textbook hybrid uses it on the
+//! sample keys; the `FmmConfig::sort` knob selects either for the whole
+//! pipeline and the `pipeline` criterion bench compares them.
+
+use crate::point::PointRec;
+use pfmm_mpisim::collectives::allgather_one;
+use pfmm_mpisim::Comm;
+use pfmm_morton::RANK_SPAN;
+
+const TAG_BITONIC: u32 = 0x30;
+const SENTINEL: u128 = u128::MAX;
+
+type Keyed = (u128, PointRec);
+
+/// Globally sort points by (Morton key, gid) with a hypercube bitonic
+/// network; rank `k`'s output precedes rank `k+1`'s. Returns this rank's
+/// sorted chunk and the region fence derived from the final distribution.
+///
+/// # Panics
+/// Panics if the communicator size is not a power of two (the bitonic
+/// network is a hypercube algorithm; use sample sort otherwise).
+pub fn bitonic_sort_points(c: &Comm, pts: Vec<PointRec>) -> (Vec<PointRec>, Vec<u128>) {
+    let p = c.size();
+    assert!(p.is_power_of_two(), "bitonic sort requires a power-of-two communicator");
+    let mut block: Vec<Keyed> = pts.into_iter().map(|r| (r.key_rank(), r)).collect();
+    block.sort_unstable_by_key(|(k, r)| (*k, r.gid));
+    if p == 1 {
+        let out: Vec<PointRec> = block.into_iter().map(|(_, r)| r).collect();
+        return (out, vec![0, RANK_SPAN]);
+    }
+
+    // Equal block sizes via sentinel padding.
+    let n_max = allgather_one(c, block.len() as u64)
+        .into_iter()
+        .max()
+        .expect("nonempty communicator") as usize;
+    block.resize(n_max, (SENTINEL, PointRec::scalar([0.0; 3], 0.0, u64::MAX)));
+
+    let d = p.trailing_zeros() as usize;
+    let r = c.rank();
+    for stage in 0..d {
+        for sub in (0..=stage).rev() {
+            let partner = r ^ (1 << sub);
+            // Direction of the bitonic merge containing this rank.
+            let ascending = (r >> (stage + 1)) & 1 == 0;
+            let keep_small = ascending == (r < partner);
+            block = compare_split(c, partner, block, keep_small);
+        }
+    }
+
+    let out: Vec<PointRec> =
+        block.into_iter().filter(|(k, _)| *k != SENTINEL).map(|(_, r)| r).collect();
+
+    // Region fence from the final first keys (empty ranks inherit their
+    // right neighbor's start).
+    let first = out.first().map(|r| r.key_rank()).unwrap_or(u128::MAX);
+    let firsts = allgather_one(c, first);
+    let mut region = vec![0u128; p + 1];
+    region[p] = RANK_SPAN;
+    for k in (1..p).rev() {
+        region[k] = if firsts[k] != u128::MAX { firsts[k] } else { region[k + 1] };
+    }
+    (out, region)
+}
+
+/// Exchange blocks with `partner`, merge, keep the lower (or upper) half.
+fn compare_split(c: &Comm, partner: usize, mine: Vec<Keyed>, keep_small: bool) -> Vec<Keyed> {
+    let n = mine.len();
+    let theirs = c.sendrecv(partner, TAG_BITONIC, &mine);
+    debug_assert_eq!(theirs.len(), n, "equal blocks by padding");
+    let key = |e: &Keyed| (e.0, e.1.gid);
+    let mut out = Vec::with_capacity(n);
+    if keep_small {
+        let (mut i, mut j) = (0usize, 0usize);
+        while out.len() < n {
+            if j >= n || (i < n && key(&mine[i]) <= key(&theirs[j])) {
+                out.push(mine[i]);
+                i += 1;
+            } else {
+                out.push(theirs[j]);
+                j += 1;
+            }
+        }
+    } else {
+        let (mut i, mut j) = (n as isize - 1, n as isize - 1);
+        while out.len() < n {
+            if j < 0 || (i >= 0 && key(&mine[i as usize]) >= key(&theirs[j as usize])) {
+                out.push(mine[i as usize]);
+                i -= 1;
+            } else {
+                out.push(theirs[j as usize]);
+                j -= 1;
+            }
+        }
+        out.reverse();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfmm_mpisim::run;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64, base_gid: u64) -> Vec<PointRec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                PointRec::scalar(
+                    [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+                    1.0,
+                    base_gid + i as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn check(p: usize, counts: &[usize]) {
+        let counts = counts.to_vec();
+        let results = run(p, |c| {
+            let n = counts[c.rank() % counts.len()];
+            let pts = random_points(n, 7 + c.rank() as u64, (c.rank() * 10_000) as u64);
+            bitonic_sort_points(c, pts)
+        });
+        let total_in: usize = (0..p).map(|r| counts[r % counts.len()]).sum();
+        let mut last = 0u128;
+        let mut total = 0usize;
+        let mut gids = Vec::new();
+        let fence = &results[0].1;
+        for (k, (chunk, f)) in results.iter().enumerate() {
+            assert_eq!(f, fence, "fence agreed");
+            for r in chunk {
+                assert!(r.key_rank() >= last, "global order");
+                assert!(r.key_rank() >= fence[k] && r.key_rank() < fence[k + 1]);
+                last = r.key_rank();
+                gids.push(r.gid);
+                total += 1;
+            }
+        }
+        assert_eq!(total, total_in, "points conserved");
+        gids.sort_unstable();
+        gids.dedup();
+        assert_eq!(gids.len(), total_in, "no duplicates");
+    }
+
+    #[test]
+    fn sorts_equal_blocks() {
+        for p in [1usize, 2, 4, 8] {
+            check(p, &[64]);
+        }
+    }
+
+    #[test]
+    fn sorts_unequal_blocks_via_padding() {
+        check(4, &[10, 77, 0, 33]);
+        check(8, &[5, 50, 13, 28, 0, 64, 1, 40]);
+    }
+
+    #[test]
+    fn agrees_with_sample_sort() {
+        let p = 4;
+        let per = 120;
+        let both = run(p, |c| {
+            let pts = random_points(per, 31 + c.rank() as u64, (c.rank() * per) as u64);
+            let (bit, _) = bitonic_sort_points(c, pts.clone());
+            let (smp, _) = crate::sort::sample_sort_points(c, pts);
+            (bit, smp)
+        });
+        // Concatenated global sequences must be identical.
+        let a: Vec<u64> =
+            both.iter().flat_map(|pair| pair.0.iter().map(|r| r.gid)).collect();
+        let b: Vec<u64> =
+            both.iter().flat_map(|pair| pair.1.iter().map(|r| r.gid)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn rejects_non_power_of_two() {
+        run(3, |c| bitonic_sort_points(c, random_points(8, 1, c.rank() as u64 * 8)));
+    }
+}

@@ -1,0 +1,556 @@
+//! U-, V-, W- and X-list construction (Table I of the paper).
+//!
+//! For every *local* octant β (owned leaf or ancestor of one) the lists
+//! collect the octants coupled to β in Algorithm 1:
+//!
+//! - `U(β)` (leaves only): leaf octants adjacent to β, including β —
+//!   direct near-field interactions.
+//! - `V(β)`: children of the colleagues of `P(β)` not adjacent to β — the
+//!   far-field multipole-to-local translations.
+//! - `W(β)` (leaves only): descendants α of colleagues of β with `P(α)`
+//!   adjacent to β but α not adjacent — their multipole expansions are
+//!   valid at β's targets.
+//! - `X(β)`: the duals of W (α with β ∈ W(α)) — their sources are
+//!   evaluated directly onto β's downward check surface.
+//!
+//! Construction uses only binary searches and adjacency-pruned descents
+//! over the Morton-sorted LET array; no communication is needed
+//! (everything required is already in the LET, per Algorithm 2).
+
+use crate::lett::Let;
+use pfmm_morton::MortonKey;
+
+/// Compressed sparse rows of `u32` octant indices.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    off: Vec<u32>,
+    items: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from per-row item vectors.
+    pub fn from_rows(rows: Vec<Vec<u32>>) -> Csr {
+        let mut off = Vec::with_capacity(rows.len() + 1);
+        off.push(0u32);
+        let mut items = Vec::new();
+        for r in rows {
+            items.extend(r);
+            off.push(items.len() as u32);
+        }
+        Csr { off, items }
+    }
+
+    /// Items of row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.items[self.off[i] as usize..self.off[i + 1] as usize]
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    /// Total number of stored items.
+    pub fn total(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// The four interaction lists, rows aligned with `Let::octs`.
+///
+/// Rows are populated only for local octants (U/W additionally only for
+/// owned leaves); other rows are empty.
+#[derive(Clone, Debug)]
+pub struct Lists {
+    /// Direct-interaction sources (includes β itself).
+    pub u: Csr,
+    /// Multipole-to-local sources.
+    pub v: Csr,
+    /// Multipole-to-target sources.
+    pub w: Csr,
+    /// Source-to-local sources.
+    pub x: Csr,
+}
+
+impl Lists {
+    /// Sum of list lengths for octant `i` (used in work estimates).
+    pub fn degree(&self, i: usize) -> usize {
+        self.u.row(i).len() + self.v.row(i).len() + self.w.row(i).len() + self.x.row(i).len()
+    }
+}
+
+/// Minimum level present in the LET (bounds the X-list ancestor walk).
+fn min_level(l: &Let) -> u32 {
+    l.octs.iter().map(|o| o.level()).min().unwrap_or(0)
+}
+
+/// Build all four lists for the local octants of the LET.
+pub fn build_lists(l: &Let) -> Lists {
+    let n = l.len();
+    let mut u_rows = vec![Vec::new(); n];
+    let mut v_rows = vec![Vec::new(); n];
+    let mut w_rows = vec![Vec::new(); n];
+    let mut x_rows = vec![Vec::new(); n];
+    let lmin = min_level(l);
+
+    for bi in 0..n {
+        if !l.local[bi] {
+            continue;
+        }
+        let beta = l.octs[bi];
+        v_rows[bi] = v_list(l, &beta);
+        x_rows[bi] = x_list(l, &beta, lmin);
+        if l.owned[bi] {
+            debug_assert!(l.is_leaf[bi]);
+            u_rows[bi] = u_list(l, &beta, bi as u32);
+            w_rows[bi] = w_list(l, &beta);
+        }
+    }
+    Lists {
+        u: Csr::from_rows(u_rows),
+        v: Csr::from_rows(v_rows),
+        w: Csr::from_rows(w_rows),
+        x: Csr::from_rows(x_rows),
+    }
+}
+
+/// U(β): all leaves adjacent to β, plus β itself.
+fn u_list(l: &Let, beta: &MortonKey, self_idx: u32) -> Vec<u32> {
+    let mut out = vec![self_idx];
+    for dx in -1..=1 {
+        for dy in -1..=1 {
+            for dz in -1..=1 {
+                if dx == 0 && dy == 0 && dz == 0 {
+                    continue;
+                }
+                let Some(nb) = beta.neighbor(dx, dy, dz) else { continue };
+                let (s, e) = l.subtree_range(&nb);
+                if s < e {
+                    // Finer-or-equal structure inside the neighbor:
+                    // descend, pruning octants whose closure misses β.
+                    descend_adjacent_leaves(l, beta, &nb, &mut out);
+                } else {
+                    // Neighbor volume covered by a coarser leaf.
+                    let mut a = nb;
+                    while let Some(par) = a.parent() {
+                        if let Some(i) = l.find(&par) {
+                            if l.is_leaf[i] {
+                                out.push(i as u32);
+                            }
+                            break;
+                        }
+                        a = par;
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Collect leaves within the subtree of `top` that are adjacent to β.
+fn descend_adjacent_leaves(l: &Let, beta: &MortonKey, top: &MortonKey, out: &mut Vec<u32>) {
+    let Some(i) = l.find(top) else {
+        // `top` itself absent: finer octants exist below it (the subtree
+        // range was nonempty); recurse through the children keys.
+        if top.level() < pfmm_morton::MAX_DEPTH {
+            for ch in top.children() {
+                let (s, e) = l.subtree_range(&ch);
+                if s < e && ch.touches(beta) {
+                    descend_adjacent_leaves(l, beta, &ch, out);
+                }
+            }
+        }
+        return;
+    };
+    if !top.touches(beta) {
+        return;
+    }
+    if l.is_leaf[i] {
+        if top.is_adjacent(beta) {
+            out.push(i as u32);
+        }
+        return;
+    }
+    for ch in top.children() {
+        if ch.touches(beta) {
+            descend_adjacent_leaves(l, beta, &ch, out);
+        }
+    }
+}
+
+/// V(β): children of colleagues of P(β) that are present and not adjacent
+/// to β.
+fn v_list(l: &Let, beta: &MortonKey) -> Vec<u32> {
+    let Some(par) = beta.parent() else { return Vec::new() };
+    let mut out = Vec::new();
+    for c in par.colleagues() {
+        for ch in c.children() {
+            if ch.is_adjacent(beta) {
+                continue;
+            }
+            if let Some(i) = l.find(&ch) {
+                out.push(i as u32);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// W(β): descend through β's colleagues; emit children that lose
+/// adjacency while their parent keeps it.
+fn w_list(l: &Let, beta: &MortonKey) -> Vec<u32> {
+    let mut out = Vec::new();
+    for c in beta.colleagues() {
+        if let Some(ci) = l.find(&c) {
+            if !l.is_leaf[ci] {
+                w_descend(l, beta, &c, &mut out);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Invariant: `o` is adjacent to β and is a non-leaf present in the LET.
+fn w_descend(l: &Let, beta: &MortonKey, o: &MortonKey, out: &mut Vec<u32>) {
+    for ch in o.children() {
+        let Some(i) = l.find(&ch) else { continue };
+        if ch.is_adjacent(beta) {
+            if !l.is_leaf[i] {
+                w_descend(l, beta, &ch, out);
+            }
+        } else {
+            // P(ch) = o is adjacent, ch is not: a W member (leaf or not).
+            out.push(i as u32);
+        }
+    }
+}
+
+/// X(β): leaves α coarser than β with β inside a colleague of α, `P(β)`
+/// adjacent to α, and β not adjacent to α (the dual of W).
+fn x_list(l: &Let, beta: &MortonKey, lmin: u32) -> Vec<u32> {
+    let Some(par) = beta.parent() else { return Vec::new() };
+    let mut out = Vec::new();
+    let mut level = beta.level();
+    while level > lmin.max(1) {
+        level -= 1;
+        // α at `level` with β descendant of a colleague of α ⟺ α adjacent
+        // to β's ancestor at `level`.
+        let anc = beta.ancestor_at_level(level);
+        for alpha in anc.colleagues() {
+            let Some(i) = l.find(&alpha) else { continue };
+            if !l.is_leaf[i] {
+                continue;
+            }
+            if par.is_adjacent(&alpha) && !beta.is_adjacent(&alpha) {
+                out.push(i as u32);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Work estimate per owned leaf for the load balancer (§III-B): direct
+/// U-list pair counts plus weighted list degrees for the translation work.
+///
+/// Rows of `weights` align with `Let::owned_indices()` (i.e. with the
+/// owning `DistTree::leaves`).
+pub fn leaf_weights(l: &Let, lists: &Lists) -> Vec<f64> {
+    // Relative per-item costs, calibrated loosely against the paper's
+    // per-phase flop shares (Table II): direct pairs dominate, V-list
+    // translations cost a grid convolution each, W/X a dense matvec each.
+    const C_V: f64 = 200.0;
+    const C_WX: f64 = 100.0;
+    let mut out = Vec::new();
+    for bi in l.owned_indices() {
+        let n_beta = l.points_of(bi).len() as f64;
+        let mut w = 0.0;
+        for &ai in lists.u.row(bi) {
+            w += n_beta * l.points_of(ai as usize).len() as f64;
+        }
+        w += C_V * lists.v.row(bi).len() as f64;
+        w += C_WX * (lists.w.row(bi).len() + lists.x.row(bi).len()) as f64;
+        out.push(w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtree::points_to_octree;
+    use crate::point::PointRec;
+    use pfmm_mpisim::run;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<PointRec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                PointRec::scalar(
+                    [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+                    1.0,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn ellipsoid_points(n: usize, seed: u64) -> Vec<PointRec> {
+        // Nonuniform: points on a 1:1:4-ish ellipsoid surface (the paper's
+        // nonuniform distribution), scaled into the unit cube.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let theta = rng.random::<f64>() * std::f64::consts::PI;
+                let phi = rng.random::<f64>() * 2.0 * std::f64::consts::PI;
+                let x = 0.5 + 0.12 * theta.sin() * phi.cos();
+                let y = 0.5 + 0.12 * theta.sin() * phi.sin();
+                let z = 0.5 + 0.48 * theta.cos();
+                PointRec::scalar([x, y, z.clamp(0.0, 0.999)], 1.0, i as u64)
+            })
+            .collect()
+    }
+
+    fn seq_let(pts: Vec<PointRec>, q: usize) -> Let {
+        run(1, |c| crate::lett::build_let(c, &points_to_octree(c, pts.clone(), q)))
+            .pop()
+            .expect("one rank")
+    }
+
+    /// Quantifier-level reference implementation of Table I.
+    struct Brute<'a> {
+        l: &'a Let,
+    }
+
+    impl<'a> Brute<'a> {
+        fn u(&self, bi: usize) -> Vec<u32> {
+            let beta = self.l.octs[bi];
+            let mut out: Vec<u32> = (0..self.l.len())
+                .filter(|&ai| {
+                    self.l.is_leaf[ai]
+                        && (ai == bi || self.l.octs[ai].is_adjacent(&beta))
+                })
+                .map(|ai| ai as u32)
+                .collect();
+            out.sort_unstable();
+            out
+        }
+
+        fn v(&self, bi: usize) -> Vec<u32> {
+            let beta = self.l.octs[bi];
+            let Some(pb) = beta.parent() else { return Vec::new() };
+            (0..self.l.len())
+                .filter(|&ai| {
+                    let a = self.l.octs[ai];
+                    a.level() == beta.level()
+                        && a != beta
+                        && a.parent().map(|pa| pa != pb && pa.is_adjacent(&pb)).unwrap_or(false)
+                        && !a.is_adjacent(&beta)
+                })
+                .map(|ai| ai as u32)
+                .collect()
+        }
+
+        fn w(&self, bi: usize) -> Vec<u32> {
+            let beta = self.l.octs[bi];
+            let colleagues = beta.colleagues();
+            (0..self.l.len())
+                .filter(|&ai| {
+                    let a = self.l.octs[ai];
+                    colleagues.iter().any(|c| c.is_ancestor_of(&a))
+                        && !a.is_adjacent(&beta)
+                        && a.parent().map(|pa| pa.is_adjacent(&beta)).unwrap_or(false)
+                })
+                .map(|ai| ai as u32)
+                .collect()
+        }
+
+        fn x(&self, bi: usize) -> Vec<u32> {
+            // α ∈ X(β) iff β ∈ W(α), α a leaf.
+            let beta_key = self.l.octs[bi];
+            (0..self.l.len())
+                .filter(|&ai| {
+                    if !self.l.is_leaf[ai] {
+                        return false;
+                    }
+                    let alpha = self.l.octs[ai];
+                    let in_w_of_alpha = alpha
+                        .colleagues()
+                        .iter()
+                        .any(|c| c.is_ancestor_of(&beta_key))
+                        && !beta_key.is_adjacent(&alpha)
+                        && beta_key
+                            .parent()
+                            .map(|pb| pb.is_adjacent(&alpha))
+                            .unwrap_or(false);
+                    in_w_of_alpha
+                })
+                .map(|ai| ai as u32)
+                .collect()
+        }
+    }
+
+    fn check_against_brute(l: &Let) {
+        let lists = build_lists(l);
+        let brute = Brute { l };
+        for bi in 0..l.len() {
+            if !l.local[bi] {
+                continue;
+            }
+            assert_eq!(lists.v.row(bi), brute.v(bi).as_slice(), "V({:?})", l.octs[bi]);
+            assert_eq!(lists.x.row(bi), brute.x(bi).as_slice(), "X({:?})", l.octs[bi]);
+            if l.owned[bi] {
+                assert_eq!(lists.u.row(bi), brute.u(bi).as_slice(), "U({:?})", l.octs[bi]);
+                assert_eq!(lists.w.row(bi), brute.w(bi).as_slice(), "W({:?})", l.octs[bi]);
+            }
+        }
+    }
+
+    #[test]
+    fn lists_match_brute_force_uniform() {
+        check_against_brute(&seq_let(random_points(300, 17), 8));
+    }
+
+    #[test]
+    fn lists_match_brute_force_small_q() {
+        check_against_brute(&seq_let(random_points(150, 23), 1));
+    }
+
+    #[test]
+    fn lists_match_brute_force_nonuniform() {
+        check_against_brute(&seq_let(ellipsoid_points(300, 5), 6));
+    }
+
+    #[test]
+    fn u_and_v_are_symmetric() {
+        let l = seq_let(random_points(250, 29), 4);
+        let lists = build_lists(&l);
+        for bi in 0..l.len() {
+            for &ai in lists.u.row(bi) {
+                assert!(
+                    lists.u.row(ai as usize).contains(&(bi as u32)),
+                    "U symmetry violated"
+                );
+            }
+            for &ai in lists.v.row(bi) {
+                assert!(
+                    lists.v.row(ai as usize).contains(&(bi as u32)),
+                    "V symmetry violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn w_and_x_are_dual() {
+        let l = seq_let(random_points(250, 37), 4);
+        let lists = build_lists(&l);
+        for bi in 0..l.len() {
+            for &ai in lists.w.row(bi) {
+                assert!(
+                    lists.x.row(ai as usize).contains(&(bi as u32)),
+                    "β ∈ W ⇒ dual X missing"
+                );
+            }
+            for &ai in lists.x.row(bi) {
+                assert!(
+                    lists.w.row(ai as usize).contains(&(bi as u32)),
+                    "β ∈ X ⇒ dual W missing"
+                );
+            }
+        }
+    }
+
+    /// Every pair of leaves must interact exactly once: either directly
+    /// (U) or through exactly one V/W/X coupling on the paths to their
+    /// ancestors. This is the FMM's partition-of-unity over the far field.
+    #[test]
+    fn interaction_partition_of_unity() {
+        let l = seq_let(random_points(120, 41), 3);
+        let lists = build_lists(&l);
+        let leaf_idx: Vec<usize> = (0..l.len()).filter(|&i| l.is_leaf[i]).collect();
+        for &ti in &leaf_idx {
+            for &si in &leaf_idx {
+                let mut count = 0usize;
+                // U: direct.
+                if lists.u.row(ti).contains(&(si as u32)) {
+                    count += 1;
+                }
+                // V: some ancestor-or-self of target has in its V-list
+                // some ancestor-or-self of source.
+                let t_chain: Vec<u32> = {
+                    let mut v = vec![ti as u32];
+                    v.extend(l.octs[ti].ancestors().iter().filter_map(|a| l.find(a)).map(|i| i as u32));
+                    v
+                };
+                let s_chain: Vec<u32> = {
+                    let mut v = vec![si as u32];
+                    v.extend(l.octs[si].ancestors().iter().filter_map(|a| l.find(a)).map(|i| i as u32));
+                    v
+                };
+                for &tc in &t_chain {
+                    for &sc in &s_chain {
+                        if lists.v.row(tc as usize).contains(&sc) {
+                            count += 1;
+                        }
+                    }
+                }
+                // W: target leaf's W contains an ancestor-or-self of source.
+                for &sc in &s_chain {
+                    if lists.w.row(ti).contains(&sc) {
+                        count += 1;
+                    }
+                }
+                // X: some ancestor-or-self of target has source leaf in X.
+                for &tc in &t_chain {
+                    if lists.x.row(tc as usize).contains(&(si as u32)) {
+                        count += 1;
+                    }
+                }
+                assert_eq!(
+                    count, 1,
+                    "leaf pair ({:?} ← {:?}) covered {count} times",
+                    l.octs[ti], l.octs[si]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_lists_cover_owned_leaves() {
+        let p = 4;
+        let outs = run(p, |c| {
+            let t = points_to_octree(c, random_points(400, 47), 6);
+            let l = crate::lett::build_let(c, &t);
+            let lists = build_lists(&l);
+            // Every owned leaf must have itself in U.
+            for bi in l.owned_indices() {
+                assert!(lists.u.row(bi).contains(&(bi as u32)));
+            }
+            (l.owned_indices().len(), lists.u.total())
+        });
+        let total_owned: usize = outs.iter().map(|(o, _)| o).sum();
+        assert!(total_owned > 0);
+    }
+
+    #[test]
+    fn weights_are_positive_for_occupied_leaves() {
+        let l = seq_let(random_points(200, 53), 5);
+        let lists = build_lists(&l);
+        let w = leaf_weights(&l, &lists);
+        assert_eq!(w.len(), l.owned_indices().len());
+        for (bi, wi) in l.owned_indices().into_iter().zip(&w) {
+            if !l.points_of(bi).is_empty() {
+                assert!(*wi > 0.0);
+            }
+        }
+    }
+}

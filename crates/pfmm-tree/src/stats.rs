@@ -1,0 +1,183 @@
+//! Tree and interaction-list diagnostics.
+//!
+//! The paper characterizes its runs by tree shape ("the tree used in this
+//! calculation spanned seven orders of spatial scales") and by per-phase
+//! work shares driven by list sizes. This module computes those numbers
+//! for any LET — used by the examples, the harness binaries, and anyone
+//! deciding whether their distribution needs the load balancer.
+
+use crate::lett::Let;
+use crate::lists::Lists;
+
+/// Shape statistics of (this rank's view of) the tree.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TreeStats {
+    /// Octants in the LET.
+    pub octants: usize,
+    /// Leaf octants (global-tree leaves present here).
+    pub leaves: usize,
+    /// Owned leaves.
+    pub owned_leaves: usize,
+    /// Point-carrying leaves.
+    pub occupied_leaves: usize,
+    /// Leaf count per level (index = level).
+    pub leaves_per_level: Vec<usize>,
+    /// Smallest and largest leaf level present.
+    pub leaf_levels: (u32, u32),
+    /// Minimum / mean / maximum points over occupied leaves.
+    pub points_per_leaf: (usize, f64, usize),
+}
+
+impl TreeStats {
+    /// Compute shape statistics for a LET.
+    pub fn of(l: &Let) -> TreeStats {
+        let mut s = TreeStats { octants: l.len(), ..Default::default() };
+        let mut min_l = u32::MAX;
+        let mut max_l = 0;
+        let mut min_p = usize::MAX;
+        let mut max_p = 0usize;
+        let mut sum_p = 0usize;
+        for i in 0..l.len() {
+            if !l.is_leaf[i] {
+                continue;
+            }
+            s.leaves += 1;
+            if l.owned[i] {
+                s.owned_leaves += 1;
+            }
+            let lv = l.octs[i].level();
+            min_l = min_l.min(lv);
+            max_l = max_l.max(lv);
+            if s.leaves_per_level.len() <= lv as usize {
+                s.leaves_per_level.resize(lv as usize + 1, 0);
+            }
+            s.leaves_per_level[lv as usize] += 1;
+            let np = l.points_of(i).len();
+            if np > 0 {
+                s.occupied_leaves += 1;
+                min_p = min_p.min(np);
+                max_p = max_p.max(np);
+                sum_p += np;
+            }
+        }
+        s.leaf_levels = if s.leaves > 0 { (min_l, max_l) } else { (0, 0) };
+        s.points_per_leaf = if s.occupied_leaves > 0 {
+            (min_p, sum_p as f64 / s.occupied_leaves as f64, max_p)
+        } else {
+            (0, 0.0, 0)
+        };
+        s
+    }
+
+    /// Number of levels the tree spans ("orders of spatial scales").
+    pub fn level_span(&self) -> u32 {
+        self.leaf_levels.1 - self.leaf_levels.0
+    }
+}
+
+/// Aggregate interaction-list statistics over the local octants.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct ListStats {
+    /// Total U entries and the max row length.
+    pub u: (usize, usize),
+    /// Total V entries and the max row length.
+    pub v: (usize, usize),
+    /// Total W entries and the max row length.
+    pub w: (usize, usize),
+    /// Total X entries and the max row length.
+    pub x: (usize, usize),
+    /// Direct source-target pair count implied by the U-lists.
+    pub direct_pairs: u64,
+}
+
+impl ListStats {
+    /// Compute list statistics for a LET's lists.
+    pub fn of(l: &Let, lists: &Lists) -> ListStats {
+        let mut s = ListStats::default();
+        let agg = |total: &mut (usize, usize), row: &[u32]| {
+            total.0 += row.len();
+            total.1 = total.1.max(row.len());
+        };
+        for bi in 0..l.len() {
+            agg(&mut s.u, lists.u.row(bi));
+            agg(&mut s.v, lists.v.row(bi));
+            agg(&mut s.w, lists.w.row(bi));
+            agg(&mut s.x, lists.x.row(bi));
+            if l.owned[bi] {
+                let n = l.points_of(bi).len() as u64;
+                for &ai in lists.u.row(bi) {
+                    s.direct_pairs += n * l.points_of(ai as usize).len() as u64;
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtree::points_to_octree;
+    use crate::lett::build_let;
+    use crate::lists::build_lists;
+    use crate::point::PointRec;
+    use pfmm_mpisim::run;
+
+    fn grid_points(n: usize) -> Vec<PointRec> {
+        (0..n)
+            .map(|i| {
+                let f = (i as f64 + 0.5) / n as f64;
+                PointRec::scalar([f, (f * 13.7) % 1.0, (f * 5.1) % 1.0], 1.0, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stats_count_the_tree() {
+        let l = run(1, |c| build_let(c, &points_to_octree(c, grid_points(500), 10)))
+            .pop()
+            .expect("one rank");
+        let s = TreeStats::of(&l);
+        assert_eq!(s.octants, l.len());
+        assert_eq!(s.leaves, l.is_leaf.iter().filter(|&&b| b).count());
+        assert_eq!(s.leaves, s.leaves_per_level.iter().sum::<usize>());
+        assert!(s.points_per_leaf.2 <= 10, "respects q");
+        let total_pts: usize = (0..l.len()).map(|i| l.points_of(i).len()).sum();
+        assert_eq!(total_pts, 500);
+        assert!(s.level_span() < 31);
+    }
+
+    #[test]
+    fn list_stats_match_direct_count() {
+        let (l, lists) = run(1, |c| {
+            let t = points_to_octree(c, grid_points(300), 8);
+            let l = build_let(c, &t);
+            let lists = build_lists(&l);
+            (l, lists)
+        })
+        .pop()
+        .expect("one rank");
+        let s = ListStats::of(&l, &lists);
+        assert_eq!(s.u.0, lists.u.total());
+        assert_eq!(s.v.0, lists.v.total());
+        // Every point interacts at least with its own leaf-mates.
+        assert!(s.direct_pairs >= 300);
+        // U rows are bounded by geometry (≤ 26 same-size neighbors plus
+        // finer adjacents plus self); sanity-bound generously.
+        assert!(s.u.1 < 200);
+    }
+
+    #[test]
+    fn empty_rank_stats_are_zero() {
+        // Rank with an empty region still computes coherent stats.
+        let all = run(4, |c| {
+            let pts = if c.rank() == 0 { grid_points(50) } else { Vec::new() };
+            let t = points_to_octree(c, pts, 8);
+            let l = build_let(c, &t);
+            TreeStats::of(&l)
+        });
+        for s in &all {
+            assert!(s.occupied_leaves <= s.leaves);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Solve a second-kind integral equation with the FMM as the fast
+//! matrix–vector product — the way FMMs power boundary-integral solvers
+//! (the paper's Stokes-flow application is exactly this pattern).
+//!
+//! We solve `(I + c·K) σ = b` on a random particle cloud distributed
+//! over four simulated ranks, where `K` is the Laplace single-layer sum.
+//! The FMM setup (tree, LET, lists) is built **once** via [`Fmm::plan`];
+//! each GMRES iteration re-applies it with a new density through the
+//! plan's ghost-refresh exchange, and the Krylov inner products are
+//! global (all-reduced), so every rank walks the same iteration.
+//!
+//! Run with: `cargo run --release --example integral_equation`
+
+use std::sync::Arc;
+
+use pfmm::fmm::distrib::uniform_cube;
+use pfmm::fmm::solve::solve_second_kind;
+use pfmm::fmm::{Fmm, FmmConfig};
+use pfmm::kernels::Laplace;
+use pfmm::mpisim;
+
+fn main() {
+    let n = 8_000;
+    let p = 4;
+    // K's row sums grow like N·avg(1/4πr); scale so ‖c·K‖ ≈ 0.2 and the
+    // second-kind system is a mild perturbation of the identity.
+    let c_scale = 1.0 / n as f64;
+    let points = uniform_cube(n, 31, 0);
+
+    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 60, ..Default::default() });
+
+    let outs = mpisim::run(p, |comm| {
+        let mine: Vec<_> = points.iter().skip(comm.rank()).step_by(p).copied().collect();
+        let mut plan = fmm.plan(comm, mine);
+
+        // Right-hand side: a smooth field, in the plan's owned order.
+        let b: Vec<f64> =
+            plan.owned_gids().iter().map(|g| 1.0 + (*g as f64 * 0.01).sin()).collect();
+
+        let (sigma, report) =
+            solve_second_kind(&fmm, comm, &mut plan, &b, c_scale, 1e-10, 60)
+                .expect("second-kind system converges");
+
+        // Verify independently: recompute the residual from scratch.
+        let (k_sigma, _) = fmm.apply(comm, &mut plan, &sigma);
+        let local_num: f64 = sigma
+            .iter()
+            .zip(&k_sigma)
+            .zip(&b)
+            .map(|((s, k), bb)| (s + c_scale * k - bb).powi(2))
+            .sum();
+        let local_den: f64 = b.iter().map(|x| x * x).sum();
+        let num = mpisim::collectives::allreduce_one(comm, local_num, |a, b| a + b);
+        let den = mpisim::collectives::allreduce_one(comm, local_den, |a, b| a + b);
+        (report.matvecs, report.final_residual(), (num / den).sqrt(), plan.num_owned())
+    });
+
+    let (matvecs, reported, verified, _) = outs[0];
+    let owned: Vec<usize> = outs.iter().map(|(_, _, _, n)| *n).collect();
+    println!("{p} ranks, points per rank after balancing: {owned:?}");
+    println!("GMRES: {matvecs} FMM applications, one tree/LET build per rank");
+    println!("reported residual {reported:.2e}; independently verified {verified:.2e}");
+    for (m, r, v, _) in &outs {
+        assert_eq!(*m, matvecs, "all ranks walked the same iteration");
+        assert!((r - reported).abs() < 1e-15);
+        assert!(*v < 1e-8, "solver verification failed: {v}");
+    }
+    println!("ok: second-kind integral equation solved distributed with one FMM plan");
+}
