@@ -7,7 +7,7 @@ use pfmm_core::distrib::{randomize_densities, uniform_cube};
 use pfmm_gpusim::kernels::uli;
 use pfmm_gpusim::GpuLayout;
 use pfmm_mpisim::run;
-use pfmm_tree::{build_lists, build_let, points_to_octree};
+use pfmm_tree::{build_let, build_lists, points_to_octree};
 use std::hint::black_box;
 
 fn bench_gpu(c: &mut Criterion) {

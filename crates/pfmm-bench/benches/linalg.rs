@@ -6,7 +6,9 @@ use pfmm_linalg::{pinv, Matrix, Svd};
 use std::hint::black_box;
 
 fn test_matrix(n: usize, m: usize) -> Matrix {
-    Matrix::from_fn(n, m, |i, j| ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5 + if i == j { 2.0 } else { 0.0 })
+    Matrix::from_fn(n, m, |i, j| {
+        ((i * 31 + j * 17) % 23) as f64 / 23.0 - 0.5 + if i == j { 2.0 } else { 0.0 }
+    })
 }
 
 fn bench_linalg(c: &mut Criterion) {
@@ -35,8 +37,12 @@ fn bench_linalg(c: &mut Criterion) {
     g.sample_size(10);
     for n in [56usize, 152] {
         let m = test_matrix(n, n);
-        g.bench_function(format!("jacobi_svd_{n}"), |b| b.iter(|| black_box(Svd::new(&m))));
-        g.bench_function(format!("pinv_{n}"), |b| b.iter(|| black_box(pinv(&m, 1e-12))));
+        g.bench_function(format!("jacobi_svd_{n}"), |b| {
+            b.iter(|| black_box(Svd::new(&m)))
+        });
+        g.bench_function(format!("pinv_{n}"), |b| {
+            b.iter(|| black_box(pinv(&m, 1e-12)))
+        });
     }
 
     g.finish();

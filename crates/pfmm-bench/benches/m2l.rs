@@ -36,7 +36,12 @@ fn bench_m2l(c: &mut Criterion) {
         let mut acc = eng.new_accumulator();
         g.bench_function(format!("fft_hadamard_order{order}"), |b| {
             b.iter(|| {
-                eng.accumulate(black_box(&mut acc), black_box(&khat), black_box(&uhat), scale)
+                eng.accumulate(
+                    black_box(&mut acc),
+                    black_box(&khat),
+                    black_box(&uhat),
+                    scale,
+                )
             })
         });
 

@@ -61,7 +61,11 @@ fn bench_morton(c: &mut Criterion) {
                 MortonKey::from_point(&[f, (f * 5.3) % 1.0, (f * 2.9) % 1.0], 8)
             })
             .collect();
-        b.iter_batched(|| seeds.clone(), |s| black_box(complete_octree(s)), BatchSize::SmallInput)
+        b.iter_batched(
+            || seeds.clone(),
+            |s| black_box(complete_octree(s)),
+            BatchSize::SmallInput,
+        )
     });
 
     g.bench_function("sort_keys_8192", |b| {

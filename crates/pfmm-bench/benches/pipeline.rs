@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pfmm_core::distrib::{randomize_densities, uniform_cube};
-use pfmm_core::{Fmm, FmmConfig};
+use pfmm_core::{Fmm, FmmConfig, Schedule};
 use pfmm_kernels::{direct_eval, Laplace};
 use pfmm_mpisim::run;
 use std::hint::black_box;
@@ -19,23 +19,53 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut pts = uniform_cube(n, 9, 0);
     randomize_densities(&mut pts, 1, 10);
 
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 60, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 60,
+            ..Default::default()
+        },
+    );
     // Warm the operator caches so the benchmark measures evaluation, not
     // one-time setup.
     run(1, |comm| fmm.evaluate(comm, pts.clone()).gids.len());
 
     g.bench_function("fmm_laplace_10k_seq", |b| {
         b.iter(|| {
-            run(1, |comm| black_box(fmm.evaluate(comm, pts.clone())).gids.len())
+            run(1, |comm| {
+                black_box(fmm.evaluate(comm, pts.clone())).gids.len()
+            })
         })
     });
 
     g.bench_function("fmm_laplace_10k_p4", |b| {
         b.iter(|| {
             run(4, |comm| {
-                let mine: Vec<_> =
-                    pts.iter().skip(comm.rank()).step_by(4).copied().collect();
+                let mine: Vec<_> = pts.iter().skip(comm.rank()).step_by(4).copied().collect();
                 black_box(fmm.evaluate(comm, mine)).gids.len()
+            })
+        })
+    });
+
+    // The same distributed run under the dependency-graph scheduler:
+    // the reduce-and-scatter overlaps the U/X chunks instead of
+    // barriering every rank (compare against fmm_laplace_10k_p4).
+    let graph_fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 60,
+            schedule: Schedule::Graph,
+            ..Default::default()
+        },
+    );
+    run(1, |comm| graph_fmm.evaluate(comm, pts.clone()).gids.len());
+    g.bench_function("fmm_laplace_10k_p4_graph", |b| {
+        b.iter(|| {
+            run(4, |comm| {
+                let mine: Vec<_> = pts.iter().skip(comm.rank()).step_by(4).copied().collect();
+                black_box(graph_fmm.evaluate(comm, mine)).gids.len()
             })
         })
     });
@@ -48,7 +78,13 @@ fn bench_pipeline(c: &mut Criterion) {
     g.bench_function("direct_sum_2k", |b| {
         b.iter(|| {
             let mut out = vec![0.0; pos.len()];
-            direct_eval(&Laplace, black_box(&pos), black_box(&pos), black_box(&den), &mut out);
+            direct_eval(
+                &Laplace,
+                black_box(&pos),
+                black_box(&pos),
+                black_box(&den),
+                &mut out,
+            );
             black_box(out)
         })
     });

@@ -6,8 +6,7 @@ use pfmm_core::distrib::{randomize_densities, uniform_cube};
 use pfmm_core::solve::gmres;
 use pfmm_mpisim::run;
 use pfmm_tree::{
-    balance_2to1, bitonic_sort_points, build_lists, build_let, points_to_octree,
-    sample_sort_points,
+    balance_2to1, bitonic_sort_points, build_let, build_lists, points_to_octree, sample_sort_points,
 };
 use std::hint::black_box;
 
@@ -59,7 +58,14 @@ fn bench_tree(c: &mut Criterion) {
 
     g.bench_function("gmres_identity_64", |b| {
         let rhs: Vec<f64> = (0..64).map(|i| (i as f64 * 0.1).sin()).collect();
-        b.iter(|| black_box(gmres(|v| v.to_vec(), &rhs, 1e-12, 4).expect("one step").1.matvecs))
+        b.iter(|| {
+            black_box(
+                gmres(|v| v.to_vec(), &rhs, 1e-12, 4)
+                    .expect("one step")
+                    .1
+                    .matvecs,
+            )
+        })
     });
 
     g.finish();

@@ -16,10 +16,21 @@ fn main() {
     let p = 8;
     let per_rank = 4_000;
     println!("Ablation: load balancing, p = {p}, {per_rank} pts/rank\n");
-    let mut t = Table::new(&["distribution", "balance", "max/avg flops", "max flops", "avg flops"]);
+    let mut t = Table::new(&[
+        "distribution",
+        "balance",
+        "max/avg flops",
+        "max flops",
+        "avg flops",
+    ]);
     for dist in [Distribution::Uniform, Distribution::Ellipsoid] {
         for balance in [false, true] {
-            let cfg = FmmConfig { order: 4, q: 50, balance, ..Default::default() };
+            let cfg = FmmConfig {
+                order: 4,
+                q: 50,
+                balance,
+                ..Default::default()
+            };
             let s = run_case(Arc::new(Stokes::default()), cfg, dist, per_rank * p, p, 57);
             let flops = s.rank_flops();
             let max = *flops.iter().max().expect("ranks") as f64;

@@ -28,8 +28,20 @@ fn main() {
     for p in [2usize, 4, 8, 16, 32] {
         let mut stats = Vec::new();
         for reduction in [Reduction::Hypercube, Reduction::Naive] {
-            let cfg = FmmConfig { order: 4, q: 40, reduction, ..Default::default() };
-            let s = run_case(Arc::new(Laplace), cfg, Distribution::Uniform, per_rank * p, p, 31);
+            let cfg = FmmConfig {
+                order: 4,
+                q: 40,
+                reduction,
+                ..Default::default()
+            };
+            let s = run_case(
+                Arc::new(Laplace),
+                cfg,
+                Distribution::Uniform,
+                per_rank * p,
+                p,
+                31,
+            );
             stats.push((s.max_comm_msgs(), s.max_comm_bytes()));
         }
         let (hm, hb) = stats[0];

@@ -13,7 +13,7 @@ use pfmm_core::distrib::{randomize_densities, uniform_cube};
 use pfmm_gpusim::kernels::uli;
 use pfmm_gpusim::{DeviceSpec, GpuLayout};
 use pfmm_mpisim::run;
-use pfmm_tree::{build_lists, build_let, points_to_octree};
+use pfmm_tree::{build_let, build_lists, points_to_octree};
 
 fn main() {
     let n = 60_000;

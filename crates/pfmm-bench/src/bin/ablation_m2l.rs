@@ -28,7 +28,12 @@ fn main() {
         let mut wall = Vec::new();
         let mut flops = Vec::new();
         for m2l in [M2lMode::Dense, M2lMode::Fft] {
-            let cfg = FmmConfig { order, q, m2l, ..Default::default() };
+            let cfg = FmmConfig {
+                order,
+                q,
+                m2l,
+                ..Default::default()
+            };
             let s = run_case(Arc::new(Laplace), cfg, Distribution::Uniform, n, 1, 13);
             wall.push(s.max_secs(Phase::VList));
             flops.push(s.profiles[0].flops(Phase::VList));

@@ -17,16 +17,35 @@ use pfmm_kernels::Stokes;
 use pfmm_perfmodel::{FmmModel, MachineParams, Sample};
 
 fn main() {
-    let cfg = FmmConfig { order: 4, q: 100, ..Default::default() };
-    println!("Figure 3 reproduction: strong scaling, Stokes kernel, order {}", cfg.order);
+    let cfg = FmmConfig {
+        order: 4,
+        q: 100,
+        ..Default::default()
+    };
+    println!(
+        "Figure 3 reproduction: strong scaling, Stokes kernel, order {}",
+        cfg.order
+    );
     println!("(paper: 200M/100M points on 512-8192 cores; here: scaled problem,");
     println!(" exact measured flop/byte counters, 2009-rate modeled seconds)\n");
 
-    for (dist, n) in [(Distribution::Uniform, 40_000), (Distribution::Ellipsoid, 20_000)] {
+    for (dist, n) in [
+        (Distribution::Uniform, 40_000),
+        (Distribution::Ellipsoid, 20_000),
+    ] {
         println!("== {} distribution, N = {} (fixed) ==", dist.label(), n);
         let mut table = Table::new(&[
-            "p", "Upward", "Comm", "U-list", "V-list", "W-list", "X-list", "Down", "avg total",
-            "max total", "efficiency",
+            "p",
+            "Upward",
+            "Comm",
+            "U-list",
+            "V-list",
+            "W-list",
+            "X-list",
+            "Down",
+            "avg total",
+            "max total",
+            "efficiency",
         ]);
         let mut samples: Vec<Sample> = Vec::new();
         let mut t1 = None;

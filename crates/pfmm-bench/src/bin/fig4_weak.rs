@@ -16,13 +16,32 @@ use pfmm_kernels::Stokes;
 use pfmm_perfmodel::{FmmModel, MachineParams, Sample};
 
 fn main() {
-    let cfg = FmmConfig { order: 4, q: 100, ..Default::default() };
-    println!("Figure 4 reproduction: weak scaling, Stokes kernel, order {}\n", cfg.order);
+    let cfg = FmmConfig {
+        order: 4,
+        q: 100,
+        ..Default::default()
+    };
+    println!(
+        "Figure 4 reproduction: weak scaling, Stokes kernel, order {}\n",
+        cfg.order
+    );
 
-    for (dist, per_rank) in [(Distribution::Uniform, 5_000), (Distribution::Ellipsoid, 5_000)] {
-        println!("== {} distribution, {} points/rank ==", dist.label(), per_rank);
+    for (dist, per_rank) in [
+        (Distribution::Uniform, 5_000),
+        (Distribution::Ellipsoid, 5_000),
+    ] {
+        println!(
+            "== {} distribution, {} points/rank ==",
+            dist.label(),
+            per_rank
+        );
         let mut table = Table::new(&[
-            "p", "N", "setup max(s)", "sort max(s)", "eval max(s)", "eval avg(s)",
+            "p",
+            "N",
+            "setup max(s)",
+            "sort max(s)",
+            "eval max(s)",
+            "eval avg(s)",
         ]);
         let mut samples: Vec<Sample> = Vec::new();
         for p in [1usize, 2, 4, 8, 16] {
@@ -59,7 +78,8 @@ fn main() {
         }
         println!(
             "model extrapolation at the paper's {} pts/core:\n{}",
-            paper_per_rank, ext.render()
+            paper_per_rank,
+            ext.render()
         );
     }
     println!("paper reference: ~1.5x timing growth from 16 to 65536 cores (their");

@@ -49,7 +49,10 @@ fn main() {
         println!(
             "measured p={p}: max per-rank device time {:.3}s (reduce-scatter wall {:.4}s)",
             max_gpu,
-            reports.iter().map(|r| r.comm_wall_secs).fold(0.0f64, f64::max),
+            reports
+                .iter()
+                .map(|r| r.comm_wall_secs)
+                .fold(0.0f64, f64::max),
         );
     }
     let gpu_time_at = |p: usize| -> f64 {
@@ -63,8 +66,19 @@ fn main() {
     };
 
     // CPU side: exact flop counters of the real CPU FMM at the CPU-tuned q.
-    let cfg = FmmConfig { order, q: q_cpu, ..Default::default() };
-    let cpu_run = run_case(Arc::new(Laplace), cfg, Distribution::Uniform, per_rank, 1, 5);
+    let cfg = FmmConfig {
+        order,
+        q: q_cpu,
+        ..Default::default()
+    };
+    let cpu_run = run_case(
+        Arc::new(Laplace),
+        cfg,
+        Distribution::Uniform,
+        per_rank,
+        1,
+        5,
+    );
     let cpu_flops = cpu_run.profiles[0].total_flops() as f64;
     let cpu_rates = [("0.5 GF/s", 0.5e9), ("2 GF/s", 2.0e9)];
     println!(
@@ -77,7 +91,14 @@ fn main() {
     // Communication calibration from real distributed CPU runs.
     let mut samples: Vec<Sample> = Vec::new();
     for p in [2usize, 4, 8] {
-        let s = run_case(Arc::new(Laplace), cfg, Distribution::Uniform, per_rank * p, p, 11);
+        let s = run_case(
+            Arc::new(Laplace),
+            cfg,
+            Distribution::Uniform,
+            per_rank * p,
+            p,
+            11,
+        );
         samples.push(s.to_sample());
     }
     let model = FmmModel::fit(MachineParams::lincoln(), &samples);

@@ -49,7 +49,13 @@ fn main() {
     // 50% "science flops" loss going to 64K cores, which this term
     // models.
     let model = FmmModel::from_constants(MachineParams::kraken(), 2e-8, 5e-6, 0.0, 2000.0);
-    let mut t = Table::new(&["GPUs", "comm (s)", "efficiency", "aggregate TFlop/s", "PetaFlop/s?"]);
+    let mut t = Table::new(&[
+        "GPUs",
+        "comm (s)",
+        "efficiency",
+        "aggregate TFlop/s",
+        "PetaFlop/s?",
+    ]);
     for p in [256.0f64, 4096.0, 65536.0] {
         let comm = model.predict(paper_per_gpu * p, p).comm;
         let eff = gpu_secs / (gpu_secs + comm);
@@ -59,7 +65,11 @@ fn main() {
             format!("{:.2}", comm),
             format!("{:.0}%", eff * 100.0),
             format!("{:.0}", agg / 1e12),
-            if agg >= 1e15 { "yes".into() } else { "not yet".into() },
+            if agg >= 1e15 {
+                "yes".into()
+            } else {
+                "not yet".into()
+            },
         ]);
     }
     println!("{}", t.render());
@@ -71,7 +81,11 @@ fn main() {
     println!(
         "paper-style projection (rate x 64K x 50%): {:.2} PFlop/s -> {}",
         paper_style / 1e15,
-        if paper_style >= 1e15 { "yes, a PetaFlop/s" } else { "short" }
+        if paper_style >= 1e15 {
+            "yes, a PetaFlop/s"
+        } else {
+            "short"
+        }
     );
     println!();
     println!("paper reference: 500 MFlop/s/core sequential, 260 MFlop/s/core at 64K");

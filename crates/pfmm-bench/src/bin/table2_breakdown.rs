@@ -19,11 +19,20 @@ use pfmm_perfmodel::{FmmModel, MachineParams};
 fn main() {
     let p = 16;
     let per_rank = 5_000;
-    let cfg = FmmConfig { order: 4, q: 100, ..Default::default() };
-    println!(
-        "Table II reproduction: nonuniform, Stokes, p = {p}, {per_rank} pts/rank\n"
+    let cfg = FmmConfig {
+        order: 4,
+        q: 100,
+        ..Default::default()
+    };
+    println!("Table II reproduction: nonuniform, Stokes, p = {p}, {per_rank} pts/rank\n");
+    let s = run_case(
+        Arc::new(Stokes::default()),
+        cfg,
+        Distribution::Ellipsoid,
+        per_rank * p,
+        p,
+        7,
     );
-    let s = run_case(Arc::new(Stokes::default()), cfg, Distribution::Ellipsoid, per_rank * p, p, 7);
 
     let modeled: Vec<[f64; 7]> = s
         .profiles
@@ -32,7 +41,13 @@ fn main() {
         .map(|(pr, cr)| modeled_rank_secs(pr, cr, p))
         .collect();
 
-    let mut t = Table::new(&["Event", "Max. Time", "Avg. Time", "Max. Flops", "Avg. Flops"]);
+    let mut t = Table::new(&[
+        "Event",
+        "Max. Time",
+        "Avg. Time",
+        "Max. Flops",
+        "Avg. Flops",
+    ]);
     let totals: Vec<f64> = modeled.iter().map(|m| m.iter().sum()).collect();
     let tot_flops: Vec<u64> = s.profiles.iter().map(|pr| pr.total_flops()).collect();
     t.row(vec![

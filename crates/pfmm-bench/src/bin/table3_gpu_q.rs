@@ -42,7 +42,10 @@ fn main() {
     t.row(row("translation (host, measured)", &|r| r.translate_secs));
     println!("{}", t.render());
 
-    println!("leaves per q: {:?}", reports.iter().map(|r| r.leaves).collect::<Vec<_>>());
+    println!(
+        "leaves per q: {:?}",
+        reports.iter().map(|r| r.leaves).collect::<Vec<_>>()
+    );
     println!("\npaper reference (1M points, seconds):");
     println!("  q                 30     244   1953");
     println!("  Total evaluation  5.13   1.17  2.15");

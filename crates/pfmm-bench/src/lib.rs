@@ -62,7 +62,10 @@ pub struct RunSummary {
 impl RunSummary {
     /// Maximum (over ranks) seconds of a phase.
     pub fn max_secs(&self, ph: Phase) -> f64 {
-        self.profiles.iter().map(|pr| pr.secs(ph)).fold(0.0, f64::max)
+        self.profiles
+            .iter()
+            .map(|pr| pr.secs(ph))
+            .fold(0.0, f64::max)
     }
 
     /// Average (over ranks) seconds of a phase.
@@ -72,7 +75,10 @@ impl RunSummary {
 
     /// Maximum total evaluation seconds (the paper's black dot).
     pub fn max_eval(&self) -> f64 {
-        self.profiles.iter().map(|pr| pr.total_secs).fold(0.0, f64::max)
+        self.profiles
+            .iter()
+            .map(|pr| pr.total_secs)
+            .fold(0.0, f64::max)
     }
 
     /// Average total evaluation seconds.
@@ -82,12 +88,18 @@ impl RunSummary {
 
     /// Maximum setup seconds.
     pub fn max_setup(&self) -> f64 {
-        self.profiles.iter().map(|pr| pr.setup_secs).fold(0.0, f64::max)
+        self.profiles
+            .iter()
+            .map(|pr| pr.setup_secs)
+            .fold(0.0, f64::max)
     }
 
     /// Maximum sort seconds.
     pub fn max_sort(&self) -> f64 {
-        self.profiles.iter().map(|pr| pr.sort_secs).fold(0.0, f64::max)
+        self.profiles
+            .iter()
+            .map(|pr| pr.sort_secs)
+            .fold(0.0, f64::max)
     }
 
     /// Per-rank total flops.
@@ -97,12 +109,20 @@ impl RunSummary {
 
     /// Busiest rank's reduce-and-scatter sent bytes.
     pub fn max_comm_bytes(&self) -> u64 {
-        self.comm_reduce.iter().map(|c| c.sent_bytes).max().unwrap_or(0)
+        self.comm_reduce
+            .iter()
+            .map(|c| c.sent_bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Busiest rank's reduce-and-scatter message count.
     pub fn max_comm_msgs(&self) -> u64 {
-        self.comm_reduce.iter().map(|c| c.sent_msgs).max().unwrap_or(0)
+        self.comm_reduce
+            .iter()
+            .map(|c| c.sent_msgs)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Convert to a calibration sample for the scaling model.
@@ -112,7 +132,11 @@ impl RunSummary {
             p: self.p as f64,
             sort_secs: self.max_sort(),
             setup_rest_secs: (self.max_setup() - self.max_sort()).max(0.0),
-            eval_secs: self.profiles.iter().map(|pr| pr.comp_secs()).fold(0.0, f64::max),
+            eval_secs: self
+                .profiles
+                .iter()
+                .map(|pr| pr.comp_secs())
+                .fold(0.0, f64::max),
             comm_bytes: self.max_comm_bytes() as f64,
         }
     }
@@ -211,7 +235,10 @@ pub struct Table {
 impl Table {
     /// New table with column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header length).
@@ -280,7 +307,11 @@ mod tests {
 
     #[test]
     fn run_case_produces_profiles() {
-        let cfg = FmmConfig { order: 4, q: 40, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 4,
+            q: 40,
+            ..Default::default()
+        };
         let s = run_case(Arc::new(Laplace), cfg, Distribution::Uniform, 2000, 2, 7);
         assert_eq!(s.p, 2);
         assert_eq!(s.profiles.len(), 2);

@@ -1,5 +1,5 @@
-//! Minimal `--key value` argument parsing (no external dependency; the
-//! option surface is small and fixed).
+//! Minimal `--key value` / `--key=value` argument parsing (no external
+//! dependency; the option surface is small and fixed).
 
 use std::collections::HashMap;
 
@@ -19,14 +19,25 @@ impl Args {
     pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         let command = argv.next().ok_or("missing subcommand")?;
         if command.starts_with("--") {
-            return Err(format!("expected a subcommand before options, got {command}"));
+            return Err(format!(
+                "expected a subcommand before options, got {command}"
+            ));
         }
         let mut opts = HashMap::new();
         while let Some(key) = argv.next() {
             let Some(name) = key.strip_prefix("--") else {
                 return Err(format!("unexpected positional argument {key}"));
             };
-            let value = argv.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            // Both `--key value` and `--key=value` spellings are accepted.
+            let (name, value) = match name.split_once('=') {
+                Some((n, v)) => (n, v.to_string()),
+                None => {
+                    let v = argv
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    (name, v)
+                }
+            };
             opts.insert(name.to_string(), value);
         }
         Ok(Args { command, opts })
@@ -44,7 +55,9 @@ impl Args {
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.opts.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
         }
     }
 
@@ -69,6 +82,21 @@ mod tests {
         assert_eq!(a.get("kernel"), Some("stokes"));
         assert_eq!(a.get_or("n", 0usize).expect("number"), 1000);
         assert_eq!(a.get_or("q", 64usize).expect("default"), 64);
+    }
+
+    #[test]
+    fn parses_equals_spelling() {
+        let a =
+            parse(&["run", "--n=1000", "--schedule=graph", "--kernel", "stokes"]).expect("parses");
+        assert_eq!(a.get_or("n", 0usize).expect("number"), 1000);
+        assert_eq!(a.get("schedule"), Some("graph"));
+        assert_eq!(a.get("kernel"), Some("stokes"));
+    }
+
+    #[test]
+    fn equals_value_may_contain_equals() {
+        let a = parse(&["run", "--expr=a=b"]).expect("parses");
+        assert_eq!(a.get("expr"), Some("a=b"));
     }
 
     #[test]

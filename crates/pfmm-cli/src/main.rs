@@ -21,7 +21,7 @@ use pfmm_core::driver::gather_potentials;
 use pfmm_core::profile::{Phase, ProfileSummary};
 use pfmm_core::tune::tune_sweep;
 use pfmm_core::verify::sampled_rel_error;
-use pfmm_core::{Fmm, FmmConfig, M2lMode, Reduction, SortKind};
+use pfmm_core::{Fmm, FmmConfig, M2lMode, Reduction, Schedule, SortKind};
 use pfmm_gpusim::{run_gpu_fmm, run_gpu_fmm_wx, DeviceSpec, GpuPhase};
 use pfmm_kernels::{Kernel, Laplace, LaplaceDipole, Stokes, Yukawa};
 use pfmm_tree::PointRec;
@@ -29,7 +29,7 @@ use pfmm_tree::PointRec;
 const HELP: &str = "\
 pfmm — parallel kernel-independent fast multipole method
 
-USAGE: pfmm <run|tune|gpu|solve|help> [--key value]...
+USAGE: pfmm <run|tune|gpu|solve|help> [--key value | --key=value]...
 
 common options:
   --n <int>            points (default 20000)
@@ -45,6 +45,9 @@ run options:
   --m2l <fft|dense>    V-list mode (default fft)
   --sort <sample|bitonic>      parallel sort backend (default sample)
   --reduction <auto|hypercube|naive>  up-density reduction (default auto)
+  --schedule <barrier|graph>   phase executor: bulk-synchronous barriers
+                       or the dependency-graph scheduler with
+                       comm/compute overlap (default barrier)
   --balance <true|false>       work-weighted repartition (default true)
   --check <int>        verify every k-th point against the direct sum
                        (0 = skip; default 0)
@@ -79,9 +82,26 @@ fn main() -> ExitCode {
 }
 
 const KNOWN_FLAGS: &[&str] = &[
-    "n", "dist", "kernel", "order", "q", "seed", "ranks", "threads", "m2l", "sort",
-    "reduction", "balance", "check", "candidates", "sample", "gpu-q", "wx-on-gpu",
-    "scale", "tol",
+    "n",
+    "dist",
+    "kernel",
+    "order",
+    "q",
+    "seed",
+    "ranks",
+    "threads",
+    "m2l",
+    "sort",
+    "reduction",
+    "schedule",
+    "balance",
+    "check",
+    "candidates",
+    "sample",
+    "gpu-q",
+    "wx-on-gpu",
+    "scale",
+    "tol",
 ];
 
 fn dispatch(argv: impl Iterator<Item = String>) -> Result<(), String> {
@@ -137,6 +157,11 @@ fn config_of(args: &Args) -> Result<FmmConfig, String> {
             "naive" => Reduction::Naive,
             other => return Err(format!("unknown reduction '{other}'")),
         },
+        schedule: match args.get("schedule").unwrap_or("barrier") {
+            "barrier" => Schedule::Barrier,
+            "graph" => Schedule::Graph,
+            other => return Err(format!("unknown schedule '{other}'")),
+        },
         threads: args.get_or("threads", 1)?,
         sort: match args.get("sort").unwrap_or("sample") {
             "sample" => SortKind::Sample,
@@ -169,7 +194,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let out = pfmm_mpisim::run(ranks, |c| {
         let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(ranks).copied().collect();
         let res = fmm.evaluate(c, mine);
-        (res.profile.clone(), res.info, gather_potentials(c, &res, td))
+        (
+            res.profile.clone(),
+            res.info,
+            gather_potentials(c, &res, td),
+        )
     });
 
     let profiles: Vec<_> = out.iter().map(|(p, _, _)| p.clone()).collect();
@@ -240,12 +269,25 @@ fn cmd_gpu(args: &Args) -> Result<(), String> {
     } else {
         run_gpu_fmm(pts, q, order, &dev, true)
     };
-    println!("{:<14} {:>12} {:>12}", "phase", "GPU/CPU (s)", "CPU-only (s)");
+    println!(
+        "{:<14} {:>12} {:>12}",
+        "phase", "GPU/CPU (s)", "CPU-only (s)"
+    );
     for (i, ph) in GpuPhase::ALL.iter().enumerate() {
-        println!("{:<14} {:>12.4} {:>12.4}", ph.label(), rep.gpu_secs[i], rep.cpu2009_secs[i]);
+        println!(
+            "{:<14} {:>12.4} {:>12.4}",
+            ph.label(),
+            rep.gpu_secs[i],
+            rep.cpu2009_secs[i]
+        );
     }
     println!("{:<14} {:>12.4}", "PCIe transfer", rep.transfer_secs);
-    println!("{:<14} {:>12.4} {:>12.4}", "total", rep.total_gpu(), rep.total_cpu2009());
+    println!(
+        "{:<14} {:>12.4} {:>12.4}",
+        "total",
+        rep.total_gpu(),
+        rep.total_cpu2009()
+    );
     println!("layout translation (host): {:.4}s", rep.translate_secs);
     println!("modeled speedup: {:.1}x", rep.speedup());
     println!("f32 pipeline error vs f64: {:.2e}", rep.rel_err_vs_f64);
@@ -290,7 +332,9 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         println!("converged in {matvecs} FMM applications, residual {res:.2e}");
         Ok(())
     } else {
-        Err(format!("GMRES stalled after {matvecs} applications at residual {res:.2e}"))
+        Err(format!(
+            "GMRES stalled after {matvecs} applications at residual {res:.2e}"
+        ))
     }
 }
 
@@ -304,9 +348,14 @@ mod tests {
 
     #[test]
     fn kernel_selection() {
-        assert_eq!(kernel_of(&args(&["run"])).expect("default").name(), "laplace");
         assert_eq!(
-            kernel_of(&args(&["run", "--kernel", "yukawa"])).expect("yukawa").name(),
+            kernel_of(&args(&["run"])).expect("default").name(),
+            "laplace"
+        );
+        assert_eq!(
+            kernel_of(&args(&["run", "--kernel", "yukawa"]))
+                .expect("yukawa")
+                .name(),
             "yukawa"
         );
         assert!(kernel_of(&args(&["run", "--kernel", "nope"])).is_err());
@@ -315,8 +364,22 @@ mod tests {
     #[test]
     fn config_round_trips() {
         let cfg = config_of(&args(&[
-            "run", "--order", "4", "--q", "33", "--m2l", "dense", "--sort", "bitonic",
-            "--reduction", "naive", "--threads", "3", "--balance", "false",
+            "run",
+            "--order",
+            "4",
+            "--q",
+            "33",
+            "--m2l",
+            "dense",
+            "--sort",
+            "bitonic",
+            "--reduction",
+            "naive",
+            "--schedule=graph",
+            "--threads",
+            "3",
+            "--balance",
+            "false",
         ]))
         .expect("valid");
         assert_eq!(cfg.order, 4);
@@ -324,6 +387,7 @@ mod tests {
         assert_eq!(cfg.m2l, M2lMode::Dense);
         assert_eq!(cfg.sort, SortKind::Bitonic);
         assert_eq!(cfg.reduction, Reduction::Naive);
+        assert_eq!(cfg.schedule, Schedule::Graph);
         assert_eq!(cfg.threads, 3);
         assert!(!cfg.balance);
     }
@@ -332,11 +396,30 @@ mod tests {
     fn run_command_end_to_end() {
         // Small end-to-end exercise through the real dispatcher.
         dispatch(
-            ["run", "--n", "1500", "--order", "4", "--q", "40", "--ranks", "2", "--check", "97"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "run", "--n", "1500", "--order", "4", "--q", "40", "--ranks", "2", "--check", "97",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .expect("run succeeds");
+    }
+
+    #[test]
+    fn run_command_graph_schedule() {
+        dispatch(
+            [
+                "run",
+                "--n=1500",
+                "--order=4",
+                "--q=40",
+                "--ranks=4",
+                "--schedule=graph",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .expect("graph-scheduled run succeeds");
     }
 
     #[test]
@@ -347,9 +430,11 @@ mod tests {
     #[test]
     fn solve_command_end_to_end() {
         dispatch(
-            ["solve", "--n", "1200", "--order", "4", "--q", "40", "--ranks", "2"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "solve", "--n", "1200", "--order", "4", "--q", "40", "--ranks", "2",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .expect("solve succeeds");
     }
@@ -357,9 +442,11 @@ mod tests {
     #[test]
     fn plummer_distribution_accepted() {
         dispatch(
-            ["run", "--n", "900", "--dist", "plummer", "--order", "4", "--q", "30"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "run", "--n", "900", "--dist", "plummer", "--order", "4", "--q", "30",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .expect("plummer run succeeds");
     }
@@ -367,9 +454,19 @@ mod tests {
     #[test]
     fn gpu_command_end_to_end() {
         dispatch(
-            ["gpu", "--n", "1500", "--order", "4", "--gpu-q", "150", "--wx-on-gpu", "true"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "gpu",
+                "--n",
+                "1500",
+                "--order",
+                "4",
+                "--gpu-q",
+                "150",
+                "--wx-on-gpu",
+                "true",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .expect("gpu succeeds");
     }
@@ -377,9 +474,19 @@ mod tests {
     #[test]
     fn tune_command_end_to_end() {
         dispatch(
-            ["tune", "--n", "1500", "--order", "4", "--candidates", "20,200", "--sample", "700"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "tune",
+                "--n",
+                "1500",
+                "--order",
+                "4",
+                "--candidates",
+                "20,200",
+                "--sample",
+                "700",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         )
         .expect("tune succeeds");
     }

@@ -14,7 +14,11 @@ pub fn uniform_cube(n: usize, seed: u64, gid_base: u64) -> Vec<PointRec> {
     (0..n)
         .map(|i| {
             PointRec::scalar(
-                [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+                [
+                    rng.random::<f64>(),
+                    rng.random::<f64>(),
+                    rng.random::<f64>(),
+                ],
                 1.0,
                 gid_base + i as u64,
             )
@@ -37,7 +41,11 @@ pub fn ellipsoid_1_1_4(n: usize, seed: u64, gid_base: u64) -> Vec<PointRec> {
             let y = 0.5 + 0.12 * theta.sin() * phi.sin();
             let z = 0.5 + 0.48 * theta.cos();
             PointRec::scalar(
-                [x.clamp(0.0, 0.999_999), y.clamp(0.0, 0.999_999), z.clamp(0.0, 0.999_999)],
+                [
+                    x.clamp(0.0, 0.999_999),
+                    y.clamp(0.0, 0.999_999),
+                    z.clamp(0.0, 0.999_999),
+                ],
                 1.0,
                 gid_base + i as u64,
             )
@@ -82,7 +90,11 @@ pub fn randomize_densities(pts: &mut [PointRec], kdim: usize, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     for p in pts {
         for d in 0..3 {
-            p.den[d] = if d < kdim { rng.random::<f64>() * 2.0 - 1.0 } else { 0.0 };
+            p.den[d] = if d < kdim {
+                rng.random::<f64>() * 2.0 - 1.0
+            } else {
+                0.0
+            };
         }
     }
 }
@@ -121,11 +133,11 @@ mod tests {
         // Pole clustering: the top and bottom z-slabs hold far more
         // points than a uniform surface density would give them.
         let pts = ellipsoid_1_1_4(4000, 3, 0);
-        let near_poles = pts
-            .iter()
-            .filter(|p| (p.pos[2] - 0.5).abs() > 0.45)
-            .count();
-        assert!(near_poles > 400, "angular spacing piles points at the poles: {near_poles}");
+        let near_poles = pts.iter().filter(|p| (p.pos[2] - 0.5).abs() > 0.45).count();
+        assert!(
+            near_poles > 400,
+            "angular spacing piles points at the poles: {near_poles}"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use pfmm_kernels::Kernel;
 use pfmm_mpisim::collectives::{allgatherv, allreduce};
 use pfmm_mpisim::{Comm, CommStats};
 use pfmm_tree::{
-    bitonic_sort_points, build_lists, build_let, lists::leaf_weights, octree_from_sorted,
+    bitonic_sort_points, build_let, build_lists, lists::leaf_weights, octree_from_sorted,
     repartition_by_weight, sample_sort_points, Let, PointRec,
 };
 
@@ -61,6 +61,18 @@ pub enum Reduction {
     Naive,
 }
 
+/// How the evaluation phases are executed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Bulk-synchronous: phases run one after another and the rank
+    /// blocks inside the Comm phase (the reference path).
+    Barrier,
+    /// Dependency-graph execution via `pfmm-sched`: per-octant-chunk
+    /// tasks with explicit data dependencies, and the reduce-and-scatter
+    /// as a non-blocking comm task overlapped with the U/X-lists.
+    Graph,
+}
+
 /// FMM parameters.
 #[derive(Copy, Clone, Debug)]
 pub struct FmmConfig {
@@ -86,6 +98,9 @@ pub struct FmmConfig {
     /// Euler-tour parallelism the paper lists as unexploited future work
     /// (§IV); 1 reproduces the paper's sequential traversals.
     pub traversal_threads: usize,
+    /// Phase executor: bulk-synchronous barriers or the task graph with
+    /// communication/compute overlap.
+    pub schedule: Schedule,
 }
 
 impl Default for FmmConfig {
@@ -100,6 +115,7 @@ impl Default for FmmConfig {
             threads: 1,
             sort: SortKind::Sample,
             traversal_threads: 1,
+            schedule: Schedule::Barrier,
         }
     }
 }
@@ -150,7 +166,12 @@ impl Fmm {
     pub fn new(kernel: Arc<dyn Kernel>, cfg: FmmConfig) -> Fmm {
         let ops = Ops::new(kernel.clone(), cfg.order, cfg.pinv_tol);
         let fft = FftM2l::new(kernel.clone(), cfg.order);
-        Fmm { kernel, cfg, ops, fft }
+        Fmm {
+            kernel,
+            cfg,
+            ops,
+            fft,
+        }
     }
 
     /// The configuration in use.
@@ -220,7 +241,14 @@ impl Fmm {
         }
 
         let info = tree_info(c, &l);
-        PotentialResult { gids, pot, profile: prof, comm: c.stats(), comm_reduce, info }
+        PotentialResult {
+            gids,
+            pot,
+            profile: prof,
+            comm: c.stats(),
+            comm_reduce,
+            info,
+        }
     }
 }
 
@@ -248,7 +276,9 @@ fn tree_info(c: &Comm, l: &Let) -> TreeInfo {
             maxl = maxl.max(l.octs[i].level());
         }
     }
-    let red = allreduce(c, vec![local_leaves, minl as u64, maxl as u64], |a, b| a + b);
+    let red = allreduce(c, vec![local_leaves, minl as u64, maxl as u64], |a, b| {
+        a + b
+    });
     // Sum works for leaves; min/max need their own ops.
     let minmax = allreduce(c, vec![minl as u64], std::cmp::min);
     let maxmax = allreduce(c, vec![maxl as u64], std::cmp::max);
@@ -334,7 +364,11 @@ mod tests {
             pts.iter().enumerate().map(|(i, p)| (p.gid, i)).collect();
         let mut num = 0.0;
         let mut denom = 0.0;
-        assert_eq!(gp.len(), pts.len(), "every point gets a potential exactly once");
+        assert_eq!(
+            gp.len(),
+            pts.len(),
+            "every point gets a potential exactly once"
+        );
         for (gid, got) in gp {
             let i = gid_to_idx[gid];
             for t in 0..td {
@@ -346,17 +380,17 @@ mod tests {
         (num / denom).sqrt()
     }
 
-    fn run_fmm(kernel: Arc<dyn Kernel>, cfg: FmmConfig, pts: Vec<PointRec>, p: usize) -> Vec<(u64, Vec<f64>)> {
+    fn run_fmm(
+        kernel: Arc<dyn Kernel>,
+        cfg: FmmConfig,
+        pts: Vec<PointRec>,
+        p: usize,
+    ) -> Vec<(u64, Vec<f64>)> {
         let td = kernel.target_dim();
         let fmm = Fmm::new(kernel, cfg);
         let n_per = pts.len() / p;
         let mut out = run(p, |c| {
-            let mine: Vec<PointRec> = pts
-                .iter()
-                .skip(c.rank())
-                .step_by(p)
-                .copied()
-                .collect();
+            let mine: Vec<PointRec> = pts.iter().skip(c.rank()).step_by(p).copied().collect();
             let _ = n_per;
             let res = fmm.evaluate(c, mine);
             gather_potentials(c, &res, td)
@@ -368,7 +402,12 @@ mod tests {
     fn laplace_uniform_accuracy_order6() {
         let mut pts = uniform_cube(1500, 11, 0);
         randomize_densities(&mut pts, 1, 5);
-        let cfg = FmmConfig { order: 6, q: 60, m2l: M2lMode::Fft, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 6,
+            q: 60,
+            m2l: M2lMode::Fft,
+            ..Default::default()
+        };
         let gp = run_fmm(Arc::new(Laplace), cfg, pts.clone(), 1);
         let err = rel_error(&Laplace, &pts, &gp);
         assert!(err < 1e-5, "relative l2 error {err}");
@@ -380,13 +419,23 @@ mod tests {
         randomize_densities(&mut pts, 1, 7);
         let dense = run_fmm(
             Arc::new(Laplace),
-            FmmConfig { order: 4, q: 30, m2l: M2lMode::Dense, ..Default::default() },
+            FmmConfig {
+                order: 4,
+                q: 30,
+                m2l: M2lMode::Dense,
+                ..Default::default()
+            },
             pts.clone(),
             1,
         );
         let fft = run_fmm(
             Arc::new(Laplace),
-            FmmConfig { order: 4, q: 30, m2l: M2lMode::Fft, ..Default::default() },
+            FmmConfig {
+                order: 4,
+                q: 30,
+                m2l: M2lMode::Fft,
+                ..Default::default()
+            },
             pts.clone(),
             1,
         );
@@ -403,7 +452,12 @@ mod tests {
     fn laplace_nonuniform_accuracy() {
         let mut pts = ellipsoid_1_1_4(1200, 17, 0);
         randomize_densities(&mut pts, 1, 9);
-        let cfg = FmmConfig { order: 6, q: 40, m2l: M2lMode::Fft, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 6,
+            q: 40,
+            m2l: M2lMode::Fft,
+            ..Default::default()
+        };
         let gp = run_fmm(Arc::new(Laplace), cfg, pts.clone(), 1);
         let err = rel_error(&Laplace, &pts, &gp);
         assert!(err < 1e-4, "nonuniform relative l2 error {err}");
@@ -414,7 +468,12 @@ mod tests {
         let mut pts = uniform_cube(700, 19, 0);
         randomize_densities(&mut pts, 3, 11);
         let k = Stokes::default();
-        let cfg = FmmConfig { order: 4, q: 50, m2l: M2lMode::Fft, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 4,
+            q: 50,
+            m2l: M2lMode::Fft,
+            ..Default::default()
+        };
         let gp = run_fmm(Arc::new(k), cfg, pts.clone(), 1);
         let err = rel_error(&k, &pts, &gp);
         assert!(err < 5e-3, "stokes relative l2 error {err}");
@@ -424,7 +483,12 @@ mod tests {
     fn distributed_matches_sequential() {
         let mut pts = uniform_cube(1000, 23, 0);
         randomize_densities(&mut pts, 1, 13);
-        let cfg = FmmConfig { order: 4, q: 30, m2l: M2lMode::Fft, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 4,
+            q: 30,
+            m2l: M2lMode::Fft,
+            ..Default::default()
+        };
         let seq = run_fmm(Arc::new(Laplace), cfg, pts.clone(), 1);
         let seq: std::collections::HashMap<u64, Vec<f64>> = seq.into_iter().collect();
         for p in [2usize, 4] {
@@ -445,11 +509,58 @@ mod tests {
         }
     }
 
+    /// The graph executor must not merely approximate the barrier one —
+    /// identical chunk kernels plus the canonical accumulation order
+    /// make the potentials bitwise equal, in every M2L mode, sequential
+    /// and distributed, with and without worker threads.
+    #[test]
+    fn graph_schedule_matches_barrier_bitwise() {
+        let mut pts = uniform_cube(900, 31, 0);
+        randomize_densities(&mut pts, 1, 17);
+        for m2l in [M2lMode::Dense, M2lMode::Fft] {
+            for (p, threads) in [(1usize, 1usize), (4, 2)] {
+                let base = FmmConfig {
+                    order: 4,
+                    q: 30,
+                    m2l,
+                    threads,
+                    ..Default::default()
+                };
+                let barrier = run_fmm(Arc::new(Laplace), base, pts.clone(), p);
+                let graph = run_fmm(
+                    Arc::new(Laplace),
+                    FmmConfig {
+                        schedule: Schedule::Graph,
+                        ..base
+                    },
+                    pts.clone(),
+                    p,
+                );
+                let b: std::collections::HashMap<u64, Vec<f64>> = barrier.into_iter().collect();
+                assert_eq!(graph.len(), b.len());
+                for (gid, pot) in graph {
+                    for (a, w) in pot.iter().zip(&b[&gid]) {
+                        assert_eq!(
+                            a.to_bits(),
+                            w.to_bits(),
+                            "m2l={m2l:?} p={p} gid={gid}: graph {a} vs barrier {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn distributed_non_power_of_two_ranks() {
         let mut pts = uniform_cube(600, 29, 0);
         randomize_densities(&mut pts, 1, 15);
-        let cfg = FmmConfig { order: 4, q: 30, m2l: M2lMode::Dense, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 4,
+            q: 30,
+            m2l: M2lMode::Dense,
+            ..Default::default()
+        };
         let seq = run_fmm(Arc::new(Laplace), cfg, pts.clone(), 1);
         let seq: std::collections::HashMap<u64, Vec<f64>> = seq.into_iter().collect();
         let par = run_fmm(Arc::new(Laplace), cfg, pts.clone(), 3);
@@ -467,7 +578,11 @@ mod tests {
         // exactly (no approximation in play).
         let mut pts = uniform_cube(20, 31, 0);
         randomize_densities(&mut pts, 1, 17);
-        let cfg = FmmConfig { order: 4, q: 64, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 4,
+            q: 64,
+            ..Default::default()
+        };
         let gp = run_fmm(Arc::new(Laplace), cfg, pts.clone(), 1);
         let err = rel_error(&Laplace, &pts, &gp);
         assert!(err < 1e-13, "direct-only error {err}");
@@ -479,7 +594,12 @@ mod tests {
         randomize_densities(&mut pts, 1, 19);
         let fmm = Fmm::new(
             Arc::new(Laplace),
-            FmmConfig { order: 4, q: 20, m2l: M2lMode::Fft, ..Default::default() },
+            FmmConfig {
+                order: 4,
+                q: 20,
+                m2l: M2lMode::Fft,
+                ..Default::default()
+            },
         );
         let profs = run(1, |c| {
             let res = fmm.evaluate(c, pts.clone());
@@ -497,12 +617,22 @@ mod tests {
     fn route_potentials_returns_to_contributors() {
         let mut pts = uniform_cube(1200, 43, 0);
         randomize_densities(&mut pts, 1, 21);
-        let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 30, ..Default::default() });
+        let fmm = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 4,
+                q: 30,
+                ..Default::default()
+            },
+        );
         let p = 4;
         // Rank r contributes gids with gid % p == r.
         let out = run(p, |c| {
-            let mine: Vec<PointRec> =
-                pts.iter().filter(|pt| pt.gid as usize % p == c.rank()).copied().collect();
+            let mine: Vec<PointRec> = pts
+                .iter()
+                .filter(|pt| pt.gid as usize % p == c.rank())
+                .copied()
+                .collect();
             let n_in = mine.len();
             let res = fmm.evaluate(c, mine);
             let routed = route_potentials(c, &res, 1, |g| g as usize % p);
@@ -521,7 +651,14 @@ mod tests {
     #[test]
     fn tree_info_sane() {
         let pts = uniform_cube(2000, 41, 0);
-        let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 25, ..Default::default() });
+        let fmm = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 4,
+                q: 25,
+                ..Default::default()
+            },
+        );
         let infos = run(2, |c| {
             let mine: Vec<PointRec> = pts.iter().skip(c.rank()).step_by(2).copied().collect();
             fmm.evaluate(c, mine).info

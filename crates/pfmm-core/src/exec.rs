@@ -2,31 +2,57 @@
 //! the reusable [`crate::plan::FmmPlan`].
 //!
 //! [`EvalData`] caches the per-leaf point geometry and level buckets of a
-//! LET; [`run_phases`] executes S2U, U2U, the reduce-and-scatter, V, X,
-//! D2D + D2T, W and the direct U-list against it, accumulating per-phase
+//! LET; [`run_phases`] executes S2U, U2U, the reduce-and-scatter, the
+//! U/V/W/X lists and the downward pass against it, accumulating per-phase
 //! times and flops. The densities live in `EvalData` and can be replaced
 //! between runs without rebuilding anything else.
 //!
-//! With `FmmConfig::threads > 1` the per-octant phases (S2U, V, X, D2T,
-//! W, U — the set §IV of the paper identifies as parallel) fan out over a
-//! host thread pool via [`crate::par`]. The U2U/D2D traversals default to
-//! the paper's sequential form; `FmmConfig::traversal_threads > 1` enables
-//! the level-synchronous parallel variant the paper lists as unexploited
-//! future work ("the U2U and D2D steps can be also executed in
-//! parallel").
+//! Two executors share the same per-octant kernels (the `Ctx` methods):
+//!
+//! * **Barrier** ([`run_phases_barrier`]): bulk-synchronous phases in the
+//!   canonical order Upward → Comm → U → X → V → Downward → W. With
+//!   `FmmConfig::threads > 1` the per-octant phases fan out over a host
+//!   thread pool via [`crate::par`]; the rank blocks inside Comm.
+//! * **Graph** ([`run_phases_graph`]): the phases are emitted as a
+//!   `pfmm-sched` task graph over octant chunks, with the
+//!   reduce-and-scatter as a *comm task* polling non-blocking requests.
+//!   The U- and X-lists need no remote upward densities (their sources'
+//!   point densities arrive with the LET), so their chunks execute while
+//!   the reduction is in flight — the paper's §III motivation for
+//!   overlapping the direct interactions with communication.
+//!
+//! Both executors accumulate into each output slice in the same order
+//! (`f`: U, then D2T, then W; `dcheck`: X, then V; `u`: S2U, then U2U in
+//! level/index order, then the reduction write-back), and the hypercube
+//! reduction folds rounds identically in its blocking and poll-driven
+//! forms, so the two schedules produce bitwise-identical potentials.
+//!
+//! The U2U/D2D traversals default to the paper's sequential form;
+//! `FmmConfig::traversal_threads > 1` enables the level-synchronous
+//! parallel variant the paper lists as unexploited future work ("the U2U
+//! and D2D steps can be also executed in parallel").
 
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pfmm_fft::Complex;
-use pfmm_kernels::{direct_eval, Point3};
-use pfmm_mpisim::{Comm, CommStats};
+use pfmm_kernels::{direct_eval, Kernel, Point3};
 use pfmm_morton::MortonKey;
+use pfmm_mpisim::{Comm, CommStats};
+use pfmm_sched::{CommPoll, Graph, GraphBuf, Slot};
 use pfmm_tree::{Let, Lists};
 
-use crate::driver::{Fmm, M2lMode, Reduction};
+use crate::driver::{Fmm, M2lMode, Reduction, Schedule};
+
+/// V-list source spectra, shared between the FFT pass-1 task and the
+/// per-chunk pass-2 tasks.
+type Spectra = Arc<Vec<Option<Arc<Vec<Complex>>>>>;
+use crate::m2l_fft::FftM2l;
+use crate::ops::Ops;
 use crate::par::{par_map, par_windows};
 use crate::profile::{Phase, Profile};
-use crate::reduce::{reduce_scatter_hypercube, reduce_scatter_naive};
+use crate::reduce::{reduce_scatter_hypercube, reduce_scatter_naive, HypercubeReduceAsync};
 
 /// Per-LET evaluation workspace: leaf geometry, packed densities, and the
 /// level ordering of the up/down traversals.
@@ -67,7 +93,12 @@ impl EvalData {
                 by_level[l.octs[i].level() as usize].push(i as u32);
             }
         }
-        EvalData { leaf_pos, leaf_den, by_level, max_level }
+        EvalData {
+            leaf_pos,
+            leaf_den,
+            by_level,
+            max_level,
+        }
     }
 }
 
@@ -87,9 +118,419 @@ fn offset_of(alpha: &MortonKey, beta: &MortonKey) -> [i8; 3] {
     ]
 }
 
-/// Execute the FMM evaluation phases. Returns the potentials packed
-/// `target_dim` per point, aligned with `l`'s point storage, plus the
-/// Comm-phase traffic delta.
+/// Borrowed evaluation context shared by every chunk kernel; both
+/// executors call the same methods so the per-octant arithmetic (and its
+/// floating-point order) is identical by construction.
+struct Ctx<'a> {
+    kernel: &'a dyn Kernel,
+    ops: &'a Ops,
+    fft: &'a FftM2l,
+    l: &'a Let,
+    lists: &'a Lists,
+    leaf_pos: &'a [Vec<Point3>],
+    leaf_den: &'a [Vec<f64>],
+    ulen: usize,
+    clen: usize,
+    td: usize,
+    flops_pair: u64,
+    /// Threads for the level-synchronous U2U/D2D traversals.
+    tt: usize,
+}
+
+impl Ctx<'_> {
+    fn new<'a>(fmm: &'a Fmm, l: &'a Let, lists: &'a Lists, data: &'a EvalData) -> Ctx<'a> {
+        Ctx {
+            kernel: fmm.kernel(),
+            ops: fmm.ops(),
+            fft: fmm.fft(),
+            l,
+            lists,
+            leaf_pos: &data.leaf_pos,
+            leaf_den: &data.leaf_den,
+            ulen: fmm.ops().density_len(),
+            clen: fmm.ops().check_len(),
+            td: fmm.kernel().target_dim(),
+            flops_pair: fmm.kernel().flops_per_pair(),
+            tt: fmm.config().traversal_threads.max(1),
+        }
+    }
+
+    /// (1) S2U for octants in `range`; `window` is the matching slice of
+    /// the upward-density array (element 0 at global offset `base`).
+    fn s2u_range(&self, range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+        let (l, ops, ulen) = (self.l, self.ops, self.ulen);
+        let mut fl = 0u64;
+        let mut ucheck = vec![0.0f64; self.clen];
+        for i in range {
+            if !l.owned[i] || self.leaf_pos[i].is_empty() {
+                continue;
+            }
+            let key = l.octs[i];
+            let uc = ops.up_check_surface(&key.center(), key.radius());
+            ucheck.fill(0.0);
+            direct_eval(
+                self.kernel,
+                &uc,
+                &self.leaf_pos[i],
+                &self.leaf_den[i],
+                &mut ucheck,
+            );
+            let (m, s) = ops.uc2e(key.level());
+            m.matvec_acc_scaled(
+                &ucheck,
+                &mut window[i * ulen - base..(i + 1) * ulen - base],
+                s,
+            );
+            fl += self.leaf_pos[i].len() as u64 * uc.len() as u64 * self.flops_pair
+                + 2 * (ulen * self.clen) as u64;
+        }
+        fl
+    }
+
+    /// Initial upward occupancy for octants in `range` (`window[0]`
+    /// corresponds to octant `range.start`).
+    fn mark_has_up_range(&self, range: Range<usize>, window: &mut [bool]) {
+        let base = range.start;
+        for i in range {
+            window[i - base] = self.l.owned[i] && !self.leaf_pos[i].is_empty();
+        }
+    }
+
+    /// (2) One U2U level, level-synchronous: child contributions are
+    /// computed (in parallel with `tt > 1`) into disjoint staging
+    /// buffers, then scatter-added to the parents in `by_level` order —
+    /// the fixed merge order both executors share.
+    fn u2u_level(
+        &self,
+        by_level: &[Vec<u32>],
+        level: u32,
+        u: &mut [f64],
+        has_up: &mut [bool],
+    ) -> u64 {
+        let (l, ops, ulen) = (self.l, self.ops, self.ulen);
+        let active: Vec<usize> = by_level[level as usize]
+            .iter()
+            .map(|&iu| iu as usize)
+            .filter(|&i| has_up[i])
+            .collect();
+        if active.is_empty() {
+            return 0;
+        }
+        let contribs: Vec<(usize, Vec<f64>)> = {
+            let u_ro = &*u;
+            par_map(self.tt, &active, |i| {
+                let key = l.octs[i];
+                let parent = key.parent().expect("level >= 1");
+                let pi = l.find(&parent).expect("parent of a local octant is local");
+                let (m, s) = ops.u2u(level, key.child_index());
+                let mut contrib = vec![0.0f64; ulen];
+                m.matvec_acc_scaled(&u_ro[i * ulen..(i + 1) * ulen], &mut contrib, s);
+                (pi, contrib)
+            })
+        };
+        let mut fl = 0u64;
+        for (pi, contrib) in contribs {
+            for (a, b) in u[pi * ulen..(pi + 1) * ulen].iter_mut().zip(&contrib) {
+                *a += b;
+            }
+            has_up[pi] = true;
+            fl += 2 * (ulen * ulen) as u64;
+        }
+        fl
+    }
+
+    /// Direct near-field interactions (U-list) for target leaves in
+    /// `range`; `window` is the matching point-potential slice.
+    fn uli_range(&self, range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+        let (l, td) = (self.l, self.td);
+        let mut fl = 0u64;
+        for bi in range {
+            if !l.owned[bi] || self.leaf_pos[bi].is_empty() {
+                continue;
+            }
+            let (off, n) = (l.pt_off[bi], self.leaf_pos[bi].len());
+            for &ai in self.lists.u.row(bi) {
+                let ai = ai as usize;
+                if self.leaf_pos[ai].is_empty() {
+                    continue;
+                }
+                direct_eval(
+                    self.kernel,
+                    &self.leaf_pos[bi],
+                    &self.leaf_pos[ai],
+                    &self.leaf_den[ai],
+                    &mut window[off * td - base..(off + n) * td - base],
+                );
+                fl += (n * self.leaf_pos[ai].len()) as u64 * self.flops_pair;
+            }
+        }
+        fl
+    }
+
+    /// (3b) X-list for target octants in `range`; `window` is the
+    /// matching downward-check slice.
+    fn xli_range(&self, range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+        let (l, clen) = (self.l, self.clen);
+        let mut fl = 0u64;
+        for bi in range {
+            if !l.local[bi] || self.lists.x.row(bi).is_empty() {
+                continue;
+            }
+            let key = l.octs[bi];
+            let dc = self.ops.down_check_surface(&key.center(), key.radius());
+            for &ai in self.lists.x.row(bi) {
+                let ai = ai as usize;
+                if self.leaf_pos[ai].is_empty() {
+                    continue;
+                }
+                direct_eval(
+                    self.kernel,
+                    &dc,
+                    &self.leaf_pos[ai],
+                    &self.leaf_den[ai],
+                    &mut window[bi * clen - base..(bi + 1) * clen - base],
+                );
+                fl += self.leaf_pos[ai].len() as u64 * dc.len() as u64 * self.flops_pair;
+            }
+        }
+        fl
+    }
+
+    /// (3a) V-list via dense per-offset operators.
+    fn vli_dense_range(
+        &self,
+        has_up: &[bool],
+        u: &[f64],
+        range: Range<usize>,
+        window: &mut [f64],
+        base: usize,
+    ) -> u64 {
+        let (l, ops, ulen, clen) = (self.l, self.ops, self.ulen, self.clen);
+        let mut fl = 0u64;
+        for bi in range {
+            if !l.local[bi] {
+                continue;
+            }
+            let beta = l.octs[bi];
+            for &ai in self.lists.v.row(bi) {
+                let ai = ai as usize;
+                if !has_up[ai] {
+                    continue;
+                }
+                let alpha = l.octs[ai];
+                let (m, s) = ops.m2l(beta.level(), offset_of(&alpha, &beta));
+                m.matvec_acc_scaled(
+                    &u[ai * ulen..(ai + 1) * ulen],
+                    &mut window[bi * clen - base..(bi + 1) * clen - base],
+                    s,
+                );
+                fl += 2 * (clen * ulen) as u64;
+            }
+        }
+        fl
+    }
+
+    /// V-list FFT pass 1: forward-transform every V-list source once.
+    fn vli_fft_spectra(
+        &self,
+        has_up: &[bool],
+        u: &[f64],
+        threads: usize,
+    ) -> (Vec<Option<Arc<Vec<Complex>>>>, u64) {
+        let (l, fft, ulen) = (self.l, self.fft, self.ulen);
+        let noct = l.len();
+        let g = fft.grid_len();
+        let mut needed = vec![false; noct];
+        for bi in 0..noct {
+            if !l.local[bi] {
+                continue;
+            }
+            for &ai in self.lists.v.row(bi) {
+                if has_up[ai as usize] {
+                    needed[ai as usize] = true;
+                }
+            }
+        }
+        let sources: Vec<usize> = (0..noct).filter(|&i| needed[i]).collect();
+        let spectra = par_map(threads, &sources, |ai| {
+            Arc::new(fft.source_spectrum(&u[ai * ulen..(ai + 1) * ulen]))
+        });
+        let mut uhat: Vec<Option<Arc<Vec<Complex>>>> = vec![None; noct];
+        for (ai, spec) in sources.iter().zip(spectra) {
+            uhat[*ai] = Some(spec);
+        }
+        let sd = self.kernel.source_dim();
+        let fl = (sources.len() * 5 * g * (g.ilog2() as usize) * sd) as u64;
+        (uhat, fl)
+    }
+
+    /// V-list FFT pass 2: accumulate and inverse-transform per target.
+    fn vli_fft_range(
+        &self,
+        has_up: &[bool],
+        uhat: &[Option<Arc<Vec<Complex>>>],
+        range: Range<usize>,
+        window: &mut [f64],
+        base: usize,
+    ) -> u64 {
+        let (l, fft, clen) = (self.l, self.fft, self.clen);
+        let g = fft.grid_len();
+        let (sd, td) = (self.kernel.source_dim(), self.td);
+        let mut fl = 0u64;
+        for bi in range {
+            if !l.local[bi] || self.lists.v.row(bi).is_empty() {
+                continue;
+            }
+            let beta = l.octs[bi];
+            let mut acc = fft.new_accumulator();
+            let mut any = false;
+            for &ai in self.lists.v.row(bi) {
+                let ai = ai as usize;
+                if !has_up[ai] {
+                    continue;
+                }
+                let alpha = l.octs[ai];
+                let (khat, s) = fft.kernel_spectrum(beta.level(), offset_of(&alpha, &beta));
+                let src = uhat[ai].as_ref().expect("transformed in pass 1");
+                fft.accumulate(&mut acc, &khat, src, s);
+                fl += (8 * g * sd * td) as u64;
+                any = true;
+            }
+            if any {
+                fft.finish(acc, &mut window[bi * clen - base..(bi + 1) * clen - base]);
+                fl += (5 * g * (g.ilog2() as usize) * td) as u64;
+            }
+        }
+        fl
+    }
+
+    /// (4) D2D, level-synchronous over the whole LET (see the U2U
+    /// comment); at each level the parents are final, so every child's
+    /// update is independent.
+    fn d2d_levels(
+        &self,
+        by_level: &[Vec<u32>],
+        max_level: u32,
+        dcheck: &[f64],
+        d: &mut [f64],
+    ) -> u64 {
+        let (l, ops, ulen, clen) = (self.l, self.ops, self.ulen, self.clen);
+        let mut fl = 0u64;
+        for level in 0..=max_level {
+            let active: Vec<usize> = by_level[level as usize]
+                .iter()
+                .map(|&iu| iu as usize)
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let updates: Vec<(usize, Vec<f64>)> = {
+                let d_ro = &*d;
+                par_map(self.tt, &active, |i| {
+                    let key = l.octs[i];
+                    let (dc2e, s) = ops.dc2e(level);
+                    let mut di = vec![0.0f64; ulen];
+                    dc2e.matvec_acc_scaled(&dcheck[i * clen..(i + 1) * clen], &mut di, s);
+                    if level > 0 {
+                        let parent = key.parent().expect("level >= 1");
+                        if let Some(pi) = l.find(&parent) {
+                            let (m, s) = ops.d2d(level, key.child_index());
+                            m.matvec_acc_scaled(&d_ro[pi * ulen..(pi + 1) * ulen], &mut di, s);
+                        }
+                    }
+                    (i, di)
+                })
+            };
+            for (i, di) in updates {
+                d[i * ulen..(i + 1) * ulen].copy_from_slice(&di);
+                fl += 2 * (ulen * clen) as u64 + 2 * (ulen * ulen) as u64;
+            }
+        }
+        fl
+    }
+
+    /// (5b) D2T for owned leaves in `range`.
+    fn d2t_range(&self, d: &[f64], range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+        let (l, ops, ulen, td) = (self.l, self.ops, self.ulen, self.td);
+        let mut fl = 0u64;
+        for i in range {
+            if !l.owned[i] || self.leaf_pos[i].is_empty() {
+                continue;
+            }
+            let key = l.octs[i];
+            let de = ops.down_equiv_surface(&key.center(), key.radius());
+            let (off, n) = (l.pt_off[i], self.leaf_pos[i].len());
+            direct_eval(
+                self.kernel,
+                &self.leaf_pos[i],
+                &de,
+                &d[i * ulen..(i + 1) * ulen],
+                &mut window[off * td - base..(off + n) * td - base],
+            );
+            fl += n as u64 * de.len() as u64 * self.flops_pair;
+        }
+        fl
+    }
+
+    /// (5a) W-list for owned target leaves in `range`.
+    fn wli_range(
+        &self,
+        has_up: &[bool],
+        u: &[f64],
+        range: Range<usize>,
+        window: &mut [f64],
+        base: usize,
+    ) -> u64 {
+        let (l, ops, ulen, td) = (self.l, self.ops, self.ulen, self.td);
+        let mut fl = 0u64;
+        for bi in range {
+            if !l.owned[bi] || self.lists.w.row(bi).is_empty() || self.leaf_pos[bi].is_empty() {
+                continue;
+            }
+            let (off, n) = (l.pt_off[bi], self.leaf_pos[bi].len());
+            for &ai in self.lists.w.row(bi) {
+                let ai = ai as usize;
+                if !has_up[ai] {
+                    continue;
+                }
+                let alpha = l.octs[ai];
+                let ue = ops.up_equiv_surface(&alpha.center(), alpha.radius());
+                direct_eval(
+                    self.kernel,
+                    &self.leaf_pos[bi],
+                    &ue,
+                    &u[ai * ulen..(ai + 1) * ulen],
+                    &mut window[off * td - base..(off + n) * td - base],
+                );
+                fl += n as u64 * ue.len() as u64 * self.flops_pair;
+            }
+        }
+        fl
+    }
+}
+
+/// Ghost octants receive their densities in the reduction; mark the ones
+/// that arrived so the V/W lists use them.
+fn refresh_ghost_has_up(ulen: usize, u: &[f64], has_up: &mut [bool]) {
+    for (i, h) in has_up.iter_mut().enumerate() {
+        if !*h {
+            *h = u[i * ulen..(i + 1) * ulen].iter().any(|&v| v != 0.0);
+        }
+    }
+}
+
+fn stats_delta(before: &CommStats, after: &CommStats) -> CommStats {
+    CommStats {
+        sent_msgs: after.sent_msgs - before.sent_msgs,
+        sent_bytes: after.sent_bytes - before.sent_bytes,
+        recv_msgs: after.recv_msgs - before.recv_msgs,
+        recv_bytes: after.recv_bytes - before.recv_bytes,
+    }
+}
+
+/// Execute the FMM evaluation phases with the configured executor.
+/// Returns the potentials packed `target_dim` per point, aligned with
+/// `l`'s point storage, plus the Comm-phase traffic delta.
 pub fn run_phases(
     fmm: &Fmm,
     c: &Comm,
@@ -98,83 +539,47 @@ pub fn run_phases(
     data: &EvalData,
     prof: &mut Profile,
 ) -> (Vec<f64>, CommStats) {
-    let kernel = fmm.kernel();
-    let ops = fmm.ops();
-    let fft = fmm.fft();
+    match fmm.config().schedule {
+        Schedule::Barrier => run_phases_barrier(fmm, c, l, lists, data, prof),
+        Schedule::Graph => run_phases_graph(fmm, c, l, lists, data, prof),
+    }
+}
+
+/// The bulk-synchronous executor (the reference path).
+fn run_phases_barrier(
+    fmm: &Fmm,
+    c: &Comm,
+    l: &Let,
+    lists: &Lists,
+    data: &EvalData,
+    prof: &mut Profile,
+) -> (Vec<f64>, CommStats) {
     let cfg = fmm.config();
+    let cx = Ctx::new(fmm, l, lists, data);
     let threads = cfg.threads.max(1);
-    let sd = kernel.source_dim();
-    let td = kernel.target_dim();
     let noct = l.len();
-    let ulen = ops.density_len();
-    let clen = ops.check_len();
-    let leaf_pos = &data.leaf_pos;
-    let leaf_den = &data.leaf_den;
+    let (ulen, clen, td) = (cx.ulen, cx.clen, cx.td);
     let by_level = &data.by_level;
     let max_level = data.max_level;
-    let flops_pair = kernel.flops_per_pair();
+    let cxr = &cx;
 
     let mut u = vec![0.0f64; noct * ulen];
     let mut has_up = vec![false; noct];
 
     // (1) S2U and (2) U2U — the upward pass. S2U is per-leaf parallel.
     prof.timed(Phase::Upward, |prof| {
-        let flops = par_windows(threads, noct, &mut u, &|i| i * ulen, |range, window, base| {
-            let mut fl = 0u64;
-            let mut ucheck = vec![0.0f64; clen];
-            for i in range {
-                if !l.owned[i] || leaf_pos[i].is_empty() {
-                    continue;
-                }
-                let key = l.octs[i];
-                let uc = ops.up_check_surface(&key.center(), key.radius());
-                ucheck.fill(0.0);
-                direct_eval(kernel, &uc, &leaf_pos[i], &leaf_den[i], &mut ucheck);
-                let (m, s) = ops.uc2e(key.level());
-                m.matvec_acc_scaled(&ucheck, &mut window[i * ulen - base..(i + 1) * ulen - base], s);
-                fl += leaf_pos[i].len() as u64 * uc.len() as u64 * flops_pair
-                    + 2 * (ulen * clen) as u64;
-            }
-            fl
-        });
+        let flops = par_windows(
+            threads,
+            noct,
+            &mut u,
+            &|i| i * ulen,
+            |range, window, base| cxr.s2u_range(range, window, base),
+        );
         prof.add_flops(Phase::Upward, flops);
-        for i in 0..noct {
-            has_up[i] = l.owned[i] && !leaf_pos[i].is_empty();
-        }
-        // U2U, level-synchronous. The paper keeps this sequential ("the
-        // U2U and D2D steps can be also executed in parallel using Euler
-        // tours ... our current implementation does not support such
-        // parallelism"); with `traversal_threads > 1` we implement that
-        // future work level by level: child contributions are computed in
-        // parallel into a disjoint staging buffer, then scatter-added to
-        // the parents (the cheap, conflict-carrying part) sequentially.
-        let tt = cfg.traversal_threads.max(1);
+        cx.mark_has_up_range(0..noct, &mut has_up);
         for level in (1..=max_level).rev() {
-            let active: Vec<usize> = by_level[level as usize]
-                .iter()
-                .map(|&iu| iu as usize)
-                .filter(|&i| has_up[i])
-                .collect();
-            if active.is_empty() {
-                continue;
-            }
-            let u_ro = &u;
-            let contribs: Vec<(usize, Vec<f64>)> = crate::par::par_map(tt, &active, |i| {
-                let key = l.octs[i];
-                let parent = key.parent().expect("level >= 1");
-                let pi = l.find(&parent).expect("parent of a local octant is local");
-                let (m, s) = ops.u2u(level, key.child_index());
-                let mut contrib = vec![0.0f64; ulen];
-                m.matvec_acc_scaled(&u_ro[i * ulen..(i + 1) * ulen], &mut contrib, s);
-                (pi, contrib)
-            });
-            for (pi, contrib) in contribs {
-                for (a, b) in u[pi * ulen..(pi + 1) * ulen].iter_mut().zip(&contrib) {
-                    *a += b;
-                }
-                has_up[pi] = true;
-                prof.add_flops(Phase::Upward, 2 * (ulen * ulen) as u64);
-            }
+            let fl = cx.u2u_level(by_level, level, &mut u, &mut has_up);
+            prof.add_flops(Phase::Upward, fl);
         }
     });
 
@@ -194,272 +599,317 @@ pub fn run_phases(
             }
         }
     });
-    let comm_after = c.stats();
-    let comm_reduce = CommStats {
-        sent_msgs: comm_after.sent_msgs - comm_before.sent_msgs,
-        sent_bytes: comm_after.sent_bytes - comm_before.sent_bytes,
-        recv_msgs: comm_after.recv_msgs - comm_before.recv_msgs,
-        recv_bytes: comm_after.recv_bytes - comm_before.recv_bytes,
-    };
+    let comm_reduce = stats_delta(&comm_before, &c.stats());
     // Ghost densities may have arrived: refresh occupancy.
-    for i in 0..noct {
-        if !has_up[i] {
-            has_up[i] = u[i * ulen..(i + 1) * ulen].iter().any(|&v| v != 0.0);
-        }
-    }
+    refresh_ghost_has_up(ulen, &u, &mut has_up);
     let u = &u; // read-only from here on
     let has_up = &has_up;
 
-    let mut dcheck = vec![0.0f64; noct * clen];
-
-    // (3a) V-list, parallel over target octants.
-    prof.timed(Phase::VList, |prof| match cfg.m2l {
-        M2lMode::Dense => {
-            let flops =
-                par_windows(threads, noct, &mut dcheck, &|i| i * clen, |range, window, base| {
-                    let mut fl = 0u64;
-                    for bi in range {
-                        if !l.local[bi] {
-                            continue;
-                        }
-                        let beta = l.octs[bi];
-                        for &ai in lists.v.row(bi) {
-                            let ai = ai as usize;
-                            if !has_up[ai] {
-                                continue;
-                            }
-                            let alpha = l.octs[ai];
-                            let (m, s) = ops.m2l(beta.level(), offset_of(&alpha, &beta));
-                            m.matvec_acc_scaled(
-                                &u[ai * ulen..(ai + 1) * ulen],
-                                &mut window[bi * clen - base..(bi + 1) * clen - base],
-                                s,
-                            );
-                            fl += 2 * (clen * ulen) as u64;
-                        }
-                    }
-                    fl
-                });
-            prof.add_flops(Phase::VList, flops);
-        }
-        M2lMode::Fft => {
-            let g = fft.grid_len();
-            // Pass 1: forward-transform every V-list source once, in
-            // parallel.
-            let mut needed = vec![false; noct];
-            for bi in 0..noct {
-                if !l.local[bi] {
-                    continue;
-                }
-                for &ai in lists.v.row(bi) {
-                    if has_up[ai as usize] {
-                        needed[ai as usize] = true;
-                    }
-                }
-            }
-            let sources: Vec<usize> = (0..noct).filter(|&i| needed[i]).collect();
-            let spectra = par_map(threads, &sources, |ai| {
-                Arc::new(fft.source_spectrum(&u[ai * ulen..(ai + 1) * ulen]))
-            });
-            let mut uhat: Vec<Option<Arc<Vec<Complex>>>> = vec![None; noct];
-            for (ai, spec) in sources.iter().zip(spectra) {
-                uhat[*ai] = Some(spec);
-            }
-            prof.add_flops(
-                Phase::VList,
-                (sources.len() * 5 * g * (g.ilog2() as usize) * sd) as u64,
-            );
-            // Pass 2: accumulate and inverse-transform per target.
-            let uhat = &uhat;
-            let flops =
-                par_windows(threads, noct, &mut dcheck, &|i| i * clen, |range, window, base| {
-                    let mut fl = 0u64;
-                    for bi in range {
-                        if !l.local[bi] || lists.v.row(bi).is_empty() {
-                            continue;
-                        }
-                        let beta = l.octs[bi];
-                        let mut acc = fft.new_accumulator();
-                        let mut any = false;
-                        for &ai in lists.v.row(bi) {
-                            let ai = ai as usize;
-                            if !has_up[ai] {
-                                continue;
-                            }
-                            let alpha = l.octs[ai];
-                            let (khat, s) =
-                                fft.kernel_spectrum(beta.level(), offset_of(&alpha, &beta));
-                            let src = uhat[ai].as_ref().expect("transformed in pass 1");
-                            fft.accumulate(&mut acc, &khat, src, s);
-                            fl += (8 * g * sd * td) as u64;
-                            any = true;
-                        }
-                        if any {
-                            fft.finish(acc, &mut window[bi * clen - base..(bi + 1) * clen - base]);
-                            fl += (5 * g * (g.ilog2() as usize) * td) as u64;
-                        }
-                    }
-                    fl
-                });
-            prof.add_flops(Phase::VList, flops);
-        }
-    });
-
-    // (3b) X-list: sources of big adjacent leaves onto our downward check
-    // surfaces; parallel over target octants.
-    prof.timed(Phase::XList, |prof| {
-        let flops =
-            par_windows(threads, noct, &mut dcheck, &|i| i * clen, |range, window, base| {
-                let mut fl = 0u64;
-                for bi in range {
-                    if !l.local[bi] || lists.x.row(bi).is_empty() {
-                        continue;
-                    }
-                    let key = l.octs[bi];
-                    let dc = ops.down_check_surface(&key.center(), key.radius());
-                    for &ai in lists.x.row(bi) {
-                        let ai = ai as usize;
-                        if leaf_pos[ai].is_empty() {
-                            continue;
-                        }
-                        direct_eval(
-                            kernel,
-                            &dc,
-                            &leaf_pos[ai],
-                            &leaf_den[ai],
-                            &mut window[bi * clen - base..(bi + 1) * clen - base],
-                        );
-                        fl += leaf_pos[ai].len() as u64 * dc.len() as u64 * flops_pair;
-                    }
-                }
-                fl
-            });
-        prof.add_flops(Phase::XList, flops);
-    });
-    let dcheck = &dcheck;
-
-    // (4) D2D + (5b) D2T — the downward pass. D2D stays sequential
-    // (§IV); D2T is per-leaf parallel.
+    // Direct interactions (U-list); parallel over target leaves. Runs
+    // first among the potential writers so the per-point accumulation
+    // order (U, D2T, W) matches the graph executor's chunk chains.
     let mut f = vec![0.0f64; l.pts.len() * td];
     let pt_base = &|i: usize| l.pt_off[i.min(noct)] * td;
-    let mut d = vec![0.0f64; noct * ulen];
-    prof.timed(Phase::Downward, |prof| {
-        // D2D, level-synchronous (see the U2U comment: the paper's
-        // sequential traversal, parallelized per level as its stated
-        // future work when `traversal_threads > 1`). At each level the
-        // parents are final, so every child's update is independent.
-        let tt = cfg.traversal_threads.max(1);
-        for level in 0..=max_level {
-            let active: Vec<usize> =
-                by_level[level as usize].iter().map(|&iu| iu as usize).collect();
-            if active.is_empty() {
-                continue;
-            }
-            let d_ro = &d;
-            let updates: Vec<(usize, Vec<f64>)> = crate::par::par_map(tt, &active, |i| {
-                let key = l.octs[i];
-                let (dc2e, s) = ops.dc2e(level);
-                let mut di = vec![0.0f64; ulen];
-                dc2e.matvec_acc_scaled(&dcheck[i * clen..(i + 1) * clen], &mut di, s);
-                if level > 0 {
-                    let parent = key.parent().expect("level >= 1");
-                    if let Some(pi) = l.find(&parent) {
-                        let (m, s) = ops.d2d(level, key.child_index());
-                        m.matvec_acc_scaled(&d_ro[pi * ulen..(pi + 1) * ulen], &mut di, s);
-                    }
-                }
-                (i, di)
-            });
-            for (i, di) in updates {
-                d[i * ulen..(i + 1) * ulen].copy_from_slice(&di);
-                prof.add_flops(Phase::Downward, 2 * (ulen * clen) as u64 + 2 * (ulen * ulen) as u64);
-            }
-        }
-        // D2T: downward equivalent densities to owned targets.
-        let d = &d;
-        let flops = par_windows(threads, noct, &mut f, pt_base, |range, window, base| {
-            let mut fl = 0u64;
-            for i in range {
-                if !l.owned[i] || leaf_pos[i].is_empty() {
-                    continue;
-                }
-                let key = l.octs[i];
-                let de = ops.down_equiv_surface(&key.center(), key.radius());
-                let (off, n) = (l.pt_off[i], leaf_pos[i].len());
-                direct_eval(
-                    kernel,
-                    &leaf_pos[i],
-                    &de,
-                    &d[i * ulen..(i + 1) * ulen],
-                    &mut window[off * td - base..(off + n) * td - base],
-                );
-                fl += n as u64 * de.len() as u64 * flops_pair;
-            }
-            fl
-        });
-        prof.add_flops(Phase::Downward, flops);
-    });
-
-    // (5a) W-list: multipoles of small far leaves directly to targets;
-    // parallel over target leaves.
-    prof.timed(Phase::WList, |prof| {
-        let flops = par_windows(threads, noct, &mut f, pt_base, |range, window, base| {
-            let mut fl = 0u64;
-            for bi in range {
-                if !l.owned[bi] || lists.w.row(bi).is_empty() || leaf_pos[bi].is_empty() {
-                    continue;
-                }
-                let (off, n) = (l.pt_off[bi], leaf_pos[bi].len());
-                for &ai in lists.w.row(bi) {
-                    let ai = ai as usize;
-                    if !has_up[ai] {
-                        continue;
-                    }
-                    let alpha = l.octs[ai];
-                    let ue = ops.up_equiv_surface(&alpha.center(), alpha.radius());
-                    direct_eval(
-                        kernel,
-                        &leaf_pos[bi],
-                        &ue,
-                        &u[ai * ulen..(ai + 1) * ulen],
-                        &mut window[off * td - base..(off + n) * td - base],
-                    );
-                    fl += n as u64 * ue.len() as u64 * flops_pair;
-                }
-            }
-            fl
-        });
-        prof.add_flops(Phase::WList, flops);
-    });
-
-    // Direct interactions (U-list); parallel over target leaves.
     prof.timed(Phase::UList, |prof| {
         let flops = par_windows(threads, noct, &mut f, pt_base, |range, window, base| {
-            let mut fl = 0u64;
-            for bi in range {
-                if !l.owned[bi] || leaf_pos[bi].is_empty() {
-                    continue;
-                }
-                let (off, n) = (l.pt_off[bi], leaf_pos[bi].len());
-                for &ai in lists.u.row(bi) {
-                    let ai = ai as usize;
-                    if leaf_pos[ai].is_empty() {
-                        continue;
-                    }
-                    direct_eval(
-                        kernel,
-                        &leaf_pos[bi],
-                        &leaf_pos[ai],
-                        &leaf_den[ai],
-                        &mut window[off * td - base..(off + n) * td - base],
-                    );
-                    fl += (n * leaf_pos[ai].len()) as u64 * flops_pair;
-                }
-            }
-            fl
+            cxr.uli_range(range, window, base)
         });
         prof.add_flops(Phase::UList, flops);
     });
 
-    (f, comm_reduce)
+    // (3b) X-list: sources of big adjacent leaves onto our downward check
+    // surfaces; before V for the same accumulation-order reason.
+    let mut dcheck = vec![0.0f64; noct * clen];
+    prof.timed(Phase::XList, |prof| {
+        let flops = par_windows(
+            threads,
+            noct,
+            &mut dcheck,
+            &|i| i * clen,
+            |range, window, base| cxr.xli_range(range, window, base),
+        );
+        prof.add_flops(Phase::XList, flops);
+    });
+
+    // (3a) V-list, parallel over target octants.
+    prof.timed(Phase::VList, |prof| match cfg.m2l {
+        M2lMode::Dense => {
+            let flops = par_windows(
+                threads,
+                noct,
+                &mut dcheck,
+                &|i| i * clen,
+                |range, window, base| cxr.vli_dense_range(has_up, u, range, window, base),
+            );
+            prof.add_flops(Phase::VList, flops);
+        }
+        M2lMode::Fft => {
+            let (uhat, fl) = cx.vli_fft_spectra(has_up, u, threads);
+            prof.add_flops(Phase::VList, fl);
+            let uhat = &uhat;
+            let flops = par_windows(
+                threads,
+                noct,
+                &mut dcheck,
+                &|i| i * clen,
+                |range, window, base| cxr.vli_fft_range(has_up, uhat, range, window, base),
+            );
+            prof.add_flops(Phase::VList, flops);
+        }
+    });
+    let dcheck = &dcheck;
+
+    // (4) D2D + (5b) D2T — the downward pass.
+    let mut f_owned = f; // continue accumulating into the same array
+    let mut d = vec![0.0f64; noct * ulen];
+    prof.timed(Phase::Downward, |prof| {
+        let fl = cx.d2d_levels(by_level, max_level, dcheck, &mut d);
+        prof.add_flops(Phase::Downward, fl);
+        let d = &d;
+        let flops = par_windows(
+            threads,
+            noct,
+            &mut f_owned,
+            pt_base,
+            |range, window, base| cxr.d2t_range(d, range, window, base),
+        );
+        prof.add_flops(Phase::Downward, flops);
+    });
+
+    // (5a) W-list: multipoles of small far leaves directly to targets.
+    prof.timed(Phase::WList, |prof| {
+        let flops = par_windows(
+            threads,
+            noct,
+            &mut f_owned,
+            pt_base,
+            |range, window, base| cxr.wli_range(has_up, u, range, window, base),
+        );
+        prof.add_flops(Phase::WList, flops);
+    });
+
+    (f_owned, comm_reduce)
+}
+
+/// The task-graph executor: octant-chunk tasks with explicit data
+/// dependencies, the reduce-and-scatter as a polled comm task, and the
+/// comm-independent U/X chunks overlapping it.
+fn run_phases_graph(
+    fmm: &Fmm,
+    c: &Comm,
+    l: &Let,
+    lists: &Lists,
+    data: &EvalData,
+    prof: &mut Profile,
+) -> (Vec<f64>, CommStats) {
+    let cfg = fmm.config();
+    let cx = Ctx::new(fmm, l, lists, data);
+    let workers = cfg.threads.max(1);
+    let noct = l.len();
+    let (ulen, clen, td) = (cx.ulen, cx.clen, cx.td);
+    let by_level = &data.by_level;
+    let max_level = data.max_level;
+
+    // Octant chunking: enough chunks to keep the workers fed while the
+    // comm task is in flight, without drowning small problems in task
+    // overhead. Chunk boundaries do not affect the numerics (every task
+    // writes per-octant slices).
+    let nchunks = noct.min((workers * 4).max(4));
+    let cuts: Vec<usize> = (0..=nchunks).map(|k| k * noct / nchunks).collect();
+    let oct_base = |i: usize| i * ulen;
+    let chk_base = |i: usize| i * clen;
+    let pt_base = |i: usize| l.pt_off[i.min(noct)] * td;
+
+    let u = GraphBuf::new(vec![0.0f64; noct * ulen]);
+    let has_up = GraphBuf::new(vec![false; noct]);
+    let dcheck = GraphBuf::new(vec![0.0f64; noct * clen]);
+    let f = GraphBuf::new(vec![0.0f64; l.pts.len() * td]);
+    let dbuf = GraphBuf::new(vec![0.0f64; noct * ulen]);
+    let flops: Vec<AtomicU64> = (0..Phase::ALL.len()).map(|_| AtomicU64::new(0)).collect();
+    let comm_delta: Slot<CommStats> = Slot::new();
+    let spectra: Slot<Spectra> = Slot::new();
+
+    let cxr = &cx;
+    let (ur, hur, dcr, fr, dbr) = (&u, &has_up, &dcheck, &f, &dbuf);
+    let flr = &flops;
+    let cdr = &comm_delta;
+    let sp = &spectra;
+
+    let mut g = Graph::new();
+
+    // S2U chunks: disjoint slices of `u` and `has_up`.
+    let s2u_ids: Vec<_> = (0..nchunks)
+        .map(|k| {
+            let (lo, hi) = (cuts[k], cuts[k + 1]);
+            g.task(Phase::Upward.label(), &[], move || {
+                // Safety: chunk ranges are disjoint; U2U tasks depend on
+                // every S2U chunk before touching `u`/`has_up` globally.
+                let w = unsafe { ur.slice_mut(oct_base(lo), oct_base(hi) - oct_base(lo)) };
+                let fl = cxr.s2u_range(lo..hi, w, oct_base(lo));
+                let hw = unsafe { hur.slice_mut(lo, hi - lo) };
+                cxr.mark_has_up_range(lo..hi, hw);
+                flr[Phase::Upward as usize].fetch_add(fl, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    // U2U levels, chained deepest-first (each level reads children and
+    // writes parents anywhere in the LET, so levels serialize).
+    let mut upward_tail = s2u_ids;
+    for level in (1..=max_level).rev() {
+        let t = g.task(Phase::Upward.label(), &upward_tail, move || {
+            // Safety: sole writer of `u`/`has_up` at this point in the
+            // chain (all S2U chunks and shallower levels completed).
+            let uw = unsafe { ur.slice_mut(0, ur.len()) };
+            let hw = unsafe { hur.slice_mut(0, noct) };
+            let fl = cxr.u2u_level(by_level, level, uw, hw);
+            flr[Phase::Upward as usize].fetch_add(fl, Ordering::Relaxed);
+        });
+        upward_tail = vec![t];
+    }
+
+    // The reduce-and-scatter as a comm task: non-blocking hypercube
+    // rounds polled on the driver thread (the naive fallback completes
+    // inside one poll — its collectives cannot deadlock on buffered
+    // sends, and the workers keep computing U/X chunks meanwhile).
+    let mut before: Option<CommStats> = None;
+    let mut reducer: Option<HypercubeReduceAsync> = None;
+    let comm_id = g.comm(Phase::Comm.label(), &upward_tail, move || {
+        if before.is_none() {
+            before = Some(c.stats());
+        }
+        if c.size() > 1 {
+            let hypercube = match cfg.reduction {
+                Reduction::Auto => c.size().is_power_of_two(),
+                Reduction::Hypercube => true,
+                Reduction::Naive => false,
+            };
+            if hypercube {
+                if reducer.is_none() {
+                    // Safety: the upward chain completed (dependency) and
+                    // nothing else touches `u` until this task finishes.
+                    let u_ro = unsafe { ur.as_slice() };
+                    reducer = Some(HypercubeReduceAsync::begin(c, l, ulen, u_ro));
+                }
+                if !reducer.as_mut().expect("begun above").poll(c, l) {
+                    return CommPoll::Pending;
+                }
+                let uw = unsafe { ur.slice_mut(0, ur.len()) };
+                reducer.take().expect("polled to done").finish(l, ulen, uw);
+            } else {
+                let uw = unsafe { ur.slice_mut(0, ur.len()) };
+                reduce_scatter_naive(c, l, ulen, uw);
+            }
+        }
+        let u_ro = unsafe { ur.as_slice() };
+        let hw = unsafe { hur.slice_mut(0, noct) };
+        refresh_ghost_has_up(ulen, u_ro, hw);
+        cdr.put(stats_delta(
+            before.as_ref().expect("set on first poll"),
+            &c.stats(),
+        ));
+        CommPoll::Ready
+    });
+
+    // U-list chunks: no dependencies at all — their sources' point
+    // densities came with the LET, so they overlap the reduction.
+    let uli_ids: Vec<_> = (0..nchunks)
+        .map(|k| {
+            let (lo, hi) = (cuts[k], cuts[k + 1]);
+            g.task(Phase::UList.label(), &[], move || {
+                // Safety: first writer of this chunk's potential slice;
+                // D2T/W for the same chunk are chained behind it.
+                let w = unsafe { fr.slice_mut(pt_base(lo), pt_base(hi) - pt_base(lo)) };
+                let fl = cxr.uli_range(lo..hi, w, pt_base(lo));
+                flr[Phase::UList as usize].fetch_add(fl, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    // X-list chunks: also comm-independent (leaf sources, not upward
+    // densities); first writers of their dcheck slices.
+    let xli_ids: Vec<_> = (0..nchunks)
+        .map(|k| {
+            let (lo, hi) = (cuts[k], cuts[k + 1]);
+            g.task(Phase::XList.label(), &[], move || {
+                // Safety: V for the same chunk is chained behind X.
+                let w = unsafe { dcr.slice_mut(chk_base(lo), chk_base(hi) - chk_base(lo)) };
+                let fl = cxr.xli_range(lo..hi, w, chk_base(lo));
+                flr[Phase::XList as usize].fetch_add(fl, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    // V-list chunks: need the completed upward densities (Comm) and
+    // chain behind the same chunk's X task (shared dcheck slice). The
+    // FFT path inserts the shared forward-transform pass in between.
+    let v_dep = match cfg.m2l {
+        M2lMode::Dense => comm_id,
+        M2lMode::Fft => g.task(Phase::VList.label(), &[comm_id], move || {
+            let u_ro = unsafe { ur.as_slice() };
+            let hu = unsafe { hur.as_slice() };
+            let (uhat, fl) = cxr.vli_fft_spectra(hu, u_ro, 1);
+            sp.put(Arc::new(uhat));
+            flr[Phase::VList as usize].fetch_add(fl, Ordering::Relaxed);
+        }),
+    };
+    let vli_ids: Vec<_> = (0..nchunks)
+        .map(|k| {
+            let (lo, hi) = (cuts[k], cuts[k + 1]);
+            let m2l = cfg.m2l;
+            g.task(Phase::VList.label(), &[v_dep, xli_ids[k]], move || {
+                let u_ro = unsafe { ur.as_slice() };
+                let hu = unsafe { hur.as_slice() };
+                let w = unsafe { dcr.slice_mut(chk_base(lo), chk_base(hi) - chk_base(lo)) };
+                let fl = match m2l {
+                    M2lMode::Dense => cxr.vli_dense_range(hu, u_ro, lo..hi, w, chk_base(lo)),
+                    M2lMode::Fft => {
+                        let uhat = sp.with(Arc::clone);
+                        cxr.vli_fft_range(hu, &uhat, lo..hi, w, chk_base(lo))
+                    }
+                };
+                flr[Phase::VList as usize].fetch_add(fl, Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    // D2D: one level-synchronous task over the whole LET once dcheck is
+    // complete (every V chunk implies its X chunk).
+    let d2d_id = g.task(Phase::Downward.label(), &vli_ids, move || {
+        let dc = unsafe { dcr.as_slice() };
+        let dw = unsafe { dbr.slice_mut(0, dbr.len()) };
+        let fl = cxr.d2d_levels(by_level, max_level, dc, dw);
+        flr[Phase::Downward as usize].fetch_add(fl, Ordering::Relaxed);
+    });
+
+    // D2T chunk k continues chunk k's potential slice after U-list; W
+    // chunk k finishes it (and needs the ghost upward densities).
+    for k in 0..nchunks {
+        let (lo, hi) = (cuts[k], cuts[k + 1]);
+        let d2t = g.task(Phase::Downward.label(), &[d2d_id, uli_ids[k]], move || {
+            let d_ro = unsafe { dbr.as_slice() };
+            let w = unsafe { fr.slice_mut(pt_base(lo), pt_base(hi) - pt_base(lo)) };
+            let fl = cxr.d2t_range(d_ro, lo..hi, w, pt_base(lo));
+            flr[Phase::Downward as usize].fetch_add(fl, Ordering::Relaxed);
+        });
+        g.task(Phase::WList.label(), &[d2t, comm_id], move || {
+            let u_ro = unsafe { ur.as_slice() };
+            let hu = unsafe { hur.as_slice() };
+            let w = unsafe { fr.slice_mut(pt_base(lo), pt_base(hi) - pt_base(lo)) };
+            let fl = cxr.wli_range(hu, u_ro, lo..hi, w, pt_base(lo));
+            flr[Phase::WList as usize].fetch_add(fl, Ordering::Relaxed);
+        });
+    }
+
+    let rep = pfmm_sched::run(g, workers).expect("the FMM task graph is acyclic");
+
+    for ph in Phase::ALL {
+        if let Some(&s) = rep.phase_secs.get(ph.label()) {
+            prof.add_secs(ph, s);
+        }
+        prof.add_flops(ph, flops[ph as usize].load(Ordering::Relaxed));
+    }
+    prof.overlap_secs += rep.overlap_secs;
+
+    (f.into_inner(), comm_delta.take())
 }

@@ -223,7 +223,11 @@ mod tests {
         let mut fftv = vec![0.0; ops.check_len()];
         eng.finish(acc, &mut fftv);
 
-        let denom = dense.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1e-30);
+        let denom = dense
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-30);
         for (a, b) in fftv.iter().zip(&dense) {
             assert!(
                 (a - b).abs() < 1e-10 * denom,

@@ -187,7 +187,11 @@ impl Ops {
     /// is scale-invariant for homogeneous kernels.
     pub fn u2u(&self, child_level: u32, child_index: usize) -> ScaledOp {
         assert!(child_level >= 1 && child_index < 8);
-        let base = if self.homogeneity.is_some() { 1 } else { child_level };
+        let base = if self.homogeneity.is_some() {
+            1
+        } else {
+            child_level
+        };
         let mut cache = self.u2u.lock();
         let m = cache
             .entry((base, child_index))
@@ -215,7 +219,11 @@ impl Ops {
     /// for homogeneous kernels.
     pub fn d2d(&self, child_level: u32, child_index: usize) -> ScaledOp {
         assert!(child_level >= 1 && child_index < 8);
-        let base = if self.homogeneity.is_some() { 1 } else { child_level };
+        let base = if self.homogeneity.is_some() {
+            1
+        } else {
+            child_level
+        };
         let mut cache = self.d2d.lock();
         let m = cache
             .entry((base, child_index))
@@ -242,7 +250,10 @@ impl Ops {
     /// *check* potential, for a V-list offset (in units of the octant
     /// side, each component in −3..=3, ∞-norm ≥ 2).
     pub fn m2l(&self, level: u32, offset: [i8; 3]) -> ScaledOp {
-        debug_assert!(offset.iter().any(|o| o.abs() >= 2), "V-list offsets are non-adjacent");
+        debug_assert!(
+            offset.iter().any(|o| o.abs() >= 2),
+            "V-list offsets are non-adjacent"
+        );
         let (base, scale) = self.base_level_scale(level, false);
         let mut cache = self.m2l.lock();
         let m = cache
@@ -308,7 +319,7 @@ mod tests {
         let level = 3u32;
         let r = level_radius(level);
         let c = [0.3125, 0.4375, 0.5625]; // a level-3 octant center
-        // A few sources inside the octant.
+                                          // A few sources inside the octant.
         let srcs = vec![
             [c[0] - 0.5 * r, c[1] + 0.3 * r, c[2]],
             [c[0] + 0.4 * r, c[1] - 0.2 * r, c[2] + 0.6 * r],
@@ -347,7 +358,11 @@ mod tests {
         let pc = [0.25, 0.25, 0.75];
         let idx = 5usize; // child (+x, -y, +z)
         let off = child_offset(idx);
-        let cc = [pc[0] + off[0] * rc, pc[1] + off[1] * rc, pc[2] + off[2] * rc];
+        let cc = [
+            pc[0] + off[0] * rc,
+            pc[1] + off[1] * rc,
+            pc[2] + off[2] * rc,
+        ];
 
         // Source inside the child.
         let srcs = vec![[cc[0] + 0.2 * rc, cc[1], cc[2] - 0.3 * rc]];
@@ -370,7 +385,13 @@ mod tests {
 
         let far = [pc[0] + 18.0 * rp, pc[1] + 9.0 * rp, pc[2] - 11.0 * rp];
         let mut via = vec![0.0];
-        direct_eval(&Laplace, &[far], &o.up_equiv_surface(&pc, rp), &u_par, &mut via);
+        direct_eval(
+            &Laplace,
+            &[far],
+            &o.up_equiv_surface(&pc, rp),
+            &u_par,
+            &mut via,
+        );
         let mut want = vec![0.0];
         direct_eval(&Laplace, &[far], &srcs, &dens, &mut want);
         let rel = (via[0] - want[0]).abs() / want[0].abs();
@@ -412,9 +433,21 @@ mod tests {
         // source equivalent field.
         let probe = [tc[0] + 0.4 * r, tc[1] - 0.3 * r, tc[2] + 0.2 * r];
         let mut via = vec![0.0];
-        direct_eval(&Laplace, &[probe], &o.down_equiv_surface(&tc, r), &d, &mut via);
+        direct_eval(
+            &Laplace,
+            &[probe],
+            &o.down_equiv_surface(&tc, r),
+            &d,
+            &mut via,
+        );
         let mut want = vec![0.0];
-        direct_eval(&Laplace, &[probe], &o.up_equiv_surface(&sc, r), &u, &mut want);
+        direct_eval(
+            &Laplace,
+            &[probe],
+            &o.up_equiv_surface(&sc, r),
+            &u,
+            &mut want,
+        );
         let rel = (via[0] - want[0]).abs() / want[0].abs().max(1e-30);
         assert!(rel < 1e-5, "M2L chain relative error {rel}");
     }
@@ -427,14 +460,18 @@ mod tests {
         let parent_level = 2u32;
         let rp = level_radius(parent_level);
         let pc = [0.375, 0.625, 0.125]; // a level-2 octant center
-        // A synthetic but smooth parent downward density.
+                                        // A synthetic but smooth parent downward density.
         let nd = o.density_len();
         let d_par: Vec<f64> = (0..nd).map(|i| (i as f64 * 0.17).cos()).collect();
 
         let idx = 6usize; // child (+x, +y, -z)
         let off = child_offset(idx);
         let rc = rp / 2.0;
-        let cc = [pc[0] + off[0] * rc, pc[1] + off[1] * rc, pc[2] + off[2] * rc];
+        let cc = [
+            pc[0] + off[0] * rc,
+            pc[1] + off[1] * rc,
+            pc[2] + off[2] * rc,
+        ];
 
         let (m, s) = o.d2d(parent_level + 1, idx);
         let mut d_child = vec![0.0; nd];
@@ -443,9 +480,21 @@ mod tests {
         // Probe inside the child: both representations must agree.
         let probe = [cc[0] - 0.3 * rc, cc[1] + 0.1 * rc, cc[2] + 0.45 * rc];
         let mut via_child = vec![0.0];
-        direct_eval(&Laplace, &[probe], &o.down_equiv_surface(&cc, rc), &d_child, &mut via_child);
+        direct_eval(
+            &Laplace,
+            &[probe],
+            &o.down_equiv_surface(&cc, rc),
+            &d_child,
+            &mut via_child,
+        );
         let mut via_parent = vec![0.0];
-        direct_eval(&Laplace, &[probe], &o.down_equiv_surface(&pc, rp), &d_par, &mut via_parent);
+        direct_eval(
+            &Laplace,
+            &[probe],
+            &o.down_equiv_surface(&pc, rp),
+            &d_par,
+            &mut via_parent,
+        );
         let rel = (via_child[0] - via_parent[0]).abs() / via_parent[0].abs().max(1e-30);
         assert!(rel < 1e-6, "D2D interior-field relative error {rel}");
     }
@@ -473,7 +522,10 @@ mod tests {
                 .flat_map(|i| (0..uh.cols()).map(move |j| (i, j)))
                 .map(|(i, j)| (uh[(i, j)] * ush - un[(i, j)]).abs())
                 .fold(0.0f64, f64::max);
-            assert!(scale_err < 1e-7 * un.max_abs(), "uc2e level {level}: {scale_err}");
+            assert!(
+                scale_err < 1e-7 * un.max_abs(),
+                "uc2e level {level}: {scale_err}"
+            );
         }
     }
 

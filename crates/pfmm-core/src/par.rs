@@ -113,7 +113,10 @@ where
     for (k, v) in results {
         slots[k] = Some(v);
     }
-    slots.into_iter().map(|o| o.expect("every item mapped")).collect()
+    slots
+        .into_iter()
+        .map(|o| o.expect("every item mapped"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -149,13 +152,19 @@ mod tests {
         let noct = 23;
         let run = |threads| {
             let mut out = vec![0.0f64; noct * 2];
-            par_windows(threads, noct, &mut out, &|i| i * 2, |range, window, base| {
-                for i in range {
-                    window[i * 2 - base] = (i * i) as f64;
-                    window[i * 2 + 1 - base] = -(i as f64);
-                }
-                0
-            });
+            par_windows(
+                threads,
+                noct,
+                &mut out,
+                &|i| i * 2,
+                |range, window, base| {
+                    for i in range {
+                        window[i * 2 - base] = (i * i) as f64;
+                        window[i * 2 + 1 - base] = -(i as f64);
+                    }
+                    0
+                },
+            );
             out
         };
         assert_eq!(run(1), run(5));
@@ -176,14 +185,20 @@ mod tests {
             .collect();
         let total: usize = sizes.iter().sum();
         let mut out = vec![0.0f64; total];
-        par_windows(3, sizes.len(), &mut out, &|i| offs[i], |range, window, base| {
-            for i in range.clone() {
-                for k in offs[i]..offs[i + 1] {
-                    window[k - base] = i as f64;
+        par_windows(
+            3,
+            sizes.len(),
+            &mut out,
+            &|i| offs[i],
+            |range, window, base| {
+                for i in range.clone() {
+                    for k in offs[i]..offs[i + 1] {
+                        window[k - base] = i as f64;
+                    }
                 }
-            }
-            0
-        });
+                0
+            },
+        );
         let mut want = Vec::new();
         for (i, s) in sizes.iter().enumerate() {
             want.extend(std::iter::repeat_n(i as f64, *s));

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use pfmm_mpisim::Comm;
 use pfmm_tree::{
-    build_lists, build_let, lists::leaf_weights, octree_from_sorted, repartition_by_weight,
+    build_let, build_lists, lists::leaf_weights, octree_from_sorted, repartition_by_weight,
     user_ranks, Let, Lists, PointRec,
 };
 
@@ -119,8 +119,16 @@ impl Fmm {
             l,
             lists,
             data,
-            send_plan: send_plan.into_iter().enumerate().filter(|(_, v)| !v.is_empty()).collect(),
-            recv_plan: recv_plan.into_iter().enumerate().filter(|(_, v)| !v.is_empty()).collect(),
+            send_plan: send_plan
+                .into_iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .collect(),
+            recv_plan: recv_plan
+                .into_iter()
+                .enumerate()
+                .filter(|(_, v)| !v.is_empty())
+                .collect(),
             owned_gids,
             sd,
             td,
@@ -149,8 +157,7 @@ impl Fmm {
             }
             let npts = plan.data.leaf_pos[i].len();
             plan.data.leaf_den[i].clear();
-            plan.data.leaf_den[i]
-                .extend_from_slice(&densities[cursor * sd..(cursor + npts) * sd]);
+            plan.data.leaf_den[i].extend_from_slice(&densities[cursor * sd..(cursor + npts) * sd]);
             cursor += npts;
         }
 
@@ -203,7 +210,14 @@ mod tests {
     use std::sync::Arc;
 
     fn fmm() -> Fmm {
-        Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 30, ..Default::default() })
+        Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 4,
+                q: 30,
+                ..Default::default()
+            },
+        )
     }
 
     /// plan+apply with the original densities must reproduce evaluate().
@@ -289,8 +303,12 @@ mod tests {
                 .map(|g| pts2[*g as usize].den[0])
                 .collect();
             let (pot, _) = f.apply(c, &mut plan, &den);
-            let pairs: Vec<(u64, f64)> =
-                plan.owned_gids().iter().zip(&pot).map(|(g, v)| (*g, *v)).collect();
+            let pairs: Vec<(u64, f64)> = plan
+                .owned_gids()
+                .iter()
+                .zip(&pot)
+                .map(|(g, v)| (*g, *v))
+                .collect();
             pfmm_mpisim::collectives::allgatherv(c, &pairs)
         })
         .pop()
@@ -316,8 +334,11 @@ mod tests {
         run(2, |c| {
             let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(2).copied().collect();
             let mut plan = f.plan(c, mine);
-            let den: Vec<f64> =
-                plan.owned_gids().iter().map(|g| pts[*g as usize].den[0]).collect();
+            let den: Vec<f64> = plan
+                .owned_gids()
+                .iter()
+                .map(|g| pts[*g as usize].den[0])
+                .collect();
             let (a, _) = f.apply(c, &mut plan, &den);
             let doubled: Vec<f64> = den.iter().map(|v| 2.0 * v).collect();
             let (b, _) = f.apply(c, &mut plan, &doubled);

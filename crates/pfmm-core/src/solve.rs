@@ -44,7 +44,13 @@ pub fn gmres(
     tol: f64,
     max_it: usize,
 ) -> Result<(Vec<f64>, SolveReport), SolveReport> {
-    gmres_with_dot(matvec, |x, y| x.iter().zip(y).map(|(a, b)| a * b).sum(), b, tol, max_it)
+    gmres_with_dot(
+        matvec,
+        |x, y| x.iter().zip(y).map(|(a, b)| a * b).sum(),
+        b,
+        tol,
+        max_it,
+    )
 }
 
 /// [`gmres`] with a caller-supplied inner product — the hook that makes
@@ -66,7 +72,13 @@ pub fn gmres_with_dot(
     let mut norm = |v: &[f64]| dot(v, v).sqrt();
     let beta = norm(b);
     if beta == 0.0 {
-        return Ok((vec![0.0; n], SolveReport { residuals: vec![0.0], matvecs: 0 }));
+        return Ok((
+            vec![0.0; n],
+            SolveReport {
+                residuals: vec![0.0],
+                matvecs: 0,
+            },
+        ));
     }
     let mut basis: Vec<Vec<f64>> = vec![b.iter().map(|x| x / beta).collect()];
     let mut h: Vec<Vec<f64>> = Vec::new(); // columns of the Hessenberg
@@ -110,13 +122,19 @@ pub fn gmres_with_dot(
                     *xi += yj * vi;
                 }
             }
-            let report = SolveReport { residuals, matvecs: m };
+            let report = SolveReport {
+                residuals,
+                matvecs: m,
+            };
             return Ok((x, report));
         }
         let hl = h[j][j + 1];
         basis.push(w.iter().map(|x| x / hl).collect());
     }
-    Err(SolveReport { residuals, matvecs: max_it })
+    Err(SolveReport {
+        residuals,
+        matvecs: max_it,
+    })
 }
 
 /// Least squares `min ‖β e₁ − H y‖` for the (m+1)×m Hessenberg stored as
@@ -136,7 +154,12 @@ fn solve_hessenberg_ls(h: &[Vec<f64>], beta: f64) -> Vec<f64> {
     }
     for col in 0..m {
         let piv = (col..m)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("nonempty");
         a.swap(col, piv);
         y.swap(col, piv);
@@ -181,7 +204,11 @@ pub fn solve_second_kind(
     gmres_with_dot(
         |sigma| {
             let (k_sigma, _) = fmm.apply(c, plan, sigma);
-            sigma.iter().zip(&k_sigma).map(|(s, k)| s + scale * k).collect()
+            sigma
+                .iter()
+                .zip(&k_sigma)
+                .map(|(s, k)| s + scale * k)
+                .collect()
         },
         |x, y| {
             // Global inner product: local partial + all-reduce, so every
@@ -206,7 +233,11 @@ mod tests {
 
     /// Dense reference matvec for testing GMRES itself.
     fn dense_matvec(a: &[Vec<f64>]) -> impl FnMut(&[f64]) -> Vec<f64> + '_ {
-        move |x: &[f64]| a.iter().map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum()).collect()
+        move |x: &[f64]| {
+            a.iter()
+                .map(|row| row.iter().zip(x).map(|(r, v)| r * v).sum())
+                .collect()
+        }
     }
 
     #[test]
@@ -217,12 +248,19 @@ mod tests {
             vec![0.0, -1.0, 2.0],
         ];
         let x_true = [1.0, -2.0, 0.5];
-        let b: Vec<f64> = a.iter().map(|r| r.iter().zip(&x_true).map(|(p, q)| p * q).sum()).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .map(|r| r.iter().zip(&x_true).map(|(p, q)| p * q).sum())
+            .collect();
         let (x, rep) = gmres(dense_matvec(&a), &b, 1e-12, 10).expect("converges");
         for (got, want) in x.iter().zip(&x_true) {
             assert!((got - want).abs() < 1e-9, "{got} vs {want}");
         }
-        assert!(rep.matvecs <= 3, "exact in at most n steps: {}", rep.matvecs);
+        assert!(
+            rep.matvecs <= 3,
+            "exact in at most n steps: {}",
+            rep.matvecs
+        );
     }
 
     #[test]
@@ -262,21 +300,38 @@ mod tests {
     fn second_kind_solve_with_fmm_plan() {
         let n = 2000;
         let pts = uniform_cube(n, 91, 0);
-        let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 50, ..Default::default() });
+        let fmm = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 4,
+                q: 50,
+                ..Default::default()
+            },
+        );
         let (res, verify) = run(2, |c| {
             let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(2).copied().collect();
             let mut plan = fmm.plan(c, mine);
-            let b: Vec<f64> =
-                plan.owned_gids().iter().map(|g| 1.0 + (*g as f64 * 0.02).cos()).collect();
+            let b: Vec<f64> = plan
+                .owned_gids()
+                .iter()
+                .map(|g| 1.0 + (*g as f64 * 0.02).cos())
+                .collect();
             let scale = 1.0 / n as f64;
             let (sigma, rep) =
                 solve_second_kind(&fmm, c, &mut plan, &b, scale, 1e-9, 40).expect("converges");
             // Verify the residual independently.
             let (k_sigma, _) = fmm.apply(c, &mut plan, &sigma);
-            let ax: Vec<f64> =
-                sigma.iter().zip(&k_sigma).map(|(s, k)| s + scale * k).collect();
-            let num: f64 =
-                ax.iter().zip(&b).map(|(a, bb)| (a - bb) * (a - bb)).sum::<f64>().sqrt();
+            let ax: Vec<f64> = sigma
+                .iter()
+                .zip(&k_sigma)
+                .map(|(s, k)| s + scale * k)
+                .collect();
+            let num: f64 = ax
+                .iter()
+                .zip(&b)
+                .map(|(a, bb)| (a - bb) * (a - bb))
+                .sum::<f64>()
+                .sqrt();
             let den: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
             (rep.final_residual(), num / den)
         })

@@ -79,9 +79,7 @@ mod tests {
         let r = 0.25;
         let s = 1.05;
         for pt in surface_points(4, &c, r, s) {
-            let d = (0..3)
-                .map(|i| (pt[i] - c[i]).abs())
-                .fold(0.0f64, f64::max);
+            let d = (0..3).map(|i| (pt[i] - c[i]).abs()).fold(0.0f64, f64::max);
             assert!((d - s * r).abs() < 1e-12, "max-norm distance is the radius");
         }
     }

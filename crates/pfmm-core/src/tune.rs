@@ -49,7 +49,11 @@ pub fn tune_sweep(
                 .iter()
                 .map(|&ph| prof.flops(ph) as f64 / 0.5e9)
                 .sum();
-            TunePoint { q, wall_secs: prof.total_secs, modeled_secs: modeled }
+            TunePoint {
+                q,
+                wall_secs: prof.total_secs,
+                modeled_secs: modeled,
+            }
         })
         .collect()
 }
@@ -58,7 +62,13 @@ pub fn tune_sweep(
 ///
 /// # Panics
 /// Panics if `candidates` is empty.
-pub fn autotune_q(cfg: FmmConfig, kernel: std::sync::Arc<dyn pfmm_kernels::Kernel>, points: &[PointRec], candidates: &[usize], sample: usize) -> usize {
+pub fn autotune_q(
+    cfg: FmmConfig,
+    kernel: std::sync::Arc<dyn pfmm_kernels::Kernel>,
+    points: &[PointRec],
+    candidates: &[usize],
+    sample: usize,
+) -> usize {
     assert!(!candidates.is_empty());
     let sweep = tune_sweep(
         |q| Fmm::new(kernel.clone(), FmmConfig { q, ..cfg }),
@@ -77,7 +87,13 @@ pub fn autotune_q(cfg: FmmConfig, kernel: std::sync::Arc<dyn pfmm_kernels::Kerne
 ///
 /// # Panics
 /// Panics if `candidates` is empty.
-pub fn autotune_q_modeled(cfg: FmmConfig, kernel: std::sync::Arc<dyn pfmm_kernels::Kernel>, points: &[PointRec], candidates: &[usize], sample: usize) -> usize {
+pub fn autotune_q_modeled(
+    cfg: FmmConfig,
+    kernel: std::sync::Arc<dyn pfmm_kernels::Kernel>,
+    points: &[PointRec],
+    candidates: &[usize],
+    sample: usize,
+) -> usize {
     assert!(!candidates.is_empty());
     let sweep = tune_sweep(
         |q| Fmm::new(kernel.clone(), FmmConfig { q, ..cfg }),
@@ -87,7 +103,11 @@ pub fn autotune_q_modeled(cfg: FmmConfig, kernel: std::sync::Arc<dyn pfmm_kernel
     );
     sweep
         .iter()
-        .min_by(|a, b| a.modeled_secs.partial_cmp(&b.modeled_secs).expect("finite times"))
+        .min_by(|a, b| {
+            a.modeled_secs
+                .partial_cmp(&b.modeled_secs)
+                .expect("finite times")
+        })
         .expect("nonempty")
         .q
 }
@@ -103,7 +123,10 @@ mod tests {
     fn sweep_probes_every_candidate() {
         let mut pts = uniform_cube(3000, 41, 0);
         randomize_densities(&mut pts, 1, 2);
-        let cfg = FmmConfig { order: 4, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 4,
+            ..Default::default()
+        };
         let sweep = tune_sweep(
             |q| Fmm::new(Arc::new(Laplace), FmmConfig { q, ..cfg }),
             &pts,
@@ -122,7 +145,10 @@ mod tests {
         // (all direct) both lose to a middle q — the Table III shape.
         let mut pts = uniform_cube(6000, 43, 0);
         randomize_densities(&mut pts, 1, 3);
-        let cfg = FmmConfig { order: 4, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 4,
+            ..Default::default()
+        };
         let sweep = tune_sweep(
             |q| Fmm::new(Arc::new(Laplace), FmmConfig { q, ..cfg }),
             &pts,

@@ -68,8 +68,14 @@ mod tests {
     use std::sync::Arc;
 
     fn results_for(pts: &[PointRec], order: usize) -> Vec<(u64, Vec<f64>)> {
-        let fmm =
-            Fmm::new(Arc::new(Laplace), FmmConfig { order, q: 40, ..Default::default() });
+        let fmm = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order,
+                q: 40,
+                ..Default::default()
+            },
+        );
         run(1, |c| {
             let res = fmm.evaluate(c, pts.to_vec());
             gather_potentials(c, &res, 1)
@@ -107,6 +113,9 @@ mod tests {
         let full = sampled_rel_error(&Laplace, &pts, &res, 1);
         let sub = sampled_rel_error(&Laplace, &pts, &res, 13);
         // Both estimates sit at the same truncation scale.
-        assert!(sub < 10.0 * full.max(1e-12) && full < 1e-3, "{full} vs {sub}");
+        assert!(
+            sub < 10.0 * full.max(1e-12) && full < 1e-3,
+            "{full} vs {sub}"
+        );
     }
 }

@@ -32,13 +32,19 @@ impl Complex {
     /// `e^{iθ}`.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus.
@@ -56,7 +62,10 @@ impl Complex {
     /// Scale by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -64,7 +73,10 @@ impl Add for Complex {
     type Output = Complex;
     #[inline]
     fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -80,7 +92,10 @@ impl Sub for Complex {
     type Output = Complex;
     #[inline]
     fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -106,7 +121,10 @@ impl Neg for Complex {
     type Output = Complex;
     #[inline]
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

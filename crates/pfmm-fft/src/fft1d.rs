@@ -47,12 +47,16 @@ impl FftPlan {
             let mut m = 2;
             while m <= n {
                 for k in 0..m / 2 {
-                    twiddles
-                        .push(Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / m as f64));
+                    twiddles.push(Complex::cis(
+                        -2.0 * std::f64::consts::PI * k as f64 / m as f64,
+                    ));
                 }
                 m <<= 1;
             }
-            FftPlan { n, kind: PlanKind::Radix2 { twiddles } }
+            FftPlan {
+                n,
+                kind: PlanKind::Radix2 { twiddles },
+            }
         } else {
             let m = (2 * n - 1).next_power_of_two();
             let mut chirp = Vec::with_capacity(n);
@@ -69,7 +73,15 @@ impl FftPlan {
                 b[m - k] = chirp[k].conj();
             }
             inner.forward(&mut b);
-            FftPlan { n, kind: PlanKind::Bluestein { m, chirp, bhat: b, inner } }
+            FftPlan {
+                n,
+                kind: PlanKind::Bluestein {
+                    m,
+                    chirp,
+                    bhat: b,
+                    inner,
+                },
+            }
         }
     }
 
@@ -91,7 +103,12 @@ impl FftPlan {
         assert_eq!(data.len(), self.n, "plan/buffer length mismatch");
         match &self.kind {
             PlanKind::Radix2 { twiddles } => radix2(data, twiddles),
-            PlanKind::Bluestein { m, chirp, bhat, inner } => {
+            PlanKind::Bluestein {
+                m,
+                chirp,
+                bhat,
+                inner,
+            } => {
                 let n = self.n;
                 let mut a = vec![Complex::ZERO; *m];
                 for k in 0..n {
@@ -175,7 +192,8 @@ pub fn naive_dft(x: &[Complex]) -> Vec<Complex> {
         .map(|k| {
             let mut acc = Complex::ZERO;
             for (j, &v) in x.iter().enumerate() {
-                acc += v * Complex::cis(-2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64);
+                acc +=
+                    v * Complex::cis(-2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64);
             }
             acc
         })
@@ -191,9 +209,13 @@ mod tests {
         let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let b = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
                 Complex::new(a, b)
             })

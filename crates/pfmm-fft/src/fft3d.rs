@@ -15,7 +15,10 @@ pub struct Fft3 {
 impl Fft3 {
     /// Plan transforms for an `n×n×n` grid.
     pub fn new(n: usize) -> Fft3 {
-        Fft3 { n, plan: FftPlan::new(n) }
+        Fft3 {
+            n,
+            plan: FftPlan::new(n),
+        }
     }
 
     /// Grid side length.
@@ -162,7 +165,9 @@ mod tests {
         let n = 3;
         let fft = Fft3::new(n);
         let a: Vec<Complex> = (0..27).map(|i| Complex::real((i % 4) as f64)).collect();
-        let b: Vec<Complex> = (0..27).map(|i| Complex::real(((i * 3) % 5) as f64)).collect();
+        let b: Vec<Complex> = (0..27)
+            .map(|i| Complex::real(((i * 3) % 5) as f64))
+            .collect();
         let c = convolve3(&fft, &a, &b);
         // Direct circular convolution.
         for x in 0..n {

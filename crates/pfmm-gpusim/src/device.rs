@@ -111,7 +111,9 @@ pub fn launch_blocks<F>(nblocks: usize, f: F) -> KernelStats
 where
     F: Fn(usize, &mut Tally) + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let threads = threads.min(nblocks.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let tallies = crossbeam::thread::scope(|scope| {
@@ -142,7 +144,10 @@ where
     for t in &tallies {
         total.merge(t);
     }
-    KernelStats { tally: total, blocks: nblocks }
+    KernelStats {
+        tally: total,
+        blocks: nblocks,
+    }
 }
 
 /// Like [`launch_blocks`], but each block also produces an output value;
@@ -153,7 +158,9 @@ where
     T: Send,
     F: Fn(usize, &mut Tally) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let threads = threads.min(nblocks.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results = crossbeam::thread::scope(|scope| {
@@ -193,7 +200,13 @@ where
         .into_iter()
         .map(|o| o.expect("every block executed"))
         .collect();
-    (outputs, KernelStats { tally: total, blocks: nblocks })
+    (
+        outputs,
+        KernelStats {
+            tally: total,
+            blocks: nblocks,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -217,7 +230,11 @@ mod tests {
         let d = DeviceSpec::tesla_s1070();
         // 1e9 flops, tiny memory traffic, plenty of blocks.
         let s = KernelStats {
-            tally: Tally { flops: 1_000_000_000, gmem_coalesced: 1000, ..Default::default() },
+            tally: Tally {
+                flops: 1_000_000_000,
+                gmem_coalesced: 1000,
+                ..Default::default()
+            },
             blocks: 1000,
         };
         let t = d.kernel_time(&s);
@@ -245,11 +262,17 @@ mod tests {
     fn uncoalesced_costs_a_segment() {
         let d = DeviceSpec::tesla_s1070();
         let coalesced = KernelStats {
-            tally: Tally { gmem_coalesced: 4_000_000, ..Default::default() },
+            tally: Tally {
+                gmem_coalesced: 4_000_000,
+                ..Default::default()
+            },
             blocks: 1000,
         };
         let uncoalesced = KernelStats {
-            tally: Tally { gmem_uncoalesced: 1_000_000, ..Default::default() },
+            tally: Tally {
+                gmem_uncoalesced: 1_000_000,
+                ..Default::default()
+            },
             blocks: 1000,
         };
         // Same 4 MB of payload, 8× the modeled cost when uncoalesced.
@@ -261,10 +284,16 @@ mod tests {
     fn low_occupancy_penalized() {
         let d = DeviceSpec::tesla_s1070();
         let few = KernelStats {
-            tally: Tally { flops: 1_000_000_000, ..Default::default() },
+            tally: Tally {
+                flops: 1_000_000_000,
+                ..Default::default()
+            },
             blocks: 6,
         };
-        let many = KernelStats { tally: few.tally, blocks: 600 };
+        let many = KernelStats {
+            tally: few.tally,
+            blocks: 600,
+        };
         assert!(d.kernel_time(&few) > 5.0 * d.kernel_time(&many));
     }
 }

@@ -24,7 +24,7 @@ use pfmm_core::ops::Ops;
 use pfmm_core::surface::{surface_points, RAD_INNER, RAD_OUTER};
 use pfmm_kernels::{direct_eval, Laplace};
 use pfmm_mpisim::run;
-use pfmm_tree::{build_lists, build_let, points_to_octree, Let, Lists, PointRec};
+use pfmm_tree::{build_let, build_lists, points_to_octree, Let, Lists, PointRec};
 
 use crate::device::DeviceSpec;
 use crate::kernels::{d2t, s2u, uli, vli_hadamard, SurfBox};
@@ -47,8 +47,13 @@ pub enum GpuPhase {
 
 impl GpuPhase {
     /// All phases in reporting order.
-    pub const ALL: [GpuPhase; 5] =
-        [GpuPhase::Upward, GpuPhase::UList, GpuPhase::VList, GpuPhase::WXList, GpuPhase::Downward];
+    pub const ALL: [GpuPhase; 5] = [
+        GpuPhase::Upward,
+        GpuPhase::UList,
+        GpuPhase::VList,
+        GpuPhase::WXList,
+        GpuPhase::Downward,
+    ];
 
     /// Row label as in Table III.
     pub fn label(&self) -> &'static str {
@@ -151,9 +156,11 @@ fn run_gpu_fmm_impl(
 ) -> GpuFmmReport {
     let dev = *device;
     let pts2 = points.clone();
-    let (mut report, pairs) = run(1, move |c| gpu_pipeline(c, pts2.clone(), q, order, &dev, wx_on_gpu))
-        .pop()
-        .expect("one rank");
+    let (mut report, pairs) = run(1, move |c| {
+        gpu_pipeline(c, pts2.clone(), q, order, &dev, wx_on_gpu)
+    })
+    .pop()
+    .expect("one rank");
     if check_accuracy {
         report.rel_err_vs_f64 = accuracy_vs_f64(&points, q, order, &[pairs]);
     }
@@ -176,8 +183,7 @@ pub fn run_gpu_fmm_distributed(
     let dev = *device;
     let pts2 = points.clone();
     let out = run(p, move |c| {
-        let mine: Vec<PointRec> =
-            pts2.iter().skip(c.rank()).step_by(p).copied().collect();
+        let mine: Vec<PointRec> = pts2.iter().skip(c.rank()).step_by(p).copied().collect();
         gpu_pipeline(c, mine, q, order, &dev, false)
     });
     let mut reports: Vec<GpuFmmReport> = Vec::with_capacity(p);
@@ -200,7 +206,12 @@ pub fn run_gpu_fmm_distributed(
 fn accuracy_vs_f64(points: &[PointRec], q: usize, order: usize, pairs: &[Vec<(u64, f64)>]) -> f64 {
     let fmm = Fmm::new(
         Arc::new(Laplace),
-        FmmConfig { order, q, m2l: M2lMode::Fft, ..Default::default() },
+        FmmConfig {
+            order,
+            q,
+            m2l: M2lMode::Fft,
+            ..Default::default()
+        },
     );
     let pts2 = points.to_vec();
     let reference = run(1, move |c| {
@@ -251,7 +262,10 @@ fn gpu_pipeline(
     }
     drop(t);
     let noct = l.len();
-    let n = (0..noct).filter(|&i| l.owned[i]).map(|i| l.points_of(i).len()).sum::<usize>();
+    let n = (0..noct)
+        .filter(|&i| l.owned[i])
+        .map(|i| l.points_of(i).len())
+        .sum::<usize>();
 
     // ---- Data-structure translation (measured; paper claims it is minor).
     let lay = GpuLayout::build(&l, &lists, 64);
@@ -317,7 +331,9 @@ fn gpu_pipeline(
                     continue;
                 }
                 let key = l.octs[i];
-                let Some(pi) = key.parent().and_then(|p| l.find(&p)) else { continue };
+                let Some(pi) = key.parent().and_then(|p| l.find(&p)) else {
+                    continue;
+                };
                 let (m, s) = ops.u2u(level, key.child_index());
                 tmp.copy_from_slice(&u[i * nsurf..(i + 1) * nsurf]);
                 m.matvec_acc_scaled(&tmp, &mut u[pi * nsurf..(pi + 1) * nsurf], s);
@@ -407,13 +423,25 @@ fn gpu_pipeline(
     }
     let mut hadamard_flops = 0u64;
     if !vtargets.is_empty() {
-        let (acc, had_stats) =
-            vli_hadamard(g, &pairs_off, &pair_khat, &pair_uhat, &pair_scale, &khats, &uhats);
+        let (acc, had_stats) = vli_hadamard(
+            g,
+            &pairs_off,
+            &pair_khat,
+            &pair_uhat,
+            &pair_scale,
+            &khats,
+            &uhats,
+        );
         hadamard_flops = had_stats.tally.flops;
         // Inverse transforms + surface extraction on the host.
         for (t, &bi) in vtargets.iter().enumerate() {
             let grid: Vec<pfmm_fft::Complex> = (0..g)
-                .map(|i| pfmm_fft::Complex::new(acc[t * 2 * g + 2 * i] as f64, acc[t * 2 * g + 2 * i + 1] as f64))
+                .map(|i| {
+                    pfmm_fft::Complex::new(
+                        acc[t * 2 * g + 2 * i] as f64,
+                        acc[t * 2 * g + 2 * i + 1] as f64,
+                    )
+                })
                 .collect();
             fft.finish(grid, &mut dcheck[bi * nsurf..(bi + 1) * nsurf]);
             fft_flops += fft_cost;
@@ -481,8 +509,15 @@ fn gpu_pipeline(
             }
             wlist_off.push(wlist.len() as u32);
         }
-        let (wout, wstats) =
-            crate::kernels::wli(&tgt_boxes, &lay.tgt, &wlist_off, &wlist, &wsrc_boxes, &equiv_rel, &wsrc_u);
+        let (wout, wstats) = crate::kernels::wli(
+            &tgt_boxes,
+            &lay.tgt,
+            &wlist_off,
+            &wlist,
+            &wsrc_boxes,
+            &equiv_rel,
+            &wsrc_u,
+        );
         let mut cursor = 0usize;
         for (tb, bx) in tgt_boxes.iter().enumerate() {
             let oct = lay.tgt_oct[tb] as usize;
@@ -557,7 +592,13 @@ fn gpu_pipeline(
                 }
                 let pos: Vec<[f64; 3]> = pts.iter().map(|p| p.pos).collect();
                 let den: Vec<f64> = pts.iter().map(|p| p.den[0]).collect();
-                direct_eval(&Laplace, &dc, &pos, &den, &mut dcheck[bi * nsurf..(bi + 1) * nsurf]);
+                direct_eval(
+                    &Laplace,
+                    &dc,
+                    &pos,
+                    &den,
+                    &mut dcheck[bi * nsurf..(bi + 1) * nsurf],
+                );
                 wx_flops += (pos.len() * nsurf) as u64 * 20;
             }
         }
@@ -749,7 +790,10 @@ mod tests {
         let dev = DeviceSpec::tesla_s1070();
         let big_q = run_gpu_fmm(pts.clone(), 1900, 4, &dev, false);
         let small_q = run_gpu_fmm(pts, 244, 4, &dev, false);
-        assert!(big_q.gpu_secs[1] > small_q.gpu_secs[1], "U-list grows with q");
+        assert!(
+            big_q.gpu_secs[1] > small_q.gpu_secs[1],
+            "U-list grows with q"
+        );
         assert!(
             big_q.cpu2009_secs[2] < small_q.cpu2009_secs[2],
             "V-list shrinks with q"

@@ -38,7 +38,7 @@ fn interact(t: [f32; 3], s: [f32; 4]) -> f32 {
     let dz = t[2] - s[2];
     let r2 = dx * dx + dy * dy + dz * dz;
     let inv = 1.0f32 / r2.sqrt(); // +inf at zero distance
-    // Intentional self-subtraction: inf - inf = NaN, max(NaN, 0) = 0.
+                                  // Intentional self-subtraction: inf - inf = NaN, max(NaN, 0) = 0.
     #[allow(clippy::eq_op)]
     let inv = (inv + (inv - inv)).max(0.0);
     s[3] * inv
@@ -133,7 +133,7 @@ pub fn s2u(
         let bx = boxes[blk];
         let pts = &src[bx.pt_off as usize..(bx.pt_off + bx.pt_len) as usize];
         tally.gmem_coalesced += (pts.len() * 16) as u64 + 16; // points + box record
-        // Check potential; surface points generated from (center, radius).
+                                                              // Check potential; surface points generated from (center, radius).
         let mut ucheck = vec![0.0f32; n];
         for (t, rel) in ucheck.iter_mut().zip(check_rel) {
             let x = [
@@ -348,7 +348,7 @@ mod tests {
     use super::*;
     use pfmm_kernels::direct_eval_f32;
     use pfmm_mpisim::run;
-    use pfmm_tree::{build_lists, build_let, points_to_octree, PointRec};
+    use pfmm_tree::{build_let, build_lists, points_to_octree, PointRec};
 
     fn layout_of(n: usize, q: usize, block: usize) -> (GpuLayout, Vec<PointRec>) {
         let pts: Vec<PointRec> = (0..n)
@@ -522,7 +522,11 @@ mod tests {
         let dot: f64 = u32s.iter().zip(&want).map(|(g, w)| *g as f64 * w).sum();
         let ng: f64 = u32s.iter().map(|g| (*g as f64).powi(2)).sum::<f64>().sqrt();
         let nw: f64 = want.iter().map(|w| w * w).sum::<f64>().sqrt();
-        assert!(dot / (ng * nw) > 0.999, "densities aligned: cos = {}", dot / (ng * nw));
+        assert!(
+            dot / (ng * nw) > 0.999,
+            "densities aligned: cos = {}",
+            dot / (ng * nw)
+        );
     }
 
     /// The D2T kernel must agree with direct f64 evaluation from the
@@ -551,11 +555,17 @@ mod tests {
         let tgts64: Vec<[f64; 3]> = (0..3)
             .map(|i| {
                 let t = i as f64 / 3.0;
-                [center[0] + radius * (t - 0.5), center[1], center[2] + radius * 0.3]
+                [
+                    center[0] + radius * (t - 0.5),
+                    center[1],
+                    center[2] + radius * 0.3,
+                ]
             })
             .collect();
-        let mut tgt: Vec<[f32; 3]> =
-            tgts64.iter().map(|p| [p[0] as f32, p[1] as f32, p[2] as f32]).collect();
+        let mut tgt: Vec<[f32; 3]> = tgts64
+            .iter()
+            .map(|p| [p[0] as f32, p[1] as f32, p[2] as f32])
+            .collect();
         tgt.resize(32, [2.0e9; 3]);
         let d64: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.21).sin()).collect();
         let d32: Vec<f32> = d64.iter().map(|&v| v as f32).collect();
@@ -573,7 +583,10 @@ mod tests {
         direct_eval(&Laplace, &tgts64, &de, &d64, &mut want);
         let scale = want.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
         for (g, w) in out.iter().take(3).zip(&want) {
-            assert!((*g as f64 - w).abs() < 1e-4 * scale.max(1e-30), "{g} vs {w}");
+            assert!(
+                (*g as f64 - w).abs() < 1e-4 * scale.max(1e-30),
+                "{g} vs {w}"
+            );
         }
     }
 
@@ -587,8 +600,15 @@ mod tests {
         let pair_khat = [0u32, 1, 0];
         let pair_uhat = [0u32, 2, 1];
         let pair_scale = [1.0f32, 0.5, 2.0];
-        let (out, stats) =
-            vli_hadamard(g, &pairs_off, &pair_khat, &pair_uhat, &pair_scale, &khats, &uhats);
+        let (out, stats) = vli_hadamard(
+            g,
+            &pairs_off,
+            &pair_khat,
+            &pair_uhat,
+            &pair_scale,
+            &khats,
+            &uhats,
+        );
         assert_eq!(out.len(), 2 * 2 * g);
         // Check one element of target 0 by hand.
         let i = 5;

@@ -78,7 +78,12 @@ impl GpuLayout {
             src_off.push(src.len() as u32);
             src_cnt.push(pts.len() as u32);
             for p in pts {
-                src.push([p.pos[0] as f32, p.pos[1] as f32, p.pos[2] as f32, p.den[0] as f32]);
+                src.push([
+                    p.pos[0] as f32,
+                    p.pos[1] as f32,
+                    p.pos[2] as f32,
+                    p.den[0] as f32,
+                ]);
             }
             // Zero-density padding far outside the cube: contributes 0
             // and cannot collide with a real target position.
@@ -160,7 +165,7 @@ impl GpuLayout {
 mod tests {
     use super::*;
     use pfmm_mpisim::run;
-    use pfmm_tree::{build_lists, build_let, points_to_octree, PointRec};
+    use pfmm_tree::{build_let, build_lists, points_to_octree, PointRec};
 
     fn small_let(n: usize, q: usize) -> (Let, Lists) {
         let pts: Vec<PointRec> = (0..n)
@@ -225,8 +230,7 @@ mod tests {
             let oct = lay.tgt_oct[tb] as usize;
             let self_sb = lay.src_box_of_oct[oct];
             assert!(self_sb >= 0);
-            let row =
-                &lay.ulist[lay.ulist_off[tb] as usize..lay.ulist_off[tb + 1] as usize];
+            let row = &lay.ulist[lay.ulist_off[tb] as usize..lay.ulist_off[tb + 1] as usize];
             assert!(row.contains(&(self_sb as u32)));
         }
     }

@@ -39,7 +39,11 @@ pub fn gpu_tune_sweep(
         .iter()
         .map(|&q| {
             let rep = run_gpu_fmm(sub.clone(), q, order, device, false);
-            GpuTunePoint { q, gpu_secs: rep.total_gpu(), cpu_secs: rep.total_cpu2009() }
+            GpuTunePoint {
+                q,
+                gpu_secs: rep.total_gpu(),
+                cpu_secs: rep.total_cpu2009(),
+            }
         })
         .collect()
 }
@@ -98,6 +102,9 @@ mod tests {
             .expect("nonempty")
             .q;
         assert!(best_gpu >= best_cpu, "gpu q {best_gpu} vs cpu q {best_cpu}");
-        assert_eq!(autotune_q_gpu(&pts, 4, &[16, 125, 1000], 16_000, &dev), best_gpu);
+        assert_eq!(
+            autotune_q_gpu(&pts, 4, &[16, 125, 1000], 16_000, &dev),
+            best_gpu
+        );
     }
 }

@@ -48,8 +48,8 @@ pub fn direct_eval_f32(targets: &[[f32; 3]], sources: &[[f32; 3]], densities: &[
                 let dz = x[2] - y[2];
                 let r2 = dx * dx + dy * dy + dz * dz;
                 let inv = 1.0f32 / r2.sqrt(); // +∞ when r2 == 0
-                // Intentional self-subtraction: ∞ − ∞ = NaN, and
-                // max(NaN, 0) = 0 suppresses the self term branch-free.
+                                              // Intentional self-subtraction: ∞ − ∞ = NaN, and
+                                              // max(NaN, 0) = 0 suppresses the self term branch-free.
                 #[allow(clippy::eq_op)]
                 let inv = (inv + (inv - inv)).max(0.0);
                 acc += s * inv;

@@ -30,7 +30,11 @@ impl Svd {
         } else {
             // SVD(Aᵀ) = (V, s, Uᵀ); swap factors back.
             let t = svd_tall(&a.transpose());
-            Svd { u: t.vt.transpose(), s: t.s, vt: t.u.transpose() }
+            Svd {
+                u: t.vt.transpose(),
+                s: t.s,
+                vt: t.u.transpose(),
+            }
         }
     }
 
@@ -150,7 +154,11 @@ pub fn pinv(a: &Matrix, rel_tol: f64) -> Matrix {
     let v = svd.vt.transpose();
     let mut vs = v.clone();
     for j in 0..r {
-        let inv = if svd.s[j] > cut && svd.s[j] > 0.0 { 1.0 / svd.s[j] } else { 0.0 };
+        let inv = if svd.s[j] > cut && svd.s[j] > 0.0 {
+            1.0 / svd.s[j]
+        } else {
+            0.0
+        };
         for i in 0..vs.rows() {
             vs[(i, j)] *= inv;
         }

@@ -106,7 +106,12 @@ impl Ord for MortonKey {
 impl MortonKey {
     /// The root octant: the whole unit cube.
     pub const fn root() -> Self {
-        MortonKey { x: 0, y: 0, z: 0, level: 0 }
+        MortonKey {
+            x: 0,
+            y: 0,
+            z: 0,
+            level: 0,
+        }
     }
 
     /// Build a key from an anchor on the finest grid and a level.
@@ -122,7 +127,12 @@ impl MortonKey {
             assert!(c < side, "anchor coordinate {c} outside grid");
             assert!(c % cell == 0, "anchor {c} unaligned for level {level}");
         }
-        MortonKey { x: anchor[0], y: anchor[1], z: anchor[2], level }
+        MortonKey {
+            x: anchor[0],
+            y: anchor[1],
+            z: anchor[2],
+            level,
+        }
     }
 
     /// The key of the level-`level` octant containing `p`.
@@ -139,7 +149,12 @@ impl MortonKey {
             let c = c.clamp(0.0, side - 1.0) as u32;
             a[d] = c & mask;
         }
-        MortonKey { x: a[0], y: a[1], z: a[2], level }
+        MortonKey {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+            level,
+        }
     }
 
     /// The finest-level key containing `p` (used as a point's sort id).
@@ -284,7 +299,11 @@ impl MortonKey {
     /// The ancestor of `self` at the given (coarser or equal) level.
     pub fn ancestor_at_level(&self, level: u32) -> Self {
         assert!(level <= self.level);
-        let mask = if level == 0 { 0 } else { !((1u32 << (MAX_DEPTH - level)) - 1) };
+        let mask = if level == 0 {
+            0
+        } else {
+            !((1u32 << (MAX_DEPTH - level)) - 1)
+        };
         MortonKey {
             x: self.x & mask,
             y: self.y & mask,
@@ -373,7 +392,10 @@ impl MortonKey {
     #[inline]
     fn bbox(&self) -> ([u32; 3], [u32; 3]) {
         let s = self.cell_units();
-        ([self.x, self.y, self.z], [self.x + s, self.y + s, self.z + s])
+        (
+            [self.x, self.y, self.z],
+            [self.x + s, self.y + s, self.z + s],
+        )
     }
 
     /// True if the closures of the two octants intersect (they share at
@@ -398,7 +420,12 @@ impl MortonKey {
     /// Deepest first descendant: the finest-level octant at this octant's
     /// anchor.
     pub fn deepest_first_descendant(&self) -> Self {
-        MortonKey { x: self.x, y: self.y, z: self.z, level: MAX_DEPTH }
+        MortonKey {
+            x: self.x,
+            y: self.y,
+            z: self.z,
+            level: MAX_DEPTH,
+        }
     }
 
     /// Deepest last descendant: the finest-level octant at the far corner.
@@ -427,7 +454,15 @@ mod tests {
 
     #[test]
     fn spread_compact_roundtrip() {
-        for x in [0u32, 1, 2, 255, 1 << 20, (1 << MAX_DEPTH) - 1, 0x2aaa_aaaa & ((1 << MAX_DEPTH) - 1)] {
+        for x in [
+            0u32,
+            1,
+            2,
+            255,
+            1 << 20,
+            (1 << MAX_DEPTH) - 1,
+            0x2aaa_aaaa & ((1 << MAX_DEPTH) - 1),
+        ] {
             assert_eq!(compact3(spread3(x)), x, "x={x}");
         }
     }

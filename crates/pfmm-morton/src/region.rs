@@ -223,6 +223,9 @@ mod tests {
 
     #[test]
     fn complete_octree_of_root_is_root() {
-        assert_eq!(complete_octree(vec![MortonKey::root()]), vec![MortonKey::root()]);
+        assert_eq!(
+            complete_octree(vec![MortonKey::root()]),
+            vec![MortonKey::root()]
+        );
     }
 }

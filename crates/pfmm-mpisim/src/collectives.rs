@@ -20,7 +20,9 @@ const TAG_BARRIER: u32 = TAG_COLL + 4;
 /// Synchronize all ranks.
 pub fn barrier(c: &Comm) {
     // Empty-payload reduce-to-0 followed by broadcast.
-    reduce_vec::<u8>(c, Vec::new(), TAG_BARRIER, |_, _| unreachable!("empty payload"));
+    reduce_vec::<u8>(c, Vec::new(), TAG_BARRIER, |_, _| {
+        unreachable!("empty payload")
+    });
     bcast_vec::<u8>(c, Vec::new(), TAG_BARRIER);
 }
 
@@ -161,7 +163,11 @@ mod tests {
     fn bcast_from_root() {
         for p in [1, 2, 3, 4, 7, 8] {
             let out = run(p, |c| {
-                let data = if c.rank() == 0 { vec![3.5f64, 4.5] } else { Vec::new() };
+                let data = if c.rank() == 0 {
+                    vec![3.5f64, 4.5]
+                } else {
+                    Vec::new()
+                };
                 bcast(c, data)
             });
             for v in out {
@@ -218,8 +224,9 @@ mod tests {
     fn alltoallv_transpose() {
         let p = 4;
         let out = run(p, |c| {
-            let outgoing: Vec<Vec<u64>> =
-                (0..p).map(|dest| vec![(c.rank() * 10 + dest) as u64]).collect();
+            let outgoing: Vec<Vec<u64>> = (0..p)
+                .map(|dest| vec![(c.rank() * 10 + dest) as u64])
+                .collect();
             alltoallv(c, outgoing)
         });
         for (rank, recvd) in out.iter().enumerate() {

@@ -17,4 +17,4 @@
 pub mod collectives;
 pub mod comm;
 
-pub use comm::{run, Comm, CommStats, Wire};
+pub use comm::{run, Comm, CommStats, RecvReq, SendReq, Wire};

@@ -28,13 +28,19 @@ impl MachineParams {
     /// Cray XT5 (Kraken)-era SeaStar2+ interconnect: ≈6 µs latency,
     /// ≈2 GB/s usable per-link bandwidth.
     pub fn kraken() -> MachineParams {
-        MachineParams { ts: 6e-6, tw: 0.5e-9 }
+        MachineParams {
+            ts: 6e-6,
+            tw: 0.5e-9,
+        }
     }
 
     /// Dell cluster (Lincoln)-era InfiniBand SDR: ≈5 µs latency,
     /// ≈1 GB/s usable bandwidth (the paper's GPU machine).
     pub fn lincoln() -> MachineParams {
-        MachineParams { ts: 5e-6, tw: 1.0e-9 }
+        MachineParams {
+            ts: 5e-6,
+            tw: 1.0e-9,
+        }
     }
 }
 
@@ -122,7 +128,11 @@ impl FmmModel {
             }
         }
         let c_sort = fit1(samples.iter().map(|s| (sort_term(s.n, s.p), s.sort_secs)));
-        let c_setup = fit1(samples.iter().map(|s| (setup_term(s.n, s.p), s.setup_rest_secs)));
+        let c_setup = fit1(
+            samples
+                .iter()
+                .map(|s| (setup_term(s.n, s.p), s.setup_rest_secs)),
+        );
         let c_eval = fit1(samples.iter().map(|s| (s.n / s.p, s.eval_secs)));
         let c_comm_bytes = fit1(
             samples
@@ -130,7 +140,13 @@ impl FmmModel {
                 .filter(|s| s.p > 1.0)
                 .map(|s| (comm_term(s.n, s.p), s.comm_bytes)),
         );
-        FmmModel { machine, c_sort, c_setup, c_eval, c_comm_bytes }
+        FmmModel {
+            machine,
+            c_sort,
+            c_setup,
+            c_eval,
+            c_comm_bytes,
+        }
     }
 
     /// Build a model from explicit constants (tests, what-if studies).
@@ -141,7 +157,13 @@ impl FmmModel {
         c_eval: f64,
         c_comm_bytes: f64,
     ) -> FmmModel {
-        FmmModel { machine, c_sort, c_setup, c_eval, c_comm_bytes }
+        FmmModel {
+            machine,
+            c_sort,
+            c_setup,
+            c_eval,
+            c_comm_bytes,
+        }
     }
 
     /// Predict phase times for `n` points on `p` ranks.
@@ -213,7 +235,10 @@ mod tests {
         let per_rank = 1e5;
         let t16 = m.predict(per_rank * 16.0, 16.0);
         let t65536 = m.predict(per_rank * 65536.0, 65536.0);
-        assert!((t16.eval - t65536.eval).abs() < 1e-9, "local eval constant in weak scaling");
+        assert!(
+            (t16.eval - t65536.eval).abs() < 1e-9,
+            "local eval constant in weak scaling"
+        );
         // Communication grows like sqrt(p): the paper's observed 1.5x
         // creep from 16 to 64k cores comes from this term.
         assert!(t65536.comm > t16.comm);
@@ -258,6 +283,10 @@ mod tests {
         // seconds, not milliseconds or hours.
         let m = FmmModel::from_constants(MachineParams::kraken(), 2e-8, 5e-6, 6e-4, 2000.0);
         let pr = m.predict(150_000.0 * 65536.0, 65536.0);
-        assert!(pr.evaluation() > 10.0 && pr.evaluation() < 1000.0, "{:?}", pr);
+        assert!(
+            pr.evaluation() > 10.0 && pr.evaluation() < 1000.0,
+            "{:?}",
+            pr
+        );
     }
 }

@@ -1,0 +1,113 @@
+//! Shared buffers whose safety derives from the task graph.
+
+use std::cell::UnsafeCell;
+use std::sync::Mutex;
+
+/// A vector that many tasks mutate concurrently through *disjoint*
+/// slices.
+///
+/// The FMM pipeline's outputs (potentials, check values, densities) are
+/// long vectors chunked by octant range; each chunk task writes only its
+/// own range, and chunk boundaries never move while the graph runs. The
+/// graph's dependency edges — not a lock — are what keep writers apart,
+/// so the accessor is `unsafe`: the caller asserts that no two tasks
+/// that can run concurrently take overlapping ranges.
+pub struct GraphBuf<T> {
+    data: UnsafeCell<Vec<T>>,
+}
+
+// Safety: disjoint `&mut` slices handed to different threads are exactly
+// what `split_at_mut` would produce; the graph supplies the disjointness.
+unsafe impl<T: Send> Sync for GraphBuf<T> {}
+
+impl<T> GraphBuf<T> {
+    pub fn new(v: Vec<T>) -> Self {
+        GraphBuf {
+            data: UnsafeCell::new(v),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        // Safety: the length is never changed while the buffer is shared.
+        unsafe { (&*self.data.get()).len() }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutable view of `start..start + len`.
+    ///
+    /// # Safety
+    /// Tasks holding overlapping ranges must be ordered by dependency
+    /// edges, and no task may call [`GraphBuf::as_slice`] while another
+    /// concurrently-runnable task writes any element.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        let v = &mut *self.data.get();
+        &mut v[start..start + len]
+    }
+
+    /// Read-only view of the whole buffer.
+    ///
+    /// # Safety
+    /// No concurrently-runnable task may hold a mutable slice.
+    pub unsafe fn as_slice(&self) -> &[T] {
+        let v = &*self.data.get();
+        &v[..]
+    }
+
+    /// Recover the vector once the graph has finished.
+    pub fn into_inner(self) -> Vec<T> {
+        self.data.into_inner()
+    }
+}
+
+/// A single-assignment cell for passing an owned value along a graph
+/// edge (e.g. the reduce-and-scatter comm task deposits the received
+/// ghost densities; the V-list tasks take a shared reference later).
+///
+/// Unlike [`GraphBuf`] this is fully safe: a `Mutex` guards the slot,
+/// and the expected discipline (producer `put`s once, consumers `take`
+/// or `with` after a dependency edge) is asserted at runtime.
+pub struct Slot<T> {
+    inner: Mutex<Option<T>>,
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slot<T> {
+    pub fn new() -> Self {
+        Slot {
+            inner: Mutex::new(None),
+        }
+    }
+
+    /// Deposit the value. Panics if the slot is already full.
+    pub fn put(&self, v: T) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(g.is_none(), "Slot::put called twice");
+        *g = Some(v);
+    }
+
+    /// Remove and return the value. Panics if empty — which means a
+    /// missing dependency edge, not a timing accident.
+    pub fn take(&self) -> T {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("Slot::take before put — missing graph dependency?")
+    }
+
+    /// Borrow the value in place (for multiple consumer tasks).
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f(g.as_ref()
+            .expect("Slot::with before put — missing graph dependency?"))
+    }
+}

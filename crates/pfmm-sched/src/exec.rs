@@ -1,0 +1,301 @@
+//! Ready-queue + work-stealing executor with a driver-thread comm loop.
+//!
+//! Threading model (mirrors `MPI_THREAD_FUNNELED`): the calling thread —
+//! the *driver*, which owns the rank's `Comm` handle — polls in-flight
+//! communication tasks and helps with compute while none are active;
+//! `workers` extra threads execute compute tasks, preferring their own
+//! deque (LIFO, for locality), then stealing from siblings and the
+//! shared injector (FIFO).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+use crate::graph::{CommPoll, CycleError, Graph, Work};
+
+/// What the executor measured while running a graph.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Wall-clock seconds summed per phase label. Compute phases sum the
+    /// closure run times across all workers (i.e. *core*-seconds); comm
+    /// phases count the in-flight window from activation to completion.
+    pub phase_secs: BTreeMap<&'static str, f64>,
+    /// Compute seconds that executed while at least one comm task was in
+    /// flight — latency a bulk-synchronous schedule would not have hidden.
+    pub overlap_secs: f64,
+    /// End-to-end wall-clock of the whole graph.
+    pub wall_secs: f64,
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Compute worker threads used (the driver thread is extra).
+    pub workers: usize,
+}
+
+struct Interval {
+    phase: &'static str,
+    comm: bool,
+    t0: f64,
+    t1: f64,
+}
+
+type ComputeBox<'env> = Box<dyn FnOnce() + Send + 'env>;
+type CommBox<'env> = Box<dyn FnMut() -> CommPoll + 'env>;
+
+struct Shared<'env> {
+    compute: Vec<Mutex<Option<ComputeBox<'env>>>>,
+    children: Vec<Vec<usize>>,
+    indeg: Vec<AtomicUsize>,
+    phases: Vec<&'static str>,
+    is_comm: Vec<bool>,
+    /// Global FIFO of ready compute tasks.
+    injector: Mutex<VecDeque<usize>>,
+    /// Per-worker deques (owner pops the back, thieves steal the front).
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// Comm tasks whose dependencies completed, awaiting driver adoption.
+    comm_ready: Mutex<Vec<usize>>,
+    remaining: AtomicUsize,
+    intervals: Mutex<Vec<Interval>>,
+    epoch: Instant,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<'env> Shared<'env> {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Mark `t` complete: decrement children, enqueue those that became
+    /// ready. Compute children go to `home` (the finisher's own deque,
+    /// or the injector when the driver finished the task).
+    fn finish(&self, t: usize, home: Option<usize>) {
+        for &c in &self.children[t] {
+            if self.indeg[c].fetch_sub(1, Ordering::AcqRel) == 1 {
+                if self.is_comm[c] {
+                    lock(&self.comm_ready).push(c);
+                } else if let Some(w) = home {
+                    lock(&self.locals[w]).push_back(c);
+                } else {
+                    lock(&self.injector).push_back(c);
+                }
+            }
+        }
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn grab(&self, me: Option<usize>) -> Option<usize> {
+        if let Some(w) = me {
+            if let Some(t) = lock(&self.locals[w]).pop_back() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = lock(&self.injector).pop_front() {
+            return Some(t);
+        }
+        for (i, q) in self.locals.iter().enumerate() {
+            if Some(i) == me {
+                continue;
+            }
+            if let Some(t) = lock(q).pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn exec_compute(&self, t: usize, me: Option<usize>) {
+        let f = lock(&self.compute[t])
+            .take()
+            .expect("compute task executed twice");
+        let t0 = self.now();
+        f();
+        let t1 = self.now();
+        lock(&self.intervals).push(Interval {
+            phase: self.phases[t],
+            comm: false,
+            t0,
+            t1,
+        });
+        self.finish(t, me);
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>, w: usize) {
+    let mut idle = 0u32;
+    while shared.remaining.load(Ordering::Acquire) > 0 {
+        match shared.grab(Some(w)) {
+            Some(t) => {
+                idle = 0;
+                shared.exec_compute(t, Some(w));
+            }
+            None => {
+                idle += 1;
+                if idle < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+fn driver_loop<'env>(shared: &Shared<'env>, comm_works: &mut [Option<CommBox<'env>>]) {
+    // (task, activation time) of comm tasks currently being polled.
+    let mut active: Vec<(usize, f64)> = Vec::new();
+    while shared.remaining.load(Ordering::Acquire) > 0 {
+        {
+            let mut ready = lock(&shared.comm_ready);
+            for t in ready.drain(..) {
+                active.push((t, shared.now()));
+            }
+        }
+        if !active.is_empty() {
+            // Communication in flight: poll every active exchange, let
+            // the workers supply the overlapping compute.
+            let mut i = 0;
+            while i < active.len() {
+                let (t, t0) = active[i];
+                let poll = comm_works[t]
+                    .as_mut()
+                    .expect("comm task polled after completion");
+                if poll() == CommPoll::Ready {
+                    let t1 = shared.now();
+                    lock(&shared.intervals).push(Interval {
+                        phase: shared.phases[t],
+                        comm: true,
+                        t0,
+                        t1,
+                    });
+                    comm_works[t] = None;
+                    shared.finish(t, None);
+                    active.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            std::thread::yield_now();
+        } else if let Some(t) = shared.grab(None) {
+            shared.exec_compute(t, None);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Execute `graph` with `workers` compute threads plus the calling
+/// (driver) thread. Returns after every task has completed.
+///
+/// Fails with [`CycleError`] — before running anything — if the graph
+/// has a dependency cycle. Panics in task closures propagate once the
+/// scope joins, as with [`std::thread::scope`].
+pub fn run(graph: Graph<'_>, workers: usize) -> Result<RunReport, CycleError> {
+    let indeg = graph.validate()?;
+    let n = graph.nodes.len();
+
+    let mut compute = Vec::with_capacity(n);
+    let mut comm_works: Vec<Option<CommBox<'_>>> = Vec::with_capacity(n);
+    let mut is_comm = vec![false; n];
+    let mut phases = Vec::with_capacity(n);
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in graph.nodes.into_iter().enumerate() {
+        phases.push(node.phase);
+        for &d in &node.deps {
+            children[d].push(i);
+        }
+        match node.work {
+            Work::Compute(f) => {
+                compute.push(Mutex::new(Some(f)));
+                comm_works.push(None);
+            }
+            Work::Comm(p) => {
+                compute.push(Mutex::new(None));
+                comm_works.push(Some(p));
+                is_comm[i] = true;
+            }
+        }
+    }
+
+    let shared = Shared {
+        compute,
+        children,
+        indeg: indeg.iter().copied().map(AtomicUsize::new).collect(),
+        phases,
+        is_comm: is_comm.clone(),
+        injector: Mutex::new(VecDeque::new()),
+        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        comm_ready: Mutex::new(Vec::new()),
+        remaining: AtomicUsize::new(n),
+        intervals: Mutex::new(Vec::with_capacity(n)),
+        epoch: Instant::now(),
+    };
+
+    // Seed the queues with the sources.
+    for (i, &d) in indeg.iter().enumerate() {
+        if d == 0 {
+            if is_comm[i] {
+                lock(&shared.comm_ready).push(i);
+            } else {
+                lock(&shared.injector).push_back(i);
+            }
+        }
+    }
+
+    std::thread::scope(|s| {
+        let shared = &shared;
+        for w in 0..workers {
+            s.spawn(move || worker_loop(shared, w));
+        }
+        driver_loop(shared, &mut comm_works);
+    });
+
+    let wall_secs = shared.now();
+    let intervals = shared
+        .intervals
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner());
+
+    let mut phase_secs: BTreeMap<&'static str, f64> = BTreeMap::new();
+    for iv in &intervals {
+        *phase_secs.entry(iv.phase).or_default() += iv.t1 - iv.t0;
+    }
+
+    // Overlap: compute time inside the union of comm in-flight windows.
+    let mut comm_ivs: Vec<(f64, f64)> = intervals
+        .iter()
+        .filter(|i| i.comm)
+        .map(|i| (i.t0, i.t1))
+        .collect();
+    comm_ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    for (a, b) in comm_ivs {
+        match merged.last_mut() {
+            Some(last) if last.1 >= a => last.1 = last.1.max(b),
+            _ => merged.push((a, b)),
+        }
+    }
+    let mut overlap_secs = 0.0;
+    for iv in intervals.iter().filter(|i| !i.comm) {
+        for &(a, b) in &merged {
+            if a > iv.t1 {
+                break;
+            }
+            let lo = a.max(iv.t0);
+            let hi = b.min(iv.t1);
+            if hi > lo {
+                overlap_secs += hi - lo;
+            }
+        }
+    }
+
+    Ok(RunReport {
+        phase_secs,
+        overlap_secs,
+        wall_secs,
+        tasks: n,
+        workers,
+    })
+}

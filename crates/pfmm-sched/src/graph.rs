@@ -1,0 +1,162 @@
+//! Task-graph construction and validation.
+
+use std::fmt;
+
+/// Handle to a task node returned by [`Graph::task`] / [`Graph::comm`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskId(pub(crate) usize);
+
+/// Result of one poll of a communication task.
+///
+/// A comm task's closure is invoked repeatedly on the driver thread; it
+/// should advance its non-blocking requests (`isend`/`irecv` tests) and
+/// report whether the whole exchange has completed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CommPoll {
+    /// Requests still in flight — poll again later.
+    Pending,
+    /// The exchange finished; dependent tasks may run.
+    Ready,
+}
+
+/// The work attached to a node.
+pub(crate) enum Work<'env> {
+    /// Runs once, on any worker thread.
+    Compute(Box<dyn FnOnce() + Send + 'env>),
+    /// Polled on the driver thread until it returns [`CommPoll::Ready`].
+    /// Deliberately not `Send`: it closes over the rank's `Comm` handle.
+    Comm(Box<dyn FnMut() -> CommPoll + 'env>),
+}
+
+pub(crate) struct Node<'env> {
+    pub phase: &'static str,
+    pub work: Work<'env>,
+    pub deps: Vec<usize>,
+}
+
+/// A directed acyclic graph of compute and communication tasks.
+///
+/// Dependencies are *data* dependencies: an edge `a → b` means `b` may
+/// read what `a` wrote. The executor guarantees nothing beyond edges, so
+/// two tasks that both mutate the same location must be ordered by a
+/// dependency chain (or write disjoint slices via [`crate::GraphBuf`]).
+#[derive(Default)]
+pub struct Graph<'env> {
+    pub(crate) nodes: Vec<Node<'env>>,
+}
+
+impl<'env> Graph<'env> {
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Add a compute task attributed to `phase`, depending on `deps`.
+    pub fn task(
+        &mut self,
+        phase: &'static str,
+        deps: &[TaskId],
+        f: impl FnOnce() + Send + 'env,
+    ) -> TaskId {
+        self.push(phase, deps, Work::Compute(Box::new(f)))
+    }
+
+    /// Add a communication task: `poll` is called on the driver thread
+    /// until it returns [`CommPoll::Ready`].
+    pub fn comm(
+        &mut self,
+        phase: &'static str,
+        deps: &[TaskId],
+        poll: impl FnMut() -> CommPoll + 'env,
+    ) -> TaskId {
+        self.push(phase, deps, Work::Comm(Box::new(poll)))
+    }
+
+    /// Add a dependency edge `dep → task` after both nodes exist.
+    ///
+    /// Edges added this way can create cycles; [`crate::run`] rejects a
+    /// cyclic graph with [`CycleError`] before executing anything.
+    pub fn add_dep(&mut self, task: TaskId, dep: TaskId) {
+        assert!(task.0 < self.nodes.len() && dep.0 < self.nodes.len());
+        self.nodes[task.0].deps.push(dep.0);
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, phase: &'static str, deps: &[TaskId], work: Work<'env>) -> TaskId {
+        let id = self.nodes.len();
+        for d in deps {
+            assert!(d.0 < id, "dependency on a not-yet-added task");
+        }
+        self.nodes.push(Node {
+            phase,
+            work,
+            deps: deps.iter().map(|d| d.0).collect(),
+        });
+        TaskId(id)
+    }
+
+    /// Kahn's algorithm: `Ok(indegrees)` if acyclic, else the nodes on
+    /// (or downstream of) a cycle.
+    pub(crate) fn validate(&self) -> Result<Vec<usize>, CycleError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &d in &node.deps {
+                indeg[i] += 1;
+                children[d].push(i);
+            }
+        }
+        let mut remaining = indeg.clone();
+        let mut stack: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(t) = stack.pop() {
+            seen += 1;
+            for &c in &children[t] {
+                remaining[c] -= 1;
+                if remaining[c] == 0 {
+                    stack.push(c);
+                }
+            }
+        }
+        if seen == n {
+            Ok(indeg)
+        } else {
+            let stuck = (0..n)
+                .filter(|&i| remaining[i] > 0)
+                .map(|i| (TaskId(i), self.nodes[i].phase))
+                .collect();
+            Err(CycleError { stuck })
+        }
+    }
+}
+
+/// The graph contains a dependency cycle; running it would deadlock.
+#[derive(Debug)]
+pub struct CycleError {
+    /// Nodes that can never become ready (the cycle and everything
+    /// blocked behind it), with their phase labels.
+    pub stuck: Vec<(TaskId, &'static str)>,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task graph has a cycle; {} node(s) unreachable:",
+            self.stuck.len()
+        )?;
+        for (id, phase) in &self.stuck {
+            write!(f, " #{}[{}]", id.0, phase)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CycleError {}

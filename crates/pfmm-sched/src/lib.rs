@@ -1,0 +1,43 @@
+//! A dependency-graph task runtime for the FMM evaluation pipeline.
+//!
+//! The paper's distributed evaluation (§3, Algorithm 2) is a sequence of
+//! phases — S2U, the upward pass, the hypercube reduce-and-scatter, the
+//! U/V/W/X interaction lists, the downward pass — whose *bulk-synchronous*
+//! rendering leaves the network idle while ranks compute and the cores
+//! idle while ranks communicate. The paper hides this latency by
+//! overlapping the U-list (direct) interactions, which need no remote
+//! multipole data, with the reduce-and-scatter that delivers everyone
+//! else's. This crate provides the machinery for that overlap without
+//! hard-coding the pipeline:
+//!
+//! * [`Graph`]: task nodes with explicit data dependencies. A node is
+//!   either a **compute task** (a `Send` closure, eligible to run on any
+//!   worker) or a **comm task** (a *poll* closure driving non-blocking
+//!   [`pfmm-mpisim`] requests; `!Send`, pinned to the thread that owns
+//!   the `Comm` handle, mirroring `MPI_THREAD_FUNNELED`).
+//! * [`run`]: a ready-queue + work-stealing executor. Worker threads
+//!   execute compute tasks; the calling (driver) thread polls in-flight
+//!   comm tasks and helps with compute while no communication is active.
+//! * Cycle detection (Kahn's algorithm) before anything executes — a
+//!   mis-built graph fails fast with the offending nodes instead of
+//!   deadlocking.
+//! * Per-task wall-clock timing rolled up by phase name, plus an
+//!   *overlap* metric: the compute seconds that executed while a comm
+//!   task was in flight — exactly the time a barrier pipeline would have
+//!   spent twice.
+//!
+//! Determinism: the scheduler promises that a task runs only after all
+//! its dependencies completed, and nothing else. Bitwise-reproducible
+//! results across worker counts are therefore a property of the *graph*:
+//! if every floating-point accumulation order is fixed by the dependency
+//! edges (as the FMM port in `pfmm-core` arranges), 1, 2 or 8 workers
+//! produce identical bits. [`GraphBuf`] supports the common pattern of
+//! many tasks writing disjoint slices of one output vector.
+
+mod buf;
+mod exec;
+mod graph;
+
+pub use buf::{GraphBuf, Slot};
+pub use exec::{run, RunReport};
+pub use graph::{CommPoll, CycleError, Graph, TaskId};

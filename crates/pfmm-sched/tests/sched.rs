@@ -1,0 +1,181 @@
+//! Scheduler contract tests: determinism across worker counts, cycle
+//! rejection, comm-task ordering and the overlap metric.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use pfmm_sched::{run, CommPoll, Graph, GraphBuf, Slot};
+
+/// Build a graph that fills a buffer through per-chunk chains of
+/// floating-point accumulations (the accumulation order within each
+/// chunk is fixed by dependency edges), run it, and return the result.
+fn chunked_pipeline(workers: usize) -> Vec<f64> {
+    const N: usize = 4096;
+    const CHUNK: usize = 256;
+    let buf = GraphBuf::new(vec![0.0f64; N]);
+    {
+        let mut g = Graph::new();
+        for (k, start) in (0..N).step_by(CHUNK).enumerate() {
+            let b = &buf;
+            let init = g.task("init", &[], move || {
+                // Safety: each chunk task owns its disjoint range and the
+                // per-chunk chain orders the writers.
+                let s = unsafe { b.slice_mut(start, CHUNK) };
+                for (i, x) in s.iter_mut().enumerate() {
+                    *x = ((start + i) as f64 * 0.37 + k as f64).sin();
+                }
+            });
+            let accum = g.task("accum", &[init], move || {
+                let s = unsafe { b.slice_mut(start, CHUNK) };
+                // A running sum whose rounding depends on order — any
+                // scheduler-induced reordering would change the bits.
+                let mut acc = 0.0f64;
+                for x in s.iter_mut() {
+                    acc += *x * 1.000000119;
+                    *x = acc;
+                }
+            });
+            g.task("scale", &[accum], move || {
+                let s = unsafe { b.slice_mut(start, CHUNK) };
+                for x in s.iter_mut() {
+                    *x *= 0.5;
+                }
+            });
+        }
+        let rep = run(g, workers).expect("acyclic");
+        assert_eq!(rep.tasks, 3 * N / CHUNK);
+        assert!(rep.phase_secs.contains_key("accum"));
+    }
+    buf.into_inner()
+}
+
+#[test]
+fn identical_bits_under_1_2_8_workers() {
+    let r1 = chunked_pipeline(1);
+    let r2 = chunked_pipeline(2);
+    let r8 = chunked_pipeline(8);
+    assert!(r1.iter().any(|&x| x != 0.0), "pipeline produced data");
+    for i in 0..r1.len() {
+        assert_eq!(r1[i].to_bits(), r2[i].to_bits(), "1 vs 2 workers at {i}");
+        assert_eq!(r1[i].to_bits(), r8[i].to_bits(), "1 vs 8 workers at {i}");
+    }
+}
+
+#[test]
+fn cycle_is_rejected_before_anything_runs() {
+    let ran = Arc::new(AtomicUsize::new(0));
+    let mut g = Graph::new();
+    let r = ran.clone();
+    let a = g.task("a", &[], move || {
+        r.fetch_add(1, Ordering::SeqCst);
+    });
+    let r = ran.clone();
+    let b = g.task("b", &[a], move || {
+        r.fetch_add(1, Ordering::SeqCst);
+    });
+    let r = ran.clone();
+    let c = g.task("c", &[b], move || {
+        r.fetch_add(1, Ordering::SeqCst);
+    });
+    // Close the loop a → b → c → a: running this would deadlock a
+    // naive executor; ours must refuse up front.
+    g.add_dep(a, c);
+    let err = run(g, 2).expect_err("cycle must be detected");
+    assert_eq!(err.stuck.len(), 3, "all three nodes are stuck: {err}");
+    assert_eq!(ran.load(Ordering::SeqCst), 0, "no task may have run");
+}
+
+#[test]
+fn diamond_order_respected() {
+    // a → {b, c} → d, checked via a sequence log.
+    let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut g = Graph::new();
+    let l = log.clone();
+    let a = g.task("a", &[], move || l.lock().unwrap().push('a'));
+    let l = log.clone();
+    let b = g.task("b", &[a], move || l.lock().unwrap().push('b'));
+    let l = log.clone();
+    let c = g.task("c", &[a], move || l.lock().unwrap().push('c'));
+    let l = log.clone();
+    g.task("d", &[b, c], move || l.lock().unwrap().push('d'));
+    run(g, 4).unwrap();
+    let seq = log.lock().unwrap().clone();
+    assert_eq!(seq.len(), 4);
+    assert_eq!(seq[0], 'a');
+    assert_eq!(seq[3], 'd');
+}
+
+#[test]
+fn comm_task_gates_dependents_and_overlaps_compute() {
+    // A comm task that needs many polls to finish; independent compute
+    // tasks must run *during* it (overlap > 0), and the dependent task
+    // must only see the slot filled after Ready.
+    let slot = Slot::new();
+    let polls = AtomicUsize::new(0);
+    let mut g = Graph::new();
+    let s = &slot;
+    let p = &polls;
+    let comm = g.comm("Comm", &[], move || {
+        let n = p.fetch_add(1, Ordering::SeqCst);
+        if n >= 400 {
+            if n == 400 {
+                s.put(vec![1u32, 2, 3]);
+            }
+            CommPoll::Ready
+        } else {
+            std::thread::yield_now();
+            CommPoll::Pending
+        }
+    });
+    // Independent busywork eligible to overlap with the comm window.
+    for i in 0..16 {
+        g.task("Ulist", &[], move || {
+            let mut acc = 0.0f64;
+            for j in 0..200_000 {
+                acc += ((i * j) as f64).sqrt();
+            }
+            assert!(acc >= 0.0);
+        });
+    }
+    let got = Slot::new();
+    let gref = &got;
+    g.task("Dcheck", &[comm], move || {
+        gref.put(s.with(|v| v.iter().sum::<u32>()));
+    });
+    let rep = run(g, 2).unwrap();
+    assert_eq!(got.take(), 6, "dependent saw the comm payload");
+    assert!(
+        polls.load(Ordering::SeqCst) > 400,
+        "comm task was polled repeatedly"
+    );
+    assert!(
+        rep.overlap_secs > 0.0,
+        "compute overlapped the comm window: {rep:?}"
+    );
+    assert!(rep.phase_secs["Comm"] > 0.0);
+    assert!(rep.phase_secs["Ulist"] > 0.0);
+}
+
+#[test]
+fn empty_graph_runs() {
+    let rep = run(Graph::new(), 3).unwrap();
+    assert_eq!(rep.tasks, 0);
+    assert_eq!(rep.overlap_secs, 0.0);
+}
+
+#[test]
+fn driver_alone_executes_everything() {
+    // workers = 0: the driver thread runs all compute itself.
+    let done = AtomicUsize::new(0);
+    let mut g = Graph::new();
+    let d = &done;
+    let a = g.task("x", &[], move || {
+        d.fetch_add(1, Ordering::SeqCst);
+    });
+    let d = &done;
+    g.task("y", &[a], move || {
+        d.fetch_add(10, Ordering::SeqCst);
+    });
+    run(g, 0).unwrap();
+    assert_eq!(done.load(Ordering::SeqCst), 11);
+}

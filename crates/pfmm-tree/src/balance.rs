@@ -110,8 +110,7 @@ mod tests {
             // s itself (or a refinement of it) is present; no ancestor of
             // s is a leaf.
             assert!(
-                out.binary_search(s).is_ok()
-                    || out.iter().any(|o| s.is_ancestor_of(o)),
+                out.binary_search(s).is_ok() || out.iter().any(|o| s.is_ancestor_of(o)),
                 "seed preserved or refined"
             );
             assert!(

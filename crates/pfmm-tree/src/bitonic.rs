@@ -16,9 +16,9 @@
 //! pipeline and the `pipeline` criterion bench compares them.
 
 use crate::point::PointRec;
+use pfmm_morton::RANK_SPAN;
 use pfmm_mpisim::collectives::allgather_one;
 use pfmm_mpisim::Comm;
-use pfmm_morton::RANK_SPAN;
 
 const TAG_BITONIC: u32 = 0x30;
 const SENTINEL: u128 = u128::MAX;
@@ -34,7 +34,10 @@ type Keyed = (u128, PointRec);
 /// network is a hypercube algorithm; use sample sort otherwise).
 pub fn bitonic_sort_points(c: &Comm, pts: Vec<PointRec>) -> (Vec<PointRec>, Vec<u128>) {
     let p = c.size();
-    assert!(p.is_power_of_two(), "bitonic sort requires a power-of-two communicator");
+    assert!(
+        p.is_power_of_two(),
+        "bitonic sort requires a power-of-two communicator"
+    );
     let mut block: Vec<Keyed> = pts.into_iter().map(|r| (r.key_rank(), r)).collect();
     block.sort_unstable_by_key(|(k, r)| (*k, r.gid));
     if p == 1 {
@@ -61,8 +64,11 @@ pub fn bitonic_sort_points(c: &Comm, pts: Vec<PointRec>) -> (Vec<PointRec>, Vec<
         }
     }
 
-    let out: Vec<PointRec> =
-        block.into_iter().filter(|(k, _)| *k != SENTINEL).map(|(_, r)| r).collect();
+    let out: Vec<PointRec> = block
+        .into_iter()
+        .filter(|(k, _)| *k != SENTINEL)
+        .map(|(_, r)| r)
+        .collect();
 
     // Region fence from the final first keys (empty ranks inherit their
     // right neighbor's start).
@@ -71,7 +77,11 @@ pub fn bitonic_sort_points(c: &Comm, pts: Vec<PointRec>) -> (Vec<PointRec>, Vec<
     let mut region = vec![0u128; p + 1];
     region[p] = RANK_SPAN;
     for k in (1..p).rev() {
-        region[k] = if firsts[k] != u128::MAX { firsts[k] } else { region[k + 1] };
+        region[k] = if firsts[k] != u128::MAX {
+            firsts[k]
+        } else {
+            region[k + 1]
+        };
     }
     (out, region)
 }
@@ -122,7 +132,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 PointRec::scalar(
-                    [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+                    [
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                    ],
                     1.0,
                     base_gid + i as u64,
                 )
@@ -182,16 +196,22 @@ mod tests {
             (bit, smp)
         });
         // Concatenated global sequences must be identical.
-        let a: Vec<u64> =
-            both.iter().flat_map(|pair| pair.0.iter().map(|r| r.gid)).collect();
-        let b: Vec<u64> =
-            both.iter().flat_map(|pair| pair.1.iter().map(|r| r.gid)).collect();
+        let a: Vec<u64> = both
+            .iter()
+            .flat_map(|pair| pair.0.iter().map(|r| r.gid))
+            .collect();
+        let b: Vec<u64> = both
+            .iter()
+            .flat_map(|pair| pair.1.iter().map(|r| r.gid))
+            .collect();
         assert_eq!(a, b);
     }
 
     #[test]
     #[should_panic(expected = "rank thread panicked")]
     fn rejects_non_power_of_two() {
-        run(3, |c| bitonic_sort_points(c, random_points(8, 1, c.rank() as u64 * 8)));
+        run(3, |c| {
+            bitonic_sort_points(c, random_points(8, 1, c.rank() as u64 * 8))
+        });
     }
 }

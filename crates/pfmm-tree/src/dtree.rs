@@ -14,9 +14,9 @@
 
 use crate::point::PointRec;
 use crate::sort::sample_sort_points;
+use pfmm_morton::{cover_interval, MortonKey, MAX_DEPTH, RANK_SPAN};
 use pfmm_mpisim::collectives::{allgather_one, allreduce, alltoallv, exscan_sum_u64};
 use pfmm_mpisim::Comm;
-use pfmm_morton::{cover_interval, MortonKey, MAX_DEPTH, RANK_SPAN};
 
 /// This rank's share of the distributed tree: a contiguous run of the
 /// global Morton-sorted leaf array, with the points of each leaf.
@@ -79,7 +79,12 @@ pub fn octree_from_sorted(c: &Comm, pts: Vec<PointRec>, region: Vec<u128>, q: us
             refine(block, s, e, &ranks, q, &mut leaves, &mut leaf_off);
         }
     }
-    DistTree { leaves, leaf_off, pts, region }
+    DistTree {
+        leaves,
+        leaf_off,
+        pts,
+        region,
+    }
 }
 
 /// Recursively split `oct` while it holds more than `q` points, emitting
@@ -144,7 +149,10 @@ pub fn repartition_by_weight(c: &Comm, tree: DistTree, weights: &[f64]) -> DistT
         let dest = (((mid as u128) * p as u128) / total.max(1) as u128) as usize;
         let dest = dest.min(p - 1);
         let pts = tree.leaf_points(i);
-        outgoing_leaves[dest].push(LeafMsg { key: *leaf, npts: pts.len() as u32 });
+        outgoing_leaves[dest].push(LeafMsg {
+            key: *leaf,
+            npts: pts.len() as u32,
+        });
         outgoing_pts[dest].extend_from_slice(pts);
     }
 
@@ -175,16 +183,25 @@ pub fn repartition_by_weight(c: &Comm, tree: DistTree, weights: &[f64]) -> DistT
     let mut region = vec![0u128; p + 1];
     region[p] = RANK_SPAN;
     for k in (1..p).rev() {
-        region[k] = if firsts[k] != u128::MAX { firsts[k] } else { region[k + 1] };
+        region[k] = if firsts[k] != u128::MAX {
+            firsts[k]
+        } else {
+            region[k + 1]
+        };
     }
-    DistTree { leaves, leaf_off, pts, region }
+    DistTree {
+        leaves,
+        leaf_off,
+        pts,
+        region,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pfmm_mpisim::run;
     use pfmm_morton::is_complete_linear;
+    use pfmm_mpisim::run;
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
@@ -193,7 +210,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 PointRec::scalar(
-                    [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+                    [
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                    ],
                     1.0,
                     base_gid + i as u64,
                 )
@@ -234,7 +255,11 @@ mod tests {
             let q = 10;
             let n = 300;
             let trees = run(p, |c| {
-                points_to_octree(c, random_points(n, c.rank() as u64, (c.rank() * n) as u64), q)
+                points_to_octree(
+                    c,
+                    random_points(n, c.rank() as u64, (c.rank() * n) as u64),
+                    q,
+                )
             });
             check_global(&trees, q, p * n);
         }
@@ -242,7 +267,9 @@ mod tests {
 
     #[test]
     fn region_fence_matches_ownership() {
-        let trees = run(4, |c| points_to_octree(c, random_points(200, 5, c.rank() as u64 * 200), 6));
+        let trees = run(4, |c| {
+            points_to_octree(c, random_points(200, 5, c.rank() as u64 * 200), 6)
+        });
         let region = trees[0].region.clone();
         for (k, t) in trees.iter().enumerate() {
             for leaf in &t.leaves {
@@ -253,13 +280,15 @@ mod tests {
 
     #[test]
     fn coincident_points_capped_by_max_depth() {
-        let pts: Vec<PointRec> =
-            (0..20).map(|i| PointRec::scalar([0.3, 0.3, 0.3], 1.0, i)).collect();
+        let pts: Vec<PointRec> = (0..20)
+            .map(|i| PointRec::scalar([0.3, 0.3, 0.3], 1.0, i))
+            .collect();
         let trees = run(1, |c| points_to_octree(c, pts.clone(), 4));
         // The deepest octant holds all 20 coincident points.
         let t = &trees[0];
-        let counts: Vec<usize> =
-            (0..t.num_leaves()).map(|i| t.leaf_points(i).len()).collect();
+        let counts: Vec<usize> = (0..t.num_leaves())
+            .map(|i| t.leaf_points(i).len())
+            .collect();
         assert_eq!(*counts.iter().max().unwrap(), 20);
         assert!(t.leaves.iter().any(|l| l.level() == MAX_DEPTH));
     }
@@ -269,9 +298,15 @@ mod tests {
         let p = 4;
         let n = 400;
         let trees = run(p, |c| {
-            let t = points_to_octree(c, random_points(n, 11 + c.rank() as u64, (c.rank() * n) as u64), 4);
+            let t = points_to_octree(
+                c,
+                random_points(n, 11 + c.rank() as u64, (c.rank() * n) as u64),
+                4,
+            );
             // Weight = point count: balancing particles across ranks.
-            let w: Vec<f64> = (0..t.num_leaves()).map(|i| t.leaf_points(i).len() as f64).collect();
+            let w: Vec<f64> = (0..t.num_leaves())
+                .map(|i| t.leaf_points(i).len() as f64)
+                .collect();
             repartition_by_weight(c, t, &w)
         });
         check_global(&trees, 4, p * n);

@@ -10,9 +10,9 @@
 
 use crate::dtree::DistTree;
 use crate::point::PointRec;
+use pfmm_morton::{MortonKey, RANK_SPAN};
 use pfmm_mpisim::collectives::alltoallv;
 use pfmm_mpisim::Comm;
-use pfmm_morton::{MortonKey, RANK_SPAN};
 
 /// The Local Essential Tree: every octant this rank needs to evaluate the
 /// potential on its owned leaves, in one Morton-sorted array.
@@ -156,7 +156,11 @@ pub fn build_let(c: &Comm, tree: &DistTree) -> Let {
             } else {
                 &[]
             };
-            out_octs[k].push(OctMsg { key, is_leaf, npts: pts.len() as u32 });
+            out_octs[k].push(OctMsg {
+                key,
+                is_leaf,
+                npts: pts.len() as u32,
+            });
             out_pts[k].extend_from_slice(pts);
         }
     }
@@ -180,7 +184,13 @@ pub fn build_let(c: &Comm, tree: &DistTree) -> Let {
         } else {
             Vec::new()
         };
-        entries.push(Entry { key, is_leaf, owned: is_leaf, local: true, pts });
+        entries.push(Entry {
+            key,
+            is_leaf,
+            owned: is_leaf,
+            local: true,
+            pts,
+        });
     }
     for (msgs, pts) in in_octs.into_iter().zip(in_pts) {
         let mut off = 0usize;
@@ -228,7 +238,15 @@ pub fn build_let(c: &Comm, tree: &DistTree) -> Let {
         pt_off.push(pts.len());
     }
 
-    Let { octs, is_leaf, owned, local, pt_off, pts, region }
+    Let {
+        octs,
+        is_leaf,
+        owned,
+        local,
+        pt_off,
+        pts,
+        region,
+    }
 }
 
 #[cfg(test)]
@@ -244,7 +262,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 PointRec::scalar(
-                    [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+                    [
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                    ],
                     1.0,
                     base_gid + i as u64,
                 )
@@ -312,11 +334,7 @@ mod tests {
             (leaves, build_let(c, &t))
         });
         for (leaves, l) in &pairs {
-            let owned: Vec<MortonKey> = l
-                .owned_indices()
-                .into_iter()
-                .map(|i| l.octs[i])
-                .collect();
+            let owned: Vec<MortonKey> = l.owned_indices().into_iter().map(|i| l.octs[i]).collect();
             assert_eq!(&owned, leaves);
         }
     }
@@ -335,7 +353,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_ghost_with_points, "some ghost leaf with points expected");
+        assert!(
+            saw_ghost_with_points,
+            "some ghost leaf with points expected"
+        );
     }
 
     /// The LET invariant of the paper's correctness argument: for every

@@ -29,11 +29,11 @@ pub mod point;
 pub mod sort;
 pub mod stats;
 
-pub use dtree::{octree_from_sorted, points_to_octree, repartition_by_weight, DistTree};
 pub use balance::{balance_2to1, is_balanced_2to1};
 pub use bitonic::bitonic_sort_points;
-pub use sort::sample_sort_points;
+pub use dtree::{octree_from_sorted, points_to_octree, repartition_by_weight, DistTree};
 pub use lett::{build_let, user_ranks, Let};
 pub use lists::{build_lists, Csr, Lists};
 pub use point::PointRec;
+pub use sort::sample_sort_points;
 pub use stats::{ListStats, TreeStats};

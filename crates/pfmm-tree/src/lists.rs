@@ -123,7 +123,9 @@ fn u_list(l: &Let, beta: &MortonKey, self_idx: u32) -> Vec<u32> {
                 if dx == 0 && dy == 0 && dz == 0 {
                     continue;
                 }
-                let Some(nb) = beta.neighbor(dx, dy, dz) else { continue };
+                let Some(nb) = beta.neighbor(dx, dy, dz) else {
+                    continue;
+                };
                 let (s, e) = l.subtree_range(&nb);
                 if s < e {
                     // Finer-or-equal structure inside the neighbor:
@@ -184,7 +186,9 @@ fn descend_adjacent_leaves(l: &Let, beta: &MortonKey, top: &MortonKey, out: &mut
 /// V(β): children of colleagues of P(β) that are present and not adjacent
 /// to β.
 fn v_list(l: &Let, beta: &MortonKey) -> Vec<u32> {
-    let Some(par) = beta.parent() else { return Vec::new() };
+    let Some(par) = beta.parent() else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     for c in par.colleagues() {
         for ch in c.children() {
@@ -233,7 +237,9 @@ fn w_descend(l: &Let, beta: &MortonKey, o: &MortonKey, out: &mut Vec<u32>) {
 /// X(β): leaves α coarser than β with β inside a colleague of α, `P(β)`
 /// adjacent to α, and β not adjacent to α (the dual of W).
 fn x_list(l: &Let, beta: &MortonKey, lmin: u32) -> Vec<u32> {
-    let Some(par) = beta.parent() else { return Vec::new() };
+    let Some(par) = beta.parent() else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     let mut level = beta.level();
     while level > lmin.max(1) {
@@ -295,7 +301,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 PointRec::scalar(
-                    [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+                    [
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                    ],
                     1.0,
                     i as u64,
                 )
@@ -320,9 +330,11 @@ mod tests {
     }
 
     fn seq_let(pts: Vec<PointRec>, q: usize) -> Let {
-        run(1, |c| crate::lett::build_let(c, &points_to_octree(c, pts.clone(), q)))
-            .pop()
-            .expect("one rank")
+        run(1, |c| {
+            crate::lett::build_let(c, &points_to_octree(c, pts.clone(), q))
+        })
+        .pop()
+        .expect("one rank")
     }
 
     /// Quantifier-level reference implementation of Table I.
@@ -335,8 +347,7 @@ mod tests {
             let beta = self.l.octs[bi];
             let mut out: Vec<u32> = (0..self.l.len())
                 .filter(|&ai| {
-                    self.l.is_leaf[ai]
-                        && (ai == bi || self.l.octs[ai].is_adjacent(&beta))
+                    self.l.is_leaf[ai] && (ai == bi || self.l.octs[ai].is_adjacent(&beta))
                 })
                 .map(|ai| ai as u32)
                 .collect();
@@ -346,13 +357,17 @@ mod tests {
 
         fn v(&self, bi: usize) -> Vec<u32> {
             let beta = self.l.octs[bi];
-            let Some(pb) = beta.parent() else { return Vec::new() };
+            let Some(pb) = beta.parent() else {
+                return Vec::new();
+            };
             (0..self.l.len())
                 .filter(|&ai| {
                     let a = self.l.octs[ai];
                     a.level() == beta.level()
                         && a != beta
-                        && a.parent().map(|pa| pa != pb && pa.is_adjacent(&pb)).unwrap_or(false)
+                        && a.parent()
+                            .map(|pa| pa != pb && pa.is_adjacent(&pb))
+                            .unwrap_or(false)
                         && !a.is_adjacent(&beta)
                 })
                 .map(|ai| ai as u32)
@@ -405,11 +420,31 @@ mod tests {
             if !l.local[bi] {
                 continue;
             }
-            assert_eq!(lists.v.row(bi), brute.v(bi).as_slice(), "V({:?})", l.octs[bi]);
-            assert_eq!(lists.x.row(bi), brute.x(bi).as_slice(), "X({:?})", l.octs[bi]);
+            assert_eq!(
+                lists.v.row(bi),
+                brute.v(bi).as_slice(),
+                "V({:?})",
+                l.octs[bi]
+            );
+            assert_eq!(
+                lists.x.row(bi),
+                brute.x(bi).as_slice(),
+                "X({:?})",
+                l.octs[bi]
+            );
             if l.owned[bi] {
-                assert_eq!(lists.u.row(bi), brute.u(bi).as_slice(), "U({:?})", l.octs[bi]);
-                assert_eq!(lists.w.row(bi), brute.w(bi).as_slice(), "W({:?})", l.octs[bi]);
+                assert_eq!(
+                    lists.u.row(bi),
+                    brute.u(bi).as_slice(),
+                    "U({:?})",
+                    l.octs[bi]
+                );
+                assert_eq!(
+                    lists.w.row(bi),
+                    brute.w(bi).as_slice(),
+                    "W({:?})",
+                    l.octs[bi]
+                );
             }
         }
     }
@@ -488,12 +523,24 @@ mod tests {
                 // some ancestor-or-self of source.
                 let t_chain: Vec<u32> = {
                     let mut v = vec![ti as u32];
-                    v.extend(l.octs[ti].ancestors().iter().filter_map(|a| l.find(a)).map(|i| i as u32));
+                    v.extend(
+                        l.octs[ti]
+                            .ancestors()
+                            .iter()
+                            .filter_map(|a| l.find(a))
+                            .map(|i| i as u32),
+                    );
                     v
                 };
                 let s_chain: Vec<u32> = {
                     let mut v = vec![si as u32];
-                    v.extend(l.octs[si].ancestors().iter().filter_map(|a| l.find(a)).map(|i| i as u32));
+                    v.extend(
+                        l.octs[si]
+                            .ancestors()
+                            .iter()
+                            .filter_map(|a| l.find(a))
+                            .map(|i| i as u32),
+                    );
                     v
                 };
                 for &tc in &t_chain {

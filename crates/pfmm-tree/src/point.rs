@@ -23,7 +23,11 @@ pub struct PointRec {
 impl PointRec {
     /// A point with a scalar density.
     pub fn scalar(pos: Point3, den: f64, gid: u64) -> Self {
-        PointRec { pos, den: [den, 0.0, 0.0], gid }
+        PointRec {
+            pos,
+            den: [den, 0.0, 0.0],
+            gid,
+        }
     }
 
     /// A point with a vector density.

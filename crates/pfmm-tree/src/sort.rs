@@ -8,9 +8,9 @@
 //! regions `Ω_k` each rank controls for the rest of the pipeline.
 
 use crate::point::PointRec;
+use pfmm_morton::{MAX_DEPTH, RANK_SPAN};
 use pfmm_mpisim::collectives::allgatherv;
 use pfmm_mpisim::Comm;
-use pfmm_morton::{MAX_DEPTH, RANK_SPAN};
 
 /// Oversampling factor: samples per rank presented to splitter selection.
 const OVERSAMPLE: usize = 32;
@@ -111,7 +111,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 PointRec::scalar(
-                    [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()],
+                    [
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                        rng.random::<f64>(),
+                    ],
                     1.0,
                     base_gid + i as u64,
                 )
@@ -178,7 +182,11 @@ mod tests {
     #[test]
     fn empty_input_on_some_ranks() {
         let results = run(3, |c| {
-            let pts = if c.rank() == 1 { Vec::new() } else { random_points(50, 9, (c.rank() * 50) as u64) };
+            let pts = if c.rank() == 1 {
+                Vec::new()
+            } else {
+                random_points(50, 9, (c.rank() * 50) as u64)
+            };
             sample_sort_points(c, pts).0
         });
         let total: usize = results.iter().map(|v| v.len()).sum();

@@ -31,7 +31,10 @@ pub struct TreeStats {
 impl TreeStats {
     /// Compute shape statistics for a LET.
     pub fn of(l: &Let) -> TreeStats {
-        let mut s = TreeStats { octants: l.len(), ..Default::default() };
+        let mut s = TreeStats {
+            octants: l.len(),
+            ..Default::default()
+        };
         let mut min_l = u32::MAX;
         let mut max_l = 0;
         let mut min_p = usize::MAX;
@@ -134,9 +137,11 @@ mod tests {
 
     #[test]
     fn stats_count_the_tree() {
-        let l = run(1, |c| build_let(c, &points_to_octree(c, grid_points(500), 10)))
-            .pop()
-            .expect("one rank");
+        let l = run(1, |c| {
+            build_let(c, &points_to_octree(c, grid_points(500), 10))
+        })
+        .pop()
+        .expect("one rank");
         let s = TreeStats::of(&l);
         assert_eq!(s.octants, l.len());
         assert_eq!(s.leaves, l.is_leaf.iter().filter(|&&b| b).count());
@@ -171,7 +176,11 @@ mod tests {
     fn empty_rank_stats_are_zero() {
         // Rank with an empty region still computes coherent stats.
         let all = run(4, |c| {
-            let pts = if c.rank() == 0 { grid_points(50) } else { Vec::new() };
+            let pts = if c.rank() == 0 {
+                grid_points(50)
+            } else {
+                Vec::new()
+            };
             let t = points_to_octree(c, pts, 8);
             let l = build_let(c, &t);
             TreeStats::of(&l)

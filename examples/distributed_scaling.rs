@@ -18,15 +18,26 @@ fn main() {
     let n = 16_000;
     let mut points = uniform_cube(n, 11, 0);
     randomize_densities(&mut points, 1, 12);
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 60, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 60,
+            ..Default::default()
+        },
+    );
 
     let mut reference: Option<std::collections::HashMap<u64, f64>> = None;
     for p in [1usize, 2, 4, 8] {
         // Each rank contributes an arbitrary slice of the points; the
         // algorithm owns the final distribution (paper §III).
         let out = mpisim::run(p, |comm| {
-            let mine: Vec<_> =
-                points.iter().skip(comm.rank()).step_by(p).copied().collect();
+            let mine: Vec<_> = points
+                .iter()
+                .skip(comm.rank())
+                .step_by(p)
+                .copied()
+                .collect();
             let res = fmm.evaluate(comm, mine);
             let flops = res.profile.total_flops();
             let comm_bytes = res.comm_reduce.sent_bytes;
@@ -40,8 +51,7 @@ fn main() {
 
         match &reference {
             None => {
-                reference =
-                    Some(gathered.iter().map(|(g, v)| (*g, v[0])).collect());
+                reference = Some(gathered.iter().map(|(g, v)| (*g, v[0])).collect());
                 println!("p=1: reference computed ({} points)", n);
             }
             Some(want) => {
@@ -60,7 +70,10 @@ fn main() {
         }
         println!(
             "     per-rank Gflops: {:?}   reduce-scatter kB sent: {:?}",
-            flops.iter().map(|f| (*f as f64 / 1e9 * 10.0).round() / 10.0).collect::<Vec<_>>(),
+            flops
+                .iter()
+                .map(|f| (*f as f64 / 1e9 * 10.0).round() / 10.0)
+                .collect::<Vec<_>>(),
             bytes.iter().map(|b| b / 1000).collect::<Vec<_>>(),
         );
     }

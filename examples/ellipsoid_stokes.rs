@@ -19,11 +19,22 @@ fn main() {
     randomize_densities(&mut points, 3, 8);
 
     let kernel = Stokes { mu: 1.0 };
-    let fmm = Fmm::new(Arc::new(kernel), FmmConfig { order: 6, q: 80, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(kernel),
+        FmmConfig {
+            order: 6,
+            q: 80,
+            ..Default::default()
+        },
+    );
 
     let (gathered, prof, info) = mpisim::run(1, |comm| {
         let res = fmm.evaluate(comm, points.clone());
-        (gather_potentials(comm, &res, 3), res.profile.clone(), res.info)
+        (
+            gather_potentials(comm, &res, 3),
+            res.profile.clone(),
+            res.info,
+        )
     })
     .pop()
     .expect("one rank");

@@ -47,11 +47,17 @@ fn main() {
         "\nhost-side layout translation: {:.4}s (measured; the paper shows this cost is minor)",
         report.translate_secs
     );
-    println!("modeled speedup: {:.1}x (paper: 25-30x at its CPU-rate assumptions)", report.speedup());
+    println!(
+        "modeled speedup: {:.1}x (paper: 25-30x at its CPU-rate assumptions)",
+        report.speedup()
+    );
     println!(
         "single-precision pipeline error vs f64 CPU FMM: {:.2e}",
         report.rel_err_vs_f64
     );
-    assert!(report.rel_err_vs_f64 < 1e-3, "f32 GPU pipeline accuracy regression");
+    assert!(
+        report.rel_err_vs_f64 < 1e-3,
+        "f32 GPU pipeline accuracy regression"
+    );
     println!("ok");
 }

@@ -27,19 +27,33 @@ fn main() {
     let c_scale = 1.0 / n as f64;
     let points = uniform_cube(n, 31, 0);
 
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 60, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 60,
+            ..Default::default()
+        },
+    );
 
     let outs = mpisim::run(p, |comm| {
-        let mine: Vec<_> = points.iter().skip(comm.rank()).step_by(p).copied().collect();
+        let mine: Vec<_> = points
+            .iter()
+            .skip(comm.rank())
+            .step_by(p)
+            .copied()
+            .collect();
         let mut plan = fmm.plan(comm, mine);
 
         // Right-hand side: a smooth field, in the plan's owned order.
-        let b: Vec<f64> =
-            plan.owned_gids().iter().map(|g| 1.0 + (*g as f64 * 0.01).sin()).collect();
+        let b: Vec<f64> = plan
+            .owned_gids()
+            .iter()
+            .map(|g| 1.0 + (*g as f64 * 0.01).sin())
+            .collect();
 
-        let (sigma, report) =
-            solve_second_kind(&fmm, comm, &mut plan, &b, c_scale, 1e-10, 60)
-                .expect("second-kind system converges");
+        let (sigma, report) = solve_second_kind(&fmm, comm, &mut plan, &b, c_scale, 1e-10, 60)
+            .expect("second-kind system converges");
 
         // Verify independently: recompute the residual from scratch.
         let (k_sigma, _) = fmm.apply(comm, &mut plan, &sigma);
@@ -52,7 +66,12 @@ fn main() {
         let local_den: f64 = b.iter().map(|x| x * x).sum();
         let num = mpisim::collectives::allreduce_one(comm, local_num, |a, b| a + b);
         let den = mpisim::collectives::allreduce_one(comm, local_den, |a, b| a + b);
-        (report.matvecs, report.final_residual(), (num / den).sqrt(), plan.num_owned())
+        (
+            report.matvecs,
+            report.final_residual(),
+            (num / den).sqrt(),
+            plan.num_owned(),
+        )
     });
 
     let (matvecs, reported, verified, _) = outs[0];

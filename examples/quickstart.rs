@@ -29,7 +29,14 @@ fn main() {
 
     // An FMM evaluator for the Laplace kernel. Order 6 gives ~5 digits;
     // see FmmConfig for the other knobs (q, M2L mode, load balancing).
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 6, q: 100, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 6,
+            q: 100,
+            ..Default::default()
+        },
+    );
 
     // Evaluate on a single rank (pass p > 1 for distributed execution —
     // the API is identical).
@@ -66,5 +73,9 @@ fn main() {
     let rel = (num / dnm).sqrt();
     println!("relative l2 error vs direct sum (subsample): {rel:.2e}");
     assert!(rel < 1e-4, "FMM accuracy regression");
-    println!("ok: {} potentials computed with kernel '{}'", n, Laplace.name());
+    println!(
+        "ok: {} potentials computed with kernel '{}'",
+        n,
+        Laplace.name()
+    );
 }

@@ -1,0 +1,107 @@
+//! Offline stand-in for `crossbeam`: the `channel::unbounded` and
+//! `thread::scope` surface pfmm uses, implemented over `std::sync::mpsc`
+//! and `std::thread::scope`.
+//!
+//! The build environment has no crates.io access. Semantics match where
+//! the workspace depends on them: unbounded buffered channels with FIFO
+//! per sender, and scoped threads whose panics propagate to the caller
+//! when joined. One deliberate divergence: a panic in a spawned thread
+//! that the caller never joins propagates as a panic out of [`thread::scope`]
+//! (std semantics) instead of an `Err` — every caller in this workspace
+//! joins explicitly, so the difference is unobservable here.
+
+pub mod channel {
+    //! Multi-producer channels (std mpsc re-exports).
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded FIFO channel; sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention (the spawn
+    //! closure receives the scope, enabling nested spawns).
+
+    /// Result of joining a scoped thread (`Err` carries the panic payload).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; spawned closures receive a reference to it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. Returns `Ok` with the closure's value (see the module
+    /// docs for the panic-propagation divergence from crossbeam).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_fifo() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).expect("receiver alive");
+        }
+        assert_eq!(
+            (0..10).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert!(rx.try_recv().is_err(), "drained");
+    }
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = super::thread::scope(|s| {
+            let hs: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 2)).collect();
+            hs.into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<i32>()
+        })
+        .expect("scope ok");
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let out = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().expect("inner"))
+                .join()
+                .expect("outer")
+        })
+        .expect("scope ok");
+        assert_eq!(out, 7);
+    }
+}

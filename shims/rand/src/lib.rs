@@ -1,0 +1,172 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the small API subset it actually uses: a seedable generator
+//! ([`rngs::StdRng`] + [`SeedableRng::seed_from_u64`]) and uniform
+//! sampling via [`RngExt::random`]. The generator is xoshiro256++
+//! (Blackman & Vigna) seeded through SplitMix64 — statistically solid for
+//! test clouds and benchmarks, deterministic across platforms. Stream
+//! values differ from the real `rand::rngs::StdRng` (ChaCha12); nothing in
+//! the workspace depends on the exact stream, only on seeded determinism.
+
+/// Seeding interface (the `seed_from_u64` entry point of the real crate).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a generator.
+pub trait Standard: Sized {
+    /// Draw one value from 64 uniform bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)`: the top 53 bits scaled by 2⁻⁵³.
+    fn from_bits(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn from_bits(bits: u64) -> usize {
+        bits as usize
+    }
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+/// Uniform sampling methods (the `rand::RngExt` surface pfmm uses).
+pub trait RngExt {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of `T` (`f64` in `[0, 1)`, full range for ints).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    fn random_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        // Multiply-shift rejection-free mapping (Lemire); the tiny bias
+        // (< 2⁻⁶⁴·n) is irrelevant for test data.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngExt, SeedableRng};
+
+    /// xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_spread() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut lo = 0usize;
+        for _ in 0..10_000 {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+            if v < 0.5 {
+                lo += 1;
+            }
+        }
+        assert!((4500..5500).contains(&lo), "roughly balanced halves: {lo}");
+    }
+
+    #[test]
+    fn random_below_bound() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(r.random_below(17) < 17);
+        }
+    }
+}

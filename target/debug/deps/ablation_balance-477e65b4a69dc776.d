@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_balance-477e65b4a69dc776.d: crates/pfmm-bench/src/bin/ablation_balance.rs
+
+/root/repo/target/debug/deps/ablation_balance-477e65b4a69dc776: crates/pfmm-bench/src/bin/ablation_balance.rs
+
+crates/pfmm-bench/src/bin/ablation_balance.rs:

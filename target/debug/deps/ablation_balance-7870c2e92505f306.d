@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_balance-7870c2e92505f306.d: crates/pfmm-bench/src/bin/ablation_balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_balance-7870c2e92505f306.rmeta: crates/pfmm-bench/src/bin/ablation_balance.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/ablation_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

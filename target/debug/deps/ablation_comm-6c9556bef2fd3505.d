@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_comm-6c9556bef2fd3505.d: crates/pfmm-bench/src/bin/ablation_comm.rs
+
+/root/repo/target/debug/deps/ablation_comm-6c9556bef2fd3505: crates/pfmm-bench/src/bin/ablation_comm.rs
+
+crates/pfmm-bench/src/bin/ablation_comm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_comm-d9cd318aebb109ca.d: crates/pfmm-bench/src/bin/ablation_comm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_comm-d9cd318aebb109ca.rmeta: crates/pfmm-bench/src/bin/ablation_comm.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/ablation_comm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

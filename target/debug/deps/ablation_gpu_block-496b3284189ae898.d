@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_gpu_block-496b3284189ae898.d: crates/pfmm-bench/src/bin/ablation_gpu_block.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_gpu_block-496b3284189ae898.rmeta: crates/pfmm-bench/src/bin/ablation_gpu_block.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/ablation_gpu_block.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

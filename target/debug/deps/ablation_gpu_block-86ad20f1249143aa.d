@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_gpu_block-86ad20f1249143aa.d: crates/pfmm-bench/src/bin/ablation_gpu_block.rs
+
+/root/repo/target/debug/deps/ablation_gpu_block-86ad20f1249143aa: crates/pfmm-bench/src/bin/ablation_gpu_block.rs
+
+crates/pfmm-bench/src/bin/ablation_gpu_block.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_m2l-e0b0e0222a73b865.d: crates/pfmm-bench/src/bin/ablation_m2l.rs
+
+/root/repo/target/debug/deps/ablation_m2l-e0b0e0222a73b865: crates/pfmm-bench/src/bin/ablation_m2l.rs
+
+crates/pfmm-bench/src/bin/ablation_m2l.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_m2l-eaef080bceaa5be8.d: crates/pfmm-bench/src/bin/ablation_m2l.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_m2l-eaef080bceaa5be8.rmeta: crates/pfmm-bench/src/bin/ablation_m2l.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/ablation_m2l.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sched-1daf0c91aa75e400.d: crates/pfmm-bench/src/bin/ablation_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sched-1daf0c91aa75e400.rmeta: crates/pfmm-bench/src/bin/ablation_sched.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/ablation_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

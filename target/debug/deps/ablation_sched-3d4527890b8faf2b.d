@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sched-3d4527890b8faf2b.d: crates/pfmm-bench/src/bin/ablation_sched.rs
+
+/root/repo/target/debug/deps/ablation_sched-3d4527890b8faf2b: crates/pfmm-bench/src/bin/ablation_sched.rs
+
+crates/pfmm-bench/src/bin/ablation_sched.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_sched-ed16f501a7a8ca4f.d: crates/pfmm-bench/src/bin/ablation_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_sched-ed16f501a7a8ca4f.rmeta: crates/pfmm-bench/src/bin/ablation_sched.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/ablation_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-73de079937fb6b5c.d: tests/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-73de079937fb6b5c: tests/accuracy.rs
+
+tests/accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy-ba85727e4944d6b8.d: tests/accuracy.rs
+
+/root/repo/target/debug/deps/accuracy-ba85727e4944d6b8: tests/accuracy.rs
+
+tests/accuracy.rs:

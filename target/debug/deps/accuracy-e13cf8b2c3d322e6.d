@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy-e13cf8b2c3d322e6.d: tests/accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy-e13cf8b2c3d322e6.rmeta: tests/accuracy.rs Cargo.toml
+
+tests/accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

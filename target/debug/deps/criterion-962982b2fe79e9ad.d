@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-962982b2fe79e9ad.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-962982b2fe79e9ad: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

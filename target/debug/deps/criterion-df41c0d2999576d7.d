@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-df41c0d2999576d7.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-df41c0d2999576d7.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-df41c0d2999576d7.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

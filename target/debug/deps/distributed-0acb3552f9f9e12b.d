@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed-0acb3552f9f9e12b.d: tests/distributed.rs
+
+/root/repo/target/debug/deps/distributed-0acb3552f9f9e12b: tests/distributed.rs
+
+tests/distributed.rs:

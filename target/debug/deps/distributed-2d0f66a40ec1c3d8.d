@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed-2d0f66a40ec1c3d8.d: tests/distributed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed-2d0f66a40ec1c3d8.rmeta: tests/distributed.rs Cargo.toml
+
+tests/distributed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

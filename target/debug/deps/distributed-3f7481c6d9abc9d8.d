@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed-3f7481c6d9abc9d8.d: tests/distributed.rs
+
+/root/repo/target/debug/deps/distributed-3f7481c6d9abc9d8: tests/distributed.rs
+
+tests/distributed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-11e361d17b10209b.d: tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-11e361d17b10209b: tests/failure_modes.rs
+
+tests/failure_modes.rs:

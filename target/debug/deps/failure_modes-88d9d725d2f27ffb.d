@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-88d9d725d2f27ffb.d: tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-88d9d725d2f27ffb: tests/failure_modes.rs
+
+tests/failure_modes.rs:

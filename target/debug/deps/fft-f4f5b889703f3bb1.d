@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fft-f4f5b889703f3bb1.d: crates/pfmm-bench/benches/fft.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfft-f4f5b889703f3bb1.rmeta: crates/pfmm-bench/benches/fft.rs Cargo.toml
+
+crates/pfmm-bench/benches/fft.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

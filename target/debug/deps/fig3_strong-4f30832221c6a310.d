@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_strong-4f30832221c6a310.d: crates/pfmm-bench/src/bin/fig3_strong.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_strong-4f30832221c6a310.rmeta: crates/pfmm-bench/src/bin/fig3_strong.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/fig3_strong.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_strong-575e6fe700f592e1.d: crates/pfmm-bench/src/bin/fig3_strong.rs
+
+/root/repo/target/debug/deps/fig3_strong-575e6fe700f592e1: crates/pfmm-bench/src/bin/fig3_strong.rs
+
+crates/pfmm-bench/src/bin/fig3_strong.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_weak-8357afe03a64d008.d: crates/pfmm-bench/src/bin/fig4_weak.rs
+
+/root/repo/target/debug/deps/fig4_weak-8357afe03a64d008: crates/pfmm-bench/src/bin/fig4_weak.rs
+
+crates/pfmm-bench/src/bin/fig4_weak.rs:

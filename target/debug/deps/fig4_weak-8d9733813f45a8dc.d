@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_weak-8d9733813f45a8dc.d: crates/pfmm-bench/src/bin/fig4_weak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_weak-8d9733813f45a8dc.rmeta: crates/pfmm-bench/src/bin/fig4_weak.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/fig4_weak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_flops-09a8e7c911d428f7.d: crates/pfmm-bench/src/bin/fig5_flops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_flops-09a8e7c911d428f7.rmeta: crates/pfmm-bench/src/bin/fig5_flops.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/fig5_flops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

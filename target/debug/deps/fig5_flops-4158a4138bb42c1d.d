@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_flops-4158a4138bb42c1d.d: crates/pfmm-bench/src/bin/fig5_flops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_flops-4158a4138bb42c1d.rmeta: crates/pfmm-bench/src/bin/fig5_flops.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/fig5_flops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_flops-6997bece0f74953a.d: crates/pfmm-bench/src/bin/fig5_flops.rs
+
+/root/repo/target/debug/deps/fig5_flops-6997bece0f74953a: crates/pfmm-bench/src/bin/fig5_flops.rs
+
+crates/pfmm-bench/src/bin/fig5_flops.rs:

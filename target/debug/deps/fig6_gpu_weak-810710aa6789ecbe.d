@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_gpu_weak-810710aa6789ecbe.d: crates/pfmm-bench/src/bin/fig6_gpu_weak.rs
+
+/root/repo/target/debug/deps/fig6_gpu_weak-810710aa6789ecbe: crates/pfmm-bench/src/bin/fig6_gpu_weak.rs
+
+crates/pfmm-bench/src/bin/fig6_gpu_weak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_gpu_weak-83f3d0f887a61280.d: crates/pfmm-bench/src/bin/fig6_gpu_weak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_gpu_weak-83f3d0f887a61280.rmeta: crates/pfmm-bench/src/bin/fig6_gpu_weak.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/fig6_gpu_weak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_kernels-f353bfd53d4059ed.d: crates/pfmm-bench/benches/gpu_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_kernels-f353bfd53d4059ed.rmeta: crates/pfmm-bench/benches/gpu_kernels.rs Cargo.toml
+
+crates/pfmm-bench/benches/gpu_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_pipeline-24bef2eaf019d040.d: tests/gpu_pipeline.rs
+
+/root/repo/target/debug/deps/gpu_pipeline-24bef2eaf019d040: tests/gpu_pipeline.rs
+
+tests/gpu_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpu_pipeline-3b12943cfdcbbd3d.d: tests/gpu_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpu_pipeline-3b12943cfdcbbd3d.rmeta: tests/gpu_pipeline.rs Cargo.toml
+
+tests/gpu_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpu_pipeline-6309486d391bd127.d: tests/gpu_pipeline.rs
+
+/root/repo/target/debug/deps/gpu_pipeline-6309486d391bd127: tests/gpu_pipeline.rs
+
+tests/gpu_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-a1106e10a8444526.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-a1106e10a8444526.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-a9e71263bc170c0c.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-a9e71263bc170c0c: tests/invariants.rs
+
+tests/invariants.rs:

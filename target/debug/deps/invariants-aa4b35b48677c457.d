@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-aa4b35b48677c457.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-aa4b35b48677c457: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/linalg-ac3278c35898f9cb.d: crates/pfmm-bench/benches/linalg.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinalg-ac3278c35898f9cb.rmeta: crates/pfmm-bench/benches/linalg.rs Cargo.toml
+
+crates/pfmm-bench/benches/linalg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

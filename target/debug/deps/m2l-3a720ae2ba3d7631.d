@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/m2l-3a720ae2ba3d7631.d: crates/pfmm-bench/benches/m2l.rs Cargo.toml
+
+/root/repo/target/debug/deps/libm2l-3a720ae2ba3d7631.rmeta: crates/pfmm-bench/benches/m2l.rs Cargo.toml
+
+crates/pfmm-bench/benches/m2l.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

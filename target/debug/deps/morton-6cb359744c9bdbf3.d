@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/morton-6cb359744c9bdbf3.d: crates/pfmm-bench/benches/morton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmorton-6cb359744c9bdbf3.rmeta: crates/pfmm-bench/benches/morton.rs Cargo.toml
+
+crates/pfmm-bench/benches/morton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

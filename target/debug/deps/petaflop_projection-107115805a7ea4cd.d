@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/petaflop_projection-107115805a7ea4cd.d: crates/pfmm-bench/src/bin/petaflop_projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpetaflop_projection-107115805a7ea4cd.rmeta: crates/pfmm-bench/src/bin/petaflop_projection.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/petaflop_projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/petaflop_projection-780eb3def4d9d63c.d: crates/pfmm-bench/src/bin/petaflop_projection.rs
+
+/root/repo/target/debug/deps/petaflop_projection-780eb3def4d9d63c: crates/pfmm-bench/src/bin/petaflop_projection.rs
+
+crates/pfmm-bench/src/bin/petaflop_projection.rs:

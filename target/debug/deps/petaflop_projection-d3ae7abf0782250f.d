@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/petaflop_projection-d3ae7abf0782250f.d: crates/pfmm-bench/src/bin/petaflop_projection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpetaflop_projection-d3ae7abf0782250f.rmeta: crates/pfmm-bench/src/bin/petaflop_projection.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/petaflop_projection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

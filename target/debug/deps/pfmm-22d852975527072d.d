@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pfmm-22d852975527072d.d: src/lib.rs
+
+/root/repo/target/debug/deps/pfmm-22d852975527072d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pfmm-3c3f4d6ba6ed85bb.d: src/lib.rs
+
+/root/repo/target/debug/deps/pfmm-3c3f4d6ba6ed85bb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pfmm-49ab9f2cdf26730f.d: crates/pfmm-cli/src/main.rs crates/pfmm-cli/src/args.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm-49ab9f2cdf26730f.rmeta: crates/pfmm-cli/src/main.rs crates/pfmm-cli/src/args.rs Cargo.toml
+
+crates/pfmm-cli/src/main.rs:
+crates/pfmm-cli/src/args.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

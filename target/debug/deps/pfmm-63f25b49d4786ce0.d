@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pfmm-63f25b49d4786ce0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpfmm-63f25b49d4786ce0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpfmm-63f25b49d4786ce0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pfmm-980de8d66129966b.d: crates/pfmm-cli/src/main.rs crates/pfmm-cli/src/args.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm-980de8d66129966b.rmeta: crates/pfmm-cli/src/main.rs crates/pfmm-cli/src/args.rs Cargo.toml
+
+crates/pfmm-cli/src/main.rs:
+crates/pfmm-cli/src/args.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

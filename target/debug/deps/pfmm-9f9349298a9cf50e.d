@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pfmm-9f9349298a9cf50e.d: crates/pfmm-cli/src/main.rs crates/pfmm-cli/src/args.rs
+
+/root/repo/target/debug/deps/pfmm-9f9349298a9cf50e: crates/pfmm-cli/src/main.rs crates/pfmm-cli/src/args.rs
+
+crates/pfmm-cli/src/main.rs:
+crates/pfmm-cli/src/args.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pfmm-f7710e9fe0a1aa50.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpfmm-f7710e9fe0a1aa50.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpfmm-f7710e9fe0a1aa50.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfmm_bench-150e56a5c4a97c4d.d: crates/pfmm-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_bench-150e56a5c4a97c4d.rmeta: crates/pfmm-bench/src/lib.rs Cargo.toml
+
+crates/pfmm-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

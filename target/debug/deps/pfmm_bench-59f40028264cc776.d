@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfmm_bench-59f40028264cc776.d: crates/pfmm-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_bench-59f40028264cc776.rmeta: crates/pfmm-bench/src/lib.rs Cargo.toml
+
+crates/pfmm-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

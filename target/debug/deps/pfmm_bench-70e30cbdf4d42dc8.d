@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pfmm_bench-70e30cbdf4d42dc8.d: crates/pfmm-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpfmm_bench-70e30cbdf4d42dc8.rlib: crates/pfmm-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpfmm_bench-70e30cbdf4d42dc8.rmeta: crates/pfmm-bench/src/lib.rs
+
+crates/pfmm-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pfmm_bench-bcb4099cab475b28.d: crates/pfmm-bench/src/lib.rs
+
+/root/repo/target/debug/deps/pfmm_bench-bcb4099cab475b28: crates/pfmm-bench/src/lib.rs
+
+crates/pfmm-bench/src/lib.rs:

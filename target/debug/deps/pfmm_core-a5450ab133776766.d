@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/pfmm_core-a5450ab133776766.d: crates/pfmm-core/src/lib.rs crates/pfmm-core/src/distrib.rs crates/pfmm-core/src/driver.rs crates/pfmm-core/src/exec.rs crates/pfmm-core/src/m2l_fft.rs crates/pfmm-core/src/ops.rs crates/pfmm-core/src/par.rs crates/pfmm-core/src/plan.rs crates/pfmm-core/src/profile.rs crates/pfmm-core/src/reduce.rs crates/pfmm-core/src/solve.rs crates/pfmm-core/src/surface.rs crates/pfmm-core/src/tune.rs crates/pfmm-core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_core-a5450ab133776766.rmeta: crates/pfmm-core/src/lib.rs crates/pfmm-core/src/distrib.rs crates/pfmm-core/src/driver.rs crates/pfmm-core/src/exec.rs crates/pfmm-core/src/m2l_fft.rs crates/pfmm-core/src/ops.rs crates/pfmm-core/src/par.rs crates/pfmm-core/src/plan.rs crates/pfmm-core/src/profile.rs crates/pfmm-core/src/reduce.rs crates/pfmm-core/src/solve.rs crates/pfmm-core/src/surface.rs crates/pfmm-core/src/tune.rs crates/pfmm-core/src/verify.rs Cargo.toml
+
+crates/pfmm-core/src/lib.rs:
+crates/pfmm-core/src/distrib.rs:
+crates/pfmm-core/src/driver.rs:
+crates/pfmm-core/src/exec.rs:
+crates/pfmm-core/src/m2l_fft.rs:
+crates/pfmm-core/src/ops.rs:
+crates/pfmm-core/src/par.rs:
+crates/pfmm-core/src/plan.rs:
+crates/pfmm-core/src/profile.rs:
+crates/pfmm-core/src/reduce.rs:
+crates/pfmm-core/src/solve.rs:
+crates/pfmm-core/src/surface.rs:
+crates/pfmm-core/src/tune.rs:
+crates/pfmm-core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pfmm_core-b572b44cd36129c3.d: crates/pfmm-core/src/lib.rs crates/pfmm-core/src/distrib.rs crates/pfmm-core/src/driver.rs crates/pfmm-core/src/exec.rs crates/pfmm-core/src/m2l_fft.rs crates/pfmm-core/src/ops.rs crates/pfmm-core/src/par.rs crates/pfmm-core/src/plan.rs crates/pfmm-core/src/profile.rs crates/pfmm-core/src/reduce.rs crates/pfmm-core/src/solve.rs crates/pfmm-core/src/surface.rs crates/pfmm-core/src/tune.rs crates/pfmm-core/src/verify.rs
+
+/root/repo/target/debug/deps/libpfmm_core-b572b44cd36129c3.rlib: crates/pfmm-core/src/lib.rs crates/pfmm-core/src/distrib.rs crates/pfmm-core/src/driver.rs crates/pfmm-core/src/exec.rs crates/pfmm-core/src/m2l_fft.rs crates/pfmm-core/src/ops.rs crates/pfmm-core/src/par.rs crates/pfmm-core/src/plan.rs crates/pfmm-core/src/profile.rs crates/pfmm-core/src/reduce.rs crates/pfmm-core/src/solve.rs crates/pfmm-core/src/surface.rs crates/pfmm-core/src/tune.rs crates/pfmm-core/src/verify.rs
+
+/root/repo/target/debug/deps/libpfmm_core-b572b44cd36129c3.rmeta: crates/pfmm-core/src/lib.rs crates/pfmm-core/src/distrib.rs crates/pfmm-core/src/driver.rs crates/pfmm-core/src/exec.rs crates/pfmm-core/src/m2l_fft.rs crates/pfmm-core/src/ops.rs crates/pfmm-core/src/par.rs crates/pfmm-core/src/plan.rs crates/pfmm-core/src/profile.rs crates/pfmm-core/src/reduce.rs crates/pfmm-core/src/solve.rs crates/pfmm-core/src/surface.rs crates/pfmm-core/src/tune.rs crates/pfmm-core/src/verify.rs
+
+crates/pfmm-core/src/lib.rs:
+crates/pfmm-core/src/distrib.rs:
+crates/pfmm-core/src/driver.rs:
+crates/pfmm-core/src/exec.rs:
+crates/pfmm-core/src/m2l_fft.rs:
+crates/pfmm-core/src/ops.rs:
+crates/pfmm-core/src/par.rs:
+crates/pfmm-core/src/plan.rs:
+crates/pfmm-core/src/profile.rs:
+crates/pfmm-core/src/reduce.rs:
+crates/pfmm-core/src/solve.rs:
+crates/pfmm-core/src/surface.rs:
+crates/pfmm-core/src/tune.rs:
+crates/pfmm-core/src/verify.rs:

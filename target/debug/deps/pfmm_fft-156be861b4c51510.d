@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pfmm_fft-156be861b4c51510.d: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs
+
+/root/repo/target/debug/deps/libpfmm_fft-156be861b4c51510.rlib: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs
+
+/root/repo/target/debug/deps/libpfmm_fft-156be861b4c51510.rmeta: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs
+
+crates/pfmm-fft/src/lib.rs:
+crates/pfmm-fft/src/complex.rs:
+crates/pfmm-fft/src/fft1d.rs:
+crates/pfmm-fft/src/fft3d.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pfmm_fft-8700ac22f242e8f6.d: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_fft-8700ac22f242e8f6.rmeta: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs Cargo.toml
+
+crates/pfmm-fft/src/lib.rs:
+crates/pfmm-fft/src/complex.rs:
+crates/pfmm-fft/src/fft1d.rs:
+crates/pfmm-fft/src/fft3d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pfmm_fft-f5a90684694144eb.d: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs
+
+/root/repo/target/debug/deps/pfmm_fft-f5a90684694144eb: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs
+
+crates/pfmm-fft/src/lib.rs:
+crates/pfmm-fft/src/complex.rs:
+crates/pfmm-fft/src/fft1d.rs:
+crates/pfmm-fft/src/fft3d.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pfmm_gpusim-8aa04525fd230bdb.d: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs
+
+/root/repo/target/debug/deps/pfmm_gpusim-8aa04525fd230bdb: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs
+
+crates/pfmm-gpusim/src/lib.rs:
+crates/pfmm-gpusim/src/device.rs:
+crates/pfmm-gpusim/src/fmm.rs:
+crates/pfmm-gpusim/src/kernels.rs:
+crates/pfmm-gpusim/src/layout.rs:
+crates/pfmm-gpusim/src/tune.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pfmm_gpusim-d2e32c1ca65bfe1a.d: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs
+
+/root/repo/target/debug/deps/libpfmm_gpusim-d2e32c1ca65bfe1a.rlib: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs
+
+/root/repo/target/debug/deps/libpfmm_gpusim-d2e32c1ca65bfe1a.rmeta: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs
+
+crates/pfmm-gpusim/src/lib.rs:
+crates/pfmm-gpusim/src/device.rs:
+crates/pfmm-gpusim/src/fmm.rs:
+crates/pfmm-gpusim/src/kernels.rs:
+crates/pfmm-gpusim/src/layout.rs:
+crates/pfmm-gpusim/src/tune.rs:

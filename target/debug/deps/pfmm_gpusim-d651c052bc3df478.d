@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pfmm_gpusim-d651c052bc3df478.d: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_gpusim-d651c052bc3df478.rmeta: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs Cargo.toml
+
+crates/pfmm-gpusim/src/lib.rs:
+crates/pfmm-gpusim/src/device.rs:
+crates/pfmm-gpusim/src/fmm.rs:
+crates/pfmm-gpusim/src/kernels.rs:
+crates/pfmm-gpusim/src/layout.rs:
+crates/pfmm-gpusim/src/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pfmm_kernels-d55cb4d0ffb34eab.d: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs
+
+/root/repo/target/debug/deps/libpfmm_kernels-d55cb4d0ffb34eab.rlib: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs
+
+/root/repo/target/debug/deps/libpfmm_kernels-d55cb4d0ffb34eab.rmeta: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs
+
+crates/pfmm-kernels/src/lib.rs:
+crates/pfmm-kernels/src/dipole.rs:
+crates/pfmm-kernels/src/direct.rs:
+crates/pfmm-kernels/src/kernel.rs:
+crates/pfmm-kernels/src/laplace.rs:
+crates/pfmm-kernels/src/stokes.rs:
+crates/pfmm-kernels/src/yukawa.rs:

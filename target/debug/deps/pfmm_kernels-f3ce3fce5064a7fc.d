@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pfmm_kernels-f3ce3fce5064a7fc.d: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs
+
+/root/repo/target/debug/deps/pfmm_kernels-f3ce3fce5064a7fc: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs
+
+crates/pfmm-kernels/src/lib.rs:
+crates/pfmm-kernels/src/dipole.rs:
+crates/pfmm-kernels/src/direct.rs:
+crates/pfmm-kernels/src/kernel.rs:
+crates/pfmm-kernels/src/laplace.rs:
+crates/pfmm-kernels/src/stokes.rs:
+crates/pfmm-kernels/src/yukawa.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pfmm_kernels-f8152998c636c9c1.d: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_kernels-f8152998c636c9c1.rmeta: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs Cargo.toml
+
+crates/pfmm-kernels/src/lib.rs:
+crates/pfmm-kernels/src/dipole.rs:
+crates/pfmm-kernels/src/direct.rs:
+crates/pfmm-kernels/src/kernel.rs:
+crates/pfmm-kernels/src/laplace.rs:
+crates/pfmm-kernels/src/stokes.rs:
+crates/pfmm-kernels/src/yukawa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfmm_linalg-1f6bfbf6fb4eda81.d: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs
+
+/root/repo/target/debug/deps/libpfmm_linalg-1f6bfbf6fb4eda81.rlib: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs
+
+/root/repo/target/debug/deps/libpfmm_linalg-1f6bfbf6fb4eda81.rmeta: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs
+
+crates/pfmm-linalg/src/lib.rs:
+crates/pfmm-linalg/src/matrix.rs:
+crates/pfmm-linalg/src/svd.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pfmm_linalg-8966adafe7eb6b76.d: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_linalg-8966adafe7eb6b76.rmeta: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs Cargo.toml
+
+crates/pfmm-linalg/src/lib.rs:
+crates/pfmm-linalg/src/matrix.rs:
+crates/pfmm-linalg/src/svd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

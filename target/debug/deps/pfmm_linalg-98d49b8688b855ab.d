@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pfmm_linalg-98d49b8688b855ab.d: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_linalg-98d49b8688b855ab.rmeta: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs Cargo.toml
+
+crates/pfmm-linalg/src/lib.rs:
+crates/pfmm-linalg/src/matrix.rs:
+crates/pfmm-linalg/src/svd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

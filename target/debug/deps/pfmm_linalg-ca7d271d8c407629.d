@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pfmm_linalg-ca7d271d8c407629.d: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs
+
+/root/repo/target/debug/deps/pfmm_linalg-ca7d271d8c407629: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs
+
+crates/pfmm-linalg/src/lib.rs:
+crates/pfmm-linalg/src/matrix.rs:
+crates/pfmm-linalg/src/svd.rs:

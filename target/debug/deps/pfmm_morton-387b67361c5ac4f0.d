@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pfmm_morton-387b67361c5ac4f0.d: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs
+
+/root/repo/target/debug/deps/pfmm_morton-387b67361c5ac4f0: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs
+
+crates/pfmm-morton/src/lib.rs:
+crates/pfmm-morton/src/key.rs:
+crates/pfmm-morton/src/region.rs:

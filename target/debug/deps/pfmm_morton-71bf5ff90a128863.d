@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfmm_morton-71bf5ff90a128863.d: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs
+
+/root/repo/target/debug/deps/libpfmm_morton-71bf5ff90a128863.rlib: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs
+
+/root/repo/target/debug/deps/libpfmm_morton-71bf5ff90a128863.rmeta: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs
+
+crates/pfmm-morton/src/lib.rs:
+crates/pfmm-morton/src/key.rs:
+crates/pfmm-morton/src/region.rs:

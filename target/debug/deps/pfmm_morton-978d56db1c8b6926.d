@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pfmm_morton-978d56db1c8b6926.d: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_morton-978d56db1c8b6926.rmeta: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs Cargo.toml
+
+crates/pfmm-morton/src/lib.rs:
+crates/pfmm-morton/src/key.rs:
+crates/pfmm-morton/src/region.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

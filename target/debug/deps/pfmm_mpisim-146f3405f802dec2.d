@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pfmm_mpisim-146f3405f802dec2.d: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_mpisim-146f3405f802dec2.rmeta: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs Cargo.toml
+
+crates/pfmm-mpisim/src/lib.rs:
+crates/pfmm-mpisim/src/collectives.rs:
+crates/pfmm-mpisim/src/comm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfmm_mpisim-4aac6ce623c4d90d.d: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs
+
+/root/repo/target/debug/deps/libpfmm_mpisim-4aac6ce623c4d90d.rlib: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs
+
+/root/repo/target/debug/deps/libpfmm_mpisim-4aac6ce623c4d90d.rmeta: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs
+
+crates/pfmm-mpisim/src/lib.rs:
+crates/pfmm-mpisim/src/collectives.rs:
+crates/pfmm-mpisim/src/comm.rs:

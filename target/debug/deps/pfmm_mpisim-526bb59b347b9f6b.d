@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pfmm_mpisim-526bb59b347b9f6b.d: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs
+
+/root/repo/target/debug/deps/pfmm_mpisim-526bb59b347b9f6b: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs
+
+crates/pfmm-mpisim/src/lib.rs:
+crates/pfmm-mpisim/src/collectives.rs:
+crates/pfmm-mpisim/src/comm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pfmm_mpisim-e1754e8aaf73b934.d: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_mpisim-e1754e8aaf73b934.rmeta: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs Cargo.toml
+
+crates/pfmm-mpisim/src/lib.rs:
+crates/pfmm-mpisim/src/collectives.rs:
+crates/pfmm-mpisim/src/comm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

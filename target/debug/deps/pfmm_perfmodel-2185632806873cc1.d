@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfmm_perfmodel-2185632806873cc1.d: crates/pfmm-perfmodel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_perfmodel-2185632806873cc1.rmeta: crates/pfmm-perfmodel/src/lib.rs Cargo.toml
+
+crates/pfmm-perfmodel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pfmm_perfmodel-5fb93648287633a4.d: crates/pfmm-perfmodel/src/lib.rs
+
+/root/repo/target/debug/deps/libpfmm_perfmodel-5fb93648287633a4.rlib: crates/pfmm-perfmodel/src/lib.rs
+
+/root/repo/target/debug/deps/libpfmm_perfmodel-5fb93648287633a4.rmeta: crates/pfmm-perfmodel/src/lib.rs
+
+crates/pfmm-perfmodel/src/lib.rs:

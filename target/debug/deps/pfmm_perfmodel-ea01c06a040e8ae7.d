@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pfmm_perfmodel-ea01c06a040e8ae7.d: crates/pfmm-perfmodel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_perfmodel-ea01c06a040e8ae7.rmeta: crates/pfmm-perfmodel/src/lib.rs Cargo.toml
+
+crates/pfmm-perfmodel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pfmm_perfmodel-ed5f203e2d192403.d: crates/pfmm-perfmodel/src/lib.rs
+
+/root/repo/target/debug/deps/pfmm_perfmodel-ed5f203e2d192403: crates/pfmm-perfmodel/src/lib.rs
+
+crates/pfmm-perfmodel/src/lib.rs:

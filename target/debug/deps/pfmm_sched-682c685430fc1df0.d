@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pfmm_sched-682c685430fc1df0.d: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_sched-682c685430fc1df0.rmeta: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs Cargo.toml
+
+crates/pfmm-sched/src/lib.rs:
+crates/pfmm-sched/src/buf.rs:
+crates/pfmm-sched/src/exec.rs:
+crates/pfmm-sched/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pfmm_sched-9e47bd79efbe0a48.d: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs
+
+/root/repo/target/debug/deps/pfmm_sched-9e47bd79efbe0a48: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs
+
+crates/pfmm-sched/src/lib.rs:
+crates/pfmm-sched/src/buf.rs:
+crates/pfmm-sched/src/exec.rs:
+crates/pfmm-sched/src/graph.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pfmm_sched-e1397cbfb88f8613.d: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs
+
+/root/repo/target/debug/deps/libpfmm_sched-e1397cbfb88f8613.rlib: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs
+
+/root/repo/target/debug/deps/libpfmm_sched-e1397cbfb88f8613.rmeta: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs
+
+crates/pfmm-sched/src/lib.rs:
+crates/pfmm-sched/src/buf.rs:
+crates/pfmm-sched/src/exec.rs:
+crates/pfmm-sched/src/graph.rs:

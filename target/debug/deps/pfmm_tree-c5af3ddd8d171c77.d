@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pfmm_tree-c5af3ddd8d171c77.d: crates/pfmm-tree/src/lib.rs crates/pfmm-tree/src/balance.rs crates/pfmm-tree/src/bitonic.rs crates/pfmm-tree/src/dtree.rs crates/pfmm-tree/src/lett.rs crates/pfmm-tree/src/lists.rs crates/pfmm-tree/src/point.rs crates/pfmm-tree/src/sort.rs crates/pfmm-tree/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpfmm_tree-c5af3ddd8d171c77.rmeta: crates/pfmm-tree/src/lib.rs crates/pfmm-tree/src/balance.rs crates/pfmm-tree/src/bitonic.rs crates/pfmm-tree/src/dtree.rs crates/pfmm-tree/src/lett.rs crates/pfmm-tree/src/lists.rs crates/pfmm-tree/src/point.rs crates/pfmm-tree/src/sort.rs crates/pfmm-tree/src/stats.rs Cargo.toml
+
+crates/pfmm-tree/src/lib.rs:
+crates/pfmm-tree/src/balance.rs:
+crates/pfmm-tree/src/bitonic.rs:
+crates/pfmm-tree/src/dtree.rs:
+crates/pfmm-tree/src/lett.rs:
+crates/pfmm-tree/src/lists.rs:
+crates/pfmm-tree/src/point.rs:
+crates/pfmm-tree/src/sort.rs:
+crates/pfmm-tree/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pfmm_tree-e00e2a17ea5949f1.d: crates/pfmm-tree/src/lib.rs crates/pfmm-tree/src/balance.rs crates/pfmm-tree/src/bitonic.rs crates/pfmm-tree/src/dtree.rs crates/pfmm-tree/src/lett.rs crates/pfmm-tree/src/lists.rs crates/pfmm-tree/src/point.rs crates/pfmm-tree/src/sort.rs crates/pfmm-tree/src/stats.rs
+
+/root/repo/target/debug/deps/pfmm_tree-e00e2a17ea5949f1: crates/pfmm-tree/src/lib.rs crates/pfmm-tree/src/balance.rs crates/pfmm-tree/src/bitonic.rs crates/pfmm-tree/src/dtree.rs crates/pfmm-tree/src/lett.rs crates/pfmm-tree/src/lists.rs crates/pfmm-tree/src/point.rs crates/pfmm-tree/src/sort.rs crates/pfmm-tree/src/stats.rs
+
+crates/pfmm-tree/src/lib.rs:
+crates/pfmm-tree/src/balance.rs:
+crates/pfmm-tree/src/bitonic.rs:
+crates/pfmm-tree/src/dtree.rs:
+crates/pfmm-tree/src/lett.rs:
+crates/pfmm-tree/src/lists.rs:
+crates/pfmm-tree/src/point.rs:
+crates/pfmm-tree/src/sort.rs:
+crates/pfmm-tree/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-798da6da155aa60a.d: crates/pfmm-bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-798da6da155aa60a.rmeta: crates/pfmm-bench/benches/pipeline.rs Cargo.toml
+
+crates/pfmm-bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

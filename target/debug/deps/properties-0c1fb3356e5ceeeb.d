@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0c1fb3356e5ceeeb.d: crates/pfmm-fft/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0c1fb3356e5ceeeb: crates/pfmm-fft/tests/properties.rs
+
+crates/pfmm-fft/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4abb713dc7696c3d.d: crates/pfmm-fft/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4abb713dc7696c3d.rmeta: crates/pfmm-fft/tests/properties.rs Cargo.toml
+
+crates/pfmm-fft/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-632b8d2e31bf540c.d: crates/pfmm-morton/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-632b8d2e31bf540c.rmeta: crates/pfmm-morton/tests/properties.rs Cargo.toml
+
+crates/pfmm-morton/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

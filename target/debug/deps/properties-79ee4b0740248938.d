@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-79ee4b0740248938.d: crates/pfmm-linalg/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-79ee4b0740248938.rmeta: crates/pfmm-linalg/tests/properties.rs Cargo.toml
+
+crates/pfmm-linalg/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-85f6292148050f1c.d: crates/pfmm-morton/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-85f6292148050f1c: crates/pfmm-morton/tests/properties.rs
+
+crates/pfmm-morton/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-92b024cd57acb7d1.d: crates/pfmm-mpisim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-92b024cd57acb7d1: crates/pfmm-mpisim/tests/properties.rs
+
+crates/pfmm-mpisim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f9a9f8f33c9ed941.d: crates/pfmm-linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f9a9f8f33c9ed941: crates/pfmm-linalg/tests/properties.rs
+
+crates/pfmm-linalg/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-fa8dc35b912e4c2a.d: crates/pfmm-mpisim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-fa8dc35b912e4c2a.rmeta: crates/pfmm-mpisim/tests/properties.rs Cargo.toml
+
+crates/pfmm-mpisim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

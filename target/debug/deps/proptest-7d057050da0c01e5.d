@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7d057050da0c01e5.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-7d057050da0c01e5: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

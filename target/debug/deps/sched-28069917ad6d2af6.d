@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched-28069917ad6d2af6.d: crates/pfmm-sched/tests/sched.rs
+
+/root/repo/target/debug/deps/sched-28069917ad6d2af6: crates/pfmm-sched/tests/sched.rs
+
+crates/pfmm-sched/tests/sched.rs:

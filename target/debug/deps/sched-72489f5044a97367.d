@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched-72489f5044a97367.d: crates/pfmm-sched/tests/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched-72489f5044a97367.rmeta: crates/pfmm-sched/tests/sched.rs Cargo.toml
+
+crates/pfmm-sched/tests/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_breakdown-a1e1905e1802c905.d: crates/pfmm-bench/src/bin/table2_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_breakdown-a1e1905e1802c905.rmeta: crates/pfmm-bench/src/bin/table2_breakdown.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/table2_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_breakdown-aea328ce72f3504d.d: crates/pfmm-bench/src/bin/table2_breakdown.rs
+
+/root/repo/target/debug/deps/table2_breakdown-aea328ce72f3504d: crates/pfmm-bench/src/bin/table2_breakdown.rs
+
+crates/pfmm-bench/src/bin/table2_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_gpu_q-68be31c9c16c3d21.d: crates/pfmm-bench/src/bin/table3_gpu_q.rs
+
+/root/repo/target/debug/deps/table3_gpu_q-68be31c9c16c3d21: crates/pfmm-bench/src/bin/table3_gpu_q.rs
+
+crates/pfmm-bench/src/bin/table3_gpu_q.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_gpu_q-739120b5e9c94b6a.d: crates/pfmm-bench/src/bin/table3_gpu_q.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_gpu_q-739120b5e9c94b6a.rmeta: crates/pfmm-bench/src/bin/table3_gpu_q.rs Cargo.toml
+
+crates/pfmm-bench/src/bin/table3_gpu_q.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

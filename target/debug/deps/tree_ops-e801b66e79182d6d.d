@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tree_ops-e801b66e79182d6d.d: crates/pfmm-bench/benches/tree_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtree_ops-e801b66e79182d6d.rmeta: crates/pfmm-bench/benches/tree_ops.rs Cargo.toml
+
+crates/pfmm-bench/benches/tree_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_scaling-0e6bb66421535ef8.d: examples/distributed_scaling.rs
+
+/root/repo/target/debug/examples/distributed_scaling-0e6bb66421535ef8: examples/distributed_scaling.rs
+
+examples/distributed_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_scaling-1f85debb37d41669.d: examples/distributed_scaling.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_scaling-1f85debb37d41669.rmeta: examples/distributed_scaling.rs Cargo.toml
+
+examples/distributed_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_scaling-2544ea0fe432ef04.d: examples/distributed_scaling.rs
+
+/root/repo/target/debug/examples/distributed_scaling-2544ea0fe432ef04: examples/distributed_scaling.rs
+
+examples/distributed_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ellipsoid_stokes-16d766ebca557f5e.d: examples/ellipsoid_stokes.rs
+
+/root/repo/target/debug/examples/ellipsoid_stokes-16d766ebca557f5e: examples/ellipsoid_stokes.rs
+
+examples/ellipsoid_stokes.rs:

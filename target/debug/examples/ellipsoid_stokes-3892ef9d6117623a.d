@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ellipsoid_stokes-3892ef9d6117623a.d: examples/ellipsoid_stokes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libellipsoid_stokes-3892ef9d6117623a.rmeta: examples/ellipsoid_stokes.rs Cargo.toml
+
+examples/ellipsoid_stokes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

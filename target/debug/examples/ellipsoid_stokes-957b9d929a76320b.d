@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ellipsoid_stokes-957b9d929a76320b.d: examples/ellipsoid_stokes.rs
+
+/root/repo/target/debug/examples/ellipsoid_stokes-957b9d929a76320b: examples/ellipsoid_stokes.rs
+
+examples/ellipsoid_stokes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_accel-35cb184dc8e1d36b.d: examples/gpu_accel.rs
+
+/root/repo/target/debug/examples/gpu_accel-35cb184dc8e1d36b: examples/gpu_accel.rs
+
+examples/gpu_accel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_accel-62a798038ac81a97.d: examples/gpu_accel.rs
+
+/root/repo/target/debug/examples/gpu_accel-62a798038ac81a97: examples/gpu_accel.rs
+
+examples/gpu_accel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gpu_accel-92b56adf7fcaddb0.d: examples/gpu_accel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgpu_accel-92b56adf7fcaddb0.rmeta: examples/gpu_accel.rs Cargo.toml
+
+examples/gpu_accel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

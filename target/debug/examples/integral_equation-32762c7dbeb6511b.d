@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/integral_equation-32762c7dbeb6511b.d: examples/integral_equation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintegral_equation-32762c7dbeb6511b.rmeta: examples/integral_equation.rs Cargo.toml
+
+examples/integral_equation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/integral_equation-66e353f48b630da9.d: examples/integral_equation.rs
+
+/root/repo/target/debug/examples/integral_equation-66e353f48b630da9: examples/integral_equation.rs
+
+examples/integral_equation.rs:

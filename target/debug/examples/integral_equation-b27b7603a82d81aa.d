@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/integral_equation-b27b7603a82d81aa.d: examples/integral_equation.rs
+
+/root/repo/target/debug/examples/integral_equation-b27b7603a82d81aa: examples/integral_equation.rs
+
+examples/integral_equation.rs:

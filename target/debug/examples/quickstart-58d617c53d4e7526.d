@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-58d617c53d4e7526.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-58d617c53d4e7526: examples/quickstart.rs
+
+examples/quickstart.rs:

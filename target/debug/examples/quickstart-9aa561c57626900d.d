@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9aa561c57626900d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9aa561c57626900d: examples/quickstart.rs
+
+examples/quickstart.rs:

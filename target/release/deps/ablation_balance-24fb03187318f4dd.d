@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_balance-24fb03187318f4dd.d: crates/pfmm-bench/src/bin/ablation_balance.rs
+
+/root/repo/target/release/deps/ablation_balance-24fb03187318f4dd: crates/pfmm-bench/src/bin/ablation_balance.rs
+
+crates/pfmm-bench/src/bin/ablation_balance.rs:

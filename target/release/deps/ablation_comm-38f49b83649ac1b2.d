@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_comm-38f49b83649ac1b2.d: crates/pfmm-bench/src/bin/ablation_comm.rs
+
+/root/repo/target/release/deps/ablation_comm-38f49b83649ac1b2: crates/pfmm-bench/src/bin/ablation_comm.rs
+
+crates/pfmm-bench/src/bin/ablation_comm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_gpu_block-3b71af995437b745.d: crates/pfmm-bench/src/bin/ablation_gpu_block.rs
+
+/root/repo/target/release/deps/ablation_gpu_block-3b71af995437b745: crates/pfmm-bench/src/bin/ablation_gpu_block.rs
+
+crates/pfmm-bench/src/bin/ablation_gpu_block.rs:

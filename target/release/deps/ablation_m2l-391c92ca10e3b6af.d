@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_m2l-391c92ca10e3b6af.d: crates/pfmm-bench/src/bin/ablation_m2l.rs
+
+/root/repo/target/release/deps/ablation_m2l-391c92ca10e3b6af: crates/pfmm-bench/src/bin/ablation_m2l.rs
+
+crates/pfmm-bench/src/bin/ablation_m2l.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sched-2ff39e9db533c38f.d: crates/pfmm-bench/src/bin/ablation_sched.rs
+
+/root/repo/target/release/deps/ablation_sched-2ff39e9db533c38f: crates/pfmm-bench/src/bin/ablation_sched.rs
+
+crates/pfmm-bench/src/bin/ablation_sched.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-bfda7cbe35d7f76f.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bfda7cbe35d7f76f.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-bfda7cbe35d7f76f.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

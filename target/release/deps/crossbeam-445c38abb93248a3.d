@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-445c38abb93248a3.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-445c38abb93248a3.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-445c38abb93248a3.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_strong-8c4b814b10e4e562.d: crates/pfmm-bench/src/bin/fig3_strong.rs
+
+/root/repo/target/release/deps/fig3_strong-8c4b814b10e4e562: crates/pfmm-bench/src/bin/fig3_strong.rs
+
+crates/pfmm-bench/src/bin/fig3_strong.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_weak-4ac4220689c0d5b7.d: crates/pfmm-bench/src/bin/fig4_weak.rs
+
+/root/repo/target/release/deps/fig4_weak-4ac4220689c0d5b7: crates/pfmm-bench/src/bin/fig4_weak.rs
+
+crates/pfmm-bench/src/bin/fig4_weak.rs:

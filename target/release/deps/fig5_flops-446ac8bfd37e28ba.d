@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_flops-446ac8bfd37e28ba.d: crates/pfmm-bench/src/bin/fig5_flops.rs
+
+/root/repo/target/release/deps/fig5_flops-446ac8bfd37e28ba: crates/pfmm-bench/src/bin/fig5_flops.rs
+
+crates/pfmm-bench/src/bin/fig5_flops.rs:

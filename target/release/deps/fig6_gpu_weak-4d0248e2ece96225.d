@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_gpu_weak-4d0248e2ece96225.d: crates/pfmm-bench/src/bin/fig6_gpu_weak.rs
+
+/root/repo/target/release/deps/fig6_gpu_weak-4d0248e2ece96225: crates/pfmm-bench/src/bin/fig6_gpu_weak.rs
+
+crates/pfmm-bench/src/bin/fig6_gpu_weak.rs:

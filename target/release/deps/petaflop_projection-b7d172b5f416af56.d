@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/petaflop_projection-b7d172b5f416af56.d: crates/pfmm-bench/src/bin/petaflop_projection.rs
+
+/root/repo/target/release/deps/petaflop_projection-b7d172b5f416af56: crates/pfmm-bench/src/bin/petaflop_projection.rs
+
+crates/pfmm-bench/src/bin/petaflop_projection.rs:

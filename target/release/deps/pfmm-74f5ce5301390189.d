@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pfmm-74f5ce5301390189.d: src/lib.rs
+
+/root/repo/target/release/deps/libpfmm-74f5ce5301390189.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpfmm-74f5ce5301390189.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/pfmm-e6eb73df5935d3a1.d: crates/pfmm-cli/src/main.rs crates/pfmm-cli/src/args.rs
+
+/root/repo/target/release/deps/pfmm-e6eb73df5935d3a1: crates/pfmm-cli/src/main.rs crates/pfmm-cli/src/args.rs
+
+crates/pfmm-cli/src/main.rs:
+crates/pfmm-cli/src/args.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pfmm_bench-5921bdbd6a031fd7.d: crates/pfmm-bench/src/lib.rs
+
+/root/repo/target/release/deps/libpfmm_bench-5921bdbd6a031fd7.rlib: crates/pfmm-bench/src/lib.rs
+
+/root/repo/target/release/deps/libpfmm_bench-5921bdbd6a031fd7.rmeta: crates/pfmm-bench/src/lib.rs
+
+crates/pfmm-bench/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pfmm_fft-2f5c8e6b6380294f.d: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs
+
+/root/repo/target/release/deps/libpfmm_fft-2f5c8e6b6380294f.rlib: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs
+
+/root/repo/target/release/deps/libpfmm_fft-2f5c8e6b6380294f.rmeta: crates/pfmm-fft/src/lib.rs crates/pfmm-fft/src/complex.rs crates/pfmm-fft/src/fft1d.rs crates/pfmm-fft/src/fft3d.rs
+
+crates/pfmm-fft/src/lib.rs:
+crates/pfmm-fft/src/complex.rs:
+crates/pfmm-fft/src/fft1d.rs:
+crates/pfmm-fft/src/fft3d.rs:

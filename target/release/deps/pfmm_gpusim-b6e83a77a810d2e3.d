@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pfmm_gpusim-b6e83a77a810d2e3.d: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs
+
+/root/repo/target/release/deps/libpfmm_gpusim-b6e83a77a810d2e3.rlib: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs
+
+/root/repo/target/release/deps/libpfmm_gpusim-b6e83a77a810d2e3.rmeta: crates/pfmm-gpusim/src/lib.rs crates/pfmm-gpusim/src/device.rs crates/pfmm-gpusim/src/fmm.rs crates/pfmm-gpusim/src/kernels.rs crates/pfmm-gpusim/src/layout.rs crates/pfmm-gpusim/src/tune.rs
+
+crates/pfmm-gpusim/src/lib.rs:
+crates/pfmm-gpusim/src/device.rs:
+crates/pfmm-gpusim/src/fmm.rs:
+crates/pfmm-gpusim/src/kernels.rs:
+crates/pfmm-gpusim/src/layout.rs:
+crates/pfmm-gpusim/src/tune.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pfmm_kernels-8d604a20a3f79443.d: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs
+
+/root/repo/target/release/deps/libpfmm_kernels-8d604a20a3f79443.rlib: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs
+
+/root/repo/target/release/deps/libpfmm_kernels-8d604a20a3f79443.rmeta: crates/pfmm-kernels/src/lib.rs crates/pfmm-kernels/src/dipole.rs crates/pfmm-kernels/src/direct.rs crates/pfmm-kernels/src/kernel.rs crates/pfmm-kernels/src/laplace.rs crates/pfmm-kernels/src/stokes.rs crates/pfmm-kernels/src/yukawa.rs
+
+crates/pfmm-kernels/src/lib.rs:
+crates/pfmm-kernels/src/dipole.rs:
+crates/pfmm-kernels/src/direct.rs:
+crates/pfmm-kernels/src/kernel.rs:
+crates/pfmm-kernels/src/laplace.rs:
+crates/pfmm-kernels/src/stokes.rs:
+crates/pfmm-kernels/src/yukawa.rs:

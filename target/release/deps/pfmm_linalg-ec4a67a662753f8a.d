@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pfmm_linalg-ec4a67a662753f8a.d: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs
+
+/root/repo/target/release/deps/libpfmm_linalg-ec4a67a662753f8a.rlib: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs
+
+/root/repo/target/release/deps/libpfmm_linalg-ec4a67a662753f8a.rmeta: crates/pfmm-linalg/src/lib.rs crates/pfmm-linalg/src/matrix.rs crates/pfmm-linalg/src/svd.rs
+
+crates/pfmm-linalg/src/lib.rs:
+crates/pfmm-linalg/src/matrix.rs:
+crates/pfmm-linalg/src/svd.rs:

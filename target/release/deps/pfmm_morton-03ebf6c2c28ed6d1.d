@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pfmm_morton-03ebf6c2c28ed6d1.d: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs
+
+/root/repo/target/release/deps/libpfmm_morton-03ebf6c2c28ed6d1.rlib: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs
+
+/root/repo/target/release/deps/libpfmm_morton-03ebf6c2c28ed6d1.rmeta: crates/pfmm-morton/src/lib.rs crates/pfmm-morton/src/key.rs crates/pfmm-morton/src/region.rs
+
+crates/pfmm-morton/src/lib.rs:
+crates/pfmm-morton/src/key.rs:
+crates/pfmm-morton/src/region.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pfmm_mpisim-6000012c04bd7df5.d: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs
+
+/root/repo/target/release/deps/libpfmm_mpisim-6000012c04bd7df5.rlib: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs
+
+/root/repo/target/release/deps/libpfmm_mpisim-6000012c04bd7df5.rmeta: crates/pfmm-mpisim/src/lib.rs crates/pfmm-mpisim/src/collectives.rs crates/pfmm-mpisim/src/comm.rs
+
+crates/pfmm-mpisim/src/lib.rs:
+crates/pfmm-mpisim/src/collectives.rs:
+crates/pfmm-mpisim/src/comm.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pfmm_perfmodel-9eaaf789f4f1c655.d: crates/pfmm-perfmodel/src/lib.rs
+
+/root/repo/target/release/deps/libpfmm_perfmodel-9eaaf789f4f1c655.rlib: crates/pfmm-perfmodel/src/lib.rs
+
+/root/repo/target/release/deps/libpfmm_perfmodel-9eaaf789f4f1c655.rmeta: crates/pfmm-perfmodel/src/lib.rs
+
+crates/pfmm-perfmodel/src/lib.rs:

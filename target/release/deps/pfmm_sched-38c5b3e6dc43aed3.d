@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pfmm_sched-38c5b3e6dc43aed3.d: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs
+
+/root/repo/target/release/deps/libpfmm_sched-38c5b3e6dc43aed3.rlib: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs
+
+/root/repo/target/release/deps/libpfmm_sched-38c5b3e6dc43aed3.rmeta: crates/pfmm-sched/src/lib.rs crates/pfmm-sched/src/buf.rs crates/pfmm-sched/src/exec.rs crates/pfmm-sched/src/graph.rs
+
+crates/pfmm-sched/src/lib.rs:
+crates/pfmm-sched/src/buf.rs:
+crates/pfmm-sched/src/exec.rs:
+crates/pfmm-sched/src/graph.rs:

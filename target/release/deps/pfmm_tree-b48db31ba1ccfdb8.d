@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pfmm_tree-b48db31ba1ccfdb8.d: crates/pfmm-tree/src/lib.rs crates/pfmm-tree/src/balance.rs crates/pfmm-tree/src/bitonic.rs crates/pfmm-tree/src/dtree.rs crates/pfmm-tree/src/lett.rs crates/pfmm-tree/src/lists.rs crates/pfmm-tree/src/point.rs crates/pfmm-tree/src/sort.rs crates/pfmm-tree/src/stats.rs
+
+/root/repo/target/release/deps/libpfmm_tree-b48db31ba1ccfdb8.rlib: crates/pfmm-tree/src/lib.rs crates/pfmm-tree/src/balance.rs crates/pfmm-tree/src/bitonic.rs crates/pfmm-tree/src/dtree.rs crates/pfmm-tree/src/lett.rs crates/pfmm-tree/src/lists.rs crates/pfmm-tree/src/point.rs crates/pfmm-tree/src/sort.rs crates/pfmm-tree/src/stats.rs
+
+/root/repo/target/release/deps/libpfmm_tree-b48db31ba1ccfdb8.rmeta: crates/pfmm-tree/src/lib.rs crates/pfmm-tree/src/balance.rs crates/pfmm-tree/src/bitonic.rs crates/pfmm-tree/src/dtree.rs crates/pfmm-tree/src/lett.rs crates/pfmm-tree/src/lists.rs crates/pfmm-tree/src/point.rs crates/pfmm-tree/src/sort.rs crates/pfmm-tree/src/stats.rs
+
+crates/pfmm-tree/src/lib.rs:
+crates/pfmm-tree/src/balance.rs:
+crates/pfmm-tree/src/bitonic.rs:
+crates/pfmm-tree/src/dtree.rs:
+crates/pfmm-tree/src/lett.rs:
+crates/pfmm-tree/src/lists.rs:
+crates/pfmm-tree/src/point.rs:
+crates/pfmm-tree/src/sort.rs:
+crates/pfmm-tree/src/stats.rs:

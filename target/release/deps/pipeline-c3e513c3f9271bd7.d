@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-c3e513c3f9271bd7.d: crates/pfmm-bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-c3e513c3f9271bd7: crates/pfmm-bench/benches/pipeline.rs
+
+crates/pfmm-bench/benches/pipeline.rs:

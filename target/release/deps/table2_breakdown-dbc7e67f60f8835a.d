@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_breakdown-dbc7e67f60f8835a.d: crates/pfmm-bench/src/bin/table2_breakdown.rs
+
+/root/repo/target/release/deps/table2_breakdown-dbc7e67f60f8835a: crates/pfmm-bench/src/bin/table2_breakdown.rs
+
+crates/pfmm-bench/src/bin/table2_breakdown.rs:

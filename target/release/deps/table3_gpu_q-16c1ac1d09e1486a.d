@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_gpu_q-16c1ac1d09e1486a.d: crates/pfmm-bench/src/bin/table3_gpu_q.rs
+
+/root/repo/target/release/deps/table3_gpu_q-16c1ac1d09e1486a: crates/pfmm-bench/src/bin/table3_gpu_q.rs
+
+crates/pfmm-bench/src/bin/table3_gpu_q.rs:

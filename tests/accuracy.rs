@@ -52,20 +52,31 @@ fn laplace_error_decreases_with_order() {
     randomize_densities(&mut pts, 1, 5);
     let mut errs = Vec::new();
     for order in [2usize, 4, 6] {
-        let cfg = FmmConfig { order, q: 40, ..Default::default() };
+        let cfg = FmmConfig {
+            order,
+            q: 40,
+            ..Default::default()
+        };
         errs.push(fmm_rel_error(Arc::new(Laplace), cfg, &pts));
     }
     assert!(errs[0] < 0.2, "order 2 is crude but bounded: {errs:?}");
     assert!(errs[1] < 1e-3, "order 4 gives ~3 digits: {errs:?}");
     assert!(errs[2] < 1e-5, "order 6 gives ~5 digits: {errs:?}");
-    assert!(errs[2] < errs[1] && errs[1] < errs[0], "monotone convergence: {errs:?}");
+    assert!(
+        errs[2] < errs[1] && errs[1] < errs[0],
+        "monotone convergence: {errs:?}"
+    );
 }
 
 #[test]
 fn laplace_nonuniform_tree_accuracy() {
     let mut pts = ellipsoid_1_1_4(2000, 103, 0);
     randomize_densities(&mut pts, 1, 7);
-    let cfg = FmmConfig { order: 6, q: 30, ..Default::default() };
+    let cfg = FmmConfig {
+        order: 6,
+        q: 30,
+        ..Default::default()
+    };
     let err = fmm_rel_error(Arc::new(Laplace), cfg, &pts);
     assert!(err < 1e-4, "deep adaptive tree error {err}");
 }
@@ -74,7 +85,11 @@ fn laplace_nonuniform_tree_accuracy() {
 fn stokes_vector_kernel_accuracy() {
     let mut pts = uniform_cube(1200, 107, 0);
     randomize_densities(&mut pts, 3, 9);
-    let cfg = FmmConfig { order: 6, q: 60, ..Default::default() };
+    let cfg = FmmConfig {
+        order: 6,
+        q: 60,
+        ..Default::default()
+    };
     let err = fmm_rel_error(Arc::new(Stokes { mu: 0.8 }), cfg, &pts);
     assert!(err < 1e-4, "stokes error {err}");
 }
@@ -85,15 +100,28 @@ fn dense_and_fft_m2l_agree_on_mixed_tree() {
     randomize_densities(&mut pts, 1, 11);
     let dense = fmm_rel_error(
         Arc::new(Laplace),
-        FmmConfig { order: 4, q: 25, m2l: M2lMode::Dense, ..Default::default() },
+        FmmConfig {
+            order: 4,
+            q: 25,
+            m2l: M2lMode::Dense,
+            ..Default::default()
+        },
         &pts,
     );
     let fft = fmm_rel_error(
         Arc::new(Laplace),
-        FmmConfig { order: 4, q: 25, m2l: M2lMode::Fft, ..Default::default() },
+        FmmConfig {
+            order: 4,
+            q: 25,
+            m2l: M2lMode::Fft,
+            ..Default::default()
+        },
         &pts,
     );
-    assert!((dense - fft).abs() < 1e-6, "same operator, same error: {dense} vs {fft}");
+    assert!(
+        (dense - fft).abs() < 1e-6,
+        "same operator, same error: {dense} vs {fft}"
+    );
 }
 
 #[test]
@@ -113,7 +141,11 @@ fn clustered_plus_background_distribution() {
         pts.push(p);
     }
     randomize_densities(&mut pts, 1, 13);
-    let cfg = FmmConfig { order: 6, q: 20, ..Default::default() };
+    let cfg = FmmConfig {
+        order: 6,
+        q: 20,
+        ..Default::default()
+    };
     let err = fmm_rel_error(Arc::new(Laplace), cfg, &pts);
     assert!(err < 1e-4, "cluster+background error {err}");
 }
@@ -125,13 +157,24 @@ fn tiny_problems_are_exact() {
     for n in [2usize, 7, 30] {
         let mut pts = uniform_cube(n, 131 + n as u64, 0);
         randomize_densities(&mut pts, 1, 17);
-        let cfg = FmmConfig { order: 4, q: 64, ..Default::default() };
+        let cfg = FmmConfig {
+            order: 4,
+            q: 64,
+            ..Default::default()
+        };
         let err = fmm_rel_error(Arc::new(Laplace), cfg, &pts);
         assert!(err < 1e-12, "n={n}: {err}");
     }
     // A single point has zero potential (self-interaction excluded); the
     // error metric degenerates, so check the value directly.
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 64, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 64,
+            ..Default::default()
+        },
+    );
     let lone = vec![PointRec::scalar([0.5, 0.5, 0.5], 3.0, 0)];
     let out = mpisim::run(1, |c| {
         let res = fmm.evaluate(c, lone.clone());
@@ -150,7 +193,11 @@ fn yukawa_non_homogeneous_kernel_accuracy() {
     use pfmm::kernels::Yukawa;
     let mut pts = uniform_cube(1500, 137, 0);
     randomize_densities(&mut pts, 1, 19);
-    let cfg = FmmConfig { order: 6, q: 50, ..Default::default() };
+    let cfg = FmmConfig {
+        order: 6,
+        q: 50,
+        ..Default::default()
+    };
     let err = fmm_rel_error(Arc::new(Yukawa { lambda: 3.0 }), cfg, &pts);
     assert!(err < 1e-4, "yukawa error {err}");
 }
@@ -160,10 +207,17 @@ fn yukawa_matches_laplace_at_zero_screening() {
     use pfmm::kernels::Yukawa;
     let mut pts = uniform_cube(900, 139, 0);
     randomize_densities(&mut pts, 1, 23);
-    let cfg = FmmConfig { order: 4, q: 40, ..Default::default() };
+    let cfg = FmmConfig {
+        order: 4,
+        q: 40,
+        ..Default::default()
+    };
     let e_yuk = fmm_rel_error(Arc::new(Yukawa { lambda: 0.0 }), cfg, &pts);
     let e_lap = fmm_rel_error(Arc::new(Laplace), cfg, &pts);
-    assert!((e_yuk - e_lap).abs() < 1e-6, "λ=0 Yukawa is Laplace: {e_yuk} vs {e_lap}");
+    assert!(
+        (e_yuk - e_lap).abs() < 1e-6,
+        "λ=0 Yukawa is Laplace: {e_yuk} vs {e_lap}"
+    );
 }
 
 #[test]
@@ -173,7 +227,11 @@ fn dipole_rectangular_kernel_accuracy() {
     use pfmm::kernels::LaplaceDipole;
     let mut pts = uniform_cube(1200, 149, 0);
     randomize_densities(&mut pts, 3, 21);
-    let cfg = FmmConfig { order: 6, q: 50, ..Default::default() };
+    let cfg = FmmConfig {
+        order: 6,
+        q: 50,
+        ..Default::default()
+    };
     let err = fmm_rel_error(Arc::new(LaplaceDipole), cfg, &pts);
     assert!(err < 1e-3, "dipole error {err}");
 }

@@ -52,7 +52,14 @@ fn assert_matches_reference(
 fn all_rank_counts_agree_laplace() {
     let mut pts = uniform_cube(2400, 211, 0);
     randomize_densities(&mut pts, 1, 3);
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 40, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 40,
+            ..Default::default()
+        },
+    );
     let seq: std::collections::HashMap<u64, Vec<f64>> =
         run_p(&fmm, &pts, 1, 1).0.into_iter().collect();
     for p in [2usize, 3, 4, 5, 8] {
@@ -67,7 +74,11 @@ fn nonuniform_stokes_distributed() {
     randomize_densities(&mut pts, 3, 5);
     let fmm = Fmm::new(
         Arc::new(Stokes::default()),
-        FmmConfig { order: 4, q: 40, ..Default::default() },
+        FmmConfig {
+            order: 4,
+            q: 40,
+            ..Default::default()
+        },
     );
     let seq: std::collections::HashMap<u64, Vec<f64>> =
         run_p(&fmm, &pts, 1, 3).0.into_iter().collect();
@@ -75,7 +86,10 @@ fn nonuniform_stokes_distributed() {
     // Order-4 Stokes truncation is ~5e-3 l2; the worst pointwise
     // deviation between the differently-refined trees sits near 1%.
     assert_matches_reference(&seq, &got, 3e-2, "stokes p=4");
-    assert!(msgs.iter().all(|&m| m > 0), "every rank communicated: {msgs:?}");
+    assert!(
+        msgs.iter().all(|&m| m > 0),
+        "every rank communicated: {msgs:?}"
+    );
 }
 
 #[test]
@@ -87,11 +101,18 @@ fn hypercube_and_naive_reductions_agree_exactly() {
     let mk = |reduction| {
         Fmm::new(
             Arc::new(Laplace),
-            FmmConfig { order: 4, q: 30, reduction, ..Default::default() },
+            FmmConfig {
+                order: 4,
+                q: 30,
+                reduction,
+                ..Default::default()
+            },
         )
     };
-    let hc: std::collections::HashMap<u64, Vec<f64>> =
-        run_p(&mk(Reduction::Hypercube), &pts, 8, 1).0.into_iter().collect();
+    let hc: std::collections::HashMap<u64, Vec<f64>> = run_p(&mk(Reduction::Hypercube), &pts, 8, 1)
+        .0
+        .into_iter()
+        .collect();
     let (nv, _, _) = run_p(&mk(Reduction::Naive), &pts, 8, 1);
     assert_matches_reference(&hc, &nv, 1e-11, "naive vs hypercube");
 }
@@ -100,7 +121,14 @@ fn hypercube_and_naive_reductions_agree_exactly() {
 fn hypercube_message_count_is_logarithmic() {
     let mut pts = uniform_cube(3200, 229, 0);
     randomize_densities(&mut pts, 1, 9);
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 40, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 40,
+            ..Default::default()
+        },
+    );
     for p in [2usize, 4, 8, 16] {
         let (_, msgs, _) = run_p(&fmm, &pts, p, 1);
         let expect = 2 * (p.trailing_zeros() as u64); // keys+densities per round
@@ -117,9 +145,20 @@ fn skewed_initial_distribution_is_rebalanced() {
     // the evaluation.
     let mut pts = uniform_cube(3000, 233, 0);
     randomize_densities(&mut pts, 1, 11);
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 40, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 40,
+            ..Default::default()
+        },
+    );
     let out = mpisim::run(4, |c| {
-        let mine = if c.rank() == 0 { pts.clone() } else { Vec::new() };
+        let mine = if c.rank() == 0 {
+            pts.clone()
+        } else {
+            Vec::new()
+        };
         let res = fmm.evaluate(c, mine);
         (res.gids.len(), res.profile.total_flops())
     });
@@ -141,7 +180,14 @@ fn repeated_evaluation_reuses_operator_cache() {
     // operator cache must not corrupt across runs.
     let mut pts = uniform_cube(1000, 239, 0);
     randomize_densities(&mut pts, 1, 13);
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 30, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 30,
+            ..Default::default()
+        },
+    );
     let a: std::collections::HashMap<u64, Vec<f64>> =
         run_p(&fmm, &pts, 2, 1).0.into_iter().collect();
     let (b, _, _) = run_p(&fmm, &pts, 2, 1);
@@ -158,7 +204,12 @@ fn threaded_evaluation_matches_sequential() {
     let mk = |threads| {
         Fmm::new(
             Arc::new(Laplace),
-            FmmConfig { order: 4, q: 25, threads, ..Default::default() },
+            FmmConfig {
+                order: 4,
+                q: 25,
+                threads,
+                ..Default::default()
+            },
         )
     };
     let seq: std::collections::HashMap<u64, Vec<f64>> =
@@ -182,20 +233,29 @@ fn bitonic_sort_backend_matches_sample() {
     let mk = |sort| {
         Fmm::new(
             Arc::new(Laplace),
-            FmmConfig { order: 4, q: 30, sort, ..Default::default() },
+            FmmConfig {
+                order: 4,
+                q: 30,
+                sort,
+                ..Default::default()
+            },
         )
     };
     // Same points, p = 4 (power of two): both backends must produce the
     // same global Morton distribution, hence identical trees and results.
-    let sample: std::collections::HashMap<u64, Vec<f64>> =
-        run_p(&mk(SortKind::Sample), &pts, 4, 1).0.into_iter().collect();
+    let sample: std::collections::HashMap<u64, Vec<f64>> = run_p(&mk(SortKind::Sample), &pts, 4, 1)
+        .0
+        .into_iter()
+        .collect();
     let (bitonic, _, _) = run_p(&mk(SortKind::Bitonic), &pts, 4, 1);
     // Region fences may differ (different chunk boundaries), so agreement
     // holds at truncation accuracy.
     assert_matches_reference(&sample, &bitonic, 5e-3, "bitonic backend");
     // Non-power-of-two falls back to sample sort: exact match.
-    let s3: std::collections::HashMap<u64, Vec<f64>> =
-        run_p(&mk(SortKind::Sample), &pts, 3, 1).0.into_iter().collect();
+    let s3: std::collections::HashMap<u64, Vec<f64>> = run_p(&mk(SortKind::Sample), &pts, 3, 1)
+        .0
+        .into_iter()
+        .collect();
     let (b3, _, _) = run_p(&mk(SortKind::Bitonic), &pts, 3, 1);
     assert_matches_reference(&s3, &b3, 1e-12, "bitonic fallback");
 }
@@ -210,7 +270,12 @@ fn parallel_traversals_match_sequential() {
     let mk = |traversal_threads| {
         Fmm::new(
             Arc::new(Laplace),
-            FmmConfig { order: 4, q: 20, traversal_threads, ..Default::default() },
+            FmmConfig {
+                order: 4,
+                q: 20,
+                traversal_threads,
+                ..Default::default()
+            },
         )
     };
     let seq: std::collections::HashMap<u64, Vec<f64>> =

@@ -96,13 +96,26 @@ fn mpisim_type_mismatch_panics() {
 #[test]
 #[should_panic(expected = "surface order must be at least 2")]
 fn fmm_rejects_order_one() {
-    Fmm::new(Arc::new(Laplace), FmmConfig { order: 1, ..Default::default() });
+    Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 1,
+            ..Default::default()
+        },
+    );
 }
 
 #[test]
 #[should_panic(expected = "rank thread panicked")]
 fn fmm_rejects_zero_q() {
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 0, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 0,
+            ..Default::default()
+        },
+    );
     mpisim::run(1, |c| {
         fmm.evaluate(c, vec![PointRec::scalar([0.5, 0.5, 0.5], 1.0, 0)]);
     });
@@ -111,7 +124,14 @@ fn fmm_rejects_zero_q() {
 #[test]
 #[should_panic(expected = "rank thread panicked")]
 fn plan_apply_rejects_misaligned_densities() {
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 8, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 8,
+            ..Default::default()
+        },
+    );
     let pts: Vec<PointRec> = (0..20)
         .map(|i| PointRec::scalar([i as f64 / 20.0, 0.5, 0.5], 1.0, i))
         .collect();
@@ -124,7 +144,14 @@ fn plan_apply_rejects_misaligned_densities() {
 #[test]
 fn evaluate_with_no_points_is_empty_not_crash() {
     // Degenerate but legal: a rank (here, all ranks) with nothing to do.
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 8, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 8,
+            ..Default::default()
+        },
+    );
     let out = mpisim::run(2, |c| {
         let res = fmm.evaluate(c, Vec::new());
         (res.gids.len(), res.pot.len())
@@ -142,7 +169,14 @@ fn points_on_cube_boundary_are_clamped_not_lost() {
         PointRec::scalar([1.0, 1.0, 1.0], 1.0, 1),
         PointRec::scalar([1.0, 0.0, 0.5], 1.0, 2),
     ];
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 2, ..Default::default() });
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 2,
+            ..Default::default()
+        },
+    );
     let out = mpisim::run(1, |c| fmm.evaluate(c, pts.clone()).gids.len());
     assert_eq!(out[0], 3);
 }
@@ -152,9 +186,17 @@ fn duplicate_positions_with_distinct_gids_survive() {
     // Coincident points stress the MAX_DEPTH refinement cap and the
     // self-interaction exclusion (which is positional, so coincident
     // distinct points DO interact — only the true self term is dropped).
-    let pts: Vec<PointRec> =
-        (0..12).map(|i| PointRec::scalar([0.25, 0.5, 0.75], 1.0, i)).collect();
-    let fmm = Fmm::new(Arc::new(Laplace), FmmConfig { order: 4, q: 4, ..Default::default() });
+    let pts: Vec<PointRec> = (0..12)
+        .map(|i| PointRec::scalar([0.25, 0.5, 0.75], 1.0, i))
+        .collect();
+    let fmm = Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 4,
+            q: 4,
+            ..Default::default()
+        },
+    );
     let out = mpisim::run(1, |c| {
         let res = fmm.evaluate(c, pts.clone());
         pfmm::fmm::driver::gather_potentials(c, &res, 1)

@@ -164,6 +164,52 @@ proptest! {
     }
 }
 
+/// The barrier and graph executors are not merely close — they must be
+/// bitwise identical, because they run the same chunk kernels in the
+/// same per-slice accumulation order. Adaptive (ellipsoid) distribution,
+/// 4 simulated ranks, worker threads on.
+#[test]
+fn graph_and_barrier_schedules_bitwise_identical() {
+    use pfmm::fmm::distrib::{ellipsoid_1_1_4, randomize_densities};
+    use pfmm::fmm::Schedule;
+
+    let mut pts = ellipsoid_1_1_4(2000, 41, 0);
+    randomize_densities(&mut pts, 1, 43);
+    let eval = |schedule: Schedule| -> std::collections::HashMap<u64, Vec<f64>> {
+        let cfg = FmmConfig {
+            order: 4,
+            q: 30,
+            threads: 2,
+            schedule,
+            ..Default::default()
+        };
+        let fmm = Fmm::new(Arc::new(Laplace), cfg);
+        let pts = &pts;
+        mpisim::run(4, move |c| {
+            let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(4).copied().collect();
+            let res = fmm.evaluate(c, mine);
+            gather_potentials(c, &res, 1)
+        })
+        .pop()
+        .expect("rank outputs")
+        .into_iter()
+        .collect()
+    };
+    let barrier = eval(Schedule::Barrier);
+    let graph = eval(Schedule::Graph);
+    assert_eq!(barrier.len(), pts.len());
+    assert_eq!(graph.len(), barrier.len());
+    for (gid, pot) in &graph {
+        for (a, w) in pot.iter().zip(&barrier[gid]) {
+            assert_eq!(
+                a.to_bits(),
+                w.to_bits(),
+                "gid {gid}: graph {a} vs barrier {w}"
+            );
+        }
+    }
+}
+
 /// Deterministic spot-check kept outside proptest: the direct sum and
 /// the FMM agree on a fixed cloud (guards the test harness itself).
 #[test]
@@ -174,7 +220,11 @@ fn harness_sanity() {
             PointRec::scalar([f, (3.0 * f) % 1.0, (7.0 * f) % 1.0], 1.0, i as u64)
         })
         .collect();
-    let cfg = FmmConfig { order: 6, q: 8, ..Default::default() };
+    let cfg = FmmConfig {
+        order: 6,
+        q: 8,
+        ..Default::default()
+    };
     let fmm = Fmm::new(Arc::new(Laplace), cfg);
     let got = mpisim::run(1, |c| {
         let res = fmm.evaluate(c, pts.clone());
