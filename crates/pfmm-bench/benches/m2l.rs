@@ -6,6 +6,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pfmm_core::m2l_batched::{offset_slot, FftBatchedM2l};
 use pfmm_core::m2l_fft::FftM2l;
 use pfmm_core::ops::Ops;
 use pfmm_kernels::Laplace;
@@ -49,6 +50,37 @@ fn bench_m2l(c: &mut Criterion) {
         g.bench_function(format!("fft_source_transform_order{order}"), |b| {
             b.iter(|| black_box(eng.source_spectrum(black_box(&u))))
         });
+    }
+
+    // Batched half-spectrum path: one transfer-vector bucket at a
+    // realistic size (a uniform interior level feeds each spectrum to
+    // many targets), measured as the whole bucket's split-complex
+    // Hadamard accumulation.
+    const BUCKET: usize = 32;
+    for order in [4usize, 6, 8] {
+        let ops = Ops::new(Arc::new(Laplace), order, 1e-12);
+        let eng = FftBatchedM2l::new(Arc::new(Laplace), order);
+        let nd = ops.density_len();
+        let level = 4u32;
+        let offset = [2i8, -1, 3];
+        let table = eng.build_table(&[(level, offset)], 1);
+        let u: Vec<f64> = (0..BUCKET * nd).map(|i| (i as f64 * 0.13).sin()).collect();
+        let sources: Vec<usize> = (0..BUCKET).collect();
+        let src = eng.source_spectra(&sources, BUCKET, &u, nd, 1);
+        let mut scratch = eng.new_scratch(BUCKET);
+        scratch.reset(BUCKET);
+        let (k, scale) = table.get(level, offset_slot(offset));
+        g.bench_function(
+            format!("batched_hadamard_bucket{BUCKET}_order{order}"),
+            |b| {
+                b.iter(|| {
+                    for t in 0..BUCKET {
+                        let (sr, si) = src.planes(t);
+                        eng.accumulate(black_box(&mut scratch), t, black_box(k), sr, si, scale);
+                    }
+                })
+            },
+        );
     }
 
     g.finish();

@@ -1,10 +1,15 @@
-//! Ablation — dense vs FFT-diagonalized V-list translation.
+//! Ablation — dense vs FFT vs batched half-spectrum V-list translation.
 //!
 //! DESIGN.md calls out the FFT diagonalization (paper §IV) as the design
-//! choice that makes the V-list tractable; this harness measures both
-//! paths' actual V-list wall time and flop counts at increasing surface
-//! order, where the dense operator grows like `n_surf²` per interaction
-//! and the FFT path like `(2p)³`.
+//! choice that makes the V-list tractable; this harness measures all
+//! three paths' actual V-list wall time and flop counts at increasing
+//! surface order: the dense operator grows like `n_surf²` per
+//! interaction, the complex FFT path like `(2p)³`, and the batched
+//! half-spectrum path like `(2p)²·(p+1)` with the transfer-vector
+//! spectra shared across edges.
+//!
+//! Usage: `ablation_m2l [n_points]` (default 20 000). Results are also
+//! written as JSON to `results/BENCH_m2l.json` for the CI smoke job.
 
 use std::sync::Arc;
 
@@ -12,22 +17,36 @@ use pfmm_bench::{run_case, Distribution, Table};
 use pfmm_core::{FmmConfig, M2lMode, Phase};
 use pfmm_kernels::Laplace;
 
+struct Row {
+    order: usize,
+    wall: [f64; 3],
+    gflop: [f64; 3],
+}
+
 fn main() {
-    let n = 20_000;
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n_points must be an integer"))
+        .unwrap_or(20_000);
     let q = 40;
-    println!("Ablation: dense vs FFT M2L (uniform, N = {n}, q = {q}, p = 1)\n");
+    println!("Ablation: dense vs fft vs fft-batched M2L (uniform, N = {n}, q = {q}, p = 1)\n");
+    let modes = [M2lMode::Dense, M2lMode::Fft, M2lMode::FftBatched];
     let mut t = Table::new(&[
         "order",
         "dense wall(s)",
         "fft wall(s)",
+        "batched wall(s)",
         "dense GFlop",
         "fft GFlop",
-        "wall speedup",
+        "batched GFlop",
+        "batched/fft",
+        "batched/dense",
     ]);
+    let mut rows = Vec::new();
     for order in [4usize, 6, 8] {
-        let mut wall = Vec::new();
-        let mut flops = Vec::new();
-        for m2l in [M2lMode::Dense, M2lMode::Fft] {
+        let mut wall = [0.0f64; 3];
+        let mut gflop = [0.0f64; 3];
+        for (i, &m2l) in modes.iter().enumerate() {
             let cfg = FmmConfig {
                 order,
                 q,
@@ -35,19 +54,57 @@ fn main() {
                 ..Default::default()
             };
             let s = run_case(Arc::new(Laplace), cfg, Distribution::Uniform, n, 1, 13);
-            wall.push(s.max_secs(Phase::VList));
-            flops.push(s.profiles[0].flops(Phase::VList));
+            wall[i] = s.max_secs(Phase::VList);
+            gflop[i] = s.profiles[0].flops(Phase::VList) as f64 / 1e9;
         }
         t.row(vec![
             order.to_string(),
             format!("{:.3}", wall[0]),
             format!("{:.3}", wall[1]),
-            format!("{:.2}", flops[0] as f64 / 1e9),
-            format!("{:.2}", flops[1] as f64 / 1e9),
-            format!("{:.1}x", wall[0] / wall[1].max(1e-9)),
+            format!("{:.3}", wall[2]),
+            format!("{:.2}", gflop[0]),
+            format!("{:.2}", gflop[1]),
+            format!("{:.2}", gflop[2]),
+            format!("{:.1}x", wall[1] / wall[2].max(1e-9)),
+            format!("{:.1}x", wall[0] / wall[2].max(1e-9)),
         ]);
+        rows.push(Row { order, wall, gflop });
     }
     println!("{}", t.render());
-    println!("expected: the FFT path's advantage grows with the surface order (the");
-    println!("dense operator is O(n_surf^2) per pair, the Hadamard O((2p)^3)).");
+    println!("expected: the spectral paths' advantage grows with the surface order");
+    println!("(dense is O(n_surf^2) per pair, the Hadamard O((2p)^3) complex or");
+    println!("O((2p)^2 (p+1)) half-spectrum), and the batched path beats plain fft");
+    println!("by reusing transfer-vector spectra and halving the retained frequencies.");
+
+    let json = render_json(n, q, &rows);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_m2l.json", &json).expect("write results/BENCH_m2l.json");
+    println!("\nwrote results/BENCH_m2l.json");
+}
+
+fn render_json(n: usize, q: usize, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\n  \"bench\": \"ablation_m2l\",\n  \"n\": {n},\n  \"q\": {q},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"order\": {}, \"dense_wall_s\": {:.6}, \"fft_wall_s\": {:.6}, \
+             \"fft_batched_wall_s\": {:.6}, \"dense_gflop\": {:.4}, \"fft_gflop\": {:.4}, \
+             \"fft_batched_gflop\": {:.4}, \"speedup_batched_vs_fft\": {:.3}, \
+             \"speedup_batched_vs_dense\": {:.3}}}{}\n",
+            r.order,
+            r.wall[0],
+            r.wall[1],
+            r.wall[2],
+            r.gflop[0],
+            r.gflop[1],
+            r.gflop[2],
+            r.wall[1] / r.wall[2].max(1e-9),
+            r.wall[0] / r.wall[2].max(1e-9),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

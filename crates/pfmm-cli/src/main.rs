@@ -42,7 +42,10 @@ common options:
 run options:
   --ranks <int>        simulated MPI ranks (default 1)
   --threads <int>      intra-rank threads for the parallel phases (default 1)
-  --m2l <fft|dense>    V-list mode (default fft)
+  --m2l <fft-batched|fft|dense>  V-list mode (default fft-batched:
+                       lock-free transfer-vector-bucketed half-spectrum
+                       Hadamard; fft = per-edge spectral baseline;
+                       dense = per-offset operator matrices)
   --sort <sample|bitonic>      parallel sort backend (default sample)
   --reduction <auto|hypercube|naive>  up-density reduction (default auto)
   --schedule <barrier|graph>   phase executor: bulk-synchronous barriers
@@ -145,7 +148,8 @@ fn config_of(args: &Args) -> Result<FmmConfig, String> {
     Ok(FmmConfig {
         order: args.get_or("order", 6)?,
         q: args.get_or("q", 100)?,
-        m2l: match args.get("m2l").unwrap_or("fft") {
+        m2l: match args.get("m2l").unwrap_or("fft-batched") {
+            "fft-batched" => M2lMode::FftBatched,
             "fft" => M2lMode::Fft,
             "dense" => M2lMode::Dense,
             other => return Err(format!("unknown m2l mode '{other}'")),
@@ -390,6 +394,25 @@ mod tests {
         assert_eq!(cfg.schedule, Schedule::Graph);
         assert_eq!(cfg.threads, 3);
         assert!(!cfg.balance);
+    }
+
+    #[test]
+    fn m2l_mode_selection() {
+        assert_eq!(
+            config_of(&args(&["run"])).expect("default").m2l,
+            M2lMode::FftBatched
+        );
+        assert_eq!(
+            config_of(&args(&["run", "--m2l", "fft-batched"]))
+                .expect("batched")
+                .m2l,
+            M2lMode::FftBatched
+        );
+        assert_eq!(
+            config_of(&args(&["run", "--m2l", "fft"])).expect("fft").m2l,
+            M2lMode::Fft
+        );
+        assert!(config_of(&args(&["run", "--m2l", "nope"])).is_err());
     }
 
     #[test]

@@ -48,10 +48,14 @@ use crate::driver::{Fmm, M2lMode, Reduction, Schedule};
 /// V-list source spectra, shared between the FFT pass-1 task and the
 /// per-chunk pass-2 tasks.
 type Spectra = Arc<Vec<Option<Arc<Vec<Complex>>>>>;
+/// Batched-mode pass-1 product: the immutable kernel-spectrum table and
+/// the split-complex source spectra.
+type BatchedSpectra = Arc<(SpectraTable, SourceSpectra)>;
+use crate::m2l_batched::{offset_slot, FftBatchedM2l, SourceSpectra, SpectraTable};
 use crate::m2l_fft::FftM2l;
 use crate::ops::Ops;
-use crate::par::{par_map, par_windows};
-use crate::profile::{Phase, Profile};
+use crate::par::{par_map, par_windows, par_windows_weighted, weighted_cuts};
+use crate::profile::{flop_model, Phase, Profile};
 use crate::reduce::{reduce_scatter_hypercube, reduce_scatter_naive, HypercubeReduceAsync};
 
 /// Per-LET evaluation workspace: leaf geometry, packed densities, and the
@@ -125,6 +129,7 @@ struct Ctx<'a> {
     kernel: &'a dyn Kernel,
     ops: &'a Ops,
     fft: &'a FftM2l,
+    fftb: &'a FftBatchedM2l,
     l: &'a Let,
     lists: &'a Lists,
     leaf_pos: &'a [Vec<Point3>],
@@ -143,6 +148,7 @@ impl Ctx<'_> {
             kernel: fmm.kernel(),
             ops: fmm.ops(),
             fft: fmm.fft(),
+            fftb: fmm.fft_batched(),
             l,
             lists,
             leaf_pos: &data.leaf_pos,
@@ -324,7 +330,7 @@ impl Ctx<'_> {
                     &mut window[bi * clen - base..(bi + 1) * clen - base],
                     s,
                 );
-                fl += 2 * (clen * ulen) as u64;
+                fl += flop_model::m2l_dense_edge(clen, ulen);
             }
         }
         fl
@@ -360,7 +366,7 @@ impl Ctx<'_> {
             uhat[*ai] = Some(spec);
         }
         let sd = self.kernel.source_dim();
-        let fl = (sources.len() * 5 * g * (g.ilog2() as usize) * sd) as u64;
+        let fl = sources.len() as u64 * flop_model::fft_c2c(g) * sd as u64;
         (uhat, fl)
     }
 
@@ -393,12 +399,122 @@ impl Ctx<'_> {
                 let (khat, s) = fft.kernel_spectrum(beta.level(), offset_of(&alpha, &beta));
                 let src = uhat[ai].as_ref().expect("transformed in pass 1");
                 fft.accumulate(&mut acc, &khat, src, s);
-                fl += (8 * g * sd * td) as u64;
+                fl += flop_model::hadamard_edge(g, sd, td);
                 any = true;
             }
             if any {
                 fft.finish(acc, &mut window[bi * clen - base..(bi + 1) * clen - base]);
-                fl += (5 * g * (g.ilog2() as usize) * td) as u64;
+                fl += flop_model::fft_c2c(g) * td as u64;
+            }
+        }
+        fl
+    }
+
+    /// V-list batched pass 1: enumerate the distinct (level, transfer
+    /// vector) pairs present, build the immutable kernel-spectrum table,
+    /// and half-spectrum transform every V-list source once.
+    fn vli_batched_spectra(
+        &self,
+        has_up: &[bool],
+        u: &[f64],
+        threads: usize,
+    ) -> (SpectraTable, SourceSpectra, u64) {
+        let (l, fftb, ulen) = (self.l, self.fftb, self.ulen);
+        let noct = l.len();
+        let mut needed = vec![false; noct];
+        let mut seen = std::collections::HashSet::new();
+        let mut keys: Vec<(u32, [i8; 3])> = Vec::new();
+        for bi in 0..noct {
+            if !l.local[bi] {
+                continue;
+            }
+            let beta = l.octs[bi];
+            for &ai in self.lists.v.row(bi) {
+                let ai = ai as usize;
+                if !has_up[ai] {
+                    continue;
+                }
+                needed[ai] = true;
+                let off = offset_of(&l.octs[ai], &beta);
+                if seen.insert(((beta.level() as u64) << 9) | offset_slot(off) as u64) {
+                    keys.push((beta.level(), off));
+                }
+            }
+        }
+        keys.sort_unstable();
+        let table = fftb.build_table(&keys, threads);
+        let sources: Vec<usize> = (0..noct).filter(|&i| needed[i]).collect();
+        let fl = sources.len() as u64 * fftb.flops_forward();
+        let spectra = fftb.source_spectra(&sources, noct, u, ulen, threads);
+        (table, spectra, fl)
+    }
+
+    /// V-list batched pass 2: targets are processed in small batches
+    /// whose edges are bucketed by (level, transfer vector); each
+    /// bucket's kernel spectrum is resolved once from the immutable
+    /// table (no lock) and streamed against the bucket's sources into
+    /// reusable scratch accumulators. Per target the buckets arrive in
+    /// ascending slot order — independent of batch and chunk boundaries,
+    /// so both executors accumulate identically.
+    fn vli_batched_range(
+        &self,
+        has_up: &[bool],
+        table: &SpectraTable,
+        src: &SourceSpectra,
+        range: Range<usize>,
+        window: &mut [f64],
+        base: usize,
+    ) -> u64 {
+        const BATCH: usize = 32;
+        let (l, fftb, clen) = (self.l, self.fftb, self.clen);
+        let mut fl = 0u64;
+        let mut scratch = fftb.new_scratch(BATCH);
+        let targets: Vec<usize> = range
+            .filter(|&bi| l.local[bi] && !self.lists.v.row(bi).is_empty())
+            .collect();
+        // (level<<9 | slot, target slot, source octant) per edge.
+        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+        for chunk in targets.chunks(BATCH) {
+            edges.clear();
+            for (t, &bi) in chunk.iter().enumerate() {
+                let beta = l.octs[bi];
+                for &ai in self.lists.v.row(bi) {
+                    let ai = ai as usize;
+                    if !has_up[ai] {
+                        continue;
+                    }
+                    let slot = offset_slot(offset_of(&l.octs[ai], &beta));
+                    edges.push((((beta.level()) << 9) | slot as u32, t as u32, ai as u32));
+                }
+            }
+            if edges.is_empty() {
+                continue;
+            }
+            edges.sort_unstable();
+            scratch.reset(chunk.len());
+            let mut any = [false; BATCH];
+            let mut i = 0;
+            while i < edges.len() {
+                let key = edges[i].0;
+                let (k, scale) = table.get(key >> 9, (key & 0x1ff) as usize);
+                while i < edges.len() && edges[i].0 == key {
+                    let (_, t, ai) = edges[i];
+                    let (sre, sim) = src.planes(ai as usize);
+                    fftb.accumulate(&mut scratch, t as usize, k, sre, sim, scale);
+                    any[t as usize] = true;
+                    fl += fftb.flops_edge();
+                    i += 1;
+                }
+            }
+            for (t, &bi) in chunk.iter().enumerate() {
+                if any[t] {
+                    fftb.finish(
+                        &mut scratch,
+                        t,
+                        &mut window[bi * clen - base..(bi + 1) * clen - base],
+                    );
+                    fl += fftb.flops_inverse();
+                }
             }
         }
         fl
@@ -605,15 +721,36 @@ fn run_phases_barrier(
     let u = &u; // read-only from here on
     let has_up = &has_up;
 
-    // Direct interactions (U-list); parallel over target leaves. Runs
-    // first among the potential writers so the per-point accumulation
-    // order (U, D2T, W) matches the graph executor's chunk chains.
+    // Direct interactions (U-list); parallel over target leaves, with
+    // ranges cut by interaction count (source·target point products) —
+    // adaptive trees concentrate the near-field work in the refined
+    // regions, which starves count-based chunks. Runs first among the
+    // potential writers so the per-point accumulation order (U, D2T, W)
+    // matches the graph executor's chunk chains.
     let mut f = vec![0.0f64; l.pts.len() * td];
     let pt_base = &|i: usize| l.pt_off[i.min(noct)] * td;
+    let uli_weights: Vec<u64> = (0..noct)
+        .map(|bi| {
+            if !l.owned[bi] || data.leaf_pos[bi].is_empty() {
+                return 0;
+            }
+            let n = data.leaf_pos[bi].len() as u64;
+            lists
+                .u
+                .row(bi)
+                .iter()
+                .map(|&ai| n * data.leaf_pos[ai as usize].len() as u64)
+                .sum()
+        })
+        .collect();
     prof.timed(Phase::UList, |prof| {
-        let flops = par_windows(threads, noct, &mut f, pt_base, |range, window, base| {
-            cxr.uli_range(range, window, base)
-        });
+        let flops = par_windows_weighted(
+            threads,
+            &uli_weights,
+            &mut f,
+            pt_base,
+            |range, window, base| cxr.uli_range(range, window, base),
+        );
         prof.add_flops(Phase::UList, flops);
     });
 
@@ -631,12 +768,22 @@ fn run_phases_barrier(
         prof.add_flops(Phase::XList, flops);
     });
 
-    // (3a) V-list, parallel over target octants.
+    // (3a) V-list, parallel over target octants with edge-count-weighted
+    // range cuts (every V edge costs the same within a mode).
+    let vli_weights: Vec<u64> = (0..noct)
+        .map(|bi| {
+            if l.local[bi] {
+                lists.v.row(bi).len() as u64
+            } else {
+                0
+            }
+        })
+        .collect();
     prof.timed(Phase::VList, |prof| match cfg.m2l {
         M2lMode::Dense => {
-            let flops = par_windows(
+            let flops = par_windows_weighted(
                 threads,
-                noct,
+                &vli_weights,
                 &mut dcheck,
                 &|i| i * clen,
                 |range, window, base| cxr.vli_dense_range(has_up, u, range, window, base),
@@ -647,12 +794,27 @@ fn run_phases_barrier(
             let (uhat, fl) = cx.vli_fft_spectra(has_up, u, threads);
             prof.add_flops(Phase::VList, fl);
             let uhat = &uhat;
-            let flops = par_windows(
+            let flops = par_windows_weighted(
                 threads,
-                noct,
+                &vli_weights,
                 &mut dcheck,
                 &|i| i * clen,
                 |range, window, base| cxr.vli_fft_range(has_up, uhat, range, window, base),
+            );
+            prof.add_flops(Phase::VList, flops);
+        }
+        M2lMode::FftBatched => {
+            let (table, src, fl) = cx.vli_batched_spectra(has_up, u, threads);
+            prof.add_flops(Phase::VList, fl);
+            let (table, src) = (&table, &src);
+            let flops = par_windows_weighted(
+                threads,
+                &vli_weights,
+                &mut dcheck,
+                &|i| i * clen,
+                |range, window, base| {
+                    cxr.vli_batched_range(has_up, table, src, range, window, base)
+                },
             );
             prof.add_flops(Phase::VList, flops);
         }
@@ -712,10 +874,13 @@ fn run_phases_graph(
 
     // Octant chunking: enough chunks to keep the workers fed while the
     // comm task is in flight, without drowning small problems in task
-    // overhead. Chunk boundaries do not affect the numerics (every task
-    // writes per-octant slices).
+    // overhead. Chunk boundaries are cut by interaction count (one weight
+    // serves every list phase — the U/V/W/X degree dominates an octant's
+    // work) and do not affect the numerics (every task writes per-octant
+    // slices).
     let nchunks = noct.min((workers * 4).max(4));
-    let cuts: Vec<usize> = (0..=nchunks).map(|k| k * noct / nchunks).collect();
+    let chunk_weights: Vec<u64> = (0..noct).map(|i| 1 + lists.degree(i) as u64).collect();
+    let cuts: Vec<usize> = weighted_cuts(nchunks, &chunk_weights);
     let oct_base = |i: usize| i * ulen;
     let chk_base = |i: usize| i * clen;
     let pt_base = |i: usize| l.pt_off[i.min(noct)] * td;
@@ -728,12 +893,14 @@ fn run_phases_graph(
     let flops: Vec<AtomicU64> = (0..Phase::ALL.len()).map(|_| AtomicU64::new(0)).collect();
     let comm_delta: Slot<CommStats> = Slot::new();
     let spectra: Slot<Spectra> = Slot::new();
+    let bspectra: Slot<BatchedSpectra> = Slot::new();
 
     let cxr = &cx;
     let (ur, hur, dcr, fr, dbr) = (&u, &has_up, &dcheck, &f, &dbuf);
     let flr = &flops;
     let cdr = &comm_delta;
     let sp = &spectra;
+    let bsp = &bspectra;
 
     let mut g = Graph::new();
 
@@ -852,6 +1019,13 @@ fn run_phases_graph(
             sp.put(Arc::new(uhat));
             flr[Phase::VList as usize].fetch_add(fl, Ordering::Relaxed);
         }),
+        M2lMode::FftBatched => g.task(Phase::VList.label(), &[comm_id], move || {
+            let u_ro = unsafe { ur.as_slice() };
+            let hu = unsafe { hur.as_slice() };
+            let (table, src, fl) = cxr.vli_batched_spectra(hu, u_ro, 1);
+            bsp.put(Arc::new((table, src)));
+            flr[Phase::VList as usize].fetch_add(fl, Ordering::Relaxed);
+        }),
     };
     let vli_ids: Vec<_> = (0..nchunks)
         .map(|k| {
@@ -866,6 +1040,10 @@ fn run_phases_graph(
                     M2lMode::Fft => {
                         let uhat = sp.with(Arc::clone);
                         cxr.vli_fft_range(hu, &uhat, lo..hi, w, chk_base(lo))
+                    }
+                    M2lMode::FftBatched => {
+                        let b = bsp.with(Arc::clone);
+                        cxr.vli_batched_range(hu, &b.0, &b.1, lo..hi, w, chk_base(lo))
                     }
                 };
                 flr[Phase::VList as usize].fetch_add(fl, Ordering::Relaxed);

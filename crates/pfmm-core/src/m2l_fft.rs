@@ -98,10 +98,18 @@ impl FftM2l {
             Some(h) => (0, (level_radius(level) / level_radius(0)).powf(h)),
             None => (level, 1.0),
         };
-        let mut cache = self.spectra.lock();
-        let spec = cache
+        if let Some(spec) = self.spectra.lock().get(&(base, offset)).cloned() {
+            return (spec, scale);
+        }
+        // Build outside the lock so concurrent first touches of distinct
+        // offsets don't serialize; a racing duplicate build is dropped by
+        // the re-check insert.
+        let built = Arc::new(self.build_kernel_spectrum(base, offset));
+        let spec = self
+            .spectra
+            .lock()
             .entry((base, offset))
-            .or_insert_with(|| Arc::new(self.build_kernel_spectrum(base, offset)))
+            .or_insert(built)
             .clone();
         (spec, scale)
     }

@@ -46,6 +46,21 @@ fn child_offset(i: usize) -> [f64; 3] {
 /// A cached translation operator and the per-level scale to apply with it.
 pub type ScaledOp = (Arc<Matrix>, f64);
 
+/// Double-checked cache lookup: probe under the lock, assemble outside it
+/// so concurrent first touches (of the same or distinct keys) don't
+/// serialize on the matrix build, then re-check insert — a racing
+/// duplicate build is dropped in favor of the first inserted value.
+fn cached<K, T>(cache: &Mutex<HashMap<K, Arc<T>>>, key: K, build: impl FnOnce() -> T) -> Arc<T>
+where
+    K: Eq + std::hash::Hash + Copy,
+{
+    if let Some(m) = cache.lock().get(&key).cloned() {
+        return m;
+    }
+    let built = Arc::new(build());
+    cache.lock().entry(key).or_insert(built).clone()
+}
+
 /// Cache keyed by (level, V-list offset).
 type OffsetCache<T> = Mutex<HashMap<(u32, [i8; 3]), Arc<T>>>;
 
@@ -144,40 +159,32 @@ impl Ops {
     /// Upward check-to-equivalent solve operator at `level`.
     pub fn uc2e(&self, level: u32) -> ScaledOp {
         let (base, scale) = self.base_level_scale(level, true);
-        let mut cache = self.uc2e.lock();
-        let m = cache
-            .entry(base)
-            .or_insert_with(|| {
-                let r = level_radius(base);
-                let c = [0.0, 0.0, 0.0];
-                let k = assemble(
-                    self.kernel.as_ref(),
-                    &self.up_check_surface(&c, r),
-                    &self.up_equiv_surface(&c, r),
-                );
-                Arc::new(pinv(&k, self.rel_tol))
-            })
-            .clone();
+        let m = cached(&self.uc2e, base, || {
+            let r = level_radius(base);
+            let c = [0.0, 0.0, 0.0];
+            let k = assemble(
+                self.kernel.as_ref(),
+                &self.up_check_surface(&c, r),
+                &self.up_equiv_surface(&c, r),
+            );
+            pinv(&k, self.rel_tol)
+        });
         (m, scale)
     }
 
     /// Downward check-to-equivalent solve operator at `level`.
     pub fn dc2e(&self, level: u32) -> ScaledOp {
         let (base, scale) = self.base_level_scale(level, true);
-        let mut cache = self.dc2e.lock();
-        let m = cache
-            .entry(base)
-            .or_insert_with(|| {
-                let r = level_radius(base);
-                let c = [0.0, 0.0, 0.0];
-                let k = assemble(
-                    self.kernel.as_ref(),
-                    &self.down_check_surface(&c, r),
-                    &self.down_equiv_surface(&c, r),
-                );
-                Arc::new(pinv(&k, self.rel_tol))
-            })
-            .clone();
+        let m = cached(&self.dc2e, base, || {
+            let r = level_radius(base);
+            let c = [0.0, 0.0, 0.0];
+            let k = assemble(
+                self.kernel.as_ref(),
+                &self.down_check_surface(&c, r),
+                &self.down_equiv_surface(&c, r),
+            );
+            pinv(&k, self.rel_tol)
+        });
         (m, scale)
     }
 
@@ -192,26 +199,22 @@ impl Ops {
         } else {
             child_level
         };
-        let mut cache = self.u2u.lock();
-        let m = cache
-            .entry((base, child_index))
-            .or_insert_with(|| {
-                let rc = level_radius(base);
-                let rp = 2.0 * rc;
-                let off = child_offset(child_index);
-                let cc = [off[0] * rc, off[1] * rc, off[2] * rc];
-                let k = assemble(
-                    self.kernel.as_ref(),
-                    &self.up_check_surface(&[0.0; 3], rp),
-                    &self.up_equiv_surface(&cc, rc),
-                );
-                let (uc2e_par, s) = self.uc2e(base - 1);
-                debug_assert_eq!(s, 1.0, "base-level uc2e is unscaled at level 0");
-                let mut folded = uc2e_par.matmul(&k);
-                folded.scale(s);
-                Arc::new(folded)
-            })
-            .clone();
+        let m = cached(&self.u2u, (base, child_index), || {
+            let rc = level_radius(base);
+            let rp = 2.0 * rc;
+            let off = child_offset(child_index);
+            let cc = [off[0] * rc, off[1] * rc, off[2] * rc];
+            let k = assemble(
+                self.kernel.as_ref(),
+                &self.up_check_surface(&[0.0; 3], rp),
+                &self.up_equiv_surface(&cc, rc),
+            );
+            let (uc2e_par, s) = self.uc2e(base - 1);
+            debug_assert_eq!(s, 1.0, "base-level uc2e is unscaled at level 0");
+            let mut folded = uc2e_par.matmul(&k);
+            folded.scale(s);
+            folded
+        });
         (m, 1.0)
     }
 
@@ -224,25 +227,21 @@ impl Ops {
         } else {
             child_level
         };
-        let mut cache = self.d2d.lock();
-        let m = cache
-            .entry((base, child_index))
-            .or_insert_with(|| {
-                let rc = level_radius(base);
-                let rp = 2.0 * rc;
-                let off = child_offset(child_index);
-                let cc = [off[0] * rc, off[1] * rc, off[2] * rc];
-                let k = assemble(
-                    self.kernel.as_ref(),
-                    &self.down_check_surface(&cc, rc),
-                    &self.down_equiv_surface(&[0.0; 3], rp),
-                );
-                let (dc2e_child, s) = self.dc2e(base);
-                let mut folded = dc2e_child.matmul(&k);
-                folded.scale(s);
-                Arc::new(folded)
-            })
-            .clone();
+        let m = cached(&self.d2d, (base, child_index), || {
+            let rc = level_radius(base);
+            let rp = 2.0 * rc;
+            let off = child_offset(child_index);
+            let cc = [off[0] * rc, off[1] * rc, off[2] * rc];
+            let k = assemble(
+                self.kernel.as_ref(),
+                &self.down_check_surface(&cc, rc),
+                &self.down_equiv_surface(&[0.0; 3], rp),
+            );
+            let (dc2e_child, s) = self.dc2e(base);
+            let mut folded = dc2e_child.matmul(&k);
+            folded.scale(s);
+            folded
+        });
         (m, 1.0)
     }
 
@@ -255,23 +254,19 @@ impl Ops {
             "V-list offsets are non-adjacent"
         );
         let (base, scale) = self.base_level_scale(level, false);
-        let mut cache = self.m2l.lock();
-        let m = cache
-            .entry((base, offset))
-            .or_insert_with(|| {
-                let r = level_radius(base);
-                let tc = [
-                    offset[0] as f64 * 2.0 * r,
-                    offset[1] as f64 * 2.0 * r,
-                    offset[2] as f64 * 2.0 * r,
-                ];
-                Arc::new(assemble(
-                    self.kernel.as_ref(),
-                    &self.down_check_surface(&tc, r),
-                    &self.up_equiv_surface(&[0.0; 3], r),
-                ))
-            })
-            .clone();
+        let m = cached(&self.m2l, (base, offset), || {
+            let r = level_radius(base);
+            let tc = [
+                offset[0] as f64 * 2.0 * r,
+                offset[1] as f64 * 2.0 * r,
+                offset[2] as f64 * 2.0 * r,
+            ];
+            assemble(
+                self.kernel.as_ref(),
+                &self.down_check_surface(&tc, r),
+                &self.up_equiv_surface(&[0.0; 3], r),
+            )
+        });
         (m, scale)
     }
 }

@@ -30,18 +30,86 @@ pub fn par_windows<F>(
 where
     F: Fn(std::ops::Range<usize>, &mut [f64], usize) -> u64 + Sync,
 {
-    debug_assert_eq!(offset_of(noct), out.len(), "offset map covers the output");
-    if threads <= 1 || noct < 2 {
-        return work(0..noct, out, 0);
-    }
-    // Contiguous octant ranges of roughly equal length. (Work per octant
-    // varies; the paper's per-leaf imbalance is handled by the MPI-level
-    // balancer, and phase work correlates well enough with octant count
-    // for an intra-rank split.)
-    let t = threads.min(noct);
+    // Contiguous octant ranges of roughly equal length. (Phase work
+    // correlates with octant count well enough when no better weight is
+    // known; phases with per-octant interaction counts should use
+    // `par_windows_weighted`.)
+    let t = threads.min(noct.max(1));
     let mut cuts = Vec::with_capacity(t + 1);
     for k in 0..=t {
         cuts.push(k * noct / t);
+    }
+    par_windows_at(&cuts, noct, out, offset_of, work)
+}
+
+/// [`par_windows`] with interaction-count-weighted range boundaries:
+/// `weight[i]` estimates octant `i`'s work, and the contiguous cuts
+/// equalize cumulative weight instead of octant count — adaptive trees
+/// concentrate their U/V interactions in the refined regions, which
+/// leaves count-based chunks nearly idle.
+///
+/// The weights steer only where the ranges are cut; the per-octant
+/// arithmetic (and its floating-point order) is unchanged.
+pub fn par_windows_weighted<F>(
+    threads: usize,
+    weights: &[u64],
+    out: &mut [f64],
+    offset_of: &(dyn Fn(usize) -> usize + Sync),
+    work: F,
+) -> u64
+where
+    F: Fn(std::ops::Range<usize>, &mut [f64], usize) -> u64 + Sync,
+{
+    let noct = weights.len();
+    let t = threads.min(noct.max(1));
+    let cuts = weighted_cuts(t, weights);
+    par_windows_at(&cuts, noct, out, offset_of, work)
+}
+
+/// Contiguous cut points splitting `weights` into `parts` ranges of
+/// roughly equal cumulative weight (cut `k` is the first index whose
+/// prefix sum reaches `k/parts` of the total). Monotone, first 0, last
+/// `weights.len()`.
+pub fn weighted_cuts(parts: usize, weights: &[u64]) -> Vec<usize> {
+    let n = weights.len();
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    let mut cuts = Vec::with_capacity(parts + 1);
+    cuts.push(0);
+    if total == 0 {
+        // Degenerate: fall back to count-based cuts.
+        for k in 1..=parts {
+            cuts.push(k * n / parts.max(1));
+        }
+        return cuts;
+    }
+    let mut acc: u128 = 0;
+    let mut i = 0;
+    for k in 1..parts {
+        let target = total * k as u128 / parts as u128;
+        while i < n && acc < target {
+            acc += weights[i] as u128;
+            i += 1;
+        }
+        cuts.push(i);
+    }
+    cuts.push(n);
+    cuts
+}
+
+fn par_windows_at<F>(
+    cuts: &[usize],
+    noct: usize,
+    out: &mut [f64],
+    offset_of: &(dyn Fn(usize) -> usize + Sync),
+    work: F,
+) -> u64
+where
+    F: Fn(std::ops::Range<usize>, &mut [f64], usize) -> u64 + Sync,
+{
+    debug_assert_eq!(offset_of(noct), out.len(), "offset map covers the output");
+    let t = cuts.len() - 1;
+    if t <= 1 || noct < 2 {
+        return work(0..noct, out, 0);
     }
 
     let mut tasks: Vec<(std::ops::Range<usize>, &mut [f64], usize)> = Vec::with_capacity(t);
@@ -204,6 +272,52 @@ mod tests {
             want.extend(std::iter::repeat_n(i as f64, *s));
         }
         assert_eq!(out, want);
+    }
+
+    #[test]
+    fn weighted_cuts_balance_cumulative_weight() {
+        // Heavy tail: count-based cuts would give three idle ranges.
+        let w: Vec<u64> = (0..16).map(|i| if i < 12 { 0 } else { 100 }).collect();
+        let cuts = weighted_cuts(4, &w);
+        assert_eq!(cuts.first(), Some(&0));
+        assert_eq!(cuts.last(), Some(&16));
+        assert!(cuts.windows(2).all(|c| c[0] <= c[1]));
+        let total: u64 = w.iter().sum();
+        for k in 0..4 {
+            let s: u64 = w[cuts[k]..cuts[k + 1]].iter().sum();
+            // No range exceeds its fair share by more than one item.
+            assert!(s <= total / 4 + 100, "range {k} carries {s}");
+        }
+    }
+
+    #[test]
+    fn weighted_cuts_zero_weights_fall_back() {
+        let cuts = weighted_cuts(3, &[0u64; 9]);
+        assert_eq!(cuts, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn weighted_windows_match_uniform_numerics() {
+        let noct = 29;
+        let weights: Vec<u64> = (0..noct as u64).map(|i| i * i % 17).collect();
+        let run_uniform = || {
+            let mut out = vec![0.0f64; noct * 2];
+            par_windows(4, noct, &mut out, &|i| i * 2, fill);
+            out
+        };
+        let run_weighted = || {
+            let mut out = vec![0.0f64; noct * 2];
+            par_windows_weighted(4, &weights, &mut out, &|i| i * 2, fill);
+            out
+        };
+        fn fill(range: std::ops::Range<usize>, window: &mut [f64], base: usize) -> u64 {
+            for i in range {
+                window[i * 2 - base] = (i * 3) as f64;
+                window[i * 2 + 1 - base] = -(i as f64);
+            }
+            0
+        }
+        assert_eq!(run_uniform(), run_weighted());
     }
 
     #[test]

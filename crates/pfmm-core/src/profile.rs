@@ -48,6 +48,39 @@ impl Phase {
     }
 }
 
+/// Flop models of the V-list building blocks, shared by the executors'
+/// accounting and the modeled autotuner so every path charges the same
+/// arithmetic for the same work.
+pub mod flop_model {
+    /// Complex-to-complex 3-D FFT over `g` grid points (`5·g·log₂g`).
+    #[inline]
+    pub fn fft_c2c(g: usize) -> u64 {
+        (5 * g * g.ilog2() as usize) as u64
+    }
+
+    /// Real-input forward / real-output inverse transform: Hermitian
+    /// symmetry halves the complex cost.
+    #[inline]
+    pub fn fft_real(g: usize) -> u64 {
+        fft_c2c(g) / 2
+    }
+
+    /// One dense M2L edge (`clen×ulen` mat-vec).
+    #[inline]
+    pub fn m2l_dense_edge(clen: usize, ulen: usize) -> u64 {
+        2 * (clen * ulen) as u64
+    }
+
+    /// One spectral Hadamard edge over `nf` retained frequencies:
+    /// `td·sd` complex multiply-accumulates of 8 flops each. Pass the
+    /// full grid for the complex path, `n²·(n/2+1)` for the half-spectrum
+    /// batched path.
+    #[inline]
+    pub fn hadamard_edge(nf: usize, sd: usize, td: usize) -> u64 {
+        (8 * nf * sd * td) as u64
+    }
+}
+
 /// Accumulated seconds and flops per phase for one rank's evaluation.
 #[derive(Clone, Debug, Default)]
 pub struct Profile {

@@ -11,7 +11,9 @@
 pub mod complex;
 pub mod fft1d;
 pub mod fft3d;
+pub mod rfft;
 
 pub use complex::Complex;
 pub use fft1d::FftPlan;
 pub use fft3d::Fft3;
+pub use rfft::{RFft3, RealFftPlan};

@@ -1,0 +1,359 @@
+//! Real-input transforms exploiting Hermitian symmetry.
+//!
+//! The M2L grids are real in physical space, so their spectra satisfy
+//! `X[k] = conj(X[n − k])` and only half of the frequencies are
+//! independent. These plans store (and the batched Hadamard multiplies)
+//! only `kz ∈ 0..=n/2` — `n³/2 + O(n²)` entries instead of `n³` — which
+//! halves both spectrum memory and the per-interaction flops of the
+//! V-list translation.
+//!
+//! Conventions match [`crate::FftPlan`] / [`crate::Fft3`]: the forward
+//! transform is unnormalized, the inverse carries the `1/n` (or `1/n³`)
+//! factor, so `inverse(forward(x)) == x`.
+
+use crate::complex::Complex;
+use crate::fft1d::FftPlan;
+
+/// 1-D real-to-complex / complex-to-real transform plan for even `n`.
+///
+/// The forward pass packs adjacent real pairs into a length-`n/2`
+/// complex signal, runs one half-length complex FFT, and untangles the
+/// even/odd sub-spectra — the classic trick that makes a real transform
+/// cost about half a complex one.
+pub struct RealFftPlan {
+    n: usize,
+    half: FftPlan,
+    /// `e^{-2πik/n}` for `k ∈ 0..=n/2` (forward untangling twiddles).
+    tw: Vec<Complex>,
+}
+
+impl RealFftPlan {
+    /// Plan a real transform of even length `n >= 2`.
+    pub fn new(n: usize) -> RealFftPlan {
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "real FFT length must be even"
+        );
+        let tw = (0..=n / 2)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        RealFftPlan {
+            n,
+            half: FftPlan::new(n / 2),
+            tw,
+        }
+    }
+
+    /// Transform length (the real side).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the plan length is zero (never: lengths are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Independent spectrum entries: `n/2 + 1`.
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward DFT of a real signal: writes `X[k]` for `k ∈ 0..=n/2`
+    /// into `spec` (the remaining frequencies are `conj(X[n − k])`).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n` or `spec.len() != n/2 + 1`.
+    pub fn forward(&self, x: &[f64], spec: &mut [Complex]) {
+        let n = self.n;
+        let m = n / 2;
+        assert_eq!(x.len(), n, "real input length");
+        assert_eq!(spec.len(), m + 1, "half-spectrum length");
+        let mut z: Vec<Complex> = (0..m)
+            .map(|j| Complex::new(x[2 * j], x[2 * j + 1]))
+            .collect();
+        self.half.forward(&mut z);
+        for k in 0..=m {
+            let zk = z[k % m];
+            let zc = z[(m - k) % m].conj();
+            let ze = (zk + zc).scale(0.5);
+            let d = zk - zc;
+            // Zo = d / (2i) = (d.im − i·d.re) / 2.
+            let zo = Complex::new(d.im, -d.re).scale(0.5);
+            spec[k] = ze + self.tw[k] * zo;
+        }
+    }
+
+    /// Inverse DFT onto a real signal from its half spectrum
+    /// (normalized by `1/n`, the counterpart of [`Self::forward`]).
+    ///
+    /// # Panics
+    /// Panics if `spec.len() != n/2 + 1` or `x.len() != n`.
+    pub fn inverse(&self, spec: &[Complex], x: &mut [f64]) {
+        let n = self.n;
+        let m = n / 2;
+        assert_eq!(spec.len(), m + 1, "half-spectrum length");
+        assert_eq!(x.len(), n, "real output length");
+        let mut z = vec![Complex::ZERO; m];
+        for (k, zk) in z.iter_mut().enumerate() {
+            let xk = spec[k];
+            let xc = spec[m - k].conj();
+            let ze = (xk + xc).scale(0.5);
+            // conj of the forward twiddle: e^{+2πik/n}.
+            let zo = self.tw[k].conj() * (xk - xc).scale(0.5);
+            *zk = ze + Complex::new(-zo.im, zo.re);
+        }
+        self.half.inverse(&mut z);
+        for (j, v) in z.iter().enumerate() {
+            x[2 * j] = v.re;
+            x[2 * j + 1] = v.im;
+        }
+    }
+}
+
+/// 3-D real transform on an `n×n×n` grid, half spectrum along z.
+///
+/// Real layout matches [`crate::Fft3`]: `data[(ix·n + iy)·n + iz]`, z
+/// fastest. The spectrum keeps `kz ∈ 0..=n/2`:
+/// `spec[(kx·n + ky)·h + kz]` with `h = n/2 + 1` — `n²·(n/2+1)` entries.
+/// The discarded half is recovered from Hermitian symmetry
+/// `X[kx,ky,kz] = conj(X[−kx,−ky,−kz mod n])` by the inverse.
+pub struct RFft3 {
+    n: usize,
+    /// Half-spectrum z extent (`n/2 + 1`).
+    h: usize,
+    rplan: RealFftPlan,
+    cplan: FftPlan,
+}
+
+impl RFft3 {
+    /// Plan transforms for an `n×n×n` grid (`n` even).
+    pub fn new(n: usize) -> RFft3 {
+        RFft3 {
+            n,
+            h: n / 2 + 1,
+            rplan: RealFftPlan::new(n),
+            cplan: FftPlan::new(n),
+        }
+    }
+
+    /// Grid side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Real grid points (`n³`).
+    pub fn len(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    /// True when the grid is empty (never: sides are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Half-spectrum entries (`n²·(n/2 + 1)`).
+    pub fn spectrum_len(&self) -> usize {
+        self.n * self.n * self.h
+    }
+
+    /// Forward transform of a real grid into its half spectrum.
+    ///
+    /// # Panics
+    /// Panics if `real.len() != n³` or `spec.len() != spectrum_len()`.
+    pub fn forward(&self, real: &[f64], spec: &mut [Complex]) {
+        let (n, h) = (self.n, self.h);
+        assert_eq!(real.len(), n * n * n, "real grid size");
+        assert_eq!(spec.len(), self.spectrum_len(), "spectrum size");
+        // z: real-to-complex per contiguous row.
+        for xy in 0..n * n {
+            self.rplan
+                .forward(&real[xy * n..(xy + 1) * n], &mut spec[xy * h..(xy + 1) * h]);
+        }
+        // y and x: full complex passes per retained kz plane.
+        let mut line = vec![Complex::ZERO; n];
+        for ix in 0..n {
+            for kz in 0..h {
+                for iy in 0..n {
+                    line[iy] = spec[(ix * n + iy) * h + kz];
+                }
+                self.cplan.forward(&mut line);
+                for iy in 0..n {
+                    spec[(ix * n + iy) * h + kz] = line[iy];
+                }
+            }
+        }
+        for iy in 0..n {
+            for kz in 0..h {
+                for ix in 0..n {
+                    line[ix] = spec[(ix * n + iy) * h + kz];
+                }
+                self.cplan.forward(&mut line);
+                for ix in 0..n {
+                    spec[(ix * n + iy) * h + kz] = line[ix];
+                }
+            }
+        }
+    }
+
+    /// Inverse transform of a half spectrum onto a real grid (normalized
+    /// by `1/n³`). `spec` is consumed as scratch (overwritten with
+    /// intermediate passes).
+    ///
+    /// # Panics
+    /// Panics if `spec.len() != spectrum_len()` or `real.len() != n³`.
+    pub fn inverse(&self, spec: &mut [Complex], real: &mut [f64]) {
+        let (n, h) = (self.n, self.h);
+        assert_eq!(spec.len(), self.spectrum_len(), "spectrum size");
+        assert_eq!(real.len(), n * n * n, "real grid size");
+        let mut line = vec![Complex::ZERO; n];
+        for iy in 0..n {
+            for kz in 0..h {
+                for ix in 0..n {
+                    line[ix] = spec[(ix * n + iy) * h + kz];
+                }
+                self.cplan.inverse(&mut line);
+                for ix in 0..n {
+                    spec[(ix * n + iy) * h + kz] = line[ix];
+                }
+            }
+        }
+        for ix in 0..n {
+            for kz in 0..h {
+                for iy in 0..n {
+                    line[iy] = spec[(ix * n + iy) * h + kz];
+                }
+                self.cplan.inverse(&mut line);
+                for iy in 0..n {
+                    spec[(ix * n + iy) * h + kz] = line[iy];
+                }
+            }
+        }
+        for xy in 0..n * n {
+            self.rplan
+                .inverse(&spec[xy * h..(xy + 1) * h], &mut real[xy * n..(xy + 1) * n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft3d::Fft3;
+
+    fn rand_real(n: usize, seed: u64) -> Vec<f64> {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    /// The 1-D half spectrum must equal the first n/2+1 entries of the
+    /// full complex DFT of the same (real) signal.
+    #[test]
+    fn r2c_matches_full_complex_dft() {
+        for n in [2usize, 4, 8, 12, 16, 20] {
+            let x = rand_real(n, n as u64);
+            let plan = RealFftPlan::new(n);
+            let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+            plan.forward(&x, &mut spec);
+            let full: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+            let want = crate::fft1d::naive_dft(&full);
+            for k in 0..=n / 2 {
+                assert!(
+                    (spec[k] - want[k]).abs() < 1e-10 * n as f64,
+                    "n={n} k={k}: {:?} vs {:?}",
+                    spec[k],
+                    want[k]
+                );
+            }
+            // The discarded frequencies really are redundant.
+            for k in n / 2 + 1..n {
+                assert!((want[k] - want[n - k].conj()).abs() < 1e-10 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn r2c_roundtrip_1d() {
+        for n in [2usize, 4, 6, 8, 12, 24] {
+            let x = rand_real(n, 7 * n as u64);
+            let plan = RealFftPlan::new(n);
+            let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+            plan.forward(&x, &mut spec);
+            let mut back = vec![0.0; n];
+            plan.inverse(&spec, &mut back);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-12, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// 3-D half spectrum vs the full complex transform, and the 3-D
+    /// round trip — the property pair the batched M2L relies on.
+    #[test]
+    fn rfft3_matches_full_transform_and_roundtrips() {
+        for n in [4usize, 8, 12] {
+            let x = rand_real(n * n * n, 31 + n as u64);
+            let r = RFft3::new(n);
+            let mut spec = vec![Complex::ZERO; r.spectrum_len()];
+            r.forward(&x, &mut spec);
+
+            let full = Fft3::new(n);
+            let mut want: Vec<Complex> = x.iter().map(|&v| Complex::real(v)).collect();
+            full.forward(&mut want);
+            let h = n / 2 + 1;
+            for kx in 0..n {
+                for ky in 0..n {
+                    for kz in 0..h {
+                        let got = spec[(kx * n + ky) * h + kz];
+                        let w = want[(kx * n + ky) * n + kz];
+                        assert!(
+                            (got - w).abs() < 1e-9 * n as f64,
+                            "n={n} ({kx},{ky},{kz}): {got:?} vs {w:?}"
+                        );
+                    }
+                }
+            }
+
+            let mut back = vec![0.0; n * n * n];
+            r.inverse(&mut spec, &mut back);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-11, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Pointwise products of half spectra + c2r inverse must reproduce
+    /// the full complex circular convolution — the Hadamard identity the
+    /// batched V-list uses.
+    #[test]
+    fn half_spectrum_convolution_matches_complex_path() {
+        let n = 8;
+        let a = rand_real(n * n * n, 3);
+        let b = rand_real(n * n * n, 5);
+        let r = RFft3::new(n);
+        let mut ah = vec![Complex::ZERO; r.spectrum_len()];
+        let mut bh = vec![Complex::ZERO; r.spectrum_len()];
+        r.forward(&a, &mut ah);
+        r.forward(&b, &mut bh);
+        for (x, y) in ah.iter_mut().zip(&bh) {
+            *x *= *y;
+        }
+        let mut got = vec![0.0; n * n * n];
+        r.inverse(&mut ah, &mut got);
+
+        let full = Fft3::new(n);
+        let ac: Vec<Complex> = a.iter().map(|&v| Complex::real(v)).collect();
+        let bc: Vec<Complex> = b.iter().map(|&v| Complex::real(v)).collect();
+        let want = crate::fft3d::convolve3(&full, &ac, &bc);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w.re).abs() < 1e-10 && w.im.abs() < 1e-10);
+        }
+    }
+}
