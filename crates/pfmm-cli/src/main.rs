@@ -21,7 +21,7 @@ use pfmm_core::driver::gather_potentials;
 use pfmm_core::profile::{Phase, ProfileSummary};
 use pfmm_core::tune::tune_sweep;
 use pfmm_core::verify::sampled_rel_error;
-use pfmm_core::{Fmm, FmmConfig, M2lMode, Reduction, Schedule, SortKind};
+use pfmm_core::{Fmm, FmmConfig, M2lMode, Reduction, Schedule, SortKind, UlistMode};
 use pfmm_gpusim::{run_gpu_fmm, run_gpu_fmm_wx, DeviceSpec, GpuPhase};
 use pfmm_kernels::{Kernel, Laplace, LaplaceDipole, Stokes, Yukawa};
 use pfmm_tree::PointRec;
@@ -51,6 +51,9 @@ run options:
   --schedule <barrier|graph>   phase executor: bulk-synchronous barriers
                        or the dependency-graph scheduler with
                        comm/compute overlap (default barrier)
+  --ulist <tiled|scalar>       near-field engine (default tiled: padded
+                       SoA tiles with branch-free microkernels;
+                       scalar = per-point reference path)
   --balance <true|false>       work-weighted repartition (default true)
   --check <int>        verify every k-th point against the direct sum
                        (0 = skip; default 0)
@@ -97,6 +100,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "sort",
     "reduction",
     "schedule",
+    "ulist",
     "balance",
     "check",
     "candidates",
@@ -165,6 +169,11 @@ fn config_of(args: &Args) -> Result<FmmConfig, String> {
             "barrier" => Schedule::Barrier,
             "graph" => Schedule::Graph,
             other => return Err(format!("unknown schedule '{other}'")),
+        },
+        ulist: match args.get("ulist").unwrap_or("tiled") {
+            "tiled" => UlistMode::Tiled,
+            "scalar" => UlistMode::Scalar,
+            other => return Err(format!("unknown ulist mode '{other}'")),
         },
         threads: args.get_or("threads", 1)?,
         sort: match args.get("sort").unwrap_or("sample") {
@@ -384,6 +393,8 @@ mod tests {
             "3",
             "--balance",
             "false",
+            "--ulist",
+            "scalar",
         ]))
         .expect("valid");
         assert_eq!(cfg.order, 4);
@@ -394,6 +405,28 @@ mod tests {
         assert_eq!(cfg.schedule, Schedule::Graph);
         assert_eq!(cfg.threads, 3);
         assert!(!cfg.balance);
+        assert_eq!(cfg.ulist, UlistMode::Scalar);
+    }
+
+    #[test]
+    fn ulist_mode_selection() {
+        assert_eq!(
+            config_of(&args(&["run"])).expect("default").ulist,
+            UlistMode::Tiled
+        );
+        assert_eq!(
+            config_of(&args(&["run", "--ulist=tiled"]))
+                .expect("tiled")
+                .ulist,
+            UlistMode::Tiled
+        );
+        assert_eq!(
+            config_of(&args(&["run", "--ulist", "scalar"]))
+                .expect("scalar")
+                .ulist,
+            UlistMode::Scalar
+        );
+        assert!(config_of(&args(&["run", "--ulist", "nope"])).is_err());
     }
 
     #[test]

@@ -79,6 +79,19 @@ pub enum Schedule {
     Graph,
 }
 
+/// How the direct near-field (U-list) interactions are evaluated.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UlistMode {
+    /// Per-target scalar loop over `&dyn Kernel` with AoS points (the
+    /// reference path, kept as the ablation baseline).
+    Scalar,
+    /// Padded lane-aligned SoA tiles walked as a sorted CSR with
+    /// branch-free monomorphized microkernels (`crate::nearfield`) — the
+    /// production path. Kernels without tile microkernels fall back to
+    /// the scalar path automatically.
+    Tiled,
+}
+
 /// FMM parameters.
 #[derive(Copy, Clone, Debug)]
 pub struct FmmConfig {
@@ -107,6 +120,8 @@ pub struct FmmConfig {
     /// Phase executor: bulk-synchronous barriers or the task graph with
     /// communication/compute overlap.
     pub schedule: Schedule,
+    /// Near-field (U-list) evaluation mode.
+    pub ulist: UlistMode,
 }
 
 impl Default for FmmConfig {
@@ -122,6 +137,7 @@ impl Default for FmmConfig {
             sort: SortKind::Sample,
             traversal_threads: 1,
             schedule: Schedule::Barrier,
+            ulist: UlistMode::Tiled,
         }
     }
 }
@@ -360,7 +376,7 @@ mod tests {
     use super::*;
     use crate::distrib::{ellipsoid_1_1_4, randomize_densities, uniform_cube};
     use crate::profile::Phase;
-    use pfmm_kernels::{direct_eval, Laplace, Point3, Stokes};
+    use pfmm_kernels::{direct_eval, Laplace, LaplaceDipole, Point3, Stokes, Yukawa};
     use pfmm_mpisim::run;
 
     /// Relative ℓ² error of FMM potentials against the direct sum.
@@ -591,6 +607,95 @@ mod tests {
                             "m2l={m2l:?} p={p} gid={gid}: graph {a} vs barrier {w}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    /// Property test for the tiled near-field: on clustered/nonuniform
+    /// points with exact duplicates (coincident target/source pairs —
+    /// self-interaction suppressed identically in both paths), the tiled
+    /// and scalar U-list engines must agree to roundoff across all four
+    /// kernels. Only the U-list differs between the runs, so the
+    /// end-to-end potentials isolate exactly that phase.
+    #[test]
+    fn tiled_ulist_matches_scalar_all_kernels() {
+        let kernels: [Arc<dyn Kernel>; 4] = [
+            Arc::new(Laplace),
+            Arc::new(Yukawa { lambda: 2.0 }),
+            Arc::new(Stokes { mu: 0.8 }),
+            Arc::new(LaplaceDipole),
+        ];
+        let mut pts = ellipsoid_1_1_4(600, 47, 0);
+        // Exact duplicates: every 7th point sits on top of its
+        // predecessor (same leaf, zero distance in the U-list).
+        for i in (7..pts.len()).step_by(7) {
+            pts[i].pos = pts[i - 1].pos;
+        }
+        for k in kernels {
+            let sd = k.source_dim();
+            randomize_densities(&mut pts, sd, 29);
+            let base = FmmConfig {
+                order: 4,
+                q: 24,
+                ulist: UlistMode::Scalar,
+                ..Default::default()
+            };
+            let scalar = run_fmm(Arc::clone(&k), base, pts.clone(), 1);
+            let tiled = run_fmm(
+                Arc::clone(&k),
+                FmmConfig {
+                    ulist: UlistMode::Tiled,
+                    ..base
+                },
+                pts.clone(),
+                1,
+            );
+            let s: std::collections::HashMap<u64, Vec<f64>> = scalar.into_iter().collect();
+            let scale = s.values().flatten().fold(0.0f64, |a, v| a.max(v.abs()));
+            assert_eq!(tiled.len(), s.len());
+            for (gid, pot) in tiled {
+                for (a, w) in pot.iter().zip(&s[&gid]) {
+                    assert!(
+                        (a - w).abs() <= 1e-12 * scale,
+                        "{} gid={gid}: tiled {a} vs scalar {w} (scale {scale})",
+                        k.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The bitwise barrier==graph guarantee must hold for the scalar
+    /// U-list mode too (the default-path modes are covered by
+    /// `graph_schedule_matches_barrier_bitwise`, which runs under the
+    /// tiled default).
+    #[test]
+    fn graph_matches_barrier_bitwise_scalar_ulist() {
+        let mut pts = uniform_cube(900, 31, 0);
+        randomize_densities(&mut pts, 1, 17);
+        for (p, threads) in [(1usize, 1usize), (4, 2)] {
+            let base = FmmConfig {
+                order: 4,
+                q: 30,
+                threads,
+                ulist: UlistMode::Scalar,
+                ..Default::default()
+            };
+            let barrier = run_fmm(Arc::new(Laplace), base, pts.clone(), p);
+            let graph = run_fmm(
+                Arc::new(Laplace),
+                FmmConfig {
+                    schedule: Schedule::Graph,
+                    ..base
+                },
+                pts.clone(),
+                p,
+            );
+            let b: std::collections::HashMap<u64, Vec<f64>> = barrier.into_iter().collect();
+            for (gid, pot) in graph {
+                for (a, w) in pot.iter().zip(&b[&gid]) {
+                    assert_eq!(a.to_bits(), w.to_bits(), "p={p} gid={gid}");
                 }
             }
         }

@@ -37,13 +37,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pfmm_fft::Complex;
-use pfmm_kernels::{direct_eval, Kernel, Point3};
+use pfmm_kernels::{direct_eval, Kernel, Point3, TileKernel};
 use pfmm_morton::MortonKey;
 use pfmm_mpisim::{Comm, CommStats};
 use pfmm_sched::{CommPoll, Graph, GraphBuf, Slot};
 use pfmm_tree::{Let, Lists};
 
-use crate::driver::{Fmm, M2lMode, Reduction, Schedule};
+use crate::driver::{Fmm, M2lMode, Reduction, Schedule, UlistMode};
+use crate::nearfield::NearField;
 
 /// V-list source spectra, shared between the FFT pass-1 task and the
 /// per-chunk pass-2 tasks.
@@ -134,6 +135,10 @@ struct Ctx<'a> {
     lists: &'a Lists,
     leaf_pos: &'a [Vec<Point3>],
     leaf_den: &'a [Vec<f64>],
+    /// Tiled near-field layout + microkernels; `None` runs the scalar
+    /// U-list path (`--ulist=scalar`, or a kernel without tile support).
+    nf: Option<&'a NearField>,
+    tk: Option<&'a dyn TileKernel>,
     ulen: usize,
     clen: usize,
     td: usize,
@@ -143,7 +148,13 @@ struct Ctx<'a> {
 }
 
 impl Ctx<'_> {
-    fn new<'a>(fmm: &'a Fmm, l: &'a Let, lists: &'a Lists, data: &'a EvalData) -> Ctx<'a> {
+    fn new<'a>(
+        fmm: &'a Fmm,
+        l: &'a Let,
+        lists: &'a Lists,
+        data: &'a EvalData,
+        nf: Option<&'a NearField>,
+    ) -> Ctx<'a> {
         Ctx {
             kernel: fmm.kernel(),
             ops: fmm.ops(),
@@ -153,6 +164,8 @@ impl Ctx<'_> {
             lists,
             leaf_pos: &data.leaf_pos,
             leaf_den: &data.leaf_den,
+            nf,
+            tk: nf.and(fmm.kernel().as_tile_kernel()),
             ulen: fmm.ops().density_len(),
             clen: fmm.ops().check_len(),
             td: fmm.kernel().target_dim(),
@@ -246,8 +259,14 @@ impl Ctx<'_> {
     }
 
     /// Direct near-field interactions (U-list) for target leaves in
-    /// `range`; `window` is the matching point-potential slice.
+    /// `range`; `window` is the matching point-potential slice. With a
+    /// tiled layout present this dispatches to the SoA microkernels —
+    /// same target boxes, same per-target accumulation order (CSR rows
+    /// sorted by source box), so both executors stay bitwise identical.
     fn uli_range(&self, range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+        if let (Some(nf), Some(tk)) = (self.nf, self.tk) {
+            return nf.eval_range(tk, self.td, self.flops_pair, range, window, base);
+        }
         let (l, td) = (self.l, self.td);
         let mut fl = 0u64;
         for bi in range {
@@ -655,23 +674,44 @@ pub fn run_phases(
     data: &EvalData,
     prof: &mut Profile,
 ) -> (Vec<f64>, CommStats) {
+    // The tiled near-field layout is shared by both executors; its
+    // translation cost is charged to the U-list phase, the same way the
+    // GPU pipeline charges its data-structure translation.
+    let nearfield = match fmm.config().ulist {
+        UlistMode::Tiled => fmm.kernel().as_tile_kernel().map(|_| {
+            NearField::build(
+                l,
+                lists,
+                &data.leaf_pos,
+                &data.leaf_den,
+                fmm.kernel().source_dim(),
+            )
+        }),
+        UlistMode::Scalar => None,
+    };
+    if let Some(nf) = &nearfield {
+        prof.add_secs(Phase::UList, nf.build_secs);
+    }
+    let nf = nearfield.as_ref();
     match fmm.config().schedule {
-        Schedule::Barrier => run_phases_barrier(fmm, c, l, lists, data, prof),
-        Schedule::Graph => run_phases_graph(fmm, c, l, lists, data, prof),
+        Schedule::Barrier => run_phases_barrier(fmm, c, l, lists, data, nf, prof),
+        Schedule::Graph => run_phases_graph(fmm, c, l, lists, data, nf, prof),
     }
 }
 
 /// The bulk-synchronous executor (the reference path).
+#[allow(clippy::too_many_arguments)]
 fn run_phases_barrier(
     fmm: &Fmm,
     c: &Comm,
     l: &Let,
     lists: &Lists,
     data: &EvalData,
+    nf: Option<&NearField>,
     prof: &mut Profile,
 ) -> (Vec<f64>, CommStats) {
     let cfg = fmm.config();
-    let cx = Ctx::new(fmm, l, lists, data);
+    let cx = Ctx::new(fmm, l, lists, data, nf);
     let threads = cfg.threads.max(1);
     let noct = l.len();
     let (ulen, clen, td) = (cx.ulen, cx.clen, cx.td);
@@ -729,20 +769,25 @@ fn run_phases_barrier(
     // matches the graph executor's chunk chains.
     let mut f = vec![0.0f64; l.pts.len() * td];
     let pt_base = &|i: usize| l.pt_off[i.min(noct)] * td;
-    let uli_weights: Vec<u64> = (0..noct)
-        .map(|bi| {
-            if !l.owned[bi] || data.leaf_pos[bi].is_empty() {
-                return 0;
-            }
-            let n = data.leaf_pos[bi].len() as u64;
-            lists
-                .u
-                .row(bi)
-                .iter()
-                .map(|&ai| n * data.leaf_pos[ai as usize].len() as u64)
-                .sum()
-        })
-        .collect();
+    // Tiled chunks are weighted by padded pairs (wall time follows the
+    // lanes actually evaluated), scalar chunks by real pairs.
+    let uli_weights: Vec<u64> = match cx.nf {
+        Some(nf) => nf.oct_weights().to_vec(),
+        None => (0..noct)
+            .map(|bi| {
+                if !l.owned[bi] || data.leaf_pos[bi].is_empty() {
+                    return 0;
+                }
+                let n = data.leaf_pos[bi].len() as u64;
+                lists
+                    .u
+                    .row(bi)
+                    .iter()
+                    .map(|&ai| n * data.leaf_pos[ai as usize].len() as u64)
+                    .sum()
+            })
+            .collect(),
+    };
     prof.timed(Phase::UList, |prof| {
         let flops = par_windows_weighted(
             threads,
@@ -856,16 +901,18 @@ fn run_phases_barrier(
 /// The task-graph executor: octant-chunk tasks with explicit data
 /// dependencies, the reduce-and-scatter as a polled comm task, and the
 /// comm-independent U/X chunks overlapping it.
+#[allow(clippy::too_many_arguments)]
 fn run_phases_graph(
     fmm: &Fmm,
     c: &Comm,
     l: &Let,
     lists: &Lists,
     data: &EvalData,
+    nf: Option<&NearField>,
     prof: &mut Profile,
 ) -> (Vec<f64>, CommStats) {
     let cfg = fmm.config();
-    let cx = Ctx::new(fmm, l, lists, data);
+    let cx = Ctx::new(fmm, l, lists, data, nf);
     let workers = cfg.threads.max(1);
     let noct = l.len();
     let (ulen, clen, td) = (cx.ulen, cx.clen, cx.td);

@@ -79,6 +79,16 @@ pub mod flop_model {
     pub fn hadamard_edge(nf: usize, sd: usize, td: usize) -> u64 {
         (8 * nf * sd * td) as u64
     }
+
+    /// One U-list edge: `nt` targets against `ns` **real** sources at the
+    /// kernel's per-pair cost. Both the scalar and the tiled near-field
+    /// paths charge real pairs (padding lanes are wasted work, not
+    /// arithmetic the paper's accounting would count), so the two modes'
+    /// GFLOP/s rates are directly comparable.
+    #[inline]
+    pub fn ulist_edge(nt: usize, ns: usize, flops_pair: u64) -> u64 {
+        (nt * ns) as u64 * flops_pair
+    }
 }
 
 /// Accumulated seconds and flops per phase for one rank's evaluation.
@@ -226,6 +236,23 @@ impl ProfileSummary {
                 "Overlap", self.overlap.0, self.overlap.1
             ));
         }
+        // Achieved near-field rate (the phase the tiled engine targets):
+        // flops here are real pairs via `flop_model::ulist_edge`, so the
+        // row reports a rate, not just a speedup ratio.
+        let (_, smax, savg) = self.secs[Phase::UList as usize];
+        let (_, fmax, favg) = self.flops[Phase::UList as usize];
+        if smax > 0.0 && fmax > 0 {
+            s.push_str(&format!(
+                "{:<12} {:>10.2} {:>10.2}\n",
+                "U-list GF/s",
+                fmax as f64 / smax / 1e9,
+                if savg > 0.0 {
+                    favg as f64 / savg / 1e9
+                } else {
+                    0.0
+                }
+            ));
+        }
         s
     }
 }
@@ -270,5 +297,24 @@ mod tests {
         let rendered = s.render();
         assert!(rendered.contains("U-list"));
         assert!(rendered.contains("Total eval"));
+        // No U-list seconds recorded → no rate row.
+        assert!(!rendered.contains("U-list GF/s"));
+    }
+
+    #[test]
+    fn summary_reports_ulist_rate() {
+        let mut p = Profile::default();
+        p.add_flops(Phase::UList, 2_000_000_000);
+        p.add_secs(Phase::UList, 1.0);
+        let s = ProfileSummary::from_ranks(&[p]);
+        let rendered = s.render();
+        assert!(rendered.contains("U-list GF/s"), "{rendered}");
+        assert!(rendered.contains("2.00"), "{rendered}");
+    }
+
+    #[test]
+    fn ulist_edge_model_counts_real_pairs() {
+        assert_eq!(flop_model::ulist_edge(10, 7, 20), 1400);
+        assert_eq!(flop_model::ulist_edge(0, 7, 20), 0);
     }
 }

@@ -15,11 +15,20 @@
 //! operators against the batched half-spectrum path (whose per-source
 //! and per-target transforms only pay off once the level carries enough
 //! edges) using the shared [`flop_model`] formulas.
+//!
+//! [`ulist_stats`] / [`ulist_crossover`] do the same for the near field:
+//! the tiled SoA engine trades a per-pair speedup against lane padding
+//! (which inflates the work by `pad(q)/q`) and an `O(N)` tile build, so
+//! leaves below [`ulist_breakeven_points_per_leaf`] points favor the
+//! scalar path.
 
+use pfmm_kernels::LANE;
 use pfmm_mpisim::run;
 use pfmm_tree::{build_let, build_lists, octree_from_sorted, PointRec};
 
 use crate::driver::{Fmm, FmmConfig};
+use crate::exec::EvalData;
+use crate::nearfield::NearField;
 use crate::profile::{flop_model, Phase};
 
 /// Result of one tuning probe.
@@ -220,6 +229,96 @@ pub fn m2l_crossover(fmm: &Fmm, stats: &[M2lLevelStats]) -> Vec<M2lChoice> {
         .collect()
 }
 
+/// Modeled per-pair speedup of the tiled near-field microkernels over
+/// the scalar path — the conservative floor the `ablation_ulist` harness
+/// enforces (≥ 2× on Laplace; wide-SIMD hosts measure higher).
+pub const TILE_PAIR_SPEEDUP: f64 = 2.0;
+
+/// Modeled tile-build cost per point, in scalar-pair equivalents (one
+/// SoA scatter of coordinates and densities per point).
+const TILE_BUILD_PAIRS_PER_POINT: f64 = 8.0;
+
+/// Near-field statistics of a built LET — the same LET-statistics
+/// approach as [`m2l_level_stats`], applied to the U-list.
+#[derive(Copy, Clone, Debug)]
+pub struct UlistStats {
+    /// Target boxes (owned point-carrying leaves).
+    pub boxes: u64,
+    /// U-list edges.
+    pub edges: u64,
+    /// Target points.
+    pub points: u64,
+    /// Real source/target pairs (the scalar path's work).
+    pub real_pairs: u64,
+    /// Lane-padded pairs (the tiled path's work).
+    pub padded_pairs: u64,
+}
+
+/// The modeled verdict of [`ulist_crossover`].
+#[derive(Copy, Clone, Debug)]
+pub struct UlistChoice {
+    /// Modeled flops of the scalar U-list path.
+    pub scalar_flops: u64,
+    /// Modeled *effective* flops of the tiled path: padded pairs divided
+    /// by the per-pair speedup, plus the `O(N)` tile build.
+    pub tiled_flops: u64,
+    /// True when the tiled engine is modeled cheaper.
+    pub use_tiled: bool,
+}
+
+/// Gather U-list statistics by building the tree and the tiled layout
+/// (one rank, no evaluation).
+pub fn ulist_stats(fmm: &Fmm, points: &[PointRec]) -> UlistStats {
+    let pts = points.to_vec();
+    let sd = fmm.kernel().source_dim();
+    run(1, |c| {
+        let (sorted, region) = crate::driver::sort_points(fmm, c, pts.clone());
+        let tree = octree_from_sorted(c, sorted, region, fmm.config().q);
+        let l = build_let(c, &tree);
+        let lists = build_lists(&l);
+        let data = EvalData::new(&l, sd);
+        let nf = NearField::build(&l, &lists, &data.leaf_pos, &data.leaf_den, sd);
+        UlistStats {
+            boxes: nf.num_tgt_boxes() as u64,
+            edges: nf.ulist.len() as u64,
+            points: nf.tgt_cnt.iter().map(|&n| n as u64).sum(),
+            real_pairs: nf.real_pairs,
+            padded_pairs: nf.padded_pairs,
+        }
+    })
+    .pop()
+    .expect("one rank")
+}
+
+/// Model the scalar-vs-tiled near-field crossover: padding inflates the
+/// tiled work by `padded/real ≈ pad(q)/q`, which must stay under the
+/// per-pair speedup for the tiles to pay — so sparsely populated leaves
+/// (small points-per-leaf) favor the scalar path, exactly like the
+/// dense-vs-batched M2L decision on sparse levels.
+pub fn ulist_crossover(fmm: &Fmm, s: &UlistStats) -> UlistChoice {
+    let fp = fmm.kernel().flops_per_pair();
+    let scalar_flops = s.real_pairs * fp;
+    let tiled_pairs =
+        s.padded_pairs as f64 / TILE_PAIR_SPEEDUP + s.points as f64 * TILE_BUILD_PAIRS_PER_POINT;
+    let tiled_flops = (tiled_pairs * fp as f64) as u64;
+    UlistChoice {
+        scalar_flops,
+        tiled_flops,
+        use_tiled: tiled_flops < scalar_flops,
+    }
+}
+
+/// Smallest points-per-leaf at which the tiled engine is modeled faster,
+/// ignoring the (amortized) build: the padding inflation `pad(q)/q` must
+/// drop strictly below [`TILE_PAIR_SPEEDUP`]. With `LANE = 8` and a 2×
+/// speedup this is 5 — any practically tuned `q` (tens of points) is far
+/// above it, which is why `tiled` is the default.
+pub fn ulist_breakeven_points_per_leaf() -> usize {
+    (1..)
+        .find(|&q: &usize| (q.div_ceil(LANE) * LANE) as f64 / (q as f64) < TILE_PAIR_SPEEDUP)
+        .expect("padding ratio reaches 1")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +445,56 @@ mod tests {
         // The crossover runs end to end on real stats.
         let choices = m2l_crossover(&fmm, &stats);
         assert_eq!(choices.len(), stats.len());
+    }
+
+    #[test]
+    fn ulist_stats_count_a_uniform_cube() {
+        let mut pts = uniform_cube(4000, 47, 0);
+        randomize_densities(&mut pts, 1, 5);
+        let fmm = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 4,
+                q: 40,
+                ..Default::default()
+            },
+        );
+        let s = ulist_stats(&fmm, &pts);
+        assert_eq!(s.points, 4000);
+        assert!(s.boxes > 0 && s.edges >= s.boxes, "{s:?}");
+        assert!(s.real_pairs > 0 && s.padded_pairs >= s.real_pairs, "{s:?}");
+        // Well-populated leaves (q = 40 ≫ breakeven): tiles win.
+        let c = ulist_crossover(&fmm, &s);
+        assert!(c.use_tiled, "{c:?} from {s:?}");
+        assert!(c.tiled_flops < c.scalar_flops);
+    }
+
+    #[test]
+    fn ulist_crossover_prefers_scalar_on_singleton_leaves() {
+        // One point per leaf: every real pair pads to a full lane
+        // (8× inflation), and the build cost has nothing to amortize
+        // against — the scalar path is modeled cheaper.
+        let fmm = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 4,
+                ..Default::default()
+            },
+        );
+        let s = UlistStats {
+            boxes: 1000,
+            edges: 1000,
+            points: 1000,
+            real_pairs: 1000,
+            padded_pairs: 8000,
+        };
+        let c = ulist_crossover(&fmm, &s);
+        assert!(!c.use_tiled, "{c:?}");
+    }
+
+    #[test]
+    fn ulist_breakeven_is_five_points_per_leaf() {
+        // pad(q)/q: 8/1=8, 8/4=2 (tie, scalar), 8/5=1.6 < 2 → 5.
+        assert_eq!(ulist_breakeven_points_per_leaf(), 5);
     }
 }

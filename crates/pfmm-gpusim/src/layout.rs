@@ -9,6 +9,12 @@
 //! kernel's multiply-accumulate) and padded target lanes compute garbage
 //! that is never read back — the same waste a real CUDA implementation
 //! accepts in exchange for coalescing.
+//!
+//! The CPU near-field engine (`pfmm_core::nearfield`) applies the same
+//! discipline at f64/lane-width granularity: identical source-box
+//! occupancy, identical U-list rows, padding as zero-density sentinels —
+//! only the pad unit (`LANE` vs thread block) and the plane layout
+//! (SoA vs AoS `[f32; 4]`) differ.
 
 use std::time::Instant;
 
@@ -232,6 +238,40 @@ mod tests {
             assert!(self_sb >= 0);
             let row = &lay.ulist[lay.ulist_off[tb] as usize..lay.ulist_off[tb + 1] as usize];
             assert!(row.contains(&(self_sb as u32)));
+        }
+    }
+
+    #[test]
+    fn matches_cpu_nearfield_layout() {
+        // The CPU tiled near-field engine is the same data-structure
+        // transformation at a different pad unit: same source-box
+        // occupancy, same real counts, same target boxes, same U-list
+        // rows (as sets — NearField sorts its rows, GpuLayout keeps
+        // traversal order).
+        let (l, lists) = small_let(600, 12);
+        let lay = GpuLayout::build(&l, &lists, 64);
+        let data = pfmm_core::exec::EvalData::new(&l, 1);
+        let nf = pfmm_core::NearField::build(&l, &lists, &data.leaf_pos, &data.leaf_den, 1);
+
+        assert_eq!(nf.num_src_boxes(), lay.num_src_boxes());
+        assert_eq!(nf.src_box_of_oct, lay.src_box_of_oct);
+        assert_eq!(nf.src_cnt, lay.src_cnt);
+        assert_eq!(nf.num_tgt_boxes(), lay.num_tgt_boxes());
+        assert_eq!(nf.tgt_oct, lay.tgt_oct);
+        assert_eq!(nf.tgt_cnt, lay.tgt_cnt);
+        assert_eq!(nf.ulist_off, lay.ulist_off);
+        for tb in 0..nf.num_tgt_boxes() {
+            let r = nf.ulist_off[tb] as usize..nf.ulist_off[tb + 1] as usize;
+            let mut gpu_row = lay.ulist[r.clone()].to_vec();
+            gpu_row.sort_unstable();
+            assert_eq!(&nf.ulist[r], &gpu_row[..]);
+        }
+        // Both pad with zero density; only the pad unit differs.
+        for b in 0..nf.num_src_boxes() {
+            let r = nf.src_range(b);
+            for j in r.start + nf.src_cnt[b] as usize..r.end {
+                assert_eq!(nf.sden[j], 0.0);
+            }
         }
     }
 

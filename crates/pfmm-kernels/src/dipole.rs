@@ -56,6 +56,10 @@ impl Kernel for LaplaceDipole {
     fn name(&self) -> &'static str {
         "laplace-dipole"
     }
+
+    fn as_tile_kernel(&self) -> Option<&dyn crate::tile::TileKernel> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

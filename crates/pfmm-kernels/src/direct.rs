@@ -19,12 +19,25 @@ pub fn direct_eval(
     densities: &[f64],
     out: &mut [f64],
 ) {
+    direct_eval_typed(kernel, targets, sources, densities, out)
+}
+
+/// Monomorphized [`direct_eval`]: with a concrete `K` the per-target
+/// `eval_target` calls inline and skip the vtable entirely; `direct_eval`
+/// itself funnels through here with `K = dyn Kernel`.
+pub fn direct_eval_typed<K: Kernel + ?Sized>(
+    kernel: &K,
+    targets: &[Point3],
+    sources: &[Point3],
+    densities: &[f64],
+    out: &mut [f64],
+) {
     let sd = kernel.source_dim();
     let td = kernel.target_dim();
     assert_eq!(densities.len(), sources.len() * sd, "density packing");
     assert_eq!(out.len(), targets.len() * td, "output packing");
-    for (i, x) in targets.iter().enumerate() {
-        kernel.eval_target(x, sources, densities, &mut out[i * td..(i + 1) * td]);
+    for (x, o) in targets.iter().zip(out.chunks_exact_mut(td)) {
+        kernel.eval_target(x, sources, densities, o);
     }
 }
 
@@ -59,11 +72,80 @@ pub fn direct_eval_f32(targets: &[[f32; 3]], sources: &[[f32; 3]], densities: &[
         .collect()
 }
 
+/// Single-precision direct Yukawa sum with the same `max(NaN, x)`
+/// self-interaction trick as [`direct_eval_f32`] — the f32 reference for
+/// a screened-Coulomb U-list kernel.
+pub fn direct_eval_f32_yukawa(
+    lambda: f32,
+    targets: &[[f32; 3]],
+    sources: &[[f32; 3]],
+    densities: &[f32],
+) -> Vec<f32> {
+    assert_eq!(sources.len(), densities.len());
+    let c = 1.0f32 / (4.0 * std::f32::consts::PI);
+    targets
+        .iter()
+        .map(|x| {
+            let mut acc = 0.0f32;
+            for (y, s) in sources.iter().zip(densities) {
+                let dx = x[0] - y[0];
+                let dy = x[1] - y[1];
+                let dz = x[2] - y[2];
+                let r2 = dx * dx + dy * dy + dz * dz;
+                let inv = 1.0f32 / r2.sqrt(); // +∞ when r2 == 0
+                #[allow(clippy::eq_op)]
+                let inv = (inv + (inv - inv)).max(0.0);
+                // r = r2·(1/r) is exactly 0 at a self pair, so the factor
+                // exp(0)·inv = 0 keeps the suppression intact.
+                let r = r2 * inv;
+                acc += s * (-lambda * r).exp() * inv;
+            }
+            acc * c
+        })
+        .collect()
+}
+
+/// Single-precision direct Stokeslet sum with the `max(NaN, x)`
+/// self-interaction trick; `densities` is packed 3 per source point and
+/// the result 3 per target point.
+pub fn direct_eval_f32_stokes(
+    mu: f32,
+    targets: &[[f32; 3]],
+    sources: &[[f32; 3]],
+    densities: &[f32],
+) -> Vec<f32> {
+    assert_eq!(densities.len(), sources.len() * 3);
+    let c = 1.0f32 / (8.0 * std::f32::consts::PI * mu);
+    let mut out = Vec::with_capacity(targets.len() * 3);
+    for x in targets {
+        let (mut ux, mut uy, mut uz) = (0.0f32, 0.0f32, 0.0f32);
+        for (y, f) in sources.iter().zip(densities.chunks_exact(3)) {
+            let dx = x[0] - y[0];
+            let dy = x[1] - y[1];
+            let dz = x[2] - y[2];
+            let r2 = dx * dx + dy * dy + dz * dz;
+            let inv = 1.0f32 / r2.sqrt(); // +∞ when r2 == 0
+            #[allow(clippy::eq_op)]
+            let inv = (inv + (inv - inv)).max(0.0);
+            let r3 = inv * inv * inv;
+            let fdr = (f[0] * dx + f[1] * dy + f[2] * dz) * r3;
+            ux += f[0] * inv + dx * fdr;
+            uy += f[1] * inv + dy * fdr;
+            uz += f[2] * inv + dz * fdr;
+        }
+        out.push(ux * c);
+        out.push(uy * c);
+        out.push(uz * c);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::laplace::Laplace;
     use crate::stokes::Stokes;
+    use crate::yukawa::Yukawa;
 
     #[test]
     fn two_body_laplace() {
@@ -103,6 +185,65 @@ mod tests {
         let p = [[0.5f32, 0.5, 0.5]];
         let got = direct_eval_f32(&p, &p, &[7.0]);
         assert_eq!(got[0], 0.0, "self-interaction suppressed without branching");
+    }
+
+    #[test]
+    fn typed_variant_matches_dyn() {
+        let t = vec![[0.1, 0.2, 0.3], [0.9, 0.8, 0.7]];
+        let s = vec![[0.5, 0.5, 0.5], [0.25, 0.75, 0.5]];
+        let d = [1.5, -0.5];
+        let mut a = vec![0.0; 2];
+        let mut b = vec![0.0; 2];
+        direct_eval(&Laplace, &t, &s, &d, &mut a);
+        direct_eval_typed(&Laplace, &t, &s, &d, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn f32_yukawa_matches_f64_away_from_singularity() {
+        let lambda = 1.5;
+        let t64: Vec<Point3> = vec![[0.1, 0.2, 0.3], [0.9, 0.8, 0.7]];
+        let s64: Vec<Point3> = vec![[0.5, 0.5, 0.5], [0.25, 0.75, 0.5]];
+        let d = [1.5, -0.5];
+        let mut want = vec![0.0; 2];
+        direct_eval(&Yukawa { lambda }, &t64, &s64, &d, &mut want);
+        let t32: Vec<[f32; 3]> = t64.iter().map(|p| p.map(|v| v as f32)).collect();
+        let s32: Vec<[f32; 3]> = s64.iter().map(|p| p.map(|v| v as f32)).collect();
+        let got = direct_eval_f32_yukawa(lambda as f32, &t32, &s32, &[1.5, -0.5]);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g as f64 - w).abs() < 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn f32_yukawa_nan_max_trick_skips_self() {
+        let p = [[0.5f32, 0.5, 0.5]];
+        let got = direct_eval_f32_yukawa(2.0, &p, &p, &[7.0]);
+        assert_eq!(got[0], 0.0);
+    }
+
+    #[test]
+    fn f32_stokes_matches_f64_away_from_singularity() {
+        let mu = 0.8;
+        let t64: Vec<Point3> = vec![[0.1, 0.2, 0.3], [0.9, 0.8, 0.7]];
+        let s64: Vec<Point3> = vec![[0.5, 0.5, 0.5], [0.25, 0.75, 0.5]];
+        let d64 = [1.0, -2.0, 0.5, 0.25, 0.75, -1.5];
+        let mut want = vec![0.0; 6];
+        direct_eval(&Stokes { mu }, &t64, &s64, &d64, &mut want);
+        let t32: Vec<[f32; 3]> = t64.iter().map(|p| p.map(|v| v as f32)).collect();
+        let s32: Vec<[f32; 3]> = s64.iter().map(|p| p.map(|v| v as f32)).collect();
+        let d32: Vec<f32> = d64.iter().map(|v| *v as f32).collect();
+        let got = direct_eval_f32_stokes(mu as f32, &t32, &s32, &d32);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((*g as f64 - w).abs() < 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn f32_stokes_nan_max_trick_skips_self() {
+        let p = [[0.5f32, 0.5, 0.5]];
+        let got = direct_eval_f32_stokes(1.0, &p, &p, &[3.0, -4.0, 5.0]);
+        assert_eq!(got, vec![0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub trait Kernel: Send + Sync {
     /// Short display name.
     fn name(&self) -> &'static str;
 
+    /// The tiled near-field evaluator for this kernel, if it provides
+    /// monomorphized SoA microkernels (see [`crate::tile`]). Defaults to
+    /// `None`, which makes unknown kernels fall back to the scalar
+    /// U-list path; the built-in kernels all override it.
+    fn as_tile_kernel(&self) -> Option<&dyn crate::tile::TileKernel> {
+        None
+    }
+
     /// Accumulate the potential at one target due to many sources:
     /// `out += Σ_j K(x, y_j) s_j` with `s` packed `source_dim` per point.
     ///

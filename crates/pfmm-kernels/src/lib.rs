@@ -13,13 +13,17 @@ pub mod direct;
 pub mod kernel;
 pub mod laplace;
 pub mod stokes;
+pub mod tile;
 pub mod yukawa;
 
 pub use dipole::LaplaceDipole;
-pub use direct::{direct_eval, direct_eval_f32};
+pub use direct::{
+    direct_eval, direct_eval_f32, direct_eval_f32_stokes, direct_eval_f32_yukawa, direct_eval_typed,
+};
 pub use kernel::{assemble, Kernel};
 pub use laplace::Laplace;
 pub use stokes::Stokes;
+pub use tile::{TileKernel, Tiles, LANE};
 pub use yukawa::Yukawa;
 
 /// A point in the unit cube (re-exported convention shared with

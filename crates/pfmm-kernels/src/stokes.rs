@@ -60,6 +60,10 @@ impl Kernel for Stokes {
     fn name(&self) -> &'static str {
         "stokes"
     }
+
+    fn as_tile_kernel(&self) -> Option<&dyn crate::tile::TileKernel> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

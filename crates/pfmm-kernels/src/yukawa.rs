@@ -62,6 +62,10 @@ impl Kernel for Yukawa {
         "yukawa"
     }
 
+    fn as_tile_kernel(&self) -> Option<&dyn crate::tile::TileKernel> {
+        Some(self)
+    }
+
     fn eval_target(&self, x: &Point3, sources: &[Point3], densities: &[f64], out: &mut [f64]) {
         debug_assert_eq!(densities.len(), sources.len());
         let mut acc = 0.0;
