@@ -10,15 +10,32 @@
 //! ("overlap"), and the speedup. The two executors produce bitwise
 //! identical potentials (see `tests/invariants.rs`), so any gap is pure
 //! scheduling.
+//!
+//! Usage: `ablation_sched [--trace <path.json>]` — with `--trace`, one
+//! extra 4-rank graph-scheduled run is recorded at full comm detail and
+//! exported as a Chrome/Perfetto trace, so the overlap the table reports
+//! can be inspected visually (comm spans under compute chunks).
 
 use std::sync::Arc;
 
-use pfmm_bench::{run_case, Distribution, Table};
+use pfmm_bench::{run_case, run_case_traced, Distribution, Table};
 use pfmm_core::driver::Schedule;
 use pfmm_core::FmmConfig;
 use pfmm_kernels::Laplace;
+use pfmm_trace::{TraceLevel, Tracer};
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut trace_path = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => trace_path = Some(args.next().expect("--trace needs a path")),
+            other => match other.strip_prefix("--trace=") {
+                Some(p) => trace_path = Some(p.to_string()),
+                None => panic!("unknown argument {other}"),
+            },
+        }
+    }
     let per_rank = 3_000;
     println!("Ablation: barrier vs graph schedule ({per_rank} pts/rank, 2 threads/rank)\n");
     let mut t = Table::new(&[
@@ -65,4 +82,32 @@ fn main() {
     println!("expected: the graph schedule hides the Comm phase behind the U/X");
     println!("chunks (nonzero overlap) and the gap widens with p as the");
     println!("reduce-and-scatter gets more rounds to hide.");
+
+    if let Some(path) = trace_path {
+        let tracer = Arc::new(Tracer::new(TraceLevel::Comm));
+        let cfg = FmmConfig {
+            order: 4,
+            q: 40,
+            threads: 2,
+            schedule: Schedule::Graph,
+            ..Default::default()
+        };
+        run_case_traced(
+            Arc::new(Laplace),
+            cfg,
+            Distribution::Uniform,
+            per_rank * 4,
+            4,
+            31,
+            &tracer,
+        );
+        let events = tracer.drain();
+        let stats = pfmm_trace::chrome::validate(&events).expect("recorded trace is well-formed");
+        std::fs::write(&path, pfmm_trace::chrome::to_json_string(&events))
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!(
+            "\ntrace: {} spans, {} flow arrows -> {path}",
+            stats.spans, stats.flows
+        );
+    }
 }

@@ -1,0 +1,50 @@
+//! Validate a Chrome-trace JSON file produced by `pfmm --trace` (or any
+//! of the harness binaries' passthroughs): parse it back, check span
+//! nesting and flow pairing, and summarize what it contains. Used by the
+//! CI trace job to assert the exported file actually loads.
+//!
+//! Usage: `trace_check <path.json> [min_flows]` — exits nonzero when the
+//! file is malformed or carries fewer than `min_flows` matched flow
+//! arrows (default 0).
+
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .expect("usage: trace_check <path.json> [min_flows]");
+    let min_flows: usize = args
+        .next()
+        .map(|a| a.parse().expect("min_flows must be an integer"))
+        .unwrap_or(0);
+
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let events = pfmm_trace::chrome::parse(&json).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let stats =
+        pfmm_trace::chrome::validate(&events).unwrap_or_else(|e| panic!("validate {path}: {e}"));
+
+    // Span-end events carry no name/cat (they close the lane's open
+    // span), so bucket by the opening/instant events only.
+    let mut by_cat: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in events.iter().filter(|e| !e.cat.is_empty()) {
+        *by_cat.entry(e.cat.as_ref()).or_default() += 1;
+    }
+    println!(
+        "{path}: {} events, {} spans, {} flow arrows, {} instants, {} counters",
+        events.len(),
+        stats.spans,
+        stats.flows,
+        stats.instants,
+        stats.counters
+    );
+    for (cat, n) in &by_cat {
+        println!("  {cat:<8} {n:>8} events");
+    }
+    assert!(
+        stats.flows >= min_flows,
+        "expected at least {min_flows} flow arrows, found {}",
+        stats.flows
+    );
+    println!("ok");
+}

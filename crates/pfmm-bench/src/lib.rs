@@ -152,12 +152,35 @@ pub fn run_case(
     p: usize,
     seed: u64,
 ) -> RunSummary {
+    run_case_traced(
+        kernel,
+        cfg,
+        dist,
+        n_total,
+        p,
+        seed,
+        &Arc::new(pfmm_trace::Tracer::off()),
+    )
+}
+
+/// [`run_case`] with a shared tracer attached to every simulated rank;
+/// drain the tracer afterwards for the recorded spans/flows.
+#[allow(clippy::too_many_arguments)]
+pub fn run_case_traced(
+    kernel: Arc<dyn Kernel>,
+    cfg: FmmConfig,
+    dist: Distribution,
+    n_total: usize,
+    p: usize,
+    seed: u64,
+    tracer: &Arc<pfmm_trace::Tracer>,
+) -> RunSummary {
     let kdim = kernel.source_dim();
     let fmm = Fmm::new(kernel, cfg);
     let per = n_total / p;
     let out = run(p, |c| {
         let pts = dist.generate(per, seed + c.rank() as u64, (c.rank() * per) as u64, kdim);
-        let res = fmm.evaluate(c, pts);
+        let res = fmm.evaluate_traced(c, pts, tracer);
         (res.profile.clone(), res.comm_reduce, res.info)
     });
     let info = out[0].2;
@@ -165,7 +188,7 @@ pub fn run_case(
         p,
         n: per * p,
         profiles: out.iter().map(|(pr, _, _)| pr.clone()).collect(),
-        comm_reduce: out.iter().map(|(_, cr, _)| *cr).collect(),
+        comm_reduce: out.iter().map(|(_, cr, _)| cr.clone()).collect(),
         info,
     }
 }

@@ -24,6 +24,7 @@ use pfmm_core::verify::sampled_rel_error;
 use pfmm_core::{Fmm, FmmConfig, M2lMode, Reduction, Schedule, SortKind, UlistMode};
 use pfmm_gpusim::{run_gpu_fmm, run_gpu_fmm_wx, DeviceSpec, GpuPhase};
 use pfmm_kernels::{Kernel, Laplace, LaplaceDipole, Stokes, Yukawa};
+use pfmm_trace::{TraceLevel, Tracer};
 use pfmm_tree::PointRec;
 
 const HELP: &str = "\
@@ -57,6 +58,13 @@ run options:
   --balance <true|false>       work-weighted repartition (default true)
   --check <int>        verify every k-th point against the direct sum
                        (0 = skip; default 0)
+  --trace <path.json>  write a Chrome/Perfetto trace of the run (load in
+                       ui.perfetto.dev or chrome://tracing; also accepted
+                       by `gpu` for the modeled device timeline)
+  --trace-level <off|phase|task|comm>  trace detail: phase spans only,
+                       + per-chunk task spans, + per-message comm events
+                       with cross-rank flow arrows and the p×p byte
+                       matrix (default comm when --trace is given)
 
 tune options:
   --candidates <q1,q2,...>     candidate q values (default 32,64,128,256,512)
@@ -109,6 +117,8 @@ const KNOWN_FLAGS: &[&str] = &[
     "wx-on-gpu",
     "scale",
     "tol",
+    "trace",
+    "trace-level",
 ];
 
 fn dispatch(argv: impl Iterator<Item = String>) -> Result<(), String> {
@@ -185,11 +195,53 @@ fn config_of(args: &Args) -> Result<FmmConfig, String> {
     })
 }
 
+/// Parse `--trace` / `--trace-level` into a tracer and output path. The
+/// level defaults to `comm` (full detail) when a path is given and `off`
+/// otherwise; `--trace-level` without `--trace` is rejected since the
+/// events would have nowhere to go.
+fn tracer_of(args: &Args) -> Result<(Arc<Tracer>, Option<String>), String> {
+    let path = args.get("trace").map(str::to_string);
+    let level = match args.get("trace-level") {
+        None => {
+            if path.is_some() {
+                TraceLevel::Comm
+            } else {
+                TraceLevel::Off
+            }
+        }
+        Some(_) if path.is_none() => {
+            return Err("--trace-level needs --trace <path.json>".into());
+        }
+        Some("off") => TraceLevel::Off,
+        Some("phase") => TraceLevel::Phase,
+        Some("task") => TraceLevel::Task,
+        Some("comm") => TraceLevel::Comm,
+        Some(other) => return Err(format!("unknown trace level '{other}'")),
+    };
+    Ok((Arc::new(Tracer::new(level)), path))
+}
+
+/// Validate, serialize, and write a drained trace; prints a one-line
+/// summary of what landed in the file.
+fn write_trace(tracer: &Tracer, path: &str) -> Result<(), String> {
+    let events = tracer.drain();
+    let stats = pfmm_trace::chrome::validate(&events)
+        .map_err(|e| format!("internal error: recorded trace is malformed: {e}"))?;
+    std::fs::write(path, pfmm_trace::chrome::to_json_string(&events))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "trace: {} spans, {} flow arrows, {} instants -> {path}",
+        stats.spans, stats.flows, stats.instants
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let kernel = kernel_of(args)?;
     let cfg = config_of(args)?;
     let ranks: usize = args.get_or("ranks", 1)?;
     let check: usize = args.get_or("check", 0)?;
+    let (tracer, trace_path) = tracer_of(args)?;
     let kd = kernel.source_dim();
     let td = kernel.target_dim();
     let pts = points_of(args, kd)?;
@@ -206,15 +258,16 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let fmm = Fmm::new(kernel.clone(), cfg);
     let out = pfmm_mpisim::run(ranks, |c| {
         let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(ranks).copied().collect();
-        let res = fmm.evaluate(c, mine);
+        let res = fmm.evaluate_traced(c, mine, &tracer);
         (
             res.profile.clone(),
             res.info,
             gather_potentials(c, &res, td),
+            c.stats(),
         )
     });
 
-    let profiles: Vec<_> = out.iter().map(|(p, _, _)| p.clone()).collect();
+    let profiles: Vec<_> = out.iter().map(|(p, _, _, _)| p.clone()).collect();
     let info = out[0].1;
     println!(
         "tree: {} leaves, levels {}..{}",
@@ -223,6 +276,15 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("{}", ProfileSummary::from_ranks(&profiles).render());
     let total_flops: u64 = profiles.iter().map(|p| p.total_flops()).sum();
     println!("total flops: {:.3e}", total_flops as f64);
+
+    if tracer.enabled(TraceLevel::Comm) {
+        let stats: Vec<_> = out.iter().map(|(_, _, _, s)| s.clone()).collect();
+        let matrix = pfmm_mpisim::CommMatrix::from_stats(&stats);
+        println!("\ncomm matrix (bytes):\n{}", matrix.render());
+    }
+    if let Some(path) = &trace_path {
+        write_trace(&tracer, path)?;
+    }
 
     if check > 0 {
         let err = sampled_rel_error(kernel.as_ref(), &pts, &out[0].2, check);
@@ -270,6 +332,7 @@ fn cmd_gpu(args: &Args) -> Result<(), String> {
     let order: usize = args.get_or("order", 4)?;
     let q: usize = args.get_or("gpu-q", 400)?;
     let wx: bool = args.get_or("wx-on-gpu", false)?;
+    let (_, trace_path) = tracer_of(args)?;
     let pts = points_of(args, 1)?;
     let dev = DeviceSpec::tesla_s1070();
     println!(
@@ -304,6 +367,12 @@ fn cmd_gpu(args: &Args) -> Result<(), String> {
     println!("layout translation (host): {:.4}s", rep.translate_secs);
     println!("modeled speedup: {:.1}x", rep.speedup());
     println!("f32 pipeline error vs f64: {:.2e}", rep.rel_err_vs_f64);
+    if let Some(path) = &trace_path {
+        let events = rep.trace_events(0, 0.0);
+        std::fs::write(path, pfmm_trace::chrome::to_json_string(&events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace: modeled device timeline -> {path}");
+    }
     let _ = Phase::ALL; // re-exported set used by `run`
     Ok(())
 }
@@ -550,5 +619,48 @@ mod tests {
     #[test]
     fn unknown_flag_is_an_error() {
         assert!(dispatch(["run", "--frobnicate", "1"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn trace_level_selection() {
+        let (t, path) = tracer_of(&args(&["run"])).expect("default off");
+        assert!(!t.enabled(TraceLevel::Phase));
+        assert!(path.is_none());
+        let (t, path) = tracer_of(&args(&["run", "--trace", "out.json"])).expect("default comm");
+        assert!(t.enabled(TraceLevel::Comm));
+        assert_eq!(path.as_deref(), Some("out.json"));
+        let (t, _) = tracer_of(&args(&["run", "--trace=o.json", "--trace-level=phase"]))
+            .expect("explicit phase");
+        assert!(t.enabled(TraceLevel::Phase));
+        assert!(!t.enabled(TraceLevel::Task));
+        assert!(tracer_of(&args(&["run", "--trace-level=comm"])).is_err());
+        assert!(tracer_of(&args(&["run", "--trace=o.json", "--trace-level=verbose"])).is_err());
+    }
+
+    #[test]
+    fn run_command_writes_a_loadable_trace() {
+        let path = std::env::temp_dir().join("pfmm_cli_trace_test.json");
+        let path_s = path.to_str().expect("utf-8 temp path").to_string();
+        dispatch(
+            [
+                "run",
+                "--n=1500",
+                "--order=4",
+                "--q=40",
+                "--ranks=2",
+                "--schedule=graph",
+                "--trace",
+                &path_s,
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .expect("traced run succeeds");
+        let json = std::fs::read_to_string(&path).expect("trace file written");
+        let events = pfmm_trace::chrome::parse(&json).expect("trace parses");
+        let st = pfmm_trace::chrome::validate(&events).expect("trace is well-formed");
+        assert!(st.spans > 0, "spans recorded");
+        assert!(st.flows > 0, "cross-rank flow arrows recorded");
+        let _ = std::fs::remove_file(&path);
     }
 }

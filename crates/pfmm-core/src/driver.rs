@@ -19,6 +19,7 @@ use std::time::Instant;
 use pfmm_kernels::Kernel;
 use pfmm_mpisim::collectives::{allgatherv, allreduce};
 use pfmm_mpisim::{Comm, CommStats};
+use pfmm_trace::{TraceLevel, Tracer, TID_MAIN};
 use pfmm_tree::{
     bitonic_sort_points, build_let, build_lists, lists::leaf_weights, octree_from_sorted,
     repartition_by_weight, sample_sort_points, Let, PointRec,
@@ -229,15 +230,44 @@ impl Fmm {
     /// share of the points (any distribution) and receives potentials for
     /// the points it owns afterwards.
     pub fn evaluate(&self, c: &Comm, points: Vec<PointRec>) -> PotentialResult {
+        self.evaluate_traced(c, points, &Arc::new(Tracer::off()))
+    }
+
+    /// [`Fmm::evaluate`] with structured span tracing. Levels:
+    /// `Phase` records setup and whole-phase spans, `Task` adds one span
+    /// per chunk/task, `Comm` adds per-message instants and cross-rank
+    /// flow arrows (the tracer is attached to the communicator for the
+    /// duration of the call). Tracing never changes the arithmetic: a
+    /// traced run's potentials are bitwise identical to an untraced one,
+    /// under either executor.
+    pub fn evaluate_traced(
+        &self,
+        c: &Comm,
+        points: Vec<PointRec>,
+        tracer: &Arc<Tracer>,
+    ) -> PotentialResult {
         let mut prof = Profile::default();
         let sd = self.kernel.source_dim();
         let td = self.kernel.target_dim();
+        if tracer.enabled(TraceLevel::Comm) {
+            c.set_tracer(tracer.local(c.rank() as u32, TID_MAIN));
+        }
+        let rank = c.rank() as u32;
 
         // ---------------- Setup ----------------
+        // Two *disjoint* spans on the driver lane ("Sort", then "Setup"
+        // for tree+LET+lists+balance) — sibling spans, never nested, so
+        // the Chrome per-lane nesting invariant holds at any clock
+        // resolution.
         let t_setup = Instant::now();
+        let ts_sort = tracer.now_us();
         let t_sort = Instant::now();
         let (sorted, region) = sort_points(self, c, points);
         prof.sort_secs = t_sort.elapsed().as_secs_f64();
+        let ts_tree = tracer.now_us();
+        if tracer.enabled(TraceLevel::Phase) {
+            tracer.record_span(rank, TID_MAIN, "Sort", "phase", ts_sort, ts_tree, &[]);
+        }
         let mut tree = octree_from_sorted(c, sorted, region, self.cfg.q);
         let mut l = build_let(c, &tree);
         let mut lists = build_lists(&l);
@@ -249,11 +279,22 @@ impl Fmm {
         }
         drop(tree);
         prof.setup_secs = t_setup.elapsed().as_secs_f64();
+        if tracer.enabled(TraceLevel::Phase) {
+            tracer.record_span(
+                rank,
+                TID_MAIN,
+                "Setup",
+                "phase",
+                ts_tree,
+                tracer.now_us(),
+                &[],
+            );
+        }
 
         // ---------------- Evaluation ----------------
         let t_eval = Instant::now();
         let data = EvalData::new(&l, sd);
-        let (f, comm_reduce) = run_phases(self, c, &l, &lists, &data, &mut prof);
+        let (f, comm_reduce) = run_phases(self, c, &l, &lists, &data, &mut prof, tracer);
         prof.total_secs = t_eval.elapsed().as_secs_f64();
 
         // Collect output for owned points, in owned-leaf order.
@@ -795,6 +836,77 @@ mod tests {
                 assert_eq!(v.len(), 1);
                 assert!(v[0].is_finite());
             }
+        }
+    }
+
+    /// Both executors must charge the tiled near-field build time to the
+    /// U-list phase — the charge happens once, centrally, before either
+    /// dispatches — and record it separately in `nf_build_secs`.
+    #[test]
+    fn nearfield_build_charged_to_ulist_under_both_schedules() {
+        let mut pts = uniform_cube(1500, 53, 0);
+        randomize_densities(&mut pts, 1, 23);
+        for schedule in [Schedule::Barrier, Schedule::Graph] {
+            let fmm = Fmm::new(
+                Arc::new(Laplace),
+                FmmConfig {
+                    order: 4,
+                    q: 30,
+                    schedule,
+                    ulist: UlistMode::Tiled,
+                    ..Default::default()
+                },
+            );
+            let profs = run(1, |c| fmm.evaluate(c, pts.clone()).profile.clone());
+            let p = &profs[0];
+            assert!(
+                p.nf_build_secs > 0.0,
+                "{schedule:?}: near-field build time recorded"
+            );
+            assert!(
+                p.secs(Phase::UList) >= p.nf_build_secs,
+                "{schedule:?}: build time folded into U-list ({} < {})",
+                p.secs(Phase::UList),
+                p.nf_build_secs
+            );
+        }
+    }
+
+    /// Tracing must be an observer: at full (Comm) level the potentials
+    /// stay bitwise identical to an untraced run under both executors,
+    /// and the emitted event stream is structurally valid Chrome trace
+    /// material.
+    #[test]
+    fn traced_evaluation_is_bitwise_identical_and_emits_valid_spans() {
+        use pfmm_trace::{chrome, TraceLevel, Tracer};
+        let mut pts = uniform_cube(800, 61, 0);
+        randomize_densities(&mut pts, 1, 31);
+        for schedule in [Schedule::Barrier, Schedule::Graph] {
+            let fmm = Fmm::new(
+                Arc::new(Laplace),
+                FmmConfig {
+                    order: 4,
+                    q: 30,
+                    threads: 2,
+                    schedule,
+                    ..Default::default()
+                },
+            );
+            let tracer = Arc::new(Tracer::new(TraceLevel::Comm));
+            let p = 2;
+            run(p, |c| {
+                let mine: Vec<PointRec> = pts.iter().skip(c.rank()).step_by(p).copied().collect();
+                let plain = fmm.evaluate(c, mine.clone());
+                let traced = fmm.evaluate_traced(c, mine, &tracer);
+                assert_eq!(plain.pot.len(), traced.pot.len());
+                for (a, b) in plain.pot.iter().zip(&traced.pot) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{schedule:?}: traced != plain");
+                }
+            });
+            let evs = tracer.drain();
+            assert!(!evs.is_empty(), "{schedule:?}: events recorded");
+            let st = chrome::validate(&evs).expect("structurally valid trace");
+            assert!(st.spans > 0, "{schedule:?}: spans present");
         }
     }
 

@@ -33,14 +33,15 @@
 //! and D2D steps can be also executed in parallel").
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pfmm_fft::Complex;
 use pfmm_kernels::{direct_eval, Kernel, Point3, TileKernel};
 use pfmm_morton::MortonKey;
 use pfmm_mpisim::{Comm, CommStats};
-use pfmm_sched::{CommPoll, Graph, GraphBuf, Slot};
+use pfmm_sched::{CommPoll, Graph, GraphBuf, Slot, TraceCtx};
+use pfmm_trace::{tid_worker, TraceLevel, Tracer, TID_MAIN};
 use pfmm_tree::{Let, Lists};
 
 use crate::driver::{Fmm, M2lMode, Reduction, Schedule, UlistMode};
@@ -655,11 +656,59 @@ fn refresh_ghost_has_up(ulen: usize, u: &[f64], has_up: &mut [bool]) {
 }
 
 fn stats_delta(before: &CommStats, after: &CommStats) -> CommStats {
-    CommStats {
-        sent_msgs: after.sent_msgs - before.sent_msgs,
-        sent_bytes: after.sent_bytes - before.sent_bytes,
-        recv_msgs: after.recv_msgs - before.recv_msgs,
-        recv_bytes: after.recv_bytes - before.recv_bytes,
+    after.delta_since(before)
+}
+
+/// Span recorder for the barrier executor: whole-phase spans on the
+/// driver lane at [`TraceLevel::Phase`], plus one span per parallel chunk
+/// at [`TraceLevel::Task`]. Chunk lanes are handed out from a counter
+/// that resets per phase, so every span gets a lane of its own and the
+/// Chrome nesting invariant holds trivially. Recording happens strictly
+/// *around* the chunk closures — the arithmetic, its ordering, and the
+/// `Profile` timings are untouched, preserving the bitwise barrier==graph
+/// guarantee at every trace level.
+struct PhaseTrace<'a> {
+    tracer: &'a Tracer,
+    rank: u32,
+    lane: AtomicU32,
+}
+
+impl PhaseTrace<'_> {
+    fn new<'a>(tracer: &'a Tracer, c: &Comm) -> PhaseTrace<'a> {
+        PhaseTrace {
+            tracer,
+            rank: c.rank() as u32,
+            lane: AtomicU32::new(0),
+        }
+    }
+
+    /// Whole-phase span (driver lane, cat `"phase"`); resets the chunk
+    /// lane counter so each phase's chunks start at worker lane 0.
+    fn phase<T>(&self, ph: Phase, f: impl FnOnce() -> T) -> T {
+        if !self.tracer.enabled(TraceLevel::Phase) {
+            return f();
+        }
+        self.lane.store(0, Ordering::Relaxed);
+        let t0 = self.tracer.now_us();
+        let out = f();
+        let t1 = self.tracer.now_us();
+        self.tracer
+            .record_span(self.rank, TID_MAIN, ph.label(), "phase", t0, t1, &[]);
+        out
+    }
+
+    /// Per-chunk span (next free worker lane, cat `"task"`).
+    fn chunk(&self, ph: Phase, f: impl FnOnce() -> u64) -> u64 {
+        if !self.tracer.enabled(TraceLevel::Task) {
+            return f();
+        }
+        let t0 = self.tracer.now_us();
+        let fl = f();
+        let t1 = self.tracer.now_us();
+        let lane = self.lane.fetch_add(1, Ordering::Relaxed) as usize;
+        self.tracer
+            .record_span(self.rank, tid_worker(lane), ph.label(), "task", t0, t1, &[]);
+        fl
     }
 }
 
@@ -673,6 +722,7 @@ pub fn run_phases(
     lists: &Lists,
     data: &EvalData,
     prof: &mut Profile,
+    tracer: &Tracer,
 ) -> (Vec<f64>, CommStats) {
     // The tiled near-field layout is shared by both executors; its
     // translation cost is charged to the U-list phase, the same way the
@@ -691,11 +741,12 @@ pub fn run_phases(
     };
     if let Some(nf) = &nearfield {
         prof.add_secs(Phase::UList, nf.build_secs);
+        prof.nf_build_secs += nf.build_secs;
     }
     let nf = nearfield.as_ref();
     match fmm.config().schedule {
-        Schedule::Barrier => run_phases_barrier(fmm, c, l, lists, data, nf, prof),
-        Schedule::Graph => run_phases_graph(fmm, c, l, lists, data, nf, prof),
+        Schedule::Barrier => run_phases_barrier(fmm, c, l, lists, data, nf, prof, tracer),
+        Schedule::Graph => run_phases_graph(fmm, c, l, lists, data, nf, prof, tracer),
     }
 }
 
@@ -709,6 +760,7 @@ fn run_phases_barrier(
     data: &EvalData,
     nf: Option<&NearField>,
     prof: &mut Profile,
+    tracer: &Tracer,
 ) -> (Vec<f64>, CommStats) {
     let cfg = fmm.config();
     let cx = Ctx::new(fmm, l, lists, data, nf);
@@ -718,42 +770,52 @@ fn run_phases_barrier(
     let by_level = &data.by_level;
     let max_level = data.max_level;
     let cxr = &cx;
+    let pt = PhaseTrace::new(tracer, c);
+    let pt = &pt;
 
     let mut u = vec![0.0f64; noct * ulen];
     let mut has_up = vec![false; noct];
 
     // (1) S2U and (2) U2U — the upward pass. S2U is per-leaf parallel.
-    prof.timed(Phase::Upward, |prof| {
-        let flops = par_windows(
-            threads,
-            noct,
-            &mut u,
-            &|i| i * ulen,
-            |range, window, base| cxr.s2u_range(range, window, base),
-        );
-        prof.add_flops(Phase::Upward, flops);
-        cx.mark_has_up_range(0..noct, &mut has_up);
-        for level in (1..=max_level).rev() {
-            let fl = cx.u2u_level(by_level, level, &mut u, &mut has_up);
-            prof.add_flops(Phase::Upward, fl);
-        }
+    pt.phase(Phase::Upward, || {
+        prof.timed(Phase::Upward, |prof| {
+            let flops = par_windows(
+                threads,
+                noct,
+                &mut u,
+                &|i| i * ulen,
+                |range, window, base| {
+                    pt.chunk(Phase::Upward, || cxr.s2u_range(range, window, base))
+                },
+            );
+            prof.add_flops(Phase::Upward, flops);
+            cx.mark_has_up_range(0..noct, &mut has_up);
+            for level in (1..=max_level).rev() {
+                let fl = pt.chunk(Phase::Upward, || {
+                    cx.u2u_level(by_level, level, &mut u, &mut has_up)
+                });
+                prof.add_flops(Phase::Upward, fl);
+            }
+        })
     });
 
     // Reduce-and-scatter of shared upward densities (Algorithm 3).
     let comm_before = c.stats();
-    prof.timed(Phase::Comm, |_| {
-        if c.size() > 1 {
-            let hypercube = match cfg.reduction {
-                Reduction::Auto => c.size().is_power_of_two(),
-                Reduction::Hypercube => true,
-                Reduction::Naive => false,
-            };
-            if hypercube {
-                reduce_scatter_hypercube(c, l, ulen, &mut u);
-            } else {
-                reduce_scatter_naive(c, l, ulen, &mut u);
+    pt.phase(Phase::Comm, || {
+        prof.timed(Phase::Comm, |_| {
+            if c.size() > 1 {
+                let hypercube = match cfg.reduction {
+                    Reduction::Auto => c.size().is_power_of_two(),
+                    Reduction::Hypercube => true,
+                    Reduction::Naive => false,
+                };
+                if hypercube {
+                    reduce_scatter_hypercube(c, l, ulen, &mut u);
+                } else {
+                    reduce_scatter_naive(c, l, ulen, &mut u);
+                }
             }
-        }
+        })
     });
     let comm_reduce = stats_delta(&comm_before, &c.stats());
     // Ghost densities may have arrived: refresh occupancy.
@@ -788,29 +850,33 @@ fn run_phases_barrier(
             })
             .collect(),
     };
-    prof.timed(Phase::UList, |prof| {
-        let flops = par_windows_weighted(
-            threads,
-            &uli_weights,
-            &mut f,
-            pt_base,
-            |range, window, base| cxr.uli_range(range, window, base),
-        );
-        prof.add_flops(Phase::UList, flops);
+    pt.phase(Phase::UList, || {
+        prof.timed(Phase::UList, |prof| {
+            let flops = par_windows_weighted(
+                threads,
+                &uli_weights,
+                &mut f,
+                pt_base,
+                |range, window, base| pt.chunk(Phase::UList, || cxr.uli_range(range, window, base)),
+            );
+            prof.add_flops(Phase::UList, flops);
+        })
     });
 
     // (3b) X-list: sources of big adjacent leaves onto our downward check
     // surfaces; before V for the same accumulation-order reason.
     let mut dcheck = vec![0.0f64; noct * clen];
-    prof.timed(Phase::XList, |prof| {
-        let flops = par_windows(
-            threads,
-            noct,
-            &mut dcheck,
-            &|i| i * clen,
-            |range, window, base| cxr.xli_range(range, window, base),
-        );
-        prof.add_flops(Phase::XList, flops);
+    pt.phase(Phase::XList, || {
+        prof.timed(Phase::XList, |prof| {
+            let flops = par_windows(
+                threads,
+                noct,
+                &mut dcheck,
+                &|i| i * clen,
+                |range, window, base| pt.chunk(Phase::XList, || cxr.xli_range(range, window, base)),
+            );
+            prof.add_flops(Phase::XList, flops);
+        })
     });
 
     // (3a) V-list, parallel over target octants with edge-count-weighted
@@ -824,75 +890,99 @@ fn run_phases_barrier(
             }
         })
         .collect();
-    prof.timed(Phase::VList, |prof| match cfg.m2l {
-        M2lMode::Dense => {
-            let flops = par_windows_weighted(
-                threads,
-                &vli_weights,
-                &mut dcheck,
-                &|i| i * clen,
-                |range, window, base| cxr.vli_dense_range(has_up, u, range, window, base),
-            );
-            prof.add_flops(Phase::VList, flops);
-        }
-        M2lMode::Fft => {
-            let (uhat, fl) = cx.vli_fft_spectra(has_up, u, threads);
-            prof.add_flops(Phase::VList, fl);
-            let uhat = &uhat;
-            let flops = par_windows_weighted(
-                threads,
-                &vli_weights,
-                &mut dcheck,
-                &|i| i * clen,
-                |range, window, base| cxr.vli_fft_range(has_up, uhat, range, window, base),
-            );
-            prof.add_flops(Phase::VList, flops);
-        }
-        M2lMode::FftBatched => {
-            let (table, src, fl) = cx.vli_batched_spectra(has_up, u, threads);
-            prof.add_flops(Phase::VList, fl);
-            let (table, src) = (&table, &src);
-            let flops = par_windows_weighted(
-                threads,
-                &vli_weights,
-                &mut dcheck,
-                &|i| i * clen,
-                |range, window, base| {
-                    cxr.vli_batched_range(has_up, table, src, range, window, base)
-                },
-            );
-            prof.add_flops(Phase::VList, flops);
-        }
+    pt.phase(Phase::VList, || {
+        prof.timed(Phase::VList, |prof| match cfg.m2l {
+            M2lMode::Dense => {
+                let flops = par_windows_weighted(
+                    threads,
+                    &vli_weights,
+                    &mut dcheck,
+                    &|i| i * clen,
+                    |range, window, base| {
+                        pt.chunk(Phase::VList, || {
+                            cxr.vli_dense_range(has_up, u, range, window, base)
+                        })
+                    },
+                );
+                prof.add_flops(Phase::VList, flops);
+            }
+            M2lMode::Fft => {
+                let (uhat, fl) = cx.vli_fft_spectra(has_up, u, threads);
+                prof.add_flops(Phase::VList, fl);
+                let uhat = &uhat;
+                let flops = par_windows_weighted(
+                    threads,
+                    &vli_weights,
+                    &mut dcheck,
+                    &|i| i * clen,
+                    |range, window, base| {
+                        pt.chunk(Phase::VList, || {
+                            cxr.vli_fft_range(has_up, uhat, range, window, base)
+                        })
+                    },
+                );
+                prof.add_flops(Phase::VList, flops);
+            }
+            M2lMode::FftBatched => {
+                let (table, src, fl) = cx.vli_batched_spectra(has_up, u, threads);
+                prof.add_flops(Phase::VList, fl);
+                let (table, src) = (&table, &src);
+                let flops = par_windows_weighted(
+                    threads,
+                    &vli_weights,
+                    &mut dcheck,
+                    &|i| i * clen,
+                    |range, window, base| {
+                        pt.chunk(Phase::VList, || {
+                            cxr.vli_batched_range(has_up, table, src, range, window, base)
+                        })
+                    },
+                );
+                prof.add_flops(Phase::VList, flops);
+            }
+        })
     });
     let dcheck = &dcheck;
 
     // (4) D2D + (5b) D2T — the downward pass.
     let mut f_owned = f; // continue accumulating into the same array
     let mut d = vec![0.0f64; noct * ulen];
-    prof.timed(Phase::Downward, |prof| {
-        let fl = cx.d2d_levels(by_level, max_level, dcheck, &mut d);
-        prof.add_flops(Phase::Downward, fl);
-        let d = &d;
-        let flops = par_windows(
-            threads,
-            noct,
-            &mut f_owned,
-            pt_base,
-            |range, window, base| cxr.d2t_range(d, range, window, base),
-        );
-        prof.add_flops(Phase::Downward, flops);
+    pt.phase(Phase::Downward, || {
+        prof.timed(Phase::Downward, |prof| {
+            let fl = pt.chunk(Phase::Downward, || {
+                cx.d2d_levels(by_level, max_level, dcheck, &mut d)
+            });
+            prof.add_flops(Phase::Downward, fl);
+            let d = &d;
+            let flops = par_windows(
+                threads,
+                noct,
+                &mut f_owned,
+                pt_base,
+                |range, window, base| {
+                    pt.chunk(Phase::Downward, || cxr.d2t_range(d, range, window, base))
+                },
+            );
+            prof.add_flops(Phase::Downward, flops);
+        })
     });
 
     // (5a) W-list: multipoles of small far leaves directly to targets.
-    prof.timed(Phase::WList, |prof| {
-        let flops = par_windows(
-            threads,
-            noct,
-            &mut f_owned,
-            pt_base,
-            |range, window, base| cxr.wli_range(has_up, u, range, window, base),
-        );
-        prof.add_flops(Phase::WList, flops);
+    pt.phase(Phase::WList, || {
+        prof.timed(Phase::WList, |prof| {
+            let flops = par_windows(
+                threads,
+                noct,
+                &mut f_owned,
+                pt_base,
+                |range, window, base| {
+                    pt.chunk(Phase::WList, || {
+                        cxr.wli_range(has_up, u, range, window, base)
+                    })
+                },
+            );
+            prof.add_flops(Phase::WList, flops);
+        })
     });
 
     (f_owned, comm_reduce)
@@ -910,6 +1000,7 @@ fn run_phases_graph(
     data: &EvalData,
     nf: Option<&NearField>,
     prof: &mut Profile,
+    tracer: &Tracer,
 ) -> (Vec<f64>, CommStats) {
     let cfg = fmm.config();
     let cx = Ctx::new(fmm, l, lists, data, nf);
@@ -1126,7 +1217,14 @@ fn run_phases_graph(
         });
     }
 
-    let rep = pfmm_sched::run(g, workers).expect("the FMM task graph is acyclic");
+    // Trace emission is synthesized by the scheduler *after* the graph
+    // completes, from interval records it keeps anyway — a traced graph
+    // run schedules identically to an untraced one.
+    let tc = tracer.enabled(TraceLevel::Phase).then_some(TraceCtx {
+        tracer,
+        rank: c.rank() as u32,
+    });
+    let rep = pfmm_sched::run_with(g, workers, tc).expect("the FMM task graph is acyclic");
 
     for ph in Phase::ALL {
         if let Some(&s) = rep.phase_secs.get(ph.label()) {
@@ -1135,6 +1233,7 @@ fn run_phases_graph(
         prof.add_flops(ph, flops[ph as usize].load(Ordering::Relaxed));
     }
     prof.overlap_secs += rep.overlap_secs;
+    prof.critical_path_secs += rep.critical_path_secs;
 
     (f.into_inner(), comm_delta.take())
 }

@@ -184,7 +184,16 @@ impl Fmm {
         // Run the evaluation phases and collect the owned potentials.
         let mut prof = Profile::default();
         let t0 = Instant::now();
-        let (f, _) = run_phases(self, c, &plan.l, &plan.lists, &plan.data, &mut prof);
+        let tracer = pfmm_trace::Tracer::off();
+        let (f, _) = run_phases(
+            self,
+            c,
+            &plan.l,
+            &plan.lists,
+            &plan.data,
+            &mut prof,
+            &tracer,
+        );
         prof.total_secs = t0.elapsed().as_secs_f64();
         let mut pot = Vec::with_capacity(plan.num_owned() * td);
         for i in 0..plan.l.len() {

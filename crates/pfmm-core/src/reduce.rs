@@ -17,7 +17,7 @@
 
 use pfmm_morton::{MortonKey, RANK_SPAN};
 use pfmm_mpisim::collectives::alltoallv;
-use pfmm_mpisim::Comm;
+use pfmm_mpisim::{CollectiveKind, Comm};
 use pfmm_tree::Let;
 
 /// The rank-space intervals of the "user region" of an octant: its
@@ -161,8 +161,10 @@ pub fn reduce_scatter_hypercube(c: &Comm, l: &Let, ulen: usize, u: &mut [f64]) -
                 dens.extend_from_slice(&e.dens);
             }
         }
-        c.send_vec(s, TAG_HC_KEYS, keys);
-        c.send_vec(s, TAG_HC_DENS, dens);
+        c.collective(CollectiveKind::HypercubeReduce, || {
+            c.send_vec(s, TAG_HC_KEYS, keys);
+            c.send_vec(s, TAG_HC_DENS, dens);
+        });
 
         // Prune entries useless to our own remaining sub-cube (steps 5–7).
         let q_s = r & (p - bit);
@@ -259,8 +261,10 @@ impl HypercubeReduceAsync {
                 dens.extend_from_slice(&e.dens);
             }
         }
-        c.isend(s, TAG_HC_KEYS, keys).wait();
-        c.isend(s, TAG_HC_DENS, dens).wait();
+        c.collective(CollectiveKind::HypercubeReduce, || {
+            c.isend(s, TAG_HC_KEYS, keys).wait();
+            c.isend(s, TAG_HC_DENS, dens).wait();
+        });
 
         let q_s = r & (p - bit);
         let q_e = r | (bit - 1);
@@ -576,6 +580,48 @@ mod tests {
     #[test]
     fn async_hypercube_matches_blocking_bitwise_p8() {
         check_async_matches_blocking(8);
+    }
+
+    /// §III-C derives per-rank reduce-and-scatter traffic `O(m(3√p − 2))`
+    /// where `m` is the size of a rank's shared-octant data. Check the
+    /// measured per-peer traffic (attributed to the HypercubeReduce
+    /// class) against that bound, with a 2× allowance for the
+    /// implementation constant (keys ride along with the densities) —
+    /// and check that *all* of the reduction's traffic carries the
+    /// HypercubeReduce attribution.
+    #[test]
+    fn hypercube_volume_within_paper_bound() {
+        let ulen = 3usize;
+        let p = 16usize;
+        run(p, |c| {
+            let pts = uniform_cube(400, 11 + c.rank() as u64, (c.rank() * 400) as u64);
+            let t = points_to_octree(c, pts, 8);
+            let l = build_let(c, &t);
+            let mut u = fill_partials(&l, ulen, c.rank());
+            // m: bytes of this rank's shared partials (key + densities
+            // per entry), maxed over ranks — the paper's per-rank m.
+            let entry_bytes = (std::mem::size_of::<MortonKey>() + ulen * 8) as u64;
+            let m_local = collect_shared(&l, ulen, &u).len() as u64 * entry_bytes;
+            let m = pfmm_mpisim::collectives::allreduce(c, vec![m_local], std::cmp::max)[0];
+
+            let before = c.stats();
+            reduce_scatter_hypercube(c, &l, ulen, &mut u);
+            let delta = c.stats().delta_since(&before);
+            let hc = delta.kind_totals(CollectiveKind::HypercubeReduce);
+
+            assert!(hc.sent_msgs > 0, "rank {} sent nothing", c.rank());
+            assert_eq!(
+                hc.sent_bytes, delta.sent_bytes,
+                "all reduction traffic is attributed to HypercubeReduce"
+            );
+            let bound = 2.0 * m as f64 * (3.0 * (p as f64).sqrt() - 2.0);
+            assert!(
+                (hc.sent_bytes as f64) <= bound,
+                "rank {}: sent {} bytes > bound {bound} (m = {m})",
+                c.rank(),
+                hc.sent_bytes
+            );
+        });
     }
 
     #[test]

@@ -110,6 +110,48 @@ impl GpuFmmReport {
     pub fn speedup(&self) -> f64 {
         self.total_cpu2009() / self.total_gpu()
     }
+
+    /// Synthesize Chrome-trace spans for the modeled GPU pipeline: the
+    /// host-side layout translation, the five Table III stages, and the
+    /// PCIe transfer, laid out back-to-back on the [`TID_GPU`] lane of
+    /// `rank` starting at `t0_us`. The spans render the *modeled* GPU
+    /// timeline (what the device would have done), not this host's wall
+    /// clock — each span carries a `modeled_us` arg so downstream tools
+    /// can tell.
+    pub fn trace_events(&self, rank: u32, t0_us: f64) -> Vec<pfmm_trace::Event> {
+        use pfmm_trace::{Event, EventKind, TID_GPU};
+        let mut evs = Vec::new();
+        let mut t = t0_us;
+        let mut push = |name: &'static str, secs: f64, t: &mut f64| {
+            if secs <= 0.0 {
+                return;
+            }
+            let us = secs * 1e6;
+            let mk = |kind, ts_us, args| Event {
+                kind,
+                name: std::borrow::Cow::Borrowed(name),
+                cat: std::borrow::Cow::Borrowed("gpu"),
+                rank,
+                tid: TID_GPU,
+                ts_us,
+                flow: 0,
+                args,
+            };
+            evs.push(mk(
+                EventKind::Begin,
+                *t,
+                vec![(std::borrow::Cow::Borrowed("modeled_us"), us as u64)],
+            ));
+            evs.push(mk(EventKind::End, *t + us, Vec::new()));
+            *t += us;
+        };
+        push("Translate", self.translate_secs, &mut t);
+        for (i, ph) in GpuPhase::ALL.iter().enumerate() {
+            push(ph.label(), self.gpu_secs[i], &mut t);
+        }
+        push("PCIe transfer", self.transfer_secs, &mut t);
+        evs
+    }
 }
 
 const CPU09: f64 = 0.5e9; // 2009 sustained CPU rate for FMM kernels (paper §VI)
@@ -797,6 +839,42 @@ mod tests {
         assert!(
             big_q.cpu2009_secs[2] < small_q.cpu2009_secs[2],
             "V-list shrinks with q"
+        );
+    }
+
+    #[test]
+    fn trace_events_render_modeled_pipeline() {
+        let mut pts = uniform_cube(1500, 3, 0);
+        randomize_densities(&mut pts, 1, 4);
+        let dev = DeviceSpec::tesla_s1070();
+        let rep = run_gpu_fmm(pts, 60, 4, &dev, false);
+        let evs = rep.trace_events(2, 100.0);
+        assert!(!evs.is_empty());
+        // Spans are back-to-back on the GPU lane of the requested rank
+        // and cover exactly the modeled pipeline duration.
+        let st = pfmm_trace::chrome::validate(&evs).expect("valid chrome trace");
+        assert!(
+            st.spans >= 2,
+            "at least translate + one stage: {}",
+            st.spans
+        );
+        assert_eq!(st.flows, 0);
+        let mut total_us = 0.0;
+        let mut cursor = 100.0;
+        for pair in evs.chunks(2) {
+            assert_eq!(pair[0].kind, pfmm_trace::EventKind::Begin);
+            assert_eq!(pair[1].kind, pfmm_trace::EventKind::End);
+            assert_eq!(pair[0].rank, 2);
+            assert_eq!(pair[0].tid, pfmm_trace::TID_GPU);
+            assert_eq!(pair[0].cat, "gpu");
+            assert!((pair[0].ts_us - cursor).abs() < 1e-6, "no gaps");
+            cursor = pair[1].ts_us;
+            total_us += pair[1].ts_us - pair[0].ts_us;
+        }
+        let modeled_us = (rep.total_gpu() + rep.translate_secs) * 1e6;
+        assert!(
+            (total_us - modeled_us).abs() < 1e-3,
+            "span total {total_us} vs modeled {modeled_us}"
         );
     }
 

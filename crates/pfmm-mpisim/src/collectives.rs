@@ -7,7 +7,7 @@
 //! the hypercube reduce-scatter of the paper's Algorithm 3 is *not* here —
 //! it is FMM-specific and lives in `pfmm-core::reduce`.
 
-use crate::comm::{Comm, Wire};
+use crate::comm::{CollectiveKind, Comm, Wire};
 
 /// Tag space reserved for collectives (user code must stay below this).
 const TAG_COLL: u32 = 0x8000_0000;
@@ -19,17 +19,19 @@ const TAG_BARRIER: u32 = TAG_COLL + 4;
 
 /// Synchronize all ranks.
 pub fn barrier(c: &Comm) {
-    // Empty-payload reduce-to-0 followed by broadcast.
-    reduce_vec::<u8>(c, Vec::new(), TAG_BARRIER, |_, _| {
-        unreachable!("empty payload")
+    c.collective(CollectiveKind::Barrier, || {
+        // Empty-payload reduce-to-0 followed by broadcast.
+        reduce_vec::<u8>(c, Vec::new(), TAG_BARRIER, |_, _| {
+            unreachable!("empty payload")
+        });
+        bcast_vec::<u8>(c, Vec::new(), TAG_BARRIER);
     });
-    bcast_vec::<u8>(c, Vec::new(), TAG_BARRIER);
 }
 
 /// Broadcast `data` from rank 0 to all ranks; every rank returns the
 /// root's vector.
 pub fn bcast<T: Wire>(c: &Comm, data: Vec<T>) -> Vec<T> {
-    bcast_vec(c, data, TAG_BCAST)
+    c.collective(CollectiveKind::Bcast, || bcast_vec(c, data, TAG_BCAST))
 }
 
 fn bcast_vec<T: Wire>(c: &Comm, data: Vec<T>, tag: u32) -> Vec<T> {
@@ -80,8 +82,10 @@ fn reduce_vec<T: Wire>(c: &Comm, data: Vec<T>, tag: u32, op: impl Fn(T, T) -> T)
 /// Elementwise all-reduce: every rank gets the reduction of all ranks'
 /// equal-length vectors.
 pub fn allreduce<T: Wire>(c: &Comm, data: Vec<T>, op: impl Fn(T, T) -> T) -> Vec<T> {
-    let reduced = reduce_vec(c, data, TAG_REDUCE, op);
-    bcast_vec(c, reduced, TAG_REDUCE)
+    c.collective(CollectiveKind::Reduce, || {
+        let reduced = reduce_vec(c, data, TAG_REDUCE, op);
+        bcast_vec(c, reduced, TAG_REDUCE)
+    })
 }
 
 /// All-reduce of a single value.
@@ -102,21 +106,23 @@ pub fn allreduce_max_f64(c: &Comm, v: f64) -> f64 {
 /// Gather variable-length contributions to every rank, concatenated in
 /// rank order (MPI_Allgatherv).
 pub fn allgatherv<T: Wire>(c: &Comm, data: &[T]) -> Vec<T> {
-    let p = c.size();
-    let r = c.rank();
-    // Gather to root.
-    let mut all: Vec<Vec<T>> = Vec::new();
-    if r == 0 {
-        all = Vec::with_capacity(p);
-        all.push(data.to_vec());
-        for src in 1..p {
-            all.push(c.recv::<T>(src, TAG_GATHER));
+    c.collective(CollectiveKind::Allgather, || {
+        let p = c.size();
+        let r = c.rank();
+        // Gather to root.
+        let mut all: Vec<Vec<T>> = Vec::new();
+        if r == 0 {
+            all = Vec::with_capacity(p);
+            all.push(data.to_vec());
+            for src in 1..p {
+                all.push(c.recv::<T>(src, TAG_GATHER));
+            }
+        } else {
+            c.send(0, TAG_GATHER, data);
         }
-    } else {
-        c.send(0, TAG_GATHER, data);
-    }
-    let flat: Vec<T> = if r == 0 { all.concat() } else { Vec::new() };
-    bcast_vec(c, flat, TAG_GATHER)
+        let flat: Vec<T> = if r == 0 { all.concat() } else { Vec::new() };
+        bcast_vec(c, flat, TAG_GATHER)
+    })
 }
 
 /// Fixed-length allgather: every rank contributes one value; returns the
@@ -139,19 +145,23 @@ pub fn allgatherv_counts<T: Wire>(c: &Comm, data: &[T]) -> (Vec<T>, Vec<usize>) 
 /// # Panics
 /// Panics if `outgoing.len() != size`.
 pub fn alltoallv<T: Wire>(c: &Comm, outgoing: Vec<Vec<T>>) -> Vec<Vec<T>> {
-    let p = c.size();
-    assert_eq!(outgoing.len(), p, "one outgoing buffer per rank");
-    for (dest, buf) in outgoing.into_iter().enumerate() {
-        c.send_vec(dest, TAG_A2A, buf);
-    }
-    (0..p).map(|src| c.recv::<T>(src, TAG_A2A)).collect()
+    c.collective(CollectiveKind::Alltoall, || {
+        let p = c.size();
+        assert_eq!(outgoing.len(), p, "one outgoing buffer per rank");
+        for (dest, buf) in outgoing.into_iter().enumerate() {
+            c.send_vec(dest, TAG_A2A, buf);
+        }
+        (0..p).map(|src| c.recv::<T>(src, TAG_A2A)).collect()
+    })
 }
 
 /// Exclusive prefix sum over one `u64` per rank (MPI_Exscan): rank k
 /// returns the sum of values on ranks `0..k` (0 on rank 0).
 pub fn exscan_sum_u64(c: &Comm, v: u64) -> u64 {
-    let all = allgather_one(c, v);
-    all[..c.rank()].iter().sum()
+    c.collective(CollectiveKind::Scan, || {
+        let all = allgather_one(c, v);
+        all[..c.rank()].iter().sum()
+    })
 }
 
 #[cfg(test)]

@@ -17,4 +17,6 @@
 pub mod collectives;
 pub mod comm;
 
-pub use comm::{run, Comm, CommStats, RecvReq, SendReq, Wire};
+pub use comm::{
+    run, CollectiveKind, Comm, CommMatrix, CommStats, PeerStats, RecvReq, SendReq, Wire,
+};

@@ -12,7 +12,25 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
+use pfmm_trace::{tid_worker, Event, EventKind, Str, TraceLevel, Tracer, TID_MAIN};
+
 use crate::graph::{CommPoll, CycleError, Graph, Work};
+
+/// First trace lane used for comm in-flight windows. Windows may overlap
+/// in time (several exchanges can be in flight at once), so each gets a
+/// conflict-free lane below [`pfmm_trace::TID_GPU`] to keep Chrome spans
+/// strictly nested per lane.
+pub const TID_COMM0: u32 = 900;
+
+/// Where the executor's trace events go (see [`run_with`]).
+#[derive(Clone, Copy)]
+pub struct TraceCtx<'a> {
+    /// Destination tracer; the run records nothing unless it is enabled
+    /// at [`TraceLevel::Phase`] or above.
+    pub tracer: &'a Tracer,
+    /// The simulated rank this graph executes on (the trace pid).
+    pub rank: u32,
+}
 
 /// What the executor measured while running a graph.
 #[derive(Clone, Debug, Default)]
@@ -26,6 +44,9 @@ pub struct RunReport {
     pub overlap_secs: f64,
     /// End-to-end wall-clock of the whole graph.
     pub wall_secs: f64,
+    /// Longest dependency chain through the graph at *measured* task
+    /// durations — the wall-clock floor no amount of workers beats.
+    pub critical_path_secs: f64,
     /// Number of tasks executed.
     pub tasks: usize,
     /// Compute worker threads used (the driver thread is extra).
@@ -35,6 +56,11 @@ pub struct RunReport {
 struct Interval {
     phase: &'static str,
     comm: bool,
+    /// Graph node index, for span/flow attribution.
+    task: usize,
+    /// Trace lane the task ran on (driver or worker); comm windows are
+    /// re-laned at emission time.
+    tid: u32,
     t0: f64,
     t1: f64,
 }
@@ -116,6 +142,8 @@ impl<'env> Shared<'env> {
         lock(&self.intervals).push(Interval {
             phase: self.phases[t],
             comm: false,
+            task: t,
+            tid: me.map(tid_worker).unwrap_or(TID_MAIN),
             t0,
             t1,
         });
@@ -167,6 +195,8 @@ fn driver_loop<'env>(shared: &Shared<'env>, comm_works: &mut [Option<CommBox<'en
                     lock(&shared.intervals).push(Interval {
                         phase: shared.phases[t],
                         comm: true,
+                        task: t,
+                        tid: TID_MAIN,
                         t0,
                         t1,
                     });
@@ -193,6 +223,23 @@ fn driver_loop<'env>(shared: &Shared<'env>, comm_works: &mut [Option<CommBox<'en
 /// has a dependency cycle. Panics in task closures propagate once the
 /// scope joins, as with [`std::thread::scope`].
 pub fn run(graph: Graph<'_>, workers: usize) -> Result<RunReport, CycleError> {
+    run_with(graph, workers, None)
+}
+
+/// [`run`], optionally emitting trace events describing the execution.
+///
+/// Tracing costs the run itself nothing: events are synthesized *after*
+/// the graph completes from the interval records the executor keeps
+/// anyway, so a traced run's scheduling (and its report's numbers) are
+/// identical to an untraced one. At [`TraceLevel::Phase`] only the comm
+/// in-flight windows are emitted; [`TraceLevel::Task`] adds one span per
+/// task on its actual execution lane plus a flow arrow per dependency
+/// edge (`cat:"sched"`, args `src`/`dst`).
+pub fn run_with(
+    graph: Graph<'_>,
+    workers: usize,
+    trace: Option<TraceCtx<'_>>,
+) -> Result<RunReport, CycleError> {
     let indeg = graph.validate()?;
     let n = graph.nodes.len();
 
@@ -201,11 +248,13 @@ pub fn run(graph: Graph<'_>, workers: usize) -> Result<RunReport, CycleError> {
     let mut is_comm = vec![false; n];
     let mut phases = Vec::with_capacity(n);
     let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut deps: Vec<Vec<usize>> = Vec::with_capacity(n);
     for (i, node) in graph.nodes.into_iter().enumerate() {
         phases.push(node.phase);
         for &d in &node.deps {
             children[d].push(i);
         }
+        deps.push(node.deps);
         match node.work {
             Work::Compute(f) => {
                 compute.push(Mutex::new(Some(f)));
@@ -232,6 +281,9 @@ pub fn run(graph: Graph<'_>, workers: usize) -> Result<RunReport, CycleError> {
         intervals: Mutex::new(Vec::with_capacity(n)),
         epoch: Instant::now(),
     };
+    // Tracer-clock microseconds at this run's epoch, so interval times
+    // (seconds since epoch) can be replayed on the shared trace clock.
+    let trace_base_us = trace.as_ref().map(|tc| tc.tracer.now_us()).unwrap_or(0.0);
 
     // Seed the queues with the sources.
     for (i, &d) in indeg.iter().enumerate() {
@@ -291,11 +343,149 @@ pub fn run(graph: Graph<'_>, workers: usize) -> Result<RunReport, CycleError> {
         }
     }
 
+    // Critical path at measured durations: longest dependency chain,
+    // walked in the same topological order validate() proved exists.
+    let mut dur = vec![0.0f64; n];
+    for iv in &intervals {
+        dur[iv.task] += iv.t1 - iv.t0;
+    }
+    let critical_path_secs = {
+        let mut remaining = indeg.clone();
+        let mut stack: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        let mut finish = vec![0.0f64; n];
+        let mut best = 0.0f64;
+        while let Some(t) = stack.pop() {
+            finish[t] += dur[t];
+            best = best.max(finish[t]);
+            for &c in &shared.children[t] {
+                finish[c] = finish[c].max(finish[t]);
+                remaining[c] -= 1;
+                if remaining[c] == 0 {
+                    stack.push(c);
+                }
+            }
+        }
+        best
+    };
+
+    if let Some(tc) = &trace {
+        emit_trace(tc, trace_base_us, &intervals, &deps);
+    }
+
     Ok(RunReport {
         phase_secs,
         overlap_secs,
         wall_secs,
+        critical_path_secs,
         tasks: n,
         workers,
     })
+}
+
+/// Replay the executor's interval records as trace events (see
+/// [`run_with`] for the level semantics).
+fn emit_trace(tc: &TraceCtx<'_>, base_us: f64, intervals: &[Interval], deps: &[Vec<usize>]) {
+    if !tc.tracer.enabled(TraceLevel::Phase) {
+        return;
+    }
+    let task_level = tc.tracer.enabled(TraceLevel::Task);
+    let rank = tc.rank;
+    let mut evs: Vec<Event> = Vec::new();
+    let mk = |kind,
+              name: &'static str,
+              cat: &'static str,
+              tid: u32,
+              ts_us: f64,
+              flow: u64,
+              args: Vec<(Str, u64)>| Event {
+        kind,
+        name: name.into(),
+        cat: cat.into(),
+        rank,
+        tid,
+        ts_us,
+        flow,
+        args,
+    };
+
+    // Comm windows overlap in time; greedily pack them onto
+    // conflict-free lanes starting at TID_COMM0.
+    let n = deps.len();
+    let mut comm_lane = vec![0u32; n];
+    {
+        let mut comm_ivs: Vec<&Interval> = intervals.iter().filter(|iv| iv.comm).collect();
+        comm_ivs.sort_by(|a, b| a.t0.total_cmp(&b.t0));
+        let mut lane_busy_until: Vec<f64> = Vec::new();
+        for iv in comm_ivs {
+            let lane = match lane_busy_until.iter().position(|&e| e <= iv.t0) {
+                Some(l) => l,
+                None => {
+                    lane_busy_until.push(f64::NEG_INFINITY);
+                    lane_busy_until.len() - 1
+                }
+            };
+            lane_busy_until[lane] = iv.t1;
+            comm_lane[iv.task] = TID_COMM0 + lane as u32;
+        }
+    }
+
+    // Span begin/end positions per task, for flow-arrow anchoring.
+    let mut t0s = vec![0.0f64; n];
+    let mut t1s = vec![0.0f64; n];
+    let mut tids = vec![TID_MAIN; n];
+    for iv in intervals {
+        let tid = if iv.comm { comm_lane[iv.task] } else { iv.tid };
+        t0s[iv.task] = base_us + iv.t0 * 1e6;
+        t1s[iv.task] = base_us + iv.t1 * 1e6;
+        tids[iv.task] = tid;
+        if iv.comm || task_level {
+            let cat = if iv.comm { "comm" } else { "task" };
+            let args = vec![(Str::from("task"), iv.task as u64)];
+            evs.push(mk(
+                EventKind::Begin,
+                iv.phase,
+                cat,
+                tid,
+                t0s[iv.task],
+                0,
+                args,
+            ));
+            evs.push(mk(EventKind::End, "", "", tid, t1s[iv.task], 0, Vec::new()));
+        }
+    }
+
+    if task_level {
+        let edge_count: usize = deps.iter().map(Vec::len).sum();
+        let base = tc.tracer.alloc_flows(edge_count as u64);
+        let mut next = base;
+        for (child, ds) in deps.iter().enumerate() {
+            for &d in ds {
+                let args = vec![
+                    (Str::from("src"), d as u64),
+                    (Str::from("dst"), child as u64),
+                ];
+                evs.push(mk(
+                    EventKind::FlowStart,
+                    "dep",
+                    "sched",
+                    tids[d],
+                    t1s[d],
+                    next,
+                    args,
+                ));
+                evs.push(mk(
+                    EventKind::FlowEnd,
+                    "dep",
+                    "sched",
+                    tids[child],
+                    t0s[child],
+                    next,
+                    Vec::new(),
+                ));
+                next += 1;
+            }
+        }
+    }
+
+    tc.tracer.record_many(evs);
 }

@@ -39,5 +39,5 @@ mod exec;
 mod graph;
 
 pub use buf::{GraphBuf, Slot};
-pub use exec::{run, RunReport};
+pub use exec::{run, run_with, RunReport, TraceCtx, TID_COMM0};
 pub use graph::{CommPoll, CycleError, Graph, TaskId};

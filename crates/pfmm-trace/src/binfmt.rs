@@ -1,0 +1,231 @@
+//! A compact self-describing binary trace encoding, used by tests (and
+//! anywhere JSON is too bulky).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  b"PFMMTRC1"
+//! u32    string-table length S; then S × { u32 len, utf-8 bytes }
+//! u32    event count N; then N × {
+//!            u8  kind        (0=B 1=E 2=i 3=s 4=f 5=C)
+//!            u32 name idx    (into the string table)
+//!            u32 cat idx
+//!            u32 rank, u32 tid
+//!            f64 ts_us (bits), u64 flow
+//!            u16 nargs; nargs × { u32 key idx, u64 value }
+//!        }
+//! ```
+//!
+//! Every string (names, categories, arg keys) is interned once, so the
+//! encoding is typically ~10× smaller than the JSON form.
+
+use crate::{Event, EventKind, Str};
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+const MAGIC: &[u8; 8] = b"PFMMTRC1";
+
+fn kind_code(k: EventKind) -> u8 {
+    match k {
+        EventKind::Begin => 0,
+        EventKind::End => 1,
+        EventKind::Instant => 2,
+        EventKind::FlowStart => 3,
+        EventKind::FlowEnd => 4,
+        EventKind::Counter => 5,
+    }
+}
+
+fn code_kind(c: u8) -> Option<EventKind> {
+    Some(match c {
+        0 => EventKind::Begin,
+        1 => EventKind::End,
+        2 => EventKind::Instant,
+        3 => EventKind::FlowStart,
+        4 => EventKind::FlowEnd,
+        5 => EventKind::Counter,
+        _ => return None,
+    })
+}
+
+/// Encode events to the binary form.
+pub fn encode(events: &[Event]) -> Vec<u8> {
+    // Two passes: intern every string, then emit.
+    let mut strings: Vec<&str> = Vec::new();
+    let mut index: HashMap<&str, u32> = HashMap::new();
+    for e in events {
+        for s in std::iter::once(&*e.name)
+            .chain(std::iter::once(&*e.cat))
+            .chain(e.args.iter().map(|(k, _)| &**k))
+        {
+            index.entry(s).or_insert_with(|| {
+                strings.push(s);
+                (strings.len() - 1) as u32
+            });
+        }
+    }
+
+    let mut out = Vec::with_capacity(32 + events.len() * 48);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(strings.len() as u32).to_le_bytes());
+    for s in &strings {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+    for e in events {
+        out.push(kind_code(e.kind));
+        out.extend_from_slice(&index[&*e.name].to_le_bytes());
+        out.extend_from_slice(&index[&*e.cat].to_le_bytes());
+        out.extend_from_slice(&e.rank.to_le_bytes());
+        out.extend_from_slice(&e.tid.to_le_bytes());
+        out.extend_from_slice(&e.ts_us.to_bits().to_le_bytes());
+        out.extend_from_slice(&e.flow.to_le_bytes());
+        out.extend_from_slice(&(e.args.len() as u16).to_le_bytes());
+        for (k, v) in &e.args {
+            out.extend_from_slice(&index[&**k].to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.i + n > self.b.len() {
+            return Err(format!("truncated at byte {}", self.i));
+        }
+        let s = &self.b[self.i..self.i + n];
+        self.i += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+}
+
+/// Decode a binary trace.
+///
+/// # Errors
+/// Returns a message on bad magic, truncation, or dangling indices.
+pub fn decode(b: &[u8]) -> Result<Vec<Event>, String> {
+    let mut r = Reader { b, i: 0 };
+    if r.bytes(8)? != MAGIC {
+        return Err("bad magic (not a pfmm binary trace)".to_string());
+    }
+    let ns = r.u32()? as usize;
+    let mut strings: Vec<String> = Vec::with_capacity(ns);
+    for _ in 0..ns {
+        let len = r.u32()? as usize;
+        let s = std::str::from_utf8(r.bytes(len)?)
+            .map_err(|_| "invalid utf-8 in string table".to_string())?;
+        strings.push(s.to_string());
+    }
+    let lookup = |idx: u32| -> Result<Str, String> {
+        strings
+            .get(idx as usize)
+            .map(|s| Cow::Owned(s.clone()))
+            .ok_or_else(|| format!("string index {idx} out of range"))
+    };
+    let ne = r.u32()? as usize;
+    let mut out = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let kind = code_kind(r.u8()?).ok_or("unknown event kind")?;
+        let name = lookup(r.u32()?)?;
+        let cat = lookup(r.u32()?)?;
+        let rank = r.u32()?;
+        let tid = r.u32()?;
+        let ts_us = f64::from_bits(r.u64()?);
+        let flow = r.u64()?;
+        let nargs = r.u16()? as usize;
+        let mut args = Vec::with_capacity(nargs);
+        for _ in 0..nargs {
+            let k = lookup(r.u32()?)?;
+            let v = r.u64()?;
+            args.push((k, v));
+        }
+        out.push(Event {
+            kind,
+            name,
+            cat,
+            rank,
+            tid,
+            ts_us,
+            flow,
+            args,
+        });
+    }
+    if r.i != b.len() {
+        return Err(format!("{} trailing byte(s)", b.len() - r.i));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceLevel, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trip_bitwise_timestamps() {
+        let t = Arc::new(Tracer::new(TraceLevel::Comm));
+        let mut l = t.local(3, 1);
+        l.begin("V-list", "task", &[("task", 11), ("edges", 316)]);
+        l.flow_start("dep", "sched", 42, &[("src", 1), ("dst", 2)]);
+        l.end();
+        l.instant("recv", "comm", &[("peer", 0), ("bytes", 4096)]);
+        l.submit();
+        let evs = t.drain();
+        let bin = encode(&evs);
+        let back = decode(&bin).unwrap();
+        assert_eq!(back, evs);
+        // f64 bits survive exactly (no text formatting involved).
+        for (a, b) in back.iter().zip(&evs) {
+            assert_eq!(a.ts_us.to_bits(), b.ts_us.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        assert!(decode(b"NOTATRACE").is_err());
+        let t = Arc::new(Tracer::new(TraceLevel::Phase));
+        t.record_span(0, 0, "Upward", "phase", 0.0, 5.0, &[]);
+        let mut bin = encode(&t.drain());
+        bin.truncate(bin.len() - 3);
+        assert!(decode(&bin).is_err());
+    }
+
+    #[test]
+    fn interning_compacts() {
+        let t = Arc::new(Tracer::new(TraceLevel::Comm));
+        let mut l = t.local(0, 0);
+        for _ in 0..100 {
+            l.instant("send", "comm", &[("peer", 1), ("bytes", 64)]);
+        }
+        l.submit();
+        let evs = t.drain();
+        let bin = encode(&evs);
+        let json = crate::chrome::to_json_string(&evs);
+        assert!(
+            bin.len() * 3 < json.len() * 2,
+            "{} vs {}",
+            bin.len(),
+            json.len()
+        );
+    }
+}

@@ -1,0 +1,367 @@
+//! Chrome trace-event JSON export and re-import.
+//!
+//! The emitted file is the JSON-object form of the trace-event format
+//! (`{"traceEvents":[...]}`), loadable by `chrome://tracing` and by
+//! [Perfetto](https://ui.perfetto.dev) ("Open trace file"). Mapping:
+//!
+//! - one **pid** per simulated rank (named `rank N` via `M` metadata),
+//! - one **tid** per lane within the rank (driver, workers, gpu),
+//! - spans are `B`/`E` pairs, instants are `i` (thread scope),
+//! - flow arrows are `s`/`f` pairs sharing an `id` (`bp:"e"` so the head
+//!   binds to the enclosing slice's start), and
+//! - counters are `C` events.
+//!
+//! The parser inverts the exporter exactly (metadata events are dropped),
+//! so `parse(to_json_string(evs)) == evs` — the round-trip property the
+//! tests rely on. Arg values are integers ≤ 2^53 (they round-trip through
+//! JSON's f64 numbers losslessly).
+
+use crate::json::{self, Value};
+use crate::{tid_label, Event, EventKind, Str};
+use std::borrow::Cow;
+use std::fmt::Write as _;
+
+/// Serialize events to a Chrome trace-event JSON document, prepending
+/// process/thread-name metadata for every `(rank, tid)` lane observed.
+pub fn to_json_string(events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Metadata: name each pid and tid once, in first-appearance order.
+    let mut lanes: Vec<(u32, u32)> = Vec::new();
+    let mut ranks: Vec<u32> = Vec::new();
+    for e in events {
+        if !ranks.contains(&e.rank) {
+            ranks.push(e.rank);
+        }
+        if !lanes.contains(&(e.rank, e.tid)) {
+            lanes.push((e.rank, e.tid));
+        }
+    }
+    for r in &ranks {
+        emit_meta(
+            &mut out,
+            &mut first,
+            *r,
+            0,
+            "process_name",
+            &format!("rank {r}"),
+        );
+        // Sort lanes of a rank by tid so Perfetto's track order is stable.
+        emit_meta(&mut out, &mut first, *r, 0, "process_sort_index", "");
+    }
+    for (r, t) in &lanes {
+        emit_meta(&mut out, &mut first, *r, *t, "thread_name", &tid_label(*t));
+    }
+
+    for e in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let ph = match e.kind {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "i",
+            EventKind::FlowStart => "s",
+            EventKind::FlowEnd => "f",
+            EventKind::Counter => "C",
+        };
+        let _ = write!(
+            out,
+            "{{\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+            ph, e.rank, e.tid, e.ts_us
+        );
+        if !e.name.is_empty() {
+            out.push_str(",\"name\":");
+            json::push_escaped(&mut out, &e.name);
+        }
+        if !e.cat.is_empty() {
+            out.push_str(",\"cat\":");
+            json::push_escaped(&mut out, &e.cat);
+        }
+        match e.kind {
+            EventKind::Instant => out.push_str(",\"s\":\"t\""),
+            EventKind::FlowStart => {
+                let _ = write!(out, ",\"id\":{}", e.flow);
+            }
+            EventKind::FlowEnd => {
+                let _ = write!(out, ",\"id\":{},\"bp\":\"e\"", e.flow);
+            }
+            _ => {}
+        }
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in e.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_escaped(&mut out, k);
+                let _ = write!(out, ":{v}");
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn emit_meta(out: &mut String, first: &mut bool, pid: u32, tid: u32, name: &str, value: &str) {
+    if name == "process_sort_index" {
+        // Keep rank order in the UI equal to rank id.
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"process_sort_index\",\"args\":{{\"sort_index\":{pid}}}}}"
+        );
+        return;
+    }
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{name}\",\"args\":{{\"name\":"
+    );
+    json::push_escaped(out, value);
+    out.push_str("}}");
+}
+
+/// Parse a Chrome trace-event JSON document back into events. Accepts
+/// both the object form (`{"traceEvents":[...]}`) and a bare array.
+/// Metadata (`M`) events are dropped; everything else must be an event
+/// kind this crate emits.
+///
+/// # Errors
+/// Returns a description of the first malformed event (or JSON error).
+pub fn parse(s: &str) -> Result<Vec<Event>, String> {
+    let doc = json::parse(s)?;
+    let arr = match &doc {
+        Value::Arr(_) => &doc,
+        Value::Obj(_) => doc.get("traceEvents").ok_or("missing traceEvents member")?,
+        _ => return Err("top level is not an object or array".to_string()),
+    };
+    let arr = arr.as_arr().ok_or("traceEvents is not an array")?;
+    let mut out = Vec::with_capacity(arr.len());
+    for (i, v) in arr.iter().enumerate() {
+        let ph = v
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        let kind = match ph {
+            "B" => EventKind::Begin,
+            "E" => EventKind::End,
+            "i" | "I" => EventKind::Instant,
+            "s" => EventKind::FlowStart,
+            "f" => EventKind::FlowEnd,
+            "C" => EventKind::Counter,
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("event {i}: missing numeric {key}"))
+        };
+        let mut args: Vec<(Str, u64)> = Vec::new();
+        if let Some(a) = v.get("args").and_then(Value::as_obj) {
+            for (k, av) in a {
+                let n = av
+                    .as_num()
+                    .ok_or_else(|| format!("event {i}: non-numeric arg {k:?}"))?;
+                args.push((Cow::Owned(k.clone()), n as u64));
+            }
+        }
+        out.push(Event {
+            kind,
+            name: Cow::Owned(
+                v.get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            ),
+            cat: Cow::Owned(
+                v.get("cat")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            ),
+            rank: num("pid")? as u32,
+            tid: num("tid")? as u32,
+            ts_us: num("ts")?,
+            flow: match kind {
+                EventKind::FlowStart | EventKind::FlowEnd => num("id")? as u64,
+                _ => 0,
+            },
+            args,
+        });
+    }
+    Ok(out)
+}
+
+/// Summary returned by [`validate`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ValidateStats {
+    /// Complete `B`/`E` spans.
+    pub spans: usize,
+    /// Instant events.
+    pub instants: usize,
+    /// Matched flow `s`/`f` pairs.
+    pub flows: usize,
+    /// Counter samples.
+    pub counters: usize,
+    /// Distinct `(rank, tid)` lanes.
+    pub lanes: usize,
+}
+
+/// Structural validation: spans strictly nested (LIFO, `E` never before
+/// its `B`, timestamps monotone within a lane's span stack) per
+/// `(rank, tid)` lane, every flow id used by exactly one start and one
+/// matching end with `start.ts <= end.ts`.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn validate(events: &[Event]) -> Result<ValidateStats, String> {
+    use std::collections::HashMap;
+    let mut stats = ValidateStats::default();
+    let mut stacks: HashMap<(u32, u32), Vec<f64>> = HashMap::new();
+    let mut flows: HashMap<u64, (usize, usize, f64, f64)> = HashMap::new(); // id -> (starts, ends, ts_s, ts_f)
+    for (i, e) in events.iter().enumerate() {
+        if !e.ts_us.is_finite() || e.ts_us < 0.0 {
+            return Err(format!("event {i}: bad timestamp {}", e.ts_us));
+        }
+        match e.kind {
+            EventKind::Begin => {
+                stacks.entry((e.rank, e.tid)).or_default().push(e.ts_us);
+            }
+            EventKind::End => {
+                let stack = stacks.entry((e.rank, e.tid)).or_default();
+                let t0 = stack.pop().ok_or_else(|| {
+                    format!(
+                        "event {i}: E without open B on rank {} tid {}",
+                        e.rank, e.tid
+                    )
+                })?;
+                if e.ts_us < t0 {
+                    return Err(format!(
+                        "event {i}: span ends before it begins ({} < {t0})",
+                        e.ts_us
+                    ));
+                }
+                stats.spans += 1;
+            }
+            EventKind::Instant => stats.instants += 1,
+            EventKind::FlowStart => {
+                let f = flows.entry(e.flow).or_insert((0, 0, 0.0, 0.0));
+                f.0 += 1;
+                f.2 = e.ts_us;
+            }
+            EventKind::FlowEnd => {
+                let f = flows.entry(e.flow).or_insert((0, 0, 0.0, 0.0));
+                f.1 += 1;
+                f.3 = e.ts_us;
+            }
+            EventKind::Counter => stats.counters += 1,
+        }
+    }
+    for ((rank, tid), stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "rank {rank} tid {tid}: {} span(s) left open",
+                stack.len()
+            ));
+        }
+    }
+    for (id, (ns, nf, ts, tf)) in &flows {
+        if *ns != 1 || *nf != 1 {
+            return Err(format!("flow {id}: {ns} start(s), {nf} end(s)"));
+        }
+        if tf < ts {
+            return Err(format!("flow {id}: ends at {tf} before start {ts}"));
+        }
+        stats.flows += 1;
+    }
+    let mut lanes: Vec<(u32, u32)> = events.iter().map(|e| (e.rank, e.tid)).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    stats.lanes = lanes.len();
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceLevel, Tracer};
+    use std::sync::Arc;
+
+    fn sample_events() -> Vec<Event> {
+        let t = Arc::new(Tracer::new(TraceLevel::Comm));
+        let mut a = t.local(0, 0);
+        a.begin("Upward", "phase", &[("level", 3)]);
+        a.instant("send", "comm", &[("peer", 1), ("bytes", 128), ("tag", 16)]);
+        a.flow_start("msg", "comm", 7, &[]);
+        a.end();
+        a.counter("sent_bytes", &[("bytes", 128)]);
+        a.submit();
+        let mut b = t.local(1, 2);
+        b.begin("U-list", "task", &[("task", 4)]);
+        b.flow_end("msg", "comm", 7, &[]);
+        b.end();
+        b.submit();
+        t.drain()
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let evs = sample_events();
+        let s = to_json_string(&evs);
+        let back = parse(&s).unwrap();
+        assert_eq!(back, evs);
+    }
+
+    #[test]
+    fn output_is_valid_and_counted() {
+        let evs = sample_events();
+        let st = validate(&evs).unwrap();
+        assert_eq!(st.spans, 2);
+        assert_eq!(st.instants, 1);
+        assert_eq!(st.flows, 1);
+        assert_eq!(st.counters, 1);
+        assert_eq!(st.lanes, 2);
+    }
+
+    #[test]
+    fn metadata_names_lanes() {
+        let s = to_json_string(&sample_events());
+        assert!(s.contains(r#""name":"process_name","args":{"name":"rank 0"}"#));
+        assert!(s.contains(r#""name":"thread_name","args":{"name":"worker 1"}"#));
+        assert!(s.contains(r#""name":"thread_name","args":{"name":"driver"}"#));
+    }
+
+    #[test]
+    fn validate_rejects_malformed() {
+        let mut evs = sample_events();
+        evs.retain(|e| e.kind != EventKind::End); // leave spans open
+        assert!(validate(&evs).is_err());
+
+        let mut one_sided = sample_events();
+        one_sided.retain(|e| e.kind != EventKind::FlowEnd);
+        assert!(validate(&one_sided).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_bare_array_and_skips_metadata() {
+        let evs = parse(r#"[{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"x"}},{"ph":"i","pid":3,"tid":1,"ts":2.5,"name":"n","cat":"c","s":"t"}]"#).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].rank, 3);
+        assert_eq!(evs[0].ts_us, 2.5);
+    }
+}

@@ -1,0 +1,461 @@
+//! Trace-derived metrics: everything here is computed purely from a
+//! drained event list, so the same numbers can be recovered from an
+//! exported file (JSON or binary) as from a live run.
+
+use crate::{Event, EventKind};
+use std::collections::HashMap;
+
+/// A reconstructed `B`/`E` span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Simulated rank.
+    pub rank: u32,
+    /// Lane within the rank.
+    pub tid: u32,
+    /// Name from the opening event.
+    pub name: String,
+    /// Category from the opening event.
+    pub cat: String,
+    /// Open timestamp (µs since epoch).
+    pub t0_us: f64,
+    /// Close timestamp (µs since epoch).
+    pub t1_us: f64,
+    /// Args from the opening event.
+    pub args: Vec<(String, u64)>,
+}
+
+impl Span {
+    /// Span length in seconds.
+    pub fn secs(&self) -> f64 {
+        (self.t1_us - self.t0_us) / 1e6
+    }
+
+    /// Value of an integer arg, if present.
+    pub fn arg(&self, key: &str) -> Option<u64> {
+        self.args.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Pair `Begin`/`End` events into spans (LIFO per `(rank, tid)` lane).
+/// Unclosed spans are dropped.
+pub fn spans(events: &[Event]) -> Vec<Span> {
+    let mut stacks: HashMap<(u32, u32), Vec<Span>> = HashMap::new();
+    let mut out = Vec::new();
+    for e in events {
+        match e.kind {
+            EventKind::Begin => stacks.entry((e.rank, e.tid)).or_default().push(Span {
+                rank: e.rank,
+                tid: e.tid,
+                name: e.name.to_string(),
+                cat: e.cat.to_string(),
+                t0_us: e.ts_us,
+                t1_us: e.ts_us,
+                args: e.args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            }),
+            EventKind::End => {
+                if let Some(mut s) = stacks.entry((e.rank, e.tid)).or_default().pop() {
+                    s.t1_us = e.ts_us;
+                    out.push(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Max/avg seconds over ranks for one span name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseStat {
+    /// Span name (phase or task label).
+    pub name: String,
+    /// Max over ranks of that rank's summed seconds.
+    pub max_secs: f64,
+    /// Average over the ranks present in the trace.
+    pub avg_secs: f64,
+}
+
+/// Load imbalance per span name in `cat`: per rank, sum the seconds of
+/// all spans with that name; report (max, avg) over ranks — the two
+/// columns of the paper's Table II, recovered from the trace. The
+/// average divides by the number of distinct ranks in the trace (ranks
+/// without the phase count as zero).
+pub fn load_imbalance(events: &[Event], cat: &str) -> Vec<PhaseStat> {
+    let mut ranks: Vec<u32> = events.iter().map(|e| e.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    let nr = ranks.len().max(1) as f64;
+    let mut per: HashMap<String, HashMap<u32, f64>> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for s in spans(events) {
+        if s.cat != cat {
+            continue;
+        }
+        if !per.contains_key(&s.name) {
+            order.push(s.name.clone());
+        }
+        *per.entry(s.name.clone())
+            .or_default()
+            .entry(s.rank)
+            .or_default() += s.secs();
+    }
+    order
+        .into_iter()
+        .map(|name| {
+            let by_rank = &per[&name];
+            let max_secs = by_rank.values().fold(0.0, |a: f64, &b| a.max(b));
+            let avg_secs = by_rank.values().sum::<f64>() / nr;
+            PhaseStat {
+                name,
+                max_secs,
+                avg_secs,
+            }
+        })
+        .collect()
+}
+
+/// Busy fraction of one `(rank, tid)` Gantt lane.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LaneUtil {
+    /// Simulated rank.
+    pub rank: u32,
+    /// Lane within the rank.
+    pub tid: u32,
+    /// Seconds covered by at least one span on the lane.
+    pub busy_secs: f64,
+    /// Busy seconds over the trace's global time window.
+    pub utilization: f64,
+}
+
+/// Per-lane Gantt utilization: union length of each lane's spans over
+/// the global `[min ts, max ts]` window of the trace.
+pub fn utilization(events: &[Event]) -> Vec<LaneUtil> {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for e in events {
+        lo = lo.min(e.ts_us);
+        hi = hi.max(e.ts_us);
+    }
+    let window = (hi - lo).max(0.0);
+    let mut by_lane: HashMap<(u32, u32), Vec<(f64, f64)>> = HashMap::new();
+    for s in spans(events) {
+        by_lane
+            .entry((s.rank, s.tid))
+            .or_default()
+            .push((s.t0_us, s.t1_us));
+    }
+    let mut lanes: Vec<_> = by_lane.into_iter().collect();
+    lanes.sort_by_key(|((r, t), _)| (*r, *t));
+    lanes
+        .into_iter()
+        .map(|((rank, tid), ivs)| {
+            let busy_us = merged_len(ivs);
+            LaneUtil {
+                rank,
+                tid,
+                busy_secs: busy_us / 1e6,
+                utilization: if window > 0.0 { busy_us / window } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Sort, merge, and total a set of intervals.
+fn merged_len(mut ivs: Vec<(f64, f64)>) -> f64 {
+    ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (a, b) in ivs {
+        match &mut cur {
+            Some(c) if c.1 >= a => c.1 = c.1.max(b),
+            _ => {
+                if let Some((x, y)) = cur {
+                    total += y - x;
+                }
+                cur = Some((a, b));
+            }
+        }
+    }
+    if let Some((x, y)) = cur {
+        total += y - x;
+    }
+    total
+}
+
+/// Compute∩comm overlap for one rank, in seconds: the union of the
+/// rank's `cat=="comm"` spans intersected with each of its `cat=="task"`
+/// spans. This is the same merge-then-intersect the graph executor uses
+/// for `RunReport::overlap_secs`, so on a traced graph run the two agree
+/// to rounding (the consistency test asserts 1e-9).
+pub fn overlap_secs(events: &[Event], rank: u32) -> f64 {
+    let spans = spans(events);
+    let mut comm: Vec<(f64, f64)> = spans
+        .iter()
+        .filter(|s| s.rank == rank && s.cat == "comm")
+        .map(|s| (s.t0_us, s.t1_us))
+        .collect();
+    comm.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    for (a, b) in comm {
+        match merged.last_mut() {
+            Some(last) if last.1 >= a => last.1 = last.1.max(b),
+            _ => merged.push((a, b)),
+        }
+    }
+    let mut overlap_us = 0.0;
+    for s in spans.iter().filter(|s| s.rank == rank && s.cat == "task") {
+        for &(a, b) in &merged {
+            if a > s.t1_us {
+                break;
+            }
+            let lo = a.max(s.t0_us);
+            let hi = b.min(s.t1_us);
+            if hi > lo {
+                overlap_us += hi - lo;
+            }
+        }
+    }
+    overlap_us / 1e6
+}
+
+/// Critical-path estimate for one rank's task graph, in seconds: the
+/// longest dependency chain through the rank's task/comm spans (spans
+/// carrying a `task` arg), with edges taken from the scheduler's
+/// dependency flow events (`cat=="sched"`, args `src`/`dst`). This is a
+/// lower bound on the rank's achievable wall-clock at infinite
+/// parallelism.
+pub fn critical_path_secs(events: &[Event], rank: u32) -> f64 {
+    let mut dur: HashMap<u64, f64> = HashMap::new();
+    for s in spans(events) {
+        if s.rank != rank {
+            continue;
+        }
+        if let Some(id) = s.arg("task") {
+            *dur.entry(id).or_default() += s.secs();
+        }
+    }
+    let mut edges: Vec<(u64, u64)> = Vec::new();
+    for e in events {
+        if e.kind == EventKind::FlowStart && e.cat == "sched" && e.rank == rank {
+            let src = e.args.iter().find(|(k, _)| k == "src").map(|(_, v)| *v);
+            let dst = e.args.iter().find(|(k, _)| k == "dst").map(|(_, v)| *v);
+            if let (Some(s), Some(d)) = (src, dst) {
+                edges.push((s, d));
+            }
+        }
+    }
+    // Longest path over the DAG via Kahn ordering.
+    let mut indeg: HashMap<u64, usize> = dur.keys().map(|&k| (k, 0)).collect();
+    let mut children: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(s, d) in &edges {
+        if dur.contains_key(&s) && dur.contains_key(&d) {
+            *indeg.entry(d).or_default() += 1;
+            children.entry(s).or_default().push(d);
+        }
+    }
+    let mut finish: HashMap<u64, f64> = HashMap::new();
+    let mut queue: Vec<u64> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&k, _)| k)
+        .collect();
+    queue.sort_unstable();
+    let mut head = 0;
+    let mut best = 0.0f64;
+    while head < queue.len() {
+        let t = queue[head];
+        head += 1;
+        let f = finish.get(&t).copied().unwrap_or(0.0) + dur[&t];
+        best = best.max(f);
+        if let Some(cs) = children.get(&t) {
+            for &c in cs {
+                let e = finish.entry(c).or_default();
+                *e = e.max(f);
+                let d = indeg.get_mut(&c).expect("child seen in indeg");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Msgs/bytes matrices recovered from per-message `send` instants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommMatrixCounts {
+    /// Number of ranks (matrix side).
+    pub p: usize,
+    /// `msgs[src * p + dst]`.
+    pub msgs: Vec<u64>,
+    /// `bytes[src * p + dst]`.
+    pub bytes: Vec<u64>,
+}
+
+/// Build the p×p comm matrix from `cat=="comm"` `send` instants (args
+/// `peer` and `bytes`); `p` is inferred from the largest rank/peer seen.
+pub fn comm_matrix(events: &[Event]) -> CommMatrixCounts {
+    let mut p = 0usize;
+    let mut sends: Vec<(usize, usize, u64)> = Vec::new();
+    for e in events {
+        if e.kind == EventKind::Instant && e.cat == "comm" && e.name == "send" {
+            let peer = e
+                .args
+                .iter()
+                .find(|(k, _)| k == "peer")
+                .map(|(_, v)| *v as usize);
+            let bytes = e
+                .args
+                .iter()
+                .find(|(k, _)| k == "bytes")
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            if let Some(peer) = peer {
+                p = p.max(e.rank as usize + 1).max(peer + 1);
+                sends.push((e.rank as usize, peer, bytes));
+            }
+        }
+    }
+    let mut msgs = vec![0u64; p * p];
+    let mut bytes = vec![0u64; p * p];
+    for (src, dst, b) in sends {
+        msgs[src * p + dst] += 1;
+        bytes[src * p + dst] += b;
+    }
+    CommMatrixCounts { p, msgs, bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Str, TraceLevel, Tracer};
+    use std::borrow::Cow;
+    use std::sync::Arc;
+
+    fn span_ev(
+        kind: EventKind,
+        name: &'static str,
+        cat: &'static str,
+        rank: u32,
+        tid: u32,
+        ts: f64,
+    ) -> Event {
+        Event {
+            kind,
+            name: Cow::Borrowed(name),
+            cat: Cow::Borrowed(cat),
+            rank,
+            tid,
+            ts_us: ts,
+            flow: 0,
+            args: Vec::new(),
+        }
+    }
+
+    fn with_arg(mut e: Event, k: &'static str, v: u64) -> Event {
+        e.args.push((Cow::Borrowed(k) as Str, v));
+        e
+    }
+
+    #[test]
+    fn spans_pair_lifo_per_lane() {
+        let evs = vec![
+            span_ev(EventKind::Begin, "outer", "phase", 0, 0, 0.0),
+            span_ev(EventKind::Begin, "inner", "task", 0, 0, 1.0),
+            span_ev(EventKind::Begin, "other", "task", 1, 0, 2.0),
+            span_ev(EventKind::End, "", "", 0, 0, 3.0),
+            span_ev(EventKind::End, "", "", 1, 0, 4.0),
+            span_ev(EventKind::End, "", "", 0, 0, 5.0),
+        ];
+        let sp = spans(&evs);
+        assert_eq!(sp.len(), 3);
+        let inner = sp.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!((inner.t0_us, inner.t1_us), (1.0, 3.0));
+        let outer = sp.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!((outer.t0_us, outer.t1_us), (0.0, 5.0));
+    }
+
+    #[test]
+    fn imbalance_max_avg() {
+        // rank 0: 3s of U-list; rank 1: 1s.
+        let evs = vec![
+            span_ev(EventKind::Begin, "U-list", "phase", 0, 0, 0.0),
+            span_ev(EventKind::End, "", "", 0, 0, 3e6),
+            span_ev(EventKind::Begin, "U-list", "phase", 1, 0, 0.0),
+            span_ev(EventKind::End, "", "", 1, 0, 1e6),
+        ];
+        let st = load_imbalance(&evs, "phase");
+        assert_eq!(st.len(), 1);
+        assert!((st[0].max_secs - 3.0).abs() < 1e-12);
+        assert!((st[0].avg_secs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_unions_overlaps() {
+        // One lane busy [0,2]∪[1,3] = 3 of a 4-unit window.
+        let evs = vec![
+            span_ev(EventKind::Begin, "a", "task", 0, 1, 0.0),
+            span_ev(EventKind::End, "", "", 0, 1, 2e6),
+            span_ev(EventKind::Begin, "b", "task", 0, 1, 1e6),
+            span_ev(EventKind::End, "", "", 0, 1, 3e6),
+            span_ev(EventKind::Instant, "end", "comm", 0, 0, 4e6),
+        ];
+        let u = utilization(&evs);
+        let lane = u.iter().find(|l| l.tid == 1).unwrap();
+        assert!((lane.busy_secs - 3.0).abs() < 1e-12);
+        assert!((lane.utilization - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_merges_comm_windows() {
+        // comm windows [0,4]∪[3,6] merge to [0,6]; task [2,8] overlaps 4.
+        let evs = vec![
+            span_ev(EventKind::Begin, "Comm.", "comm", 0, 900, 0.0),
+            span_ev(EventKind::End, "", "", 0, 900, 4e6),
+            span_ev(EventKind::Begin, "Comm.", "comm", 0, 901, 3e6),
+            span_ev(EventKind::End, "", "", 0, 901, 6e6),
+            span_ev(EventKind::Begin, "V-list", "task", 0, 1, 2e6),
+            span_ev(EventKind::End, "", "", 0, 1, 8e6),
+            // Other rank's comm must not count.
+            span_ev(EventKind::Begin, "Comm.", "comm", 1, 900, 0.0),
+            span_ev(EventKind::End, "", "", 1, 900, 9e6),
+        ];
+        assert!((overlap_secs(&evs, 0) - 4.0).abs() < 1e-12);
+        assert_eq!(overlap_secs(&evs, 1), 0.0);
+    }
+
+    #[test]
+    fn critical_path_follows_edges() {
+        // 0 (2s) -> 1 (1s); 2 (2.5s) independent => cp = 3s.
+        let mut evs = vec![
+            with_arg(span_ev(EventKind::Begin, "a", "task", 0, 1, 0.0), "task", 0),
+            span_ev(EventKind::End, "", "", 0, 1, 2e6),
+            with_arg(span_ev(EventKind::Begin, "b", "task", 0, 2, 2e6), "task", 1),
+            span_ev(EventKind::End, "", "", 0, 2, 3e6),
+            with_arg(span_ev(EventKind::Begin, "c", "task", 0, 1, 2e6), "task", 2),
+            span_ev(EventKind::End, "", "", 0, 1, 4.5e6),
+        ];
+        let mut flow = span_ev(EventKind::FlowStart, "dep", "sched", 0, 1, 2e6);
+        flow.flow = 1;
+        let flow = with_arg(with_arg(flow, "src", 0), "dst", 1);
+        evs.push(flow);
+        assert!((critical_path_secs(&evs, 0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_matrix_from_sends() {
+        let t = Arc::new(Tracer::new(TraceLevel::Comm));
+        let mut l0 = t.local(0, 0);
+        l0.instant("send", "comm", &[("peer", 1), ("bytes", 100), ("tag", 5)]);
+        l0.instant("send", "comm", &[("peer", 1), ("bytes", 50), ("tag", 5)]);
+        l0.instant("recv", "comm", &[("peer", 1), ("bytes", 7)]);
+        l0.submit();
+        let mut l1 = t.local(1, 0);
+        l1.instant("send", "comm", &[("peer", 0), ("bytes", 7), ("tag", 5)]);
+        l1.submit();
+        let m = comm_matrix(&t.drain());
+        assert_eq!(m.p, 2);
+        assert_eq!(m.msgs, vec![0, 2, 1, 0]);
+        assert_eq!(m.bytes, vec![0, 150, 7, 0]);
+    }
+}

@@ -14,6 +14,7 @@
 //! - [`fmm`] — the FMM itself, sequential and distributed
 //! - [`gpusim`] — the CUDA-like streaming executor and GPU FMM kernels
 //! - [`perfmodel`] — analytic scaling model for paper-scale extrapolation
+//! - [`trace`] — span tracing, comm attribution, Chrome/Perfetto export
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 //!
@@ -49,6 +50,7 @@ pub use pfmm_linalg as linalg;
 pub use pfmm_morton as morton;
 pub use pfmm_mpisim as mpisim;
 pub use pfmm_perfmodel as perfmodel;
+pub use pfmm_trace as trace;
 pub use pfmm_tree as tree;
 
 /// The FMM core (re-export of `pfmm-core`).
