@@ -20,9 +20,9 @@ use pfmm_bench::{run_case, Distribution, Table};
 use pfmm_core::{FmmConfig, Phase, UlistMode};
 use pfmm_kernels::Laplace;
 
-/// Runs per configuration; the minimum is reported to suppress
-/// shared-host scheduling noise.
-const REPS: usize = 3;
+/// Default runs per configuration (override with `PFMM_BENCH_REPS`);
+/// the minimum is reported to suppress shared-host scheduling noise.
+const DEFAULT_REPS: usize = 3;
 
 struct Row {
     q: usize,
@@ -34,7 +34,7 @@ struct Row {
 fn measure(n: usize, q: usize, ulist: UlistMode) -> (f64, f64) {
     let mut wall = f64::INFINITY;
     let mut gflop = 0.0;
-    for _ in 0..REPS {
+    for _ in 0..pfmm_bench::bench_reps(DEFAULT_REPS) {
         let cfg = FmmConfig {
             order: 4,
             q,
@@ -53,7 +53,8 @@ fn main() {
         .nth(1)
         .map(|a| a.parse().expect("n_points must be an integer"))
         .unwrap_or(100_000);
-    println!("Ablation: scalar vs tiled U-list engine (laplace, uniform, N = {n}, order 4, p = 1, min of {REPS})\n");
+    let reps = pfmm_bench::bench_reps(DEFAULT_REPS);
+    println!("Ablation: scalar vs tiled U-list engine (laplace, uniform, N = {n}, order 4, p = 1, min of {reps})\n");
     let mut t = Table::new(&[
         "q",
         "scalar wall(s)",
@@ -96,8 +97,9 @@ fn main() {
 
 fn render_json(n: usize, rows: &[Row]) -> String {
     let mut s = String::new();
+    let reps = pfmm_bench::bench_reps(DEFAULT_REPS);
     s.push_str(&format!(
-        "{{\n  \"bench\": \"ablation_ulist\",\n  \"n\": {n},\n  \"reps\": {REPS},\n  \"rows\": [\n"
+        "{{\n  \"bench\": \"ablation_ulist\",\n  \"n\": {n},\n  \"reps\": {reps},\n  \"rows\": [\n"
     ));
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(

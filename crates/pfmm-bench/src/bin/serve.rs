@@ -1,0 +1,212 @@
+//! Serving throughput: warm-cache batched evaluation vs the cold
+//! baseline (DESIGN.md §11).
+//!
+//! Both sides replay the *identical* deterministic request stream
+//! (closed-loop clients, hot/cold geometry mix). The baseline is the
+//! service with its two optimizations disabled — plan-cache budget 0
+//! (every request replans) and `max_batch = 1` (every request is its own
+//! batch) — i.e. what a client doing naive `plan` + `apply` per request
+//! would get through the same pool. The gate is twofold:
+//!
+//! - warm/batched throughput ≥ 2× the baseline (best of `reps` runs per
+//!   side, interleaved),
+//! - every potential vector bitwise identical between the two runs —
+//!   caching and batching must be *pure* optimizations.
+//!
+//! The workload sits in the plan-heavy regime (low order, small leaves,
+//! mid-size geometries: tree + list construction costs more than one
+//! evaluation pass), which is exactly where a plan cache earns its keep —
+//! at high order the evaluation dominates and caching is a wash.
+//!
+//! Usage: `serve [requests] [n_points] [min_speedup]` (defaults 36,
+//! 15000, 2.0). Honors `PFMM_BENCH_REPS` / `PFMM_BENCH_WARMUP`. Writes
+//! `results/BENCH_serve.json` and exits nonzero below `min_speedup`.
+
+use std::sync::Arc;
+
+use pfmm_bench::{bench_reps, bench_warmup, Table};
+use pfmm_core::{Fmm, FmmConfig};
+use pfmm_kernels::Laplace;
+use pfmm_serve::{run_sim, Arrival, ServeReport, ServiceConfig, SimConfig, WorkloadConfig};
+use pfmm_trace::Tracer;
+
+fn fmm() -> Arc<Fmm> {
+    Arc::new(Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 2,
+            q: 24,
+            ..Default::default()
+        },
+    ))
+}
+
+fn sim_cfg(requests: usize, n_points: usize, warm: bool) -> SimConfig {
+    SimConfig {
+        workload: WorkloadConfig {
+            seed: 2009,
+            requests,
+            n_points,
+            hot_geometries: 3,
+            cold_fraction: 0.1,
+            arrival: Arrival::Closed { concurrency: 6 },
+            deadline_us: 0,
+            priority_levels: 1,
+        },
+        service: ServiceConfig {
+            max_batch: if warm { 6 } else { 1 },
+            max_linger_us: if warm { 1_500 } else { 0 },
+            workers: 2,
+            shed_high_us: u64::MAX,
+            shed_low_us: u64::MAX,
+        },
+        cache_budget_bytes: if warm { 1 << 30 } else { 0 },
+        keep_potentials: true,
+    }
+}
+
+fn run_once(requests: usize, n_points: usize, warm: bool) -> ServeReport {
+    run_sim(
+        fmm(),
+        "laplace",
+        sim_cfg(requests, n_points, warm),
+        Arc::new(Tracer::off()),
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let requests: usize = args
+        .next()
+        .map(|a| a.parse().expect("requests must be an integer"))
+        .unwrap_or(36);
+    let n_points: usize = args
+        .next()
+        .map(|a| a.parse().expect("n_points must be an integer"))
+        .unwrap_or(15_000);
+    let min_speedup: f64 = args
+        .next()
+        .map(|a| a.parse().expect("min_speedup must be a number"))
+        .unwrap_or(2.0);
+    let reps = bench_reps(2);
+    println!(
+        "Serve: {requests} requests, {n_points} pts/geometry, 3 hot geometries + 10% cold, \
+         closed loop (6 clients, 2 workers), best of {reps}\n"
+    );
+
+    for _ in 0..bench_warmup(0) {
+        run_once(requests, n_points, true);
+    }
+
+    // Interleave the two modes so host drift hits both alike; keep the
+    // best throughput per side and any one report for the bit compare.
+    let mut best_cold: Option<ServeReport> = None;
+    let mut best_warm: Option<ServeReport> = None;
+    for _ in 0..reps {
+        let c = run_once(requests, n_points, false);
+        if best_cold
+            .as_ref()
+            .is_none_or(|b| c.throughput_rps > b.throughput_rps)
+        {
+            best_cold = Some(c);
+        }
+        let w = run_once(requests, n_points, true);
+        if best_warm
+            .as_ref()
+            .is_none_or(|b| w.throughput_rps > b.throughput_rps)
+        {
+            best_warm = Some(w);
+        }
+    }
+    let cold = best_cold.expect("reps >= 1");
+    let warm = best_warm.expect("reps >= 1");
+
+    assert_eq!(cold.completed as usize, requests, "baseline served all");
+    assert_eq!(warm.completed as usize, requests, "warm served all");
+    assert_eq!(cold.cache.hits, 0, "budget 0 must never hit");
+    assert!(warm.cache.hit_rate() > 0.0, "hot geometries must re-hit");
+
+    // Bitwise identity: same request stream, same bits, regardless of
+    // caching and batch shape.
+    let (pc, pw) = (
+        cold.potentials.as_ref().expect("kept"),
+        warm.potentials.as_ref().expect("kept"),
+    );
+    assert_eq!(pc.len(), pw.len());
+    for (id, vc) in pc {
+        let vw = &pw[id];
+        assert_eq!(vc.len(), vw.len(), "request {id} length");
+        for (a, b) in vc.iter().zip(vw) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "request {id}: warm serving changed bits"
+            );
+        }
+    }
+    println!(
+        "bitwise check: all {} potential vectors identical\n",
+        pc.len()
+    );
+
+    let speedup = warm.throughput_rps / cold.throughput_rps.max(1e-9);
+    let mut t = Table::new(&[
+        "mode", "req/s", "wall(s)", "p50(ms)", "p95(ms)", "p99(ms)", "hit-rate", "batches",
+    ]);
+    for (label, r) in [("cold/batch=1", &cold), ("warm/batched", &warm)] {
+        t.row(vec![
+            label.to_string(),
+            format!("{:.1}", r.throughput_rps),
+            format!("{:.2}", r.wall_us as f64 * 1e-6),
+            format!("{:.1}", r.latency_us.p50() * 1e-3),
+            format!("{:.1}", r.latency_us.p95() * 1e-3),
+            format!("{:.1}", r.latency_us.p99() * 1e-3),
+            format!("{:.2}", r.cache.hit_rate()),
+            r.service.batches.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("throughput speedup (warm/batched over baseline): {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"requests\": {requests},\n  \
+         \"n_points\": {n_points},\n  \"hot_geometries\": 3,\n  \
+         \"cold_fraction\": 0.1,\n  \"reps\": {reps},\n  \
+         \"min_speedup\": {min_speedup},\n  \
+         \"bitwise_identical\": true,\n  \"speedup\": {speedup:.3},\n  \
+         \"cold\": {},\n  \"warm\": {}\n}}\n",
+        mode_json(&cold),
+        mode_json(&warm)
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_serve.json", &json).expect("write results/BENCH_serve.json");
+    println!("\nwrote results/BENCH_serve.json");
+
+    assert!(
+        speedup >= min_speedup,
+        "warm/batched serving {speedup:.2}x is below the {min_speedup}x gate"
+    );
+    println!("speedup {speedup:.2}x clears the {min_speedup}x gate");
+}
+
+fn mode_json(r: &ServeReport) -> String {
+    format!(
+        "{{\"throughput_rps\": {:.2}, \"wall_us\": {}, \
+         \"p50_us\": {:.0}, \"p95_us\": {:.0}, \"p99_us\": {:.0}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.3}, \
+         \"batches\": {}, \"batched_reqs\": {}, \
+         \"probe_plan_us\": {}, \"probe_apply_us\": {}}}",
+        r.throughput_rps,
+        r.wall_us,
+        r.latency_us.p50(),
+        r.latency_us.p95(),
+        r.latency_us.p99(),
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.hit_rate(),
+        r.service.batches,
+        r.service.batched_reqs,
+        r.probe_us.0,
+        r.probe_us.1,
+    )
+}

@@ -55,7 +55,7 @@ fn main() {
     let runs: usize = args
         .next()
         .map(|a| a.parse().expect("runs must be an integer"))
-        .unwrap_or(3);
+        .unwrap_or_else(|| pfmm_bench::bench_reps(3));
     let budget_pct: f64 = args
         .next()
         .map(|a| a.parse().expect("budget_pct must be a number"))
@@ -67,7 +67,9 @@ fn main() {
 
     let levels = [TraceLevel::Off, TraceLevel::Phase, TraceLevel::Comm];
     let names = ["off", "phase", "comm"];
-    one_eval(n, TraceLevel::Off); // warm-up, not measured
+    for _ in 0..pfmm_bench::bench_warmup(1) {
+        one_eval(n, TraceLevel::Off); // warm-up, not measured
+    }
     let mut best = [f64::INFINITY; 3];
     let mut events = [0usize; 3];
     for _ in 0..runs {

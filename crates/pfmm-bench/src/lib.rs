@@ -193,6 +193,43 @@ pub fn run_case_traced(
     }
 }
 
+/// Repetitions for a measured benchmark: the binary's default, unless
+/// the `PFMM_BENCH_REPS` environment variable overrides it (CI smoke
+/// runs set 1; precision runs raise it).
+///
+/// # Panics
+/// Panics when the variable is set but not a positive integer — a
+/// silently ignored typo would invalidate the numbers.
+pub fn bench_reps(default: usize) -> usize {
+    env_count("PFMM_BENCH_REPS", default)
+}
+
+/// Warm-up passes before measurement, overridable via
+/// `PFMM_BENCH_WARMUP` (same contract as [`bench_reps`]; 0 is allowed).
+pub fn bench_warmup(default: usize) -> usize {
+    match std::env::var("PFMM_BENCH_WARMUP") {
+        Err(_) => default,
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PFMM_BENCH_WARMUP must be an integer, got '{v}'")),
+    }
+}
+
+fn env_count(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(v) => {
+            let n: usize = v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{var} must be a positive integer, got '{v}'"));
+            assert!(n >= 1, "{var} must be at least 1, got {n}");
+            n
+        }
+    }
+}
+
 /// Rank counts to exercise (powers of two up to `max`). `mpisim` ranks
 /// are threads, so any count runs on any host; on an oversubscribed host
 /// the *wall* clocks time-share, which is why the harness reports modeled
@@ -342,6 +379,20 @@ mod tests {
         assert!(s.info.global_leaves > 1);
         let sample = s.to_sample();
         assert!(sample.eval_secs > 0.0);
+    }
+
+    #[test]
+    fn bench_counts_honor_env_overrides() {
+        // One test covers both variables so the env mutations cannot
+        // race each other under the parallel test runner.
+        assert_eq!(bench_reps(3), 3, "unset: default");
+        assert_eq!(bench_warmup(1), 1, "unset: default");
+        std::env::set_var("PFMM_BENCH_REPS", "7");
+        std::env::set_var("PFMM_BENCH_WARMUP", "0");
+        assert_eq!(bench_reps(3), 7, "override wins");
+        assert_eq!(bench_warmup(1), 0, "warmup may be zero");
+        std::env::remove_var("PFMM_BENCH_REPS");
+        std::env::remove_var("PFMM_BENCH_WARMUP");
     }
 
     #[test]

@@ -30,7 +30,7 @@ use pfmm_tree::PointRec;
 const HELP: &str = "\
 pfmm — parallel kernel-independent fast multipole method
 
-USAGE: pfmm <run|tune|gpu|solve|help> [--key value | --key=value]...
+USAGE: pfmm <run|tune|gpu|solve|serve-sim|help> [--key value | --key=value]...
 
 common options:
   --n <int>            points (default 20000)
@@ -78,6 +78,27 @@ solve options (second-kind system (I + c·K)σ = b, GMRES over one plan):
   --ranks <int>        simulated MPI ranks (default 2)
   --scale <float>      the coupling c (default 1/n)
   --tol <float>        GMRES relative tolerance (default 1e-10)
+
+serve-sim options (closed-loop simulation of the pfmm-serve batched
+evaluation service: plan caching, deadline admission, load shedding):
+  --requests <int>     requests to issue (default 64)
+  --n <int>            points per geometry (default 500)
+  --hot-geoms <int>    distinct hot geometries (default 3)
+  --cold-frac <float>  fraction of one-off cold geometries (default 0.15)
+  --arrival <closed|open>      closed-loop client pool or open-loop
+                       fixed-rate arrivals (default closed)
+  --concurrency <int>  closed-loop in-flight cap (default 4)
+  --rate <float>       open-loop arrivals per second (default 200)
+  --deadline-us <int>  relative deadline per request, 0 = none (default 0)
+  --priorities <int>   priority levels drawn uniformly (default 3)
+  --max-batch <int>    batch size flush threshold (default 8)
+  --max-linger-us <int>  batch age flush threshold (default 2000)
+  --workers <int>      executor pool threads (default 2)
+  --shed-high-us <int> backlog µs engaging load shedding (default 2000000)
+  --shed-low-us <int>  backlog µs disengaging it (default 1000000)
+  --cache-mb <int>     plan-cache budget in MiB, 0 = no caching (default 256)
+  --trace <path.json>  write per-request lifecycle spans (queue-wait /
+                       batch-assembly / execute, one lane per request)
 ";
 
 fn main() -> ExitCode {
@@ -95,43 +116,154 @@ fn main() -> ExitCode {
     }
 }
 
-const KNOWN_FLAGS: &[&str] = &[
-    "n",
-    "dist",
+/// Flags shared by every geometry-taking subcommand.
+const COMMON_FLAGS: &[&str] = &["n", "dist", "seed"];
+/// Flags consumed by `config_of` (run/tune/solve).
+const CONFIG_FLAGS: &[&str] = &[
     "kernel",
     "order",
     "q",
-    "seed",
-    "ranks",
-    "threads",
     "m2l",
     "sort",
     "reduction",
     "schedule",
     "ulist",
     "balance",
-    "check",
-    "candidates",
-    "sample",
-    "gpu-q",
-    "wx-on-gpu",
-    "scale",
-    "tol",
-    "trace",
-    "trace-level",
+    "threads",
 ];
+const TRACE_FLAGS: &[&str] = &["trace", "trace-level"];
+
+/// One subcommand: name, shared flag groups, command-specific flags.
+type CommandSpec = (
+    &'static str,
+    &'static [&'static [&'static str]],
+    &'static [&'static str],
+);
+
+/// Every subcommand with the exact flag set it accepts — misspellings
+/// and flags of *other* subcommands are both rejected with a pointer.
+const COMMANDS: &[CommandSpec] = &[
+    (
+        "run",
+        &[COMMON_FLAGS, CONFIG_FLAGS, TRACE_FLAGS],
+        &["ranks", "check"],
+    ),
+    (
+        "tune",
+        &[COMMON_FLAGS, CONFIG_FLAGS],
+        &["candidates", "sample"],
+    ),
+    (
+        "gpu",
+        &[COMMON_FLAGS, TRACE_FLAGS],
+        &["order", "gpu-q", "wx-on-gpu"],
+    ),
+    (
+        "solve",
+        &[COMMON_FLAGS, CONFIG_FLAGS],
+        &["ranks", "scale", "tol"],
+    ),
+    (
+        "serve-sim",
+        &[TRACE_FLAGS],
+        &[
+            "kernel",
+            "order",
+            "q",
+            "schedule",
+            "seed",
+            "n",
+            "requests",
+            "hot-geoms",
+            "cold-frac",
+            "arrival",
+            "rate",
+            "concurrency",
+            "deadline-us",
+            "priorities",
+            "max-batch",
+            "max-linger-us",
+            "workers",
+            "shed-high-us",
+            "shed-low-us",
+            "cache-mb",
+        ],
+    ),
+];
+
+/// Flags a subcommand accepts, or `None` for an unknown subcommand.
+fn flags_of(command: &str) -> Option<Vec<&'static str>> {
+    COMMANDS
+        .iter()
+        .find(|(c, _, _)| *c == command)
+        .map(|(_, groups, own)| {
+            let mut v: Vec<&'static str> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+            v.extend(own.iter().copied());
+            v
+        })
+}
+
+/// Levenshtein distance — small inputs, the O(a·b) table is fine.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The rejection message for `--unknown` under `command`: prefer a
+/// close spelling from the command's own flags ("did you mean"), then
+/// point at the subcommand that does accept the flag verbatim.
+fn unknown_flag_error(command: &str, unknown: &str, known: &[&'static str]) -> String {
+    let nearest = known
+        .iter()
+        .map(|k| (edit_distance(unknown, k), *k))
+        .min()
+        .filter(|(d, k)| *d <= 2.max(k.len() / 3))
+        .map(|(_, k)| k);
+    if let Some(k) = nearest {
+        return format!("unknown option --{unknown} for '{command}' (did you mean --{k}?)");
+    }
+    let owner = COMMANDS
+        .iter()
+        .filter(|(c, _, _)| *c != command)
+        .find(|(c, _, _)| flags_of(c).is_some_and(|f| f.contains(&unknown)))
+        .map(|(c, _, _)| *c);
+    if let Some(c) = owner {
+        return format!("unknown option --{unknown} for '{command}' (it is a '{c}' option)");
+    }
+    format!("unknown option --{unknown} for '{command}'")
+}
 
 fn dispatch(argv: impl Iterator<Item = String>) -> Result<(), String> {
     let args = Args::parse(argv)?;
-    if let Some(unknown) = args.keys().find(|k| !KNOWN_FLAGS.contains(k)) {
-        return Err(format!("unknown option --{unknown}"));
+    let known = flags_of(&args.command).ok_or_else(|| {
+        let names: Vec<&str> = COMMANDS.iter().map(|(c, _, _)| *c).collect();
+        format!(
+            "unknown subcommand '{}' (expected one of {})",
+            args.command,
+            names.join(", ")
+        )
+    })?;
+    let mut keys: Vec<&str> = args.keys().collect();
+    keys.sort();
+    if let Some(unknown) = keys.iter().find(|k| !known.contains(*k)) {
+        return Err(unknown_flag_error(&args.command, unknown, &known));
     }
     match args.command.as_str() {
         "run" => cmd_run(&args),
         "tune" => cmd_tune(&args),
         "gpu" => cmd_gpu(&args),
         "solve" => cmd_solve(&args),
-        other => Err(format!("unknown subcommand '{other}'")),
+        "serve-sim" => cmd_serve_sim(&args),
+        _ => unreachable!("flags_of accepted the command"),
     }
 }
 
@@ -420,6 +552,115 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_serve_sim(args: &Args) -> Result<(), String> {
+    use pfmm_serve::{run_sim, Arrival, ServiceConfig, SimConfig, WorkloadConfig};
+
+    let kernel = kernel_of(args)?;
+    let cfg = FmmConfig {
+        order: args.get_or("order", 4)?,
+        q: args.get_or("q", 60)?,
+        schedule: match args.get("schedule").unwrap_or("barrier") {
+            "barrier" => Schedule::Barrier,
+            "graph" => Schedule::Graph,
+            other => return Err(format!("unknown schedule '{other}'")),
+        },
+        ..Default::default()
+    };
+    let arrival = match args.get("arrival").unwrap_or("closed") {
+        "closed" => Arrival::Closed {
+            concurrency: args.get_or("concurrency", 4)?,
+        },
+        "open" => Arrival::Open {
+            rate_per_s: args.get_or("rate", 200.0)?,
+        },
+        other => return Err(format!("unknown arrival mode '{other}'")),
+    };
+    let sim = SimConfig {
+        workload: WorkloadConfig {
+            seed: args.get_or("seed", 1)?,
+            requests: args.get_or("requests", 64)?,
+            n_points: args.get_or("n", 500)?,
+            hot_geometries: args.get_or("hot-geoms", 3)?,
+            cold_fraction: args.get_or("cold-frac", 0.15)?,
+            arrival,
+            deadline_us: args.get_or("deadline-us", 0)?,
+            priority_levels: args.get_or("priorities", 3)?,
+        },
+        service: ServiceConfig {
+            max_batch: args.get_or("max-batch", 8)?,
+            max_linger_us: args.get_or("max-linger-us", 2_000)?,
+            workers: args.get_or("workers", 2)?,
+            shed_high_us: args.get_or("shed-high-us", 2_000_000)?,
+            shed_low_us: args.get_or("shed-low-us", 1_000_000)?,
+        },
+        cache_budget_bytes: args.get_or("cache-mb", 256usize)? << 20,
+        keep_potentials: false,
+    };
+    let (tracer, trace_path) = tracer_of(args)?;
+    println!(
+        "serve-sim: {} requests over {} hot geometries ({} pts, kernel {}), \
+         cache {} MiB, batch ≤{} / {} µs linger, {} workers",
+        sim.workload.requests,
+        sim.workload.hot_geometries,
+        sim.workload.n_points,
+        kernel.name(),
+        sim.cache_budget_bytes >> 20,
+        sim.service.max_batch,
+        sim.service.max_linger_us,
+        sim.service.workers,
+    );
+    let name = kernel.name();
+    let report = run_sim(Arc::new(Fmm::new(kernel, cfg)), name, sim, tracer.clone());
+
+    println!("\n{}", report.summary());
+    println!(
+        "\n{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "span (µs)", "p50", "p95", "p99", "mean"
+    );
+    for (label, h) in [
+        ("latency", &report.latency_us),
+        ("queue-wait", &report.queue_wait_us),
+        ("execute", &report.execute_us),
+    ] {
+        println!(
+            "{:<14} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
+            label,
+            h.p50(),
+            h.p95(),
+            h.p99(),
+            h.mean()
+        );
+    }
+    let c = &report.cache;
+    println!(
+        "\ncache: {} hits / {} misses (rate {:.2}), {} evictions, {} resident plans, {:.1} MiB",
+        c.hits,
+        c.misses,
+        c.hit_rate(),
+        c.evictions,
+        c.resident_plans,
+        c.resident_bytes as f64 / (1 << 20) as f64
+    );
+    if !report.rejections.is_empty() {
+        let parts: Vec<String> = report
+            .rejections
+            .iter()
+            .map(|(r, n)| format!("{r}: {n}"))
+            .collect();
+        println!("rejections: {}", parts.join(", "));
+    }
+    if let Some(path) = &trace_path {
+        write_trace(&tracer, path)?;
+    }
+    if report.deadline_violations > 0 {
+        return Err(format!(
+            "{} requests completed past their deadline",
+            report.deadline_violations
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -619,6 +860,96 @@ mod tests {
     #[test]
     fn unknown_flag_is_an_error() {
         assert!(dispatch(["run", "--frobnicate", "1"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn misspelled_flag_gets_a_suggestion() {
+        let err = dispatch(["run", "--shedule", "graph"].iter().map(|s| s.to_string()))
+            .expect_err("misspelling rejected");
+        assert!(
+            err.contains("did you mean --schedule"),
+            "suggestion missing: {err}"
+        );
+        let err = dispatch(["run", "--kernal=stokes"].iter().map(|s| s.to_string()))
+            .expect_err("misspelling rejected");
+        assert!(err.contains("did you mean --kernel"), "{err}");
+    }
+
+    #[test]
+    fn other_commands_flag_is_rejected_with_a_pointer() {
+        // Before per-command flag sets, `run --gpu-q` was silently
+        // accepted and ignored; now it is an error naming the owner.
+        let err = dispatch(["run", "--gpu-q", "150"].iter().map(|s| s.to_string()))
+            .expect_err("wrong-command flag rejected");
+        assert!(err.contains("'gpu' option"), "owner missing: {err}");
+        let err = dispatch(["tune", "--check=5"].iter().map(|s| s.to_string()))
+            .expect_err("wrong-command flag rejected");
+        assert!(err.contains("'run' option"), "owner missing: {err}");
+    }
+
+    #[test]
+    fn unknown_subcommand_lists_the_valid_ones() {
+        let err = dispatch(["serve", "--n=10"].iter().map(|s| s.to_string()))
+            .expect_err("unknown subcommand");
+        assert!(err.contains("serve-sim"), "candidates missing: {err}");
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("schedule", "shedule"), 1);
+        assert_eq!(edit_distance("kernel", "kernal"), 1);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("q", "gpu-q"), 4);
+    }
+
+    #[test]
+    fn serve_sim_end_to_end() {
+        dispatch(
+            [
+                "serve-sim",
+                "--requests=10",
+                "--n=150",
+                "--order=3",
+                "--q=40",
+                "--hot-geoms=2",
+                "--cold-frac=0.2",
+                "--concurrency=3",
+                "--max-batch=4",
+                "--max-linger-us=500",
+                "--workers=2",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .expect("serve-sim succeeds");
+    }
+
+    #[test]
+    fn serve_sim_writes_a_valid_lifecycle_trace() {
+        let path = std::env::temp_dir().join("pfmm_serve_sim_trace_test.json");
+        let path_s = path.to_str().expect("utf-8 temp path").to_string();
+        dispatch(
+            [
+                "serve-sim",
+                "--requests=6",
+                "--n=120",
+                "--order=3",
+                "--q=40",
+                "--trace",
+                &path_s,
+                "--trace-level=phase",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .expect("traced serve-sim succeeds");
+        let json = std::fs::read_to_string(&path).expect("trace file written");
+        let events = pfmm_trace::chrome::parse(&json).expect("trace parses");
+        let st = pfmm_trace::chrome::validate(&events).expect("trace is well-formed");
+        // 6 requests × 3 lifecycle spans each.
+        assert!(st.spans >= 18, "lifecycle spans recorded: {}", st.spans);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -106,6 +106,28 @@ impl EvalData {
             max_level,
         }
     }
+
+    /// Heap bytes held by the workspace (element counts × element sizes;
+    /// feeds the serve-layer plan-cache budget accounting).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let nested = |vv: &Vec<Vec<f64>>| {
+            vv.iter().map(|v| v.len() * size_of::<f64>()).sum::<usize>()
+                + vv.len() * size_of::<Vec<f64>>()
+        };
+        self.leaf_pos
+            .iter()
+            .map(|v| v.len() * size_of::<Point3>())
+            .sum::<usize>()
+            + self.leaf_pos.len() * size_of::<Vec<Point3>>()
+            + nested(&self.leaf_den)
+            + self
+                .by_level
+                .iter()
+                .map(|v| v.len() * size_of::<u32>())
+                .sum::<usize>()
+            + self.by_level.len() * size_of::<Vec<u32>>()
+    }
 }
 
 /// Offset of the target `beta` relative to the source `alpha` in units of

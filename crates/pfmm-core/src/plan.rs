@@ -18,9 +18,83 @@ use pfmm_tree::{
     user_ranks, Let, Lists, PointRec,
 };
 
-use crate::driver::Fmm;
+use crate::driver::{Fmm, FmmConfig};
 use crate::exec::{run_phases, EvalData};
 use crate::profile::Profile;
+
+/// A 128-bit content fingerprint of (kernel, config, communicator size,
+/// point geometry) — everything [`Fmm::plan`] depends on. Two calls with
+/// equal fingerprints build byte-identical plans, so the serve layer can
+/// key its plan cache on this value alone.
+///
+/// The fingerprint covers point *positions and gids* but not densities
+/// (a plan is density-independent by construction), and it is sensitive
+/// to input point order: a permuted geometry hashes differently and is
+/// treated as a distinct — equally valid — cache entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlanFingerprint(pub u128);
+
+impl std::fmt::Display for PlanFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// FNV-1a, 128-bit: deterministic across platforms, fast enough to hash
+/// a 100k-point geometry in well under a millisecond, and with a 2⁻¹²⁸
+/// accidental-collision probability on non-adversarial inputs.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    fn new() -> Fnv128 {
+        Fnv128(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Fingerprint the plan inputs for this rank: kernel identity, the
+/// semantically relevant [`FmmConfig`] fields, the communicator size, and
+/// the point records (gid + exact position bits, densities excluded).
+pub fn plan_fingerprint(
+    kernel_name: &str,
+    cfg: &FmmConfig,
+    comm_size: usize,
+    points: &[PointRec],
+) -> PlanFingerprint {
+    let mut h = Fnv128::new();
+    h.write(kernel_name.as_bytes());
+    h.write_u64(cfg.order as u64);
+    h.write_u64(cfg.q as u64);
+    h.write_u64(cfg.m2l as u64);
+    h.write_u64(cfg.pinv_tol.to_bits());
+    h.write_u64(cfg.balance as u64);
+    h.write_u64(cfg.reduction as u64);
+    h.write_u64(cfg.sort as u64);
+    h.write_u64(cfg.schedule as u64);
+    h.write_u64(cfg.ulist as u64);
+    h.write_u64(comm_size as u64);
+    h.write_u64(points.len() as u64);
+    for p in points {
+        h.write_u64(p.gid);
+        h.write_u64(p.pos[0].to_bits());
+        h.write_u64(p.pos[1].to_bits());
+        h.write_u64(p.pos[2].to_bits());
+    }
+    PlanFingerprint(h.0)
+}
 
 /// A frozen FMM setup for one point geometry.
 pub struct FmmPlan {
@@ -56,6 +130,28 @@ impl FmmPlan {
     /// Octants in this rank's LET.
     pub fn num_octants(&self) -> usize {
         self.l.len()
+    }
+
+    /// Heap bytes held by the plan (LET + lists + evaluation workspace +
+    /// exchange schedules), computed as element counts × element sizes.
+    /// This is what the serve-layer plan cache charges against its byte
+    /// budget, so eviction pressure tracks the real footprint of the
+    /// cached geometry.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let sched = |plan: &Vec<(usize, Vec<usize>)>| {
+            plan.iter()
+                .map(|(_, v)| v.len() * size_of::<usize>())
+                .sum::<usize>()
+                + plan.len() * size_of::<(usize, Vec<usize>)>()
+        };
+        self.l.memory_bytes()
+            + self.lists.memory_bytes()
+            + self.data.memory_bytes()
+            + sched(&self.send_plan)
+            + sched(&self.recv_plan)
+            + self.owned_gids.len() * size_of::<u64>()
+            + size_of::<FmmPlan>()
     }
 }
 
@@ -142,6 +238,30 @@ impl Fmm {
     /// # Panics
     /// Panics if `densities.len() != plan.num_owned() * source_dim`.
     pub fn apply(&self, c: &Comm, plan: &mut FmmPlan, densities: &[f64]) -> (Vec<f64>, Profile) {
+        self.apply_one(c, plan, densities)
+    }
+
+    /// Evaluate several density sets against one plan — the serve layer's
+    /// batched path. Each set is scattered, ghost-exchanged, and run
+    /// through the evaluation phases in order; the expensive
+    /// geometry-dependent setup (tree, LET, lists, exchange schedules) is
+    /// paid once at [`Fmm::plan`] time and shared by every set. Results
+    /// are positionally aligned with `densities`, and each is bitwise
+    /// identical to a standalone [`Fmm::apply`] of the same set (applies
+    /// do not interact — `apply_is_repeatable_and_linear` asserts this).
+    pub fn apply_batch(
+        &self,
+        c: &Comm,
+        plan: &mut FmmPlan,
+        densities: &[&[f64]],
+    ) -> Vec<(Vec<f64>, Profile)> {
+        densities
+            .iter()
+            .map(|den| self.apply_one(c, plan, den))
+            .collect()
+    }
+
+    fn apply_one(&self, c: &Comm, plan: &mut FmmPlan, densities: &[f64]) -> (Vec<f64>, Profile) {
         let sd = plan.sd;
         let td = plan.td;
         assert_eq!(
@@ -332,6 +452,77 @@ mod tests {
                 "gid={gid}: {got} vs {want}"
             );
         }
+    }
+
+    /// The fingerprint is a pure function of its inputs and reacts to
+    /// every semantic field.
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let pts = uniform_cube(300, 7, 0);
+        let cfg = FmmConfig::default();
+        let a = plan_fingerprint("laplace", &cfg, 1, &pts);
+        let b = plan_fingerprint("laplace", &cfg, 1, &pts);
+        assert_eq!(a, b, "deterministic");
+        assert_ne!(a, plan_fingerprint("stokes", &cfg, 1, &pts), "kernel");
+        assert_ne!(a, plan_fingerprint("laplace", &cfg, 2, &pts), "comm size");
+        let cfg2 = FmmConfig {
+            order: cfg.order + 2,
+            ..cfg
+        };
+        assert_ne!(a, plan_fingerprint("laplace", &cfg2, 1, &pts), "order");
+        let mut moved = pts.clone();
+        moved[17].pos[1] += 1e-12;
+        assert_ne!(a, plan_fingerprint("laplace", &cfg, 1, &moved), "position");
+        // Densities deliberately do NOT participate: a plan is reusable
+        // across density updates.
+        let mut dense = pts.clone();
+        randomize_densities(&mut dense, 3, 999);
+        assert_eq!(a, plan_fingerprint("laplace", &cfg, 1, &dense));
+    }
+
+    /// Plan memory accounting scales with the geometry and is nonzero.
+    #[test]
+    fn memory_bytes_tracks_geometry_size() {
+        let f = fmm();
+        let small = run(1, |c| f.plan(c, uniform_cube(200, 11, 0)).memory_bytes());
+        let large = run(1, |c| f.plan(c, uniform_cube(2000, 11, 0)).memory_bytes());
+        assert!(small[0] > 0);
+        assert!(
+            large[0] > 2 * small[0],
+            "10x points should dominate fixed overhead: {} vs {}",
+            large[0],
+            small[0]
+        );
+    }
+
+    /// The batched path is positionally aligned and bitwise identical to
+    /// standalone applies of the same density sets.
+    #[test]
+    fn apply_batch_matches_individual_applies() {
+        let mut pts = uniform_cube(700, 421, 0);
+        randomize_densities(&mut pts, 1, 7);
+        let f = fmm();
+        run(2, |c| {
+            let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(2).copied().collect();
+            let mut plan = f.plan(c, mine);
+            let base: Vec<f64> = plan
+                .owned_gids()
+                .iter()
+                .map(|g| pts[*g as usize].den[0])
+                .collect();
+            let sets: Vec<Vec<f64>> = (0..3)
+                .map(|k| base.iter().map(|v| v * (k + 1) as f64).collect())
+                .collect();
+            let refs: Vec<&[f64]> = sets.iter().map(|s| s.as_slice()).collect();
+            let batched = f.apply_batch(c, &mut plan, &refs);
+            assert_eq!(batched.len(), 3);
+            for (k, set) in sets.iter().enumerate() {
+                let (single, _) = f.apply(c, &mut plan, set);
+                for (a, b) in batched[k].0.iter().zip(&single) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "set {k}");
+                }
+            }
+        });
     }
 
     /// Repeated applies are deterministic and independent.

@@ -1,0 +1,153 @@
+//! Admission-control cost estimation, calibrated through
+//! `pfmm-perfmodel`.
+//!
+//! The service needs two numbers per request before it commits queue
+//! space: how long the evaluation will run, and how long a cold plan
+//! build would add. Both come from the analytic phase model of
+//! [`pfmm_perfmodel::FmmModel`], fitted at serve startup against one
+//! measured probe (a plan + apply at the serving problem size on this
+//! machine, this kernel, this configuration). The model then interpolates
+//! across the request sizes the workload actually sends — the same
+//! closed forms the scaling study uses, recalibrated to serving scale.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pfmm_core::{Fmm, FmmPlan};
+use pfmm_mpisim::run;
+use pfmm_perfmodel::{FmmModel, MachineParams, Sample};
+use pfmm_tree::PointRec;
+
+/// Per-request time estimates, µs.
+#[derive(Copy, Clone, Debug)]
+pub struct CostModel {
+    model: FmmModel,
+    /// Calibration probe timings, µs (kept for reports).
+    pub probe_plan_us: u64,
+    /// Measured apply at the probe size, µs.
+    pub probe_apply_us: u64,
+    /// Probe problem size.
+    pub probe_n: usize,
+}
+
+impl CostModel {
+    /// Calibrate against one probe geometry: build a plan and run one
+    /// apply, then fit the perfmodel constants to those two timings at
+    /// `p = 1`. The probe plan is returned so the caller can seed its
+    /// cache instead of discarding the work.
+    pub fn calibrate(fmm: &Fmm, probe: &[PointRec]) -> (CostModel, FmmPlan) {
+        let sd = fmm.kernel().source_dim();
+        let n = probe.len();
+        let t0 = Instant::now();
+        let plan = run(1, |c| fmm.plan(c, probe.to_vec()))
+            .pop()
+            .expect("one rank");
+        let plan_secs = t0.elapsed().as_secs_f64();
+
+        let den = vec![1.0; plan.num_owned() * sd];
+        let t1 = Instant::now();
+        let plan_cell = std::sync::Mutex::new(plan);
+        run(1, |c| {
+            fmm.apply(c, &mut plan_cell.lock().unwrap(), &den);
+        });
+        let plan = plan_cell.into_inner().unwrap();
+        let apply_secs = t1.elapsed().as_secs_f64();
+
+        let model = FmmModel::fit(
+            MachineParams::kraken(),
+            &[Sample {
+                n: n as f64,
+                p: 1.0,
+                sort_secs: 0.0,
+                setup_rest_secs: plan_secs,
+                eval_secs: apply_secs,
+                comm_bytes: 0.0,
+            }],
+        );
+        (
+            CostModel {
+                model,
+                probe_plan_us: (plan_secs * 1e6) as u64,
+                probe_apply_us: (apply_secs * 1e6) as u64,
+                probe_n: n,
+            },
+            plan,
+        )
+    }
+
+    /// A model from explicit probe timings (tests, scripted sims).
+    pub fn from_probe_us(n: usize, plan_us: u64, apply_us: u64) -> CostModel {
+        let model = FmmModel::fit(
+            MachineParams::kraken(),
+            &[Sample {
+                n: n as f64,
+                p: 1.0,
+                sort_secs: 0.0,
+                setup_rest_secs: plan_us as f64 * 1e-6,
+                eval_secs: apply_us as f64 * 1e-6,
+                comm_bytes: 0.0,
+            }],
+        );
+        CostModel {
+            model,
+            probe_plan_us: plan_us,
+            probe_apply_us: apply_us,
+            probe_n: n,
+        }
+    }
+
+    /// Estimated µs to evaluate one density set over `n` points.
+    pub fn eval_us(&self, n: usize) -> u64 {
+        (self.model.predict(n as f64, 1.0).eval * 1e6).ceil() as u64
+    }
+
+    /// Estimated µs to build a plan for an `n`-point geometry.
+    pub fn build_us(&self, n: usize) -> u64 {
+        (self.model.predict(n as f64, 1.0).setup() * 1e6).ceil() as u64
+    }
+}
+
+/// Convenience: a shared [`Fmm`] plus its calibrated cost model.
+pub struct Calibrated {
+    /// The evaluator.
+    pub fmm: Arc<Fmm>,
+    /// The fitted estimates.
+    pub cost: CostModel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_recover_probe_and_scale_linearly() {
+        let m = CostModel::from_probe_us(1_000, 50_000, 5_000);
+        // At the probe size the model reproduces the probe (eval term is
+        // exactly linear in n at p = 1).
+        assert_eq!(m.eval_us(1_000), 5_000);
+        assert_eq!(m.eval_us(2_000), 10_000);
+        // Build scales sublinearly (the (n/p)^{2/3} surface term).
+        assert_eq!(m.build_us(1_000), 50_000);
+        let b2 = m.build_us(2_000);
+        assert!(b2 > 50_000 && b2 < 100_000, "sublinear build: {b2}");
+    }
+
+    #[test]
+    fn calibrate_probes_a_real_plan_and_apply() {
+        use pfmm_core::FmmConfig;
+        use pfmm_kernels::Laplace;
+        let fmm = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 3,
+                q: 40,
+                ..Default::default()
+            },
+        );
+        let pts = pfmm_core::distrib::uniform_cube(400, 5, 0);
+        let (m, plan) = CostModel::calibrate(&fmm, &pts);
+        assert_eq!(plan.num_owned(), 400);
+        assert!(m.probe_plan_us > 0 && m.probe_apply_us > 0);
+        assert!(m.eval_us(400) > 0 && m.build_us(400) > 0);
+    }
+}

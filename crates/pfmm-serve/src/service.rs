@@ -1,0 +1,571 @@
+//! The sans-IO service core: admission control, batching, and load
+//! shedding as a pure state machine.
+//!
+//! [`ServiceCore`] never reads a clock, spawns a thread, or touches a
+//! socket — every entry point takes the current time as a `u64`
+//! microsecond count supplied by the caller. The real-time shells
+//! ([`crate::sim`], [`crate::pool`]) inject wall-clock time; tests inject
+//! scripted time and get bit-for-bit reproducible schedules.
+//!
+//! The state machine has three responsibilities:
+//!
+//! 1. **Admission** — a request is rejected up front
+//!    ([`RejectReason::DeadlineInfeasible`]) when the cost-model estimate
+//!    of its finish time (now + backlog drained across the workers +
+//!    plan build if the plan is cold + its own evaluation) already
+//!    overruns its deadline. Work that cannot succeed never occupies the
+//!    queue.
+//! 2. **Batching** — accepted requests coalesce per plan fingerprint.
+//!    A pending batch flushes when it reaches `max_batch` requests or
+//!    has lingered `max_linger_us` since it was opened, whichever comes
+//!    first: bounded latency, amortized plan locking.
+//! 3. **Shedding** — a hysteresis watermark pair over the estimated
+//!    backlog. Crossing `shed_high_us` engages shedding; only dropping
+//!    back below `shed_low_us` disengages it. While engaged, a new
+//!    request is admitted only by displacing a strictly lower-priority
+//!    queued request ([`RejectReason::Shedding`] otherwise), so overload
+//!    sheds the lowest-value work instead of the most recent.
+
+use std::collections::BTreeMap;
+
+use pfmm_core::PlanFingerprint;
+
+/// A unit of work: evaluate one density set against one cached geometry.
+///
+/// Requests are data, not handles — the density vector itself is derived
+/// on the worker from `density_seed` (see [`crate::loadgen::densities`]),
+/// which keeps queued requests tiny and lets two runs over the same
+/// request stream be compared bitwise.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Unique id within a run.
+    pub id: u64,
+    /// Plan-cache key of the geometry this request evaluates against.
+    pub key: PlanFingerprint,
+    /// Index of the geometry in the workload (for the executor).
+    pub geom: usize,
+    /// Points in the geometry.
+    pub n: usize,
+    /// Arrival time, µs.
+    pub arrive_us: u64,
+    /// Absolute deadline, µs (`u64::MAX` = none).
+    pub deadline_us: u64,
+    /// Higher = more important; shedding displaces lower first.
+    pub priority: u8,
+    /// Seed of the pure density generator for this request.
+    pub density_seed: u64,
+    /// Cost-model estimate of this request's evaluation, µs.
+    pub est_cost_us: u64,
+    /// Cost-model estimate of a cold plan build for its geometry, µs.
+    pub est_build_us: u64,
+}
+
+/// Why a request was not served.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The finish-time estimate already overran the deadline at offer.
+    DeadlineInfeasible,
+    /// The shedding watermark was engaged and no lower-priority victim
+    /// existed to displace.
+    Shedding,
+    /// A higher-priority request displaced this one while queued.
+    Displaced,
+}
+
+impl RejectReason {
+    /// Stable label for reports/JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::DeadlineInfeasible => "deadline_infeasible",
+            RejectReason::Shedding => "shedding",
+            RejectReason::Displaced => "displaced",
+        }
+    }
+}
+
+/// A typed rejection: the request id and why.
+#[derive(Clone, Debug)]
+pub struct Rejected {
+    /// Id of the rejected request.
+    pub id: u64,
+    /// Why.
+    pub reason: RejectReason,
+    /// When, µs.
+    pub at_us: u64,
+}
+
+/// The outcome of [`ServiceCore::offer`].
+#[derive(Debug)]
+pub enum Admission {
+    /// Queued. Any displaced lower-priority requests ride along so the
+    /// caller can record their typed rejections.
+    Accepted {
+        /// Requests displaced to make room (shedding mode only).
+        displaced: Vec<Rejected>,
+    },
+    /// Not queued.
+    Rejected(Rejected),
+}
+
+/// A flushed batch: same-plan requests to evaluate in one plan lock.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// The shared plan-cache key.
+    pub key: PlanFingerprint,
+    /// The coalesced requests, admission order.
+    pub reqs: Vec<Request>,
+    /// When the first request opened the batch, µs.
+    pub opened_us: u64,
+    /// When the batch left the queue, µs.
+    pub flushed_us: u64,
+    /// Backlog µs charged for this batch; return via
+    /// [`ServiceCore::on_batch_done`].
+    pub charged_us: u64,
+}
+
+/// Service policy knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct ServiceConfig {
+    /// Flush a pending batch at this many requests.
+    pub max_batch: usize,
+    /// Flush a pending batch this long after it opened, µs.
+    pub max_linger_us: u64,
+    /// Executor parallelism assumed when estimating backlog drain.
+    pub workers: usize,
+    /// Backlog µs at which shedding engages.
+    pub shed_high_us: u64,
+    /// Backlog µs at which shedding disengages (must be ≤ high).
+    pub shed_low_us: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_batch: 8,
+            max_linger_us: 2_000,
+            workers: 2,
+            shed_high_us: 2_000_000,
+            shed_low_us: 1_000_000,
+        }
+    }
+}
+
+/// Monotonic service counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Typed rejections at offer time: infeasible deadline.
+    pub rejected_deadline: u64,
+    /// Typed rejections at offer time: shedding, no victim.
+    pub rejected_shed: u64,
+    /// Queued requests displaced by higher-priority arrivals.
+    pub displaced: u64,
+    /// Batches flushed.
+    pub batches: u64,
+    /// Requests flushed inside those batches.
+    pub batched_reqs: u64,
+    /// Times shedding engaged (low→high crossings).
+    pub shed_engagements: u64,
+    /// Peak estimated backlog seen, µs.
+    pub max_backlog_us: u64,
+}
+
+struct QueuedReq {
+    req: Request,
+    /// Backlog µs this request added (cost + build share); subtracted
+    /// exactly on displacement so accounting never drifts.
+    charged_us: u64,
+}
+
+struct Pending {
+    reqs: Vec<QueuedReq>,
+    opened_us: u64,
+}
+
+/// The sans-IO admission/batching/shedding state machine.
+pub struct ServiceCore {
+    cfg: ServiceConfig,
+    /// Pending batches by plan key. `BTreeMap` so iteration order — and
+    /// therefore flush order and victim choice among equals — is
+    /// deterministic ([`PlanFingerprint`] is `Ord`).
+    queue: BTreeMap<PlanFingerprint, Pending>,
+    /// Estimated µs of admitted-but-unfinished work (queued + running).
+    backlog_us: u64,
+    shedding: bool,
+    stats: ServiceStats,
+}
+
+impl ServiceCore {
+    /// An empty core with the given policy.
+    pub fn new(cfg: ServiceConfig) -> ServiceCore {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.workers >= 1, "workers must be at least 1");
+        assert!(
+            cfg.shed_low_us <= cfg.shed_high_us,
+            "shed_low_us must not exceed shed_high_us"
+        );
+        ServiceCore {
+            cfg,
+            queue: BTreeMap::new(),
+            backlog_us: 0,
+            shedding: false,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Estimated µs of admitted-but-unfinished work.
+    pub fn backlog_us(&self) -> u64 {
+        self.backlog_us
+    }
+
+    /// Whether the shedding watermark is currently engaged.
+    pub fn shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// Requests currently queued (not yet flushed).
+    pub fn queued(&self) -> usize {
+        self.queue.values().map(|p| p.reqs.len()).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// What a request would add to the backlog: its evaluation, plus the
+    /// plan build when the plan is cold *and* no queued batch is already
+    /// paying for that build.
+    fn charge_for(&self, req: &Request, plan_warm: bool) -> u64 {
+        let build = if plan_warm || self.queue.contains_key(&req.key) {
+            0
+        } else {
+            req.est_build_us
+        };
+        req.est_cost_us + build
+    }
+
+    /// Offer a request at time `now_us`. `plan_warm` is the caller's
+    /// cache peek ([`crate::cache::PlanCache::contains`]).
+    pub fn offer(&mut self, req: Request, now_us: u64, plan_warm: bool) -> Admission {
+        let charge = self.charge_for(&req, plan_warm);
+
+        // Admission: estimated finish vs deadline. Backlog drains across
+        // the workers; this request's own charge does not parallelize
+        // with itself.
+        let est_finish = now_us + self.backlog_us / self.cfg.workers as u64 + charge;
+        if est_finish > req.deadline_us {
+            self.stats.rejected_deadline += 1;
+            return Admission::Rejected(Rejected {
+                id: req.id,
+                reason: RejectReason::DeadlineInfeasible,
+                at_us: now_us,
+            });
+        }
+
+        self.update_shedding();
+        let mut displaced = Vec::new();
+        if self.shedding {
+            match self.displace_victim(req.priority, now_us) {
+                Some(victim) => displaced.push(victim),
+                None => {
+                    self.stats.rejected_shed += 1;
+                    return Admission::Rejected(Rejected {
+                        id: req.id,
+                        reason: RejectReason::Shedding,
+                        at_us: now_us,
+                    });
+                }
+            }
+        }
+
+        self.backlog_us += charge;
+        self.stats.max_backlog_us = self.stats.max_backlog_us.max(self.backlog_us);
+        self.stats.accepted += 1;
+        let pending = self.queue.entry(req.key).or_insert_with(|| Pending {
+            reqs: Vec::new(),
+            opened_us: now_us,
+        });
+        pending.reqs.push(QueuedReq {
+            req,
+            charged_us: charge,
+        });
+        self.update_shedding();
+        Admission::Accepted { displaced }
+    }
+
+    /// Remove the lowest-priority queued request strictly below
+    /// `than_priority` (newest among equals, so older low-priority work
+    /// keeps its place). Returns its typed rejection.
+    fn displace_victim(&mut self, than_priority: u8, now_us: u64) -> Option<Rejected> {
+        let mut best: Option<(u8, u64, PlanFingerprint, usize)> = None;
+        for (key, pending) in &self.queue {
+            for (i, q) in pending.reqs.iter().enumerate() {
+                if q.req.priority >= than_priority {
+                    continue;
+                }
+                let cand = (q.req.priority, u64::MAX - q.req.id, *key, i);
+                if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    best = Some(cand);
+                }
+            }
+        }
+        let (_, _, key, idx) = best?;
+        let pending = self.queue.get_mut(&key).expect("victim batch resident");
+        let victim = pending.reqs.remove(idx);
+        if pending.reqs.is_empty() {
+            self.queue.remove(&key);
+        }
+        self.backlog_us = self.backlog_us.saturating_sub(victim.charged_us);
+        self.stats.displaced += 1;
+        Some(Rejected {
+            id: victim.req.id,
+            reason: RejectReason::Displaced,
+            at_us: now_us,
+        })
+    }
+
+    /// Flush every pending batch that is full (`max_batch`) or has
+    /// lingered past `max_linger_us`. Batches keep their backlog charge
+    /// until [`Self::on_batch_done`].
+    pub fn poll(&mut self, now_us: u64) -> Vec<Batch> {
+        let due: Vec<PlanFingerprint> = self
+            .queue
+            .iter()
+            .filter(|(_, p)| {
+                p.reqs.len() >= self.cfg.max_batch
+                    || now_us.saturating_sub(p.opened_us) >= self.cfg.max_linger_us
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = Vec::with_capacity(due.len());
+        for key in due {
+            let mut pending = self.queue.remove(&key).expect("due batch resident");
+            // A batch never exceeds max_batch; the overflow (arrivals
+            // between polls) stays queued as a fresh batch.
+            let keep = pending
+                .reqs
+                .split_off(pending.reqs.len().min(self.cfg.max_batch));
+            if !keep.is_empty() {
+                self.queue.insert(
+                    key,
+                    Pending {
+                        reqs: keep,
+                        opened_us: now_us,
+                    },
+                );
+            }
+            let charged_us = pending.reqs.iter().map(|q| q.charged_us).sum();
+            self.stats.batches += 1;
+            self.stats.batched_reqs += pending.reqs.len() as u64;
+            out.push(Batch {
+                key,
+                reqs: pending.reqs.into_iter().map(|q| q.req).collect(),
+                opened_us: pending.opened_us,
+                flushed_us: now_us,
+                charged_us,
+            });
+        }
+        out
+    }
+
+    /// Return a finished batch's charge to the backlog estimate.
+    pub fn on_batch_done(&mut self, charged_us: u64) {
+        self.backlog_us = self.backlog_us.saturating_sub(charged_us);
+        self.update_shedding();
+    }
+
+    /// Hysteresis: engage at high, disengage at low.
+    fn update_shedding(&mut self) {
+        if !self.shedding && self.backlog_us >= self.cfg.shed_high_us {
+            self.shedding = true;
+            self.stats.shed_engagements += 1;
+        } else if self.shedding && self.backlog_us <= self.cfg.shed_low_us {
+            self.shedding = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: u128) -> PlanFingerprint {
+        PlanFingerprint(b)
+    }
+
+    fn req(id: u64, k: u128, cost: u64) -> Request {
+        Request {
+            id,
+            key: key(k),
+            geom: 0,
+            n: 100,
+            arrive_us: 0,
+            deadline_us: u64::MAX,
+            priority: 1,
+            density_seed: id,
+            est_cost_us: cost,
+            est_build_us: 10 * cost,
+        }
+    }
+
+    #[test]
+    fn batches_flush_on_size_and_linger() {
+        let mut s = ServiceCore::new(ServiceConfig {
+            max_batch: 3,
+            max_linger_us: 1_000,
+            ..Default::default()
+        });
+        for i in 0..3 {
+            assert!(matches!(
+                s.offer(req(i, 7, 100), 0, true),
+                Admission::Accepted { .. }
+            ));
+        }
+        // Full batch flushes immediately regardless of linger.
+        let b = s.poll(1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].reqs.len(), 3);
+        assert_eq!(b[0].key, key(7));
+
+        // A lone request waits out the linger window...
+        s.offer(req(3, 9, 100), 10, true);
+        assert!(s.poll(500).is_empty());
+        // ...then flushes.
+        let b = s.poll(10 + 1_000);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].reqs[0].id, 3);
+        assert_eq!(s.queued(), 0);
+    }
+
+    #[test]
+    fn overflow_beyond_max_batch_stays_queued() {
+        let mut s = ServiceCore::new(ServiceConfig {
+            max_batch: 2,
+            max_linger_us: 1_000_000,
+            ..Default::default()
+        });
+        for i in 0..5 {
+            s.offer(req(i, 7, 100), 0, true);
+        }
+        let b = s.poll(0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].reqs.len(), 2);
+        assert_eq!(s.queued(), 3, "overflow requeued");
+        let b2 = s.poll(0);
+        assert_eq!(b2[0].reqs.len(), 2);
+        assert_eq!(b2[0].reqs[0].id, 2, "FIFO across splits");
+    }
+
+    #[test]
+    fn deadline_admission_accounts_backlog_and_cold_build() {
+        let cfg = ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        };
+        let mut s = ServiceCore::new(cfg);
+        // Cold plan: charge = cost + build = 1_100.
+        let mut r = req(0, 1, 100);
+        r.deadline_us = 1_000;
+        match s.offer(r, 0, false) {
+            Admission::Rejected(rej) => {
+                assert_eq!(rej.reason, RejectReason::DeadlineInfeasible)
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Warm plan: charge = 100, fits.
+        let mut r = req(1, 1, 100);
+        r.deadline_us = 1_000;
+        assert!(matches!(s.offer(r, 0, true), Admission::Accepted { .. }));
+        assert_eq!(s.backlog_us(), 100);
+        // Backlog pushes the next one over its deadline.
+        let mut r = req(2, 1, 100);
+        r.deadline_us = 150;
+        assert!(matches!(s.offer(r, 0, true), Admission::Rejected(_)));
+        let st = s.stats();
+        assert_eq!(st.rejected_deadline, 2);
+        assert_eq!(st.accepted, 1);
+    }
+
+    #[test]
+    fn build_charged_once_per_cold_key() {
+        let mut s = ServiceCore::new(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        s.offer(req(0, 1, 100), 0, false);
+        assert_eq!(s.backlog_us(), 1_100, "cold: cost + build");
+        s.offer(req(1, 1, 100), 0, false);
+        assert_eq!(
+            s.backlog_us(),
+            1_200,
+            "second request shares the queued build"
+        );
+    }
+
+    #[test]
+    fn shedding_hysteresis_and_priority_displacement() {
+        let mut s = ServiceCore::new(ServiceConfig {
+            max_batch: 100,
+            max_linger_us: u64::MAX,
+            workers: 1,
+            shed_high_us: 1_000,
+            shed_low_us: 400,
+        });
+        // Fill to the high watermark.
+        for i in 0..10 {
+            assert!(matches!(
+                s.offer(req(i, 1, 100), 0, true),
+                Admission::Accepted { .. }
+            ));
+        }
+        assert!(s.shedding(), "high watermark engages");
+
+        // Same priority: no victim, typed shed rejection.
+        match s.offer(req(10, 1, 100), 0, true) {
+            Admission::Rejected(rej) => assert_eq!(rej.reason, RejectReason::Shedding),
+            other => panic!("expected shed, got {other:?}"),
+        }
+
+        // Higher priority displaces the newest lowest-priority request.
+        let mut vip = req(11, 1, 100);
+        vip.priority = 5;
+        match s.offer(vip, 0, true) {
+            Admission::Accepted { displaced } => {
+                assert_eq!(displaced.len(), 1);
+                assert_eq!(displaced[0].id, 9, "newest among lowest priority");
+                assert_eq!(displaced[0].reason, RejectReason::Displaced);
+            }
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        assert_eq!(s.backlog_us(), 1_000, "displacement refunds the victim");
+
+        // Draining to the low watermark disengages; between the marks it
+        // stays engaged (hysteresis).
+        s.on_batch_done(400);
+        assert!(s.shedding(), "between watermarks: still shedding");
+        s.on_batch_done(300);
+        assert!(!s.shedding(), "below low: disengaged");
+        let st = s.stats();
+        assert_eq!(st.shed_engagements, 1);
+        assert_eq!(st.displaced, 1);
+        assert_eq!(st.rejected_shed, 1);
+    }
+
+    #[test]
+    fn poll_then_done_returns_exact_charge() {
+        let mut s = ServiceCore::new(ServiceConfig {
+            max_batch: 2,
+            workers: 1,
+            ..Default::default()
+        });
+        s.offer(req(0, 1, 100), 0, false); // 1_100 (cold)
+        s.offer(req(1, 1, 100), 0, false); // 100 (build already queued)
+        let b = s.poll(0);
+        assert_eq!(b[0].charged_us, 1_200);
+        assert_eq!(s.backlog_us(), 1_200, "charge held while running");
+        s.on_batch_done(b[0].charged_us);
+        assert_eq!(s.backlog_us(), 0);
+    }
+}

@@ -1,0 +1,360 @@
+//! The closed-loop simulator: a real-time shell around the sans-IO core.
+//!
+//! [`run_sim`] wires the deterministic workload ([`crate::loadgen`]),
+//! the sans-IO state machine ([`crate::service`]), the plan cache
+//! ([`crate::cache`]) and the worker pool ([`crate::pool`]) into one
+//! driver loop, and distills the run into a [`ServeReport`]: latency
+//! histograms, cache and service counters, typed rejections, deadline
+//! violations, and (optionally) every potential vector for bitwise
+//! comparison against another run over the same workload.
+//!
+//! Only the *timing* of a run is wall-clock dependent; the request
+//! stream and every computed bit are functions of the workload seed.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pfmm_core::Fmm;
+use pfmm_trace::metrics::Histogram;
+use pfmm_trace::Tracer;
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::cost::CostModel;
+use crate::loadgen::{Arrival, Workload, WorkloadConfig};
+use crate::pool::{ExecPool, Executor};
+use crate::service::{Admission, RejectReason, ServiceConfig, ServiceCore, ServiceStats};
+
+/// Everything one simulated serving run needs.
+pub struct SimConfig {
+    /// The request stream.
+    pub workload: WorkloadConfig,
+    /// Admission/batching/shedding policy.
+    pub service: ServiceConfig,
+    /// Plan-cache budget; 0 disables caching (the cold baseline).
+    pub cache_budget_bytes: usize,
+    /// Keep per-request potentials for bitwise comparison (costs
+    /// memory; off for throughput runs).
+    pub keep_potentials: bool,
+}
+
+/// The distilled outcome of a run.
+pub struct ServeReport {
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Completions that finished past their deadline.
+    pub deadline_violations: u64,
+    /// Typed rejections by reason label.
+    pub rejections: BTreeMap<&'static str, u64>,
+    /// End-to-end sojourn (arrive → done), µs.
+    pub latency_us: Histogram,
+    /// Arrive → batch flush, µs.
+    pub queue_wait_us: Histogram,
+    /// Evaluation span (exec start → done), µs.
+    pub execute_us: Histogram,
+    /// Completed requests per second of wall clock.
+    pub throughput_rps: f64,
+    /// Run wall clock, µs.
+    pub wall_us: u64,
+    /// Plan-cache counters at the end.
+    pub cache: CacheStats,
+    /// Service counters at the end.
+    pub service: ServiceStats,
+    /// Calibration probe timings (plan µs, apply µs).
+    pub probe_us: (u64, u64),
+    /// Potentials by request id (only when `keep_potentials`).
+    pub potentials: Option<BTreeMap<u64, Vec<f64>>>,
+}
+
+impl ServeReport {
+    /// Total rejections across reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejections.values().sum()
+    }
+
+    /// Whether shedding ever engaged.
+    pub fn shed_engaged(&self) -> bool {
+        self.service.shed_engagements > 0
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "completed {} ({:.1} req/s), rejected {}, violations {}, \
+             p50/p95/p99 {:.0}/{:.0}/{:.0} µs, cache hit-rate {:.2}, shed {}",
+            self.completed,
+            self.throughput_rps,
+            self.rejected(),
+            self.deadline_violations,
+            self.latency_us.p50(),
+            self.latency_us.p95(),
+            self.latency_us.p99(),
+            self.cache.hit_rate(),
+            if self.shed_engaged() {
+                "engaged"
+            } else {
+                "idle"
+            },
+        )
+    }
+}
+
+/// Drive one serving run to completion.
+///
+/// `tracer` doubles as the run's clock epoch; pass a `TraceLevel::Off`
+/// tracer for untraced runs.
+pub fn run_sim(
+    fmm: Arc<Fmm>,
+    kernel_name: &str,
+    cfg: SimConfig,
+    tracer: Arc<Tracer>,
+) -> ServeReport {
+    let workload = Workload::generate(cfg.workload.clone(), &fmm, kernel_name);
+    let total = workload.specs.len();
+
+    // Calibrate on a throwaway probe geometry (never a workload key, so
+    // calibration cannot pre-warm the cache).
+    let probe =
+        pfmm_core::distrib::uniform_cube(cfg.workload.n_points, cfg.workload.seed ^ 0xC0FF_EE00, 0);
+    let (cost, _probe_plan) = CostModel::calibrate(&fmm, &probe);
+
+    let cache = Arc::new(PlanCache::new(cfg.cache_budget_bytes));
+    let exec = Arc::new(Executor {
+        fmm,
+        cache: Arc::clone(&cache),
+        geometries: Arc::new(workload.geometries.clone()),
+        tracer,
+    });
+    let pool = ExecPool::new(cfg.service.workers, Arc::clone(&exec));
+    let mut core = ServiceCore::new(cfg.service);
+
+    let mut next_spec = 0usize; // next request to issue
+    let mut resolved = 0usize; // completed + rejected
+    let mut in_flight_reqs = 0usize; // accepted, not yet completed
+    let mut batches_out = 0usize; // submitted, not yet drained
+
+    let mut completed = 0u64;
+    let mut deadline_violations = 0u64;
+    let mut rejections: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut latency_us = Histogram::new();
+    let mut queue_wait_us = Histogram::new();
+    let mut execute_us = Histogram::new();
+    let mut potentials: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+
+    let reject = |rejections: &mut BTreeMap<&'static str, u64>,
+                  resolved: &mut usize,
+                  reason: RejectReason| {
+        *rejections.entry(reason.label()).or_insert(0) += 1;
+        *resolved += 1;
+    };
+
+    let t_start = exec.now_us();
+    while resolved < total || in_flight_reqs > 0 || batches_out > 0 {
+        let now = exec.now_us();
+
+        // 1. Completions.
+        for done in pool.drain_done() {
+            batches_out -= 1;
+            core.on_batch_done(done.charged_us);
+            for r in &done.reqs {
+                completed += 1;
+                resolved += 1;
+                in_flight_reqs -= 1;
+                if r.done_us > r.deadline_us {
+                    deadline_violations += 1;
+                }
+                latency_us.record((r.done_us - r.arrive_us) as f64);
+                queue_wait_us.record((r.flushed_us - r.arrive_us) as f64);
+                execute_us.record((r.done_us - r.exec_start_us) as f64);
+                if cfg.keep_potentials {
+                    potentials.insert(r.id, r.pot.clone());
+                }
+            }
+        }
+
+        // 2. Arrivals due now.
+        loop {
+            if next_spec >= total {
+                break;
+            }
+            match cfg.workload.arrival {
+                Arrival::Open { .. } => {
+                    let due = t_start + workload.specs[next_spec].offset_us;
+                    if now < due {
+                        break;
+                    }
+                }
+                Arrival::Closed { concurrency } => {
+                    // In-flight counts accepted work; an arrival slot
+                    // frees on completion or rejection.
+                    if next_spec - resolved >= concurrency {
+                        break;
+                    }
+                }
+            }
+            let spec = &workload.specs[next_spec];
+            let n = workload.geometries[spec.geom].len();
+            let req = workload.request(next_spec, now, cost.eval_us(n), cost.build_us(n));
+            next_spec += 1;
+            let warm = cache.contains(&req.key);
+            match core.offer(req, now, warm) {
+                Admission::Accepted { displaced } => {
+                    in_flight_reqs += 1;
+                    for d in displaced {
+                        in_flight_reqs -= 1;
+                        reject(&mut rejections, &mut resolved, d.reason);
+                    }
+                }
+                Admission::Rejected(r) => {
+                    reject(&mut rejections, &mut resolved, r.reason);
+                }
+            }
+        }
+
+        // 3. Flush due batches to the workers.
+        for batch in core.poll(now) {
+            batches_out += 1;
+            pool.submit(batch);
+        }
+
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let wall_us = exec.now_us() - t_start;
+
+    for done in pool.shutdown() {
+        // The loop condition drained everything; defensive only.
+        core.on_batch_done(done.charged_us);
+    }
+
+    ServeReport {
+        completed,
+        deadline_violations,
+        rejections,
+        latency_us,
+        queue_wait_us,
+        execute_us,
+        throughput_rps: completed as f64 / (wall_us as f64 * 1e-6).max(1e-9),
+        wall_us,
+        cache: cache.stats(),
+        service: core.stats().clone(),
+        probe_us: (cost.probe_plan_us, cost.probe_apply_us),
+        potentials: if cfg.keep_potentials {
+            Some(potentials)
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfmm_core::FmmConfig;
+    use pfmm_kernels::Laplace;
+
+    fn fmm() -> Arc<Fmm> {
+        Arc::new(Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 3,
+                q: 40,
+                ..Default::default()
+            },
+        ))
+    }
+
+    fn base_cfg() -> SimConfig {
+        SimConfig {
+            workload: WorkloadConfig {
+                seed: 7,
+                requests: 12,
+                n_points: 150,
+                hot_geometries: 2,
+                cold_fraction: 0.2,
+                arrival: Arrival::Closed { concurrency: 4 },
+                deadline_us: 0,
+                priority_levels: 3,
+            },
+            service: ServiceConfig {
+                max_batch: 4,
+                max_linger_us: 500,
+                workers: 2,
+                shed_high_us: u64::MAX,
+                shed_low_us: u64::MAX,
+            },
+            cache_budget_bytes: 1 << 30,
+            keep_potentials: true,
+        }
+    }
+
+    #[test]
+    fn closed_loop_run_completes_everything_and_hits_cache() {
+        let r = run_sim(fmm(), "laplace", base_cfg(), Arc::new(Tracer::off()));
+        assert_eq!(r.completed, 12);
+        assert_eq!(r.rejected(), 0);
+        assert_eq!(r.deadline_violations, 0);
+        assert_eq!(r.latency_us.count(), 12);
+        assert!(r.cache.hit_rate() > 0.0, "hot geometries re-hit the cache");
+        assert_eq!(r.potentials.as_ref().map(|p| p.len()), Some(12));
+        assert!(r.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn same_workload_same_bits_cold_vs_warm() {
+        let mut cold = base_cfg();
+        cold.cache_budget_bytes = 0;
+        cold.service.max_batch = 1;
+        let a = run_sim(fmm(), "laplace", cold, Arc::new(Tracer::off()));
+        let b = run_sim(fmm(), "laplace", base_cfg(), Arc::new(Tracer::off()));
+        assert_eq!(a.cache.hits, 0, "budget 0 never hits");
+        let (pa, pb) = (a.potentials.unwrap(), b.potentials.unwrap());
+        assert_eq!(pa.len(), pb.len());
+        for (id, va) in &pa {
+            let vb = &pb[id];
+            assert_eq!(va.len(), vb.len());
+            for (x, y) in va.iter().zip(vb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "request {id} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn open_overload_without_deadlines_engages_shedding() {
+        let mut cfg = base_cfg();
+        cfg.workload.requests = 30;
+        cfg.workload.arrival = Arrival::Open {
+            rate_per_s: 50_000.0,
+        };
+        cfg.service.shed_high_us = 10_000;
+        cfg.service.shed_low_us = 2_000;
+        cfg.service.max_linger_us = 200;
+        let r = run_sim(fmm(), "laplace", cfg, Arc::new(Tracer::off()));
+        assert!(r.shed_engaged(), "overload must cross the high watermark");
+        assert!(
+            r.rejections.contains_key("shedding") || r.rejections.contains_key("displaced"),
+            "typed shed rejections: {:?}",
+            r.rejections
+        );
+        assert_eq!(
+            r.completed + r.rejected(),
+            30,
+            "every request resolves exactly once"
+        );
+    }
+
+    #[test]
+    fn tight_deadlines_reject_up_front_not_late() {
+        let mut cfg = base_cfg();
+        cfg.workload.requests = 16;
+        cfg.workload.deadline_us = 1; // instantly infeasible
+        let r = run_sim(fmm(), "laplace", cfg, Arc::new(Tracer::off()));
+        assert_eq!(
+            r.rejections.get("deadline_infeasible"),
+            Some(&16),
+            "{:?}",
+            r.rejections
+        );
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.deadline_violations, 0, "infeasible work never runs");
+    }
+}

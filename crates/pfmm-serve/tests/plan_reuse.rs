@@ -1,0 +1,185 @@
+//! The cache-correctness keystone: re-evaluating a cached [`FmmPlan`]
+//! with fresh densities is *bitwise* identical to planning from scratch
+//! and evaluating once.
+//!
+//! This is the property that makes plan caching a pure optimization.
+//! `Fmm::plan` is deterministic for a fixed geometry (same tree, same
+//! LET, same lists, same operator pseudo-inverses), and `Fmm::apply`
+//! fixes every floating-point accumulation order, so a plan that has
+//! already served other densities must produce the same bits for a new
+//! density set as a freshly planned evaluation of it — under both the
+//! barrier and the dependency-graph executor, for a scalar (Laplace) and
+//! a vector (Stokes) kernel.
+
+use std::sync::{Arc, Mutex};
+
+use pfmm_core::{Fmm, FmmConfig, Schedule};
+use pfmm_kernels::{Kernel, Laplace, Stokes};
+use pfmm_mpisim::run;
+use pfmm_serve::{densities, density_at};
+use proptest::prelude::*;
+
+fn config(schedule: Schedule) -> FmmConfig {
+    FmmConfig {
+        order: 3,
+        q: 30,
+        schedule,
+        ..Default::default()
+    }
+}
+
+/// Plan once, serve `pre_applies` other density sets through the plan
+/// (dirtying every workspace), then evaluate `seed`'s densities — and
+/// compare against a from-scratch plan+apply of the same request.
+fn reused_equals_fresh(
+    kernel: Arc<dyn Kernel>,
+    schedule: Schedule,
+    n: usize,
+    geom_seed: u64,
+    density_seed: u64,
+    pre_applies: usize,
+) {
+    let fmm = Fmm::new(kernel, config(schedule));
+    let sd = fmm.kernel().source_dim();
+    let pts = pfmm_core::distrib::uniform_cube(n, geom_seed, 0);
+
+    // The cached path: one plan, several applies, ours last.
+    let cached_plan = run(1, |c| fmm.plan(c, pts.clone())).pop().unwrap();
+    let cached_plan = Mutex::new(cached_plan);
+    let reused = run(1, |c| {
+        let mut plan = cached_plan.lock().unwrap();
+        for k in 0..pre_applies {
+            let other = densities(&plan, sd, density_seed ^ (0xA5A5_0000 + k as u64));
+            fmm.apply(c, &mut plan, &other);
+        }
+        let den = densities(&plan, sd, density_seed);
+        fmm.apply(c, &mut plan, &den).0
+    })
+    .pop()
+    .unwrap();
+
+    // The fresh path: plan and evaluate this request alone.
+    let fresh_plan = Mutex::new(run(1, |c| fmm.plan(c, pts.clone())).pop().unwrap());
+    let fresh = run(1, |c| {
+        let mut plan = fresh_plan.lock().unwrap();
+        let den = densities(&plan, sd, density_seed);
+        fmm.apply(c, &mut plan, &den).0
+    })
+    .pop()
+    .unwrap();
+
+    assert_eq!(reused.len(), fresh.len());
+    for (i, (a, b)) in reused.iter().zip(&fresh).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "component {i} differs: reused {a:e} vs fresh {b:e} \
+             (schedule {schedule:?}, n {n}, geom {geom_seed}, density {density_seed})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    #[test]
+    fn laplace_cached_plan_is_bitwise_fresh(
+        n in 150usize..400,
+        geom_seed in 0u64..1000,
+        density_seed in 0u64..1000,
+        pre_applies in 0usize..3,
+    ) {
+        for schedule in [Schedule::Barrier, Schedule::Graph] {
+            reused_equals_fresh(
+                Arc::new(Laplace),
+                schedule,
+                n,
+                geom_seed,
+                density_seed,
+                pre_applies,
+            );
+        }
+    }
+
+    #[test]
+    fn stokes_cached_plan_is_bitwise_fresh(
+        n in 120usize..250,
+        geom_seed in 0u64..1000,
+        density_seed in 0u64..1000,
+        pre_applies in 0usize..2,
+    ) {
+        for schedule in [Schedule::Barrier, Schedule::Graph] {
+            reused_equals_fresh(
+                Arc::new(Stokes::default()),
+                schedule,
+                n,
+                geom_seed,
+                density_seed,
+                pre_applies,
+            );
+        }
+    }
+}
+
+/// The same property through the serve stack proper: the `Executor`
+/// serving a request out of a warm, already-used cache entry matches a
+/// standalone plan+apply bit for bit.
+#[test]
+fn warm_cache_service_matches_standalone_evaluation() {
+    use pfmm_core::plan_fingerprint;
+    use pfmm_serve::{Batch, Executor, PlanCache, Request};
+    use pfmm_trace::Tracer;
+
+    let fmm = Arc::new(Fmm::new(Arc::new(Laplace), config(Schedule::Barrier)));
+    let pts = pfmm_core::distrib::uniform_cube(300, 77, 0);
+    let key = plan_fingerprint("laplace", fmm.config(), 1, &pts);
+    let exec = Executor {
+        fmm: Arc::clone(&fmm),
+        cache: Arc::new(PlanCache::new(1 << 30)),
+        geometries: Arc::new(vec![pts.clone()]),
+        tracer: Arc::new(Tracer::off()),
+    };
+    let mk_batch = |ids: &[u64]| Batch {
+        key,
+        reqs: ids
+            .iter()
+            .map(|&id| Request {
+                id,
+                key,
+                geom: 0,
+                n: 300,
+                arrive_us: 0,
+                deadline_us: u64::MAX,
+                priority: 1,
+                density_seed: 5000 + id,
+                est_cost_us: 1,
+                est_build_us: 1,
+            })
+            .collect(),
+        opened_us: 0,
+        flushed_us: 0,
+        charged_us: 0,
+    };
+    // Warm the cache with two unrelated requests, then serve ours.
+    exec.execute_batch(mk_batch(&[0, 1]));
+    let served = exec.execute_batch(mk_batch(&[2]));
+    assert!(exec.cache.stats().hits >= 1, "second batch must hit");
+
+    let plan = Mutex::new(run(1, |c| fmm.plan(c, pts.clone())).pop().unwrap());
+    let standalone = run(1, |c| {
+        let mut plan = plan.lock().unwrap();
+        let den: Vec<f64> = plan
+            .owned_gids()
+            .iter()
+            .map(|&g| density_at(g, 5002, 0))
+            .collect();
+        fmm.apply(c, &mut plan, &den).0
+    })
+    .pop()
+    .unwrap();
+
+    assert_eq!(served.reqs[0].pot.len(), standalone.len());
+    for (a, b) in served.reqs[0].pot.iter().zip(&standalone) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -281,6 +281,180 @@ pub fn critical_path_secs(events: &[Event], rank: u32) -> f64 {
     best
 }
 
+/// Sub-buckets per power of two in a [`Histogram`] (the HDR-style
+/// mantissa subdivision). Relative bucket width is `1/SUB_BUCKETS` ≈ 3%.
+const SUB_BUCKETS: usize = 32;
+/// Smallest binary exponent a [`Histogram`] distinguishes; values below
+/// `2^MIN_EXP` land in the first bucket. With microsecond latencies this
+/// is ~1e-9 µs — far below anything a service records.
+const MIN_EXP: i32 = -30;
+/// Largest binary exponent; values at or above `2^(MAX_EXP+1)` clamp to
+/// the last bucket (~2e12 µs ≈ 25 days).
+const MAX_EXP: i32 = 41;
+
+/// A log-bucketed histogram for latency-like nonnegative samples.
+///
+/// Buckets subdivide each power of two into [`SUB_BUCKETS`] linear
+/// sub-buckets (the HDR-histogram layout), so bucketing is exact integer
+/// arithmetic on the float's bits — no `log2` rounding, identical on
+/// every platform. Quantile estimates are therefore within one bucket
+/// width (≈3% relative) of the exact order statistic, which the property
+/// test in `tests/histogram.rs` checks against a sorted oracle.
+///
+/// Histograms from different workers [`Histogram::merge`] losslessly:
+/// the layout is fixed, so merging is element-wise count addition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        let nbuckets = (MAX_EXP - MIN_EXP + 1) as usize * SUB_BUCKETS;
+        Histogram {
+            counts: vec![0; nbuckets],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index of a value (clamped to the representable range).
+    fn bucket_of(v: f64) -> usize {
+        if v <= 0.0 || !v.is_finite() {
+            return 0;
+        }
+        // Normalized doubles are m·2^e with m ∈ [1, 2); recover e and the
+        // top mantissa bits directly so bucketing is bit-exact.
+        let bits = v.to_bits();
+        let e = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if e < MIN_EXP {
+            return 0;
+        }
+        let last = (MAX_EXP - MIN_EXP + 1) as usize * SUB_BUCKETS - 1;
+        if e > MAX_EXP {
+            return last;
+        }
+        let mantissa = bits & ((1u64 << 52) - 1);
+        let sub = (mantissa >> (52 - SUB_BUCKETS.trailing_zeros())) as usize;
+        ((e - MIN_EXP) as usize * SUB_BUCKETS + sub).min(last)
+    }
+
+    /// Lower edge of bucket `k`.
+    fn bucket_lo(k: usize) -> f64 {
+        let e = MIN_EXP + (k / SUB_BUCKETS) as i32;
+        let sub = (k % SUB_BUCKETS) as f64;
+        (2.0f64).powi(e) * (1.0 + sub / SUB_BUCKETS as f64)
+    }
+
+    /// Upper edge of bucket `k` (the lower edge of `k + 1`).
+    fn bucket_hi(k: usize) -> f64 {
+        Histogram::bucket_lo(k + 1)
+    }
+
+    /// Record one sample (negative/NaN samples count into the first
+    /// bucket rather than being dropped, so totals always balance).
+    pub fn record(&mut self, v: f64) {
+        self.counts[Histogram::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact minimum sample (∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact maximum sample (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Fold another histogram into this one (element-wise; both use the
+    /// same fixed layout).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`), estimated as the upper edge of
+    /// the bucket holding the order statistic — within one bucket width
+    /// of the exact value, and clamped to the exact observed `[min, max]`
+    /// so `quantile(0)`/`quantile(1)` are exact. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // The k-th order statistic (1-based), matching the oracle
+        // `sorted[ceil(q·n) - 1]`.
+        let want = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= want {
+                return Histogram::bucket_hi(k).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Worst-case relative half-width of the bucket containing `v` —
+    /// the tolerance the quantile estimate is good to.
+    pub fn relative_error_at(v: f64) -> f64 {
+        let k = Histogram::bucket_of(v);
+        let (lo, hi) = (Histogram::bucket_lo(k), Histogram::bucket_hi(k));
+        (hi - lo) / lo
+    }
+}
+
 /// Msgs/bytes matrices recovered from per-message `send` instants.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CommMatrixCounts {

@@ -1,0 +1,110 @@
+//! Property tests of the log-bucketed latency histogram against an
+//! exact sorted-quantile oracle.
+
+use proptest::prelude::*;
+
+use pfmm_trace::metrics::Histogram;
+
+/// Exact order-statistic oracle: `sorted[ceil(q·n) - 1]`.
+fn oracle(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[k - 1]
+}
+
+/// One bucket width around `v`, the histogram's promised tolerance.
+fn tol(v: f64) -> f64 {
+    v.abs() * Histogram::relative_error_at(v.max(1e-6)) + 1e-12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every quantile estimate lands within one bucket width of the
+    /// exact order statistic, across scales spanning nine decades.
+    #[test]
+    fn quantiles_within_one_bucket_of_oracle(
+        samples in prop::collection::vec((0.0f64..1.0, 0u8..8), 1..400),
+    ) {
+        let mut h = Histogram::new();
+        let mut vals: Vec<f64> = samples
+            .iter()
+            // Spread mantissas over decades: u ∈ [0,1) scaled by 10^d.
+            .map(|&(u, d)| (0.5 + u) * 10f64.powi(d as i32 - 3))
+            .collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let want = oracle(&vals, q);
+            let got = h.quantile(q);
+            prop_assert!(
+                (got - want).abs() <= tol(want),
+                "q={q}: histogram {got} vs oracle {want} (n={})",
+                vals.len()
+            );
+        }
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        prop_assert_eq!(h.min(), vals[0]);
+        prop_assert_eq!(h.max(), *vals.last().unwrap());
+    }
+
+    /// Merging partial histograms is exactly equivalent to recording
+    /// everything into one — the property worker-sharded latency
+    /// collection relies on.
+    #[test]
+    fn merge_equals_single_recording(
+        a in prop::collection::vec(1e-3f64..1e3, 0..120),
+        b in prop::collection::vec(1e-3f64..1e3, 0..120),
+    ) {
+        let mut whole = Histogram::new();
+        let (mut ha, mut hb) = (Histogram::new(), Histogram::new());
+        for &v in &a {
+            whole.record(v);
+            ha.record(v);
+        }
+        for &v in &b {
+            whole.record(v);
+            hb.record(v);
+        }
+        ha.merge(&hb);
+        // Bucket counts merge exactly, so every quantile is identical;
+        // only the running mean differs by summation order.
+        prop_assert_eq!(ha.count(), whole.count());
+        prop_assert_eq!(ha.min(), whole.min());
+        prop_assert_eq!(ha.max(), whole.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(ha.quantile(q), whole.quantile(q));
+        }
+        prop_assert!((ha.mean() - whole.mean()).abs() <= 1e-9 * whole.mean().abs());
+    }
+}
+
+#[test]
+fn empty_histogram_is_inert() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.quantile(0.5), 0.0);
+    assert_eq!(h.mean(), 0.0);
+}
+
+#[test]
+fn single_value_quantiles_are_exact() {
+    let mut h = Histogram::new();
+    h.record(42.0);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 42.0, "clamped to observed min/max");
+    }
+    assert_eq!(h.mean(), 42.0);
+}
+
+#[test]
+fn extreme_values_clamp_without_panicking() {
+    let mut h = Histogram::new();
+    for v in [0.0, -1.0, f64::NAN, 1e300, f64::INFINITY, 1e-300] {
+        h.record(v);
+    }
+    assert_eq!(h.count(), 6);
+    assert!(h.quantile(0.5).is_finite() || h.max().is_infinite());
+}

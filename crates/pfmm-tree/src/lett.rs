@@ -78,6 +78,19 @@ impl Let {
         let hi = self.region[1..p].partition_point(|&s| s <= b);
         lo..=hi
     }
+
+    /// Heap bytes held by this LET (element counts × element sizes; used
+    /// for the serve-layer plan-cache budget accounting).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.octs.len() * size_of::<MortonKey>()
+            + self.is_leaf.len()
+            + self.owned.len()
+            + self.local.len()
+            + self.pt_off.len() * size_of::<usize>()
+            + self.pts.len() * size_of::<crate::PointRec>()
+            + self.region.len() * size_of::<u128>()
+    }
 }
 
 /// Ghost-octant wire record.

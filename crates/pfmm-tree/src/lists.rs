@@ -54,6 +54,11 @@ impl Csr {
     pub fn total(&self) -> usize {
         self.items.len()
     }
+
+    /// Heap bytes held by the offsets and items.
+    pub fn memory_bytes(&self) -> usize {
+        (self.off.len() + self.items.len()) * std::mem::size_of::<u32>()
+    }
 }
 
 /// The four interaction lists, rows aligned with `Let::octs`.
@@ -76,6 +81,14 @@ impl Lists {
     /// Sum of list lengths for octant `i` (used in work estimates).
     pub fn degree(&self, i: usize) -> usize {
         self.u.row(i).len() + self.v.row(i).len() + self.w.row(i).len() + self.x.row(i).len()
+    }
+
+    /// Heap bytes held by the four CSRs.
+    pub fn memory_bytes(&self) -> usize {
+        self.u.memory_bytes()
+            + self.v.memory_bytes()
+            + self.w.memory_bytes()
+            + self.x.memory_bytes()
     }
 }
 
