@@ -21,7 +21,7 @@ use pfmm_core::driver::gather_potentials;
 use pfmm_core::profile::{Phase, ProfileSummary};
 use pfmm_core::tune::tune_sweep;
 use pfmm_core::verify::sampled_rel_error;
-use pfmm_core::{Fmm, FmmConfig, M2lMode, Reduction, Schedule, SortKind, UlistMode};
+use pfmm_core::{Fmm, FmmConfig, M2lMode, Reduction, Schedule, SortKind, TranslateMode, UlistMode};
 use pfmm_gpusim::{run_gpu_fmm, run_gpu_fmm_wx, DeviceSpec, GpuPhase};
 use pfmm_kernels::{Kernel, Laplace, LaplaceDipole, Stokes, Yukawa};
 use pfmm_trace::{TraceLevel, Tracer};
@@ -55,6 +55,9 @@ run options:
   --ulist <tiled|scalar>       near-field engine (default tiled: padded
                        SoA tiles with branch-free microkernels;
                        scalar = per-point reference path)
+  --translate <gemm|matvec>    up/down translation engine (default gemm:
+                       level-batched multi-RHS GEMM over shared-operator
+                       groups; matvec = per-box reference path)
   --balance <true|false>       work-weighted repartition (default true)
   --check <int>        verify every k-th point against the direct sum
                        (0 = skip; default 0)
@@ -128,6 +131,7 @@ const CONFIG_FLAGS: &[&str] = &[
     "reduction",
     "schedule",
     "ulist",
+    "translate",
     "balance",
     "threads",
 ];
@@ -316,6 +320,11 @@ fn config_of(args: &Args) -> Result<FmmConfig, String> {
             "tiled" => UlistMode::Tiled,
             "scalar" => UlistMode::Scalar,
             other => return Err(format!("unknown ulist mode '{other}'")),
+        },
+        translate: match args.get("translate").unwrap_or("gemm") {
+            "gemm" => TranslateMode::Gemm,
+            "matvec" => TranslateMode::Matvec,
+            other => return Err(format!("unknown translate mode '{other}'")),
         },
         threads: args.get_or("threads", 1)?,
         sort: match args.get("sort").unwrap_or("sample") {
@@ -737,6 +746,27 @@ mod tests {
             UlistMode::Scalar
         );
         assert!(config_of(&args(&["run", "--ulist", "nope"])).is_err());
+    }
+
+    #[test]
+    fn translate_mode_selection() {
+        assert_eq!(
+            config_of(&args(&["run"])).expect("default").translate,
+            TranslateMode::Gemm
+        );
+        assert_eq!(
+            config_of(&args(&["run", "--translate=gemm"]))
+                .expect("gemm")
+                .translate,
+            TranslateMode::Gemm
+        );
+        assert_eq!(
+            config_of(&args(&["run", "--translate", "matvec"]))
+                .expect("matvec")
+                .translate,
+            TranslateMode::Matvec
+        );
+        assert!(config_of(&args(&["run", "--translate", "nope"])).is_err());
     }
 
     #[test]

@@ -93,6 +93,21 @@ pub enum UlistMode {
     Tiled,
 }
 
+/// How the shared-operator up/down translations (uc2e/dc2e solves, U2U,
+/// D2D) are applied.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TranslateMode {
+    /// One `matvec_acc_scaled` per box (the reference path, kept as the
+    /// ablation baseline).
+    Matvec,
+    /// Level-batched multi-RHS GEMM: boxes sharing one operator are
+    /// grouped at plan time (`crate::translate`), their densities packed
+    /// as column panels, and each group applied with one
+    /// `pfmm_linalg::gemm_acc_scaled` call — the production path.
+    /// Bitwise identical to `Matvec` by construction (DESIGN.md §12).
+    Gemm,
+}
+
 /// FMM parameters.
 #[derive(Copy, Clone, Debug)]
 pub struct FmmConfig {
@@ -123,6 +138,8 @@ pub struct FmmConfig {
     pub schedule: Schedule,
     /// Near-field (U-list) evaluation mode.
     pub ulist: UlistMode,
+    /// Up/down translation application mode.
+    pub translate: TranslateMode,
 }
 
 impl Default for FmmConfig {
@@ -139,6 +156,7 @@ impl Default for FmmConfig {
             traversal_threads: 1,
             schedule: Schedule::Barrier,
             ulist: UlistMode::Tiled,
+            translate: TranslateMode::Gemm,
         }
     }
 }
@@ -721,6 +739,92 @@ mod tests {
                 q: 30,
                 threads,
                 ulist: UlistMode::Scalar,
+                ..Default::default()
+            };
+            let barrier = run_fmm(Arc::new(Laplace), base, pts.clone(), p);
+            let graph = run_fmm(
+                Arc::new(Laplace),
+                FmmConfig {
+                    schedule: Schedule::Graph,
+                    ..base
+                },
+                pts.clone(),
+                p,
+            );
+            let b: std::collections::HashMap<u64, Vec<f64>> = barrier.into_iter().collect();
+            for (gid, pot) in graph {
+                for (a, w) in pot.iter().zip(&b[&gid]) {
+                    assert_eq!(a.to_bits(), w.to_bits(), "p={p} gid={gid}");
+                }
+            }
+        }
+    }
+
+    /// The level-batched GEMM translations must match the per-box matvec
+    /// path on adaptive nonuniform trees (with coincident-point
+    /// duplicates) across all four kernels. Only the up/down translation
+    /// engine differs between the runs, and the grouped path preserves
+    /// every per-destination accumulation order, so the agreement is
+    /// bitwise — strictly stronger than the 1e-12 acceptance bound.
+    #[test]
+    fn translate_gemm_matches_matvec_all_kernels() {
+        let kernels: [Arc<dyn Kernel>; 4] = [
+            Arc::new(Laplace),
+            Arc::new(Yukawa { lambda: 2.0 }),
+            Arc::new(Stokes { mu: 0.8 }),
+            Arc::new(LaplaceDipole),
+        ];
+        let mut pts = ellipsoid_1_1_4(600, 47, 0);
+        for i in (7..pts.len()).step_by(7) {
+            pts[i].pos = pts[i - 1].pos;
+        }
+        for k in kernels {
+            let sd = k.source_dim();
+            randomize_densities(&mut pts, sd, 31);
+            let base = FmmConfig {
+                order: 4,
+                q: 24,
+                translate: TranslateMode::Matvec,
+                ..Default::default()
+            };
+            let matvec = run_fmm(Arc::clone(&k), base, pts.clone(), 1);
+            let gemm = run_fmm(
+                Arc::clone(&k),
+                FmmConfig {
+                    translate: TranslateMode::Gemm,
+                    ..base
+                },
+                pts.clone(),
+                1,
+            );
+            let m: std::collections::HashMap<u64, Vec<f64>> = matvec.into_iter().collect();
+            assert_eq!(gemm.len(), m.len());
+            for (gid, pot) in gemm {
+                for (a, w) in pot.iter().zip(&m[&gid]) {
+                    assert_eq!(
+                        a.to_bits(),
+                        w.to_bits(),
+                        "{} gid={gid}: gemm {a} vs matvec {w}",
+                        k.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The bitwise barrier==graph guarantee must hold under the per-box
+    /// matvec translation mode too (the gemm default is covered by
+    /// `graph_schedule_matches_barrier_bitwise`).
+    #[test]
+    fn graph_matches_barrier_bitwise_matvec_translate() {
+        let mut pts = uniform_cube(900, 31, 0);
+        randomize_densities(&mut pts, 1, 17);
+        for (p, threads) in [(1usize, 1usize), (4, 2)] {
+            let base = FmmConfig {
+                order: 4,
+                q: 30,
+                threads,
+                translate: TranslateMode::Matvec,
                 ..Default::default()
             };
             let barrier = run_fmm(Arc::new(Laplace), base, pts.clone(), p);

@@ -37,15 +37,16 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pfmm_fft::Complex;
-use pfmm_kernels::{direct_eval, Kernel, Point3, TileKernel};
+use pfmm_kernels::{direct_eval, Kernel, Point3, TileKernel, Tiles, LANE};
 use pfmm_morton::MortonKey;
 use pfmm_mpisim::{Comm, CommStats};
 use pfmm_sched::{CommPoll, Graph, GraphBuf, Slot, TraceCtx};
 use pfmm_trace::{tid_worker, TraceLevel, Tracer, TID_MAIN};
 use pfmm_tree::{Let, Lists};
 
-use crate::driver::{Fmm, M2lMode, Reduction, Schedule, UlistMode};
+use crate::driver::{Fmm, M2lMode, Reduction, Schedule, TranslateMode, UlistMode};
 use crate::nearfield::NearField;
+use crate::translate::{Scratch, TranslatePlan};
 
 /// V-list source spectra, shared between the FFT pass-1 task and the
 /// per-chunk pass-2 tasks.
@@ -71,6 +72,9 @@ pub struct EvalData {
     pub by_level: Vec<Vec<u32>>,
     /// Deepest level present in the LET.
     pub max_level: u32,
+    /// Plan-time `(level, operator-class)` grouping of the up/down
+    /// translations (geometry-only; replayed as-is by `Fmm::apply`).
+    pub translate: TranslatePlan,
 }
 
 impl EvalData {
@@ -99,11 +103,16 @@ impl EvalData {
                 by_level[l.octs[i].level() as usize].push(i as u32);
             }
         }
+        let occupied: Vec<bool> = (0..noct)
+            .map(|i| l.owned[i] && !leaf_pos[i].is_empty())
+            .collect();
+        let translate = TranslatePlan::build(l, &by_level, &occupied);
         EvalData {
             leaf_pos,
             leaf_den,
             by_level,
             max_level,
+            translate,
         }
     }
 
@@ -127,6 +136,7 @@ impl EvalData {
                 .map(|v| v.len() * size_of::<u32>())
                 .sum::<usize>()
             + self.by_level.len() * size_of::<Vec<u32>>()
+            + self.translate.memory_bytes()
     }
 }
 
@@ -146,6 +156,89 @@ fn offset_of(alpha: &MortonKey, beta: &MortonKey) -> [i8; 3] {
     ]
 }
 
+/// Reusable SoA scratch for routing per-box point↔surface direct evals
+/// (S2U check potentials, D2T, W, X) through the branch-free tile
+/// microkernels instead of the scalar per-target `direct_eval` loop. At
+/// practical leaf occupancies the scalar path is call-overhead bound
+/// (one virtual `eval_target` per surface point over a handful of
+/// sources); packing both sides as planes and making a single
+/// monomorphized `eval_tiles` call per box amortizes that away and lets
+/// the kernel body vectorize.
+///
+/// Both translate modes and both executors share this path, so it leaves
+/// every bitwise-equality invariant intact (`eval_tiles` keeps one
+/// accumulator per target output walking sources in order; padding lanes
+/// contribute exactly `0.0`).
+#[derive(Default)]
+struct TileEval {
+    tx: Vec<f64>,
+    ty: Vec<f64>,
+    tz: Vec<f64>,
+    sx: Vec<f64>,
+    sy: Vec<f64>,
+    sz: Vec<f64>,
+    den: Vec<f64>,
+}
+
+impl TileEval {
+    /// `out += Σ_j K(x_i, y_j) s_j`, via `tk` when the kernel provides
+    /// tile microkernels and the scalar `direct_eval` otherwise.
+    fn eval(
+        &mut self,
+        tk: Option<&dyn TileKernel>,
+        kernel: &dyn Kernel,
+        targets: &[Point3],
+        sources: &[Point3],
+        densities: &[f64],
+        out: &mut [f64],
+    ) {
+        let Some(tk) = tk else {
+            direct_eval(kernel, targets, sources, densities, out);
+            return;
+        };
+        let sd = kernel.source_dim();
+        let nsp = sources.len().div_ceil(LANE) * LANE;
+        self.tx.clear();
+        self.ty.clear();
+        self.tz.clear();
+        for p in targets {
+            self.tx.push(p[0]);
+            self.ty.push(p[1]);
+            self.tz.push(p[2]);
+        }
+        self.sx.clear();
+        self.sy.clear();
+        self.sz.clear();
+        for p in sources {
+            self.sx.push(p[0]);
+            self.sy.push(p[1]);
+            self.sz.push(p[2]);
+        }
+        self.sx.resize(nsp, crate::nearfield::PAD_POS);
+        self.sy.resize(nsp, crate::nearfield::PAD_POS);
+        self.sz.resize(nsp, crate::nearfield::PAD_POS);
+        self.den.clear();
+        self.den.resize(sd * nsp, 0.0);
+        for (j, d) in densities.chunks_exact(sd).enumerate() {
+            for (c, &v) in d.iter().enumerate() {
+                self.den[c * nsp + j] = v;
+            }
+        }
+        tk.eval_tiles(
+            Tiles {
+                tx: &self.tx,
+                ty: &self.ty,
+                tz: &self.tz,
+                sx: &self.sx,
+                sy: &self.sy,
+                sz: &self.sz,
+                den: &self.den,
+            },
+            out,
+        );
+    }
+}
+
 /// Borrowed evaluation context shared by every chunk kernel; both
 /// executors call the same methods so the per-octant arithmetic (and its
 /// floating-point order) is identical by construction.
@@ -162,12 +255,21 @@ struct Ctx<'a> {
     /// U-list path (`--ulist=scalar`, or a kernel without tile support).
     nf: Option<&'a NearField>,
     tk: Option<&'a dyn TileKernel>,
+    /// Tile microkernels for the per-box point↔surface direct evals
+    /// (S2U check, D2T, W, X) — unlike `tk`, not gated on the near-field
+    /// layout; `None` falls back to the scalar `direct_eval`.
+    tkd: Option<&'a dyn TileKernel>,
     ulen: usize,
     clen: usize,
     td: usize,
     flops_pair: u64,
     /// Threads for the level-synchronous U2U/D2D traversals.
     tt: usize,
+    /// Plan-time translation grouping (`--translate=gemm` engine).
+    tp: &'a TranslatePlan,
+    /// Groups below this many right-hand sides use the per-box matvec
+    /// fallback (bitwise identical — the break-even is numerics-free).
+    gemm_min: usize,
 }
 
 impl Ctx<'_> {
@@ -189,11 +291,14 @@ impl Ctx<'_> {
             leaf_den: &data.leaf_den,
             nf,
             tk: nf.and(fmm.kernel().as_tile_kernel()),
+            tkd: fmm.kernel().as_tile_kernel(),
             ulen: fmm.ops().density_len(),
             clen: fmm.ops().check_len(),
             td: fmm.kernel().target_dim(),
             flops_pair: fmm.kernel().flops_per_pair(),
             tt: fmm.config().traversal_threads.max(1),
+            tp: &data.translate,
+            gemm_min: crate::tune::translate_breakeven_boxes(),
         }
     }
 
@@ -203,14 +308,17 @@ impl Ctx<'_> {
         let (l, ops, ulen) = (self.l, self.ops, self.ulen);
         let mut fl = 0u64;
         let mut ucheck = vec![0.0f64; self.clen];
+        let mut uc = Vec::new();
+        let mut te = TileEval::default();
         for i in range {
             if !l.owned[i] || self.leaf_pos[i].is_empty() {
                 continue;
             }
             let key = l.octs[i];
-            let uc = ops.up_check_surface(&key.center(), key.radius());
+            ops.up_check_surface_into(&key.center(), key.radius(), &mut uc);
             ucheck.fill(0.0);
-            direct_eval(
+            te.eval(
+                self.tkd,
                 self.kernel,
                 &uc,
                 &self.leaf_pos[i],
@@ -281,6 +389,116 @@ impl Ctx<'_> {
         fl
     }
 
+    /// (1a, gemm) S2U check potentials only: sources evaluated onto the
+    /// up-check surface for owned leaves in `range`, written into the
+    /// matching slice of the check buffer (zero on entry, like the scalar
+    /// path's per-leaf `ucheck.fill(0.0)`). The per-level uc2e solves run
+    /// afterwards as level-batched GEMMs ([`Ctx::s2u_solve_levels`]).
+    fn s2u_check_range(&self, range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+        let (l, ops, clen) = (self.l, self.ops, self.clen);
+        let mut fl = 0u64;
+        let mut uc = Vec::new();
+        let mut te = TileEval::default();
+        for i in range {
+            if !l.owned[i] || self.leaf_pos[i].is_empty() {
+                continue;
+            }
+            let key = l.octs[i];
+            ops.up_check_surface_into(&key.center(), key.radius(), &mut uc);
+            te.eval(
+                self.tkd,
+                self.kernel,
+                &uc,
+                &self.leaf_pos[i],
+                &self.leaf_den[i],
+                &mut window[i * clen - base..(i + 1) * clen - base],
+            );
+            fl += self.leaf_pos[i].len() as u64 * uc.len() as u64 * self.flops_pair;
+        }
+        fl
+    }
+
+    /// (1b, gemm) Per-level uc2e solves, one batched group per level:
+    /// gather the occupied leaves' check potentials as RHS columns, solve
+    /// them together, scatter into the upward densities. Per box this is
+    /// `u += s * (uc2e · ucheck)` with the scalar path's accumulation
+    /// order, so the result is bitwise identical to `s2u_range`.
+    fn s2u_solve_levels(&self, ucheck: &[f64], u: &mut [f64]) -> u64 {
+        let (ops, ulen, clen) = (self.ops, self.ulen, self.clen);
+        let mut sc = Scratch::new();
+        let mut fl = 0u64;
+        for (lev, g) in self.tp.s2u.iter().enumerate() {
+            if g.is_empty() {
+                continue;
+            }
+            let (m, s) = ops.uc2e(lev as u32);
+            g.pack(clen, ucheck, &mut sc);
+            g.apply(&m, s, clen, ulen, self.gemm_min, &mut sc, u);
+            fl += g.len() as u64 * 2 * (ulen * clen) as u64;
+        }
+        fl
+    }
+
+    /// (2', gemm) One U2U level as up to 8 class-grouped GEMMs. Children
+    /// of one parent arrive in ascending child-index order — the same
+    /// per-parent merge order as the scalar `u2u_level` — so the upward
+    /// densities stay bitwise identical.
+    fn u2u_level_gemm(&self, level: u32, u: &mut [f64], has_up: &mut [bool]) -> u64 {
+        let ulen = self.ulen;
+        let mut sc = Scratch::new();
+        let mut fl = 0u64;
+        for (ci, g) in self.tp.u2u[level as usize].iter().enumerate() {
+            if g.is_empty() {
+                continue;
+            }
+            let (m, s) = self.ops.u2u(level, ci);
+            g.pack(ulen, u, &mut sc);
+            g.apply(&m, s, ulen, ulen, self.gemm_min, &mut sc, u);
+            for &pi in &g.dst {
+                has_up[pi as usize] = true;
+            }
+            fl += g.len() as u64 * 2 * (ulen * ulen) as u64;
+        }
+        fl
+    }
+
+    /// (4', gemm) D2D over the whole LET: per level one batched dc2e
+    /// solve over every local octant, then up to 8 class-grouped L2L
+    /// GEMMs gathering the (already final) parent densities. Per octant
+    /// the accumulation order is `d = s₁·(dc2e·dcheck) + s₂·(d2d·parent)`
+    /// — the scalar `d2d_levels` order — so `d` stays bitwise identical.
+    fn d2d_levels_gemm(&self, max_level: u32, dcheck: &[f64], d: &mut [f64]) -> u64 {
+        let (ops, ulen, clen) = (self.ops, self.ulen, self.clen);
+        let mut sc = Scratch::new();
+        let mut fl = 0u64;
+        for level in 0..=max_level {
+            let lv = level as usize;
+            let g = &self.tp.dc2e[lv];
+            if g.is_empty() {
+                continue;
+            }
+            let (dm, s) = ops.dc2e(level);
+            g.pack(clen, dcheck, &mut sc);
+            g.apply(&dm, s, clen, ulen, self.gemm_min, &mut sc, d);
+            // Charged like the scalar path: solve + translation per box
+            // (whether or not the parent is present), keeping the two
+            // modes' profile totals identical.
+            fl += g.len() as u64 * (2 * (ulen * clen) as u64 + 2 * (ulen * ulen) as u64);
+            if level == 0 {
+                continue;
+            }
+            for (ci, cg) in self.tp.d2d[lv].iter().enumerate() {
+                if cg.is_empty() {
+                    continue;
+                }
+                let (m, s) = ops.d2d(level, ci);
+                cg.pack(ulen, d, &mut sc);
+                cg.apply(&m, s, ulen, ulen, self.gemm_min, &mut sc, d);
+            }
+        }
+        fl
+    }
+
     /// Direct near-field interactions (U-list) for target leaves in
     /// `range`; `window` is the matching point-potential slice. With a
     /// tiled layout present this dispatches to the SoA microkernels —
@@ -320,18 +538,22 @@ impl Ctx<'_> {
     fn xli_range(&self, range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
         let (l, clen) = (self.l, self.clen);
         let mut fl = 0u64;
+        let mut dc = Vec::new();
+        let mut te = TileEval::default();
         for bi in range {
             if !l.local[bi] || self.lists.x.row(bi).is_empty() {
                 continue;
             }
             let key = l.octs[bi];
-            let dc = self.ops.down_check_surface(&key.center(), key.radius());
+            self.ops
+                .down_check_surface_into(&key.center(), key.radius(), &mut dc);
             for &ai in self.lists.x.row(bi) {
                 let ai = ai as usize;
                 if self.leaf_pos[ai].is_empty() {
                     continue;
                 }
-                direct_eval(
+                te.eval(
+                    self.tkd,
                     self.kernel,
                     &dc,
                     &self.leaf_pos[ai],
@@ -611,14 +833,17 @@ impl Ctx<'_> {
     fn d2t_range(&self, d: &[f64], range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
         let (l, ops, ulen, td) = (self.l, self.ops, self.ulen, self.td);
         let mut fl = 0u64;
+        let mut de = Vec::new();
+        let mut te = TileEval::default();
         for i in range {
             if !l.owned[i] || self.leaf_pos[i].is_empty() {
                 continue;
             }
             let key = l.octs[i];
-            let de = ops.down_equiv_surface(&key.center(), key.radius());
+            ops.down_equiv_surface_into(&key.center(), key.radius(), &mut de);
             let (off, n) = (l.pt_off[i], self.leaf_pos[i].len());
-            direct_eval(
+            te.eval(
+                self.tkd,
                 self.kernel,
                 &self.leaf_pos[i],
                 &de,
@@ -641,6 +866,8 @@ impl Ctx<'_> {
     ) -> u64 {
         let (l, ops, ulen, td) = (self.l, self.ops, self.ulen, self.td);
         let mut fl = 0u64;
+        let mut ue = Vec::new();
+        let mut te = TileEval::default();
         for bi in range {
             if !l.owned[bi] || self.lists.w.row(bi).is_empty() || self.leaf_pos[bi].is_empty() {
                 continue;
@@ -652,8 +879,9 @@ impl Ctx<'_> {
                     continue;
                 }
                 let alpha = l.octs[ai];
-                let ue = ops.up_equiv_surface(&alpha.center(), alpha.radius());
-                direct_eval(
+                ops.up_equiv_surface_into(&alpha.center(), alpha.radius(), &mut ue);
+                te.eval(
+                    self.tkd,
                     self.kernel,
                     &self.leaf_pos[bi],
                     &ue,
@@ -799,24 +1027,52 @@ fn run_phases_barrier(
     let mut has_up = vec![false; noct];
 
     // (1) S2U and (2) U2U — the upward pass. S2U is per-leaf parallel.
+    // In gemm mode the per-leaf pass computes only the check potentials;
+    // the uc2e solves and the U2U translations then run as level-batched
+    // multi-RHS GEMMs over the plan-time groups (bitwise identical to the
+    // scalar path — see `crate::translate`).
     pt.phase(Phase::Upward, || {
-        prof.timed(Phase::Upward, |prof| {
-            let flops = par_windows(
-                threads,
-                noct,
-                &mut u,
-                &|i| i * ulen,
-                |range, window, base| {
-                    pt.chunk(Phase::Upward, || cxr.s2u_range(range, window, base))
-                },
-            );
-            prof.add_flops(Phase::Upward, flops);
-            cx.mark_has_up_range(0..noct, &mut has_up);
-            for level in (1..=max_level).rev() {
-                let fl = pt.chunk(Phase::Upward, || {
-                    cx.u2u_level(by_level, level, &mut u, &mut has_up)
-                });
+        prof.timed(Phase::Upward, |prof| match cfg.translate {
+            TranslateMode::Gemm => {
+                let mut ucheck = vec![0.0f64; noct * clen];
+                let flops = par_windows(
+                    threads,
+                    noct,
+                    &mut ucheck,
+                    &|i| i * clen,
+                    |range, window, base| {
+                        pt.chunk(Phase::Upward, || cxr.s2u_check_range(range, window, base))
+                    },
+                );
+                prof.add_flops(Phase::Upward, flops);
+                cx.mark_has_up_range(0..noct, &mut has_up);
+                let fl = pt.chunk(Phase::Upward, || cx.s2u_solve_levels(&ucheck, &mut u));
                 prof.add_flops(Phase::Upward, fl);
+                for level in (1..=max_level).rev() {
+                    let fl = pt.chunk(Phase::Upward, || {
+                        cx.u2u_level_gemm(level, &mut u, &mut has_up)
+                    });
+                    prof.add_flops(Phase::Upward, fl);
+                }
+            }
+            TranslateMode::Matvec => {
+                let flops = par_windows(
+                    threads,
+                    noct,
+                    &mut u,
+                    &|i| i * ulen,
+                    |range, window, base| {
+                        pt.chunk(Phase::Upward, || cxr.s2u_range(range, window, base))
+                    },
+                );
+                prof.add_flops(Phase::Upward, flops);
+                cx.mark_has_up_range(0..noct, &mut has_up);
+                for level in (1..=max_level).rev() {
+                    let fl = pt.chunk(Phase::Upward, || {
+                        cx.u2u_level(by_level, level, &mut u, &mut has_up)
+                    });
+                    prof.add_flops(Phase::Upward, fl);
+                }
             }
         })
     });
@@ -971,8 +1227,9 @@ fn run_phases_barrier(
     let mut d = vec![0.0f64; noct * ulen];
     pt.phase(Phase::Downward, || {
         prof.timed(Phase::Downward, |prof| {
-            let fl = pt.chunk(Phase::Downward, || {
-                cx.d2d_levels(by_level, max_level, dcheck, &mut d)
+            let fl = pt.chunk(Phase::Downward, || match cfg.translate {
+                TranslateMode::Gemm => cx.d2d_levels_gemm(max_level, dcheck, &mut d),
+                TranslateMode::Matvec => cx.d2d_levels(by_level, max_level, dcheck, &mut d),
             });
             prof.add_flops(Phase::Downward, fl);
             let d = &d;
@@ -1045,18 +1302,22 @@ fn run_phases_graph(
     let chk_base = |i: usize| i * clen;
     let pt_base = |i: usize| l.pt_off[i.min(noct)] * td;
 
+    let gemm = cfg.translate == TranslateMode::Gemm;
     let u = GraphBuf::new(vec![0.0f64; noct * ulen]);
     let has_up = GraphBuf::new(vec![false; noct]);
     let dcheck = GraphBuf::new(vec![0.0f64; noct * clen]);
     let f = GraphBuf::new(vec![0.0f64; l.pts.len() * td]);
     let dbuf = GraphBuf::new(vec![0.0f64; noct * ulen]);
+    // Gemm-mode staging for the S2U check potentials (the batched uc2e
+    // solve task turns them into upward densities); unused otherwise.
+    let ucheck = GraphBuf::new(vec![0.0f64; if gemm { noct * clen } else { 0 }]);
     let flops: Vec<AtomicU64> = (0..Phase::ALL.len()).map(|_| AtomicU64::new(0)).collect();
     let comm_delta: Slot<CommStats> = Slot::new();
     let spectra: Slot<Spectra> = Slot::new();
     let bspectra: Slot<BatchedSpectra> = Slot::new();
 
     let cxr = &cx;
-    let (ur, hur, dcr, fr, dbr) = (&u, &has_up, &dcheck, &f, &dbuf);
+    let (ur, hur, dcr, fr, dbr, ucr) = (&u, &has_up, &dcheck, &f, &dbuf, &ucheck);
     let flr = &flops;
     let cdr = &comm_delta;
     let sp = &spectra;
@@ -1064,15 +1325,21 @@ fn run_phases_graph(
 
     let mut g = Graph::new();
 
-    // S2U chunks: disjoint slices of `u` and `has_up`.
+    // S2U chunks: disjoint slices of `u` (matvec mode) or of the check
+    // staging buffer (gemm mode), plus this chunk's `has_up` slice.
     let s2u_ids: Vec<_> = (0..nchunks)
         .map(|k| {
             let (lo, hi) = (cuts[k], cuts[k + 1]);
             g.task(Phase::Upward.label(), &[], move || {
                 // Safety: chunk ranges are disjoint; U2U tasks depend on
                 // every S2U chunk before touching `u`/`has_up` globally.
-                let w = unsafe { ur.slice_mut(oct_base(lo), oct_base(hi) - oct_base(lo)) };
-                let fl = cxr.s2u_range(lo..hi, w, oct_base(lo));
+                let fl = if gemm {
+                    let w = unsafe { ucr.slice_mut(chk_base(lo), chk_base(hi) - chk_base(lo)) };
+                    cxr.s2u_check_range(lo..hi, w, chk_base(lo))
+                } else {
+                    let w = unsafe { ur.slice_mut(oct_base(lo), oct_base(hi) - oct_base(lo)) };
+                    cxr.s2u_range(lo..hi, w, oct_base(lo))
+                };
                 let hw = unsafe { hur.slice_mut(lo, hi - lo) };
                 cxr.mark_has_up_range(lo..hi, hw);
                 flr[Phase::Upward as usize].fetch_add(fl, Ordering::Relaxed);
@@ -1080,16 +1347,34 @@ fn run_phases_graph(
         })
         .collect();
 
+    // Gemm mode inserts the level-batched uc2e solve between the check
+    // chunks and the U2U chain: one task, the sole writer of `u`.
+    let mut upward_tail = s2u_ids;
+    if gemm {
+        let t = g.task(Phase::Upward.label(), &upward_tail, move || {
+            // Safety: all S2U check chunks completed (dependencies); the
+            // U2U chain is behind this task.
+            let uc = unsafe { ucr.as_slice() };
+            let uw = unsafe { ur.slice_mut(0, ur.len()) };
+            let fl = cxr.s2u_solve_levels(uc, uw);
+            flr[Phase::Upward as usize].fetch_add(fl, Ordering::Relaxed);
+        });
+        upward_tail = vec![t];
+    }
+
     // U2U levels, chained deepest-first (each level reads children and
     // writes parents anywhere in the LET, so levels serialize).
-    let mut upward_tail = s2u_ids;
     for level in (1..=max_level).rev() {
         let t = g.task(Phase::Upward.label(), &upward_tail, move || {
             // Safety: sole writer of `u`/`has_up` at this point in the
             // chain (all S2U chunks and shallower levels completed).
             let uw = unsafe { ur.slice_mut(0, ur.len()) };
             let hw = unsafe { hur.slice_mut(0, noct) };
-            let fl = cxr.u2u_level(by_level, level, uw, hw);
+            let fl = if gemm {
+                cxr.u2u_level_gemm(level, uw, hw)
+            } else {
+                cxr.u2u_level(by_level, level, uw, hw)
+            };
             flr[Phase::Upward as usize].fetch_add(fl, Ordering::Relaxed);
         });
         upward_tail = vec![t];

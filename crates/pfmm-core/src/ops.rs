@@ -24,7 +24,9 @@ use parking_lot::Mutex;
 use pfmm_kernels::{assemble, Kernel, Point3};
 use pfmm_linalg::{pinv, Matrix};
 
-use crate::surface::{surface_points, surface_size, RAD_INNER, RAD_OUTER};
+use crate::surface::{
+    surface_points, surface_points_into, surface_size, surface_template, RAD_INNER, RAD_OUTER,
+};
 
 /// Half-width of a level-`l` octant of the unit cube.
 #[inline]
@@ -70,6 +72,9 @@ pub struct Ops {
     order: usize,
     rel_tol: f64,
     homogeneity: Option<f64>,
+    /// Unit surface node coordinates, stamped per box by the `_into`
+    /// surface methods (the executor's per-box hot paths).
+    template: Vec<Point3>,
     uc2e: Mutex<HashMap<u32, Arc<Matrix>>>,
     dc2e: Mutex<HashMap<u32, Arc<Matrix>>>,
     u2u: Mutex<HashMap<(u32, usize), Arc<Matrix>>>,
@@ -88,6 +93,7 @@ impl Ops {
             order,
             rel_tol,
             homogeneity,
+            template: surface_template(order),
             uc2e: Mutex::new(HashMap::new()),
             dc2e: Mutex::new(HashMap::new()),
             u2u: Mutex::new(HashMap::new()),
@@ -139,6 +145,27 @@ impl Ops {
     /// Downward equivalent surface.
     pub fn down_equiv_surface(&self, center: &Point3, r: f64) -> Vec<Point3> {
         surface_points(self.order, center, r, RAD_OUTER)
+    }
+
+    /// Allocation-free [`Ops::up_equiv_surface`] into a scratch buffer
+    /// (bitwise-identical points).
+    pub fn up_equiv_surface_into(&self, center: &Point3, r: f64, out: &mut Vec<Point3>) {
+        surface_points_into(&self.template, center, r, RAD_INNER, out);
+    }
+
+    /// Allocation-free [`Ops::up_check_surface`] into a scratch buffer.
+    pub fn up_check_surface_into(&self, center: &Point3, r: f64, out: &mut Vec<Point3>) {
+        surface_points_into(&self.template, center, r, RAD_OUTER, out);
+    }
+
+    /// Allocation-free [`Ops::down_check_surface`] into a scratch buffer.
+    pub fn down_check_surface_into(&self, center: &Point3, r: f64, out: &mut Vec<Point3>) {
+        surface_points_into(&self.template, center, r, RAD_INNER, out);
+    }
+
+    /// Allocation-free [`Ops::down_equiv_surface`] into a scratch buffer.
+    pub fn down_equiv_surface_into(&self, center: &Point3, r: f64, out: &mut Vec<Point3>) {
+        surface_points_into(&self.template, center, r, RAD_OUTER, out);
     }
 
     /// The level at which an operator is actually computed, and the

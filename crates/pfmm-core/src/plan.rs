@@ -85,6 +85,7 @@ pub fn plan_fingerprint(
     h.write_u64(cfg.sort as u64);
     h.write_u64(cfg.schedule as u64);
     h.write_u64(cfg.ulist as u64);
+    h.write_u64(cfg.translate as u64);
     h.write_u64(comm_size as u64);
     h.write_u64(points.len() as u64);
     for p in points {
@@ -470,6 +471,11 @@ mod tests {
             ..cfg
         };
         assert_ne!(a, plan_fingerprint("laplace", &cfg2, 1, &pts), "order");
+        let cfg3 = FmmConfig {
+            translate: crate::driver::TranslateMode::Matvec,
+            ..cfg
+        };
+        assert_ne!(a, plan_fingerprint("laplace", &cfg3, 1, &pts), "translate");
         let mut moved = pts.clone();
         moved[17].pos[1] += 1e-12;
         assert_ne!(a, plan_fingerprint("laplace", &cfg, 1, &moved), "position");
@@ -521,6 +527,47 @@ mod tests {
                 for (a, b) in batched[k].0.iter().zip(&single) {
                     assert_eq!(a.to_bits(), b.to_bits(), "set {k}");
                 }
+            }
+        });
+    }
+
+    /// Plan-reuse purity of the translate grouping: the cached plan's
+    /// (level, operator-class) groups are a pure function of the geometry
+    /// — replaying the plan with fresh densities leaves them untouched,
+    /// matches a fresh plan of the same geometry structurally, and
+    /// reproduces that fresh plan's potentials bitwise.
+    #[test]
+    fn translate_groups_replay_identically_with_fresh_densities() {
+        let mut pts = uniform_cube(900, 431, 0);
+        randomize_densities(&mut pts, 1, 7);
+        let mut pts2 = pts.clone();
+        randomize_densities(&mut pts2, 1, 55);
+        let f = fmm();
+        assert_eq!(f.config().translate, crate::driver::TranslateMode::Gemm);
+        run(1, |c| {
+            let mut plan = f.plan(c, pts.clone());
+            let groups = plan.data.translate.clone();
+            assert!(groups.s2u.iter().any(|g| !g.is_empty()));
+            assert!(groups.u2u.iter().flatten().any(|g| !g.is_empty()));
+            let den: Vec<f64> = plan
+                .owned_gids()
+                .iter()
+                .map(|g| pts[*g as usize].den[0])
+                .collect();
+            let den2: Vec<f64> = plan
+                .owned_gids()
+                .iter()
+                .map(|g| pts2[*g as usize].den[0])
+                .collect();
+            let (_, _) = f.apply(c, &mut plan, &den);
+            let (pot2, _) = f.apply(c, &mut plan, &den2);
+            assert_eq!(plan.data.translate, groups, "groups untouched by applies");
+
+            let mut fresh = f.plan(c, pts2.clone());
+            assert_eq!(fresh.data.translate, groups, "pure function of geometry");
+            let (want, _) = f.apply(c, &mut fresh, &den2);
+            for (a, b) in pot2.iter().zip(&want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cached plan replays bitwise");
             }
         });
     }

@@ -89,6 +89,33 @@ pub mod flop_model {
     pub fn ulist_edge(nt: usize, ns: usize, flops_pair: u64) -> u64 {
         (nt * ns) as u64 * flops_pair
     }
+
+    /// One level-batched translation group: `m` right-hand sides through
+    /// a `rows×cols` operator. Identical to `m` per-box matvecs — the
+    /// GEMM reorganizes data movement, not arithmetic — so the gemm and
+    /// matvec translate modes charge the same flops and their reported
+    /// rates are directly comparable.
+    #[inline]
+    pub fn translate_group(rows: usize, cols: usize, m: usize) -> u64 {
+        2 * (rows * cols) as u64 * m as u64
+    }
+
+    /// Bytes moved by one grouped translation: the operator panel is
+    /// streamed once per [`pfmm_linalg::GEMM_NR`] right-hand sides, plus
+    /// the gather/compute/scatter traffic of the input and output panels
+    /// (each touched twice: pack + read, write + scatter).
+    #[inline]
+    pub fn translate_group_bytes(rows: usize, cols: usize, m: usize) -> u64 {
+        let panels = m.div_ceil(pfmm_linalg::GEMM_NR);
+        8 * (rows * cols * panels + 2 * m * (rows + cols)) as u64
+    }
+
+    /// Bytes moved by `m` per-box matvecs of the same operator: the
+    /// operator is re-streamed from memory once per box.
+    #[inline]
+    pub fn translate_matvec_bytes(rows: usize, cols: usize, m: usize) -> u64 {
+        8 * (m * (rows * cols + rows + cols)) as u64
+    }
 }
 
 /// Accumulated seconds and flops per phase for one rank's evaluation.
@@ -279,6 +306,28 @@ impl ProfileSummary {
                 avg_cell
             ));
         }
+        // Achieved up/down translation rate (the phases the level-batched
+        // GEMM engine targets): both translate modes charge identical
+        // flops via `flop_model::translate_group`, so the rate compares
+        // directly across `--translate={gemm,matvec}`.
+        let (_, us, ua) = self.secs[Phase::Upward as usize];
+        let (_, ds, da) = self.secs[Phase::Downward as usize];
+        let (_, uf, ufa) = self.flops[Phase::Upward as usize];
+        let (_, df, dfa) = self.flops[Phase::Downward as usize];
+        let (smax, savg, fmax, favg) = (us + ds, ua + da, uf + df, ufa + dfa);
+        if smax > 0.0 && fmax > 0 {
+            let avg_cell = if savg > 0.0 {
+                format!("{:.2}", favg as f64 / savg / 1e9)
+            } else {
+                "-".to_string()
+            };
+            s.push_str(&format!(
+                "{:<12} {:>10.2} {:>10}\n",
+                "Up/Down GF/s",
+                fmax as f64 / smax / 1e9,
+                avg_cell
+            ));
+        }
         s
     }
 }
@@ -377,5 +426,48 @@ mod tests {
     fn ulist_edge_model_counts_real_pairs() {
         assert_eq!(flop_model::ulist_edge(10, 7, 20), 1400);
         assert_eq!(flop_model::ulist_edge(0, 7, 20), 0);
+    }
+
+    /// Combined Upward+Downward rate row: 4 GFLOP in 1 s → 4.00 GF/s.
+    #[test]
+    fn summary_reports_updown_rate() {
+        let mut p = Profile::default();
+        p.add_flops(Phase::Upward, 1_000_000_000);
+        p.add_secs(Phase::Upward, 0.5);
+        p.add_flops(Phase::Downward, 3_000_000_000);
+        p.add_secs(Phase::Downward, 0.5);
+        let s = ProfileSummary::from_ranks(&[p]);
+        let rendered = s.render();
+        let line = rendered
+            .lines()
+            .find(|l| l.starts_with("Up/Down GF/s"))
+            .expect("up/down rate row present");
+        assert!(line.contains("4.00"), "{line:?}");
+        // No translation seconds recorded → no rate row.
+        let empty = ProfileSummary::from_ranks(&[Profile::default()]).render();
+        assert!(!empty.contains("Up/Down GF/s"));
+    }
+
+    /// The grouped-translation byte model must show the BLAS-3 win: for a
+    /// full group the operator is streamed once per GEMM_NR columns, so
+    /// traffic drops well below the per-box matvec path; flops stay equal.
+    #[test]
+    fn translate_group_model_amortizes_operator_traffic() {
+        let (rows, cols, m) = (152, 152, 512);
+        assert_eq!(
+            flop_model::translate_group(rows, cols, m),
+            m as u64 * flop_model::translate_group(rows, cols, 1)
+        );
+        let grouped = flop_model::translate_group_bytes(rows, cols, m);
+        let matvec = flop_model::translate_matvec_bytes(rows, cols, m);
+        assert!(
+            (grouped as f64) < 0.3 * matvec as f64,
+            "grouped {grouped} vs matvec {matvec}"
+        );
+        // A single-column "group" has no amortization to offer.
+        assert!(
+            flop_model::translate_group_bytes(rows, cols, 1)
+                >= flop_model::translate_matvec_bytes(rows, cols, 1)
+        );
     }
 }

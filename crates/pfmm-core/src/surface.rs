@@ -59,6 +59,37 @@ pub fn surface_points(p: usize, c: &Point3, r: f64, scale: f64) -> Vec<Point3> {
         .collect()
 }
 
+/// The unit surface template of order `p`: the `f(i)` node coordinates of
+/// [`surface_points`] for a box centered at the origin with `h = 1`.
+/// Compute it once and stamp per-box surfaces with
+/// [`surface_points_into`] — the hot executor loops generate a surface
+/// per box, and rebuilding the lattice walk (plus two allocations) each
+/// time costs more than the kernel evaluations it feeds at small leaf
+/// occupancies.
+pub fn surface_template(p: usize) -> Vec<Point3> {
+    surface_points(p, &[0.0; 3], 1.0, 1.0)
+}
+
+/// Stamp `template` (from [`surface_template`]) for an octant with center
+/// `c`, half-width `r`, and surface `scale` into `out` (cleared first).
+/// Each coordinate is `c + (scale * r) * f` — the exact expression
+/// [`surface_points`] evaluates, so the points are bitwise identical.
+pub fn surface_points_into(
+    template: &[Point3],
+    c: &Point3,
+    r: f64,
+    scale: f64,
+    out: &mut Vec<Point3>,
+) {
+    let h = scale * r;
+    out.clear();
+    out.extend(
+        template
+            .iter()
+            .map(|t| [c[0] + h * t[0], c[1] + h * t[1], c[2] + h * t[2]]),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +126,22 @@ mod tests {
             .expect("three components");
         for d in 0..3 {
             assert!((mean[d] - c[d]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn template_stamp_is_bitwise_identical() {
+        let tmpl = surface_template(5);
+        let c = [0.371, -0.82, 0.059];
+        let (r, scale) = (0.0625, 2.95);
+        let want = surface_points(5, &c, r, scale);
+        let mut got = vec![[9.0; 3]; 2]; // nonempty: must be cleared
+        surface_points_into(&tmpl, &c, r, scale, &mut got);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            for d in 0..3 {
+                assert_eq!(g[d].to_bits(), w[d].to_bits());
+            }
         }
     }
 

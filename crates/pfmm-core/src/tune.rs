@@ -319,6 +319,123 @@ pub fn ulist_breakeven_points_per_leaf() -> usize {
         .expect("padding ratio reaches 1")
 }
 
+/// Modeled per-element speedup of the register-tiled GEMM microkernel
+/// over the per-box matvec on a full panel — a conservative floor (the
+/// `ablation_translate` harness measures higher on wide-SIMD hosts, where
+/// the matvec baseline stays scalar).
+pub const TRANSLATE_GEMM_SPEEDUP: f64 = 2.0;
+
+/// Per-level translation statistics of a built LET: how many boxes share
+/// each up/down operator — the group sizes the GEMM engine would batch.
+#[derive(Clone, Debug)]
+pub struct TranslateLevelStats {
+    pub level: u32,
+    /// Owned point-carrying leaves (the uc2e solve group).
+    pub s2u_boxes: u64,
+    /// Local octants (the dc2e solve group).
+    pub dc2e_boxes: u64,
+    /// U2U boxes per child-index class.
+    pub u2u_boxes: [u64; 8],
+    /// D2D boxes per child-index class.
+    pub d2d_boxes: [u64; 8],
+}
+
+/// The modeled verdict of [`translate_crossover`] for one level.
+#[derive(Copy, Clone, Debug)]
+pub struct TranslateChoice {
+    pub level: u32,
+    /// Modeled bytes moved by the grouped (GEMM) path at this level.
+    pub gemm_bytes: u64,
+    /// Modeled bytes moved by the per-box matvec path at this level.
+    pub matvec_bytes: u64,
+    /// True when the grouped path is modeled cheaper at this level.
+    pub use_gemm: bool,
+}
+
+/// Gather per-level translation group sizes by building the tree and the
+/// plan-time grouping (one rank, no evaluation) — the same LET-statistics
+/// approach as [`m2l_level_stats`] and [`ulist_stats`].
+pub fn translate_stats(fmm: &Fmm, points: &[PointRec]) -> Vec<TranslateLevelStats> {
+    let pts = points.to_vec();
+    let sd = fmm.kernel().source_dim();
+    run(1, |c| {
+        let (sorted, region) = crate::driver::sort_points(fmm, c, pts.clone());
+        let tree = octree_from_sorted(c, sorted, region, fmm.config().q);
+        let l = build_let(c, &tree);
+        let data = EvalData::new(&l, sd);
+        let tp = &data.translate;
+        (0..data.by_level.len())
+            .map(|lev| {
+                let per_class = |cls: &[crate::translate::TranslateGroup; 8]| {
+                    std::array::from_fn(|ci| cls[ci].len() as u64)
+                };
+                TranslateLevelStats {
+                    level: lev as u32,
+                    s2u_boxes: tp.s2u[lev].len() as u64,
+                    dc2e_boxes: tp.dc2e[lev].len() as u64,
+                    u2u_boxes: per_class(&tp.u2u[lev]),
+                    d2d_boxes: per_class(&tp.d2d[lev]),
+                }
+            })
+            .collect()
+    })
+    .pop()
+    .expect("one rank")
+}
+
+/// Model the per-level gemm-vs-matvec crossover from the data-movement
+/// costs (the flops are identical by construction, so bytes decide):
+/// grouping pays once a level's classes carry enough boxes that the
+/// operator amortization outweighs the pack/scatter panel traffic — on
+/// any realistically refined tree that is every level below the root,
+/// which is why `--translate=gemm` is the default. Sub-break-even groups
+/// ([`translate_breakeven_boxes`]) fall back to the per-box matvec inside
+/// the engine without changing a single bit of output.
+pub fn translate_crossover(fmm: &Fmm, stats: &[TranslateLevelStats]) -> Vec<TranslateChoice> {
+    let (ulen, clen) = (fmm.ops().density_len(), fmm.ops().check_len());
+    stats
+        .iter()
+        .map(|s| {
+            let mut gemm_bytes = 0u64;
+            let mut matvec_bytes = 0u64;
+            let mut add = |rows: usize, cols: usize, m: u64| {
+                if m > 0 {
+                    gemm_bytes += flop_model::translate_group_bytes(rows, cols, m as usize);
+                    matvec_bytes += flop_model::translate_matvec_bytes(rows, cols, m as usize);
+                }
+            };
+            add(ulen, clen, s.s2u_boxes);
+            add(ulen, clen, s.dc2e_boxes);
+            for &m in s.u2u_boxes.iter().chain(&s.d2d_boxes) {
+                add(ulen, ulen, m);
+            }
+            TranslateChoice {
+                level: s.level,
+                gemm_bytes,
+                matvec_bytes,
+                use_gemm: gemm_bytes < matvec_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Smallest boxes-per-class group at which the GEMM is modeled faster:
+/// a group of `m` right-hand sides is zero-padded to a multiple of
+/// [`pfmm_linalg::GEMM_NR`] columns, so the microkernel speedup must
+/// outweigh the padding inflation `pad(m)/m` — the same break-even shape
+/// as [`ulist_breakeven_points_per_leaf`]. With `GEMM_NR = 8` and a 2×
+/// speedup this is 4; the engine's per-group dispatch uses this floor,
+/// and because the sub-threshold fallback is bitwise identical to the
+/// GEMM, the choice is numerics-free.
+pub fn translate_breakeven_boxes() -> usize {
+    (1..)
+        .find(|&m: &usize| {
+            (m.div_ceil(pfmm_linalg::GEMM_NR) * pfmm_linalg::GEMM_NR) as f64 / (m as f64)
+                <= TRANSLATE_GEMM_SPEEDUP
+        })
+        .expect("padding ratio reaches 1")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,5 +613,50 @@ mod tests {
     fn ulist_breakeven_is_five_points_per_leaf() {
         // pad(q)/q: 8/1=8, 8/4=2 (tie, scalar), 8/5=1.6 < 2 → 5.
         assert_eq!(ulist_breakeven_points_per_leaf(), 5);
+    }
+
+    #[test]
+    fn translate_breakeven_is_two_boxes() {
+        // pad(m)/m with GEMM_NR = 4: 4/1=4, 4/2=2 (tie → GEMM, the
+        // fallback is bitwise identical so the tie costs nothing).
+        assert_eq!(translate_breakeven_boxes(), 2);
+    }
+
+    #[test]
+    fn translate_stats_count_a_uniform_cube() {
+        let mut pts = uniform_cube(4000, 47, 0);
+        randomize_densities(&mut pts, 1, 5);
+        let fmm = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 4,
+                q: 40,
+                ..Default::default()
+            },
+        );
+        let stats = translate_stats(&fmm, &pts);
+        assert!(!stats.is_empty());
+        // Every point-carrying leaf solves once; every local octant gets
+        // a dc2e solve; U2U feeds each non-root occupied box upward.
+        let s2u_total: u64 = stats.iter().map(|s| s.s2u_boxes).sum();
+        let dc2e_total: u64 = stats.iter().map(|s| s.dc2e_boxes).sum();
+        let u2u_total: u64 = stats.iter().map(|s| s.u2u_boxes.iter().sum::<u64>()).sum();
+        let d2d_total: u64 = stats.iter().map(|s| s.d2d_boxes.iter().sum::<u64>()).sum();
+        assert!(s2u_total > 0 && dc2e_total >= s2u_total, "{stats:?}");
+        assert!(u2u_total > 0 && d2d_total > 0, "{stats:?}");
+        // Single rank: every non-root octant's parent is present, so the
+        // D2D classes cover every local octant below the root.
+        assert_eq!(d2d_total, dc2e_total - 1);
+        // The root level has nothing to batch; populated levels do.
+        let choices = translate_crossover(&fmm, &stats);
+        assert_eq!(choices.len(), stats.len());
+        assert!(!choices[0].use_gemm, "{:?}", choices[0]);
+        for (s, c) in stats.iter().zip(&choices) {
+            if s.dc2e_boxes >= 8 {
+                assert!(c.use_gemm, "{c:?} from {s:?}");
+                assert!(c.gemm_bytes < c.matvec_bytes);
+            }
+        }
+        assert!(choices.iter().any(|c| c.use_gemm));
     }
 }

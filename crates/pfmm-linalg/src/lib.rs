@@ -7,8 +7,10 @@
 //! row-major matrices, matvec/matmul, a one-sided Jacobi SVD, and
 //! truncated-SVD pseudo-inversion.
 
+pub mod gemm;
 pub mod matrix;
 pub mod svd;
 
+pub use gemm::{gemm_acc, gemm_acc_scaled, GEMM_MR, GEMM_NR};
 pub use matrix::Matrix;
 pub use svd::{pinv, Svd};

@@ -108,26 +108,49 @@ impl Matrix {
 
     /// `y += self * x`.
     ///
+    /// Bitwise identical to `matvec_acc_scaled(x, y, 1.0)`: multiplying a
+    /// completed dot product by exactly 1.0 never changes its bits.
+    ///
     /// # Panics
     /// Panics on shape mismatch.
     pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.cols, "matvec: x length");
-        assert_eq!(y.len(), self.rows, "matvec: y length");
-        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x) {
-                acc += a * b;
-            }
-            *yi += acc;
-        }
+        self.matvec_acc_scaled(x, y, 1.0);
     }
 
     /// `y += s * (self * x)` — the scaled accumulate used by the FMM's
     /// homogeneous-kernel operator rescaling.
+    ///
+    /// Rows are processed four at a time with one independent accumulator
+    /// chain each, filling the FP add/mul pipelines; every row still sums
+    /// `k` in ascending order with a single accumulator, so the result is
+    /// bitwise identical to the plain row-at-a-time loop (property-tested
+    /// in `tests/properties.rs`).
     pub fn matvec_acc_scaled(&self, x: &[f64], y: &mut [f64], s: f64) {
         assert_eq!(x.len(), self.cols, "matvec: x length");
         assert_eq!(y.len(), self.rows, "matvec: y length");
-        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+        if self.cols == 0 {
+            return;
+        }
+        let nq = self.rows / 4 * 4;
+        let (yq, yr) = y.split_at_mut(nq);
+        let (dq, dr) = self.data.split_at(nq * self.cols);
+        for (yy, quad) in yq.chunks_exact_mut(4).zip(dq.chunks_exact(4 * self.cols)) {
+            let (r0, rest) = quad.split_at(self.cols);
+            let (r1, rest) = rest.split_at(self.cols);
+            let (r2, r3) = rest.split_at(self.cols);
+            let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for (((&v0, &v1), (&v2, &v3)), &xv) in r0.iter().zip(r1).zip(r2.iter().zip(r3)).zip(x) {
+                a0 += v0 * xv;
+                a1 += v1 * xv;
+                a2 += v2 * xv;
+                a3 += v3 * xv;
+            }
+            yy[0] += s * a0;
+            yy[1] += s * a1;
+            yy[2] += s * a2;
+            yy[3] += s * a3;
+        }
+        for (yi, row) in yr.iter_mut().zip(dr.chunks_exact(self.cols)) {
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;

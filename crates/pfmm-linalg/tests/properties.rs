@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use pfmm_linalg::{pinv, Matrix, Svd};
+use pfmm_linalg::{gemm_acc_scaled, pinv, Matrix, Svd};
 
 fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
@@ -81,6 +81,44 @@ proptest! {
         let my = m.matvec(&y);
         for ((l, a), b) in lhs.iter().zip(&mx).zip(&my) {
             prop_assert!((l - (s * a + b)).abs() < 1e-9 * l.abs().max(1.0));
+        }
+    }
+
+    /// The 4-row register-blocked matvec_acc_scaled is bitwise identical
+    /// to the plain row-at-a-time loop: each row keeps one accumulator
+    /// summing k in ascending order, blocking only interleaves rows.
+    #[test]
+    fn blocked_matvec_bitwise_matches_plain_loop(m in arb_matrix(13), s in -3.0f64..3.0) {
+        let x: Vec<f64> = (0..m.cols()).map(|i| (i as f64 * 0.61).sin() * 2.0).collect();
+        let mut got: Vec<f64> = (0..m.rows()).map(|i| (i as f64 * 1.17).cos()).collect();
+        let mut want = got.clone();
+        // Reference: the pre-blocking implementation, verbatim.
+        for (yi, row) in want.iter_mut().zip(m.as_slice().chunks_exact(m.cols())) {
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(&x) { acc += a * b; }
+            *yi += s * acc;
+        }
+        m.matvec_acc_scaled(&x, &mut got, s);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    /// The multi-RHS GEMM is bitwise identical to one matvec per column
+    /// for arbitrary shapes and RHS counts (including non-multiples of
+    /// the MR/NR register block).
+    #[test]
+    fn gemm_bitwise_matches_matvec_columns(m in arb_matrix(12), nrhs in 1usize..20, s in -2.0f64..2.0) {
+        let (rows, cols) = (m.rows(), m.cols());
+        let x: Vec<f64> = (0..cols * nrhs).map(|i| (i as f64 * 0.37).sin() * 1.5).collect();
+        let mut got: Vec<f64> = (0..rows * nrhs).map(|i| (i as f64 * 0.83).cos()).collect();
+        let mut want = got.clone();
+        for j in 0..nrhs {
+            m.matvec_acc_scaled(&x[j * cols..(j + 1) * cols], &mut want[j * rows..(j + 1) * rows], s);
+        }
+        gemm_acc_scaled(&m, &x, &mut got, nrhs, s);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
         }
     }
 
