@@ -1,0 +1,238 @@
+//! Ablation — serial comparison-sort setup vs the parallel setup engine.
+//!
+//! DESIGN.md §13 describes the setup engine: the local Morton sort is an
+//! LSD radix sort on the precomputed `(rank, gid)` composite key (the
+//! serial baseline re-derives the 90-bit rank inside every comparison),
+//! and the octree refinement, LET construction, interaction lists, and
+//! plan precompute (workspace extraction, translate grouping, operator
+//! warm-up) run as order-preserving parallel maps. Both engines build
+//! byte-identical plans and bitwise-identical potentials
+//! (`parallel_setup_matches_serial_bitwise`), making this a pure
+//! performance ablation.
+//!
+//! The serial baseline is measured once per (distribution, N); the
+//! parallel engine per thread count. On a single hardware core the gain
+//! is the algorithmic one (radix passes vs comparisons, shared across
+//! thread counts); with real cores the thread rows separate further.
+//!
+//! Also reports the cold-plan latency delta: the wall time of one
+//! `Fmm::plan` build — exactly what the pfmm-serve layer pays on a
+//! plan-cache miss — under each engine.
+//!
+//! Usage: `ablation_setup [n_large]` (default 1 000 000; the small case
+//! is always 100 000, capped at `n_large`). Results are also written as
+//! JSON to `results/BENCH_setup.json` for the CI smoke job.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pfmm_bench::{run_case, Distribution, Table};
+use pfmm_core::{Fmm, FmmConfig, SetupMode};
+use pfmm_kernels::Laplace;
+use pfmm_mpisim::run;
+
+/// Default runs per configuration (override with `PFMM_BENCH_REPS`);
+/// the minimum is reported to suppress shared-host scheduling noise.
+const DEFAULT_REPS: usize = 3;
+
+/// Moderate order: the operator warm-up is part of the plan stage but
+/// must not drown the sort/tree/list timings the ablation is about.
+const ORDER: usize = 4;
+
+/// Points per leaf (the repo-wide default).
+const LEAF_Q: usize = 100;
+
+const THREADS: [usize; 3] = [1, 4, 8];
+
+#[derive(Clone, Copy)]
+struct Split {
+    setup: f64,
+    sort: f64,
+    tree: f64,
+    lists: f64,
+    plan: f64,
+}
+
+/// Setup-phase split of the best (minimum total-setup) rep.
+fn measure(dist: Distribution, n: usize, threads: usize, setup: SetupMode) -> Split {
+    let mut best = Split {
+        setup: f64::INFINITY,
+        sort: 0.0,
+        tree: 0.0,
+        lists: 0.0,
+        plan: 0.0,
+    };
+    for _ in 0..pfmm_bench::bench_reps(DEFAULT_REPS) {
+        let cfg = FmmConfig {
+            order: ORDER,
+            q: LEAF_Q,
+            threads,
+            setup,
+            ..Default::default()
+        };
+        let s = run_case(Arc::new(Laplace), cfg, dist, n, 1, 29);
+        let pr = &s.profiles[0];
+        if pr.setup_secs < best.setup {
+            best = Split {
+                setup: pr.setup_secs,
+                sort: pr.sort_secs,
+                tree: pr.tree_secs,
+                lists: pr.lists_secs,
+                plan: pr.plan_secs,
+            };
+        }
+    }
+    best
+}
+
+/// Wall time of one cold `Fmm::plan` build — the serve layer's
+/// plan-cache-miss latency (min over reps, fresh operator cache each).
+fn cold_plan_secs(n: usize, setup: SetupMode) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..pfmm_bench::bench_reps(DEFAULT_REPS) {
+        let fmm = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: ORDER,
+                q: LEAF_Q,
+                threads: 8,
+                setup,
+                ..Default::default()
+            },
+        );
+        let pts = Distribution::Uniform.generate(n, 31, 0, 1);
+        let secs = run(1, |c| {
+            let t0 = Instant::now();
+            let plan = fmm.plan(c, pts.clone());
+            let dt = t0.elapsed().as_secs_f64();
+            drop(plan);
+            dt
+        });
+        best = best.min(secs[0]);
+    }
+    best
+}
+
+struct Row {
+    dist: &'static str,
+    n: usize,
+    threads: usize,
+    serial: Split,
+    par: Split,
+}
+
+fn main() {
+    let n_large: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n_large must be an integer"))
+        .unwrap_or(1_000_000);
+    let n_small = 100_000.min(n_large);
+    let reps = pfmm_bench::bench_reps(DEFAULT_REPS);
+    println!(
+        "Ablation: serial comparison-sort setup vs parallel radix setup (laplace, order = {ORDER}, q = {LEAF_Q}, p = 1, min of {reps})\n"
+    );
+    let mut t = Table::new(&[
+        "dist",
+        "N",
+        "threads",
+        "serial setup(s)",
+        "par setup(s)",
+        "setup speedup",
+        "sort speedup",
+        "par sort(s)",
+        "par tree(s)",
+        "par lists(s)",
+        "par plan(s)",
+    ]);
+    let mut rows = Vec::new();
+    let mut sizes = vec![n_small];
+    if n_large > n_small {
+        sizes.push(n_large);
+    }
+    for dist in [Distribution::Uniform, Distribution::Ellipsoid] {
+        for &n in &sizes {
+            let serial = measure(dist, n, 1, SetupMode::Serial);
+            for threads in THREADS {
+                let par = measure(dist, n, threads, SetupMode::Parallel);
+                t.row(vec![
+                    dist.label().to_string(),
+                    n.to_string(),
+                    threads.to_string(),
+                    format!("{:.3}", serial.setup),
+                    format!("{:.3}", par.setup),
+                    format!("{:.2}x", serial.setup / par.setup.max(1e-9)),
+                    format!("{:.2}x", serial.sort / par.sort.max(1e-9)),
+                    format!("{:.3}", par.sort),
+                    format!("{:.3}", par.tree),
+                    format!("{:.3}", par.lists),
+                    format!("{:.3}", par.plan),
+                ]);
+                rows.push(Row {
+                    dist: dist.label(),
+                    n,
+                    threads,
+                    serial,
+                    par,
+                });
+            }
+        }
+    }
+    println!("{}", t.render());
+    println!("expected: the radix engine clears 2x on total setup and 3x on the sort");
+    println!("stage at the large uniform case. The sort gain is algorithmic (a dozen");
+    println!("linear passes over precomputed 24-byte keys vs n log n comparisons that");
+    println!("each re-derive the 90-bit Morton rank), so it holds at every thread");
+    println!("count; tree/list/plan parallelism adds on top when cores are available.");
+
+    let cold_serial = cold_plan_secs(n_small, SetupMode::Serial);
+    let cold_par = cold_plan_secs(n_small, SetupMode::Parallel);
+    println!(
+        "\ncold plan (serve cache miss), N = {n_small}: serial {cold_serial:.3}s, parallel {cold_par:.3}s ({:.2}x)",
+        cold_serial / cold_par.max(1e-9)
+    );
+
+    let json = render_json(n_small, n_large, &rows, cold_serial, cold_par);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_setup.json", &json).expect("write results/BENCH_setup.json");
+    println!("wrote results/BENCH_setup.json");
+}
+
+fn render_json(
+    n_small: usize,
+    n_large: usize,
+    rows: &[Row],
+    cold_serial: f64,
+    cold_par: f64,
+) -> String {
+    let mut s = String::new();
+    let reps = pfmm_bench::bench_reps(DEFAULT_REPS);
+    s.push_str(&format!(
+        "{{\n  \"bench\": \"ablation_setup\",\n  \"n_small\": {n_small},\n  \"n_large\": {n_large},\n  \"order\": {ORDER},\n  \"q\": {LEAF_Q},\n  \"reps\": {reps},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"dist\": \"{}\", \"n\": {}, \"threads\": {}, \
+             \"serial_setup_s\": {:.6}, \"parallel_setup_s\": {:.6}, \"setup_speedup\": {:.3}, \
+             \"serial_sort_s\": {:.6}, \"parallel_sort_s\": {:.6}, \"sort_speedup\": {:.3}, \
+             \"parallel_tree_s\": {:.6}, \"parallel_lists_s\": {:.6}, \"parallel_plan_s\": {:.6}}}{}\n",
+            r.dist,
+            r.n,
+            r.threads,
+            r.serial.setup,
+            r.par.setup,
+            r.serial.setup / r.par.setup.max(1e-9),
+            r.serial.sort,
+            r.par.sort,
+            r.serial.sort / r.par.sort.max(1e-9),
+            r.par.tree,
+            r.par.lists,
+            r.par.plan,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"cold_plan\": {{\"n\": {n_small}, \"serial_s\": {cold_serial:.6}, \"parallel_s\": {cold_par:.6}, \"speedup\": {:.3}}}\n}}\n",
+        cold_serial / cold_par.max(1e-9)
+    ));
+    s
+}

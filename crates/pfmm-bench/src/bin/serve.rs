@@ -8,8 +8,9 @@
 //! batch) — i.e. what a client doing naive `plan` + `apply` per request
 //! would get through the same pool. The gate is twofold:
 //!
-//! - warm/batched throughput ≥ 2× the baseline (best of `reps` runs per
-//!   side, interleaved),
+//! - warm/batched throughput ≥ 1.15× the baseline (best of `reps` runs
+//!   per side, interleaved; the margin was ≥ 2× before the §13 parallel
+//!   setup engine cut the cold replan cost itself),
 //! - every potential vector bitwise identical between the two runs —
 //!   caching and batching must be *pure* optimizations.
 //!
@@ -19,7 +20,7 @@
 //! at high order the evaluation dominates and caching is a wash.
 //!
 //! Usage: `serve [requests] [n_points] [min_speedup]` (defaults 36,
-//! 15000, 2.0). Honors `PFMM_BENCH_REPS` / `PFMM_BENCH_WARMUP`. Writes
+//! 15000, 1.15). Honors `PFMM_BENCH_REPS` / `PFMM_BENCH_WARMUP`. Writes
 //! `results/BENCH_serve.json` and exits nonzero below `min_speedup`.
 
 use std::sync::Arc;
@@ -87,7 +88,7 @@ fn main() {
     let min_speedup: f64 = args
         .next()
         .map(|a| a.parse().expect("min_speedup must be a number"))
-        .unwrap_or(2.0);
+        .unwrap_or(1.15);
     let reps = bench_reps(2);
     println!(
         "Serve: {requests} requests, {n_points} pts/geometry, 3 hot geometries + 10% cold, \

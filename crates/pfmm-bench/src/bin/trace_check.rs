@@ -3,9 +3,10 @@
 //! nesting and flow pairing, and summarize what it contains. Used by the
 //! CI trace job to assert the exported file actually loads.
 //!
-//! Usage: `trace_check <path.json> [min_flows]` — exits nonzero when the
-//! file is malformed or carries fewer than `min_flows` matched flow
-//! arrows (default 0).
+//! Usage: `trace_check <path.json> [min_flows] [min_setup]` — exits
+//! nonzero when the file is malformed, carries fewer than `min_flows`
+//! matched flow arrows (default 0), or fewer than `min_setup` setup-phase
+//! spans (`Sort` / `Setup:*`; default 0).
 
 use std::collections::BTreeMap;
 
@@ -13,10 +14,14 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let path = args
         .next()
-        .expect("usage: trace_check <path.json> [min_flows]");
+        .expect("usage: trace_check <path.json> [min_flows] [min_setup]");
     let min_flows: usize = args
         .next()
         .map(|a| a.parse().expect("min_flows must be an integer"))
+        .unwrap_or(0);
+    let min_setup: usize = args
+        .next()
+        .map(|a| a.parse().expect("min_setup must be an integer"))
         .unwrap_or(0);
 
     let json = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
@@ -45,6 +50,14 @@ fn main() {
         stats.flows >= min_flows,
         "expected at least {min_flows} flow arrows, found {}",
         stats.flows
+    );
+    let setup_spans = events
+        .iter()
+        .filter(|e| !e.cat.is_empty() && (e.name == "Sort" || e.name.starts_with("Setup")))
+        .count();
+    assert!(
+        setup_spans >= min_setup,
+        "expected at least {min_setup} setup-phase spans, found {setup_spans}"
     );
     println!("ok");
 }

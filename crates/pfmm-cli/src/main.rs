@@ -21,7 +21,9 @@ use pfmm_core::driver::gather_potentials;
 use pfmm_core::profile::{Phase, ProfileSummary};
 use pfmm_core::tune::tune_sweep;
 use pfmm_core::verify::sampled_rel_error;
-use pfmm_core::{Fmm, FmmConfig, M2lMode, Reduction, Schedule, SortKind, TranslateMode, UlistMode};
+use pfmm_core::{
+    Fmm, FmmConfig, M2lMode, Reduction, Schedule, SetupMode, SortKind, TranslateMode, UlistMode,
+};
 use pfmm_gpusim::{run_gpu_fmm, run_gpu_fmm_wx, DeviceSpec, GpuPhase};
 use pfmm_kernels::{Kernel, Laplace, LaplaceDipole, Stokes, Yukawa};
 use pfmm_trace::{TraceLevel, Tracer};
@@ -58,6 +60,9 @@ run options:
   --translate <gemm|matvec>    up/down translation engine (default gemm:
                        level-batched multi-RHS GEMM over shared-operator
                        groups; matvec = per-box reference path)
+  --setup <parallel|serial>    setup engine (default parallel: threaded
+                       LSD radix sort + parallel tree/list/plan
+                       construction; serial = comparison-sort baseline)
   --balance <true|false>       work-weighted repartition (default true)
   --check <int>        verify every k-th point against the direct sum
                        (0 = skip; default 0)
@@ -134,6 +139,7 @@ const CONFIG_FLAGS: &[&str] = &[
     "translate",
     "balance",
     "threads",
+    "setup",
 ];
 const TRACE_FLAGS: &[&str] = &["trace", "trace-level"];
 
@@ -327,6 +333,11 @@ fn config_of(args: &Args) -> Result<FmmConfig, String> {
             other => return Err(format!("unknown translate mode '{other}'")),
         },
         threads: args.get_or("threads", 1)?,
+        setup: match args.get("setup").unwrap_or("parallel") {
+            "parallel" => SetupMode::Parallel,
+            "serial" => SetupMode::Serial,
+            other => return Err(format!("unknown setup engine '{other}'")),
+        },
         sort: match args.get("sort").unwrap_or("sample") {
             "sample" => SortKind::Sample,
             "bitonic" => SortKind::Bitonic,
@@ -714,6 +725,8 @@ mod tests {
             "false",
             "--ulist",
             "scalar",
+            "--setup",
+            "serial",
         ]))
         .expect("valid");
         assert_eq!(cfg.order, 4);
@@ -725,6 +738,28 @@ mod tests {
         assert_eq!(cfg.threads, 3);
         assert!(!cfg.balance);
         assert_eq!(cfg.ulist, UlistMode::Scalar);
+        assert_eq!(cfg.setup, SetupMode::Serial);
+    }
+
+    #[test]
+    fn setup_mode_selection() {
+        assert_eq!(
+            config_of(&args(&["run"])).expect("default").setup,
+            SetupMode::Parallel
+        );
+        assert_eq!(
+            config_of(&args(&["run", "--setup=parallel"]))
+                .expect("parallel")
+                .setup,
+            SetupMode::Parallel
+        );
+        assert_eq!(
+            config_of(&args(&["run", "--setup", "serial"]))
+                .expect("serial")
+                .setup,
+            SetupMode::Serial
+        );
+        assert!(config_of(&args(&["run", "--setup", "nope"])).is_err());
     }
 
     #[test]

@@ -21,8 +21,9 @@ use pfmm_mpisim::collectives::{allgatherv, allreduce};
 use pfmm_mpisim::{Comm, CommStats};
 use pfmm_trace::{TraceLevel, Tracer, TID_MAIN};
 use pfmm_tree::{
-    bitonic_sort_points, build_let, build_lists, lists::leaf_weights, octree_from_sorted,
-    repartition_by_weight, sample_sort_points, Let, PointRec,
+    bitonic_sort_points_with, build_let_with, build_lists_with, lists::leaf_weights,
+    octree_from_sorted_with, repartition_by_weight, sample_sort_points_with, Let, PointRec,
+    SetupPar,
 };
 
 use crate::exec::{run_phases, EvalData};
@@ -93,6 +94,21 @@ pub enum UlistMode {
     Tiled,
 }
 
+/// How the setup pipeline (sort, tree, LET, interaction lists, plan
+/// precompute) is executed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SetupMode {
+    /// Multithreaded LSD radix sort on `(Morton rank, gid)` plus
+    /// parallel tree/LET/list/plan construction over `threads` workers —
+    /// bitwise identical to `Serial` by construction (the composite sort
+    /// key is unique per record and every parallel stage reassembles in
+    /// input order; DESIGN.md §13). The production path.
+    Parallel,
+    /// Single-threaded comparison sort and serial construction (the
+    /// reference path, kept as the ablation baseline).
+    Serial,
+}
+
 /// How the shared-operator up/down translations (uc2e/dc2e solves, U2U,
 /// D2D) are applied.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -140,6 +156,11 @@ pub struct FmmConfig {
     pub ulist: UlistMode,
     /// Up/down translation application mode.
     pub translate: TranslateMode,
+    /// Setup-pipeline execution mode. `Parallel` runs the sort, tree,
+    /// LET, list, and plan construction over `threads` workers; results
+    /// are bitwise identical either way, so this never participates in
+    /// [`crate::plan::plan_fingerprint`].
+    pub setup: SetupMode,
 }
 
 impl Default for FmmConfig {
@@ -157,6 +178,7 @@ impl Default for FmmConfig {
             schedule: Schedule::Barrier,
             ulist: UlistMode::Tiled,
             translate: TranslateMode::Gemm,
+            setup: SetupMode::Parallel,
         }
     }
 }
@@ -244,6 +266,29 @@ impl Fmm {
         &self.fftb
     }
 
+    /// The intra-rank parallelism of the setup pipeline implied by the
+    /// configuration: `threads` workers under [`SetupMode::Parallel`],
+    /// fully serial under [`SetupMode::Serial`].
+    ///
+    /// The worker count is clamped to the host's available parallelism:
+    /// the setup stages are memory-bound streaming passes, so workers
+    /// beyond the hardware's concurrency only add spawn overhead and
+    /// cache thrash (unlike the evaluation phases, whose `threads` knob
+    /// also sizes simulated-rank interleaving). The structures built are
+    /// bitwise independent of the worker count, so the clamp is
+    /// numerics-free.
+    pub(crate) fn setup_par(&self) -> SetupPar {
+        match self.cfg.setup {
+            SetupMode::Serial => SetupPar::Serial,
+            SetupMode::Parallel => {
+                let hw = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                SetupPar::Threads(self.cfg.threads.clamp(1, hw))
+            }
+        }
+    }
+
     /// Evaluate the N-body sum on a communicator; every rank passes its
     /// share of the points (any distribution) and receives potentials for
     /// the points it owns afterwards.
@@ -273,37 +318,95 @@ impl Fmm {
         let rank = c.rank() as u32;
 
         // ---------------- Setup ----------------
-        // Two *disjoint* spans on the driver lane ("Sort", then "Setup"
-        // for tree+LET+lists+balance) — sibling spans, never nested, so
-        // the Chrome per-lane nesting invariant holds at any clock
-        // resolution.
+        // The setup family is traced as *disjoint* sibling spans on the
+        // driver lane ("Sort", then "Setup:Tree" / "Setup:Lists" /
+        // "Setup:Plan", with the balance rebuild emitting a second
+        // tree/lists pair) — never nested, so the Chrome per-lane nesting
+        // invariant holds at any clock resolution.
+        let par = self.setup_par();
+        let phase_on = tracer.enabled(TraceLevel::Phase);
         let t_setup = Instant::now();
         let ts_sort = tracer.now_us();
         let t_sort = Instant::now();
         let (sorted, region) = sort_points(self, c, points);
         prof.sort_secs = t_sort.elapsed().as_secs_f64();
         let ts_tree = tracer.now_us();
-        if tracer.enabled(TraceLevel::Phase) {
+        if phase_on {
             tracer.record_span(rank, TID_MAIN, "Sort", "phase", ts_sort, ts_tree, &[]);
         }
-        let mut tree = octree_from_sorted(c, sorted, region, self.cfg.q);
-        let mut l = build_let(c, &tree);
-        let mut lists = build_lists(&l);
-        if self.cfg.balance && c.size() > 1 {
-            let w = leaf_weights(&l, &lists);
-            tree = repartition_by_weight(c, tree, &w);
-            l = build_let(c, &tree);
-            lists = build_lists(&l);
-        }
-        drop(tree);
-        prof.setup_secs = t_setup.elapsed().as_secs_f64();
-        if tracer.enabled(TraceLevel::Phase) {
+        let t_tree = Instant::now();
+        let mut tree = octree_from_sorted_with(c, sorted, region, self.cfg.q, par);
+        let mut l = build_let_with(c, &tree, par);
+        prof.tree_secs = t_tree.elapsed().as_secs_f64();
+        let ts_lists = tracer.now_us();
+        if phase_on {
             tracer.record_span(
                 rank,
                 TID_MAIN,
-                "Setup",
+                "Setup:Tree",
                 "phase",
                 ts_tree,
+                ts_lists,
+                &[],
+            );
+        }
+        let t_lists = Instant::now();
+        let mut lists = build_lists_with(&l, par);
+        prof.lists_secs = t_lists.elapsed().as_secs_f64();
+        let mut ts_cursor = tracer.now_us();
+        if phase_on {
+            tracer.record_span(
+                rank,
+                TID_MAIN,
+                "Setup:Lists",
+                "phase",
+                ts_lists,
+                ts_cursor,
+                &[],
+            );
+        }
+        if self.cfg.balance && c.size() > 1 {
+            let t_re = Instant::now();
+            let w = leaf_weights(&l, &lists);
+            tree = repartition_by_weight(c, tree, &w);
+            l = build_let_with(c, &tree, par);
+            prof.tree_secs += t_re.elapsed().as_secs_f64();
+            let ts_mid = tracer.now_us();
+            if phase_on {
+                tracer.record_span(
+                    rank,
+                    TID_MAIN,
+                    "Setup:Tree",
+                    "phase",
+                    ts_cursor,
+                    ts_mid,
+                    &[],
+                );
+            }
+            let t_re = Instant::now();
+            lists = build_lists_with(&l, par);
+            prof.lists_secs += t_re.elapsed().as_secs_f64();
+            let ts_done = tracer.now_us();
+            if phase_on {
+                tracer.record_span(rank, TID_MAIN, "Setup:Lists", "phase", ts_mid, ts_done, &[]);
+            }
+            ts_cursor = ts_done;
+        }
+        drop(tree);
+        // Plan precompute: evaluation workspace + translate grouping +
+        // shared-operator warm-up, all parallel under `par`.
+        let t_plan = Instant::now();
+        let data = EvalData::new_with(&l, sd, par);
+        self.ops.warm(data.max_level, par);
+        prof.plan_secs = t_plan.elapsed().as_secs_f64();
+        prof.setup_secs = t_setup.elapsed().as_secs_f64();
+        if phase_on {
+            tracer.record_span(
+                rank,
+                TID_MAIN,
+                "Setup:Plan",
+                "phase",
+                ts_cursor,
                 tracer.now_us(),
                 &[],
             );
@@ -311,7 +414,6 @@ impl Fmm {
 
         // ---------------- Evaluation ----------------
         let t_eval = Instant::now();
-        let data = EvalData::new(&l, sd);
         let (f, comm_reduce) = run_phases(self, c, &l, &lists, &data, &mut prof, tracer);
         prof.total_secs = t_eval.elapsed().as_secs_f64();
 
@@ -348,9 +450,10 @@ pub(crate) fn sort_points(
     c: &Comm,
     points: Vec<PointRec>,
 ) -> (Vec<PointRec>, Vec<u128>) {
+    let par = fmm.setup_par();
     match fmm.cfg.sort {
-        SortKind::Bitonic if c.size().is_power_of_two() => bitonic_sort_points(c, points),
-        _ => sample_sort_points(c, points),
+        SortKind::Bitonic if c.size().is_power_of_two() => bitonic_sort_points_with(c, points, par),
+        _ => sample_sort_points_with(c, points, par),
     }
 }
 
@@ -665,6 +768,55 @@ mod tests {
                             w.to_bits(),
                             "m2l={m2l:?} p={p} gid={gid}: graph {a} vs barrier {w}"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The parallel setup engine is bitwise inert: the radix sort,
+    /// parallel tree/LET/list construction, and parallel plan precompute
+    /// must reproduce the serial setup's potentials bit for bit — under
+    /// both schedules, on adaptive nonuniform trees, for scalar and
+    /// vector kernels, sequential and distributed.
+    #[test]
+    fn parallel_setup_matches_serial_bitwise() {
+        let kernels: Vec<Arc<dyn Kernel>> = vec![Arc::new(Laplace), Arc::new(Stokes { mu: 0.8 })];
+        for kernel in kernels {
+            let sd = kernel.source_dim();
+            let mut pts = ellipsoid_1_1_4(700, 53, 0);
+            randomize_densities(&mut pts, sd, 19);
+            for schedule in [Schedule::Barrier, Schedule::Graph] {
+                for (p, threads) in [(1usize, 2usize), (3, 2)] {
+                    let base = FmmConfig {
+                        order: 4,
+                        q: 20,
+                        schedule,
+                        threads,
+                        setup: SetupMode::Parallel,
+                        ..Default::default()
+                    };
+                    let par = run_fmm(kernel.clone(), base, pts.clone(), p);
+                    let ser = run_fmm(
+                        kernel.clone(),
+                        FmmConfig {
+                            setup: SetupMode::Serial,
+                            ..base
+                        },
+                        pts.clone(),
+                        p,
+                    );
+                    let s: std::collections::HashMap<u64, Vec<f64>> = ser.into_iter().collect();
+                    assert_eq!(par.len(), s.len());
+                    for (gid, pot) in par {
+                        for (a, w) in pot.iter().zip(&s[&gid]) {
+                            assert_eq!(
+                                a.to_bits(),
+                                w.to_bits(),
+                                "{} sched={schedule:?} p={p} gid={gid}: parallel {a} vs serial {w}",
+                                kernel.name()
+                            );
+                        }
                     }
                 }
             }

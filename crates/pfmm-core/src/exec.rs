@@ -57,7 +57,7 @@ type BatchedSpectra = Arc<(SpectraTable, SourceSpectra)>;
 use crate::m2l_batched::{offset_slot, FftBatchedM2l, SourceSpectra, SpectraTable};
 use crate::m2l_fft::FftM2l;
 use crate::ops::Ops;
-use crate::par::{par_map, par_windows, par_windows_weighted, weighted_cuts};
+use crate::par::{par_map, par_map_n, par_windows, par_windows_weighted, weighted_cuts, SetupPar};
 use crate::profile::{flop_model, Phase, Profile};
 use crate::reduce::{reduce_scatter_hypercube, reduce_scatter_naive, HypercubeReduceAsync};
 
@@ -81,21 +81,28 @@ impl EvalData {
     /// Extract the evaluation workspace from a LET; densities are taken
     /// from the point records (replace them later via `leaf_den`).
     pub fn new(l: &Let, sd: usize) -> EvalData {
+        EvalData::new_with(l, sd, SetupPar::Serial)
+    }
+
+    /// [`EvalData::new`] with the per-octant geometry/density extraction
+    /// and the translate grouping parallelized under `par`. Every
+    /// per-octant result is reassembled in octant order, so the
+    /// workspace is identical to the serial build.
+    pub fn new_with(l: &Let, sd: usize, par: SetupPar) -> EvalData {
         let noct = l.len();
-        let mut leaf_pos: Vec<Vec<Point3>> = vec![Vec::new(); noct];
-        let mut leaf_den: Vec<Vec<f64>> = vec![Vec::new(); noct];
-        for i in 0..noct {
+        let filled: Vec<(Vec<Point3>, Vec<f64>)> = par_map_n(par.threads(), noct, |i| {
             let pts = l.points_of(i);
             if pts.is_empty() {
-                continue;
+                return (Vec::new(), Vec::new());
             }
-            leaf_pos[i] = pts.iter().map(|p| p.pos).collect();
+            let pos = pts.iter().map(|p| p.pos).collect();
             let mut den = Vec::with_capacity(pts.len() * sd);
             for p in pts {
                 den.extend_from_slice(&p.den[..sd]);
             }
-            leaf_den[i] = den;
-        }
+            (pos, den)
+        });
+        let (leaf_pos, leaf_den): (Vec<Vec<Point3>>, Vec<Vec<f64>>) = filled.into_iter().unzip();
         let max_level = l.octs.iter().map(|o| o.level()).max().unwrap_or(0);
         let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize + 1];
         for i in 0..noct {
@@ -106,7 +113,7 @@ impl EvalData {
         let occupied: Vec<bool> = (0..noct)
             .map(|i| l.owned[i] && !leaf_pos[i].is_empty())
             .collect();
-        let translate = TranslatePlan::build(l, &by_level, &occupied);
+        let translate = TranslatePlan::build_with(l, &by_level, &occupied, par);
         EvalData {
             leaf_pos,
             leaf_den,
@@ -979,12 +986,13 @@ pub fn run_phases(
     // GPU pipeline charges its data-structure translation.
     let nearfield = match fmm.config().ulist {
         UlistMode::Tiled => fmm.kernel().as_tile_kernel().map(|_| {
-            NearField::build(
+            NearField::build_with(
                 l,
                 lists,
                 &data.leaf_pos,
                 &data.leaf_den,
                 fmm.kernel().source_dim(),
+                fmm.setup_par(),
             )
         }),
         UlistMode::Scalar => None,

@@ -25,8 +25,9 @@ use std::ops::Range;
 use std::time::Instant;
 
 use pfmm_kernels::{Point3, TileKernel, Tiles, LANE};
-use pfmm_tree::{Let, Lists};
+use pfmm_tree::{Let, Lists, SetupPar};
 
+use crate::par::{chunk_cuts, par_map_n};
 use crate::profile::flop_model;
 
 /// Sentinel position of padding lanes: far outside the unit cube, so a
@@ -107,6 +108,24 @@ impl NearField {
         leaf_den: &[Vec<f64>],
         sd: usize,
     ) -> NearField {
+        NearField::build_with(l, lists, leaf_pos, leaf_den, sd, SetupPar::Serial)
+    }
+
+    /// [`NearField::build`] with the plane fills and per-row CSR
+    /// construction parallelized under `par`. The source planes are
+    /// filled chunk-by-chunk (chunk boundaries fall on padded box
+    /// boundaries, so chunks own disjoint ranges and concatenate to the
+    /// serial layout byte for byte); the per-target sorted U rows are
+    /// independent and reassembled in octant order. The result is
+    /// identical to the serial build.
+    pub fn build_with(
+        l: &Let,
+        lists: &Lists,
+        leaf_pos: &[Vec<Point3>],
+        leaf_den: &[Vec<f64>],
+        sd: usize,
+        par: SetupPar,
+    ) -> NearField {
         let t0 = Instant::now();
         let noct = l.len();
         let pad = |n: usize| n.div_ceil(LANE) * LANE;
@@ -115,6 +134,7 @@ impl NearField {
         let mut src_box_of_oct = vec![-1i32; noct];
         let mut src_off = Vec::new();
         let mut src_cnt = Vec::new();
+        let mut src_oct = Vec::new();
         let mut total = 0usize;
         for i in 0..noct {
             if !l.is_leaf[i] || leaf_pos[i].is_empty() {
@@ -123,34 +143,79 @@ impl NearField {
             src_box_of_oct[i] = src_off.len() as i32;
             src_off.push(total as u32);
             src_cnt.push(leaf_pos[i].len() as u32);
+            src_oct.push(i as u32);
             total += pad(leaf_pos[i].len());
         }
-        let mut sx = vec![PAD_POS; total];
-        let mut sy = vec![PAD_POS; total];
-        let mut sz = vec![PAD_POS; total];
-        let mut sden = vec![0.0f64; total * sd];
-        for i in 0..noct {
-            let sb = src_box_of_oct[i];
-            if sb < 0 {
-                continue;
-            }
-            let sb = sb as usize;
-            let off = src_off[sb] as usize;
-            let n = src_cnt[sb] as usize;
-            let m = pad(n);
-            for (j, p) in leaf_pos[i].iter().enumerate() {
-                sx[off + j] = p[0];
-                sy[off + j] = p[1];
-                sz[off + j] = p[2];
-            }
-            // AoS (sd per point) → sd planes of m padded lanes.
-            let planes = &mut sden[off * sd..(off + m) * sd];
-            for (j, d) in leaf_den[i].chunks_exact(sd).enumerate() {
-                for (c, v) in d.iter().enumerate() {
-                    planes[c * m + j] = *v;
+        let nsrc = src_off.len();
+        let cuts = chunk_cuts(par.threads(), nsrc);
+        // (sx, sy, sz, sden) plane segments for one contiguous box range.
+        type PlaneChunk = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+        let chunks: Vec<PlaneChunk> = par_map_n(par.threads(), cuts.len() - 1, |k| {
+            let (b0, b1) = (cuts[k], cuts[k + 1]);
+            let start = if b0 < nsrc {
+                src_off[b0] as usize
+            } else {
+                total
+            };
+            let end = if b1 < nsrc {
+                src_off[b1] as usize
+            } else {
+                total
+            };
+            let span = end - start;
+            let mut sx = vec![PAD_POS; span];
+            let mut sy = vec![PAD_POS; span];
+            let mut sz = vec![PAD_POS; span];
+            let mut sden = vec![0.0f64; span * sd];
+            for sb in b0..b1 {
+                let i = src_oct[sb] as usize;
+                let off = src_off[sb] as usize - start;
+                let n = src_cnt[sb] as usize;
+                let m = pad(n);
+                for (j, p) in leaf_pos[i].iter().enumerate() {
+                    sx[off + j] = p[0];
+                    sy[off + j] = p[1];
+                    sz[off + j] = p[2];
+                }
+                // AoS (sd per point) → sd planes of m padded lanes.
+                let planes = &mut sden[off * sd..(off + m) * sd];
+                for (j, d) in leaf_den[i].chunks_exact(sd).enumerate() {
+                    for (c, v) in d.iter().enumerate() {
+                        planes[c * m + j] = *v;
+                    }
                 }
             }
+            (sx, sy, sz, sden)
+        });
+        let mut sx = Vec::with_capacity(total);
+        let mut sy = Vec::with_capacity(total);
+        let mut sz = Vec::with_capacity(total);
+        let mut sden = Vec::with_capacity(total * sd);
+        for (cx, cy, cz, cd) in chunks {
+            sx.extend_from_slice(&cx);
+            sy.extend_from_slice(&cy);
+            sz.extend_from_slice(&cz);
+            sden.extend_from_slice(&cd);
         }
+
+        // Per-target sorted U rows, built in parallel; the serial
+        // assembly below consumes them in octant order.
+        let rows: Vec<Vec<u32>> = par_map_n(par.threads(), noct, |i| {
+            if !l.owned[i] || leaf_pos[i].is_empty() {
+                return Vec::new();
+            }
+            let mut row: Vec<u32> = lists
+                .u
+                .row(i)
+                .iter()
+                .filter_map(|&ai| {
+                    let sb = src_box_of_oct[ai as usize];
+                    (sb >= 0).then_some(sb as u32)
+                })
+                .collect();
+            row.sort_unstable();
+            row
+        });
 
         // Target boxes: owned leaves with points (the scalar path's skip
         // condition), plus the sorted CSR and the chunk weights.
@@ -179,15 +244,8 @@ impl NearField {
                 ty.push(p[1]);
                 tz.push(p[2]);
             }
-            let row_start = ulist.len();
-            for &ai in lists.u.row(i) {
-                let sb = src_box_of_oct[ai as usize];
-                if sb >= 0 {
-                    ulist.push(sb as u32);
-                }
-            }
-            ulist[row_start..].sort_unstable();
-            for &sb in &ulist[row_start..] {
+            ulist.extend_from_slice(&rows[i]);
+            for &sb in &rows[i] {
                 let ns = src_cnt[sb as usize] as u64;
                 real_pairs += nt as u64 * ns;
                 padded_pairs += nt as u64 * pad(ns as usize) as u64;

@@ -24,9 +24,11 @@ use parking_lot::Mutex;
 use pfmm_kernels::{assemble, Kernel, Point3};
 use pfmm_linalg::{pinv, Matrix};
 
+use crate::par::par_map_n;
 use crate::surface::{
     surface_points, surface_points_into, surface_size, surface_template, RAD_INNER, RAD_OUTER,
 };
+use pfmm_tree::SetupPar;
 
 /// Half-width of a level-`l` octant of the unit cube.
 #[inline]
@@ -295,6 +297,52 @@ impl Ops {
             )
         });
         (m, scale)
+    }
+
+    /// Precompute every up/down-pass operator the tree will touch
+    /// (uc2e/dc2e at each level, the eight U2U/D2D child classes) so the
+    /// first evaluation doesn't pay the pseudo-inverse solves inside the
+    /// timed phases (M2L assembly stays lazy — the offset set depends on
+    /// the V-lists, not just `max_level`).
+    ///
+    /// Tasks enumerate *distinct cache keys* — for homogeneous kernels
+    /// every level collapses onto the base level, so naively warming per
+    /// level would race concurrent builds of the same matrix (harmless
+    /// but wasteful; [`cached`] drops the losers). Two waves: the
+    /// uc2e/dc2e solves first, then the folded U2U/D2D operators whose
+    /// builds consume them as cache hits.
+    pub fn warm(&self, max_level: u32, par: SetupPar) {
+        let hom = self.homogeneity.is_some();
+        let solve_levels: Vec<u32> = if hom {
+            vec![0]
+        } else {
+            (0..=max_level).collect()
+        };
+        par_map_n(par.threads(), 2 * solve_levels.len(), |k| {
+            let lev = solve_levels[k / 2];
+            if k % 2 == 0 {
+                drop(self.uc2e(lev));
+            } else {
+                drop(self.dc2e(lev));
+            }
+        });
+        if max_level == 0 {
+            return;
+        }
+        let child_levels: Vec<u32> = if hom {
+            vec![1]
+        } else {
+            (1..=max_level).collect()
+        };
+        par_map_n(par.threads(), 16 * child_levels.len(), |k| {
+            let lev = child_levels[k / 16];
+            let ci = (k / 2) % 8;
+            if k % 2 == 0 {
+                drop(self.u2u(lev, ci));
+            } else {
+                drop(self.d2d(lev, ci));
+            }
+        });
     }
 }
 

@@ -1,335 +1,7 @@
-//! Intra-rank shared-memory parallelism for the evaluation phases.
+//! Intra-rank shared-memory parallelism.
 //!
-//! The paper notes (§IV) that "the S2U, D2T, ULI, WLI, VLI, XLI steps can
-//! be implemented in parallel" — each visits target octants independently
-//! and writes disjoint per-octant output — while U2U and D2D would need
-//! Euler-tour techniques it does not use. This module parallelizes
-//! exactly that set on a host thread pool: octants are split into
-//! contiguous index ranges, and each worker receives the matching
-//! disjoint window of the output array, so the parallelism is safe by
-//! construction (no atomics, no locks on the data path).
+//! The machinery lives in [`pfmm_tree::par`] so the setup pipeline
+//! (sort/tree/lists) and the evaluation phases share one implementation;
+//! this module re-exports it under the historical `pfmm_core::par` path.
 
-/// Process octants `0..noct` in parallel: the index space is split into
-/// up to `threads` contiguous ranges, and each worker gets the matching
-/// window of `out` (`offset_of(i)` maps octant `i` to its element offset;
-/// it must be monotone with `offset_of(noct) == out.len()`).
-///
-/// `work(range, window, base)` processes octants `range` writing into
-/// `window`, whose element 0 corresponds to global offset `base`
-/// (= `offset_of(range.start)`); it returns the flops it performed.
-/// Returns the summed flops.
-///
-/// With `threads <= 1` the work runs inline on the caller's thread.
-pub fn par_windows<F>(
-    threads: usize,
-    noct: usize,
-    out: &mut [f64],
-    offset_of: &(dyn Fn(usize) -> usize + Sync),
-    work: F,
-) -> u64
-where
-    F: Fn(std::ops::Range<usize>, &mut [f64], usize) -> u64 + Sync,
-{
-    // Contiguous octant ranges of roughly equal length. (Phase work
-    // correlates with octant count well enough when no better weight is
-    // known; phases with per-octant interaction counts should use
-    // `par_windows_weighted`.)
-    let t = threads.min(noct.max(1));
-    let mut cuts = Vec::with_capacity(t + 1);
-    for k in 0..=t {
-        cuts.push(k * noct / t);
-    }
-    par_windows_at(&cuts, noct, out, offset_of, work)
-}
-
-/// [`par_windows`] with interaction-count-weighted range boundaries:
-/// `weight[i]` estimates octant `i`'s work, and the contiguous cuts
-/// equalize cumulative weight instead of octant count — adaptive trees
-/// concentrate their U/V interactions in the refined regions, which
-/// leaves count-based chunks nearly idle.
-///
-/// The weights steer only where the ranges are cut; the per-octant
-/// arithmetic (and its floating-point order) is unchanged.
-///
-/// For the U-list phase the weights come from the near-field layout
-/// ([`crate::nearfield::NearField::oct_weights`]): targets × *padded*
-/// sources per box, so the tiled engine's lane-padding overhead is
-/// balanced across chunks, not just the real pair count.
-pub fn par_windows_weighted<F>(
-    threads: usize,
-    weights: &[u64],
-    out: &mut [f64],
-    offset_of: &(dyn Fn(usize) -> usize + Sync),
-    work: F,
-) -> u64
-where
-    F: Fn(std::ops::Range<usize>, &mut [f64], usize) -> u64 + Sync,
-{
-    let noct = weights.len();
-    let t = threads.min(noct.max(1));
-    let cuts = weighted_cuts(t, weights);
-    par_windows_at(&cuts, noct, out, offset_of, work)
-}
-
-/// Contiguous cut points splitting `weights` into `parts` ranges of
-/// roughly equal cumulative weight (cut `k` is the first index whose
-/// prefix sum reaches `k/parts` of the total). Monotone, first 0, last
-/// `weights.len()`.
-pub fn weighted_cuts(parts: usize, weights: &[u64]) -> Vec<usize> {
-    let n = weights.len();
-    let total: u128 = weights.iter().map(|&w| w as u128).sum();
-    let mut cuts = Vec::with_capacity(parts + 1);
-    cuts.push(0);
-    if total == 0 {
-        // Degenerate: fall back to count-based cuts.
-        for k in 1..=parts {
-            cuts.push(k * n / parts.max(1));
-        }
-        return cuts;
-    }
-    let mut acc: u128 = 0;
-    let mut i = 0;
-    for k in 1..parts {
-        let target = total * k as u128 / parts as u128;
-        while i < n && acc < target {
-            acc += weights[i] as u128;
-            i += 1;
-        }
-        cuts.push(i);
-    }
-    cuts.push(n);
-    cuts
-}
-
-fn par_windows_at<F>(
-    cuts: &[usize],
-    noct: usize,
-    out: &mut [f64],
-    offset_of: &(dyn Fn(usize) -> usize + Sync),
-    work: F,
-) -> u64
-where
-    F: Fn(std::ops::Range<usize>, &mut [f64], usize) -> u64 + Sync,
-{
-    debug_assert_eq!(offset_of(noct), out.len(), "offset map covers the output");
-    let t = cuts.len() - 1;
-    if t <= 1 || noct < 2 {
-        return work(0..noct, out, 0);
-    }
-
-    let mut tasks: Vec<(std::ops::Range<usize>, &mut [f64], usize)> = Vec::with_capacity(t);
-    let mut rest = out;
-    let mut consumed = 0usize;
-    for k in 0..t {
-        let (lo, hi) = (cuts[k], cuts[k + 1]);
-        let base = offset_of(lo);
-        let end = offset_of(hi);
-        debug_assert_eq!(base, consumed);
-        let (window, tail) = rest.split_at_mut(end - base);
-        rest = tail;
-        consumed = end;
-        tasks.push((lo..hi, window, base));
-    }
-    debug_assert!(rest.is_empty());
-
-    let work = &work;
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = tasks
-            .into_iter()
-            .map(|(range, window, base)| scope.spawn(move |_| work(range, window, base)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation worker panicked"))
-            .sum()
-    })
-    .expect("par_windows scope")
-}
-
-/// Parallel map over an index list, each element producing a value; the
-/// results come back in input order. Used for the V-list source spectra
-/// (each source octant transformed once, independently).
-pub fn par_map<T, F>(threads: usize, items: &[usize], f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if threads <= 1 || items.len() < 2 {
-        return items.iter().map(|&i| f(i)).collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let f = &f;
-    let mut slots: Vec<Option<T>> = (0..items.len()).map(|_| None).collect();
-    let results = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads.min(items.len()))
-            .map(|_| {
-                let next = &next;
-                scope.spawn(move |_| {
-                    let mut mine = Vec::new();
-                    loop {
-                        let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if k >= items.len() {
-                            break;
-                        }
-                        mine.push((k, f(items[k])));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("par_map worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("par_map scope");
-    for (k, v) in results {
-        slots[k] = Some(v);
-    }
-    slots
-        .into_iter()
-        .map(|o| o.expect("every item mapped"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn windows_cover_and_write_disjointly() {
-        let noct = 17;
-        let stride = 3;
-        let mut out = vec![0.0f64; noct * stride];
-        let flops = par_windows(4, noct, &mut out, &|i| i * stride, |range, window, base| {
-            let mut n = 0;
-            for i in range {
-                let w = &mut window[i * stride - base..(i + 1) * stride - base];
-                for (j, v) in w.iter_mut().enumerate() {
-                    *v = (i * 10 + j) as f64;
-                }
-                n += 1;
-            }
-            n
-        });
-        assert_eq!(flops, 17);
-        for i in 0..noct {
-            for j in 0..stride {
-                assert_eq!(out[i * stride + j], (i * 10 + j) as f64);
-            }
-        }
-    }
-
-    #[test]
-    fn single_thread_matches_parallel() {
-        let noct = 23;
-        let run = |threads| {
-            let mut out = vec![0.0f64; noct * 2];
-            par_windows(
-                threads,
-                noct,
-                &mut out,
-                &|i| i * 2,
-                |range, window, base| {
-                    for i in range {
-                        window[i * 2 - base] = (i * i) as f64;
-                        window[i * 2 + 1 - base] = -(i as f64);
-                    }
-                    0
-                },
-            );
-            out
-        };
-        assert_eq!(run(1), run(5));
-    }
-
-    #[test]
-    fn irregular_offsets() {
-        // Variable-size per-octant windows (like per-leaf point counts).
-        let sizes = [3usize, 0, 5, 1, 0, 2];
-        let offs: Vec<usize> = sizes
-            .iter()
-            .scan(0, |acc, s| {
-                let o = *acc;
-                *acc += s;
-                Some(o)
-            })
-            .chain(std::iter::once(sizes.iter().sum()))
-            .collect();
-        let total: usize = sizes.iter().sum();
-        let mut out = vec![0.0f64; total];
-        par_windows(
-            3,
-            sizes.len(),
-            &mut out,
-            &|i| offs[i],
-            |range, window, base| {
-                for i in range.clone() {
-                    for k in offs[i]..offs[i + 1] {
-                        window[k - base] = i as f64;
-                    }
-                }
-                0
-            },
-        );
-        let mut want = Vec::new();
-        for (i, s) in sizes.iter().enumerate() {
-            want.extend(std::iter::repeat_n(i as f64, *s));
-        }
-        assert_eq!(out, want);
-    }
-
-    #[test]
-    fn weighted_cuts_balance_cumulative_weight() {
-        // Heavy tail: count-based cuts would give three idle ranges.
-        let w: Vec<u64> = (0..16).map(|i| if i < 12 { 0 } else { 100 }).collect();
-        let cuts = weighted_cuts(4, &w);
-        assert_eq!(cuts.first(), Some(&0));
-        assert_eq!(cuts.last(), Some(&16));
-        assert!(cuts.windows(2).all(|c| c[0] <= c[1]));
-        let total: u64 = w.iter().sum();
-        for k in 0..4 {
-            let s: u64 = w[cuts[k]..cuts[k + 1]].iter().sum();
-            // No range exceeds its fair share by more than one item.
-            assert!(s <= total / 4 + 100, "range {k} carries {s}");
-        }
-    }
-
-    #[test]
-    fn weighted_cuts_zero_weights_fall_back() {
-        let cuts = weighted_cuts(3, &[0u64; 9]);
-        assert_eq!(cuts, vec![0, 3, 6, 9]);
-    }
-
-    #[test]
-    fn weighted_windows_match_uniform_numerics() {
-        let noct = 29;
-        let weights: Vec<u64> = (0..noct as u64).map(|i| i * i % 17).collect();
-        let run_uniform = || {
-            let mut out = vec![0.0f64; noct * 2];
-            par_windows(4, noct, &mut out, &|i| i * 2, fill);
-            out
-        };
-        let run_weighted = || {
-            let mut out = vec![0.0f64; noct * 2];
-            par_windows_weighted(4, &weights, &mut out, &|i| i * 2, fill);
-            out
-        };
-        fn fill(range: std::ops::Range<usize>, window: &mut [f64], base: usize) -> u64 {
-            for i in range {
-                window[i * 2 - base] = (i * 3) as f64;
-                window[i * 2 + 1 - base] = -(i as f64);
-            }
-            0
-        }
-        assert_eq!(run_uniform(), run_weighted());
-    }
-
-    #[test]
-    fn par_map_ordered() {
-        let items: Vec<usize> = (0..50).map(|i| i * 2).collect();
-        let got = par_map(4, &items, |i| i + 1);
-        let want: Vec<usize> = items.iter().map(|i| i + 1).collect();
-        assert_eq!(got, want);
-    }
-}
+pub use pfmm_tree::par::*;

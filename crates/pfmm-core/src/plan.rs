@@ -14,8 +14,8 @@ use std::time::Instant;
 
 use pfmm_mpisim::Comm;
 use pfmm_tree::{
-    build_let, build_lists, lists::leaf_weights, octree_from_sorted, repartition_by_weight,
-    user_ranks, Let, Lists, PointRec,
+    build_let_with, build_lists_with, lists::leaf_weights, octree_from_sorted_with,
+    repartition_by_weight, user_ranks, Let, Lists, PointRec,
 };
 
 use crate::driver::{Fmm, FmmConfig};
@@ -164,18 +164,20 @@ impl Fmm {
     pub fn plan(&self, c: &Comm, points: Vec<PointRec>) -> FmmPlan {
         let sd = self.kernel().source_dim();
         let td = self.kernel().target_dim();
+        let par = self.setup_par();
         let (sorted, region) = crate::driver::sort_points(self, c, points);
-        let mut tree = octree_from_sorted(c, sorted, region, self.config().q);
-        let mut l = build_let(c, &tree);
-        let mut lists = build_lists(&l);
+        let mut tree = octree_from_sorted_with(c, sorted, region, self.config().q, par);
+        let mut l = build_let_with(c, &tree, par);
+        let mut lists = build_lists_with(&l, par);
         if self.config().balance && c.size() > 1 {
             let w = leaf_weights(&l, &lists);
             tree = repartition_by_weight(c, tree, &w);
-            l = build_let(c, &tree);
-            lists = build_lists(&l);
+            l = build_let_with(c, &tree, par);
+            lists = build_lists_with(&l, par);
         }
         drop(tree);
-        let data = EvalData::new(&l, sd);
+        let data = EvalData::new_with(&l, sd, par);
+        self.ops().warm(data.max_level, par);
 
         // Deterministic ghost-density exchange schedule. Sender side: my
         // owned point-carrying leaves, routed by the same user test as
@@ -484,6 +486,42 @@ mod tests {
         let mut dense = pts.clone();
         randomize_densities(&mut dense, 3, 999);
         assert_eq!(a, plan_fingerprint("laplace", &cfg, 1, &dense));
+    }
+
+    /// The setup engine is a pure implementation detail: parallel and
+    /// serial setup fingerprint identically (the `setup` field never
+    /// participates) and build structurally equal plans — the memory
+    /// accounting, translate grouping, and owned-point ordering agree.
+    #[test]
+    fn setup_mode_is_plan_invariant() {
+        use crate::driver::SetupMode;
+        let pts = uniform_cube(1100, 433, 0);
+        let cfg_par = FmmConfig {
+            order: 4,
+            q: 30,
+            setup: SetupMode::Parallel,
+            threads: 4,
+            ..Default::default()
+        };
+        let cfg_ser = FmmConfig {
+            setup: SetupMode::Serial,
+            ..cfg_par
+        };
+        assert_eq!(
+            plan_fingerprint("laplace", &cfg_par, 1, &pts),
+            plan_fingerprint("laplace", &cfg_ser, 1, &pts),
+            "setup mode never reaches the fingerprint"
+        );
+        let fp = Fmm::new(Arc::new(Laplace), cfg_par);
+        let fs = Fmm::new(Arc::new(Laplace), cfg_ser);
+        run(2, |c| {
+            let mine: Vec<_> = pts.iter().skip(c.rank()).step_by(2).copied().collect();
+            let a = fp.plan(c, mine.clone());
+            let b = fs.plan(c, mine);
+            assert_eq!(a.memory_bytes(), b.memory_bytes(), "byte accounting");
+            assert_eq!(a.data.translate, b.data.translate, "translate grouping");
+            assert_eq!(a.owned_gids, b.owned_gids, "owned ordering");
+        });
     }
 
     /// Plan memory accounting scales with the geometry and is nonzero.

@@ -129,6 +129,15 @@ pub struct Profile {
     pub setup_secs: f64,
     /// Seconds of setup spent in the point sort.
     pub sort_secs: f64,
+    /// Seconds of setup spent building the octree and the LET (including
+    /// the post-balance rebuild).
+    pub tree_secs: f64,
+    /// Seconds of setup spent building the U/V/W/X interaction lists
+    /// (including the post-balance rebuild).
+    pub lists_secs: f64,
+    /// Seconds of setup spent in the plan precompute: evaluation
+    /// workspace extraction, translate grouping, operator warm-up.
+    pub plan_secs: f64,
     /// Compute-task seconds that executed while communication was in
     /// flight (graph executor only; 0 under the barrier executor, which
     /// blocks in Comm). This is wall-clock the overlap *hid* — the §III
@@ -204,6 +213,11 @@ pub struct ProfileSummary {
     pub total_flops: (u64, u64),
     /// (max, avg) compute seconds hidden behind communication.
     pub overlap: (f64, f64),
+    /// (max, avg) total setup seconds.
+    pub setup: (f64, f64),
+    /// (max, avg) per setup stage, in pipeline order: sort, tree+LET,
+    /// lists, plan precompute.
+    pub setup_split: Vec<(&'static str, f64, f64)>,
 }
 
 impl ProfileSummary {
@@ -232,12 +246,43 @@ impl ProfileSummary {
             profiles.iter().map(|p| p.overlap_secs).fold(0.0, f64::max),
             profiles.iter().map(|p| p.overlap_secs).sum::<f64>() / n,
         );
+        let maxavg = |get: fn(&Profile) -> f64| {
+            (
+                profiles.iter().map(get).fold(0.0, f64::max),
+                profiles.iter().map(get).sum::<f64>() / n,
+            )
+        };
+        let setup = maxavg(|p| p.setup_secs);
+        let setup_split = vec![
+            (
+                "· sort",
+                maxavg(|p| p.sort_secs).0,
+                maxavg(|p| p.sort_secs).1,
+            ),
+            (
+                "· tree",
+                maxavg(|p| p.tree_secs).0,
+                maxavg(|p| p.tree_secs).1,
+            ),
+            (
+                "· lists",
+                maxavg(|p| p.lists_secs).0,
+                maxavg(|p| p.lists_secs).1,
+            ),
+            (
+                "· plan",
+                maxavg(|p| p.plan_secs).0,
+                maxavg(|p| p.plan_secs).1,
+            ),
+        ];
         ProfileSummary {
             secs,
             flops,
             total,
             total_flops,
             overlap,
+            setup,
+            setup_split,
         }
     }
 
@@ -256,6 +301,17 @@ impl ProfileSummary {
             self.total_flops.0 as f64,
             self.total_flops.1 as f64
         ));
+        // Setup family (sort / tree / lists / plan), mirroring the
+        // paper's separate setup accounting alongside Table II.
+        if self.setup.0 > 0.0 {
+            s.push_str(&format!(
+                "{:<12} {:>10.2e} {:>10.2e}\n",
+                "Setup", self.setup.0, self.setup.1
+            ));
+            for (label, smax, savg) in &self.setup_split {
+                s.push_str(&format!("{label:<12} {smax:>10.2e} {savg:>10.2e}\n"));
+            }
+        }
         for ((ph, smax, savg), (_, fmax, favg)) in self.secs.iter().zip(&self.flops) {
             s.push_str(&format!(
                 "{:<12} {:>10.2e} {:>10.2e} {:>12.2e} {:>12.2e}\n",

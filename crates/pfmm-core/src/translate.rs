@@ -34,8 +34,9 @@
 //! geometry, so no two boxes share an operator matrix (they are already
 //! handled by the tiled near-field and direct-eval paths).
 
+use crate::par::par_map_n;
 use pfmm_linalg::{gemm_acc_scaled, Matrix};
-use pfmm_tree::Let;
+use pfmm_tree::{Let, SetupPar};
 
 /// One `(level, operator)` bucket: column `j` of the RHS panel is
 /// gathered from octant `src[j]` and its scaled product is scatter-added
@@ -158,22 +159,41 @@ impl TranslatePlan {
     /// scalar path's `mark_has_up` uses; U2U membership propagates it
     /// bottom-up exactly as the level-synchronous scalar sweep would.
     pub fn build(l: &Let, by_level: &[Vec<u32>], occupied: &[bool]) -> TranslatePlan {
+        TranslatePlan::build_with(l, by_level, occupied, SetupPar::Serial)
+    }
+
+    /// [`TranslatePlan::build`] with the per-level solve groups assembled
+    /// in parallel under `par`. Each level's s2u/dc2e bucket depends only
+    /// on that level's octants, so levels are independent tasks; the U2U
+    /// and D2D grouping propagates occupancy bottom-up across levels and
+    /// stays serial. Results are reassembled in level order, so the plan
+    /// is identical to the serial build.
+    pub fn build_with(
+        l: &Let,
+        by_level: &[Vec<u32>],
+        occupied: &[bool],
+        par: SetupPar,
+    ) -> TranslatePlan {
         let nlev = by_level.len();
         let empty8 = || std::array::from_fn(|_| TranslateGroup::default());
+        let solves: Vec<(TranslateGroup, TranslateGroup)> = par_map_n(par.threads(), nlev, |lev| {
+            let mut s2u = TranslateGroup::default();
+            let mut dc2e = TranslateGroup::default();
+            for &iu in &by_level[lev] {
+                if occupied[iu as usize] {
+                    s2u.push(iu, iu);
+                }
+                dc2e.push(iu, iu);
+            }
+            (s2u, dc2e)
+        });
+        let (s2u, dc2e) = solves.into_iter().unzip();
         let mut plan = TranslatePlan {
-            s2u: vec![TranslateGroup::default(); nlev],
-            dc2e: vec![TranslateGroup::default(); nlev],
+            s2u,
+            dc2e,
             u2u: (0..nlev).map(|_| empty8()).collect(),
             d2d: (0..nlev).map(|_| empty8()).collect(),
         };
-        for (lev, idxs) in by_level.iter().enumerate() {
-            for &iu in idxs {
-                if occupied[iu as usize] {
-                    plan.s2u[lev].push(iu, iu);
-                }
-                plan.dc2e[lev].push(iu, iu);
-            }
-        }
         // Upward occupancy propagated deepest-first: a box feeds its
         // parent iff it is an occupied leaf or any child already fed it.
         let mut sub_up = occupied.to_vec();

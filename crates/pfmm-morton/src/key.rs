@@ -213,6 +213,17 @@ impl MortonKey {
         (spread3(self.x) << 2) | (spread3(self.y) << 1) | spread3(self.z)
     }
 
+    /// Packed total-order key: `(rank << 5) | level`. Compares exactly
+    /// like [`Ord`] (rank first, level breaking the ancestor/descendant
+    /// tie; `level <= MAX_DEPTH < 32` fits in 5 bits, and the rank's 90
+    /// bits leave room for the shift) but as a single integer, so search
+    /// loops over key arrays can compare precomputed `u128`s instead of
+    /// re-deriving the rank interleave on every probe.
+    #[inline]
+    pub fn sort_key(&self) -> u128 {
+        (self.rank() << 5) | self.level as u128
+    }
+
     /// Number of finest-level cells this octant covers.
     #[inline]
     pub fn rank_extent(&self) -> u128 {

@@ -15,7 +15,9 @@
 //! sample keys; the `FmmConfig::sort` knob selects either for the whole
 //! pipeline and the `pipeline` criterion bench compares them.
 
+use crate::par::SetupPar;
 use crate::point::PointRec;
+use crate::psort;
 use pfmm_morton::RANK_SPAN;
 use pfmm_mpisim::collectives::allgather_one;
 use pfmm_mpisim::Comm;
@@ -25,21 +27,36 @@ const SENTINEL: u128 = u128::MAX;
 
 type Keyed = (u128, PointRec);
 
+/// [`bitonic_sort_points_with`] on the original serial path (comparison
+/// sort); kept as the ablation baseline.
+pub fn bitonic_sort_points(c: &Comm, pts: Vec<PointRec>) -> (Vec<PointRec>, Vec<u128>) {
+    bitonic_sort_points_with(c, pts, SetupPar::Serial)
+}
+
 /// Globally sort points by (Morton key, gid) with a hypercube bitonic
 /// network; rank `k`'s output precedes rank `k+1`'s. Returns this rank's
 /// sorted chunk and the region fence derived from the final distribution.
 ///
+/// `par` selects the local sort backend (comparison vs multithreaded
+/// radix, bitwise-identical results); the compare-split rounds are
+/// network-bound merges and stay serial.
+///
 /// # Panics
 /// Panics if the communicator size is not a power of two (the bitonic
 /// network is a hypercube algorithm; use sample sort otherwise).
-pub fn bitonic_sort_points(c: &Comm, pts: Vec<PointRec>) -> (Vec<PointRec>, Vec<u128>) {
+pub fn bitonic_sort_points_with(
+    c: &Comm,
+    pts: Vec<PointRec>,
+    par: SetupPar,
+) -> (Vec<PointRec>, Vec<u128>) {
     let p = c.size();
     assert!(
         p.is_power_of_two(),
         "bitonic sort requires a power-of-two communicator"
     );
-    let mut block: Vec<Keyed> = pts.into_iter().map(|r| (r.key_rank(), r)).collect();
-    block.sort_unstable_by_key(|(k, r)| (*k, r.gid));
+    let ranks = psort::ranks_of(par, &pts);
+    let block: Vec<Keyed> = ranks.into_iter().zip(pts).collect();
+    let mut block = psort::sort_keyed(par, block);
     if p == 1 {
         let out: Vec<PointRec> = block.into_iter().map(|(_, r)| r).collect();
         return (out, vec![0, RANK_SPAN]);
@@ -183,6 +200,23 @@ mod tests {
     fn sorts_unequal_blocks_via_padding() {
         check(4, &[10, 77, 0, 33]);
         check(8, &[5, 50, 13, 28, 0, 64, 1, 40]);
+    }
+
+    #[test]
+    fn parallel_local_sort_matches_serial() {
+        for p in [1usize, 4] {
+            let serial = run(p, |c| {
+                let pts = random_points(90, 11 + c.rank() as u64, (c.rank() * 90) as u64);
+                bitonic_sort_points(c, pts)
+            });
+            for t in [2usize, 8] {
+                let par = run(p, |c| {
+                    let pts = random_points(90, 11 + c.rank() as u64, (c.rank() * 90) as u64);
+                    bitonic_sort_points_with(c, pts, SetupPar::Threads(t))
+                });
+                assert_eq!(par, serial, "p={p} threads={t}");
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! the "finer than necessary" DENDRO behaviour the paper notes and
 //! tolerates.
 
+use crate::par::{par_map_n, SetupPar};
 use crate::point::PointRec;
+use crate::psort;
 use crate::sort::sample_sort_points;
 use pfmm_morton::{cover_interval, MortonKey, MAX_DEPTH, RANK_SPAN};
 use pfmm_mpisim::collectives::{allgather_one, allreduce, alltoallv, exscan_sum_u64};
@@ -65,18 +67,57 @@ pub fn points_to_octree(c: &Comm, pts: Vec<PointRec>, q: usize) -> DistTree {
 /// # Panics
 /// Panics if `q == 0`.
 pub fn octree_from_sorted(c: &Comm, pts: Vec<PointRec>, region: Vec<u128>, q: usize) -> DistTree {
+    octree_from_sorted_with(c, pts, region, q, SetupPar::Serial)
+}
+
+/// Tasks per worker when expanding the refinement frontier: enough
+/// slack that the work-stealing `par_map` can absorb the skew of an
+/// adaptive tree's subtree sizes.
+const FRONTIER_SLACK: usize = 8;
+
+/// [`octree_from_sorted`] with a parallelism budget. The per-region
+/// cover blocks (one Morton-ordered subtree each) are expanded into a
+/// frontier of independent subtrees, refined in parallel, and the
+/// per-subtree leaf runs concatenated in frontier order — the frontier
+/// expansion replays [`refine`]'s own splitting rule, so the leaf array
+/// and CSR are identical to the serial recursion's.
+pub fn octree_from_sorted_with(
+    c: &Comm,
+    pts: Vec<PointRec>,
+    region: Vec<u128>,
+    q: usize,
+    par: SetupPar,
+) -> DistTree {
     assert!(q >= 1, "points-per-box bound must be positive");
     let lo = region[c.rank()];
     let hi = region[c.rank() + 1];
     let mut leaves = Vec::new();
     let mut leaf_off = vec![0usize];
     if lo < hi {
-        let ranks: Vec<u128> = pts.iter().map(|r| r.key_rank()).collect();
-        for block in cover_interval(lo, hi - 1) {
-            // Points of this block: a contiguous run of the sorted array.
-            let s = ranks.partition_point(|&r| r < block.rank());
-            let e = ranks.partition_point(|&r| r <= block.rank_end());
-            refine(block, s, e, &ranks, q, &mut leaves, &mut leaf_off);
+        let ranks = psort::ranks_of(par, &pts);
+        let mut frontier: Vec<(MortonKey, usize, usize)> = cover_interval(lo, hi - 1)
+            .into_iter()
+            .map(|block| {
+                // Points of this block: a contiguous run of the sorted array.
+                let s = ranks.partition_point(|&r| r < block.rank());
+                let e = ranks.partition_point(|&r| r <= block.rank_end());
+                (block, s, e)
+            })
+            .collect();
+        let t = par.threads();
+        if t > 1 {
+            frontier = expand_frontier(frontier, &ranks, q, t * FRONTIER_SLACK);
+        }
+        let parts = par_map_n(t, frontier.len(), |i| {
+            let (block, s, e) = frontier[i];
+            let mut lv = Vec::new();
+            let mut off = Vec::new();
+            refine(block, s, e, &ranks, q, &mut lv, &mut off);
+            (lv, off)
+        });
+        for (lv, off) in parts {
+            leaves.extend(lv);
+            leaf_off.extend(off);
         }
     }
     DistTree {
@@ -85,6 +126,42 @@ pub fn octree_from_sorted(c: &Comm, pts: Vec<PointRec>, region: Vec<u128>, q: us
         pts,
         region,
     }
+}
+
+/// Split frontier subtrees breadth-first until at least `target` remain
+/// (or nothing can split). A subtree splits exactly when [`refine`]
+/// would split it — more than `q` points above `MAX_DEPTH` — and its
+/// children enter in Morton order, so refining the frontier left to
+/// right emits the same leaves as refining the original blocks.
+fn expand_frontier(
+    mut frontier: Vec<(MortonKey, usize, usize)>,
+    ranks: &[u128],
+    q: usize,
+    target: usize,
+) -> Vec<(MortonKey, usize, usize)> {
+    while frontier.len() < target {
+        let mut next = Vec::with_capacity(frontier.len() * 8);
+        let mut grew = false;
+        for &(oct, start, end) in &frontier {
+            if end - start <= q || oct.level() == MAX_DEPTH {
+                next.push((oct, start, end));
+                continue;
+            }
+            grew = true;
+            let mut s = start;
+            for child in oct.children() {
+                let e = s + ranks[s..end].partition_point(|&r| r <= child.rank_end());
+                next.push((child, s, e));
+                s = e;
+            }
+            debug_assert_eq!(s, end, "children partition the parent's points");
+        }
+        frontier = next;
+        if !grew {
+            break;
+        }
+    }
+    frontier
 }
 
 /// Recursively split `oct` while it holds more than `q` points, emitting
@@ -274,6 +351,53 @@ mod tests {
         for (k, t) in trees.iter().enumerate() {
             for leaf in &t.leaves {
                 assert!(leaf.rank() >= region[k] && leaf.rank_end() < region[k + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_refinement_matches_serial() {
+        // Frontier-parallel refinement must reproduce the serial DFS
+        // leaf array and CSR exactly, including on clustered inputs
+        // where one subtree carries most of the frontier's work.
+        let clustered = |n: usize, seed: u64, base: u64| -> Vec<PointRec> {
+            let mut pts = random_points(n / 2, seed, base);
+            let mut rng = StdRng::seed_from_u64(seed + 99);
+            pts.extend((0..n - n / 2).map(|i| {
+                PointRec::scalar(
+                    [
+                        0.1 + 0.01 * rng.random::<f64>(),
+                        0.2 + 0.01 * rng.random::<f64>(),
+                        0.3 + 0.01 * rng.random::<f64>(),
+                    ],
+                    1.0,
+                    base + (n / 2 + i) as u64,
+                )
+            }));
+            pts
+        };
+        for p in [1usize, 3] {
+            let serial = run(p, |c| {
+                let (pts, region) = sample_sort_points(
+                    c,
+                    clustered(400, 7 + c.rank() as u64, c.rank() as u64 * 400),
+                );
+                octree_from_sorted(c, pts, region, 6)
+            });
+            for t in [2usize, 8] {
+                let par = run(p, |c| {
+                    let (pts, region) = sample_sort_points(
+                        c,
+                        clustered(400, 7 + c.rank() as u64, c.rank() as u64 * 400),
+                    );
+                    octree_from_sorted_with(c, pts, region, 6, SetupPar::Threads(t))
+                });
+                for (a, b) in par.iter().zip(&serial) {
+                    assert_eq!(a.leaves, b.leaves, "p={p} t={t}");
+                    assert_eq!(a.leaf_off, b.leaf_off, "p={p} t={t}");
+                    assert_eq!(a.pts, b.pts, "p={p} t={t}");
+                    assert_eq!(a.region, b.region, "p={p} t={t}");
+                }
             }
         }
     }

@@ -9,6 +9,8 @@
 //! reduce-and-scatter of the evaluation phase.
 
 use crate::dtree::DistTree;
+use crate::lists::sorted_dedup;
+use crate::par::{chunk_cuts, par_map_n, SetupPar};
 use crate::point::PointRec;
 use pfmm_morton::{MortonKey, RANK_SPAN};
 use pfmm_mpisim::collectives::alltoallv;
@@ -20,6 +22,11 @@ use pfmm_mpisim::Comm;
 pub struct Let {
     /// All LET octants, Morton-sorted, deduplicated.
     pub octs: Vec<MortonKey>,
+    /// Packed `(rank << 5) | level` sort keys, aligned with `octs`. The
+    /// interaction-list walks probe the LET thousands of times per box;
+    /// comparing precomputed `u128`s keeps those probes from re-deriving
+    /// the 90-bit rank interleave on every comparison.
+    pub keys: Vec<u128>,
     /// Octant is a leaf of the *global* tree.
     pub is_leaf: Vec<bool>,
     /// Octant is an owned leaf (this rank computes its potentials).
@@ -39,7 +46,7 @@ pub struct Let {
 impl Let {
     /// Binary search for an exact octant key.
     pub fn find(&self, k: &MortonKey) -> Option<usize> {
-        self.octs.binary_search(k).ok()
+        self.keys.binary_search(&k.sort_key()).ok()
     }
 
     /// Points stored for octant `i`.
@@ -65,8 +72,10 @@ impl Let {
     /// Contiguous index range `[start, end)` of the subtree rooted at
     /// octant `i` (descendants including `i` itself).
     pub fn subtree_range(&self, key: &MortonKey) -> (usize, usize) {
-        let start = self.octs.partition_point(|o| o < key);
-        let end = self.octs.partition_point(|o| o.rank() <= key.rank_end());
+        let sk = key.sort_key();
+        let re = key.rank_end();
+        let start = self.keys.partition_point(|&pk| pk < sk);
+        let end = self.keys.partition_point(|&pk| (pk >> 5) <= re);
         (start, end)
     }
 
@@ -84,6 +93,7 @@ impl Let {
     pub fn memory_bytes(&self) -> usize {
         use std::mem::size_of;
         self.octs.len() * size_of::<MortonKey>()
+            + self.keys.len() * size_of::<u128>()
             + self.is_leaf.len()
             + self.owned.len()
             + self.local.len()
@@ -123,16 +133,26 @@ pub fn user_ranks(beta: &MortonKey, region: &[u128], out: &mut Vec<usize>) {
             }
         }
     }
-    out.sort_unstable();
-    out.dedup();
+    sorted_dedup(out);
 }
 
 /// Build this rank's LET from its share of the distributed tree
 /// (Algorithm 2). The tree's points are *moved* into the LET.
 pub fn build_let(c: &Comm, tree: &DistTree) -> Let {
+    build_let_with(c, tree, SetupPar::Serial)
+}
+
+/// [`build_let`] with a parallelism budget. The ancestor collection and
+/// the per-β user-rank derivation are chunk-parallel (both are pure
+/// functions of the leaf array and the region fence, reassembled in
+/// input order); the message fills, exchanges, and the ghost merge stay
+/// serial so every destination sees its octants in the exact order the
+/// serial path sends them.
+pub fn build_let_with(c: &Comm, tree: &DistTree, par: SetupPar) -> Let {
     let p = c.size();
     let my = c.rank();
     let region = tree.region.clone();
+    let t = par.threads();
 
     // B_k: owned leaves and all their ancestors, with origin bookkeeping.
     let mut b: Vec<(MortonKey, bool, u32)> = Vec::with_capacity(tree.leaves.len() * 2);
@@ -140,12 +160,16 @@ pub fn build_let(c: &Comm, tree: &DistTree) -> Let {
         b.push((*leaf, true, i as u32));
     }
     {
-        let mut anc: Vec<MortonKey> = Vec::new();
-        for leaf in &tree.leaves {
-            anc.extend(leaf.ancestors());
-        }
-        anc.sort_unstable();
-        anc.dedup();
+        let cuts = chunk_cuts(t, tree.leaves.len());
+        let chunks = par_map_n(t, cuts.len() - 1, |k| {
+            let mut anc: Vec<MortonKey> = Vec::new();
+            for leaf in &tree.leaves[cuts[k]..cuts[k + 1]] {
+                anc.extend(leaf.ancestors());
+            }
+            anc
+        });
+        let mut anc: Vec<MortonKey> = chunks.into_iter().flatten().collect();
+        sorted_dedup(&mut anc);
         for a in anc {
             b.push((a, false, u32::MAX));
         }
@@ -153,13 +177,18 @@ pub fn build_let(c: &Comm, tree: &DistTree) -> Let {
     b.sort_unstable_by_key(|(k, _, _)| *k);
 
     // Step 3–4: route every β ∈ B_k to its user ranks, leaves carrying
-    // their points.
+    // their points. The user sets are derived in parallel; the fill
+    // below walks them in β order, so each destination's message stream
+    // is identical to the serial build's.
+    let users_of: Vec<Vec<usize>> = par_map_n(t, b.len(), |i| {
+        let mut users = Vec::new();
+        user_ranks(&b[i].0, &region, &mut users);
+        users
+    });
     let mut out_octs: Vec<Vec<OctMsg>> = vec![Vec::new(); p];
     let mut out_pts: Vec<Vec<PointRec>> = vec![Vec::new(); p];
-    let mut users = Vec::new();
-    for &(key, is_leaf, leaf_idx) in &b {
-        user_ranks(&key, &region, &mut users);
-        for &k in &users {
+    for (&(key, is_leaf, leaf_idx), users) in b.iter().zip(&users_of) {
+        for &k in users {
             if k == my {
                 continue;
             }
@@ -251,8 +280,10 @@ pub fn build_let(c: &Comm, tree: &DistTree) -> Let {
         pt_off.push(pts.len());
     }
 
+    let keys = octs.iter().map(|o| o.sort_key()).collect();
     Let {
         octs,
+        keys,
         is_leaf,
         owned,
         local,
@@ -329,6 +360,32 @@ mod tests {
                     assert!(w[0] < w[1], "sorted, deduplicated");
                 }
                 assert_eq!(l.pt_off.len(), l.len() + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_let_matches_serial() {
+        for p in [1usize, 4] {
+            let serial = build(p, 250, 6);
+            for t in [2usize, 8] {
+                let par = run(p, |c| {
+                    let tr = points_to_octree(
+                        c,
+                        random_points(250, 31 + c.rank() as u64, (c.rank() * 250) as u64),
+                        6,
+                    );
+                    build_let_with(c, &tr, SetupPar::Threads(t))
+                });
+                for (a, s) in par.iter().zip(&serial) {
+                    assert_eq!(a.octs, s.octs, "p={p} t={t}");
+                    assert_eq!(a.is_leaf, s.is_leaf, "p={p} t={t}");
+                    assert_eq!(a.owned, s.owned, "p={p} t={t}");
+                    assert_eq!(a.local, s.local, "p={p} t={t}");
+                    assert_eq!(a.pt_off, s.pt_off, "p={p} t={t}");
+                    assert_eq!(a.pts, s.pts, "p={p} t={t}");
+                    assert_eq!(a.region, s.region, "p={p} t={t}");
+                }
             }
         }
     }

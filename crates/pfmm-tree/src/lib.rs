@@ -25,15 +25,20 @@ pub mod bitonic;
 pub mod dtree;
 pub mod lett;
 pub mod lists;
+pub mod par;
 pub mod point;
+pub mod psort;
 pub mod sort;
 pub mod stats;
 
 pub use balance::{balance_2to1, is_balanced_2to1};
-pub use bitonic::bitonic_sort_points;
-pub use dtree::{octree_from_sorted, points_to_octree, repartition_by_weight, DistTree};
-pub use lett::{build_let, user_ranks, Let};
-pub use lists::{build_lists, Csr, Lists};
+pub use bitonic::{bitonic_sort_points, bitonic_sort_points_with};
+pub use dtree::{
+    octree_from_sorted, octree_from_sorted_with, points_to_octree, repartition_by_weight, DistTree,
+};
+pub use lett::{build_let, build_let_with, user_ranks, Let};
+pub use lists::{build_lists, build_lists_with, Csr, Lists};
+pub use par::SetupPar;
 pub use point::PointRec;
-pub use sort::sample_sort_points;
+pub use sort::{sample_sort_points, sample_sort_points_with};
 pub use stats::{ListStats, TreeStats};

@@ -13,12 +13,26 @@
 //! - `X(β)`: the duals of W (α with β ∈ W(α)) — their sources are
 //!   evaluated directly onto β's downward check surface.
 //!
-//! Construction uses only binary searches and adjacency-pruned descents
-//! over the Morton-sorted LET array; no communication is needed
+//! Construction is search-free on the hot path: a one-pass scaffold over
+//! the Morton-sorted LET array (subtree extents, present parents, and
+//! per-level colleague rows built top-down) turns every list into child
+//! walks and colleague-row scans, so no box re-derives Morton ranks or
+//! binary-searches the LET per candidate. No communication is needed
 //! (everything required is already in the LET, per Algorithm 2).
 
 use crate::lett::Let;
-use pfmm_morton::MortonKey;
+use crate::par::{par_map_n, SetupPar};
+use pfmm_morton::{MortonKey, MAX_DEPTH};
+
+/// Sort a collected row and drop duplicates in place — the closing step
+/// of every list/LET row assembly (the U/X descents and the LET's
+/// ancestor and user-rank collections can visit an octant through more
+/// than one path; V/W rows are duplicate-free and pay only the no-op
+/// scan).
+pub fn sorted_dedup<T: Ord>(out: &mut Vec<T>) {
+    out.sort_unstable();
+    out.dedup();
+}
 
 /// Compressed sparse rows of `u32` octant indices.
 #[derive(Clone, Debug, Default)]
@@ -94,30 +108,196 @@ impl Lists {
 
 /// Minimum level present in the LET (bounds the X-list ancestor walk).
 fn min_level(l: &Let) -> u32 {
-    l.octs.iter().map(|o| o.level()).min().unwrap_or(0)
+    l.keys.iter().map(|&k| (k & 31) as u32).min().unwrap_or(0)
+}
+
+/// Level of octant `i`, read off the packed LET key.
+#[inline]
+fn level_of(l: &Let, i: usize) -> u32 {
+    (l.keys[i] & 31) as u32
+}
+
+/// Last finest-grid rank covered by octant `i` (inclusive).
+#[inline]
+fn rank_end_of(l: &Let, i: usize) -> u128 {
+    (l.keys[i] >> 5) + ((1u128 << (3 * (MAX_DEPTH - level_of(l, i)))) - 1)
+}
+
+/// Construction scaffold over the LET's linear octree, built in one
+/// ascending pass plus a top-down level sweep. With it, every list row
+/// reduces to child walks (`end` hops) and colleague-row scans — no
+/// per-candidate binary search, no rank re-derivation.
+///
+/// The LET is ancestor-closed: an octant's user area (the colleagues of
+/// its parent, see `user_ranks`) nests inside its parent's, so every
+/// rank that receives an octant also receives all its ancestors, and the
+/// local set contains its own ancestors by construction. Hence every
+/// non-root octant's parent is present and `parent` chains reach the
+/// root.
+struct Scaffold {
+    /// First index past octant `i`'s descendants (subtree end).
+    end: Vec<u32>,
+    /// Index of the present parent; `u32::MAX` at the root.
+    parent: Vec<u32>,
+    /// Colleague rows — same-level present octants touching `i`,
+    /// ascending — populated for local octants (the only ones whose rows
+    /// the lists read).
+    coll: Csr,
+}
+
+impl Scaffold {
+    /// Exact-level children of octant `i`: hop subtree extents, keeping
+    /// entries one level below `i` (skipping would-be orphan tops, which
+    /// an ancestor-closed LET does not contain).
+    #[inline]
+    fn children<F: FnMut(usize)>(&self, l: &Let, i: usize, mut f: F) {
+        let lev = level_of(l, i) + 1;
+        let mut c = i + 1;
+        let e = self.end[i] as usize;
+        while c < e {
+            if level_of(l, c) == lev {
+                f(c);
+            }
+            c = self.end[c] as usize;
+        }
+    }
+}
+
+/// Per-level batches below this size stay on the calling thread — the
+/// scoped-spawn overhead would exceed the row work.
+const COLL_PAR_MIN: usize = 512;
+
+fn build_scaffold(l: &Let, par: SetupPar) -> Scaffold {
+    let n = l.len();
+    let mut end = vec![n as u32; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut stack: Vec<u32> = Vec::new();
+    for (i, par_slot) in parent.iter_mut().enumerate() {
+        let rk = l.keys[i] >> 5;
+        while let Some(&t) = stack.last() {
+            if rank_end_of(l, t as usize) < rk {
+                end[t as usize] = i as u32;
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&t) = stack.last() {
+            // The deepest still-open octant is the nearest present
+            // ancestor; ancestor-closure makes it the direct parent.
+            if level_of(l, t as usize) + 1 == level_of(l, i) {
+                *par_slot = t;
+            }
+        }
+        debug_assert!(
+            *par_slot != u32::MAX || level_of(l, i) == 0,
+            "LET not ancestor-closed at octant {i}"
+        );
+        stack.push(i as u32);
+    }
+
+    // Colleague rows, top-down: the colleagues of β are among the
+    // children of the colleagues of P(β) and β's own siblings, so each
+    // level's rows come from the previous level's with child walks and
+    // `touches` filters only. Levels are swept in order; rows within a
+    // level are independent and mapped in parallel.
+    let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); MAX_DEPTH as usize + 1];
+    for i in 0..n {
+        if l.local[i] {
+            by_level[level_of(l, i) as usize].push(i as u32);
+        }
+    }
+    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let build_row = |rows: &[Vec<u32>], end: &[u32], i: usize| -> Vec<u32> {
+        let beta = l.octs[i];
+        let lev = level_of(l, i);
+        let mut row = Vec::new();
+        let pi = parent[i];
+        if pi == u32::MAX {
+            // A top octant inherits nothing. The root has no colleagues;
+            // a non-root top cannot occur in an ancestor-closed LET.
+            debug_assert_eq!(lev, 0);
+            return row;
+        }
+        for &j in rows[pi as usize].iter().chain(std::iter::once(&pi)) {
+            let j = j as usize;
+            let mut c = j + 1;
+            let e = end[j] as usize;
+            while c < e {
+                if c != i && level_of(l, c) == lev && l.octs[c].touches(&beta) {
+                    row.push(c as u32);
+                }
+                c = end[c] as usize;
+            }
+        }
+        row.sort_unstable();
+        row
+    };
+    for bucket in by_level.iter_mut() {
+        let idxs = std::mem::take(bucket);
+        if idxs.is_empty() {
+            continue;
+        }
+        let built: Vec<Vec<u32>> = if par.threads() > 1 && idxs.len() >= COLL_PAR_MIN {
+            par_map_n(par.threads(), idxs.len(), |k| {
+                build_row(&rows, &end, idxs[k] as usize)
+            })
+        } else {
+            idxs.iter()
+                .map(|&i| build_row(&rows, &end, i as usize))
+                .collect()
+        };
+        for (&i, row) in idxs.iter().zip(built) {
+            rows[i as usize] = row;
+        }
+    }
+
+    Scaffold {
+        end,
+        parent,
+        coll: Csr::from_rows(rows),
+    }
 }
 
 /// Build all four lists for the local octants of the LET.
 pub fn build_lists(l: &Let) -> Lists {
-    let n = l.len();
-    let mut u_rows = vec![Vec::new(); n];
-    let mut v_rows = vec![Vec::new(); n];
-    let mut w_rows = vec![Vec::new(); n];
-    let mut x_rows = vec![Vec::new(); n];
-    let lmin = min_level(l);
+    build_lists_with(l, SetupPar::Serial)
+}
 
-    for bi in 0..n {
+/// [`build_lists`] with a parallelism budget: each octant's four rows
+/// depend only on the (read-only) LET and scaffold, so rows are mapped
+/// in parallel and reassembled in octant order — the CSRs are identical
+/// to the serial build's, byte for byte.
+pub fn build_lists_with(l: &Let, par: SetupPar) -> Lists {
+    let n = l.len();
+    let lmin = min_level(l);
+    let sc = build_scaffold(l, par);
+
+    type Rows = (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>);
+    let rows: Vec<Rows> = par_map_n(par.threads(), n, |bi| {
         if !l.local[bi] {
-            continue;
+            return Default::default();
         }
-        let beta = l.octs[bi];
-        v_rows[bi] = v_list(l, &beta);
-        x_rows[bi] = x_list(l, &beta, lmin);
-        if l.owned[bi] {
+        let v = v_list(l, &sc, bi);
+        let x = x_list(l, &sc, bi, lmin);
+        let (u, w) = if l.owned[bi] {
             debug_assert!(l.is_leaf[bi]);
-            u_rows[bi] = u_list(l, &beta, bi as u32);
-            w_rows[bi] = w_list(l, &beta);
-        }
+            (u_list(l, &sc, bi), w_list(l, &sc, bi))
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        (u, v, w, x)
+    });
+
+    let mut u_rows = Vec::with_capacity(n);
+    let mut v_rows = Vec::with_capacity(n);
+    let mut w_rows = Vec::with_capacity(n);
+    let mut x_rows = Vec::with_capacity(n);
+    for (u, v, w, x) in rows {
+        u_rows.push(u);
+        v_rows.push(v);
+        w_rows.push(w);
+        x_rows.push(x);
     }
     Lists {
         u: Csr::from_rows(u_rows),
@@ -127,151 +307,169 @@ pub fn build_lists(l: &Let) -> Lists {
     }
 }
 
-/// U(β): all leaves adjacent to β, plus β itself.
-fn u_list(l: &Let, beta: &MortonKey, self_idx: u32) -> Vec<u32> {
-    let mut out = vec![self_idx];
-    for dx in -1..=1 {
-        for dy in -1..=1 {
-            for dz in -1..=1 {
-                if dx == 0 && dy == 0 && dz == 0 {
-                    continue;
+/// Is `k` among the row's octants? Rows are index-ascending, hence
+/// key-ascending: a short binary search on the packed keys.
+#[inline]
+fn row_contains(l: &Let, row: &[u32], k: &MortonKey) -> bool {
+    let sk = k.sort_key();
+    row.binary_search_by(|&i| l.keys[i as usize].cmp(&sk))
+        .is_ok()
+}
+
+/// U(β): all leaves adjacent to β, plus β itself. β's colleague row
+/// covers every direction with a same-level octant (leaf colleagues join
+/// directly, finer ones by descent); directions without one are covered
+/// by a coarser leaf found by the ancestor walk.
+fn u_list(l: &Let, sc: &Scaffold, bi: usize) -> Vec<u32> {
+    let beta = l.octs[bi];
+    let mut out = vec![bi as u32];
+    let row = sc.coll.row(bi);
+    for &ci in row {
+        let c = ci as usize;
+        if l.is_leaf[c] {
+            if l.octs[c].is_adjacent(&beta) {
+                out.push(ci);
+            }
+        } else {
+            descend_adjacent_leaves(l, sc, &beta, c, &mut out);
+        }
+    }
+    let cols = beta.colleagues();
+    if row.len() != cols.len() {
+        for nb in &cols {
+            if row_contains(l, row, nb) {
+                continue;
+            }
+            let (s, e) = l.subtree_range(nb);
+            if s < e {
+                // Finer structure under an absent neighbor — walk its
+                // present tops (defensive; an ancestor-closed LET never
+                // produces this shape).
+                let mut t = s;
+                while t < e {
+                    descend_adjacent_leaves(l, sc, &beta, t, &mut out);
+                    t = sc.end[t] as usize;
                 }
-                let Some(nb) = beta.neighbor(dx, dy, dz) else {
-                    continue;
-                };
-                let (s, e) = l.subtree_range(&nb);
-                if s < e {
-                    // Finer-or-equal structure inside the neighbor:
-                    // descend, pruning octants whose closure misses β.
-                    descend_adjacent_leaves(l, beta, &nb, &mut out);
-                } else {
-                    // Neighbor volume covered by a coarser leaf.
-                    let mut a = nb;
-                    while let Some(par) = a.parent() {
-                        if let Some(i) = l.find(&par) {
-                            if l.is_leaf[i] {
-                                out.push(i as u32);
-                            }
-                            break;
+            } else {
+                // Neighbor volume covered by a coarser leaf.
+                let mut a = *nb;
+                while let Some(par) = a.parent() {
+                    if let Some(i) = l.find(&par) {
+                        if l.is_leaf[i] {
+                            out.push(i as u32);
                         }
-                        a = par;
+                        break;
                     }
+                    a = par;
                 }
             }
         }
     }
-    out.sort_unstable();
-    out.dedup();
+    sorted_dedup(&mut out);
     out
 }
 
-/// Collect leaves within the subtree of `top` that are adjacent to β.
-fn descend_adjacent_leaves(l: &Let, beta: &MortonKey, top: &MortonKey, out: &mut Vec<u32>) {
-    let Some(i) = l.find(top) else {
-        // `top` itself absent: finer octants exist below it (the subtree
-        // range was nonempty); recurse through the children keys.
-        if top.level() < pfmm_morton::MAX_DEPTH {
-            for ch in top.children() {
-                let (s, e) = l.subtree_range(&ch);
-                if s < e && ch.touches(beta) {
-                    descend_adjacent_leaves(l, beta, &ch, out);
-                }
-            }
-        }
-        return;
-    };
-    if !top.touches(beta) {
+/// Collect leaves within the subtree of present octant `i` that are
+/// adjacent to β, pruning branches whose closure misses β.
+fn descend_adjacent_leaves(l: &Let, sc: &Scaffold, beta: &MortonKey, i: usize, out: &mut Vec<u32>) {
+    if !l.octs[i].touches(beta) {
         return;
     }
     if l.is_leaf[i] {
-        if top.is_adjacent(beta) {
+        if l.octs[i].is_adjacent(beta) {
             out.push(i as u32);
         }
         return;
     }
-    for ch in top.children() {
-        if ch.touches(beta) {
-            descend_adjacent_leaves(l, beta, &ch, out);
-        }
+    let mut c = i + 1;
+    let e = sc.end[i] as usize;
+    while c < e {
+        descend_adjacent_leaves(l, sc, beta, c, out);
+        c = sc.end[c] as usize;
     }
 }
 
 /// V(β): children of colleagues of P(β) that are present and not adjacent
 /// to β.
-fn v_list(l: &Let, beta: &MortonKey) -> Vec<u32> {
-    let Some(par) = beta.parent() else {
+fn v_list(l: &Let, sc: &Scaffold, bi: usize) -> Vec<u32> {
+    let beta = l.octs[bi];
+    if sc.parent[bi] == u32::MAX {
         return Vec::new();
-    };
+    }
+    let lev = level_of(l, bi);
     let mut out = Vec::new();
-    for c in par.colleagues() {
-        for ch in c.children() {
-            if ch.is_adjacent(beta) {
-                continue;
+    for &j in sc.coll.row(sc.parent[bi] as usize) {
+        let j = j as usize;
+        let mut c = j + 1;
+        let e = sc.end[j] as usize;
+        while c < e {
+            if level_of(l, c) == lev && !l.octs[c].is_adjacent(&beta) {
+                out.push(c as u32);
             }
-            if let Some(i) = l.find(&ch) {
-                out.push(i as u32);
-            }
+            c = sc.end[c] as usize;
         }
     }
-    out.sort_unstable();
+    sorted_dedup(&mut out);
     out
 }
 
 /// W(β): descend through β's colleagues; emit children that lose
 /// adjacency while their parent keeps it.
-fn w_list(l: &Let, beta: &MortonKey) -> Vec<u32> {
+fn w_list(l: &Let, sc: &Scaffold, bi: usize) -> Vec<u32> {
+    let beta = l.octs[bi];
     let mut out = Vec::new();
-    for c in beta.colleagues() {
-        if let Some(ci) = l.find(&c) {
-            if !l.is_leaf[ci] {
-                w_descend(l, beta, &c, &mut out);
-            }
+    for &ci in sc.coll.row(bi) {
+        if !l.is_leaf[ci as usize] {
+            w_descend(l, sc, &beta, ci as usize, &mut out);
         }
     }
-    out.sort_unstable();
+    sorted_dedup(&mut out);
     out
 }
 
 /// Invariant: `o` is adjacent to β and is a non-leaf present in the LET.
-fn w_descend(l: &Let, beta: &MortonKey, o: &MortonKey, out: &mut Vec<u32>) {
-    for ch in o.children() {
-        let Some(i) = l.find(&ch) else { continue };
-        if ch.is_adjacent(beta) {
+fn w_descend(l: &Let, sc: &Scaffold, beta: &MortonKey, o: usize, out: &mut Vec<u32>) {
+    sc.children(l, o, |i| {
+        if l.octs[i].is_adjacent(beta) {
             if !l.is_leaf[i] {
-                w_descend(l, beta, &ch, out);
+                w_descend(l, sc, beta, i, out);
             }
         } else {
             // P(ch) = o is adjacent, ch is not: a W member (leaf or not).
             out.push(i as u32);
         }
-    }
+    });
 }
 
 /// X(β): leaves α coarser than β with β inside a colleague of α, `P(β)`
-/// adjacent to α, and β not adjacent to α (the dual of W).
-fn x_list(l: &Let, beta: &MortonKey, lmin: u32) -> Vec<u32> {
+/// adjacent to α, and β not adjacent to α (the dual of W). β's present
+/// ancestors are exactly its `parent` chain, and the same-level octants
+/// adjacent to each ancestor are its colleague row.
+fn x_list(l: &Let, sc: &Scaffold, bi: usize, lmin: u32) -> Vec<u32> {
+    let beta = l.octs[bi];
     let Some(par) = beta.parent() else {
         return Vec::new();
     };
+    let floor = lmin.max(1);
     let mut out = Vec::new();
-    let mut level = beta.level();
-    while level > lmin.max(1) {
-        level -= 1;
-        // α at `level` with β descendant of a colleague of α ⟺ α adjacent
-        // to β's ancestor at `level`.
-        let anc = beta.ancestor_at_level(level);
-        for alpha in anc.colleagues() {
-            let Some(i) = l.find(&alpha) else { continue };
-            if !l.is_leaf[i] {
+    let mut a = bi;
+    while sc.parent[a] != u32::MAX {
+        let pi = sc.parent[a] as usize;
+        if level_of(l, pi) < floor {
+            break;
+        }
+        for &ai in sc.coll.row(pi) {
+            if !l.is_leaf[ai as usize] {
                 continue;
             }
+            let alpha = l.octs[ai as usize];
             if par.is_adjacent(&alpha) && !beta.is_adjacent(&alpha) {
-                out.push(i as u32);
+                out.push(ai);
             }
         }
+        a = pi;
     }
-    out.sort_unstable();
-    out.dedup();
+    sorted_dedup(&mut out);
     out
 }
 
@@ -599,6 +797,26 @@ mod tests {
         });
         let total_owned: usize = outs.iter().map(|(o, _)| o).sum();
         assert!(total_owned > 0);
+    }
+
+    #[test]
+    fn parallel_rows_match_serial() {
+        for (pts, q) in [
+            (random_points(300, 61), 6usize),
+            (ellipsoid_points(300, 8), 4),
+        ] {
+            let l = seq_let(pts, q);
+            let serial = build_lists(&l);
+            for t in [1usize, 2, 8] {
+                let par = build_lists_with(&l, SetupPar::Threads(t));
+                for bi in 0..l.len() {
+                    assert_eq!(par.u.row(bi), serial.u.row(bi), "U row {bi} t={t}");
+                    assert_eq!(par.v.row(bi), serial.v.row(bi), "V row {bi} t={t}");
+                    assert_eq!(par.w.row(bi), serial.w.row(bi), "W row {bi} t={t}");
+                    assert_eq!(par.x.row(bi), serial.x.row(bi), "X row {bi} t={t}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,13 +7,22 @@
 //! a `p+1`-entry fence in Morton-rank space — they *define* the geometric
 //! regions `Ω_k` each rank controls for the rest of the pipeline.
 
+use crate::par::SetupPar;
 use crate::point::PointRec;
+use crate::psort;
 use pfmm_morton::{MAX_DEPTH, RANK_SPAN};
 use pfmm_mpisim::collectives::allgatherv;
 use pfmm_mpisim::Comm;
 
 /// Oversampling factor: samples per rank presented to splitter selection.
 const OVERSAMPLE: usize = 32;
+
+/// [`sample_sort_points_with`] on the original serial path (comparison
+/// sort); kept as the ablation baseline and for callers without a
+/// thread budget.
+pub fn sample_sort_points(c: &Comm, pts: Vec<PointRec>) -> (Vec<PointRec>, Vec<u128>) {
+    sample_sort_points_with(c, pts, SetupPar::Serial)
+}
 
 /// Globally sort points by (Morton key, gid) and return this rank's
 /// contiguous chunk plus the region fence.
@@ -22,9 +31,18 @@ const OVERSAMPLE: usize = 32;
 /// `spl[p] = RANK_SPAN`; rank `k` ends up holding exactly the points whose
 /// finest-key rank lies in `[spl[k], spl[k+1])`. Points with equal keys
 /// (coincident positions) never straddle a region boundary.
-pub fn sample_sort_points(c: &Comm, mut pts: Vec<PointRec>) -> (Vec<PointRec>, Vec<u128>) {
+///
+/// `par` selects the local sort backend: the serial comparison sort, or
+/// the multithreaded LSD radix sort of [`crate::psort`] — the output is
+/// bitwise identical either way (unique `(rank, gid)` keys admit exactly
+/// one sorted permutation), so splitters, buckets, and the fence agree.
+pub fn sample_sort_points_with(
+    c: &Comm,
+    pts: Vec<PointRec>,
+    par: SetupPar,
+) -> (Vec<PointRec>, Vec<u128>) {
     let p = c.size();
-    pts.sort_unstable_by_key(|r| (r.key_rank(), r.gid));
+    let pts = psort::sort_points(par, pts);
     if p == 1 {
         return (pts, vec![0, RANK_SPAN]);
     }
@@ -84,18 +102,20 @@ pub fn sample_sort_points(c: &Comm, mut pts: Vec<PointRec>) -> (Vec<PointRec>, V
     }
     spl.push(RANK_SPAN);
 
-    // Bucket by fence: destination k has spl[k] <= key < spl[k+1].
+    // Bucket by fence: destination k has spl[k] <= key < spl[k+1]. The
+    // Morton ranks are re-derived chunk-parallel; the bucket fill itself
+    // stays serial so each destination sees its points in sorted order.
+    let ranks = psort::ranks_of(par, &pts);
     let mut outgoing: Vec<Vec<PointRec>> = vec![Vec::new(); p];
-    for r in pts {
-        let key = r.key_rank();
+    for (r, key) in pts.into_iter().zip(ranks) {
         // partition_point gives the count of fence entries <= key over
         // spl[1..p]; that count is the destination rank.
         let dest = spl[1..p].partition_point(|&f| f <= key);
         outgoing[dest].push(r);
     }
     let received = pfmm_mpisim::collectives::alltoallv(c, outgoing);
-    let mut mine: Vec<PointRec> = received.into_iter().flatten().collect();
-    mine.sort_unstable_by_key(|r| (r.key_rank(), r.gid));
+    let mine: Vec<PointRec> = received.into_iter().flatten().collect();
+    let mine = psort::sort_points(par, mine);
     (mine, spl)
 }
 
@@ -191,6 +211,25 @@ mod tests {
         });
         let total: usize = results.iter().map(|v| v.len()).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn parallel_setup_matches_serial_across_ranks() {
+        // The radix backend must reproduce the serial sample sort's
+        // chunks and fence exactly, on every rank and thread count.
+        for p in [1usize, 3, 4] {
+            let serial = run(p, |c| {
+                let pts = random_points(120, 3 + c.rank() as u64, (c.rank() * 120) as u64);
+                sample_sort_points(c, pts)
+            });
+            for t in [1usize, 2, 8] {
+                let par = run(p, |c| {
+                    let pts = random_points(120, 3 + c.rank() as u64, (c.rank() * 120) as u64);
+                    sample_sort_points_with(c, pts, SetupPar::Threads(t))
+                });
+                assert_eq!(par, serial, "p={p} threads={t}");
+            }
+        }
     }
 
     #[test]
