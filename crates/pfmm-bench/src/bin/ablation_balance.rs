@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use pfmm_bench::{run_case, Distribution, Table};
+use pfmm_bench::{run_case_best, Distribution, Table};
 use pfmm_core::FmmConfig;
 use pfmm_kernels::Stokes;
 
@@ -31,7 +31,15 @@ fn main() {
                 balance,
                 ..Default::default()
             };
-            let s = run_case(Arc::new(Stokes::default()), cfg, dist, per_rank * p, p, 57);
+            let s = run_case_best(
+                Arc::new(Stokes::default()),
+                cfg,
+                dist,
+                per_rank * p,
+                p,
+                57,
+                1,
+            );
             let flops = s.rank_flops();
             let max = *flops.iter().max().expect("ranks") as f64;
             let avg = flops.iter().sum::<u64>() as f64 / p as f64;

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use pfmm_bench::{run_case, Distribution, Table};
+use pfmm_bench::{run_case_best, Distribution, Table};
 use pfmm_core::{FmmConfig, Reduction};
 use pfmm_kernels::Laplace;
 
@@ -34,13 +34,14 @@ fn main() {
                 reduction,
                 ..Default::default()
             };
-            let s = run_case(
+            let s = run_case_best(
                 Arc::new(Laplace),
                 cfg,
                 Distribution::Uniform,
                 per_rank * p,
                 p,
                 31,
+                1,
             );
             stats.push((s.max_comm_msgs(), s.max_comm_bytes()));
         }

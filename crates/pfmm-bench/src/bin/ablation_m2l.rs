@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use pfmm_bench::{run_case, Distribution, Table};
+use pfmm_bench::{run_case_best, Distribution, Table};
 use pfmm_core::{FmmConfig, M2lMode, Phase};
 use pfmm_kernels::Laplace;
 
@@ -53,7 +53,7 @@ fn main() {
                 m2l,
                 ..Default::default()
             };
-            let s = run_case(Arc::new(Laplace), cfg, Distribution::Uniform, n, 1, 13);
+            let s = run_case_best(Arc::new(Laplace), cfg, Distribution::Uniform, n, 1, 13, 1);
             wall[i] = s.max_secs(Phase::VList);
             gflop[i] = s.profiles[0].flops(Phase::VList) as f64 / 1e9;
         }

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use pfmm_bench::{run_case, run_case_traced, Distribution, Table};
+use pfmm_bench::{run_case_best, run_case_traced, Distribution, Table};
 use pfmm_core::driver::Schedule;
 use pfmm_core::FmmConfig;
 use pfmm_kernels::Laplace;
@@ -58,7 +58,7 @@ fn main() {
                     schedule,
                     ..Default::default()
                 };
-                let s = run_case(Arc::new(Laplace), cfg, dist, per_rank * p, p, 31);
+                let s = run_case_best(Arc::new(Laplace), cfg, dist, per_rank * p, p, 31, 1);
                 evals.push(s.max_eval());
                 if schedule == Schedule::Graph {
                     overlap = s

@@ -1,0 +1,431 @@
+//! Perf-regression sentinel over the committed benchmark baselines.
+//!
+//! Every optimization this repo ships is gated by a ratio in a
+//! committed `results/BENCH_*.json` file (tiled vs scalar near field,
+//! GEMM vs matvec translations, batched-FFT vs dense M2L, parallel vs
+//! serial setup, warm vs cold serving, tracing overhead). Those files
+//! are regenerated rarely; nothing re-checks the claims day to day.
+//! This sentinel does: it loads each committed baseline, re-measures
+//! the same gated ratio in a fast smoke configuration (smaller N,
+//! reps-1 unless `PFMM_BENCH_REPS` raises it), and fails — with a
+//! structured JSON report — when a measured ratio falls below
+//! `committed × (1 − tolerance)`. The generous default tolerance
+//! (30%) absorbs the size difference and host noise while still
+//! catching a halved speedup.
+//!
+//! Usage: `bench_check [--results <dir>] [--tolerance <frac>]
+//! [--inject <factor>] [--report <path>]`. `--inject` divides every
+//! measured ratio by `<factor>` — a self-test hook: CI runs
+//! `bench_check --inject 2` and requires the nonzero exit.
+
+use std::sync::Arc;
+
+use pfmm_bench::{bench_reps, run_case_best, Distribution, RunSummary};
+use pfmm_core::profile::Phase;
+use pfmm_core::{Fmm, FmmConfig, M2lMode, SetupMode, TranslateMode, UlistMode};
+use pfmm_kernels::Laplace;
+use pfmm_serve::{run_sim, Arrival, ObsConfig, ServiceConfig, SimConfig, WorkloadConfig};
+use pfmm_trace::json::{parse, push_escaped, Value};
+use pfmm_trace::{TraceLevel, Tracer};
+
+/// One gated ratio: where it came from, what we re-measured, verdict.
+struct Check {
+    baseline: &'static str,
+    key: &'static str,
+    committed: f64,
+    measured: f64,
+    floor: f64,
+}
+
+impl Check {
+    fn pass(&self) -> bool {
+        self.measured >= self.floor
+    }
+}
+
+fn load(dir: &str, file: &str) -> Option<Value> {
+    let path = format!("{dir}/{file}");
+    let text = std::fs::read_to_string(&path).ok()?;
+    Some(parse(&text).unwrap_or_else(|e| panic!("{path}: malformed baseline: {e}")))
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    v.get(key)
+        .and_then(|x| x.as_num())
+        .unwrap_or_else(|| panic!("baseline missing numeric key '{key}'"))
+}
+
+/// Smallest value of `key` across the baseline's `rows` — the weakest
+/// committed gate is the one the sentinel re-checks.
+fn min_row(v: &Value, key: &str) -> f64 {
+    v.get("rows")
+        .and_then(|r| r.as_arr())
+        .unwrap_or_else(|| panic!("baseline missing 'rows'"))
+        .iter()
+        .map(|row| num(row, key))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn smoke_cfg() -> FmmConfig {
+    FmmConfig {
+        order: 4,
+        q: 60,
+        ..Default::default()
+    }
+}
+
+fn eval_secs(cfg: FmmConfig, n: usize, reps: usize) -> RunSummary {
+    run_case_best(
+        Arc::new(Laplace),
+        cfg,
+        Distribution::Uniform,
+        n,
+        1,
+        23,
+        reps,
+    )
+}
+
+fn phase_ratio(a: &RunSummary, b: &RunSummary, phases: &[Phase]) -> f64 {
+    let secs = |s: &RunSummary| phases.iter().map(|&p| s.max_secs(p)).sum::<f64>();
+    secs(a) / secs(b).max(1e-12)
+}
+
+fn serve_cfg(warm: bool) -> SimConfig {
+    SimConfig {
+        workload: WorkloadConfig {
+            seed: 2009,
+            requests: 12,
+            n_points: 6_000,
+            hot_geometries: 3,
+            cold_fraction: 0.1,
+            arrival: Arrival::Closed { concurrency: 6 },
+            deadline_us: 0,
+            priority_levels: 1,
+        },
+        service: ServiceConfig {
+            max_batch: if warm { 6 } else { 1 },
+            max_linger_us: if warm { 1_500 } else { 0 },
+            workers: 2,
+            shed_high_us: u64::MAX,
+            shed_low_us: u64::MAX,
+        },
+        cache_budget_bytes: if warm { 1 << 30 } else { 0 },
+        keep_potentials: false,
+        obs: ObsConfig::default(),
+    }
+}
+
+fn serve_throughput(warm: bool) -> f64 {
+    let fmm = Arc::new(Fmm::new(
+        Arc::new(Laplace),
+        FmmConfig {
+            order: 2,
+            q: 24,
+            ..Default::default()
+        },
+    ));
+    run_sim(fmm, "laplace", serve_cfg(warm), Arc::new(Tracer::off())).throughput_rps
+}
+
+fn main() {
+    let mut dir = "results".to_string();
+    let mut tolerance = 0.30f64;
+    let mut inject = 1.0f64;
+    let mut report_path = "results/BENCH_check_report.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--results" => dir = val("--results"),
+            "--tolerance" => tolerance = val("--tolerance").parse().expect("tolerance"),
+            "--inject" => inject = val("--inject").parse().expect("inject factor"),
+            "--report" => report_path = val("--report"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    let reps = bench_reps(1);
+    println!(
+        "bench_check: baselines from {dir}/, tolerance {:.0}%, reps {reps}{}\n",
+        tolerance * 100.0,
+        if inject != 1.0 {
+            format!(", INJECTING {inject}x regression")
+        } else {
+            String::new()
+        }
+    );
+
+    let floor_of = |committed: f64| committed * (1.0 - tolerance);
+    let mut checks: Vec<Check> = Vec::new();
+    let n = 40_000;
+
+    if let Some(b) = load(&dir, "BENCH_ulist.json") {
+        let committed = min_row(&b, "speedup_tiled_vs_scalar");
+        let scalar = eval_secs(
+            FmmConfig {
+                q: 64,
+                ulist: UlistMode::Scalar,
+                ..smoke_cfg()
+            },
+            n,
+            reps,
+        );
+        let tiled = eval_secs(
+            FmmConfig {
+                q: 64,
+                ulist: UlistMode::Tiled,
+                ..smoke_cfg()
+            },
+            n,
+            reps,
+        );
+        checks.push(Check {
+            baseline: "BENCH_ulist.json",
+            key: "speedup_tiled_vs_scalar",
+            committed,
+            measured: phase_ratio(&scalar, &tiled, &[Phase::UList]),
+            floor: floor_of(committed),
+        });
+    }
+
+    if let Some(b) = load(&dir, "BENCH_translate.json") {
+        let committed = min_row(&b, "speedup_gemm_vs_matvec");
+        let matvec = eval_secs(
+            FmmConfig {
+                order: 5,
+                q: 16,
+                translate: TranslateMode::Matvec,
+                ..smoke_cfg()
+            },
+            n,
+            reps,
+        );
+        let gemm = eval_secs(
+            FmmConfig {
+                order: 5,
+                q: 16,
+                translate: TranslateMode::Gemm,
+                ..smoke_cfg()
+            },
+            n,
+            reps,
+        );
+        checks.push(Check {
+            baseline: "BENCH_translate.json",
+            key: "speedup_gemm_vs_matvec",
+            committed,
+            measured: phase_ratio(&matvec, &gemm, &[Phase::Upward, Phase::Downward]),
+            floor: floor_of(committed),
+        });
+    }
+
+    if let Some(b) = load(&dir, "BENCH_m2l.json") {
+        let batched = eval_secs(
+            FmmConfig {
+                q: 40,
+                m2l: M2lMode::FftBatched,
+                ..smoke_cfg()
+            },
+            n,
+            reps,
+        );
+        for (key, mode) in [
+            ("speedup_batched_vs_fft", M2lMode::Fft),
+            ("speedup_batched_vs_dense", M2lMode::Dense),
+        ] {
+            let committed = min_row(&b, key);
+            let other = eval_secs(
+                FmmConfig {
+                    q: 40,
+                    m2l: mode,
+                    ..smoke_cfg()
+                },
+                n,
+                reps,
+            );
+            checks.push(Check {
+                baseline: "BENCH_m2l.json",
+                key,
+                committed,
+                measured: phase_ratio(&other, &batched, &[Phase::VList]),
+                floor: floor_of(committed),
+            });
+        }
+    }
+
+    if let Some(b) = load(&dir, "BENCH_setup.json") {
+        let serial = eval_secs(
+            FmmConfig {
+                q: 100,
+                threads: 4,
+                setup: SetupMode::Serial,
+                ..smoke_cfg()
+            },
+            100_000,
+            reps,
+        );
+        let parallel = eval_secs(
+            FmmConfig {
+                q: 100,
+                threads: 4,
+                setup: SetupMode::Parallel,
+                ..smoke_cfg()
+            },
+            100_000,
+            reps,
+        );
+        let setup_ratio = serial.max_setup() / parallel.max_setup().max(1e-12);
+        let sort_ratio = serial.max_sort() / parallel.max_sort().max(1e-12);
+        for (key, committed, measured) in [
+            ("setup_speedup", min_row(&b, "setup_speedup"), setup_ratio),
+            ("sort_speedup", min_row(&b, "sort_speedup"), sort_ratio),
+            (
+                "cold_plan.speedup",
+                num(b.get("cold_plan").expect("cold_plan member"), "speedup"),
+                setup_ratio,
+            ),
+        ] {
+            checks.push(Check {
+                baseline: "BENCH_setup.json",
+                key,
+                committed,
+                measured,
+                floor: floor_of(committed),
+            });
+        }
+    }
+
+    if let Some(b) = load(&dir, "BENCH_serve.json") {
+        let committed = num(&b, "speedup");
+        let mut best_cold = 0.0f64;
+        let mut best_warm = 0.0f64;
+        for _ in 0..reps.max(1) {
+            best_cold = best_cold.max(serve_throughput(false));
+            best_warm = best_warm.max(serve_throughput(true));
+        }
+        checks.push(Check {
+            baseline: "BENCH_serve.json",
+            key: "speedup",
+            committed,
+            measured: best_warm / best_cold.max(1e-12),
+            floor: floor_of(committed),
+        });
+    }
+
+    if let Some(b) = load(&dir, "BENCH_trace_overhead.json") {
+        // Overhead gate, re-expressed as the ratio off/traced so every
+        // check reads "bigger is better": budget_pct overhead allowed
+        // means the committed floor ratio is 1/(1 + budget/100).
+        let budget = num(&b, "budget_pct");
+        let committed = 1.0 / (1.0 + budget / 100.0);
+        let mut off = f64::INFINITY;
+        let mut traced = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t_off = Arc::new(Tracer::off());
+            off = off.min(run_case_traced_secs(smoke_cfg(), n, &t_off));
+            let t_ph = Arc::new(Tracer::new(TraceLevel::Phase));
+            traced = traced.min(run_case_traced_secs(smoke_cfg(), n, &t_ph));
+        }
+        checks.push(Check {
+            baseline: "BENCH_trace_overhead.json",
+            key: "phase_overhead_pct",
+            committed,
+            measured: off / traced.max(1e-12),
+            floor: floor_of(committed),
+        });
+    }
+
+    if let Some(b) = load(&dir, "BENCH_metrics_overhead.json") {
+        // Same ratio form for the telemetry budget: disabled/armed.
+        let budget = num(&b, "budget_pct");
+        let committed = 1.0 / (1.0 + budget / 100.0);
+        let reg = pfmm_metrics::global();
+        let mut disabled = f64::INFINITY;
+        let mut armed = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            reg.set_enabled(false);
+            disabled = disabled.min(eval_secs(smoke_cfg(), n, 1).max_eval());
+            reg.set_enabled(true);
+            armed = armed.min(eval_secs(smoke_cfg(), n, 1).max_eval());
+        }
+        checks.push(Check {
+            baseline: "BENCH_metrics_overhead.json",
+            key: "overhead_pct",
+            committed,
+            measured: disabled / armed.max(1e-12),
+            floor: floor_of(committed),
+        });
+    }
+
+    assert!(!checks.is_empty(), "no baselines found under {dir}/");
+    for c in &mut checks {
+        c.measured /= inject;
+    }
+
+    println!(
+        "{:<32} {:<26} {:>10} {:>10} {:>8} {:>6}",
+        "baseline", "key", "committed", "measured", "floor", "ok"
+    );
+    let mut failed = 0usize;
+    for c in &checks {
+        println!(
+            "{:<32} {:<26} {:>10.3} {:>10.3} {:>8.3} {:>6}",
+            c.baseline,
+            c.key,
+            c.committed,
+            c.measured,
+            c.floor,
+            if c.pass() { "pass" } else { "FAIL" }
+        );
+        failed += usize::from(!c.pass());
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"bench_check\",\n");
+    json.push_str(&format!(
+        "  \"tolerance\": {tolerance},\n  \"inject\": {inject},\n  \
+         \"reps\": {reps},\n  \"failed\": {failed},\n  \"checks\": [\n"
+    ));
+    for (i, c) in checks.iter().enumerate() {
+        json.push_str("    {\"baseline\": ");
+        push_escaped(&mut json, c.baseline);
+        json.push_str(", \"key\": ");
+        push_escaped(&mut json, c.key);
+        json.push_str(&format!(
+            ", \"committed\": {:.4}, \"measured\": {:.4}, \"floor\": {:.4}, \"pass\": {}}}{}\n",
+            c.committed,
+            c.measured,
+            c.floor,
+            c.pass(),
+            if i + 1 < checks.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(parent) = std::path::Path::new(&report_path).parent() {
+        std::fs::create_dir_all(parent).expect("create report dir");
+    }
+    std::fs::write(&report_path, &json).unwrap_or_else(|e| panic!("write {report_path}: {e}"));
+    println!("\nwrote {report_path}");
+
+    assert!(
+        failed == 0,
+        "{failed} of {} gated ratios regressed below their floor (see {report_path})",
+        checks.len()
+    );
+    println!("all {} gated ratios hold", checks.len());
+}
+
+fn run_case_traced_secs(cfg: FmmConfig, n: usize, tracer: &Arc<Tracer>) -> f64 {
+    pfmm_bench::run_case_traced(
+        Arc::new(Laplace),
+        cfg,
+        Distribution::Uniform,
+        n,
+        1,
+        23,
+        tracer,
+    )
+    .max_eval()
+}

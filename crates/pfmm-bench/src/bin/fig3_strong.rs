@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use pfmm_bench::{modeled_eval_secs, modeled_rank_secs, run_case, Distribution, Table};
+use pfmm_bench::{modeled_eval_secs, modeled_rank_secs, run_case_best, Distribution, Table};
 use pfmm_core::{FmmConfig, Phase};
 use pfmm_kernels::Stokes;
 use pfmm_perfmodel::{FmmModel, MachineParams, Sample};
@@ -50,7 +50,7 @@ fn main() {
         let mut samples: Vec<Sample> = Vec::new();
         let mut t1 = None;
         for p in [1usize, 2, 4, 8, 16] {
-            let s = run_case(Arc::new(Stokes::default()), cfg, dist, n, p, 42);
+            let s = run_case_best(Arc::new(Stokes::default()), cfg, dist, n, p, 42, 1);
             samples.push(s.to_sample());
             // Phase averages of the modeled per-rank times.
             let mut avg = [0.0f64; 7];

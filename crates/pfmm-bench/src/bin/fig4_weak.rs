@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use pfmm_bench::{modeled_eval_secs, run_case, Distribution, Table};
+use pfmm_bench::{modeled_eval_secs, run_case_best, Distribution, Table};
 use pfmm_core::FmmConfig;
 use pfmm_kernels::Stokes;
 use pfmm_perfmodel::{FmmModel, MachineParams, Sample};
@@ -45,7 +45,15 @@ fn main() {
         ]);
         let mut samples: Vec<Sample> = Vec::new();
         for p in [1usize, 2, 4, 8, 16] {
-            let s = run_case(Arc::new(Stokes::default()), cfg, dist, per_rank * p, p, 17);
+            let s = run_case_best(
+                Arc::new(Stokes::default()),
+                cfg,
+                dist,
+                per_rank * p,
+                p,
+                17,
+                1,
+            );
             samples.push(s.to_sample());
             let (maxt, avgt) = modeled_eval_secs(&s);
             table.row(vec![

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use pfmm_bench::{run_case, Distribution, Table};
+use pfmm_bench::{run_case_best, Distribution, Table};
 use pfmm_core::{FmmConfig, Reduction};
 use pfmm_kernels::Stokes;
 
@@ -35,7 +35,15 @@ fn main() {
                 reduction: Reduction::Auto,
                 ..Default::default()
             };
-            let s = run_case(Arc::new(Stokes::default()), cfg, dist, per_rank * p, p, 99);
+            let s = run_case_best(
+                Arc::new(Stokes::default()),
+                cfg,
+                dist,
+                per_rank * p,
+                p,
+                99,
+                1,
+            );
             let flops = s.rank_flops();
             let (min, avg, max, ratio) = spread(&flops);
             println!(

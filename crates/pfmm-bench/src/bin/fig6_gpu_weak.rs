@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use pfmm_bench::{run_case, Distribution, Table};
+use pfmm_bench::{run_case_best, Distribution, Table};
 use pfmm_core::distrib::{randomize_densities, uniform_cube};
 use pfmm_core::FmmConfig;
 use pfmm_gpusim::{run_gpu_fmm_distributed, DeviceSpec};
@@ -71,13 +71,14 @@ fn main() {
         q: q_cpu,
         ..Default::default()
     };
-    let cpu_run = run_case(
+    let cpu_run = run_case_best(
         Arc::new(Laplace),
         cfg,
         Distribution::Uniform,
         per_rank,
         1,
         5,
+        1,
     );
     let cpu_flops = cpu_run.profiles[0].total_flops() as f64;
     let cpu_rates = [("0.5 GF/s", 0.5e9), ("2 GF/s", 2.0e9)];
@@ -91,13 +92,14 @@ fn main() {
     // Communication calibration from real distributed CPU runs.
     let mut samples: Vec<Sample> = Vec::new();
     for p in [2usize, 4, 8] {
-        let s = run_case(
+        let s = run_case_best(
             Arc::new(Laplace),
             cfg,
             Distribution::Uniform,
             per_rank * p,
             p,
             11,
+            1,
         );
         samples.push(s.to_sample());
     }

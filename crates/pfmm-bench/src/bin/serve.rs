@@ -28,7 +28,9 @@ use std::sync::Arc;
 use pfmm_bench::{bench_reps, bench_warmup, Table};
 use pfmm_core::{Fmm, FmmConfig};
 use pfmm_kernels::Laplace;
-use pfmm_serve::{run_sim, Arrival, ServeReport, ServiceConfig, SimConfig, WorkloadConfig};
+use pfmm_serve::{
+    run_sim, Arrival, ObsConfig, ServeReport, ServiceConfig, SimConfig, WorkloadConfig,
+};
 use pfmm_trace::Tracer;
 
 fn fmm() -> Arc<Fmm> {
@@ -63,6 +65,7 @@ fn sim_cfg(requests: usize, n_points: usize, warm: bool) -> SimConfig {
         },
         cache_budget_bytes: if warm { 1 << 30 } else { 0 },
         keep_potentials: true,
+        obs: ObsConfig::default(),
     }
 }
 

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use pfmm_bench::{modeled_rank_secs, run_case, Distribution, Table};
+use pfmm_bench::{modeled_rank_secs, run_case_best, Distribution, Table};
 use pfmm_core::{FmmConfig, Phase};
 use pfmm_kernels::Stokes;
 use pfmm_perfmodel::{FmmModel, MachineParams};
@@ -25,13 +25,14 @@ fn main() {
         ..Default::default()
     };
     println!("Table II reproduction: nonuniform, Stokes, p = {p}, {per_rank} pts/rank\n");
-    let s = run_case(
+    let s = run_case_best(
         Arc::new(Stokes::default()),
         cfg,
         Distribution::Ellipsoid,
         per_rank * p,
         p,
         7,
+        1,
     );
 
     let modeled: Vec<[f64; 7]> = s

@@ -7,6 +7,13 @@
 //! nonzero when the file is malformed, carries fewer than `min_flows`
 //! matched flow arrows (default 0), or fewer than `min_setup` setup-phase
 //! spans (`Sort` / `Setup:*`; default 0).
+//!
+//! Incident mode: `trace_check --incident <path.json>` validates a
+//! flight-recorder dump instead — the `incident` envelope (reason /
+//! t_us / window_us / lane / seq), the embedded `metrics` snapshot,
+//! Perfetto parseability of the spans, that every span ends inside the
+//! recorder window, and that the triggering lane contributed at least
+//! one span.
 
 use std::collections::BTreeMap;
 
@@ -14,7 +21,14 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let path = args
         .next()
-        .expect("usage: trace_check <path.json> [min_flows] [min_setup]");
+        .expect("usage: trace_check [--incident] <path.json> [min_flows] [min_setup]");
+    if path == "--incident" {
+        let path = args
+            .next()
+            .expect("usage: trace_check --incident <path.json>");
+        check_incident(&path);
+        return;
+    }
     let min_flows: usize = args
         .next()
         .map(|a| a.parse().expect("min_flows must be an integer"))
@@ -58,6 +72,83 @@ fn main() {
     assert!(
         setup_spans >= min_setup,
         "expected at least {min_setup} setup-phase spans, found {setup_spans}"
+    );
+    println!("ok");
+}
+
+/// Validate a flight-recorder incident dump (see pfmm-metrics flight.rs
+/// for the envelope format this inverts).
+fn check_incident(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let doc = pfmm_trace::json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+
+    let inc = doc
+        .get("incident")
+        .unwrap_or_else(|| panic!("{path}: missing 'incident' member"));
+    let reason = inc
+        .get("reason")
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| panic!("{path}: incident.reason must be a string"));
+    let inum = |key: &str| {
+        inc.get(key)
+            .and_then(|v| v.as_num())
+            .unwrap_or_else(|| panic!("{path}: incident.{key} must be a number"))
+    };
+    let t_us = inum("t_us");
+    let window_us = inum("window_us");
+    let lane = inum("lane") as u32;
+    let seq = inum("seq") as u64;
+    assert!(window_us > 0.0, "{path}: incident window must be positive");
+
+    // The metrics member must be a well-formed registry snapshot.
+    let metrics = doc
+        .get("metrics")
+        .unwrap_or_else(|| panic!("{path}: missing 'metrics' member"));
+    let entries = metrics
+        .get("entries")
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| panic!("{path}: metrics.entries must be an array"));
+    for e in entries {
+        assert!(
+            e.get("name").and_then(|v| v.as_str()).is_some(),
+            "{path}: metrics entry missing name"
+        );
+    }
+
+    // The span payload must stand on its own as a Perfetto trace.
+    let events = pfmm_trace::chrome::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    let stats =
+        pfmm_trace::chrome::validate(&events).unwrap_or_else(|e| panic!("validate {path}: {e}"));
+
+    // Every recorded span must end inside the recorder window. Begins
+    // may precede it (a long span straddling the cutoff is kept), so
+    // gate on End timestamps; a small slack absorbs the trigger racing
+    // concurrent lanes still finishing their spans.
+    let slack = window_us * 0.05;
+    let (lo, hi) = (t_us - window_us - slack, t_us + slack);
+    let mut lane_spans = 0usize;
+    for e in &events {
+        if matches!(e.kind, pfmm_trace::EventKind::End) {
+            assert!(
+                e.ts_us >= lo && e.ts_us <= hi,
+                "{path}: span end at {} µs outside window [{lo}, {hi}]",
+                e.ts_us
+            );
+        }
+        if matches!(e.kind, pfmm_trace::EventKind::Begin) && e.tid == lane {
+            lane_spans += 1;
+        }
+    }
+    assert!(
+        lane_spans >= 1,
+        "{path}: triggering lane {lane} contributed no spans"
+    );
+
+    println!(
+        "{path}: incident '{reason}' seq {seq} at {t_us:.0} µs (window {window_us:.0} µs, \
+         lane {lane}): {} spans, {} metric series, lane spans {lane_spans}",
+        stats.spans,
+        entries.len()
     );
     println!("ok");
 }

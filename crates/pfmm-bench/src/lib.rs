@@ -193,6 +193,33 @@ pub fn run_case_traced(
     }
 }
 
+/// [`run_case`] honoring `PFMM_BENCH_WARMUP` / `PFMM_BENCH_REPS`:
+/// `bench_warmup(0)` unmeasured passes, then the best (smallest
+/// `max_eval`) of `bench_reps(default_reps)` measured ones. The
+/// table/figure and ablation bins route their measurements through
+/// this so one environment knob controls every binary's rep count.
+pub fn run_case_best(
+    kernel: Arc<dyn Kernel>,
+    cfg: FmmConfig,
+    dist: Distribution,
+    n_total: usize,
+    p: usize,
+    seed: u64,
+    default_reps: usize,
+) -> RunSummary {
+    for _ in 0..bench_warmup(0) {
+        run_case(kernel.clone(), cfg, dist, n_total, p, seed);
+    }
+    let mut best: Option<RunSummary> = None;
+    for _ in 0..bench_reps(default_reps).max(1) {
+        let s = run_case(kernel.clone(), cfg, dist, n_total, p, seed);
+        if best.as_ref().is_none_or(|b| s.max_eval() < b.max_eval()) {
+            best = Some(s);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
 /// Repetitions for a measured benchmark: the binary's default, unless
 /// the `PFMM_BENCH_REPS` environment variable overrides it (CI smoke
 /// runs set 1; precision runs raise it).

@@ -309,6 +309,21 @@ impl Fmm {
         points: Vec<PointRec>,
         tracer: &Arc<Tracer>,
     ) -> PotentialResult {
+        self.evaluate_observed(c, points, tracer, pfmm_metrics::global())
+    }
+
+    /// [`Fmm::evaluate_traced`], publishing this run's accounting into
+    /// an explicit metrics registry instead of the process-wide one.
+    /// Recording happens after the arithmetic finishes, from the same
+    /// `Profile`/`CommStats` values stored in the returned result, so
+    /// metrics can never disagree with the result they describe.
+    pub fn evaluate_observed(
+        &self,
+        c: &Comm,
+        points: Vec<PointRec>,
+        tracer: &Arc<Tracer>,
+        reg: &pfmm_metrics::MetricsRegistry,
+    ) -> PotentialResult {
         let mut prof = Profile::default();
         let sd = self.kernel.source_dim();
         let td = self.kernel.target_dim();
@@ -432,11 +447,23 @@ impl Fmm {
         }
 
         let info = tree_info(c, &l);
+        let comm = c.stats();
+        if reg.enabled() {
+            crate::obs::record_evaluation(
+                reg,
+                self.kernel.name(),
+                &self.cfg,
+                c.rank(),
+                &prof,
+                &lists,
+            );
+            pfmm_mpisim::obs::record_comm(reg, c.rank(), &comm);
+        }
         PotentialResult {
             gids,
             pot,
             profile: prof,
-            comm: c.stats(),
+            comm,
             comm_reduce,
             info,
         }

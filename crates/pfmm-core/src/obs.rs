@@ -1,0 +1,103 @@
+//! Mirror of per-evaluation results into the always-on telemetry
+//! registry (`pfmm-metrics`).
+//!
+//! Recording is strictly *post hoc*: the driver finishes an evaluation
+//! with its usual `Profile`/`CommStats` accounting and this module
+//! re-publishes those authoritative numbers as registry instruments,
+//! once per run. The arithmetic path never touches an atomic, so
+//! potentials with metrics enabled are bitwise identical to a run with
+//! them disabled (asserted by `tests/metrics_conservation.rs`).
+//!
+//! Naming scheme (see DESIGN.md §14): `pfmm_<layer>_<what>_<unit>`,
+//! counters suffixed `_total`, durations accumulated as integer
+//! microseconds, throughput gauges in GF/s. Labels are drawn from the
+//! closed sets `kernel`, `phase`, `rank`, `schedule`, `stage`, `list`.
+
+use pfmm_metrics::MetricsRegistry;
+use pfmm_tree::lists::Lists;
+
+use crate::driver::{FmmConfig, Schedule};
+use crate::profile::{Phase, Profile};
+
+/// Label value for the configured executor.
+pub fn schedule_label(cfg: &FmmConfig) -> &'static str {
+    match cfg.schedule {
+        Schedule::Barrier => "barrier",
+        Schedule::Graph => "graph",
+    }
+}
+
+/// Publish one finished evaluation: per-phase wall time and flop-model
+/// GF/s, setup-stage times, U/V/W/X edge counts.
+pub fn record_evaluation(
+    reg: &MetricsRegistry,
+    kernel: &str,
+    cfg: &FmmConfig,
+    rank: usize,
+    prof: &Profile,
+    lists: &Lists,
+) {
+    if !reg.enabled() {
+        return;
+    }
+    let r = rank.to_string();
+    let sched = schedule_label(cfg);
+    reg.counter(
+        "pfmm_evaluations_total",
+        &[("kernel", kernel), ("rank", &r), ("schedule", sched)],
+    )
+    .inc();
+    for ph in Phase::ALL {
+        let labels: &[(&str, &str)] = &[
+            ("kernel", kernel),
+            ("phase", ph.label()),
+            ("rank", &r),
+            ("schedule", sched),
+        ];
+        let secs = prof.secs(ph);
+        let flops = prof.flops(ph);
+        reg.counter("pfmm_phase_us_total", labels)
+            .add((secs * 1e6) as u64);
+        reg.counter("pfmm_phase_flops_total", labels).add(flops);
+        if secs > 0.0 {
+            reg.gauge("pfmm_phase_gflops", labels)
+                .set(flops as f64 / secs / 1e9);
+        }
+    }
+    for (stage, secs) in [
+        ("sort", prof.sort_secs),
+        ("tree", prof.tree_secs),
+        ("lists", prof.lists_secs),
+        ("plan", prof.plan_secs),
+    ] {
+        reg.counter("pfmm_setup_us_total", &[("rank", &r), ("stage", stage)])
+            .add((secs * 1e6) as u64);
+    }
+    for (list, csr) in [
+        ("u", &lists.u),
+        ("v", &lists.v),
+        ("w", &lists.w),
+        ("x", &lists.x),
+    ] {
+        reg.counter("pfmm_edges_total", &[("list", list), ("rank", &r)])
+            .add(csr.total() as u64);
+    }
+}
+
+/// Count a plan build (geometry-dependent setup paid once).
+pub fn record_plan_build(kernel: &str) {
+    let reg = pfmm_metrics::global();
+    if reg.enabled() {
+        reg.counter("pfmm_plan_builds_total", &[("kernel", kernel)])
+            .inc();
+    }
+}
+
+/// Count a plan reuse (one density set applied against a built plan).
+pub fn record_plan_apply(kernel: &str) {
+    let reg = pfmm_metrics::global();
+    if reg.enabled() {
+        reg.counter("pfmm_plan_applies_total", &[("kernel", kernel)])
+            .inc();
+    }
+}

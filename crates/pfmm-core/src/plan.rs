@@ -162,6 +162,7 @@ impl Fmm {
     /// Build a reusable plan: sort, tree, LET, lists, load balancing —
     /// everything except the density-dependent evaluation.
     pub fn plan(&self, c: &Comm, points: Vec<PointRec>) -> FmmPlan {
+        crate::obs::record_plan_build(self.kernel().name());
         let sd = self.kernel().source_dim();
         let td = self.kernel().target_dim();
         let par = self.setup_par();
@@ -265,6 +266,7 @@ impl Fmm {
     }
 
     fn apply_one(&self, c: &Comm, plan: &mut FmmPlan, densities: &[f64]) -> (Vec<f64>, Profile) {
+        crate::obs::record_plan_apply(self.kernel().name());
         let sd = plan.sd;
         let td = plan.td;
         assert_eq!(

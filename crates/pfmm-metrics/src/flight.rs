@@ -1,0 +1,437 @@
+//! Flight recorder: an always-armed, fixed-size ring of recently
+//! completed spans, dumped as a Perfetto-compatible incident file when
+//! a trigger fires.
+//!
+//! Recording is designed to be left on in production: each completed
+//! span is one push into a sharded ring (threads are assigned shards
+//! round-robin on first use, so in steady state a shard's mutex is
+//! touched by a single thread and is effectively uncontended). Nothing
+//! is serialized until a trigger — deadline violation, shedding
+//! engagement, or a phase-anomaly from [`PhaseWatch`] — asks for a
+//! dump, at which point the last `window_us` of spans plus the current
+//! metrics snapshot are written as one JSON document:
+//!
+//! ```text
+//! {"incident":{"reason":..,"t_us":..,"window_us":..,"lane":..,"seq":..},
+//!  "metrics":{..snapshot..},
+//!  "traceEvents":[..Chrome/Perfetto events..]}
+//! ```
+//!
+//! `pfmm_trace::chrome::parse` ignores unknown top-level members, so
+//! the file loads in Perfetto *and* round-trips through the existing
+//! trace tooling; `trace_check --incident` validates the envelope.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pfmm_trace::{chrome, Event, EventKind};
+
+use crate::registry::MetricsRegistry;
+use crate::snapshot::push_json_snapshot;
+
+/// Shard count for the span rings. More than enough for the simulated
+/// worker counts; collisions only add benign mutex sharing.
+const SHARDS: usize = 16;
+
+#[derive(Debug, Clone)]
+struct SpanRec {
+    rank: u32,
+    tid: u32,
+    name: String,
+    cat: String,
+    t0_us: f64,
+    t1_us: f64,
+}
+
+/// Flight-recorder configuration.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Directory incident files are written into (created on demand).
+    pub dir: PathBuf,
+    /// How far back a dump reaches: spans whose *end* falls within the
+    /// last `window_us` before the trigger are included.
+    pub window_us: f64,
+    /// Ring capacity per shard (per steady-state thread).
+    pub capacity_per_thread: usize,
+    /// Minimum spacing between dumps; triggers inside the cooldown are
+    /// counted but produce no file.
+    pub cooldown_us: f64,
+    /// Hard cap on files written over the recorder's lifetime.
+    pub max_dumps: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> FlightConfig {
+        FlightConfig {
+            dir: PathBuf::from("incidents"),
+            window_us: 50_000.0,
+            capacity_per_thread: 4096,
+            cooldown_us: 1_000_000.0,
+            max_dumps: 1,
+        }
+    }
+}
+
+/// Outcome of a trigger that produced a file.
+#[derive(Debug, Clone)]
+pub struct IncidentDump {
+    pub path: PathBuf,
+    pub seq: u64,
+    pub spans: usize,
+}
+
+/// See the module docs. All methods are `&self`; the recorder is
+/// shared behind an `Arc` across the serve loop and its executors.
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    registry: Arc<MetricsRegistry>,
+    shards: Vec<Mutex<VecDeque<SpanRec>>>,
+    next_shard: AtomicUsize,
+    triggers: AtomicU64,
+    dumps: AtomicU64,
+    /// Bit pattern of the f64 trigger time of the last written dump.
+    last_dump_us: AtomicU64,
+}
+
+thread_local! {
+    static MY_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+impl FlightRecorder {
+    pub fn new(cfg: FlightConfig, registry: Arc<MetricsRegistry>) -> FlightRecorder {
+        let mut shards = Vec::with_capacity(SHARDS);
+        shards.resize_with(SHARDS, || Mutex::new(VecDeque::new()));
+        FlightRecorder {
+            cfg,
+            registry,
+            shards,
+            next_shard: AtomicUsize::new(0),
+            triggers: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+            last_dump_us: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    pub fn config(&self) -> &FlightConfig {
+        &self.cfg
+    }
+
+    /// Record one completed span. Hot path: a push (plus a pop at
+    /// capacity) on the calling thread's shard.
+    pub fn record_span(&self, rank: u32, tid: u32, name: &str, cat: &str, t0_us: f64, t1_us: f64) {
+        let idx = MY_SHARD.with(|s| match s.get() {
+            Some(i) => i,
+            None => {
+                let i = self.next_shard.fetch_add(1, Ordering::Relaxed) % SHARDS;
+                s.set(Some(i));
+                i
+            }
+        });
+        let mut ring = lock(&self.shards[idx]);
+        if ring.len() >= self.cfg.capacity_per_thread {
+            ring.pop_front();
+        }
+        ring.push_back(SpanRec {
+            rank,
+            tid,
+            name: name.to_string(),
+            cat: cat.to_string(),
+            t0_us,
+            t1_us,
+        });
+    }
+
+    /// Triggers seen (including ones suppressed by cooldown/cap).
+    pub fn triggers(&self) -> u64 {
+        self.triggers.load(Ordering::Relaxed)
+    }
+
+    /// Incident files written.
+    pub fn dumps(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Fire a trigger at `now_us` attributed to lane `lane` (the tid
+    /// the triggering event lives on). Returns the dump descriptor if
+    /// a file was written; `None` when suppressed by the cooldown or
+    /// the `max_dumps` cap.
+    pub fn trigger(&self, reason: &str, now_us: f64, lane: u32) -> Option<IncidentDump> {
+        self.triggers.fetch_add(1, Ordering::Relaxed);
+        self.registry
+            .counter("pfmm_flight_triggers_total", &[("reason", reason)])
+            .inc();
+
+        // Claim a dump slot: respect the lifetime cap first...
+        let seq = {
+            let mut claimed = None;
+            let _ = self
+                .dumps
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |d| {
+                    if d < self.cfg.max_dumps {
+                        claimed = Some(d);
+                        Some(d + 1)
+                    } else {
+                        claimed = None;
+                        None
+                    }
+                });
+            claimed?
+        };
+        // ...then the cooldown (racy reads are fine: worst case two
+        // near-simultaneous triggers both dump, still under the cap).
+        let last = f64::from_bits(self.last_dump_us.load(Ordering::Acquire));
+        if now_us - last < self.cfg.cooldown_us {
+            // Give the claimed slot back; this trigger is suppressed.
+            self.dumps.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        self.last_dump_us.store(now_us.to_bits(), Ordering::Release);
+
+        let spans = self.window_spans(now_us);
+        let path = self.write_dump(reason, now_us, lane, seq, &spans);
+        self.registry
+            .counter("pfmm_flight_dumps_total", &[("reason", reason)])
+            .inc();
+        Some(IncidentDump {
+            path,
+            seq,
+            spans: spans.len(),
+        })
+    }
+
+    /// Spans whose end falls within the recorder window before `now_us`,
+    /// in `(rank, tid, t0)` order.
+    fn window_spans(&self, now_us: f64) -> Vec<SpanRec> {
+        let cutoff = now_us - self.cfg.window_us;
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            for s in lock(shard).iter() {
+                if s.t1_us >= cutoff && s.t1_us <= now_us {
+                    out.push(s.clone());
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            (a.rank, a.tid)
+                .cmp(&(b.rank, b.tid))
+                .then(a.t0_us.total_cmp(&b.t0_us))
+        });
+        out
+    }
+
+    fn write_dump(
+        &self,
+        reason: &str,
+        now_us: f64,
+        lane: u32,
+        seq: u64,
+        spans: &[SpanRec],
+    ) -> PathBuf {
+        // Each span becomes an adjacent B/E pair, which is trivially
+        // LIFO-valid per lane; Perfetto orders by timestamp on load.
+        let mut events = Vec::with_capacity(spans.len() * 2);
+        for s in spans {
+            let mut b = Event::new(EventKind::Begin, "", "");
+            b.name = Cow::Owned(s.name.clone());
+            b.cat = Cow::Owned(s.cat.clone());
+            b.rank = s.rank;
+            b.tid = s.tid;
+            b.ts_us = s.t0_us;
+            let mut e = Event::new(EventKind::End, "", "");
+            e.cat = Cow::Owned(s.cat.clone());
+            e.rank = s.rank;
+            e.tid = s.tid;
+            e.ts_us = s.t1_us;
+            events.push(b);
+            events.push(e);
+        }
+        let chrome_doc = chrome::to_json_string(&events);
+        // Splice the incident header and metrics snapshot in front of
+        // the traceEvents member; chrome::parse tolerates the extras.
+        let mut out = String::with_capacity(chrome_doc.len() + 4096);
+        out.push_str("{\"incident\":{\"reason\":");
+        pfmm_trace::json::push_escaped(&mut out, reason);
+        out.push_str(&format!(
+            ",\"t_us\":{now_us},\"window_us\":{},\"lane\":{lane},\"seq\":{seq}}},",
+            self.cfg.window_us
+        ));
+        out.push_str("\"metrics\":");
+        push_json_snapshot(&mut out, &self.registry.snapshot(now_us));
+        out.push(',');
+        out.push_str(
+            chrome_doc
+                .strip_prefix('{')
+                .expect("chrome doc is an object"),
+        );
+
+        let _ = std::fs::create_dir_all(&self.cfg.dir);
+        let path = self
+            .cfg
+            .dir
+            .join(format!("incident-{seq:03}-{reason}.json"));
+        std::fs::write(&path, out).expect("write incident dump");
+        path
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Phase-anomaly detector: flags a sample exceeding a configurable
+/// multiple of the trailing median for that phase name.
+#[derive(Debug)]
+pub struct PhaseWatch {
+    mult: f64,
+    min_samples: usize,
+    history: Mutex<HashMap<String, VecDeque<f64>>>,
+}
+
+impl PhaseWatch {
+    /// `mult`: anomaly threshold as a multiple of the trailing median.
+    /// `min_samples`: history required before anything can fire (cold
+    /// phases never alarm).
+    pub fn new(mult: f64, min_samples: usize) -> PhaseWatch {
+        PhaseWatch {
+            mult,
+            min_samples: min_samples.max(1),
+            history: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Observe one duration for `name`; returns `true` when the sample
+    /// is anomalous against the trailing median *before* this sample.
+    pub fn observe(&self, name: &str, dur_us: f64) -> bool {
+        let mut map = lock(&self.history);
+        let hist = map.entry(name.to_string()).or_default();
+        let anomalous = hist.len() >= self.min_samples && {
+            let mut sorted: Vec<f64> = hist.iter().copied().collect();
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            dur_us > self.mult * median
+        };
+        if hist.len() >= 64 {
+            hist.pop_front();
+        }
+        hist.push_back(dur_us);
+        anomalous
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pfmm-flight-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn recorder(tag: &str, max_dumps: u64) -> (FlightRecorder, PathBuf) {
+        let dir = tmp_dir(tag);
+        let cfg = FlightConfig {
+            dir: dir.clone(),
+            window_us: 1_000.0,
+            capacity_per_thread: 64,
+            cooldown_us: 0.0,
+            max_dumps,
+        };
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("pfmm_demo_total", &[]).add(5);
+        (FlightRecorder::new(cfg, reg), dir)
+    }
+
+    #[test]
+    fn dump_contains_window_spans_and_parses() {
+        let (rec, dir) = recorder("window", 8);
+        // In-window spans on two lanes, plus one stale span.
+        rec.record_span(0, 4001, "execute", "serve", 9_500.0, 9_800.0);
+        rec.record_span(0, 4002, "queue-wait", "serve", 9_600.0, 9_900.0);
+        rec.record_span(0, 4000, "old", "serve", 100.0, 200.0);
+        let dump = rec
+            .trigger("deadline_violation", 10_000.0, 4001)
+            .expect("dump");
+        assert_eq!(dump.spans, 2, "stale span excluded");
+        let text = std::fs::read_to_string(&dump.path).unwrap();
+        let events = chrome::parse(&text).expect("chrome-parseable");
+        chrome::validate(&events).expect("valid nesting");
+        let doc = pfmm_trace::json::parse(&text).unwrap();
+        let inc = doc.get("incident").expect("incident member");
+        assert_eq!(
+            inc.get("reason").and_then(|r| r.as_str()),
+            Some("deadline_violation")
+        );
+        assert_eq!(inc.get("lane").and_then(|l| l.as_num()), Some(4001.0));
+        let metrics = doc.get("metrics").expect("metrics member");
+        assert!(metrics.get("entries").is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn max_dumps_cap_holds_across_triggers() {
+        let (rec, dir) = recorder("cap", 1);
+        rec.record_span(0, 0, "a", "serve", 0.0, 1.0);
+        assert!(rec.trigger("shedding", 10.0, 0).is_some());
+        assert!(rec.trigger("shedding", 20.0, 0).is_none());
+        assert!(rec.trigger("deadline_violation", 30.0, 0).is_none());
+        assert_eq!(rec.dumps(), 1);
+        assert_eq!(rec.triggers(), 3);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cooldown_suppresses_but_counts() {
+        let dir = tmp_dir("cooldown");
+        let cfg = FlightConfig {
+            dir: dir.clone(),
+            window_us: 1_000.0,
+            capacity_per_thread: 16,
+            cooldown_us: 5_000.0,
+            max_dumps: 10,
+        };
+        let rec = FlightRecorder::new(cfg, Arc::new(MetricsRegistry::new()));
+        assert!(rec.trigger("shedding", 0.0, 0).is_some());
+        assert!(
+            rec.trigger("shedding", 1_000.0, 0).is_none(),
+            "inside cooldown"
+        );
+        assert!(
+            rec.trigger("shedding", 6_000.0, 0).is_some(),
+            "past cooldown"
+        );
+        assert_eq!(rec.dumps(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest() {
+        let (rec, dir) = recorder("evict", 8);
+        for i in 0..200 {
+            let t = 9_000.0 + i as f64;
+            rec.record_span(0, 0, "s", "serve", t, t + 0.5);
+        }
+        // Capacity 64 on this thread's shard → only the newest 64 remain.
+        let dump = rec.trigger("phase_anomaly", 10_000.0, 0).unwrap();
+        assert_eq!(dump.spans, 64);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn phase_watch_flags_only_warm_outliers() {
+        let w = PhaseWatch::new(3.0, 4);
+        for _ in 0..3 {
+            assert!(!w.observe("ulist", 100.0), "cold: never anomalous");
+        }
+        assert!(!w.observe("ulist", 1_000.0), "still below min_samples");
+        // History now [100,100,100,1000]; median 100 (upper mid of 4).
+        assert!(!w.observe("ulist", 250.0));
+        assert!(w.observe("ulist", 400.0), "4x median fires");
+        assert!(!w.observe("vlist", 1e9), "separate phase is cold");
+    }
+}

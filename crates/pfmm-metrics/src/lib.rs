@@ -1,0 +1,62 @@
+//! Always-on telemetry for the pfmm stack.
+//!
+//! `pfmm-trace` answers "what happened during that one run" with post-hoc
+//! span traces; this crate answers "what is happening right now" with
+//! production-style instruments that are cheap enough to leave armed in
+//! every build:
+//!
+//! - [`registry`] — a registry of named [`Counter`]s, [`Gauge`]s, and
+//!   [`AtomicHistogram`]s with `kernel`/`phase`/`rank`/`schedule`-style
+//!   labels. Hot-path updates are single relaxed atomic operations; the
+//!   registry lock is taken only when an instrument handle is first
+//!   created (call sites cache the returned `Arc`).
+//! - [`snapshot`] — point-in-time [`Snapshot`]s of every instrument, a
+//!   bounded [`SnapshotRing`], a background [`Sampler`] thread, and
+//!   exporters (Prometheus text + JSON) plus a delta/rate view over the
+//!   last snapshot window.
+//! - [`slo`] — [`SloTracker`]: deadline-violation error budget with
+//!   burn rates over configurable sliding windows.
+//! - [`flight`] — an always-armed flight recorder: fixed-size
+//!   per-thread rings of recent spans, dumped together with the current
+//!   metrics snapshot as a Perfetto-compatible incident file when a
+//!   trigger (deadline violation, shedding, phase anomaly) fires.
+//!
+//! The histogram shares its bucket layout and quantile code with
+//! `pfmm_trace::metrics::Histogram` — snapshots rehydrate through
+//! [`pfmm_trace::metrics::Histogram::from_parts`], so the two can never
+//! drift.
+
+pub mod flight;
+pub mod registry;
+pub mod slo;
+pub mod snapshot;
+
+pub use flight::{FlightConfig, FlightRecorder, PhaseWatch};
+pub use registry::{AtomicHistogram, Counter, Gauge, MetricsRegistry};
+pub use slo::{SloConfig, SloReport, SloTracker};
+pub use snapshot::{
+    delta, json_snapshot, prometheus, push_json_snapshot, Entry, Sampler, Snapshot, SnapshotRing,
+    Value,
+};
+
+use std::sync::{Arc, OnceLock};
+
+/// Process-wide registry. Library layers record here by default so a
+/// single scrape sees the whole stack; tests construct their own
+/// [`MetricsRegistry`] for isolation.
+pub fn global() -> &'static Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new()))
+}
+
+/// Microseconds since an arbitrary process-wide epoch (first call).
+/// Snapshot and incident timestamps use this clock unless the caller
+/// supplies one aligned with a tracer epoch.
+pub fn now_us() -> f64 {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_secs_f64()
+        * 1e6
+}

@@ -1,0 +1,238 @@
+//! SLO accounting: deadline-violation error budget and burn rates over
+//! sliding windows.
+//!
+//! The objective is expressed as an allowed violation *fraction*
+//! (`budget`, e.g. 0.01 = 99% of requests meet their deadline). Each
+//! resolved request is recorded as met/violated with its resolution
+//! timestamp; the tracker maintains event history long enough to cover
+//! the largest configured window and reports, per window, the observed
+//! violation fraction and the burn rate `observed / budget` — burn 1.0
+//! means the budget is being consumed exactly as provisioned, >1 means
+//! the SLO will be exhausted early (the standard multi-window burn-rate
+//! alerting setup).
+
+use std::collections::VecDeque;
+
+/// Configuration for an [`SloTracker`].
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Allowed violation fraction in (0, 1]; e.g. 0.01 for a 99% SLO.
+    pub budget: f64,
+    /// Sliding windows (µs) to report burn rates over, e.g. a fast
+    /// window for paging and a slow one for ticket-level alerts.
+    pub windows_us: Vec<u64>,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            budget: 0.01,
+            // 1 s fast window, 10 s slow window — sized for simulated
+            // runs rather than wall-clock ops practice.
+            windows_us: vec![1_000_000, 10_000_000],
+        }
+    }
+}
+
+/// Burn-rate report for one sliding window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowBurn {
+    pub window_us: u64,
+    /// Requests resolved inside the window.
+    pub total: u64,
+    /// Deadline violations inside the window.
+    pub violations: u64,
+    /// `violations / total` (0 when the window is empty).
+    pub ratio: f64,
+    /// `ratio / budget` — 1.0 consumes the budget exactly on schedule.
+    pub burn: f64,
+}
+
+/// Lifetime + per-window summary, cheap to embed in reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    pub budget: f64,
+    pub total: u64,
+    pub violations: u64,
+    /// Lifetime violation fraction.
+    pub ratio: f64,
+    /// Remaining error budget fraction: `1 - ratio / budget`, clamped
+    /// at 0 (negative would mean the budget is already blown).
+    pub budget_remaining: f64,
+    pub windows: Vec<WindowBurn>,
+}
+
+impl SloReport {
+    pub fn healthy(&self) -> bool {
+        self.budget_remaining > 0.0
+    }
+
+    /// Worst (largest) burn rate across the configured windows.
+    pub fn max_burn(&self) -> f64 {
+        self.windows.iter().fold(0.0, |m, w| m.max(w.burn))
+    }
+}
+
+/// Sliding-window deadline-violation tracker. Not thread-safe by
+/// itself — the serve loop owns it; concurrent consumers read the
+/// mirrored registry counters instead.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    /// `(t_us, violated)` events, oldest first, pruned to the largest
+    /// window behind the latest recorded time.
+    events: VecDeque<(f64, bool)>,
+    total: u64,
+    violations: u64,
+}
+
+impl SloTracker {
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        assert!(cfg.budget > 0.0 && cfg.budget <= 1.0, "budget in (0,1]");
+        SloTracker {
+            cfg,
+            events: VecDeque::new(),
+            total: 0,
+            violations: 0,
+        }
+    }
+
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Record one resolved request at `t_us`.
+    pub fn record(&mut self, t_us: f64, violated: bool) {
+        self.total += 1;
+        self.violations += u64::from(violated);
+        self.events.push_back((t_us, violated));
+        let horizon = self.cfg.windows_us.iter().copied().max().unwrap_or(0) as f64;
+        while let Some(&(t0, _)) = self.events.front() {
+            if t0 < t_us - horizon {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Summarize as of `now_us`.
+    pub fn report(&self, now_us: f64) -> SloReport {
+        let ratio = if self.total > 0 {
+            self.violations as f64 / self.total as f64
+        } else {
+            0.0
+        };
+        let windows = self
+            .cfg
+            .windows_us
+            .iter()
+            .map(|&w_us| {
+                let cutoff = now_us - w_us as f64;
+                let (mut total, mut violations) = (0u64, 0u64);
+                for &(t, v) in self.events.iter().rev() {
+                    if t < cutoff {
+                        break;
+                    }
+                    total += 1;
+                    violations += u64::from(v);
+                }
+                let r = if total > 0 {
+                    violations as f64 / total as f64
+                } else {
+                    0.0
+                };
+                WindowBurn {
+                    window_us: w_us,
+                    total,
+                    violations,
+                    ratio: r,
+                    burn: r / self.cfg.budget,
+                }
+            })
+            .collect();
+        SloReport {
+            budget: self.cfg.budget,
+            total: self.total,
+            violations: self.violations,
+            ratio,
+            budget_remaining: (1.0 - ratio / self.cfg.budget).max(0.0),
+            windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            budget: 0.1,
+            windows_us: vec![1_000, 10_000],
+        }
+    }
+
+    #[test]
+    fn empty_tracker_is_healthy() {
+        let t = SloTracker::new(cfg());
+        let r = t.report(0.0);
+        assert!(r.healthy());
+        assert_eq!(r.max_burn(), 0.0);
+        assert_eq!(r.budget_remaining, 1.0);
+    }
+
+    #[test]
+    fn burn_rates_are_per_window() {
+        let mut t = SloTracker::new(cfg());
+        // 20 old requests, all good, ending at t=5_000.
+        for i in 0..20 {
+            t.record(i as f64 * 250.0, false);
+        }
+        // Recent burst: 4 requests in the last 1 ms, 2 violated.
+        for (dt, v) in [(0.0, true), (200.0, false), (400.0, true), (600.0, false)] {
+            t.record(9_400.0 + dt, v);
+        }
+        let r = t.report(10_000.0);
+        assert_eq!(r.total, 24);
+        assert_eq!(r.violations, 2);
+        let fast = &r.windows[0];
+        assert_eq!((fast.total, fast.violations), (4, 2));
+        assert_eq!(fast.ratio, 0.5);
+        assert_eq!(fast.burn, 5.0);
+        let slow = &r.windows[1];
+        assert_eq!((slow.total, slow.violations), (24, 2));
+        assert!(slow.burn < fast.burn);
+        assert_eq!(r.max_burn(), 5.0);
+    }
+
+    #[test]
+    fn budget_exhaustion_flips_healthy() {
+        let mut t = SloTracker::new(cfg());
+        for i in 0..10 {
+            t.record(i as f64, i % 2 == 0); // 50% violations vs 10% budget
+        }
+        let r = t.report(10.0);
+        assert!(!r.healthy());
+        assert_eq!(r.budget_remaining, 0.0);
+    }
+
+    #[test]
+    fn pruning_keeps_only_horizon() {
+        let mut t = SloTracker::new(cfg());
+        for i in 0..1000 {
+            t.record(i as f64 * 100.0, false);
+        }
+        // Horizon is the 10_000 µs window → at most ~101 retained events.
+        assert!(t.events.len() <= 102, "retained {}", t.events.len());
+        assert_eq!(t.total(), 1000);
+    }
+}

@@ -1,0 +1,555 @@
+//! Snapshots, the bounded snapshot ring, the background sampler, and
+//! the Prometheus/JSON exporters.
+//!
+//! Consistency model: a snapshot is a *scan*, not a transaction. Each
+//! instrument is loaded with relaxed atomics while writers keep
+//! running, so values may skew by however long the scan takes
+//! (microseconds); within one histogram the count always equals the
+//! bucket-array total because it is derived from the same loads.
+//! Counters are monotonic, so deltas between two snapshots are exact
+//! over the window they bracket.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pfmm_trace::json::push_escaped;
+use pfmm_trace::metrics::Histogram;
+
+use crate::registry::{Instrument, MetricsRegistry};
+
+/// Point-in-time value of one instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Counter(u64),
+    Gauge(f64),
+    /// Materialized histogram (exact buckets, not just summaries) so a
+    /// delta view can subtract windows.
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    pub value: Value,
+}
+
+/// One materialized scan of a registry.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Timestamp of the scan, µs on the caller's clock.
+    pub t_us: f64,
+    /// Entries sorted by `(name, labels)` — deterministic export order.
+    pub entries: Vec<Entry>,
+}
+
+impl MetricsRegistry {
+    /// Materialize every instrument. `t_us` is caller-supplied so
+    /// embedders can stamp snapshots on a tracer-aligned clock.
+    pub fn snapshot(&self, t_us: f64) -> Snapshot {
+        let mut entries: Vec<Entry> = self
+            .instruments()
+            .into_iter()
+            .map(|((name, labels), inst)| Entry {
+                name,
+                labels,
+                value: match inst {
+                    Instrument::Counter(c) => Value::Counter(c.get()),
+                    Instrument::Gauge(g) => Value::Gauge(g.get()),
+                    Instrument::Histogram(h) => Value::Histogram(h.materialize()),
+                },
+            })
+            .collect();
+        entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Snapshot { t_us, entries }
+    }
+}
+
+impl Snapshot {
+    /// Look up an entry by name + sorted labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Value> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.entries
+            .iter()
+            .find(|e| e.name == name && e.labels == want)
+            .map(|e| &e.value)
+    }
+}
+
+/// Per-counter rate between two snapshots of the same registry.
+#[derive(Debug, Clone)]
+pub struct Rate {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    /// Increase over the window (counters and histogram counts).
+    pub delta: f64,
+    /// `delta / window`; 0 when the window is degenerate.
+    pub per_sec: f64,
+}
+
+/// Delta view: counter increases (and histogram count increases)
+/// between `prev` and `cur`, as rates over the bracketing window.
+/// Gauges are omitted — a gauge has no meaningful rate.
+pub fn delta(prev: &Snapshot, cur: &Snapshot) -> Vec<Rate> {
+    let window_s = ((cur.t_us - prev.t_us) / 1e6).max(0.0);
+    let mut out = Vec::new();
+    for e in &cur.entries {
+        let before = prev
+            .entries
+            .iter()
+            .find(|p| p.name == e.name && p.labels == e.labels);
+        let d = match (&e.value, before.map(|p| &p.value)) {
+            (Value::Counter(c), Some(Value::Counter(p))) => c.saturating_sub(*p) as f64,
+            (Value::Counter(c), None) => *c as f64,
+            (Value::Histogram(h), Some(Value::Histogram(p))) => {
+                h.count().saturating_sub(p.count()) as f64
+            }
+            (Value::Histogram(h), None) => h.count() as f64,
+            _ => continue,
+        };
+        out.push(Rate {
+            name: e.name.clone(),
+            labels: e.labels.clone(),
+            delta: d,
+            per_sec: if window_s > 0.0 { d / window_s } else { 0.0 },
+        });
+    }
+    out
+}
+
+/// Bounded ring of recent snapshots (oldest evicted first).
+pub struct SnapshotRing {
+    cap: usize,
+    ring: Mutex<VecDeque<Arc<Snapshot>>>,
+}
+
+impl SnapshotRing {
+    pub fn new(cap: usize) -> SnapshotRing {
+        SnapshotRing {
+            cap: cap.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, s: Snapshot) {
+        let mut r = lock(&self.ring);
+        if r.len() == self.cap {
+            r.pop_front();
+        }
+        r.push_back(Arc::new(s));
+    }
+
+    pub fn latest(&self) -> Option<Arc<Snapshot>> {
+        lock(&self.ring).back().cloned()
+    }
+
+    /// Oldest-first copy of the ring contents.
+    pub fn all(&self) -> Vec<Arc<Snapshot>> {
+        lock(&self.ring).iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.ring).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rate view over the last snapshot window (the two most recent
+    /// snapshots), if the ring holds at least two.
+    pub fn last_window_rates(&self) -> Option<Vec<Rate>> {
+        let r = lock(&self.ring);
+        let n = r.len();
+        if n < 2 {
+            return None;
+        }
+        Some(delta(&r[n - 2], &r[n - 1]))
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Background thread that scans `registry` every `interval` into a
+/// shared [`SnapshotRing`]. Stops (and joins) on drop.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    ring: Arc<SnapshotRing>,
+}
+
+impl Sampler {
+    pub fn spawn(registry: Arc<MetricsRegistry>, interval: Duration, ring_cap: usize) -> Sampler {
+        Sampler::spawn_with_clock(registry, interval, ring_cap, crate::now_us)
+    }
+
+    /// As [`Sampler::spawn`], stamping snapshots with a caller-supplied
+    /// clock (e.g. one aligned with a tracer epoch).
+    pub fn spawn_with_clock(
+        registry: Arc<MetricsRegistry>,
+        interval: Duration,
+        ring_cap: usize,
+        clock: impl Fn() -> f64 + Send + 'static,
+    ) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let ring = Arc::new(SnapshotRing::new(ring_cap));
+        let (stop2, ring2) = (Arc::clone(&stop), Arc::clone(&ring));
+        let handle = std::thread::Builder::new()
+            .name("pfmm-metrics-sampler".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    ring2.push(registry.snapshot(clock()));
+                    std::thread::sleep(interval);
+                }
+                // Final scan so the ring always ends with a snapshot
+                // taken at (or after) the moment sampling stopped.
+                ring2.push(registry.snapshot(clock()));
+            })
+            .expect("spawn sampler thread");
+        Sampler {
+            stop,
+            handle: Some(handle),
+            ring,
+        }
+    }
+
+    pub fn ring(&self) -> &Arc<SnapshotRing> {
+        &self.ring
+    }
+
+    /// Stop the thread and return the ring (also runs on drop).
+    pub fn stop(mut self) -> Arc<SnapshotRing> {
+        self.shutdown();
+        Arc::clone(&self.ring)
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+fn prom_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push('=');
+        // push_escaped emits the quoted string; Prometheus escapes
+        // match JSON's for ", \ and newline.
+        push_escaped(out, v);
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+/// Histograms export as summaries: `{quantile="..."}` series plus
+/// `_sum` and `_count`.
+pub fn prometheus(s: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed = String::new();
+    for e in &s.entries {
+        let kind = match e.value {
+            Value::Counter(_) => "counter",
+            Value::Gauge(_) => "gauge",
+            Value::Histogram(_) => "summary",
+        };
+        if last_typed != e.name {
+            out.push_str("# TYPE ");
+            out.push_str(&e.name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
+            last_typed = e.name.clone();
+        }
+        match &e.value {
+            Value::Counter(c) => {
+                out.push_str(&e.name);
+                prom_labels(&mut out, &e.labels, None);
+                out.push(' ');
+                out.push_str(&c.to_string());
+                out.push('\n');
+            }
+            Value::Gauge(g) => {
+                out.push_str(&e.name);
+                prom_labels(&mut out, &e.labels, None);
+                out.push(' ');
+                out.push_str(&format_f64(*g));
+                out.push('\n');
+            }
+            Value::Histogram(h) => {
+                for (q, v) in [
+                    ("0.5", h.quantile(0.5)),
+                    ("0.95", h.quantile(0.95)),
+                    ("0.99", h.quantile(0.99)),
+                    ("0.999", h.p999()),
+                ] {
+                    out.push_str(&e.name);
+                    prom_labels(&mut out, &e.labels, Some(("quantile", q)));
+                    out.push(' ');
+                    out.push_str(&format_f64(v));
+                    out.push('\n');
+                }
+                out.push_str(&e.name);
+                out.push_str("_sum");
+                prom_labels(&mut out, &e.labels, None);
+                out.push(' ');
+                out.push_str(&format_f64(h.sum()));
+                out.push('\n');
+                out.push_str(&e.name);
+                out.push_str("_count");
+                prom_labels(&mut out, &e.labels, None);
+                out.push(' ');
+                out.push_str(&h.count().to_string());
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Inf; clamp to null-adjacent sentinels.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Append the JSON object for one snapshot to `out` (no trailing
+/// newline). Shape:
+/// `{"t_us":..,"entries":[{"name":..,"labels":{..},"type":..,...}]}`.
+pub fn push_json_snapshot(out: &mut String, s: &Snapshot) {
+    out.push_str("{\"t_us\":");
+    out.push_str(&json_f64(s.t_us));
+    out.push_str(",\"entries\":[");
+    for (i, e) in s.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_escaped(out, &e.name);
+        out.push_str(",\"labels\":{");
+        for (j, (k, v)) in e.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            push_escaped(out, k);
+            out.push(':');
+            push_escaped(out, v);
+        }
+        out.push_str("},");
+        match &e.value {
+            Value::Counter(c) => {
+                out.push_str("\"type\":\"counter\",\"value\":");
+                out.push_str(&c.to_string());
+            }
+            Value::Gauge(g) => {
+                out.push_str("\"type\":\"gauge\",\"value\":");
+                out.push_str(&json_f64(*g));
+            }
+            Value::Histogram(h) => {
+                out.push_str("\"type\":\"histogram\",\"count\":");
+                out.push_str(&h.count().to_string());
+                out.push_str(",\"sum\":");
+                out.push_str(&json_f64(h.sum()));
+                out.push_str(",\"min\":");
+                out.push_str(&json_f64(h.min()));
+                out.push_str(",\"max\":");
+                out.push_str(&json_f64(h.max()));
+                for (label, v) in [
+                    ("p50", h.quantile(0.5)),
+                    ("p95", h.quantile(0.95)),
+                    ("p99", h.quantile(0.99)),
+                    ("p999", h.p999()),
+                ] {
+                    out.push_str(",\"");
+                    out.push_str(label);
+                    out.push_str("\":");
+                    out.push_str(&json_f64(v));
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+/// Render a snapshot as a standalone JSON document.
+pub fn json_snapshot(s: &Snapshot) -> String {
+    let mut out = String::new();
+    push_json_snapshot(&mut out, s);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("pfmm_demo_total", &[("phase", "ulist")]).add(7);
+        reg.gauge("pfmm_demo_backlog", &[]).set(1.25);
+        let h = reg.histogram("pfmm_demo_latency_us", &[("kernel", "laplace")]);
+        for v in [10.0, 20.0, 30.0] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queryable() {
+        let reg = demo_registry();
+        let s = reg.snapshot(123.0);
+        assert_eq!(s.entries.len(), 3);
+        let names: Vec<&str> = s.entries.iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        match s.get("pfmm_demo_total", &[("phase", "ulist")]) {
+            Some(Value::Counter(7)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let reg = demo_registry();
+        let text = prometheus(&reg.snapshot(0.0));
+        assert!(text.contains("# TYPE pfmm_demo_total counter"));
+        assert!(text.contains("pfmm_demo_total{phase=\"ulist\"} 7"));
+        assert!(text.contains("# TYPE pfmm_demo_backlog gauge"));
+        assert!(text.contains("pfmm_demo_backlog 1.25"));
+        assert!(text.contains("# TYPE pfmm_demo_latency_us summary"));
+        assert!(text.contains("pfmm_demo_latency_us{kernel=\"laplace\",quantile=\"0.5\"}"));
+        assert!(text.contains("pfmm_demo_latency_us_sum{kernel=\"laplace\"} 60"));
+        assert!(text.contains("pfmm_demo_latency_us_count{kernel=\"laplace\"} 3"));
+        // Every non-comment line is `name_or_labels value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_export_parses_with_trace_parser() {
+        let reg = demo_registry();
+        let doc = json_snapshot(&reg.snapshot(55.5));
+        let v = pfmm_trace::json::parse(&doc).expect("valid json");
+        assert_eq!(v.get("t_us").and_then(|t| t.as_num()), Some(55.5));
+        let entries = v.get("entries").and_then(|e| e.as_arr()).expect("entries");
+        assert_eq!(entries.len(), 3);
+        let hist = entries
+            .iter()
+            .find(|e| e.get("type").and_then(|t| t.as_str()) == Some("histogram"))
+            .expect("histogram entry");
+        assert_eq!(hist.get("count").and_then(|c| c.as_num()), Some(3.0));
+        assert_eq!(hist.get("sum").and_then(|c| c.as_num()), Some(60.0));
+    }
+
+    #[test]
+    fn delta_rates_cover_counters_and_histograms() {
+        let reg = demo_registry();
+        let s0 = reg.snapshot(0.0);
+        reg.counter("pfmm_demo_total", &[("phase", "ulist")])
+            .add(13);
+        reg.histogram("pfmm_demo_latency_us", &[("kernel", "laplace")])
+            .record(40.0);
+        let s1 = reg.snapshot(2e6); // 2 seconds later
+        let rates = delta(&s0, &s1);
+        let c = rates
+            .iter()
+            .find(|r| r.name == "pfmm_demo_total")
+            .expect("counter rate");
+        assert_eq!(c.delta, 13.0);
+        assert_eq!(c.per_sec, 6.5);
+        let h = rates
+            .iter()
+            .find(|r| r.name == "pfmm_demo_latency_us")
+            .expect("histogram rate");
+        assert_eq!(h.delta, 1.0);
+        assert!(
+            rates.iter().all(|r| r.name != "pfmm_demo_backlog"),
+            "gauges have no rate"
+        );
+    }
+
+    #[test]
+    fn ring_bounds_and_window_rates() {
+        let ring = SnapshotRing::new(3);
+        let reg = demo_registry();
+        for i in 0..5 {
+            reg.counter("pfmm_demo_total", &[("phase", "ulist")]).inc();
+            ring.push(reg.snapshot(i as f64 * 1e6));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.latest().unwrap().t_us, 4e6);
+        let rates = ring.last_window_rates().unwrap();
+        let c = rates.iter().find(|r| r.name == "pfmm_demo_total").unwrap();
+        assert_eq!(c.delta, 1.0);
+        assert_eq!(c.per_sec, 1.0);
+    }
+
+    #[test]
+    fn sampler_fills_ring_and_stops() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("ticks_total", &[]).inc();
+        let sampler = Sampler::spawn(Arc::clone(&reg), Duration::from_millis(1), 64);
+        std::thread::sleep(Duration::from_millis(20));
+        let ring = sampler.stop();
+        assert!(ring.len() >= 2, "sampler produced {} snapshots", ring.len());
+        let snaps = ring.all();
+        for w in snaps.windows(2) {
+            assert!(w[0].t_us <= w[1].t_us, "snapshots in time order");
+        }
+    }
+}

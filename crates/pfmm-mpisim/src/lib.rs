@@ -16,6 +16,7 @@
 
 pub mod collectives;
 pub mod comm;
+pub mod obs;
 
 pub use comm::{
     run, CollectiveKind, Comm, CommMatrix, CommStats, PeerStats, RecvReq, SendReq, Wire,

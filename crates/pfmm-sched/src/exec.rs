@@ -8,7 +8,7 @@
 //! shared injector (FIFO).
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -51,6 +51,9 @@ pub struct RunReport {
     pub tasks: usize,
     /// Compute worker threads used (the driver thread is extra).
     pub workers: usize,
+    /// Tasks taken from *another* worker's deque (injector pops and
+    /// own-deque pops are not steals).
+    pub steals: u64,
 }
 
 struct Interval {
@@ -82,6 +85,7 @@ struct Shared<'env> {
     comm_ready: Mutex<Vec<usize>>,
     remaining: AtomicUsize,
     intervals: Mutex<Vec<Interval>>,
+    steals: AtomicU64,
     epoch: Instant,
 }
 
@@ -126,6 +130,7 @@ impl<'env> Shared<'env> {
                 continue;
             }
             if let Some(t) = lock(q).pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
@@ -279,6 +284,7 @@ pub fn run_with(
         comm_ready: Mutex::new(Vec::new()),
         remaining: AtomicUsize::new(n),
         intervals: Mutex::new(Vec::with_capacity(n)),
+        steals: AtomicU64::new(0),
         epoch: Instant::now(),
     };
     // Tracer-clock microseconds at this run's epoch, so interval times
@@ -372,6 +378,20 @@ pub fn run_with(
         emit_trace(tc, trace_base_us, &intervals, &deps);
     }
 
+    let steals = shared.steals.load(Ordering::Relaxed);
+    // Mirror the run into the always-on telemetry registry (cold path:
+    // once per graph execution, not per task).
+    let reg = pfmm_metrics::global();
+    if reg.enabled() {
+        reg.counter("pfmm_sched_runs_total", &[]).inc();
+        reg.counter("pfmm_sched_tasks_total", &[]).add(n as u64);
+        reg.counter("pfmm_sched_steals_total", &[]).add(steals);
+        reg.counter("pfmm_sched_overlap_us_total", &[])
+            .add((overlap_secs * 1e6) as u64);
+        reg.counter("pfmm_sched_wall_us_total", &[])
+            .add((wall_secs * 1e6) as u64);
+    }
+
     Ok(RunReport {
         phase_secs,
         overlap_secs,
@@ -379,6 +399,7 @@ pub fn run_with(
         critical_path_secs,
         tasks: n,
         workers,
+        steals,
     })
 }
 

@@ -44,4 +44,4 @@ pub use pool::{BatchDone, ExecPool, Executor, ReqDone, TID_REQ_BASE};
 pub use service::{
     Admission, Batch, RejectReason, Rejected, Request, ServiceConfig, ServiceCore, ServiceStats,
 };
-pub use sim::{run_sim, ServeReport, SimConfig};
+pub use sim::{run_sim, ObsConfig, ServeReport, SimConfig};

@@ -74,6 +74,13 @@ pub struct Executor {
     pub geometries: Arc<Vec<Vec<PointRec>>>,
     /// Span sink; its epoch is also the service clock.
     pub tracer: Arc<Tracer>,
+    /// Always-armed incident ring; completed lifecycle spans are fed
+    /// here regardless of the tracer level.
+    pub flight: Option<Arc<pfmm_metrics::FlightRecorder>>,
+    /// Artificial extra latency per batch execution, µs — fault
+    /// injection so tests/CI can force deadline violations the
+    /// admission estimator cannot foresee. 0 in production.
+    pub exec_delay_us: u64,
 }
 
 impl Executor {
@@ -110,6 +117,9 @@ impl Executor {
         })
         .pop()
         .expect("one rank");
+        if self.exec_delay_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.exec_delay_us));
+        }
         let done_us = self.now_us();
 
         let reqs: Vec<ReqDone> = batch
@@ -142,6 +152,15 @@ impl Executor {
     /// well-nested for the Chrome exporter.
     fn trace_request(&self, r: &ReqDone) {
         let tid = TID_REQ_BASE + (r.id as u32);
+        if let Some(f) = &self.flight {
+            for (name, t0, t1) in [
+                ("queue-wait", r.arrive_us, r.flushed_us),
+                ("batch-assembly", r.flushed_us, r.exec_start_us),
+                ("execute", r.exec_start_us, r.done_us),
+            ] {
+                f.record_span(0, tid, name, "serve", t0 as f64, t1 as f64);
+            }
+        }
         let args = [("req", r.id)];
         self.tracer.record_span(
             0,
@@ -272,6 +291,8 @@ mod tests {
             cache: Arc::new(PlanCache::new(1 << 30)),
             geometries: Arc::new(vec![pts]),
             tracer: Arc::new(Tracer::new(level)),
+            flight: None,
+            exec_delay_us: 0,
         });
         (exec, key)
     }

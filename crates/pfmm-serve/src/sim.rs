@@ -12,17 +12,21 @@
 //! stream and every computed bit are functions of the workload seed.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 use pfmm_core::Fmm;
+use pfmm_metrics::{
+    FlightConfig, FlightRecorder, MetricsRegistry, PhaseWatch, SloConfig, SloReport, SloTracker,
+};
 use pfmm_trace::metrics::Histogram;
 use pfmm_trace::Tracer;
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::cost::CostModel;
 use crate::loadgen::{Arrival, Workload, WorkloadConfig};
-use crate::pool::{ExecPool, Executor};
+use crate::pool::{ExecPool, Executor, TID_REQ_BASE};
 use crate::service::{Admission, RejectReason, ServiceConfig, ServiceCore, ServiceStats};
 
 /// Everything one simulated serving run needs.
@@ -36,6 +40,26 @@ pub struct SimConfig {
     /// Keep per-request potentials for bitwise comparison (costs
     /// memory; off for throughput runs).
     pub keep_potentials: bool,
+    /// Observability knobs (metrics registry, SLO, flight recorder,
+    /// fault injection); `ObsConfig::default()` = global registry, no
+    /// SLO, no recorder.
+    pub obs: ObsConfig,
+}
+
+/// Observability configuration for one run, kept separate from the
+/// serving policy so existing call sites take the defaults.
+#[derive(Default)]
+pub struct ObsConfig {
+    /// Metrics registry to record into; `None` uses the process-global
+    /// one. Tests pass a fresh registry for exact accounting.
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// SLO error-budget tracking; `None` disables it.
+    pub slo: Option<SloConfig>,
+    /// Flight recorder; `None` leaves it unarmed.
+    pub flight: Option<FlightConfig>,
+    /// Injected per-batch execution delay, µs (forces deadline
+    /// violations the admission estimator cannot foresee).
+    pub exec_delay_us: u64,
 }
 
 /// The distilled outcome of a run.
@@ -62,6 +86,10 @@ pub struct ServeReport {
     pub service: ServiceStats,
     /// Calibration probe timings (plan µs, apply µs).
     pub probe_us: (u64, u64),
+    /// SLO accounting (only when `obs.slo` was set).
+    pub slo: Option<SloReport>,
+    /// Incident files the flight recorder wrote during the run.
+    pub incident_dumps: Vec<PathBuf>,
     /// Potentials by request id (only when `keep_potentials`).
     pub potentials: Option<BTreeMap<u64, Vec<f64>>>,
 }
@@ -119,11 +147,43 @@ pub fn run_sim(
     let (cost, _probe_plan) = CostModel::calibrate(&fmm, &probe);
 
     let cache = Arc::new(PlanCache::new(cfg.cache_budget_bytes));
+    let reg = cfg
+        .obs
+        .registry
+        .clone()
+        .unwrap_or_else(|| Arc::clone(pfmm_metrics::global()));
+    let metrics_on = reg.enabled();
+    let flight = cfg
+        .obs
+        .flight
+        .clone()
+        .map(|fc| Arc::new(FlightRecorder::new(fc, Arc::clone(&reg))));
+    let mut slo = cfg.obs.slo.clone().map(SloTracker::new);
+    // Trailing-median watch over batch execute times (flight-recorder
+    // trigger #3); armed only when the recorder is.
+    let watch = PhaseWatch::new(3.0, 5);
+    let mut incident_dumps: Vec<PathBuf> = Vec::new();
+    let mut was_shedding = false;
+
+    // Hot-path instruments, resolved once (registration locks; updates
+    // are single relaxed atomics).
+    let kl: &[(&str, &str)] = &[("kernel", kernel_name)];
+    let m_offered = reg.counter("pfmm_serve_offered_total", kl);
+    let m_completed = reg.counter("pfmm_serve_completed_total", kl);
+    let m_violations = reg.counter("pfmm_serve_deadline_violations_total", kl);
+    let m_latency = reg.histogram("pfmm_serve_latency_us", kl);
+    let m_queue = reg.histogram("pfmm_serve_queue_wait_us", kl);
+    let m_execute = reg.histogram("pfmm_serve_execute_us", kl);
+    let m_backlog = reg.gauge("pfmm_serve_backlog_us", kl);
+    let m_inflight = reg.gauge("pfmm_serve_in_flight", kl);
+
     let exec = Arc::new(Executor {
         fmm,
         cache: Arc::clone(&cache),
         geometries: Arc::new(workload.geometries.clone()),
         tracer,
+        flight: flight.clone(),
+        exec_delay_us: cfg.obs.exec_delay_us,
     });
     let pool = ExecPool::new(cfg.service.workers, Arc::clone(&exec));
     let mut core = ServiceCore::new(cfg.service);
@@ -146,6 +206,13 @@ pub fn run_sim(
                   reason: RejectReason| {
         *rejections.entry(reason.label()).or_insert(0) += 1;
         *resolved += 1;
+        if metrics_on {
+            reg.counter(
+                "pfmm_serve_rejected_total",
+                &[("kernel", kernel_name), ("reason", reason.label())],
+            )
+            .inc();
+        }
     };
 
     let t_start = exec.now_us();
@@ -156,16 +223,49 @@ pub fn run_sim(
         for done in pool.drain_done() {
             batches_out -= 1;
             core.on_batch_done(done.charged_us);
+            if let (Some(f), Some(first)) = (&flight, done.reqs.first()) {
+                // Trigger #3: this batch's execute time against the
+                // trailing median of previous batches.
+                let exec_dur = (first.done_us - first.exec_start_us) as f64;
+                if watch.observe("execute", exec_dur) {
+                    if let Some(d) =
+                        f.trigger("phase_anomaly", now as f64, TID_REQ_BASE + first.id as u32)
+                    {
+                        incident_dumps.push(d.path);
+                    }
+                }
+            }
             for r in &done.reqs {
                 completed += 1;
                 resolved += 1;
                 in_flight_reqs -= 1;
-                if r.done_us > r.deadline_us {
+                let violated = r.done_us > r.deadline_us;
+                if violated {
                     deadline_violations += 1;
+                    // Trigger #1: a request finished past its deadline.
+                    if let Some(f) = &flight {
+                        if let Some(d) =
+                            f.trigger("deadline_violation", now as f64, TID_REQ_BASE + r.id as u32)
+                        {
+                            incident_dumps.push(d.path);
+                        }
+                    }
+                }
+                if let Some(s) = &mut slo {
+                    s.record(r.done_us as f64, violated);
                 }
                 latency_us.record((r.done_us - r.arrive_us) as f64);
                 queue_wait_us.record((r.flushed_us - r.arrive_us) as f64);
                 execute_us.record((r.done_us - r.exec_start_us) as f64);
+                if metrics_on {
+                    m_completed.inc();
+                    if violated {
+                        m_violations.inc();
+                    }
+                    m_latency.record((r.done_us - r.arrive_us) as f64);
+                    m_queue.record((r.flushed_us - r.arrive_us) as f64);
+                    m_execute.record((r.done_us - r.exec_start_us) as f64);
+                }
                 if cfg.keep_potentials {
                     potentials.insert(r.id, r.pot.clone());
                 }
@@ -197,6 +297,9 @@ pub fn run_sim(
             let req = workload.request(next_spec, now, cost.eval_us(n), cost.build_us(n));
             next_spec += 1;
             let warm = cache.contains(&req.key);
+            if metrics_on {
+                m_offered.inc();
+            }
             match core.offer(req, now, warm) {
                 Admission::Accepted { displaced } => {
                     in_flight_reqs += 1;
@@ -217,6 +320,21 @@ pub fn run_sim(
             pool.submit(batch);
         }
 
+        // 4. Live gauges + shedding edge detection (trigger #2).
+        if metrics_on {
+            m_backlog.set(core.backlog_us() as f64);
+            m_inflight.set(in_flight_reqs as f64);
+        }
+        let shedding = core.shedding();
+        if shedding && !was_shedding {
+            if let Some(f) = &flight {
+                if let Some(d) = f.trigger("shedding", now as f64, 0) {
+                    incident_dumps.push(d.path);
+                }
+            }
+        }
+        was_shedding = shedding;
+
         std::thread::sleep(Duration::from_micros(200));
     }
     let wall_us = exec.now_us() - t_start;
@@ -224,6 +342,32 @@ pub fn run_sim(
     for done in pool.shutdown() {
         // The loop condition drained everything; defensive only.
         core.on_batch_done(done.charged_us);
+    }
+
+    let final_now = exec.now_us() as f64;
+    let slo_report = slo.map(|s| s.report(final_now));
+    if metrics_on {
+        // End-of-run mirrors: cache counters and SLO gauges.
+        let cs = cache.stats();
+        for (name, v) in [
+            ("pfmm_serve_cache_hits_total", cs.hits),
+            ("pfmm_serve_cache_misses_total", cs.misses),
+            ("pfmm_serve_cache_evictions_total", cs.evictions),
+            ("pfmm_serve_cache_build_races_total", cs.build_races),
+        ] {
+            reg.counter(name, kl).add(v);
+        }
+        reg.gauge("pfmm_serve_cache_resident_bytes", kl)
+            .set(cs.resident_bytes as f64);
+        reg.gauge("pfmm_serve_cache_resident_plans", kl)
+            .set(cs.resident_plans as f64);
+        reg.counter("pfmm_serve_shed_engagements_total", kl)
+            .add(core.stats().shed_engagements);
+        if let Some(s) = &slo_report {
+            reg.gauge("pfmm_slo_budget_remaining", kl)
+                .set(s.budget_remaining);
+            reg.gauge("pfmm_slo_max_burn", kl).set(s.max_burn());
+        }
     }
 
     ServeReport {
@@ -238,6 +382,8 @@ pub fn run_sim(
         cache: cache.stats(),
         service: core.stats().clone(),
         probe_us: (cost.probe_plan_us, cost.probe_apply_us),
+        slo: slo_report,
+        incident_dumps,
         potentials: if cfg.keep_potentials {
             Some(potentials)
         } else {
@@ -284,6 +430,7 @@ mod tests {
             },
             cache_budget_bytes: 1 << 30,
             keep_potentials: true,
+            obs: ObsConfig::default(),
         }
     }
 

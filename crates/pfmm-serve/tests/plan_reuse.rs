@@ -138,6 +138,8 @@ fn warm_cache_service_matches_standalone_evaluation() {
         cache: Arc::new(PlanCache::new(1 << 30)),
         geometries: Arc::new(vec![pts.clone()]),
         tracer: Arc::new(Tracer::off()),
+        flight: None,
+        exec_delay_us: 0,
     };
     let mk_batch = |ids: &[u64]| Batch {
         key,

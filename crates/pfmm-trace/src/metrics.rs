@@ -321,13 +321,47 @@ impl Default for Histogram {
 impl Histogram {
     /// An empty histogram.
     pub fn new() -> Histogram {
-        let nbuckets = (MAX_EXP - MIN_EXP + 1) as usize * SUB_BUCKETS;
         Histogram {
-            counts: vec![0; nbuckets],
+            counts: vec![0; Histogram::num_buckets()],
             count: 0,
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Total buckets in the fixed layout (shared with any other
+    /// histogram implementation that wants to interoperate, e.g. the
+    /// atomic variant in `pfmm-metrics`).
+    pub fn num_buckets() -> usize {
+        (MAX_EXP - MIN_EXP + 1) as usize * SUB_BUCKETS
+    }
+
+    /// Public bucket index of a value — the same clamped bit-exact
+    /// mapping [`Histogram::record`] uses. External atomic collectors
+    /// bucket with this and later rehydrate via
+    /// [`Histogram::from_parts`], so quantile arithmetic lives in
+    /// exactly one place and the two representations cannot drift.
+    pub fn bucket_index(v: f64) -> usize {
+        Histogram::bucket_of(v)
+    }
+
+    /// Rebuild a histogram from externally collected parts. `counts`
+    /// must use the layout of [`Histogram::bucket_index`] (length
+    /// [`Histogram::num_buckets`]); `count` is derived from the bucket
+    /// totals. `min`/`max` of an empty histogram are `(∞, −∞)`.
+    ///
+    /// # Panics
+    /// Panics when `counts` has the wrong length.
+    pub fn from_parts(counts: Vec<u64>, sum: f64, min: f64, max: f64) -> Histogram {
+        assert_eq!(counts.len(), Histogram::num_buckets(), "bucket layout");
+        let count = counts.iter().sum();
+        Histogram {
+            counts,
+            count,
+            sum,
+            min,
+            max,
         }
     }
 
@@ -377,6 +411,13 @@ impl Histogram {
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Exact sum of the recorded samples (0 when empty) — with
+    /// [`Histogram::count`] this is the pair Prometheus summaries
+    /// export as `_sum`/`_count`.
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Mean of the recorded samples (0 when empty).
@@ -444,6 +485,11 @@ impl Histogram {
     /// 99th percentile.
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (the tail SLO quantile).
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
     }
 
     /// Worst-case relative half-width of the bucket containing `v` —

@@ -36,7 +36,7 @@ proptest! {
             h.record(v);
         }
         vals.sort_by(f64::total_cmp);
-        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
             let want = oracle(&vals, q);
             let got = h.quantile(q);
             prop_assert!(
@@ -45,9 +45,46 @@ proptest! {
                 vals.len()
             );
         }
+        // The named accessors are exactly the corresponding quantiles.
+        prop_assert_eq!(h.p999(), h.quantile(0.999));
         prop_assert_eq!(h.count(), vals.len() as u64);
         prop_assert_eq!(h.min(), vals[0]);
         prop_assert_eq!(h.max(), *vals.last().unwrap());
+        // Exact-sum accessor against the oracle's accumulation order.
+        let want_sum: f64 = samples
+            .iter()
+            .map(|&(u, d)| (0.5 + u) * 10f64.powi(d as i32 - 3))
+            .sum();
+        prop_assert_eq!(h.sum(), want_sum);
+    }
+
+    /// An external collector that buckets with `bucket_index` and
+    /// rehydrates through `from_parts` (the pfmm-metrics atomic
+    /// histogram protocol) is indistinguishable from recording
+    /// directly — same counts, same quantiles, bit for bit.
+    #[test]
+    fn from_parts_round_trips_external_bucketing(
+        vals in prop::collection::vec(1e-6f64..1e6, 0..200),
+    ) {
+        let mut direct = Histogram::new();
+        let mut counts = vec![0u64; Histogram::num_buckets()];
+        let mut sum = 0.0;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &vals {
+            direct.record(v);
+            counts[Histogram::bucket_index(v)] += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let rebuilt = Histogram::from_parts(counts, sum, min, max);
+        prop_assert_eq!(rebuilt.count(), direct.count());
+        prop_assert_eq!(rebuilt.sum(), direct.sum());
+        prop_assert_eq!(rebuilt.min(), direct.min());
+        prop_assert_eq!(rebuilt.max(), direct.max());
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(rebuilt.quantile(q), direct.quantile(q));
+        }
     }
 
     /// Merging partial histograms is exactly equivalent to recording

@@ -1,0 +1,9 @@
+//! `pfmm` binary — the command-line driver, so `cargo run --release --
+//! <subcommand>` works from the workspace root. See `pfmm-cli` for the
+//! dispatcher itself.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    pfmm_cli::cli_main()
+}
