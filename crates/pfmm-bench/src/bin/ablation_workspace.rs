@@ -1,0 +1,239 @@
+//! Ablation — plan-owned evaluation workspace vs allocate-per-apply.
+//!
+//! DESIGN.md §15 describes the zero-allocation steady state: every
+//! buffer the evaluation sweep needs (equivalent/check densities,
+//! batched-M2L spectra and accumulators, near-field density panels,
+//! per-worker tile and translation scratch) lives in a plan-owned
+//! [`pfmm_core::EvalWorkspace`] sized once, so a warm apply touches the
+//! allocator zero times (pinned by the `alloc_gate` test). This bin
+//! measures what that buys a solver loop: per-apply latency with the
+//! pooled workspace against the allocate-per-apply baseline, where each
+//! apply builds and drops a fresh workspace — the pre-pooling behavior,
+//! including the per-apply spectrum-table and near-field rebuilds.
+//!
+//! Both modes produce bitwise-identical potentials (the
+//! `workspace_purity` suite), making this a pure performance ablation.
+//! A counting global allocator reports allocator hits per apply in each
+//! mode; pooled must read 0.
+//!
+//! Usage: `ablation_workspace [n_points] [--pool=on|off] [--order=K]
+//! [--q=K]` (default 100 000, both modes, order 4, q 16 — the small
+//! leaf capacity makes the tree deep, so the per-apply spectrum-table,
+//! near-field, and buffer rebuilds carry real weight against the sweep
+//! itself; the same reasoning has `ablation_translate` pin `LEAF_Q =
+//! 16`). `PFMM_BENCH_REPS` sets the measured applies per mode,
+//! `PFMM_BENCH_WARMUP` the unmeasured warm-up applies. With both modes
+//! measured, results land in `results/BENCH_workspace.json` for the
+//! `bench_check` sentinel.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pfmm_bench::{bench_reps, bench_warmup, Distribution, Table};
+use pfmm_core::{Fmm, FmmConfig};
+use pfmm_kernels::Laplace;
+use pfmm_mpisim::run;
+
+/// Counts allocator hits so each mode can report allocations per apply.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Measured applies per mode (override with `PFMM_BENCH_REPS`): enough
+/// samples for a stable median; p99 degenerates to the max below 100.
+const DEFAULT_REPS: usize = 9;
+
+struct ModeStats {
+    label: &'static str,
+    /// Per-apply wall times, ascending.
+    sorted: Vec<f64>,
+    mean: f64,
+    allocs_per_apply: f64,
+}
+
+/// Nearest-rank percentile of an ascending sample vector.
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((q / 100.0 * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One plan, `warmup` untimed applies, then `applies` timed ones, with
+/// the allocator counter snapshotted around each apply individually so
+/// harness bookkeeping never pollutes the per-apply count. Mirrors
+/// [`pfmm_bench::workspace_apply_secs`], which `bench_check` re-runs at
+/// smoke scale against the ratio committed here.
+fn measure(cfg: FmmConfig, n: usize, pooled: bool) -> ModeStats {
+    let warmup = bench_warmup(2);
+    let applies = bench_reps(DEFAULT_REPS).max(1);
+    let f = Fmm::new(Arc::new(Laplace), cfg);
+    let pts = Distribution::Uniform.generate(n, 13, 0, 1);
+    let (mut samples, allocs) = run(1, |c| {
+        let mut plan = f.plan(c, pts.clone());
+        let den = vec![0.5f64; plan.num_owned()];
+        let mut out = Vec::new();
+        for _ in 0..warmup {
+            f.apply_into(c, &mut plan, &den, &mut out);
+        }
+        let mut samples = Vec::with_capacity(applies);
+        let mut allocs = 0u64;
+        for _ in 0..applies {
+            let a0 = ALLOC_CALLS.load(Ordering::Relaxed);
+            let t = Instant::now();
+            if pooled {
+                f.apply_into(c, &mut plan, &den, &mut out);
+            } else {
+                let mut ws = f.workspace(&plan);
+                f.apply_ws(c, &mut plan, &mut ws, &den, &mut out);
+            }
+            samples.push(t.elapsed().as_secs_f64());
+            allocs += ALLOC_CALLS.load(Ordering::Relaxed) - a0;
+        }
+        (samples, allocs)
+    })
+    .pop()
+    .expect("one rank");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    ModeStats {
+        label: if pooled { "pooled" } else { "per_apply_alloc" },
+        sorted: samples,
+        mean,
+        allocs_per_apply: allocs as f64 / applies as f64,
+    }
+}
+
+fn main() {
+    let mut n: usize = 100_000;
+    let mut pool_filter: Option<bool> = None;
+    let mut cfg = FmmConfig {
+        order: 4,
+        q: 16,
+        ..Default::default()
+    };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--pool=on" => pool_filter = Some(true),
+            "--pool=off" => pool_filter = Some(false),
+            other => {
+                if let Some(v) = other.strip_prefix("--order=") {
+                    cfg.order = v.parse().expect("--order=K");
+                } else if let Some(v) = other.strip_prefix("--q=") {
+                    cfg.q = v.parse().expect("--q=K");
+                } else {
+                    n = other.parse().expect("n_points must be an integer");
+                }
+            }
+        }
+    }
+    let reps = bench_reps(DEFAULT_REPS).max(1);
+    let warmup = bench_warmup(2);
+    println!(
+        "Ablation: pooled workspace vs allocate-per-apply (laplace, uniform, N = {n}, \
+         order = {}, q = {}, p = 1, {reps} applies after {warmup} warm-ups)\n",
+        cfg.order, cfg.q,
+    );
+
+    let modes: Vec<bool> = match pool_filter {
+        Some(p) => vec![p],
+        None => vec![true, false],
+    };
+    let stats: Vec<ModeStats> = modes.iter().map(|&p| measure(cfg, n, p)).collect();
+
+    let mut t = Table::new(&[
+        "mode",
+        "applies",
+        "p50(s)",
+        "p99(s)",
+        "mean(s)",
+        "allocs/apply",
+    ]);
+    for s in &stats {
+        t.row(vec![
+            s.label.to_string(),
+            s.sorted.len().to_string(),
+            format!("{:.3}", pct(&s.sorted, 50.0)),
+            format!("{:.3}", pct(&s.sorted, 99.0)),
+            format!("{:.3}", s.mean),
+            format!("{:.1}", s.allocs_per_apply),
+        ]);
+    }
+    println!("{}", t.render());
+
+    if let [pooled, alloc] = &stats[..] {
+        let ratio = alloc.mean / pooled.mean.max(1e-12);
+        let p99_cut = 1.0 - pct(&pooled.sorted, 99.0) / pct(&alloc.sorted, 99.0).max(1e-12);
+        println!(
+            "pooled speedup over allocate-per-apply: {ratio:.2}x wall, {:.0}% p99 reduction",
+            p99_cut * 100.0
+        );
+        println!("expected: the pooled workspace clears 1.15x — the baseline re-pays the");
+        println!("spectrum-table build, near-field panel build, and every buffer's pages");
+        println!("on each apply, all of which the plan-owned workspace amortizes away.");
+
+        let json = render_json(cfg, n, reps, warmup, pooled, alloc, ratio, p99_cut);
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write("results/BENCH_workspace.json", &json)
+            .expect("write results/BENCH_workspace.json");
+        println!("\nwrote results/BENCH_workspace.json");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    cfg: FmmConfig,
+    n: usize,
+    reps: usize,
+    warmup: usize,
+    pooled: &ModeStats,
+    alloc: &ModeStats,
+    ratio: f64,
+    p99_cut: f64,
+) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\n  \"bench\": \"ablation_workspace\",\n  \"n\": {n},\n  \"order\": {},\n  \
+         \"q\": {},\n  \"reps\": {reps},\n  \"warmup\": {warmup},\n  \"rows\": [\n",
+        cfg.order, cfg.q
+    ));
+    for (i, m) in [pooled, alloc].into_iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"mean_s\": {:.6}, \
+             \"allocs_per_apply\": {:.1}}}{}\n",
+            m.label,
+            pct(&m.sorted, 50.0),
+            pct(&m.sorted, 99.0),
+            m.mean,
+            m.allocs_per_apply,
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    s.push_str(&format!(
+        "  ],\n  \"wall_ratio_alloc_over_pooled\": {ratio:.4},\n  \
+         \"p99_reduction_pct\": {:.2}\n}}\n",
+        p99_cut * 100.0
+    ));
+    s
+}

@@ -298,6 +298,31 @@ fn main() {
         }
     }
 
+    if let Some(b) = load(&dir, "BENCH_workspace.json") {
+        // Same deep-tree shape as the committed run (order 4, q 16),
+        // smaller N; sum over a few applies so one noisy sample cannot
+        // flip the verdict.
+        let committed = num(&b, "wall_ratio_alloc_over_pooled");
+        let wcfg = FmmConfig {
+            q: 16,
+            ..smoke_cfg()
+        };
+        let applies = reps.max(1) * 3;
+        let pooled: f64 = pfmm_bench::workspace_apply_secs(wcfg, 20_000, 23, 2, applies, true)
+            .iter()
+            .sum();
+        let fresh: f64 = pfmm_bench::workspace_apply_secs(wcfg, 20_000, 23, 1, applies, false)
+            .iter()
+            .sum();
+        checks.push(Check {
+            baseline: "BENCH_workspace.json",
+            key: "wall_ratio_alloc_over_pooled",
+            committed,
+            measured: fresh / pooled.max(1e-12),
+            floor: floor_of(committed),
+        });
+    }
+
     if let Some(b) = load(&dir, "BENCH_serve.json") {
         let committed = num(&b, "speedup");
         let mut best_cold = 0.0f64;

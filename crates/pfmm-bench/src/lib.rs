@@ -11,7 +11,7 @@ use pfmm_core::distrib::{ellipsoid_1_1_4, randomize_densities, uniform_cube};
 use pfmm_core::driver::TreeInfo;
 use pfmm_core::profile::Profile;
 use pfmm_core::{Fmm, FmmConfig, Phase};
-use pfmm_kernels::Kernel;
+use pfmm_kernels::{Kernel, Laplace};
 use pfmm_mpisim::{run, CommStats};
 use pfmm_perfmodel::Sample;
 use pfmm_tree::PointRec;
@@ -218,6 +218,49 @@ pub fn run_case_best(
         }
     }
     best.expect("reps >= 1")
+}
+
+/// Per-apply evaluation wall times through a single cached plan
+/// (Laplace, uniform cube, one rank). `pooled` reuses the plan-owned
+/// [`pfmm_core::EvalWorkspace`] — the zero-allocation steady state;
+/// otherwise every timed apply builds and drops a fresh workspace,
+/// reproducing the allocate-per-apply behavior a solver loop used to
+/// pay. Shared by `ablation_workspace` and the `bench_check` sentinel
+/// so both gate the same measurement.
+pub fn workspace_apply_secs(
+    cfg: FmmConfig,
+    n: usize,
+    seed: u64,
+    warmup: usize,
+    applies: usize,
+    pooled: bool,
+) -> Vec<f64> {
+    let f = Fmm::new(Arc::new(Laplace), cfg);
+    let pts = Distribution::Uniform.generate(n, seed, 0, 1);
+    run(1, |c| {
+        let mut plan = f.plan(c, pts.clone());
+        let den = vec![0.5f64; plan.num_owned()];
+        let mut out = Vec::new();
+        // Warm-up always runs pooled: it settles the operator caches and
+        // (in pooled mode) every workspace capacity.
+        for _ in 0..warmup {
+            f.apply_into(c, &mut plan, &den, &mut out);
+        }
+        (0..applies)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                if pooled {
+                    f.apply_into(c, &mut plan, &den, &mut out);
+                } else {
+                    let mut ws = f.workspace(&plan);
+                    f.apply_ws(c, &mut plan, &mut ws, &den, &mut out);
+                }
+                t.elapsed().as_secs_f64()
+            })
+            .collect()
+    })
+    .pop()
+    .expect("one rank")
 }
 
 /// Repetitions for a measured benchmark: the binary's default, unless

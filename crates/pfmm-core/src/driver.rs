@@ -413,6 +413,7 @@ impl Fmm {
         let t_plan = Instant::now();
         let data = EvalData::new_with(&l, sd, par);
         self.ops.warm(data.max_level, par);
+        let mut ws = crate::workspace::EvalWorkspace::new(self, &l, &lists, 0);
         prof.plan_secs = t_plan.elapsed().as_secs_f64();
         prof.setup_secs = t_setup.elapsed().as_secs_f64();
         if phase_on {
@@ -429,8 +430,9 @@ impl Fmm {
 
         // ---------------- Evaluation ----------------
         let t_eval = Instant::now();
-        let (f, comm_reduce) = run_phases(self, c, &l, &lists, &data, &mut prof, tracer);
+        let comm_reduce = run_phases(self, c, &l, &lists, &data, &mut ws, &mut prof, tracer);
         prof.total_secs = t_eval.elapsed().as_secs_f64();
+        let f = &ws.f;
 
         // Collect output for owned points, in owned-leaf order.
         let mut gids = Vec::new();

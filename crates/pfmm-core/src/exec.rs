@@ -46,20 +46,22 @@ use pfmm_tree::{Let, Lists};
 
 use crate::driver::{Fmm, M2lMode, Reduction, Schedule, TranslateMode, UlistMode};
 use crate::nearfield::NearField;
-use crate::translate::{Scratch, TranslatePlan};
+use crate::translate::TranslatePlan;
 
 /// V-list source spectra, shared between the FFT pass-1 task and the
 /// per-chunk pass-2 tasks.
 type Spectra = Arc<Vec<Option<Arc<Vec<Complex>>>>>;
-/// Batched-mode pass-1 product: the immutable kernel-spectrum table and
-/// the split-complex source spectra.
-type BatchedSpectra = Arc<(SpectraTable, SourceSpectra)>;
-use crate::m2l_batched::{offset_slot, FftBatchedM2l, SourceSpectra, SpectraTable};
+/// Batched-mode pass-1 product: the split-complex source spectra (the
+/// kernel-spectrum table lives in the workspace since it is
+/// density-independent).
+type BatchedSpectra = Arc<SourceSpectra>;
+use crate::m2l_batched::{offset_slot, FftBatchedM2l, SourceSpectra, SpectraTable, SpectraTmp};
 use crate::m2l_fft::FftM2l;
 use crate::ops::Ops;
 use crate::par::{par_map, par_map_n, par_windows, par_windows_weighted, weighted_cuts, SetupPar};
 use crate::profile::{flop_model, Phase, Profile};
 use crate::reduce::{reduce_scatter_hypercube, reduce_scatter_naive, HypercubeReduceAsync};
+use crate::workspace::{EvalWorkspace, WorkerScratch};
 
 /// Per-LET evaluation workspace: leaf geometry, packed densities, and the
 /// level ordering of the up/down traversals.
@@ -151,7 +153,7 @@ impl EvalData {
 /// the octant side — the argument convention of `Ops::m2l` and
 /// `FftM2l::kernel_spectrum` (both build the operator with the source
 /// centered at the origin and the target displaced by `offset · 2r`).
-fn offset_of(alpha: &MortonKey, beta: &MortonKey) -> [i8; 3] {
+pub(crate) fn offset_of(alpha: &MortonKey, beta: &MortonKey) -> [i8; 3] {
     debug_assert_eq!(alpha.level(), beta.level());
     let cu = beta.cell_units() as i64;
     let a = alpha.anchor();
@@ -177,7 +179,7 @@ fn offset_of(alpha: &MortonKey, beta: &MortonKey) -> [i8; 3] {
 /// accumulator per target output walking sources in order; padding lanes
 /// contribute exactly `0.0`).
 #[derive(Default)]
-struct TileEval {
+pub(crate) struct TileEval {
     tx: Vec<f64>,
     ty: Vec<f64>,
     tz: Vec<f64>,
@@ -188,9 +190,21 @@ struct TileEval {
 }
 
 impl TileEval {
+    /// Heap bytes held (allocated capacities; workspace accounting).
+    pub(crate) fn memory_bytes(&self) -> usize {
+        (self.tx.capacity()
+            + self.ty.capacity()
+            + self.tz.capacity()
+            + self.sx.capacity()
+            + self.sy.capacity()
+            + self.sz.capacity()
+            + self.den.capacity())
+            * std::mem::size_of::<f64>()
+    }
+
     /// `out += Σ_j K(x_i, y_j) s_j`, via `tk` when the kernel provides
     /// tile microkernels and the scalar `direct_eval` otherwise.
-    fn eval(
+    pub(crate) fn eval(
         &mut self,
         tk: Option<&dyn TileKernel>,
         kernel: &dyn Kernel,
@@ -261,6 +275,9 @@ struct Ctx<'a> {
     /// Tiled near-field layout + microkernels; `None` runs the scalar
     /// U-list path (`--ulist=scalar`, or a kernel without tile support).
     nf: Option<&'a NearField>,
+    /// Workspace-owned batched-M2L kernel-spectrum table (fft-batched
+    /// mode; a superset of every key an apply can need).
+    btable: Option<&'a SpectraTable>,
     tk: Option<&'a dyn TileKernel>,
     /// Tile microkernels for the per-box point↔surface direct evals
     /// (S2U check, D2T, W, X) — unlike `tk`, not gated on the near-field
@@ -286,6 +303,7 @@ impl Ctx<'_> {
         lists: &'a Lists,
         data: &'a EvalData,
         nf: Option<&'a NearField>,
+        btable: Option<&'a SpectraTable>,
     ) -> Ctx<'a> {
         Ctx {
             kernel: fmm.kernel(),
@@ -297,6 +315,7 @@ impl Ctx<'_> {
             leaf_pos: &data.leaf_pos,
             leaf_den: &data.leaf_den,
             nf,
+            btable,
             tk: nf.and(fmm.kernel().as_tile_kernel()),
             tkd: fmm.kernel().as_tile_kernel(),
             ulen: fmm.ops().density_len(),
@@ -311,34 +330,39 @@ impl Ctx<'_> {
 
     /// (1) S2U for octants in `range`; `window` is the matching slice of
     /// the upward-density array (element 0 at global offset `base`).
-    fn s2u_range(&self, range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+    fn s2u_range(
+        &self,
+        range: Range<usize>,
+        window: &mut [f64],
+        base: usize,
+        sc: &mut WorkerScratch,
+    ) -> u64 {
         let (l, ops, ulen) = (self.l, self.ops, self.ulen);
         let mut fl = 0u64;
-        let mut ucheck = vec![0.0f64; self.clen];
-        let mut uc = Vec::new();
-        let mut te = TileEval::default();
+        sc.check.clear();
+        sc.check.resize(self.clen, 0.0);
         for i in range {
             if !l.owned[i] || self.leaf_pos[i].is_empty() {
                 continue;
             }
             let key = l.octs[i];
-            ops.up_check_surface_into(&key.center(), key.radius(), &mut uc);
-            ucheck.fill(0.0);
-            te.eval(
+            ops.up_check_surface_into(&key.center(), key.radius(), &mut sc.surf);
+            sc.check.fill(0.0);
+            sc.te.eval(
                 self.tkd,
                 self.kernel,
-                &uc,
+                &sc.surf,
                 &self.leaf_pos[i],
                 &self.leaf_den[i],
-                &mut ucheck,
+                &mut sc.check,
             );
             let (m, s) = ops.uc2e(key.level());
             m.matvec_acc_scaled(
-                &ucheck,
+                &sc.check,
                 &mut window[i * ulen - base..(i + 1) * ulen - base],
                 s,
             );
-            fl += self.leaf_pos[i].len() as u64 * uc.len() as u64 * self.flops_pair
+            fl += self.leaf_pos[i].len() as u64 * sc.surf.len() as u64 * self.flops_pair
                 + 2 * (ulen * self.clen) as u64;
         }
         fl
@@ -401,26 +425,30 @@ impl Ctx<'_> {
     /// matching slice of the check buffer (zero on entry, like the scalar
     /// path's per-leaf `ucheck.fill(0.0)`). The per-level uc2e solves run
     /// afterwards as level-batched GEMMs ([`Ctx::s2u_solve_levels`]).
-    fn s2u_check_range(&self, range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+    fn s2u_check_range(
+        &self,
+        range: Range<usize>,
+        window: &mut [f64],
+        base: usize,
+        sc: &mut WorkerScratch,
+    ) -> u64 {
         let (l, ops, clen) = (self.l, self.ops, self.clen);
         let mut fl = 0u64;
-        let mut uc = Vec::new();
-        let mut te = TileEval::default();
         for i in range {
             if !l.owned[i] || self.leaf_pos[i].is_empty() {
                 continue;
             }
             let key = l.octs[i];
-            ops.up_check_surface_into(&key.center(), key.radius(), &mut uc);
-            te.eval(
+            ops.up_check_surface_into(&key.center(), key.radius(), &mut sc.surf);
+            sc.te.eval(
                 self.tkd,
                 self.kernel,
-                &uc,
+                &sc.surf,
                 &self.leaf_pos[i],
                 &self.leaf_den[i],
                 &mut window[i * clen - base..(i + 1) * clen - base],
             );
-            fl += self.leaf_pos[i].len() as u64 * uc.len() as u64 * self.flops_pair;
+            fl += self.leaf_pos[i].len() as u64 * sc.surf.len() as u64 * self.flops_pair;
         }
         fl
     }
@@ -430,17 +458,17 @@ impl Ctx<'_> {
     /// them together, scatter into the upward densities. Per box this is
     /// `u += s * (uc2e · ucheck)` with the scalar path's accumulation
     /// order, so the result is bitwise identical to `s2u_range`.
-    fn s2u_solve_levels(&self, ucheck: &[f64], u: &mut [f64]) -> u64 {
+    fn s2u_solve_levels(&self, ucheck: &[f64], u: &mut [f64], sc: &mut WorkerScratch) -> u64 {
         let (ops, ulen, clen) = (self.ops, self.ulen, self.clen);
-        let mut sc = Scratch::new();
+        let sc = &mut sc.tsc;
         let mut fl = 0u64;
         for (lev, g) in self.tp.s2u.iter().enumerate() {
             if g.is_empty() {
                 continue;
             }
             let (m, s) = ops.uc2e(lev as u32);
-            g.pack(clen, ucheck, &mut sc);
-            g.apply(&m, s, clen, ulen, self.gemm_min, &mut sc, u);
+            g.pack(clen, ucheck, sc);
+            g.apply(&m, s, clen, ulen, self.gemm_min, sc, u);
             fl += g.len() as u64 * 2 * (ulen * clen) as u64;
         }
         fl
@@ -450,17 +478,23 @@ impl Ctx<'_> {
     /// of one parent arrive in ascending child-index order — the same
     /// per-parent merge order as the scalar `u2u_level` — so the upward
     /// densities stay bitwise identical.
-    fn u2u_level_gemm(&self, level: u32, u: &mut [f64], has_up: &mut [bool]) -> u64 {
+    fn u2u_level_gemm(
+        &self,
+        level: u32,
+        u: &mut [f64],
+        has_up: &mut [bool],
+        sc: &mut WorkerScratch,
+    ) -> u64 {
         let ulen = self.ulen;
-        let mut sc = Scratch::new();
+        let sc = &mut sc.tsc;
         let mut fl = 0u64;
         for (ci, g) in self.tp.u2u[level as usize].iter().enumerate() {
             if g.is_empty() {
                 continue;
             }
             let (m, s) = self.ops.u2u(level, ci);
-            g.pack(ulen, u, &mut sc);
-            g.apply(&m, s, ulen, ulen, self.gemm_min, &mut sc, u);
+            g.pack(ulen, u, sc);
+            g.apply(&m, s, ulen, ulen, self.gemm_min, sc, u);
             for &pi in &g.dst {
                 has_up[pi as usize] = true;
             }
@@ -474,9 +508,15 @@ impl Ctx<'_> {
     /// GEMMs gathering the (already final) parent densities. Per octant
     /// the accumulation order is `d = s₁·(dc2e·dcheck) + s₂·(d2d·parent)`
     /// — the scalar `d2d_levels` order — so `d` stays bitwise identical.
-    fn d2d_levels_gemm(&self, max_level: u32, dcheck: &[f64], d: &mut [f64]) -> u64 {
+    fn d2d_levels_gemm(
+        &self,
+        max_level: u32,
+        dcheck: &[f64],
+        d: &mut [f64],
+        sc: &mut WorkerScratch,
+    ) -> u64 {
         let (ops, ulen, clen) = (self.ops, self.ulen, self.clen);
-        let mut sc = Scratch::new();
+        let sc = &mut sc.tsc;
         let mut fl = 0u64;
         for level in 0..=max_level {
             let lv = level as usize;
@@ -485,8 +525,8 @@ impl Ctx<'_> {
                 continue;
             }
             let (dm, s) = ops.dc2e(level);
-            g.pack(clen, dcheck, &mut sc);
-            g.apply(&dm, s, clen, ulen, self.gemm_min, &mut sc, d);
+            g.pack(clen, dcheck, sc);
+            g.apply(&dm, s, clen, ulen, self.gemm_min, sc, d);
             // Charged like the scalar path: solve + translation per box
             // (whether or not the parent is present), keeping the two
             // modes' profile totals identical.
@@ -499,8 +539,8 @@ impl Ctx<'_> {
                     continue;
                 }
                 let (m, s) = ops.d2d(level, ci);
-                cg.pack(ulen, d, &mut sc);
-                cg.apply(&m, s, ulen, ulen, self.gemm_min, &mut sc, d);
+                cg.pack(ulen, d, sc);
+                cg.apply(&m, s, ulen, ulen, self.gemm_min, sc, d);
             }
         }
         fl
@@ -542,32 +582,36 @@ impl Ctx<'_> {
 
     /// (3b) X-list for target octants in `range`; `window` is the
     /// matching downward-check slice.
-    fn xli_range(&self, range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+    fn xli_range(
+        &self,
+        range: Range<usize>,
+        window: &mut [f64],
+        base: usize,
+        sc: &mut WorkerScratch,
+    ) -> u64 {
         let (l, clen) = (self.l, self.clen);
         let mut fl = 0u64;
-        let mut dc = Vec::new();
-        let mut te = TileEval::default();
         for bi in range {
             if !l.local[bi] || self.lists.x.row(bi).is_empty() {
                 continue;
             }
             let key = l.octs[bi];
             self.ops
-                .down_check_surface_into(&key.center(), key.radius(), &mut dc);
+                .down_check_surface_into(&key.center(), key.radius(), &mut sc.surf);
             for &ai in self.lists.x.row(bi) {
                 let ai = ai as usize;
                 if self.leaf_pos[ai].is_empty() {
                     continue;
                 }
-                te.eval(
+                sc.te.eval(
                     self.tkd,
                     self.kernel,
-                    &dc,
+                    &sc.surf,
                     &self.leaf_pos[ai],
                     &self.leaf_den[ai],
                     &mut window[bi * clen - base..(bi + 1) * clen - base],
                 );
-                fl += self.leaf_pos[ai].len() as u64 * dc.len() as u64 * self.flops_pair;
+                fl += self.leaf_pos[ai].len() as u64 * sc.surf.len() as u64 * self.flops_pair;
             }
         }
         fl
@@ -607,17 +651,13 @@ impl Ctx<'_> {
         fl
     }
 
-    /// V-list FFT pass 1: forward-transform every V-list source once.
-    fn vli_fft_spectra(
-        &self,
-        has_up: &[bool],
-        u: &[f64],
-        threads: usize,
-    ) -> (Vec<Option<Arc<Vec<Complex>>>>, u64) {
-        let (l, fft, ulen) = (self.l, self.fft, self.ulen);
+    /// Mark every V-list source with upward data and list them in octant
+    /// order, reusing the workspace-owned flag/index buffers.
+    fn vli_mark_sources(&self, has_up: &[bool], needed: &mut Vec<bool>, sources: &mut Vec<usize>) {
+        let l = self.l;
         let noct = l.len();
-        let g = fft.grid_len();
-        let mut needed = vec![false; noct];
+        needed.clear();
+        needed.resize(noct, false);
         for bi in 0..noct {
             if !l.local[bi] {
                 continue;
@@ -628,16 +668,49 @@ impl Ctx<'_> {
                 }
             }
         }
-        let sources: Vec<usize> = (0..noct).filter(|&i| needed[i]).collect();
-        let spectra = par_map(threads, &sources, |ai| {
+        sources.clear();
+        sources.extend((0..noct).filter(|&i| needed[i]));
+    }
+
+    /// V-list FFT pass 1: forward-transform every V-list source once.
+    /// The `uhat` option table is epoch-cleared and reused; the spectra
+    /// themselves are freshly `Arc`'d (the fft mode is an ablation path,
+    /// outside the zero-allocation guarantee).
+    fn vli_fft_spectra_into(
+        &self,
+        has_up: &[bool],
+        u: &[f64],
+        threads: usize,
+        needed: &mut Vec<bool>,
+        sources: &mut Vec<usize>,
+        uhat: &mut Vec<Option<Arc<Vec<Complex>>>>,
+    ) -> u64 {
+        let (fft, ulen) = (self.fft, self.ulen);
+        let noct = self.l.len();
+        let g = fft.grid_len();
+        self.vli_mark_sources(has_up, needed, sources);
+        let spectra = par_map(threads, sources, |ai| {
             Arc::new(fft.source_spectrum(&u[ai * ulen..(ai + 1) * ulen]))
         });
-        let mut uhat: Vec<Option<Arc<Vec<Complex>>>> = vec![None; noct];
+        uhat.clear();
+        uhat.resize(noct, None);
         for (ai, spec) in sources.iter().zip(spectra) {
             uhat[*ai] = Some(spec);
         }
         let sd = self.kernel.source_dim();
-        let fl = sources.len() as u64 * flop_model::fft_c2c(g) * sd as u64;
+        sources.len() as u64 * flop_model::fft_c2c(g) * sd as u64
+    }
+
+    /// Allocating wrapper for the graph executor's pass-1 task.
+    fn vli_fft_spectra(
+        &self,
+        has_up: &[bool],
+        u: &[f64],
+        threads: usize,
+    ) -> (Vec<Option<Arc<Vec<Complex>>>>, u64) {
+        let (mut needed, mut sources, mut uhat) = (Vec::new(), Vec::new(), Vec::new());
+        let fl =
+            self.vli_fft_spectra_into(has_up, u, threads, &mut needed, &mut sources, &mut uhat);
         (uhat, fl)
     }
 
@@ -681,43 +754,44 @@ impl Ctx<'_> {
         fl
     }
 
-    /// V-list batched pass 1: enumerate the distinct (level, transfer
-    /// vector) pairs present, build the immutable kernel-spectrum table,
-    /// and half-spectrum transform every V-list source once.
-    fn vli_batched_spectra(
+    /// V-list batched pass 1: half-spectrum transform every V-list
+    /// source once into the workspace-owned spectra. The kernel-spectrum
+    /// table is *not* built here — it lives in the workspace
+    /// (density-independent; built once at workspace creation).
+    #[allow(clippy::too_many_arguments)]
+    fn vli_batched_spectra_into(
         &self,
         has_up: &[bool],
         u: &[f64],
         threads: usize,
-    ) -> (SpectraTable, SourceSpectra, u64) {
-        let (l, fftb, ulen) = (self.l, self.fftb, self.ulen);
-        let noct = l.len();
-        let mut needed = vec![false; noct];
-        let mut seen = std::collections::HashSet::new();
-        let mut keys: Vec<(u32, [i8; 3])> = Vec::new();
-        for bi in 0..noct {
-            if !l.local[bi] {
-                continue;
-            }
-            let beta = l.octs[bi];
-            for &ai in self.lists.v.row(bi) {
-                let ai = ai as usize;
-                if !has_up[ai] {
-                    continue;
-                }
-                needed[ai] = true;
-                let off = offset_of(&l.octs[ai], &beta);
-                if seen.insert(((beta.level() as u64) << 9) | offset_slot(off) as u64) {
-                    keys.push((beta.level(), off));
-                }
-            }
-        }
-        keys.sort_unstable();
-        let table = fftb.build_table(&keys, threads);
-        let sources: Vec<usize> = (0..noct).filter(|&i| needed[i]).collect();
+        needed: &mut Vec<bool>,
+        sources: &mut Vec<usize>,
+        tmp: &mut SpectraTmp,
+        out: &mut SourceSpectra,
+    ) -> u64 {
+        let (fftb, ulen) = (self.fftb, self.ulen);
+        let noct = self.l.len();
+        self.vli_mark_sources(has_up, needed, sources);
         let fl = sources.len() as u64 * fftb.flops_forward();
-        let spectra = fftb.source_spectra(&sources, noct, u, ulen, threads);
-        (table, spectra, fl)
+        fftb.source_spectra_into(sources, noct, u, ulen, threads, tmp, out);
+        fl
+    }
+
+    /// Allocating wrapper for the graph executor's pass-1 task.
+    fn vli_batched_spectra(&self, has_up: &[bool], u: &[f64]) -> (SourceSpectra, u64) {
+        let (mut needed, mut sources) = (Vec::new(), Vec::new());
+        let mut tmp = SpectraTmp::default();
+        let mut out = SourceSpectra::empty();
+        let fl = self.vli_batched_spectra_into(
+            has_up,
+            u,
+            1,
+            &mut needed,
+            &mut sources,
+            &mut tmp,
+            &mut out,
+        );
+        (out, fl)
     }
 
     /// V-list batched pass 2: targets are processed in small batches
@@ -727,6 +801,7 @@ impl Ctx<'_> {
     /// reusable scratch accumulators. Per target the buckets arrive in
     /// ascending slot order — independent of batch and chunk boundaries,
     /// so both executors accumulate identically.
+    #[allow(clippy::too_many_arguments)]
     fn vli_batched_range(
         &self,
         has_up: &[bool],
@@ -735,16 +810,21 @@ impl Ctx<'_> {
         range: Range<usize>,
         window: &mut [f64],
         base: usize,
+        sc: &mut WorkerScratch,
     ) -> u64 {
         const BATCH: usize = 32;
         let (l, fftb, clen) = (self.l, self.fftb, self.clen);
         let mut fl = 0u64;
-        let mut scratch = fftb.new_scratch(BATCH);
-        let targets: Vec<usize> = range
-            .filter(|&bi| l.local[bi] && !self.lists.v.row(bi).is_empty())
-            .collect();
+        let WorkerScratch {
+            batch,
+            targets,
+            edges,
+            ..
+        } = sc;
+        let scratch = batch.get_or_insert_with(|| fftb.new_scratch(BATCH));
+        targets.clear();
+        targets.extend(range.filter(|&bi| l.local[bi] && !self.lists.v.row(bi).is_empty()));
         // (level<<9 | slot, target slot, source octant) per edge.
-        let mut edges: Vec<(u32, u32, u32)> = Vec::new();
         for chunk in targets.chunks(BATCH) {
             edges.clear();
             for (t, &bi) in chunk.iter().enumerate() {
@@ -771,7 +851,7 @@ impl Ctx<'_> {
                 while i < edges.len() && edges[i].0 == key {
                     let (_, t, ai) = edges[i];
                     let (sre, sim) = src.planes(ai as usize);
-                    fftb.accumulate(&mut scratch, t as usize, k, sre, sim, scale);
+                    fftb.accumulate(scratch, t as usize, k, sre, sim, scale);
                     any[t as usize] = true;
                     fl += fftb.flops_edge();
                     i += 1;
@@ -780,7 +860,7 @@ impl Ctx<'_> {
             for (t, &bi) in chunk.iter().enumerate() {
                 if any[t] {
                     fftb.finish(
-                        &mut scratch,
+                        scratch,
                         t,
                         &mut window[bi * clen - base..(bi + 1) * clen - base],
                     );
@@ -837,32 +917,38 @@ impl Ctx<'_> {
     }
 
     /// (5b) D2T for owned leaves in `range`.
-    fn d2t_range(&self, d: &[f64], range: Range<usize>, window: &mut [f64], base: usize) -> u64 {
+    fn d2t_range(
+        &self,
+        d: &[f64],
+        range: Range<usize>,
+        window: &mut [f64],
+        base: usize,
+        sc: &mut WorkerScratch,
+    ) -> u64 {
         let (l, ops, ulen, td) = (self.l, self.ops, self.ulen, self.td);
         let mut fl = 0u64;
-        let mut de = Vec::new();
-        let mut te = TileEval::default();
         for i in range {
             if !l.owned[i] || self.leaf_pos[i].is_empty() {
                 continue;
             }
             let key = l.octs[i];
-            ops.down_equiv_surface_into(&key.center(), key.radius(), &mut de);
+            ops.down_equiv_surface_into(&key.center(), key.radius(), &mut sc.surf);
             let (off, n) = (l.pt_off[i], self.leaf_pos[i].len());
-            te.eval(
+            sc.te.eval(
                 self.tkd,
                 self.kernel,
                 &self.leaf_pos[i],
-                &de,
+                &sc.surf,
                 &d[i * ulen..(i + 1) * ulen],
                 &mut window[off * td - base..(off + n) * td - base],
             );
-            fl += n as u64 * de.len() as u64 * self.flops_pair;
+            fl += n as u64 * sc.surf.len() as u64 * self.flops_pair;
         }
         fl
     }
 
     /// (5a) W-list for owned target leaves in `range`.
+    #[allow(clippy::too_many_arguments)]
     fn wli_range(
         &self,
         has_up: &[bool],
@@ -870,11 +956,10 @@ impl Ctx<'_> {
         range: Range<usize>,
         window: &mut [f64],
         base: usize,
+        sc: &mut WorkerScratch,
     ) -> u64 {
         let (l, ops, ulen, td) = (self.l, self.ops, self.ulen, self.td);
         let mut fl = 0u64;
-        let mut ue = Vec::new();
-        let mut te = TileEval::default();
         for bi in range {
             if !l.owned[bi] || self.lists.w.row(bi).is_empty() || self.leaf_pos[bi].is_empty() {
                 continue;
@@ -886,16 +971,16 @@ impl Ctx<'_> {
                     continue;
                 }
                 let alpha = l.octs[ai];
-                ops.up_equiv_surface_into(&alpha.center(), alpha.radius(), &mut ue);
-                te.eval(
+                ops.up_equiv_surface_into(&alpha.center(), alpha.radius(), &mut sc.surf);
+                sc.te.eval(
                     self.tkd,
                     self.kernel,
                     &self.leaf_pos[bi],
-                    &ue,
+                    &sc.surf,
                     &u[ai * ulen..(ai + 1) * ulen],
                     &mut window[off * td - base..(off + n) * td - base],
                 );
-                fl += n as u64 * ue.len() as u64 * self.flops_pair;
+                fl += n as u64 * sc.surf.len() as u64 * self.flops_pair;
             }
         }
         fl
@@ -969,42 +1054,89 @@ impl PhaseTrace<'_> {
     }
 }
 
-/// Execute the FMM evaluation phases with the configured executor.
-/// Returns the potentials packed `target_dim` per point, aligned with
-/// `l`'s point storage, plus the Comm-phase traffic delta.
+/// Execute the FMM evaluation phases with the configured executor
+/// against the workspace's reusable buffers. The potentials (packed
+/// `target_dim` per point, aligned with `l`'s point storage) are left in
+/// `ws.f`; the return value is the Comm-phase traffic delta.
+#[allow(clippy::too_many_arguments)]
 pub fn run_phases(
     fmm: &Fmm,
     c: &Comm,
     l: &Let,
     lists: &Lists,
     data: &EvalData,
+    ws: &mut EvalWorkspace,
     prof: &mut Profile,
     tracer: &Tracer,
-) -> (Vec<f64>, CommStats) {
-    // The tiled near-field layout is shared by both executors; its
-    // translation cost is charged to the U-list phase, the same way the
-    // GPU pipeline charges its data-structure translation.
-    let nearfield = match fmm.config().ulist {
-        UlistMode::Tiled => fmm.kernel().as_tile_kernel().map(|_| {
-            NearField::build_with(
-                l,
-                lists,
-                &data.leaf_pos,
-                &data.leaf_den,
-                fmm.kernel().source_dim(),
-                fmm.setup_par(),
-            )
-        }),
-        UlistMode::Scalar => None,
-    };
-    if let Some(nf) = &nearfield {
-        prof.add_secs(Phase::UList, nf.build_secs);
-        prof.nf_build_secs += nf.build_secs;
+) -> CommStats {
+    // The tiled near-field layout is shared by both executors: built on
+    // the workspace's first run, density-refreshed in place afterwards.
+    // Both costs are charged to the U-list phase, the same way the GPU
+    // pipeline charges its data-structure translation.
+    if fmm.config().ulist == UlistMode::Tiled && fmm.kernel().as_tile_kernel().is_some() {
+        match ws.nf.as_mut() {
+            Some(nf) => {
+                let t0 = std::time::Instant::now();
+                nf.refresh_densities(&data.leaf_den);
+                let secs = t0.elapsed().as_secs_f64();
+                prof.add_secs(Phase::UList, secs);
+                prof.nf_build_secs += secs;
+            }
+            None => {
+                let nf = NearField::build_with(
+                    l,
+                    lists,
+                    &data.leaf_pos,
+                    &data.leaf_den,
+                    fmm.kernel().source_dim(),
+                    fmm.setup_par(),
+                );
+                prof.add_secs(Phase::UList, nf.build_secs);
+                prof.nf_build_secs += nf.build_secs;
+                ws.nf = Some(nf);
+            }
+        }
     }
-    let nf = nearfield.as_ref();
+    // U-list chunk weights, cached on first use: tiled chunks are
+    // weighted by padded pairs (wall time follows the lanes actually
+    // evaluated), scalar chunks by real pairs.
+    if ws.uli_weights.is_empty() {
+        ws.uli_weights = match ws.nf.as_ref() {
+            Some(nf) => nf.oct_weights().to_vec(),
+            None => (0..l.len())
+                .map(|bi| {
+                    if !l.owned[bi] || data.leaf_pos[bi].is_empty() {
+                        return 0;
+                    }
+                    let n = data.leaf_pos[bi].len() as u64;
+                    lists
+                        .u
+                        .row(bi)
+                        .iter()
+                        .map(|&ai| n * data.leaf_pos[ai as usize].len() as u64)
+                        .sum()
+                })
+                .collect(),
+        };
+    }
+    // Zero the phase accumulators (sized once at workspace creation).
+    ws.u.fill(0.0);
+    ws.has_up.fill(false);
+    ws.ucheck.fill(0.0);
+    ws.dcheck.fill(0.0);
+    ws.d.fill(0.0);
+    ws.f.fill(0.0);
+
+    let workers = fmm.config().threads.max(1);
     match fmm.config().schedule {
-        Schedule::Barrier => run_phases_barrier(fmm, c, l, lists, data, nf, prof, tracer),
-        Schedule::Graph => run_phases_graph(fmm, c, l, lists, data, nf, prof, tracer),
+        // A single-worker, single-rank graph run schedules the exact
+        // barrier order (same chunk kernels, bitwise identical by the
+        // module invariant) with pure task bookkeeping on top of it —
+        // delegate, unless a phase-level tracer wants real graph spans.
+        Schedule::Graph if workers > 1 || c.size() > 1 || tracer.enabled(TraceLevel::Phase) => {
+            run_phases_graph(fmm, c, l, lists, data, ws, prof, tracer)
+        }
+        _ => run_phases_barrier(fmm, c, l, lists, data, ws, prof, tracer),
     }
 }
 
@@ -1016,12 +1148,33 @@ fn run_phases_barrier(
     l: &Let,
     lists: &Lists,
     data: &EvalData,
-    nf: Option<&NearField>,
+    ws: &mut EvalWorkspace,
     prof: &mut Profile,
     tracer: &Tracer,
-) -> (Vec<f64>, CommStats) {
+) -> CommStats {
     let cfg = fmm.config();
-    let cx = Ctx::new(fmm, l, lists, data, nf);
+    // Disjoint borrows of the workspace fields, so the context can hold
+    // the near field and spectrum table while the phase buffers are
+    // written and worker scratch is checked out of the pool.
+    let EvalWorkspace {
+        ref nf,
+        ref btable,
+        ref pool,
+        ref uli_weights,
+        ref vli_weights,
+        ref mut u,
+        ref mut has_up,
+        ref mut ucheck,
+        ref mut dcheck,
+        ref mut d,
+        ref mut f,
+        ref mut needed,
+        ref mut sources,
+        ref mut uhat,
+        ref mut src,
+        ..
+    } = *ws;
+    let cx = Ctx::new(fmm, l, lists, data, nf.as_ref(), btable.as_ref());
     let threads = cfg.threads.max(1);
     let noct = l.len();
     let (ulen, clen, td) = (cx.ulen, cx.clen, cx.td);
@@ -1031,9 +1184,6 @@ fn run_phases_barrier(
     let pt = PhaseTrace::new(tracer, c);
     let pt = &pt;
 
-    let mut u = vec![0.0f64; noct * ulen];
-    let mut has_up = vec![false; noct];
-
     // (1) S2U and (2) U2U — the upward pass. S2U is per-leaf parallel.
     // In gemm mode the per-leaf pass computes only the check potentials;
     // the uc2e solves and the U2U translations then run as level-batched
@@ -1042,51 +1192,51 @@ fn run_phases_barrier(
     pt.phase(Phase::Upward, || {
         prof.timed(Phase::Upward, |prof| match cfg.translate {
             TranslateMode::Gemm => {
-                let mut ucheck = vec![0.0f64; noct * clen];
                 let flops = par_windows(
                     threads,
                     noct,
-                    &mut ucheck,
+                    ucheck,
                     &|i| i * clen,
                     |range, window, base| {
-                        pt.chunk(Phase::Upward, || cxr.s2u_check_range(range, window, base))
+                        pt.chunk(Phase::Upward, || {
+                            pool.with(|sc| cxr.s2u_check_range(range, window, base, sc))
+                        })
                     },
                 );
                 prof.add_flops(Phase::Upward, flops);
-                cx.mark_has_up_range(0..noct, &mut has_up);
-                let fl = pt.chunk(Phase::Upward, || cx.s2u_solve_levels(&ucheck, &mut u));
+                cx.mark_has_up_range(0..noct, has_up);
+                let fl = pt.chunk(Phase::Upward, || {
+                    pool.with(|sc| cx.s2u_solve_levels(ucheck, u, sc))
+                });
                 prof.add_flops(Phase::Upward, fl);
                 for level in (1..=max_level).rev() {
                     let fl = pt.chunk(Phase::Upward, || {
-                        cx.u2u_level_gemm(level, &mut u, &mut has_up)
+                        pool.with(|sc| cx.u2u_level_gemm(level, u, has_up, sc))
                     });
                     prof.add_flops(Phase::Upward, fl);
                 }
             }
             TranslateMode::Matvec => {
-                let flops = par_windows(
-                    threads,
-                    noct,
-                    &mut u,
-                    &|i| i * ulen,
-                    |range, window, base| {
-                        pt.chunk(Phase::Upward, || cxr.s2u_range(range, window, base))
-                    },
-                );
+                let flops = par_windows(threads, noct, u, &|i| i * ulen, |range, window, base| {
+                    pt.chunk(Phase::Upward, || {
+                        pool.with(|sc| cxr.s2u_range(range, window, base, sc))
+                    })
+                });
                 prof.add_flops(Phase::Upward, flops);
-                cx.mark_has_up_range(0..noct, &mut has_up);
+                cx.mark_has_up_range(0..noct, has_up);
                 for level in (1..=max_level).rev() {
-                    let fl = pt.chunk(Phase::Upward, || {
-                        cx.u2u_level(by_level, level, &mut u, &mut has_up)
-                    });
+                    let fl = pt.chunk(Phase::Upward, || cx.u2u_level(by_level, level, u, has_up));
                     prof.add_flops(Phase::Upward, fl);
                 }
             }
         })
     });
 
-    // Reduce-and-scatter of shared upward densities (Algorithm 3).
-    let comm_before = c.stats();
+    // Reduce-and-scatter of shared upward densities (Algorithm 3). A
+    // single rank exchanges nothing, so skip the snapshots entirely —
+    // `Comm::stats` clones the per-peer breakdown map, which would be
+    // the only steady-state allocation left in a warm apply.
+    let comm_before = (c.size() > 1).then(|| c.stats());
     pt.phase(Phase::Comm, || {
         prof.timed(Phase::Comm, |_| {
             if c.size() > 1 {
@@ -1096,18 +1246,21 @@ fn run_phases_barrier(
                     Reduction::Naive => false,
                 };
                 if hypercube {
-                    reduce_scatter_hypercube(c, l, ulen, &mut u);
+                    reduce_scatter_hypercube(c, l, ulen, u);
                 } else {
-                    reduce_scatter_naive(c, l, ulen, &mut u);
+                    reduce_scatter_naive(c, l, ulen, u);
                 }
             }
         })
     });
-    let comm_reduce = stats_delta(&comm_before, &c.stats());
+    let comm_reduce = match comm_before {
+        Some(b) => stats_delta(&b, &c.stats()),
+        None => CommStats::default(),
+    };
     // Ghost densities may have arrived: refresh occupancy.
-    refresh_ghost_has_up(ulen, &u, &mut has_up);
-    let u = &u; // read-only from here on
-    let has_up = &has_up;
+    refresh_ghost_has_up(ulen, u, has_up);
+    let u: &[f64] = u; // read-only from here on
+    let has_up: &[bool] = has_up;
 
     // Direct interactions (U-list); parallel over target leaves, with
     // ranges cut by interaction count (source·target point products) —
@@ -1115,51 +1268,31 @@ fn run_phases_barrier(
     // regions, which starves count-based chunks. Runs first among the
     // potential writers so the per-point accumulation order (U, D2T, W)
     // matches the graph executor's chunk chains.
-    let mut f = vec![0.0f64; l.pts.len() * td];
     let pt_base = &|i: usize| l.pt_off[i.min(noct)] * td;
-    // Tiled chunks are weighted by padded pairs (wall time follows the
-    // lanes actually evaluated), scalar chunks by real pairs.
-    let uli_weights: Vec<u64> = match cx.nf {
-        Some(nf) => nf.oct_weights().to_vec(),
-        None => (0..noct)
-            .map(|bi| {
-                if !l.owned[bi] || data.leaf_pos[bi].is_empty() {
-                    return 0;
-                }
-                let n = data.leaf_pos[bi].len() as u64;
-                lists
-                    .u
-                    .row(bi)
-                    .iter()
-                    .map(|&ai| n * data.leaf_pos[ai as usize].len() as u64)
-                    .sum()
-            })
-            .collect(),
-    };
     pt.phase(Phase::UList, || {
         prof.timed(Phase::UList, |prof| {
-            let flops = par_windows_weighted(
-                threads,
-                &uli_weights,
-                &mut f,
-                pt_base,
-                |range, window, base| pt.chunk(Phase::UList, || cxr.uli_range(range, window, base)),
-            );
+            let flops =
+                par_windows_weighted(threads, uli_weights, f, pt_base, |range, window, base| {
+                    pt.chunk(Phase::UList, || cxr.uli_range(range, window, base))
+                });
             prof.add_flops(Phase::UList, flops);
         })
     });
 
     // (3b) X-list: sources of big adjacent leaves onto our downward check
     // surfaces; before V for the same accumulation-order reason.
-    let mut dcheck = vec![0.0f64; noct * clen];
     pt.phase(Phase::XList, || {
         prof.timed(Phase::XList, |prof| {
             let flops = par_windows(
                 threads,
                 noct,
-                &mut dcheck,
+                dcheck,
                 &|i| i * clen,
-                |range, window, base| pt.chunk(Phase::XList, || cxr.xli_range(range, window, base)),
+                |range, window, base| {
+                    pt.chunk(Phase::XList, || {
+                        pool.with(|sc| cxr.xli_range(range, window, base, sc))
+                    })
+                },
             );
             prof.add_flops(Phase::XList, flops);
         })
@@ -1167,22 +1300,13 @@ fn run_phases_barrier(
 
     // (3a) V-list, parallel over target octants with edge-count-weighted
     // range cuts (every V edge costs the same within a mode).
-    let vli_weights: Vec<u64> = (0..noct)
-        .map(|bi| {
-            if l.local[bi] {
-                lists.v.row(bi).len() as u64
-            } else {
-                0
-            }
-        })
-        .collect();
     pt.phase(Phase::VList, || {
         prof.timed(Phase::VList, |prof| match cfg.m2l {
             M2lMode::Dense => {
                 let flops = par_windows_weighted(
                     threads,
-                    &vli_weights,
-                    &mut dcheck,
+                    vli_weights,
+                    dcheck,
                     &|i| i * clen,
                     |range, window, base| {
                         pt.chunk(Phase::VList, || {
@@ -1193,13 +1317,13 @@ fn run_phases_barrier(
                 prof.add_flops(Phase::VList, flops);
             }
             M2lMode::Fft => {
-                let (uhat, fl) = cx.vli_fft_spectra(has_up, u, threads);
+                let fl = cx.vli_fft_spectra_into(has_up, u, threads, needed, sources, uhat);
                 prof.add_flops(Phase::VList, fl);
-                let uhat = &uhat;
+                let uhat: &[Option<Arc<Vec<Complex>>>] = uhat;
                 let flops = par_windows_weighted(
                     threads,
-                    &vli_weights,
-                    &mut dcheck,
+                    vli_weights,
+                    dcheck,
                     &|i| i * clen,
                     |range, window, base| {
                         pt.chunk(Phase::VList, || {
@@ -1210,17 +1334,32 @@ fn run_phases_barrier(
                 prof.add_flops(Phase::VList, flops);
             }
             M2lMode::FftBatched => {
-                let (table, src, fl) = cx.vli_batched_spectra(has_up, u, threads);
+                let table = btable
+                    .as_ref()
+                    .expect("spectrum table built at workspace creation");
+                let fl = pool.with(|sc| {
+                    cx.vli_batched_spectra_into(
+                        has_up,
+                        u,
+                        threads,
+                        needed,
+                        sources,
+                        &mut sc.tmp,
+                        src,
+                    )
+                });
                 prof.add_flops(Phase::VList, fl);
-                let (table, src) = (&table, &src);
+                let src: &SourceSpectra = src;
                 let flops = par_windows_weighted(
                     threads,
-                    &vli_weights,
-                    &mut dcheck,
+                    vli_weights,
+                    dcheck,
                     &|i| i * clen,
                     |range, window, base| {
                         pt.chunk(Phase::VList, || {
-                            cxr.vli_batched_range(has_up, table, src, range, window, base)
+                            pool.with(|sc| {
+                                cxr.vli_batched_range(has_up, table, src, range, window, base, sc)
+                            })
                         })
                     },
                 );
@@ -1228,28 +1367,22 @@ fn run_phases_barrier(
             }
         })
     });
-    let dcheck = &dcheck;
+    let dcheck: &[f64] = dcheck;
 
     // (4) D2D + (5b) D2T — the downward pass.
-    let mut f_owned = f; // continue accumulating into the same array
-    let mut d = vec![0.0f64; noct * ulen];
     pt.phase(Phase::Downward, || {
         prof.timed(Phase::Downward, |prof| {
             let fl = pt.chunk(Phase::Downward, || match cfg.translate {
-                TranslateMode::Gemm => cx.d2d_levels_gemm(max_level, dcheck, &mut d),
-                TranslateMode::Matvec => cx.d2d_levels(by_level, max_level, dcheck, &mut d),
+                TranslateMode::Gemm => pool.with(|sc| cx.d2d_levels_gemm(max_level, dcheck, d, sc)),
+                TranslateMode::Matvec => cx.d2d_levels(by_level, max_level, dcheck, d),
             });
             prof.add_flops(Phase::Downward, fl);
-            let d = &d;
-            let flops = par_windows(
-                threads,
-                noct,
-                &mut f_owned,
-                pt_base,
-                |range, window, base| {
-                    pt.chunk(Phase::Downward, || cxr.d2t_range(d, range, window, base))
-                },
-            );
+            let d: &[f64] = d;
+            let flops = par_windows(threads, noct, f, pt_base, |range, window, base| {
+                pt.chunk(Phase::Downward, || {
+                    pool.with(|sc| cxr.d2t_range(d, range, window, base, sc))
+                })
+            });
             prof.add_flops(Phase::Downward, flops);
         })
     });
@@ -1257,22 +1390,16 @@ fn run_phases_barrier(
     // (5a) W-list: multipoles of small far leaves directly to targets.
     pt.phase(Phase::WList, || {
         prof.timed(Phase::WList, |prof| {
-            let flops = par_windows(
-                threads,
-                noct,
-                &mut f_owned,
-                pt_base,
-                |range, window, base| {
-                    pt.chunk(Phase::WList, || {
-                        cxr.wli_range(has_up, u, range, window, base)
-                    })
-                },
-            );
+            let flops = par_windows(threads, noct, f, pt_base, |range, window, base| {
+                pt.chunk(Phase::WList, || {
+                    pool.with(|sc| cxr.wli_range(has_up, u, range, window, base, sc))
+                })
+            });
             prof.add_flops(Phase::WList, flops);
         })
     });
 
-    (f_owned, comm_reduce)
+    comm_reduce
 }
 
 /// The task-graph executor: octant-chunk tasks with explicit data
@@ -1285,12 +1412,24 @@ fn run_phases_graph(
     l: &Let,
     lists: &Lists,
     data: &EvalData,
-    nf: Option<&NearField>,
+    ws: &mut EvalWorkspace,
     prof: &mut Profile,
     tracer: &Tracer,
-) -> (Vec<f64>, CommStats) {
+) -> CommStats {
     let cfg = fmm.config();
-    let cx = Ctx::new(fmm, l, lists, data, nf);
+    let EvalWorkspace {
+        ref nf,
+        ref btable,
+        ref pool,
+        ref mut u,
+        ref mut has_up,
+        ref mut ucheck,
+        ref mut dcheck,
+        ref mut d,
+        ref mut f,
+        ..
+    } = *ws;
+    let cx = Ctx::new(fmm, l, lists, data, nf.as_ref(), btable.as_ref());
     let workers = cfg.threads.max(1);
     let noct = l.len();
     let (ulen, clen, td) = (cx.ulen, cx.clen, cx.td);
@@ -1311,21 +1450,24 @@ fn run_phases_graph(
     let pt_base = |i: usize| l.pt_off[i.min(noct)] * td;
 
     let gemm = cfg.translate == TranslateMode::Gemm;
-    let u = GraphBuf::new(vec![0.0f64; noct * ulen]);
-    let has_up = GraphBuf::new(vec![false; noct]);
-    let dcheck = GraphBuf::new(vec![0.0f64; noct * clen]);
-    let f = GraphBuf::new(vec![0.0f64; l.pts.len() * td]);
-    let dbuf = GraphBuf::new(vec![0.0f64; noct * ulen]);
-    // Gemm-mode staging for the S2U check potentials (the batched uc2e
-    // solve task turns them into upward densities); unused otherwise.
-    let ucheck = GraphBuf::new(vec![0.0f64; if gemm { noct * clen } else { 0 }]);
+    // The graph temporarily owns the workspace's pre-zeroed phase
+    // buffers (GraphBuf wants ownership); they are restored below after
+    // the run so later applies reuse the allocations. `ucheck` is sized
+    // `noct * clen` only in gemm mode and empty otherwise, matching its
+    // use as the S2U check staging buffer.
+    let ub = GraphBuf::new(std::mem::take(u));
+    let hub = GraphBuf::new(std::mem::take(has_up));
+    let dcb = GraphBuf::new(std::mem::take(dcheck));
+    let fb = GraphBuf::new(std::mem::take(f));
+    let db = GraphBuf::new(std::mem::take(d));
+    let ucb = GraphBuf::new(std::mem::take(ucheck));
     let flops: Vec<AtomicU64> = (0..Phase::ALL.len()).map(|_| AtomicU64::new(0)).collect();
     let comm_delta: Slot<CommStats> = Slot::new();
     let spectra: Slot<Spectra> = Slot::new();
     let bspectra: Slot<BatchedSpectra> = Slot::new();
 
     let cxr = &cx;
-    let (ur, hur, dcr, fr, dbr, ucr) = (&u, &has_up, &dcheck, &f, &dbuf, &ucheck);
+    let (ur, hur, dcr, fr, dbr, ucr) = (&ub, &hub, &dcb, &fb, &db, &ucb);
     let flr = &flops;
     let cdr = &comm_delta;
     let sp = &spectra;
@@ -1343,10 +1485,10 @@ fn run_phases_graph(
                 // every S2U chunk before touching `u`/`has_up` globally.
                 let fl = if gemm {
                     let w = unsafe { ucr.slice_mut(chk_base(lo), chk_base(hi) - chk_base(lo)) };
-                    cxr.s2u_check_range(lo..hi, w, chk_base(lo))
+                    pool.with(|sc| cxr.s2u_check_range(lo..hi, w, chk_base(lo), sc))
                 } else {
                     let w = unsafe { ur.slice_mut(oct_base(lo), oct_base(hi) - oct_base(lo)) };
-                    cxr.s2u_range(lo..hi, w, oct_base(lo))
+                    pool.with(|sc| cxr.s2u_range(lo..hi, w, oct_base(lo), sc))
                 };
                 let hw = unsafe { hur.slice_mut(lo, hi - lo) };
                 cxr.mark_has_up_range(lo..hi, hw);
@@ -1364,7 +1506,7 @@ fn run_phases_graph(
             // U2U chain is behind this task.
             let uc = unsafe { ucr.as_slice() };
             let uw = unsafe { ur.slice_mut(0, ur.len()) };
-            let fl = cxr.s2u_solve_levels(uc, uw);
+            let fl = pool.with(|sc| cxr.s2u_solve_levels(uc, uw, sc));
             flr[Phase::Upward as usize].fetch_add(fl, Ordering::Relaxed);
         });
         upward_tail = vec![t];
@@ -1379,7 +1521,7 @@ fn run_phases_graph(
             let uw = unsafe { ur.slice_mut(0, ur.len()) };
             let hw = unsafe { hur.slice_mut(0, noct) };
             let fl = if gemm {
-                cxr.u2u_level_gemm(level, uw, hw)
+                pool.with(|sc| cxr.u2u_level_gemm(level, uw, hw, sc))
             } else {
                 cxr.u2u_level(by_level, level, uw, hw)
             };
@@ -1395,7 +1537,9 @@ fn run_phases_graph(
     let mut before: Option<CommStats> = None;
     let mut reducer: Option<HypercubeReduceAsync> = None;
     let comm_id = g.comm(Phase::Comm.label(), &upward_tail, move || {
-        if before.is_none() {
+        // Skip the stats snapshots at size 1 (nothing is exchanged, and
+        // `Comm::stats` clones the per-peer map — an allocation).
+        if before.is_none() && c.size() > 1 {
             before = Some(c.stats());
         }
         if c.size() > 1 {
@@ -1424,10 +1568,10 @@ fn run_phases_graph(
         let u_ro = unsafe { ur.as_slice() };
         let hw = unsafe { hur.slice_mut(0, noct) };
         refresh_ghost_has_up(ulen, u_ro, hw);
-        cdr.put(stats_delta(
-            before.as_ref().expect("set on first poll"),
-            &c.stats(),
-        ));
+        cdr.put(match before.as_ref() {
+            Some(b) => stats_delta(b, &c.stats()),
+            None => CommStats::default(),
+        });
         CommPoll::Ready
     });
 
@@ -1454,7 +1598,7 @@ fn run_phases_graph(
             g.task(Phase::XList.label(), &[], move || {
                 // Safety: V for the same chunk is chained behind X.
                 let w = unsafe { dcr.slice_mut(chk_base(lo), chk_base(hi) - chk_base(lo)) };
-                let fl = cxr.xli_range(lo..hi, w, chk_base(lo));
+                let fl = pool.with(|sc| cxr.xli_range(lo..hi, w, chk_base(lo), sc));
                 flr[Phase::XList as usize].fetch_add(fl, Ordering::Relaxed);
             })
         })
@@ -1475,8 +1619,8 @@ fn run_phases_graph(
         M2lMode::FftBatched => g.task(Phase::VList.label(), &[comm_id], move || {
             let u_ro = unsafe { ur.as_slice() };
             let hu = unsafe { hur.as_slice() };
-            let (table, src, fl) = cxr.vli_batched_spectra(hu, u_ro, 1);
-            bsp.put(Arc::new((table, src)));
+            let (src, fl) = cxr.vli_batched_spectra(hu, u_ro);
+            bsp.put(Arc::new(src));
             flr[Phase::VList as usize].fetch_add(fl, Ordering::Relaxed);
         }),
     };
@@ -1496,7 +1640,12 @@ fn run_phases_graph(
                     }
                     M2lMode::FftBatched => {
                         let b = bsp.with(Arc::clone);
-                        cxr.vli_batched_range(hu, &b.0, &b.1, lo..hi, w, chk_base(lo))
+                        let table = cxr
+                            .btable
+                            .expect("spectrum table built at workspace creation");
+                        pool.with(|sc| {
+                            cxr.vli_batched_range(hu, table, &b, lo..hi, w, chk_base(lo), sc)
+                        })
                     }
                 };
                 flr[Phase::VList as usize].fetch_add(fl, Ordering::Relaxed);
@@ -1509,7 +1658,11 @@ fn run_phases_graph(
     let d2d_id = g.task(Phase::Downward.label(), &vli_ids, move || {
         let dc = unsafe { dcr.as_slice() };
         let dw = unsafe { dbr.slice_mut(0, dbr.len()) };
-        let fl = cxr.d2d_levels(by_level, max_level, dc, dw);
+        let fl = if gemm {
+            pool.with(|sc| cxr.d2d_levels_gemm(max_level, dc, dw, sc))
+        } else {
+            cxr.d2d_levels(by_level, max_level, dc, dw)
+        };
         flr[Phase::Downward as usize].fetch_add(fl, Ordering::Relaxed);
     });
 
@@ -1520,14 +1673,14 @@ fn run_phases_graph(
         let d2t = g.task(Phase::Downward.label(), &[d2d_id, uli_ids[k]], move || {
             let d_ro = unsafe { dbr.as_slice() };
             let w = unsafe { fr.slice_mut(pt_base(lo), pt_base(hi) - pt_base(lo)) };
-            let fl = cxr.d2t_range(d_ro, lo..hi, w, pt_base(lo));
+            let fl = pool.with(|sc| cxr.d2t_range(d_ro, lo..hi, w, pt_base(lo), sc));
             flr[Phase::Downward as usize].fetch_add(fl, Ordering::Relaxed);
         });
         g.task(Phase::WList.label(), &[d2t, comm_id], move || {
             let u_ro = unsafe { ur.as_slice() };
             let hu = unsafe { hur.as_slice() };
             let w = unsafe { fr.slice_mut(pt_base(lo), pt_base(hi) - pt_base(lo)) };
-            let fl = cxr.wli_range(hu, u_ro, lo..hi, w, pt_base(lo));
+            let fl = pool.with(|sc| cxr.wli_range(hu, u_ro, lo..hi, w, pt_base(lo), sc));
             flr[Phase::WList as usize].fetch_add(fl, Ordering::Relaxed);
         });
     }
@@ -1550,5 +1703,13 @@ fn run_phases_graph(
     prof.overlap_secs += rep.overlap_secs;
     prof.critical_path_secs += rep.critical_path_secs;
 
-    (f.into_inner(), comm_delta.take())
+    // Hand the phase buffers back to the workspace for the next apply.
+    *u = ub.into_inner();
+    *has_up = hub.into_inner();
+    *dcheck = dcb.into_inner();
+    *f = fb.into_inner();
+    *d = db.into_inner();
+    *ucheck = ucb.into_inner();
+
+    comm_delta.take()
 }

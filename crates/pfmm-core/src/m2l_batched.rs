@@ -33,7 +33,7 @@
 
 use std::sync::Arc;
 
-use pfmm_fft::{Complex, RFft3};
+use pfmm_fft::{Complex, RFft3, RFftScratch};
 use pfmm_kernels::Kernel;
 
 use crate::ops::level_radius;
@@ -100,6 +100,29 @@ impl SpectraTable {
         }
         seen.len()
     }
+
+    /// Heap bytes held by the table (distinct spectra counted once, plus
+    /// the per-level slot arrays); feeds the workspace memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut seen: Vec<*const KernelSpectra> = Vec::new();
+        let mut planes = 0usize;
+        let mut slots = 0usize;
+        for ls in self.levels.iter().flatten() {
+            slots += ls.by_offset.len();
+            for spec in ls.by_offset.iter().flatten() {
+                let p = Arc::as_ptr(spec);
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    planes += spec.re.len() + spec.im.len();
+                }
+            }
+        }
+        planes * size_of::<f64>()
+            + seen.len() * (size_of::<KernelSpectra>() + 2 * size_of::<usize>())
+            + slots * size_of::<Option<Arc<KernelSpectra>>>()
+            + self.levels.len() * size_of::<Option<LevelSpectra>>()
+    }
 }
 
 /// Forward-transformed equivalent densities for the V-list sources of one
@@ -116,6 +139,23 @@ pub struct SourceSpectra {
 }
 
 impl SourceSpectra {
+    /// An empty table, warmed in place by
+    /// [`FftBatchedM2l::source_spectra_into`].
+    pub fn empty() -> SourceSpectra {
+        SourceSpectra {
+            idx: Vec::new(),
+            re: Vec::new(),
+            im: Vec::new(),
+            stride: 0,
+        }
+    }
+
+    /// Heap bytes held (element counts × element sizes).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.idx.len() * size_of::<u32>() + (self.re.len() + self.im.len()) * size_of::<f64>()
+    }
+
     /// The split-complex planes of octant `oct` (`sd·gh` values each).
     #[inline]
     pub fn planes(&self, oct: usize) -> (&[f64], &[f64]) {
@@ -140,14 +180,42 @@ pub struct BatchScratch {
     acc_im: Vec<f64>,
     spec: Vec<Complex>,
     grid: Vec<f64>,
+    fft: RFftScratch,
 }
 
 impl BatchScratch {
+    /// Heap bytes held, by allocated capacity.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.acc_re.capacity() + self.acc_im.capacity() + self.grid.capacity()) * size_of::<f64>()
+            + self.spec.capacity() * size_of::<Complex>()
+            + self.fft.memory_bytes()
+    }
+
     /// Zero the first `n` target accumulators for a new batch.
     pub fn reset(&mut self, n: usize) {
         assert!(n <= self.slots);
         self.acc_re[..n * self.stride].fill(0.0);
         self.acc_im[..n * self.stride].fill(0.0);
+    }
+}
+
+/// Per-worker scratch for the forward source transforms (pass 1 of the
+/// batched V-list): the torus embedding grid, its half spectrum, and the
+/// FFT work vectors. A default (empty) scratch warms on first use.
+#[derive(Default)]
+pub struct SpectraTmp {
+    grid: Vec<f64>,
+    spec: Vec<Complex>,
+    fft: RFftScratch,
+}
+
+impl SpectraTmp {
+    /// Heap bytes held, by allocated capacity.
+    pub fn memory_bytes(&self) -> usize {
+        self.grid.capacity() * std::mem::size_of::<f64>()
+            + self.spec.capacity() * std::mem::size_of::<Complex>()
+            + self.fft.memory_bytes()
     }
 }
 
@@ -320,25 +388,66 @@ impl FftBatchedM2l {
         ulen: usize,
         threads: usize,
     ) -> SourceSpectra {
+        let mut out = SourceSpectra::empty();
+        self.source_spectra_into(
+            sources,
+            noct,
+            u,
+            ulen,
+            threads,
+            &mut SpectraTmp::default(),
+            &mut out,
+        );
+        out
+    }
+
+    /// [`Self::source_spectra`] writing into a caller-owned table:
+    /// alloc-free once `out` and `tmp` have warmed to this evaluation's
+    /// source count (the workspace path). At `threads > 1` the per-source
+    /// transforms still run through the allocating parallel map —
+    /// transforms are independent, so results are bitwise identical
+    /// either way.
+    #[allow(clippy::too_many_arguments)]
+    pub fn source_spectra_into(
+        &self,
+        sources: &[usize],
+        noct: usize,
+        u: &[f64],
+        ulen: usize,
+        threads: usize,
+        tmp: &mut SpectraTmp,
+        out: &mut SourceSpectra,
+    ) {
         let sd = self.sd();
         let gh = self.spectrum_len();
         let stride = sd * gh;
-        let planes: Vec<(Vec<f64>, Vec<f64>)> = par_map(threads, sources, |ai| {
-            self.transform_source(&u[ai * ulen..(ai + 1) * ulen])
-        });
-        let mut idx = vec![u32::MAX; noct];
-        let mut re = vec![0.0f64; sources.len() * stride];
-        let mut im = vec![0.0f64; sources.len() * stride];
-        for (s, (&ai, (pr, pi))) in sources.iter().zip(planes).enumerate() {
-            idx[ai] = s as u32;
-            re[s * stride..(s + 1) * stride].copy_from_slice(&pr);
-            im[s * stride..(s + 1) * stride].copy_from_slice(&pi);
-        }
-        SourceSpectra {
-            idx,
-            re,
-            im,
-            stride,
+        out.stride = stride;
+        out.idx.clear();
+        out.idx.resize(noct, u32::MAX);
+        out.re.clear();
+        out.re.resize(sources.len() * stride, 0.0);
+        out.im.clear();
+        out.im.resize(sources.len() * stride, 0.0);
+        if threads <= 1 || sources.len() < 2 {
+            for (s, &ai) in sources.iter().enumerate() {
+                out.idx[ai] = s as u32;
+                let lo = s * stride;
+                self.transform_source_into(
+                    &u[ai * ulen..(ai + 1) * ulen],
+                    tmp,
+                    &mut out.re[lo..lo + stride],
+                    &mut out.im[lo..lo + stride],
+                );
+            }
+        } else {
+            let planes: Vec<(Vec<f64>, Vec<f64>)> = par_map(threads, sources, |ai| {
+                self.transform_source(&u[ai * ulen..(ai + 1) * ulen])
+            });
+            for (s, (&ai, (pr, pi))) in sources.iter().zip(planes).enumerate() {
+                out.idx[ai] = s as u32;
+                out.re[s * stride..(s + 1) * stride].copy_from_slice(&pr);
+                out.im[s * stride..(s + 1) * stride].copy_from_slice(&pi);
+            }
         }
     }
 
@@ -346,25 +455,42 @@ impl FftBatchedM2l {
     /// half-spectrum transform each component.
     fn transform_source(&self, u: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let sd = self.sd();
+        let gh = self.spectrum_len();
+        let mut re = vec![0.0f64; sd * gh];
+        let mut im = vec![0.0f64; sd * gh];
+        self.transform_source_into(u, &mut SpectraTmp::default(), &mut re, &mut im);
+        (re, im)
+    }
+
+    /// [`Self::transform_source`] through caller-owned scratch, writing
+    /// the split-complex planes in place.
+    fn transform_source_into(
+        &self,
+        u: &[f64],
+        tmp: &mut SpectraTmp,
+        re: &mut [f64],
+        im: &mut [f64],
+    ) {
+        let sd = self.sd();
         let g = self.grid_len();
         let gh = self.spectrum_len();
         debug_assert_eq!(u.len(), self.surf_idx.len() * sd);
-        let mut grid = vec![0.0f64; g];
-        let mut spec = vec![Complex::ZERO; gh];
-        let mut re = vec![0.0f64; sd * gh];
-        let mut im = vec![0.0f64; sd * gh];
+        tmp.grid.clear();
+        tmp.grid.resize(g, 0.0);
+        tmp.spec.clear();
+        tmp.spec.resize(gh, Complex::ZERO);
         for c in 0..sd {
-            grid.fill(0.0);
+            tmp.grid.fill(0.0);
             for (s, m) in self.surf_idx.iter().enumerate() {
-                grid[self.grid_index(m[0], m[1], m[2])] = u[s * sd + c];
+                tmp.grid[self.grid_index(m[0], m[1], m[2])] = u[s * sd + c];
             }
-            self.rfft.forward(&grid, &mut spec);
-            for (f, v) in spec.iter().enumerate() {
+            self.rfft
+                .forward_with(&tmp.grid, &mut tmp.spec, &mut tmp.fft);
+            for (f, v) in tmp.spec.iter().enumerate() {
                 re[c * gh + f] = v.re;
                 im[c * gh + f] = v.im;
             }
         }
-        (re, im)
     }
 
     /// Fresh accumulator scratch able to hold `slots` targets.
@@ -377,6 +503,7 @@ impl FftBatchedM2l {
             acc_im: vec![0.0f64; slots * stride],
             spec: vec![Complex::ZERO; self.spectrum_len()],
             grid: vec![0.0f64; self.grid_len()],
+            fft: RFftScratch::default(),
         }
     }
 
@@ -430,7 +557,8 @@ impl FftBatchedM2l {
             for (f, v) in scratch.spec.iter_mut().enumerate() {
                 *v = Complex::new(ar[f], ai[f]);
             }
-            self.rfft.inverse(&mut scratch.spec, &mut scratch.grid);
+            self.rfft
+                .inverse_with(&mut scratch.spec, &mut scratch.grid, &mut scratch.fft);
             for (t, m) in self.surf_idx.iter().enumerate() {
                 dcheck[t * td + tc] += scratch.grid[self.grid_index(m[0], m[1], m[2])];
             }

@@ -50,6 +50,10 @@ pub struct NearField {
     pub src_off: Vec<u32>,
     /// Per source box: real (unpadded) point count.
     pub src_cnt: Vec<u32>,
+    /// Per source box: the LET octant it packs (the inverse of
+    /// `src_box_of_oct`, kept so [`NearField::refresh_densities`] can
+    /// re-gather from `leaf_den` without a rebuild).
+    pub src_oct: Vec<u32>,
     /// Padded source coordinate planes; padding lanes sit at [`PAD_POS`].
     pub sx: Vec<f64>,
     pub sy: Vec<f64>,
@@ -259,6 +263,7 @@ impl NearField {
             src_box_of_oct,
             src_off,
             src_cnt,
+            src_oct,
             sx,
             sy,
             sz,
@@ -305,6 +310,54 @@ impl NearField {
     /// splitting (`par_windows_weighted` / `weighted_cuts`).
     pub fn oct_weights(&self) -> &[u64] {
         &self.weights
+    }
+
+    /// Re-gather the density planes from fresh `leaf_den` without
+    /// rebuilding the layout: per-box point counts are fixed by the
+    /// geometry, so every real lane is rewritten (padding lanes keep the
+    /// `0.0` they got at build time) and the planes end up byte-identical
+    /// to a fresh [`NearField::build_with`] of the same densities. This
+    /// is the plan-reuse path: O(points · sd) instead of a full rebuild,
+    /// and allocation-free.
+    pub fn refresh_densities(&mut self, leaf_den: &[Vec<f64>]) {
+        let sd = self.sd;
+        for sb in 0..self.src_oct.len() {
+            let i = self.src_oct[sb] as usize;
+            let r = self.src_range(sb);
+            let m = r.len();
+            let planes = &mut self.sden[r.start * sd..r.end * sd];
+            for (j, d) in leaf_den[i].chunks_exact(sd).enumerate() {
+                for (c, &v) in d.iter().enumerate() {
+                    planes[c * m + j] = v;
+                }
+            }
+        }
+    }
+
+    /// Heap bytes held by the layout (element counts × element sizes);
+    /// feeds the workspace/plan memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.src_box_of_oct.len() + self.tgt_box_of_oct.len()) * size_of::<i32>()
+            + (self.src_off.len()
+                + self.src_cnt.len()
+                + self.src_oct.len()
+                + self.tgt_oct.len()
+                + self.tgt_pt_off.len()
+                + self.tgt_coff.len()
+                + self.tgt_cnt.len()
+                + self.ulist_off.len()
+                + self.ulist.len())
+                * size_of::<u32>()
+            + (self.sx.len()
+                + self.sy.len()
+                + self.sz.len()
+                + self.sden.len()
+                + self.tx.len()
+                + self.ty.len()
+                + self.tz.len())
+                * size_of::<f64>()
+            + self.weights.len() * size_of::<u64>()
     }
 
     /// Evaluate the U-list for target octants in `range` through the

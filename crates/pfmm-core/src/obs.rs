@@ -101,3 +101,12 @@ pub fn record_plan_apply(kernel: &str) {
             .inc();
     }
 }
+
+/// Resolve the `pfmm_plan_applies_total` handle once, so apply hot paths
+/// can bump it without the registry's find-or-create lock (and its key
+/// allocations). Resolved unconditionally: the registry may be enabled
+/// after the workspace is built, and a pre-resolved handle must still
+/// count from that point on.
+pub fn plan_apply_counter(kernel: &str) -> std::sync::Arc<pfmm_metrics::Counter> {
+    pfmm_metrics::global().counter("pfmm_plan_applies_total", &[("kernel", kernel)])
+}

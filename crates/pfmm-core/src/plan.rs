@@ -10,6 +10,7 @@
 //! point-to-point exchange (both sides derive the same schedule from the
 //! region fence — no negotiation round) and reruns the evaluation phases.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pfmm_mpisim::Comm;
@@ -21,6 +22,12 @@ use pfmm_tree::{
 use crate::driver::{Fmm, FmmConfig};
 use crate::exec::{run_phases, EvalData};
 use crate::profile::Profile;
+use crate::workspace::EvalWorkspace;
+
+/// Monotone plan generation counter: every plan gets a process-unique
+/// uid, and workspaces carry the uid of the plan they were sized for —
+/// the tag a workspace pool checks before reusing buffers.
+static NEXT_PLAN_UID: AtomicU64 = AtomicU64::new(1);
 
 /// A 128-bit content fingerprint of (kernel, config, communicator size,
 /// point geometry) — everything [`Fmm::plan`] depends on. Two calls with
@@ -114,6 +121,13 @@ pub struct FmmPlan {
     sd: usize,
     /// Potential components per point.
     td: usize,
+    /// Process-unique generation tag (see [`EvalWorkspace::plan_uid`]).
+    uid: u64,
+    /// The plan-owned evaluation workspace, created lazily on the first
+    /// apply so a freshly built plan stays cheap to inspect; external
+    /// workspaces (serve-layer pools) go through [`Fmm::apply_ws`] and
+    /// leave this slot empty.
+    ws: Option<EvalWorkspace>,
 }
 
 impl FmmPlan {
@@ -121,6 +135,13 @@ impl FmmPlan {
     /// order (packed `source_dim` per point).
     pub fn owned_gids(&self) -> &[u64] {
         &self.owned_gids
+    }
+
+    /// Process-unique generation tag; workspaces built for this plan
+    /// carry it, and every external-workspace entry point rebuilds on a
+    /// mismatch.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Number of points this rank owns.
@@ -152,6 +173,7 @@ impl FmmPlan {
             + sched(&self.send_plan)
             + sched(&self.recv_plan)
             + self.owned_gids.len() * size_of::<u64>()
+            + self.ws.as_ref().map_or(0, |w| w.memory_bytes())
             + size_of::<FmmPlan>()
     }
 }
@@ -232,6 +254,8 @@ impl Fmm {
             owned_gids,
             sd,
             td,
+            uid: NEXT_PLAN_UID.fetch_add(1, Ordering::Relaxed),
+            ws: None,
         }
     }
 
@@ -266,41 +290,160 @@ impl Fmm {
     }
 
     fn apply_one(&self, c: &Comm, plan: &mut FmmPlan, densities: &[f64]) -> (Vec<f64>, Profile) {
-        crate::obs::record_plan_apply(self.kernel().name());
-        let sd = plan.sd;
-        let td = plan.td;
+        let mut pot = Vec::with_capacity(plan.num_owned() * plan.td);
+        let prof = self.apply_into(c, plan, densities, &mut pot);
+        (pot, prof)
+    }
+
+    /// [`Fmm::apply`] writing into a caller-provided output vector. The
+    /// plan's own workspace is created on the first call and reused
+    /// afterwards, so a warm call — same plan, same `out` — performs no
+    /// steady-state heap allocations (`tests/alloc_gate.rs`).
+    ///
+    /// # Panics
+    /// Panics if `densities.len() != plan.num_owned() * source_dim`.
+    pub fn apply_into(
+        &self,
+        c: &Comm,
+        plan: &mut FmmPlan,
+        densities: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Profile {
         assert_eq!(
             densities.len(),
-            plan.num_owned() * sd,
+            plan.num_owned() * plan.sd,
             "densities must align with owned_gids"
         );
+        if plan.ws.is_none() {
+            plan.ws = Some(EvalWorkspace::new(self, &plan.l, &plan.lists, plan.uid));
+        }
+        let FmmPlan {
+            ref l,
+            ref lists,
+            ref mut data,
+            ref send_plan,
+            ref recv_plan,
+            sd,
+            td,
+            ref mut ws,
+            ..
+        } = *plan;
+        let ws = ws.as_mut().expect("created above");
+        self.apply_core(
+            c, l, lists, data, send_plan, recv_plan, sd, td, ws, densities, out,
+        )
+    }
+
+    /// [`Fmm::apply_into`] with an external (pooled) workspace instead of
+    /// the plan-owned one. A workspace tagged for a different plan is
+    /// rebuilt in place first, so stale buffers can never leak across
+    /// plan generations; a matching workspace is reused as-is.
+    ///
+    /// # Panics
+    /// Panics if `densities.len() != plan.num_owned() * source_dim`.
+    pub fn apply_ws(
+        &self,
+        c: &Comm,
+        plan: &mut FmmPlan,
+        ws: &mut EvalWorkspace,
+        densities: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Profile {
+        assert_eq!(
+            densities.len(),
+            plan.num_owned() * plan.sd,
+            "densities must align with owned_gids"
+        );
+        if ws.plan_uid() != plan.uid {
+            *ws = EvalWorkspace::new(self, &plan.l, &plan.lists, plan.uid);
+        }
+        let FmmPlan {
+            ref l,
+            ref lists,
+            ref mut data,
+            ref send_plan,
+            ref recv_plan,
+            sd,
+            td,
+            ..
+        } = *plan;
+        self.apply_core(
+            c, l, lists, data, send_plan, recv_plan, sd, td, ws, densities, out,
+        )
+    }
+
+    /// [`Fmm::apply_batch`] with an external workspace — the serve
+    /// layer's pooled path. Bitwise identical to the plan-owned batch.
+    pub fn apply_batch_ws(
+        &self,
+        c: &Comm,
+        plan: &mut FmmPlan,
+        ws: &mut EvalWorkspace,
+        densities: &[&[f64]],
+    ) -> Vec<(Vec<f64>, Profile)> {
+        densities
+            .iter()
+            .map(|den| {
+                let mut out = Vec::with_capacity(plan.num_owned() * plan.td);
+                let prof = self.apply_ws(c, plan, ws, den, &mut out);
+                (out, prof)
+            })
+            .collect()
+    }
+
+    /// Build a fresh evaluation workspace for `plan`, sized from its LET
+    /// and lists. This is how a serve-layer pool materializes entries on
+    /// a miss.
+    pub fn workspace(&self, plan: &FmmPlan) -> EvalWorkspace {
+        EvalWorkspace::new(self, &plan.l, &plan.lists, plan.uid)
+    }
+
+    /// The shared apply body: scatter densities, refresh ghosts, run the
+    /// phases out of the workspace, collect the owned potentials.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_core(
+        &self,
+        c: &Comm,
+        l: &Let,
+        lists: &Lists,
+        data: &mut EvalData,
+        send_plan: &[(usize, Vec<usize>)],
+        recv_plan: &[(usize, Vec<usize>)],
+        sd: usize,
+        td: usize,
+        ws: &mut EvalWorkspace,
+        densities: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Profile {
+        ws.record_apply();
         // Scatter the new densities into the owned leaves.
         let mut cursor = 0usize;
-        for i in 0..plan.l.len() {
-            if !plan.l.owned[i] {
+        for i in 0..l.len() {
+            if !l.owned[i] {
                 continue;
             }
-            let npts = plan.data.leaf_pos[i].len();
-            plan.data.leaf_den[i].clear();
-            plan.data.leaf_den[i].extend_from_slice(&densities[cursor * sd..(cursor + npts) * sd]);
+            let npts = data.leaf_pos[i].len();
+            data.leaf_den[i].clear();
+            data.leaf_den[i].extend_from_slice(&densities[cursor * sd..(cursor + npts) * sd]);
             cursor += npts;
         }
+        debug_assert_eq!(densities.len(), cursor * sd, "aligned with owned_gids");
 
         // Refresh ghost copies (U- and X-list sources on other ranks).
-        for (dest, leaves) in &plan.send_plan {
+        for (dest, leaves) in send_plan {
             let mut buf = Vec::new();
             for &i in leaves {
-                buf.extend_from_slice(&plan.data.leaf_den[i]);
+                buf.extend_from_slice(&data.leaf_den[i]);
             }
             c.send_vec(*dest, TAG_DEN, buf);
         }
-        for (src, leaves) in &plan.recv_plan {
+        for (src, leaves) in recv_plan {
             let buf = c.recv::<f64>(*src, TAG_DEN);
             let mut off = 0usize;
             for &i in leaves {
-                let n = plan.data.leaf_pos[i].len() * sd;
-                plan.data.leaf_den[i].clear();
-                plan.data.leaf_den[i].extend_from_slice(&buf[off..off + n]);
+                let n = data.leaf_pos[i].len() * sd;
+                data.leaf_den[i].clear();
+                data.leaf_den[i].extend_from_slice(&buf[off..off + n]);
                 off += n;
             }
             debug_assert_eq!(off, buf.len(), "ghost density schedule agreed");
@@ -310,26 +453,18 @@ impl Fmm {
         let mut prof = Profile::default();
         let t0 = Instant::now();
         let tracer = pfmm_trace::Tracer::off();
-        let (f, _) = run_phases(
-            self,
-            c,
-            &plan.l,
-            &plan.lists,
-            &plan.data,
-            &mut prof,
-            &tracer,
-        );
+        let _ = run_phases(self, c, l, lists, data, ws, &mut prof, &tracer);
         prof.total_secs = t0.elapsed().as_secs_f64();
-        let mut pot = Vec::with_capacity(plan.num_owned() * td);
-        for i in 0..plan.l.len() {
-            if !plan.l.owned[i] {
+        out.clear();
+        for i in 0..l.len() {
+            if !l.owned[i] {
                 continue;
             }
-            let off = plan.l.pt_off[i];
-            let n = plan.data.leaf_pos[i].len();
-            pot.extend_from_slice(&f[off * td..(off + n) * td]);
+            let off = l.pt_off[i];
+            let n = data.leaf_pos[i].len();
+            out.extend_from_slice(&ws.f[off * td..(off + n) * td]);
         }
-        (pot, prof)
+        prof
     }
 }
 

@@ -35,7 +35,7 @@
 //! handled by the tiled near-field and direct-eval paths).
 
 use crate::par::par_map_n;
-use pfmm_linalg::{gemm_acc_scaled, Matrix};
+use pfmm_linalg::{gemm_acc_scaled_with, GemmScratch, Matrix};
 use pfmm_tree::{Let, SetupPar};
 
 /// One `(level, operator)` bucket: column `j` of the RHS panel is
@@ -57,11 +57,18 @@ pub struct TranslateGroup {
 pub struct Scratch {
     xp: Vec<f64>,
     yp: Vec<f64>,
+    gs: GemmScratch,
 }
 
 impl Scratch {
     pub fn new() -> Scratch {
         Scratch::default()
+    }
+
+    /// Heap bytes held, by allocated capacity.
+    pub fn memory_bytes(&self) -> usize {
+        (self.xp.capacity() + self.yp.capacity()) * std::mem::size_of::<f64>()
+            + self.gs.memory_bytes()
     }
 }
 
@@ -112,16 +119,17 @@ impl TranslateGroup {
         debug_assert_eq!(sc.xp.len(), in_len * m, "pack() must precede apply()");
         sc.yp.clear();
         sc.yp.resize(out_len * m, 0.0);
+        let Scratch { xp, yp, gs } = sc;
         if m < min_rhs {
-            for (j, col) in sc.yp.chunks_exact_mut(out_len).enumerate() {
-                op.matvec_acc_scaled(&sc.xp[j * in_len..(j + 1) * in_len], col, s);
+            for (j, col) in yp.chunks_exact_mut(out_len).enumerate() {
+                op.matvec_acc_scaled(&xp[j * in_len..(j + 1) * in_len], col, s);
             }
         } else {
-            gemm_acc_scaled(op, &sc.xp, &mut sc.yp, m, s);
+            gemm_acc_scaled_with(op, xp, yp, m, s, gs);
         }
         for (j, &di) in self.dst.iter().enumerate() {
             let dst = &mut buf[di as usize * out_len..(di as usize + 1) * out_len];
-            for (dv, &pv) in dst.iter_mut().zip(&sc.yp[j * out_len..(j + 1) * out_len]) {
+            for (dv, &pv) in dst.iter_mut().zip(&yp[j * out_len..(j + 1) * out_len]) {
                 *dv += pv;
             }
         }

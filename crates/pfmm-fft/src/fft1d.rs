@@ -4,6 +4,25 @@
 
 use crate::complex::Complex;
 
+/// Reusable scratch for [`FftPlan::forward_with`] / [`FftPlan::inverse_with`].
+///
+/// The Bluestein path needs one padded work vector per transform; owning
+/// it here lets a caller amortize that allocation across many transforms
+/// (the zero-allocation steady state of the batched M2L). A default
+/// (empty) scratch works for any plan — buffers grow on first use and
+/// are then reused.
+#[derive(Default)]
+pub struct FftScratch {
+    a: Vec<Complex>,
+}
+
+impl FftScratch {
+    /// Heap bytes held, by allocated capacity.
+    pub fn memory_bytes(&self) -> usize {
+        self.a.capacity() * std::mem::size_of::<Complex>()
+    }
+}
+
 /// A cached transform plan for a fixed length.
 ///
 /// ```
@@ -100,6 +119,14 @@ impl FftPlan {
     /// # Panics
     /// Panics if `data.len() != self.len()`.
     pub fn forward(&self, data: &mut [Complex]) {
+        self.forward_with(data, &mut FftScratch::default());
+    }
+
+    /// [`Self::forward`] reusing caller-owned scratch: alloc-free once
+    /// the scratch has warmed to this plan's size. Bitwise identical to
+    /// [`Self::forward`] (the Bluestein work vector starts all-zero
+    /// either way).
+    pub fn forward_with(&self, data: &mut [Complex], sc: &mut FftScratch) {
         assert_eq!(data.len(), self.n, "plan/buffer length mismatch");
         match &self.kind {
             PlanKind::Radix2 { twiddles } => radix2(data, twiddles),
@@ -110,15 +137,19 @@ impl FftPlan {
                 inner,
             } => {
                 let n = self.n;
-                let mut a = vec![Complex::ZERO; *m];
+                sc.a.clear();
+                sc.a.resize(*m, Complex::ZERO);
+                let a = &mut sc.a;
                 for k in 0..n {
                     a[k] = data[k] * chirp[k];
                 }
-                inner.forward(&mut a);
+                // `inner` is the padded power-of-two plan: always the
+                // radix-2 (in-place, scratch-free) path, never recursive.
+                inner.forward(a);
                 for (x, b) in a.iter_mut().zip(bhat) {
                     *x *= *b;
                 }
-                inner.inverse(&mut a);
+                inner.inverse(a);
                 for k in 0..n {
                     data[k] = a[k] * chirp[k];
                 }
@@ -131,11 +162,17 @@ impl FftPlan {
     /// # Panics
     /// Panics if `data.len() != self.len()`.
     pub fn inverse(&self, data: &mut [Complex]) {
+        self.inverse_with(data, &mut FftScratch::default());
+    }
+
+    /// [`Self::inverse`] reusing caller-owned scratch (see
+    /// [`Self::forward_with`]).
+    pub fn inverse_with(&self, data: &mut [Complex], sc: &mut FftScratch) {
         assert_eq!(data.len(), self.n, "plan/buffer length mismatch");
         for v in data.iter_mut() {
             *v = v.conj();
         }
-        self.forward(data);
+        self.forward_with(data, sc);
         let inv = 1.0 / self.n as f64;
         for v in data.iter_mut() {
             *v = v.conj().scale(inv);

@@ -14,6 +14,6 @@ pub mod fft3d;
 pub mod rfft;
 
 pub use complex::Complex;
-pub use fft1d::FftPlan;
+pub use fft1d::{FftPlan, FftScratch};
 pub use fft3d::Fft3;
-pub use rfft::{RFft3, RealFftPlan};
+pub use rfft::{RFft3, RFftScratch, RealFftPlan};

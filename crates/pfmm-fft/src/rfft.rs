@@ -12,7 +12,27 @@
 //! factor, so `inverse(forward(x)) == x`.
 
 use crate::complex::Complex;
-use crate::fft1d::FftPlan;
+use crate::fft1d::{FftPlan, FftScratch};
+
+/// Reusable scratch for the `_with` variants of [`RealFftPlan`] and
+/// [`RFft3`]: the packed half-length signal, one complex line for the
+/// 3-D y/x passes, and the inner [`FftScratch`] for Bluestein lengths.
+/// A default (empty) scratch works for any plan; buffers warm on first
+/// use and are then reused allocation-free.
+#[derive(Default)]
+pub struct RFftScratch {
+    z: Vec<Complex>,
+    line: Vec<Complex>,
+    fs: FftScratch,
+}
+
+impl RFftScratch {
+    /// Heap bytes held, by allocated capacity.
+    pub fn memory_bytes(&self) -> usize {
+        (self.z.capacity() + self.line.capacity()) * std::mem::size_of::<Complex>()
+            + self.fs.memory_bytes()
+    }
+}
 
 /// 1-D real-to-complex / complex-to-real transform plan for even `n`.
 ///
@@ -65,14 +85,20 @@ impl RealFftPlan {
     /// # Panics
     /// Panics if `x.len() != n` or `spec.len() != n/2 + 1`.
     pub fn forward(&self, x: &[f64], spec: &mut [Complex]) {
+        self.forward_with(x, spec, &mut RFftScratch::default());
+    }
+
+    /// [`Self::forward`] reusing caller-owned scratch: alloc-free once
+    /// warmed, bitwise identical results.
+    pub fn forward_with(&self, x: &[f64], spec: &mut [Complex], sc: &mut RFftScratch) {
         let n = self.n;
         let m = n / 2;
         assert_eq!(x.len(), n, "real input length");
         assert_eq!(spec.len(), m + 1, "half-spectrum length");
-        let mut z: Vec<Complex> = (0..m)
-            .map(|j| Complex::new(x[2 * j], x[2 * j + 1]))
-            .collect();
-        self.half.forward(&mut z);
+        sc.z.clear();
+        sc.z.extend((0..m).map(|j| Complex::new(x[2 * j], x[2 * j + 1])));
+        let z = &mut sc.z;
+        self.half.forward_with(z, &mut sc.fs);
         for k in 0..=m {
             let zk = z[k % m];
             let zc = z[(m - k) % m].conj();
@@ -90,11 +116,19 @@ impl RealFftPlan {
     /// # Panics
     /// Panics if `spec.len() != n/2 + 1` or `x.len() != n`.
     pub fn inverse(&self, spec: &[Complex], x: &mut [f64]) {
+        self.inverse_with(spec, x, &mut RFftScratch::default());
+    }
+
+    /// [`Self::inverse`] reusing caller-owned scratch (see
+    /// [`Self::forward_with`]).
+    pub fn inverse_with(&self, spec: &[Complex], x: &mut [f64], sc: &mut RFftScratch) {
         let n = self.n;
         let m = n / 2;
         assert_eq!(spec.len(), m + 1, "half-spectrum length");
         assert_eq!(x.len(), n, "real output length");
-        let mut z = vec![Complex::ZERO; m];
+        sc.z.clear();
+        sc.z.resize(m, Complex::ZERO);
+        let z = &mut sc.z;
         for (k, zk) in z.iter_mut().enumerate() {
             let xk = spec[k];
             let xc = spec[m - k].conj();
@@ -103,7 +137,7 @@ impl RealFftPlan {
             let zo = self.tw[k].conj() * (xk - xc).scale(0.5);
             *zk = ze + Complex::new(-zo.im, zo.re);
         }
-        self.half.inverse(&mut z);
+        self.half.inverse_with(z, &mut sc.fs);
         for (j, v) in z.iter().enumerate() {
             x[2 * j] = v.re;
             x[2 * j + 1] = v.im;
@@ -162,22 +196,33 @@ impl RFft3 {
     /// # Panics
     /// Panics if `real.len() != n³` or `spec.len() != spectrum_len()`.
     pub fn forward(&self, real: &[f64], spec: &mut [Complex]) {
+        self.forward_with(real, spec, &mut RFftScratch::default());
+    }
+
+    /// [`Self::forward`] reusing caller-owned scratch: alloc-free once
+    /// warmed, bitwise identical results.
+    pub fn forward_with(&self, real: &[f64], spec: &mut [Complex], sc: &mut RFftScratch) {
         let (n, h) = (self.n, self.h);
         assert_eq!(real.len(), n * n * n, "real grid size");
         assert_eq!(spec.len(), self.spectrum_len(), "spectrum size");
         // z: real-to-complex per contiguous row.
         for xy in 0..n * n {
-            self.rplan
-                .forward(&real[xy * n..(xy + 1) * n], &mut spec[xy * h..(xy + 1) * h]);
+            self.rplan.forward_with(
+                &real[xy * n..(xy + 1) * n],
+                &mut spec[xy * h..(xy + 1) * h],
+                sc,
+            );
         }
         // y and x: full complex passes per retained kz plane.
-        let mut line = vec![Complex::ZERO; n];
+        sc.line.clear();
+        sc.line.resize(n, Complex::ZERO);
+        let RFftScratch { line, fs, .. } = sc;
         for ix in 0..n {
             for kz in 0..h {
                 for iy in 0..n {
                     line[iy] = spec[(ix * n + iy) * h + kz];
                 }
-                self.cplan.forward(&mut line);
+                self.cplan.forward_with(line, fs);
                 for iy in 0..n {
                     spec[(ix * n + iy) * h + kz] = line[iy];
                 }
@@ -188,7 +233,7 @@ impl RFft3 {
                 for ix in 0..n {
                     line[ix] = spec[(ix * n + iy) * h + kz];
                 }
-                self.cplan.forward(&mut line);
+                self.cplan.forward_with(line, fs);
                 for ix in 0..n {
                     spec[(ix * n + iy) * h + kz] = line[ix];
                 }
@@ -203,35 +248,48 @@ impl RFft3 {
     /// # Panics
     /// Panics if `spec.len() != spectrum_len()` or `real.len() != n³`.
     pub fn inverse(&self, spec: &mut [Complex], real: &mut [f64]) {
+        self.inverse_with(spec, real, &mut RFftScratch::default());
+    }
+
+    /// [`Self::inverse`] reusing caller-owned scratch (see
+    /// [`Self::forward_with`]).
+    pub fn inverse_with(&self, spec: &mut [Complex], real: &mut [f64], sc: &mut RFftScratch) {
         let (n, h) = (self.n, self.h);
         assert_eq!(spec.len(), self.spectrum_len(), "spectrum size");
         assert_eq!(real.len(), n * n * n, "real grid size");
-        let mut line = vec![Complex::ZERO; n];
-        for iy in 0..n {
-            for kz in 0..h {
-                for ix in 0..n {
-                    line[ix] = spec[(ix * n + iy) * h + kz];
-                }
-                self.cplan.inverse(&mut line);
-                for ix in 0..n {
-                    spec[(ix * n + iy) * h + kz] = line[ix];
+        sc.line.clear();
+        sc.line.resize(n, Complex::ZERO);
+        {
+            let RFftScratch { line, fs, .. } = sc;
+            for iy in 0..n {
+                for kz in 0..h {
+                    for ix in 0..n {
+                        line[ix] = spec[(ix * n + iy) * h + kz];
+                    }
+                    self.cplan.inverse_with(line, fs);
+                    for ix in 0..n {
+                        spec[(ix * n + iy) * h + kz] = line[ix];
+                    }
                 }
             }
-        }
-        for ix in 0..n {
-            for kz in 0..h {
-                for iy in 0..n {
-                    line[iy] = spec[(ix * n + iy) * h + kz];
-                }
-                self.cplan.inverse(&mut line);
-                for iy in 0..n {
-                    spec[(ix * n + iy) * h + kz] = line[iy];
+            for ix in 0..n {
+                for kz in 0..h {
+                    for iy in 0..n {
+                        line[iy] = spec[(ix * n + iy) * h + kz];
+                    }
+                    self.cplan.inverse_with(line, fs);
+                    for iy in 0..n {
+                        spec[(ix * n + iy) * h + kz] = line[iy];
+                    }
                 }
             }
         }
         for xy in 0..n * n {
-            self.rplan
-                .inverse(&spec[xy * h..(xy + 1) * h], &mut real[xy * n..(xy + 1) * n]);
+            self.rplan.inverse_with(
+                &spec[xy * h..(xy + 1) * h],
+                &mut real[xy * n..(xy + 1) * n],
+                sc,
+            );
         }
     }
 }

@@ -27,6 +27,25 @@ pub const GEMM_MR: usize = 16;
 /// Microkernel column block: right-hand sides sharing one operator load.
 pub const GEMM_NR: usize = 4;
 
+/// Reusable pack/product panels for [`gemm_acc_scaled_with`]: a caller
+/// that issues many GEMMs (the per-level translation sweep) reuses one
+/// scratch so the steady state allocates nothing. A default (empty)
+/// scratch works for any operator shape — panels grow to the high-water
+/// mark and are then reused.
+#[derive(Default)]
+pub struct GemmScratch {
+    ap: Vec<f64>,
+    bp: Vec<f64>,
+    out: Vec<f64>,
+}
+
+impl GemmScratch {
+    /// Heap bytes held, by allocated capacity.
+    pub fn memory_bytes(&self) -> usize {
+        (self.ap.capacity() + self.bp.capacity() + self.out.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
 /// `y[:, j] += a · x[:, j]` for `m` column vectors.
 ///
 /// `x` is a column-major panel of `m` columns of length `a.cols()`;
@@ -39,6 +58,20 @@ pub fn gemm_acc(a: &Matrix, x: &[f64], y: &mut [f64], m: usize) {
 /// applied to each completed dot product — the `matvec_acc_scaled`
 /// convention, column by column, bitwise.
 pub fn gemm_acc_scaled(a: &Matrix, x: &[f64], y: &mut [f64], m: usize, s: f64) {
+    gemm_acc_scaled_with(a, x, y, m, s, &mut GemmScratch::default());
+}
+
+/// [`gemm_acc_scaled`] reusing caller-owned pack panels: alloc-free once
+/// the scratch has warmed to the largest operator/panel shape, bitwise
+/// identical results (the panels are re-zeroed identically each call).
+pub fn gemm_acc_scaled_with(
+    a: &Matrix,
+    x: &[f64],
+    y: &mut [f64],
+    m: usize,
+    s: f64,
+    sc: &mut GemmScratch,
+) {
     let (rows, cols) = (a.rows(), a.cols());
     assert_eq!(x.len(), cols * m, "gemm: x panel length");
     assert_eq!(y.len(), rows * m, "gemm: y panel length");
@@ -51,7 +84,9 @@ pub fn gemm_acc_scaled(a: &Matrix, x: &[f64], y: &mut [f64], m: usize, s: f64) {
     // Pack A into MR-row panels: panel `ib` holds rows [ib*MR, ib*MR+MR)
     // interleaved as [k*MR + r], zero-padded past the last real row. The
     // microkernel then streams both panels with unit stride.
-    let mut ap = vec![0.0f64; nrb * GEMM_MR * cols];
+    sc.ap.clear();
+    sc.ap.resize(nrb * GEMM_MR * cols, 0.0);
+    let ap = &mut sc.ap;
     for ib in 0..nrb {
         let panel = &mut ap[ib * GEMM_MR * cols..(ib + 1) * GEMM_MR * cols];
         for r in 0..GEMM_MR {
@@ -67,7 +102,9 @@ pub fn gemm_acc_scaled(a: &Matrix, x: &[f64], y: &mut [f64], m: usize, s: f64) {
 
     // Pack the RHS into NR-column panels [k*NR + c], zero-padded past the
     // last real column (padded columns are computed and discarded).
-    let mut bp = vec![0.0f64; ncb * GEMM_NR * cols];
+    sc.bp.clear();
+    sc.bp.resize(ncb * GEMM_NR * cols, 0.0);
+    let bp = &mut sc.bp;
     for jb in 0..ncb {
         let panel = &mut bp[jb * GEMM_NR * cols..(jb + 1) * GEMM_NR * cols];
         for c in 0..GEMM_NR {
@@ -85,8 +122,10 @@ pub fn gemm_acc_scaled(a: &Matrix, x: &[f64], y: &mut [f64], m: usize, s: f64) {
     // scaled result into `y`. Per element this is `y += s * dot`, the
     // same two operations `matvec_acc_scaled` performs.
     let rows_p = nrb * GEMM_MR;
-    let mut out = vec![0.0f64; rows_p * ncb * GEMM_NR];
-    gemm_panels(&ap, &bp, nrb, ncb, cols, rows_p, &mut out);
+    sc.out.clear();
+    sc.out.resize(rows_p * ncb * GEMM_NR, 0.0);
+    let out = &mut sc.out;
+    gemm_panels(ap, bp, nrb, ncb, cols, rows_p, out);
     for j in 0..m {
         let oc = &out[j * rows_p..j * rows_p + rows];
         for (yv, &ov) in y[j * rows..(j + 1) * rows].iter_mut().zip(oc) {

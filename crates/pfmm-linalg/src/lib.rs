@@ -11,6 +11,6 @@ pub mod gemm;
 pub mod matrix;
 pub mod svd;
 
-pub use gemm::{gemm_acc, gemm_acc_scaled, GEMM_MR, GEMM_NR};
+pub use gemm::{gemm_acc, gemm_acc_scaled, gemm_acc_scaled_with, GemmScratch, GEMM_MR, GEMM_NR};
 pub use matrix::Matrix;
 pub use svd::{pinv, Svd};

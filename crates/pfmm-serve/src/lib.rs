@@ -36,6 +36,7 @@ pub mod loadgen;
 pub mod pool;
 pub mod service;
 pub mod sim;
+pub mod workspace;
 
 pub use cache::{CacheStats, PlanCache, SharedPlan};
 pub use cost::CostModel;
@@ -45,3 +46,4 @@ pub use service::{
     Admission, Batch, RejectReason, Rejected, Request, ServiceConfig, ServiceCore, ServiceStats,
 };
 pub use sim::{run_sim, ObsConfig, ServeReport, SimConfig};
+pub use workspace::{WorkspacePool, WorkspaceStats};

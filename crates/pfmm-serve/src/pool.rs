@@ -26,6 +26,7 @@ use pfmm_tree::PointRec;
 use crate::cache::PlanCache;
 use crate::loadgen::densities;
 use crate::service::Batch;
+use crate::workspace::WorkspacePool;
 
 /// First trace lane used for request lifecycles (clear of the driver,
 /// worker, and GPU lanes used by the evaluation itself).
@@ -70,6 +71,9 @@ pub struct Executor {
     pub fmm: Arc<Fmm>,
     /// The plan cache.
     pub cache: Arc<PlanCache>,
+    /// Pooled evaluation workspaces, keyed by plan generation — warm
+    /// batches reuse scratch instead of allocating per apply.
+    pub workspaces: Arc<WorkspacePool>,
     /// All workload geometries, indexed by `Request::geom`.
     pub geometries: Arc<Vec<Vec<PointRec>>>,
     /// Span sink; its epoch is also the service clock.
@@ -113,7 +117,11 @@ impl Executor {
         let exec_start_us = self.now_us();
         let results = run(1, |c| {
             let mut g = plan.lock().unwrap();
-            self.fmm.apply_batch(c, &mut g, &refs)
+            let uid = g.uid();
+            let mut ws = self.workspaces.checkout(uid, || self.fmm.workspace(&g));
+            let out = self.fmm.apply_batch_ws(c, &mut g, &mut ws, &refs);
+            self.workspaces.put_back(uid, ws);
+            out
         })
         .pop()
         .expect("one rank");
@@ -289,6 +297,7 @@ mod tests {
         let exec = Arc::new(Executor {
             fmm,
             cache: Arc::new(PlanCache::new(1 << 30)),
+            workspaces: Arc::new(WorkspacePool::new(2)),
             geometries: Arc::new(vec![pts]),
             tracer: Arc::new(Tracer::new(level)),
             flight: None,

@@ -180,6 +180,12 @@ pub fn run_sim(
     let exec = Arc::new(Executor {
         fmm,
         cache: Arc::clone(&cache),
+        // One workspace per worker is the steady-state sweet spot: every
+        // in-flight batch can hold one without blocking, and idle plans
+        // pin no extra scratch.
+        workspaces: Arc::new(crate::workspace::WorkspacePool::new(
+            cfg.service.workers.max(1),
+        )),
         geometries: Arc::new(workload.geometries.clone()),
         tracer,
         flight: flight.clone(),

@@ -1,0 +1,262 @@
+//! The evaluation-workspace pool: generation-tagged
+//! [`EvalWorkspace`]s checked out per batch so warm steady-state applies
+//! allocate nothing.
+//!
+//! Plans are cached (see [`crate::cache`]); workspaces are *pooled*. The
+//! distinction matters because a workspace is mutable scratch — two
+//! concurrent batches against the same plan must not share one — while a
+//! plan under its lock is shared freely. The pool keys entries by the
+//! plan's generation uid ([`pfmm_core::FmmPlan::uid`]) and caps the
+//! number of workspaces per plan: a checkout beyond the cap blocks until
+//! a peer returns one, which bounds resident scratch memory at
+//! `cap × workspace_bytes` per plan no matter how many batches race.
+//!
+//! Returns are tag-checked: a workspace that no longer matches its
+//! plan's uid (the plan was rebuilt or evicted and re-planned) is
+//! dropped instead of re-pooled, so stale buffers can never serve a new
+//! plan generation. `Fmm::apply_ws` performs the same check on the way
+//! in, making a mismatched checkout safe as well — it costs a rebuild,
+//! never correctness.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use pfmm_core::EvalWorkspace;
+use pfmm_metrics::{Counter, Gauge};
+
+/// Pool counters, mirrored into `pfmm-metrics` when the registry is
+/// enabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Successful checkouts (hits + misses).
+    pub checkouts: u64,
+    /// Checkouts that had to build a fresh workspace.
+    pub misses: u64,
+    /// Workspaces currently pooled (free, across all plans).
+    pub pooled: u64,
+    /// Bytes held by the pooled (free) workspaces.
+    pub pooled_bytes: u64,
+}
+
+#[derive(Default)]
+struct Entry {
+    /// Returned workspaces ready for reuse.
+    free: Vec<EvalWorkspace>,
+    /// Workspaces currently checked out for this plan.
+    outstanding: usize,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    checkouts: u64,
+    misses: u64,
+}
+
+/// A per-plan pool of evaluation workspaces with a per-plan cap.
+pub struct WorkspacePool {
+    cap: usize,
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    /// Instruments resolved once at construction; updates are single
+    /// relaxed atomics, gated on the registry switch.
+    m_checkouts: Arc<Counter>,
+    m_misses: Arc<Counter>,
+    m_bytes: Arc<Gauge>,
+}
+
+impl WorkspacePool {
+    /// A pool allowing at most `cap` live workspaces per plan
+    /// generation (`cap = 1` serializes batches on a plan's scratch,
+    /// which the serialization test exploits).
+    pub fn new(cap: usize) -> WorkspacePool {
+        assert!(cap >= 1, "need at least one workspace per plan");
+        let reg = pfmm_metrics::global();
+        WorkspacePool {
+            cap,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                checkouts: 0,
+                misses: 0,
+            }),
+            cond: Condvar::new(),
+            m_checkouts: reg.counter("pfmm_workspace_checkouts_total", &[]),
+            m_misses: reg.counter("pfmm_workspace_pool_misses_total", &[]),
+            m_bytes: reg.gauge("pfmm_workspace_bytes", &[]),
+        }
+    }
+
+    /// The per-plan cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Check a workspace out for plan generation `uid`, building one
+    /// with `build` when none is pooled and the cap allows another.
+    /// Blocks while `cap` workspaces for this uid are already out. The
+    /// build runs with no pool lock held.
+    pub fn checkout(&self, uid: u64, build: impl FnOnce() -> EvalWorkspace) -> EvalWorkspace {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            let e = g.map.entry(uid).or_default();
+            if let Some(ws) = e.free.pop() {
+                e.outstanding += 1;
+                g.checkouts += 1;
+                drop(g);
+                if pfmm_metrics::global().enabled() {
+                    self.m_checkouts.inc();
+                }
+                self.update_bytes();
+                return ws;
+            }
+            if e.outstanding < self.cap {
+                e.outstanding += 1;
+                g.checkouts += 1;
+                g.misses += 1;
+                drop(g);
+                if pfmm_metrics::global().enabled() {
+                    self.m_checkouts.inc();
+                    self.m_misses.inc();
+                }
+                return build();
+            }
+            g = self.cond.wait(g).unwrap();
+        }
+    }
+
+    /// Return a workspace checked out for `uid`. A workspace whose tag
+    /// no longer matches (rebuilt in place by `Fmm::apply_ws` for a
+    /// newer plan generation) is dropped rather than pooled.
+    pub fn put_back(&self, uid: u64, ws: EvalWorkspace) {
+        {
+            let mut g = self.inner.lock().unwrap();
+            let e = g.map.entry(uid).or_default();
+            e.outstanding = e.outstanding.saturating_sub(1);
+            if ws.plan_uid() == uid {
+                e.free.push(ws);
+            }
+        }
+        self.update_bytes();
+        self.cond.notify_one();
+    }
+
+    /// Drop every pooled workspace for `uid` (e.g. after its plan was
+    /// evicted). Checked-out ones are dropped on return by the tag
+    /// check once their plan is gone — this only reclaims the idle ones.
+    pub fn invalidate(&self, uid: u64) {
+        {
+            let mut g = self.inner.lock().unwrap();
+            if let Some(e) = g.map.get_mut(&uid) {
+                e.free.clear();
+                if e.outstanding == 0 {
+                    g.map.remove(&uid);
+                }
+            }
+        }
+        self.update_bytes();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WorkspaceStats {
+        let g = self.inner.lock().unwrap();
+        let (pooled, pooled_bytes) = g
+            .map
+            .values()
+            .flat_map(|e| e.free.iter())
+            .fold((0u64, 0u64), |(n, b), ws| {
+                (n + 1, b + ws.memory_bytes() as u64)
+            });
+        WorkspaceStats {
+            checkouts: g.checkouts,
+            misses: g.misses,
+            pooled,
+            pooled_bytes,
+        }
+    }
+
+    fn update_bytes(&self) {
+        if pfmm_metrics::global().enabled() {
+            self.m_bytes.set(self.stats().pooled_bytes as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfmm_core::{Fmm, FmmConfig};
+    use pfmm_kernels::Laplace;
+    use pfmm_mpisim::run;
+
+    fn plan_and_fmm() -> (Fmm, pfmm_core::FmmPlan) {
+        let f = Fmm::new(
+            Arc::new(Laplace),
+            FmmConfig {
+                order: 3,
+                q: 40,
+                ..Default::default()
+            },
+        );
+        let pts = pfmm_core::distrib::uniform_cube(200, 17, 0);
+        let plan = run(1, |c| f.plan(c, pts.clone())).pop().expect("one rank");
+        (f, plan)
+    }
+
+    #[test]
+    fn checkout_miss_then_hit_and_byte_accounting() {
+        let (f, plan) = plan_and_fmm();
+        let pool = WorkspacePool::new(2);
+        let ws = pool.checkout(plan.uid(), || f.workspace(&plan));
+        assert_eq!(pool.stats().misses, 1);
+        assert!(ws.memory_bytes() > 0);
+        pool.put_back(plan.uid(), ws);
+        let s = pool.stats();
+        assert_eq!((s.pooled, s.checkouts), (1, 1));
+        assert!(s.pooled_bytes > 0);
+        let _ws = pool.checkout(plan.uid(), || panic!("pooled, no build"));
+        let s = pool.stats();
+        assert_eq!((s.checkouts, s.misses, s.pooled), (2, 1, 0));
+    }
+
+    #[test]
+    fn stale_generation_is_dropped_not_pooled() {
+        let (f, plan) = plan_and_fmm();
+        let pool = WorkspacePool::new(1);
+        let ws = pool.checkout(plan.uid(), || f.workspace(&plan));
+        // Pretend the plan was rebuilt: return under a different uid.
+        pool.put_back(plan.uid() + 1, ws);
+        assert_eq!(pool.stats().pooled, 0, "tag mismatch drops the entry");
+    }
+
+    #[test]
+    fn cap_blocks_until_a_peer_returns() {
+        let (f, plan) = plan_and_fmm();
+        let f = Arc::new(f);
+        let uid = plan.uid();
+        let pool = Arc::new(WorkspacePool::new(1));
+        let ws = pool.checkout(uid, || f.workspace(&plan));
+        let waiter = {
+            let (pool, f, plan) = (Arc::clone(&pool), Arc::clone(&f), Arc::new(plan));
+            std::thread::spawn(move || {
+                // Must reuse the returned workspace, not build a second.
+                pool.checkout(uid, || f.workspace(&plan)).plan_uid()
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        pool.put_back(uid, ws);
+        assert_eq!(waiter.join().expect("no panic"), uid);
+        let s = pool.stats();
+        assert_eq!((s.checkouts, s.misses), (2, 1), "second checkout was a hit");
+    }
+
+    #[test]
+    fn invalidate_reclaims_idle_entries() {
+        let (f, plan) = plan_and_fmm();
+        let pool = WorkspacePool::new(2);
+        let ws = pool.checkout(plan.uid(), || f.workspace(&plan));
+        pool.put_back(plan.uid(), ws);
+        assert_eq!(pool.stats().pooled, 1);
+        pool.invalidate(plan.uid());
+        let s = pool.stats();
+        assert_eq!((s.pooled, s.pooled_bytes), (0, 0));
+    }
+}

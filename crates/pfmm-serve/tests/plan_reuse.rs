@@ -136,6 +136,7 @@ fn warm_cache_service_matches_standalone_evaluation() {
     let exec = Executor {
         fmm: Arc::clone(&fmm),
         cache: Arc::new(PlanCache::new(1 << 30)),
+        workspaces: Arc::new(pfmm_serve::WorkspacePool::new(2)),
         geometries: Arc::new(vec![pts.clone()]),
         tracer: Arc::new(Tracer::off()),
         flight: None,
@@ -183,5 +184,79 @@ fn warm_cache_service_matches_standalone_evaluation() {
     assert_eq!(served.reqs[0].pot.len(), standalone.len());
     for (a, b) in served.reqs[0].pot.iter().zip(&standalone) {
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// Two batches racing on one plan through a workspace pool of size 1:
+/// the checkouts serialize (the pool cap blocks the loser until the
+/// winner returns its workspace) and both batches stay bitwise identical
+/// to unraced executions of the same requests.
+#[test]
+fn pool_of_one_serializes_concurrent_batches_bitwise() {
+    use pfmm_core::plan_fingerprint;
+    use pfmm_serve::{Batch, Executor, PlanCache, Request, WorkspacePool};
+    use pfmm_trace::Tracer;
+
+    let fmm = Arc::new(Fmm::new(Arc::new(Laplace), config(Schedule::Barrier)));
+    let pts = pfmm_core::distrib::uniform_cube(250, 91, 0);
+    let key = plan_fingerprint("laplace", fmm.config(), 1, &pts);
+    let mk_exec = |pool_cap: usize| Executor {
+        fmm: Arc::clone(&fmm),
+        cache: Arc::new(PlanCache::new(1 << 30)),
+        workspaces: Arc::new(WorkspacePool::new(pool_cap)),
+        geometries: Arc::new(vec![pts.clone()]),
+        tracer: Arc::new(Tracer::off()),
+        flight: None,
+        exec_delay_us: 0,
+    };
+    let mk_batch = |ids: &[u64]| Batch {
+        key,
+        reqs: ids
+            .iter()
+            .map(|&id| Request {
+                id,
+                key,
+                geom: 0,
+                n: 250,
+                arrive_us: 0,
+                deadline_us: u64::MAX,
+                priority: 1,
+                density_seed: 9000 + id,
+                est_cost_us: 1,
+                est_build_us: 1,
+            })
+            .collect(),
+        opened_us: 0,
+        flushed_us: 0,
+        charged_us: 0,
+    };
+
+    // Race two batches through a pool capped at one workspace.
+    let exec = Arc::new(mk_exec(1));
+    // Warm plan and workspace so both racers contend on checkout.
+    exec.execute_batch(mk_batch(&[99]));
+    let (a, b) = std::thread::scope(|s| {
+        let ea = Arc::clone(&exec);
+        let eb = Arc::clone(&exec);
+        let ha = s.spawn(move || ea.execute_batch(mk_batch(&[0, 1])));
+        let hb = s.spawn(move || eb.execute_batch(mk_batch(&[2, 3])));
+        (ha.join().expect("batch a"), hb.join().expect("batch b"))
+    });
+    let s = exec.workspaces.stats();
+    assert_eq!(s.checkouts, 3, "warm-up + both racers checked out");
+    assert_eq!(s.misses, 1, "cap 1: one workspace ever built");
+    assert_eq!(s.pooled, 1, "returned after the race");
+
+    // Unraced reference runs through a fresh executor.
+    let fresh = mk_exec(1);
+    let ra = fresh.execute_batch(mk_batch(&[0, 1]));
+    let rb = fresh.execute_batch(mk_batch(&[2, 3]));
+    for (got, want) in [(&a, &ra), (&b, &rb)] {
+        for (g, w) in got.reqs.iter().zip(&want.reqs) {
+            assert_eq!(g.pot.len(), w.pot.len());
+            for (x, y) in g.pot.iter().zip(&w.pot) {
+                assert_eq!(x.to_bits(), y.to_bits(), "req {}", g.id);
+            }
+        }
     }
 }

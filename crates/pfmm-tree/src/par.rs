@@ -68,6 +68,10 @@ where
     // known; phases with per-octant interaction counts should use
     // `par_windows_weighted`.)
     let t = threads.min(noct.max(1));
+    if t <= 1 || noct < 2 {
+        debug_assert_eq!(offset_of(noct), out.len(), "offset map covers the output");
+        return work(0..noct, out, 0);
+    }
     let mut cuts = Vec::with_capacity(t + 1);
     for k in 0..=t {
         cuts.push(k * noct / t);
@@ -100,6 +104,10 @@ where
 {
     let noct = weights.len();
     let t = threads.min(noct.max(1));
+    if t <= 1 || noct < 2 {
+        debug_assert_eq!(offset_of(noct), out.len(), "offset map covers the output");
+        return work(0..noct, out, 0);
+    }
     let cuts = weighted_cuts(t, weights);
     par_windows_at(&cuts, noct, out, offset_of, work)
 }
